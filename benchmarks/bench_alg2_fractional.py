@@ -1,0 +1,58 @@
+"""Experiment E1 (Theorem 4): Algorithm 2 quality, rounds and feasibility.
+
+Claim: for every graph and every k, Algorithm 2 (Δ known) computes a
+feasible LP_MDS solution with Σx ≤ k(Δ+1)^{2/k} · LP_OPT in exactly 2k²
+rounds.
+
+The benchmark sweeps the small graph suite over k ∈ {1..5}, prints the
+measured ratio next to the bound, and times one representative execution
+with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import algorithm2_approximation_bound, algorithm2_round_bound
+from repro.analysis.experiment import as_instances, sweep_fractional
+from repro.analysis.tables import render_table
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.kuhn_wattenhofer import FractionalVariant
+from repro.graphs.generators import graph_suite
+
+
+@pytest.mark.benchmark(group="E1-alg2")
+def test_e1_algorithm2_quality_sweep(benchmark, bench_seed, emit_table):
+    """Regenerate the E1 table: ratio vs. bound vs. rounds for every (graph, k)."""
+    instances = as_instances(graph_suite("small", seed=bench_seed))
+    k_values = [1, 2, 3, 4, 5]
+
+    records = sweep_fractional(
+        instances, k_values, variant=FractionalVariant.KNOWN_DELTA, seed=bench_seed
+    )
+    rows = [record.as_row() for record in records]
+    emit_table(
+        "E1_alg2_fractional",
+        render_table(
+            rows,
+            columns=[
+                "instance", "n", "delta", "k", "objective", "lp_optimum",
+                "ratio", "bound", "rounds", "max_messages_per_node",
+            ],
+            title="E1 (Theorem 4): Algorithm 2 fractional approximation",
+        ),
+    )
+
+    # Shape assertions: measured ratio within the theorem bound, exact round
+    # count 2k², for every row.
+    for record in records:
+        k = record.parameters["k"]
+        delta = record.parameters["delta"]
+        assert record.measurements["ratio"] <= (
+            algorithm2_approximation_bound(k, delta) + 1e-9
+        )
+        assert record.measurements["rounds"] == algorithm2_round_bound(k)
+
+    # Time one representative execution (the middle of the sweep).
+    graph = instances[0].graph
+    benchmark(lambda: approximate_fractional_mds(graph, k=3, seed=bench_seed))

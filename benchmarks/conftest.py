@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one experiment from DESIGN.md's
+per-experiment index: it measures the quantities the paper claims, prints
+them as a table (visible with ``pytest benchmarks/ --benchmark-only -s``)
+and asserts the claim's *shape* (who wins, which bound holds), so a
+regression in the algorithms fails the harness rather than silently
+producing different numbers.
+
+The printed tables are also written to ``benchmarks/results/<experiment>.txt``
+so that EXPERIMENTS.md can quote them without re-running the suite
+interactively.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit_table() -> Callable[[str, str], None]:
+    """Fixture: print a result table and persist it under benchmarks/results/."""
+
+    def _emit(name: str, table: str) -> None:
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Single seed shared by all benchmarks for reproducibility."""
+    return 2003  # the paper's PODC year

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Ad-hoc network clustering: the paper's motivating application.
+
+Section 1 of the paper motivates dominating sets as cluster heads for
+routing in wireless ad-hoc networks: only the dominating-set nodes act as
+routers, every other node talks to an adjacent cluster head.
+
+This example models an ad-hoc network as a unit disk graph, elects cluster
+heads with the distributed pipeline, and reports clustering statistics that
+matter for routing: number of cluster heads, per-cluster sizes, how many
+routers each ordinary node can reach (redundancy), and the cost comparison
+against greedy, LRG and the MIS-based clustering heuristic.
+
+Run with:  python examples/adhoc_clustering.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import kuhn_wattenhofer_dominating_set
+from repro.baselines.greedy import greedy_dominating_set
+from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
+from repro.baselines.trivial import maximal_independent_set_dominating_set
+from repro.domset.validation import coverage_counts, dominated_by, is_dominating_set
+from repro.graphs.unit_disk import random_unit_disk_graph
+
+NODES = 150
+RADIUS = 0.13
+SEED = 11
+
+
+def describe_clustering(name: str, graph, cluster_heads) -> None:
+    """Print routing-relevant statistics for one cluster-head set."""
+    assert is_dominating_set(graph, cluster_heads)
+    assignments = dominated_by(graph, cluster_heads)
+    # Each ordinary node associates with one (e.g. the smallest-id) head.
+    cluster_sizes = Counter()
+    for node, heads in assignments.items():
+        cluster_sizes[min(heads)] += 1
+    redundancy = coverage_counts(graph, cluster_heads)
+    ordinary = [node for node in graph.nodes() if node not in cluster_heads]
+    mean_redundancy = (
+        sum(redundancy[node] for node in ordinary) / len(ordinary) if ordinary else 0.0
+    )
+    print(f"\n{name}")
+    print(f"  cluster heads        : {len(cluster_heads)}")
+    print(f"  largest cluster      : {max(cluster_sizes.values())}")
+    print(f"  mean cluster size    : {sum(cluster_sizes.values()) / len(cluster_sizes):.2f}")
+    print(f"  mean head redundancy : {mean_redundancy:.2f} reachable routers per node")
+
+
+def main() -> None:
+    graph = random_unit_disk_graph(NODES, radius=RADIUS, seed=SEED)
+    delta = max(degree for _, degree in graph.degree())
+    print(
+        f"ad-hoc network: {NODES} devices, transmission radius {RADIUS}, "
+        f"{graph.number_of_edges()} links, Δ = {delta}"
+    )
+
+    # Distributed election of cluster heads: every device runs the same
+    # local algorithm, no device knows the whole topology, and the election
+    # finishes in a constant number of communication rounds.
+    result = kuhn_wattenhofer_dominating_set(graph, k=3, seed=SEED)
+    describe_clustering(
+        f"Kuhn-Wattenhofer pipeline (k=3, {result.total_rounds} rounds, "
+        f"{result.total_messages} messages)",
+        graph,
+        result.dominating_set,
+    )
+
+    # Comparators.
+    lrg = lrg_dominating_set(graph, seed=SEED)
+    describe_clustering(
+        f"Jia-Rajaraman-Suel LRG ({lrg.rounds} rounds)", graph, lrg.dominating_set
+    )
+    describe_clustering("sequential greedy (centralised)", graph, greedy_dominating_set(graph))
+    describe_clustering(
+        "MIS-based clustering heuristic",
+        graph,
+        maximal_independent_set_dominating_set(graph, seed=SEED),
+    )
+
+    print(
+        "\nTake-away: the pipeline's head count sits between greedy/LRG and the "
+        "MIS heuristic, but it is the only one of the distributed algorithms "
+        "whose round count is independent of the network size -- exactly the "
+        "trade-off the paper establishes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Dynamic topology: re-clustering a mobile ad-hoc network.
+
+The paper argues that because ad-hoc topologies change constantly, cluster
+head election must be *fast* -- a protocol that needs Ω(diameter) rounds is
+obsolete before it finishes.  This example simulates node mobility with a
+random-waypoint model, re-runs the constant-round pipeline on every topology
+snapshot, and measures (a) how stable the elected cluster-head set is across
+snapshots (churn) and (b) how the constant round budget compares to the
+snapshot rate.
+
+Run with:  python examples/dynamic_topology.py
+"""
+
+from __future__ import annotations
+
+from repro import kuhn_wattenhofer_dominating_set
+from repro.analysis.stats import mean
+from repro.domset.validation import is_dominating_set
+from repro.graphs.mobility import random_waypoint_trace
+
+NODES = 80
+RADIUS = 0.18
+SNAPSHOTS = 12
+SEED = 3
+K = 2
+
+
+def main() -> None:
+    trace = random_waypoint_trace(
+        NODES, radius=RADIUS, steps=SNAPSHOTS, speed_range=(0.02, 0.06), seed=SEED
+    )
+    print(
+        f"mobile network: {NODES} devices, {SNAPSHOTS} topology snapshots, "
+        f"radius {RADIUS}\n"
+    )
+
+    head_sets = []
+    rounds_used = []
+    print(f"{'snapshot':>8} | {'links':>6} | {'Δ':>3} | {'heads':>5} | {'rounds':>6} | churn")
+    print("-" * 55)
+    previous = None
+    for index, snapshot in enumerate(trace):
+        result = kuhn_wattenhofer_dominating_set(snapshot, k=K, seed=SEED + index)
+        assert is_dominating_set(snapshot, result.dominating_set)
+        head_sets.append(result.dominating_set)
+        rounds_used.append(result.total_rounds)
+        churn = (
+            "-"
+            if previous is None
+            else f"{len(previous.symmetric_difference(result.dominating_set)) / max(1, len(previous)):.2f}"
+        )
+        delta = max(degree for _, degree in snapshot.degree())
+        print(
+            f"{index:>8} | {snapshot.number_of_edges():>6} | {delta:>3} | "
+            f"{result.size:>5} | {result.total_rounds:>6} | {churn}"
+        )
+        previous = result.dominating_set
+
+    churn_values = trace.churn(head_sets)
+    print(
+        f"\nmean churn between consecutive snapshots: {mean(churn_values):.2f} "
+        "(fraction of cluster heads replaced)"
+    )
+    print(
+        f"round budget per re-election: {max(rounds_used)} rounds, independent of "
+        "the network size -- the property that makes per-snapshot re-election "
+        "viable in a mobile network."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Time/quality trade-off study: how to choose the locality parameter k.
+
+The paper's central contribution is a tunable trade-off: O(k²) rounds buy an
+O(k·Δ^{2/k}·log Δ) expected approximation.  This example sweeps k on a fixed
+network and prints, for every k, the measured dominating set size (averaged
+over rounding trials), the number of rounds, and the theorem bounds, ending
+with the k = Θ(log Δ) choice the paper recommends in its final remark.
+
+Run with:  python examples/tradeoff_study.py
+"""
+
+from __future__ import annotations
+
+from repro import kuhn_wattenhofer_dominating_set, log_delta_parameter
+from repro.analysis.bounds import (
+    pipeline_expected_ratio_bound,
+    pipeline_round_bound,
+)
+from repro.analysis.stats import mean
+from repro.analysis.tables import render_table
+from repro.graphs.unit_disk import random_unit_disk_graph
+from repro.graphs.utils import max_degree
+from repro.lp.solver import solve_fractional_mds
+
+NODES = 120
+RADIUS = 0.15
+SEED = 5
+TRIALS = 5
+K_RANGE = range(1, 7)
+
+
+def main() -> None:
+    graph = random_unit_disk_graph(NODES, radius=RADIUS, seed=SEED)
+    delta = max_degree(graph)
+    lp_optimum = solve_fractional_mds(graph).objective
+    print(f"network: n = {NODES}, Δ = {delta}, LP optimum = {lp_optimum:.2f}\n")
+
+    rows = []
+    for k in K_RANGE:
+        sizes = [
+            kuhn_wattenhofer_dominating_set(graph, k=k, seed=SEED + trial).size
+            for trial in range(TRIALS)
+        ]
+        rounds = kuhn_wattenhofer_dominating_set(graph, k=k, seed=SEED).total_rounds
+        rows.append(
+            {
+                "k": k,
+                "mean_size": mean(sizes),
+                "mean_ratio_vs_LP": mean(sizes) / lp_optimum,
+                "rounds": rounds,
+                "round_bound": pipeline_round_bound(k),
+                "ratio_bound (Thm 6)": pipeline_expected_ratio_bound(k, delta),
+            }
+        )
+    print(render_table(rows, title=f"k sweep ({TRIALS} trials per k)"))
+
+    recommended = log_delta_parameter(delta)
+    print(
+        f"\nThe paper's recommended choice for this network is k = ⌈ln(Δ+1)⌉ = "
+        f"{recommended}: beyond that point the guaranteed ratio barely improves "
+        "while the round count keeps growing quadratically."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Weighted cluster head election: battery-aware dominating sets.
+
+The remark after Theorem 4 extends the algorithm to weighted dominating
+sets.  A natural ad-hoc network reading: a node's cost is inversely related
+to its remaining battery, so the protocol prefers well-charged devices as
+cluster heads even when a low-battery device has the better connectivity.
+
+This example assigns battery-based costs, runs the weighted fractional
+algorithm followed by randomized rounding, and compares the resulting
+*cost* (not cardinality) against the unweighted pipeline and the weighted
+greedy baseline.
+
+Run with:  python examples/weighted_clustering.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import kuhn_wattenhofer_dominating_set
+from repro.baselines.greedy import greedy_weighted_dominating_set
+from repro.core.rounding import round_fractional_solution
+from repro.core.weighted import approximate_weighted_fractional_mds
+from repro.domset.validation import is_dominating_set
+from repro.domset.weighted import weighted_cost, weighted_quality
+from repro.graphs.unit_disk import random_unit_disk_graph
+
+NODES = 100
+RADIUS = 0.16
+SEED = 9
+K = 3
+C_MAX = 5.0
+
+
+def battery_costs(graph, seed):
+    """Cost in [1, C_MAX]: low battery => high cost of serving as a router."""
+    rng = random.Random(seed)
+    costs = {}
+    for node in sorted(graph.nodes()):
+        battery = rng.uniform(0.2, 1.0)  # remaining charge fraction
+        costs[node] = 1.0 + (C_MAX - 1.0) * (1.0 - battery)
+    return costs
+
+
+def main() -> None:
+    graph = random_unit_disk_graph(NODES, radius=RADIUS, seed=SEED)
+    costs = battery_costs(graph, SEED)
+    print(
+        f"network: n = {NODES}, Δ = {max(d for _, d in graph.degree())}, "
+        f"costs in [1, {C_MAX}]\n"
+    )
+
+    # 1. Weighted fractional relaxation (distributed), then rounding.
+    fractional = approximate_weighted_fractional_mds(graph, costs, k=K, seed=SEED)
+    rounded = round_fractional_solution(graph, fractional.x, seed=SEED)
+    assert is_dominating_set(graph, rounded.dominating_set)
+    report = weighted_quality(graph, costs, rounded.dominating_set)
+    print("weighted Kuhn-Wattenhofer (battery aware):")
+    print(f"  cluster heads : {rounded.size}")
+    print(f"  total cost    : {report.cost:.2f}")
+    print(f"  weighted LP   : {report.lp_optimum:.2f}")
+    print(f"  cost ratio    : {report.ratio_vs_lp:.2f}")
+    print(f"  rounds        : {fractional.rounds + rounded.rounds}")
+
+    # 2. The unweighted pipeline ignores batteries: usually fewer heads but
+    #    a higher total cost.
+    unweighted = kuhn_wattenhofer_dominating_set(graph, k=K, seed=SEED)
+    unweighted_cost = weighted_cost(costs, unweighted.dominating_set)
+    print("\nunweighted pipeline (battery oblivious):")
+    print(f"  cluster heads : {unweighted.size}")
+    print(f"  total cost    : {unweighted_cost:.2f}")
+
+    # 3. Centralised weighted greedy for reference.
+    greedy = greedy_weighted_dominating_set(graph, costs)
+    print("\nweighted greedy (centralised reference):")
+    print(f"  cluster heads : {len(greedy)}")
+    print(f"  total cost    : {weighted_cost(costs, greedy):.2f}")
+
+    print(
+        "\nTake-away: making the activity rule cost-aware shifts the cluster "
+        "head role towards well-charged devices at a modest increase in the "
+        "number of heads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Reproduction of Kuhn & Wattenhofer (PODC 2003 / DC 2005):
+*Constant-time distributed dominating set approximation*.
+
+The library contains four layers:
+
+* ``repro.simulator`` -- a synchronous LOCAL-model message-passing simulator
+  (rounds, messages, message-size accounting, traces, fault injection).
+* ``repro.graphs`` / ``repro.lp`` / ``repro.domset`` -- substrates: graph
+  generators (including unit disk graphs and mobility), the LP_MDS /
+  DLP_MDS formulations with an exact solver, and dominating set validation
+  and quality reporting.
+* ``repro.core`` -- the paper's contribution: Algorithm 1 (randomized
+  rounding), Algorithm 2 (fractional approximation, Δ known), Algorithm 3
+  (Δ unknown), the weighted variant, the composed Theorem-6 pipeline, and
+  runtime checks of the paper's Lemmas 2-7.
+* ``repro.baselines`` / ``repro.analysis`` -- comparison algorithms
+  (greedy, exact, LRG, Wu-Li, trivial) and the experiment/bounds machinery
+  used by the benchmark harness.
+
+Quickstart
+----------
+
+>>> import networkx as nx
+>>> from repro import kuhn_wattenhofer_dominating_set
+>>> graph = nx.random_geometric_graph(50, 0.25, seed=1)
+>>> result = kuhn_wattenhofer_dominating_set(graph, k=2, seed=0)
+>>> sorted(result.dominating_set)  # doctest: +SKIP
+[...]
+"""
+
+from repro.core import (
+    FractionalVariant,
+    PipelineResult,
+    RoundingRule,
+    approximate_fractional_mds,
+    approximate_fractional_mds_unknown_delta,
+    approximate_weighted_fractional_mds,
+    kuhn_wattenhofer_dominating_set,
+    log_delta_parameter,
+    round_fractional_solution,
+    weighted_kuhn_wattenhofer_dominating_set,
+)
+from repro.domset import is_dominating_set, quality_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FractionalVariant",
+    "PipelineResult",
+    "RoundingRule",
+    "__version__",
+    "approximate_fractional_mds",
+    "approximate_fractional_mds_unknown_delta",
+    "approximate_weighted_fractional_mds",
+    "is_dominating_set",
+    "kuhn_wattenhofer_dominating_set",
+    "log_delta_parameter",
+    "quality_report",
+    "round_fractional_solution",
+    "weighted_kuhn_wattenhofer_dominating_set",
+]

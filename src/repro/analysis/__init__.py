@@ -1,0 +1,76 @@
+"""Analysis toolkit: theoretical bounds, sweeps, statistics and tables.
+
+* :mod:`~repro.analysis.bounds` -- the paper's theorem bounds as explicit
+  formulas (Theorems 3-6, the weighted remark, the message-complexity
+  claims, and the KMW lower-bound reference curve).
+* :mod:`~repro.analysis.experiment` -- the sweep machinery shared by the
+  benchmarks and the CLI.
+* :mod:`~repro.analysis.stats` -- trial statistics (means, confidence
+  intervals) for the randomized components.
+* :mod:`~repro.analysis.tables` -- ASCII table / CSV rendering of records.
+"""
+
+from repro.analysis.bounds import (
+    algorithm2_approximation_bound,
+    algorithm2_round_bound,
+    algorithm3_approximation_bound,
+    algorithm3_round_bound,
+    kmw_lower_bound,
+    log_squared_delta_bound,
+    message_size_bound_bits,
+    messages_per_node_bound,
+    pipeline_expected_ratio_bound,
+    pipeline_round_bound,
+    rounding_expectation_bound,
+    rounding_expectation_bound_alternative,
+    weighted_approximation_bound,
+)
+from repro.analysis.experiment import (
+    ExperimentRecord,
+    GraphInstance,
+    as_instances,
+    compare_algorithms,
+    sweep_fractional,
+    sweep_pipeline,
+)
+from repro.analysis.stats import (
+    SummaryStatistics,
+    confidence_interval,
+    mean,
+    ratio_of_means,
+    sample_std,
+    summarize,
+)
+from repro.analysis.tables import format_value, records_to_csv, render_series, render_table
+
+__all__ = [
+    "ExperimentRecord",
+    "GraphInstance",
+    "SummaryStatistics",
+    "algorithm2_approximation_bound",
+    "algorithm2_round_bound",
+    "algorithm3_approximation_bound",
+    "algorithm3_round_bound",
+    "as_instances",
+    "compare_algorithms",
+    "confidence_interval",
+    "format_value",
+    "kmw_lower_bound",
+    "log_squared_delta_bound",
+    "mean",
+    "message_size_bound_bits",
+    "messages_per_node_bound",
+    "pipeline_expected_ratio_bound",
+    "pipeline_round_bound",
+    "ratio_of_means",
+    "records_to_csv",
+    "render_series",
+    "render_table",
+    "rounding_expectation_bound",
+    "rounding_expectation_bound_alternative",
+    "sample_std",
+    "summarize",
+    "sweep_fractional",
+    "sweep_pipeline",
+    "weighted_approximation_bound",
+]

@@ -1,0 +1,231 @@
+"""Experiment runner: parameter sweeps shared by benchmarks, CLI and examples.
+
+The benchmarks all have the same shape -- run one or more algorithms over a
+collection of graphs (and a range of k values, and several random trials),
+collect per-run records, and aggregate them into the rows the paper's claims
+correspond to.  This module centralises that machinery so every benchmark
+file stays a thin declaration of *what* to measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.analysis.bounds import (
+    algorithm2_approximation_bound,
+    algorithm3_approximation_bound,
+    pipeline_expected_ratio_bound,
+)
+from repro.analysis.stats import summarize
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    kuhn_wattenhofer_dominating_set,
+)
+from repro.domset.validation import is_dominating_set
+from repro.graphs.utils import max_degree
+from repro.lp.duality import lemma1_lower_bound
+from repro.lp.solver import solve_fractional_mds
+
+
+@dataclass(frozen=True)
+class GraphInstance:
+    """One named graph instance in a sweep."""
+
+    name: str
+    graph: nx.Graph
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def max_degree(self) -> int:
+        return max_degree(self.graph)
+
+
+def as_instances(graphs: Mapping[str, nx.Graph]) -> list[GraphInstance]:
+    """Wrap a name -> graph mapping into :class:`GraphInstance` objects."""
+    return [GraphInstance(name=name, graph=graph) for name, graph in graphs.items()]
+
+
+@dataclass
+class ExperimentRecord:
+    """One measurement row produced by a sweep."""
+
+    instance: str
+    algorithm: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+    measurements: dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, Any]:
+        """Flatten into a single dictionary suitable for table rendering."""
+        row: dict[str, Any] = {"instance": self.instance, "algorithm": self.algorithm}
+        row.update(self.parameters)
+        row.update(self.measurements)
+        return row
+
+
+def sweep_fractional(
+    instances: Sequence[GraphInstance],
+    k_values: Sequence[int],
+    variant: FractionalVariant = FractionalVariant.KNOWN_DELTA,
+    seed: int = 0,
+) -> list[ExperimentRecord]:
+    """Run a fractional algorithm over instances × k and record quality.
+
+    Every record contains the measured fractional objective, the LP optimum,
+    the measured/optimal ratio, the theorem's bound for that (k, Δ), the
+    number of rounds used and the per-node message maxima.
+    """
+    records: list[ExperimentRecord] = []
+    for instance in instances:
+        lp_optimum = solve_fractional_mds(instance.graph).objective
+        delta = instance.max_degree
+        for k in k_values:
+            if variant is FractionalVariant.KNOWN_DELTA:
+                result = approximate_fractional_mds(instance.graph, k=k, seed=seed)
+                bound = algorithm2_approximation_bound(k, delta)
+            else:
+                result = approximate_fractional_mds_unknown_delta(
+                    instance.graph, k=k, seed=seed
+                )
+                bound = algorithm3_approximation_bound(k, delta)
+            ratio = result.objective / lp_optimum if lp_optimum > 0 else float("nan")
+            records.append(
+                ExperimentRecord(
+                    instance=instance.name,
+                    algorithm=f"fractional[{variant.value}]",
+                    parameters={"k": k, "n": instance.node_count, "delta": delta},
+                    measurements={
+                        "objective": result.objective,
+                        "lp_optimum": lp_optimum,
+                        "ratio": ratio,
+                        "bound": bound,
+                        "rounds": result.rounds,
+                        "max_messages_per_node": result.metrics.max_messages_per_node,
+                        "max_message_bits": result.metrics.max_message_bits,
+                    },
+                )
+            )
+    return records
+
+
+def sweep_pipeline(
+    instances: Sequence[GraphInstance],
+    k_values: Sequence[int],
+    trials: int = 5,
+    variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
+    seed: int = 0,
+) -> list[ExperimentRecord]:
+    """Run the full pipeline over instances × k, averaging over trials.
+
+    The expected-size guarantee of Theorem 6 is about the mean over the
+    rounding randomness, so each (instance, k) cell aggregates ``trials``
+    independent executions.
+    """
+    records: list[ExperimentRecord] = []
+    for instance in instances:
+        lower_bound = lemma1_lower_bound(instance.graph)
+        lp_optimum = solve_fractional_mds(instance.graph).objective
+        delta = instance.max_degree
+        for k in k_values:
+            sizes = []
+            rounds = []
+            for trial in range(trials):
+                result = kuhn_wattenhofer_dominating_set(
+                    instance.graph,
+                    k=k,
+                    seed=seed + trial,
+                    variant=variant,
+                )
+                if not is_dominating_set(instance.graph, result.dominating_set):
+                    raise RuntimeError(
+                        f"pipeline produced a non-dominating set on {instance.name}"
+                    )
+                sizes.append(float(result.size))
+                rounds.append(float(result.total_rounds))
+            size_summary = summarize(sizes)
+            records.append(
+                ExperimentRecord(
+                    instance=instance.name,
+                    algorithm=f"kuhn-wattenhofer[{variant.value}]",
+                    parameters={"k": k, "n": instance.node_count, "delta": delta},
+                    measurements={
+                        "mean_size": size_summary.mean,
+                        "std_size": size_summary.std,
+                        "lp_optimum": lp_optimum,
+                        "dual_lower_bound": lower_bound,
+                        "mean_ratio_vs_lp": size_summary.mean / lp_optimum
+                        if lp_optimum > 0
+                        else float("nan"),
+                        "bound": pipeline_expected_ratio_bound(k, delta),
+                        "mean_rounds": sum(rounds) / len(rounds),
+                        "trials": float(trials),
+                    },
+                )
+            )
+    return records
+
+
+def compare_algorithms(
+    instances: Sequence[GraphInstance],
+    algorithms: Mapping[str, Callable[[nx.Graph, int], Iterable]],
+    trials: int = 3,
+    seed: int = 0,
+) -> list[ExperimentRecord]:
+    """Run arbitrary set-producing algorithms over instances and record sizes.
+
+    Parameters
+    ----------
+    instances:
+        Graphs to evaluate on.
+    algorithms:
+        Mapping from algorithm name to a callable ``(graph, seed) -> set``
+        returning a dominating set.
+    trials:
+        Number of seeds per (instance, algorithm) pair -- deterministic
+        algorithms simply produce identical rows.
+    seed:
+        Base seed.
+
+    Returns
+    -------
+    list[ExperimentRecord]
+    """
+    records: list[ExperimentRecord] = []
+    for instance in instances:
+        lp_optimum = solve_fractional_mds(instance.graph).objective
+        delta = instance.max_degree
+        for name, algorithm in algorithms.items():
+            sizes = []
+            for trial in range(trials):
+                candidate = frozenset(algorithm(instance.graph, seed + trial))
+                if not is_dominating_set(instance.graph, candidate):
+                    raise RuntimeError(
+                        f"algorithm {name!r} returned a non-dominating set "
+                        f"on {instance.name}"
+                    )
+                sizes.append(float(len(candidate)))
+            summary = summarize(sizes)
+            records.append(
+                ExperimentRecord(
+                    instance=instance.name,
+                    algorithm=name,
+                    parameters={"n": instance.node_count, "delta": delta},
+                    measurements={
+                        "mean_size": summary.mean,
+                        "min_size": summary.minimum,
+                        "max_size": summary.maximum,
+                        "lp_optimum": lp_optimum,
+                        "mean_ratio_vs_lp": summary.mean / lp_optimum
+                        if lp_optimum > 0
+                        else float("nan"),
+                    },
+                )
+            )
+    return records

@@ -1,0 +1,119 @@
+"""Trial statistics for randomized experiments.
+
+Theorem 3 and Theorem 6 are statements about *expected* dominating set
+sizes, so their reproduction averages over repeated rounding trials.  This
+module provides the small statistical toolkit the benchmarks use: means,
+sample standard deviations, normal-approximation confidence intervals, and a
+``summarize`` helper that turns a list of observations into a compact
+record.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Summary of one sample of repeated measurements.
+
+    Attributes
+    ----------
+    count:
+        Number of observations.
+    mean:
+        Sample mean.
+    std:
+        Sample standard deviation (ddof = 1; 0 for a single observation).
+    minimum, maximum:
+        Extremes of the sample.
+    ci_low, ci_high:
+        Normal-approximation 95% confidence interval for the mean.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot average an empty sample")
+    return float(sum(values) / len(values))
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Sample standard deviation with ddof = 1 (0 for single observations)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot compute the deviation of an empty sample")
+    if len(values) == 1:
+        return 0.0
+    sample_mean = mean(values)
+    variance = sum((value - sample_mean) ** 2 for value in values) / (len(values) - 1)
+    return math.sqrt(variance)
+
+
+def confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    Parameters
+    ----------
+    values:
+        The sample.
+    z:
+        Critical value (1.96 for a 95% interval).
+
+    Returns
+    -------
+    tuple[float, float]
+        (low, high); degenerate (mean, mean) for single observations.
+    """
+    values = list(values)
+    sample_mean = mean(values)
+    if len(values) == 1:
+        return (sample_mean, sample_mean)
+    half_width = z * sample_std(values) / math.sqrt(len(values))
+    return (sample_mean - half_width, sample_mean + half_width)
+
+
+def summarize(values: Iterable[float]) -> SummaryStatistics:
+    """Build a :class:`SummaryStatistics` record from raw observations."""
+    values = [float(value) for value in values]
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    low, high = confidence_interval(values)
+    return SummaryStatistics(
+        count=len(values),
+        mean=mean(values),
+        std=sample_std(values),
+        minimum=min(values),
+        maximum=max(values),
+        ci_low=low,
+        ci_high=high,
+    )
+
+
+def ratio_of_means(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """mean(numerators) / mean(denominators), the standard ratio estimator.
+
+    Used for approximation ratios averaged over instances: averaging ratios
+    directly over-weights tiny instances, while the ratio of means matches
+    how the paper's aggregate guarantees are stated.
+    """
+    if len(numerators) != len(denominators):
+        raise ValueError("samples must have equal length")
+    denominator_mean = mean(denominators)
+    if denominator_mean == 0:
+        raise ValueError("denominator mean is zero")
+    return mean(numerators) / denominator_mean

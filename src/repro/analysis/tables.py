@@ -1,0 +1,96 @@
+"""ASCII tables and series rendering for benchmark output.
+
+The benchmarks print the rows/series the paper's claims correspond to;
+these helpers keep that output consistent (fixed-width columns, stable
+number formatting) so EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_value(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, everything else ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{precision}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a list of record dictionaries as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        Record dictionaries (all values must be renderable by
+        :func:`format_value`).
+    columns:
+        Column order; defaults to the keys of the first row.
+    precision:
+        Decimal places for floats.
+    title:
+        Optional title line printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table (no trailing newline).
+    """
+    if not rows:
+        return title or "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    rendered_rows = [
+        [format_value(row.get(column), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    header = render_line([str(column) for column in columns])
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(render_line(rendered) for rendered in rendered_rows)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, separator, body])
+    return "\n".join(parts)
+
+
+def render_series(
+    series: Mapping[Any, float], label: str = "value", precision: int = 3
+) -> str:
+    """Render a one-dimensional series (e.g. ratio vs. k) as aligned rows."""
+    rows = [
+        {"key": key, label: value} for key, value in series.items()
+    ]
+    return render_table(rows, columns=["key", label], precision=precision)
+
+
+def records_to_csv(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render records as CSV text (used by the CLI's ``--csv`` flag)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(column) for column in columns)]
+    for row in rows:
+        lines.append(",".join(format_value(row.get(column), precision=6) for column in columns))
+    return "\n".join(lines)

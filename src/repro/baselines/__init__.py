@@ -1,0 +1,69 @@
+"""Baseline algorithms the paper compares against (or builds on).
+
+* :mod:`~repro.baselines.greedy` -- the classical sequential greedy
+  dominating set algorithm (ln Δ approximation), including a weighted
+  variant.
+* :mod:`~repro.baselines.greedy_set_cover` -- greedy set cover, the
+  generalisation the paper's related-work discussion references.
+* :mod:`~repro.baselines.exact` -- exact MDS via branch and bound, used as
+  ground truth on small graphs.
+* :mod:`~repro.baselines.lp_rounding_central` -- optimal LP solution (α = 1)
+  rounded with distributed Algorithm 1.
+* :mod:`~repro.baselines.jia_rajaraman_suel` -- the LRG algorithm of Jia,
+  Rajaraman and Suel (PODC 2001), the paper's main distributed comparator.
+* :mod:`~repro.baselines.wu_li` -- the Wu–Li constant-round marking
+  algorithm (no non-trivial ratio guarantee).
+* :mod:`~repro.baselines.trivial` -- the O(Δ) trivial baselines.
+"""
+
+from repro.baselines.exact import (
+    ExactResult,
+    SearchBudgetExceeded,
+    exact_minimum_dominating_set,
+    exact_optimum_size,
+)
+from repro.baselines.greedy import (
+    greedy_dominating_set,
+    greedy_span_sequence,
+    greedy_weighted_dominating_set,
+)
+from repro.baselines.greedy_set_cover import (
+    greedy_guarantee,
+    greedy_set_cover,
+    greedy_set_cover_dominating_set,
+    harmonic_number,
+)
+from repro.baselines.jia_rajaraman_suel import LRGResult, lrg_dominating_set
+from repro.baselines.lp_rounding_central import (
+    CentralLPRoundingResult,
+    central_lp_rounding_dominating_set,
+)
+from repro.baselines.trivial import (
+    all_nodes_dominating_set,
+    maximal_independent_set_dominating_set,
+    random_dominating_set,
+)
+from repro.baselines.wu_li import WuLiResult, wu_li_dominating_set
+
+__all__ = [
+    "CentralLPRoundingResult",
+    "ExactResult",
+    "LRGResult",
+    "SearchBudgetExceeded",
+    "WuLiResult",
+    "all_nodes_dominating_set",
+    "central_lp_rounding_dominating_set",
+    "exact_minimum_dominating_set",
+    "exact_optimum_size",
+    "greedy_dominating_set",
+    "greedy_guarantee",
+    "greedy_set_cover",
+    "greedy_set_cover_dominating_set",
+    "greedy_span_sequence",
+    "greedy_weighted_dominating_set",
+    "harmonic_number",
+    "lrg_dominating_set",
+    "maximal_independent_set_dominating_set",
+    "random_dominating_set",
+    "wu_li_dominating_set",
+]

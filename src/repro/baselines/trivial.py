@@ -1,0 +1,76 @@
+"""Trivial baselines: the O(Δ) "all nodes" solution and randomized filling.
+
+The paper calls an approximation ratio *trivial* when it is O(Δ): the set V
+of all nodes is always dominating and is at most (Δ+1) times larger than an
+optimal dominating set (every dominator covers at most Δ+1 nodes).  These
+baselines anchor the comparison benchmarks: any algorithm worth running must
+beat them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+import networkx as nx
+
+from repro.domset.validation import uncovered_nodes
+from repro.graphs.utils import validate_simple_graph
+
+
+def all_nodes_dominating_set(graph: nx.Graph) -> frozenset:
+    """The trivial dominating set V (ratio at most Δ+1)."""
+    validate_simple_graph(graph)
+    return frozenset(graph.nodes())
+
+
+def random_dominating_set(graph: nx.Graph, seed: int | None = None) -> frozenset:
+    """Add uniformly random nodes until the set dominates the graph.
+
+    This is the "no coordination at all" baseline: it makes no use of the
+    graph structure beyond checking domination, and typically lands between
+    the greedy solution and the all-nodes solution.
+    """
+    validate_simple_graph(graph)
+    rng = random.Random(seed)
+    order = list(graph.nodes())
+    rng.shuffle(order)
+
+    chosen: set[Hashable] = set()
+    uncovered = set(graph.nodes())
+    for node in order:
+        if not uncovered:
+            break
+        if node in uncovered or not uncovered.isdisjoint(graph.neighbors(node)):
+            chosen.add(node)
+            uncovered.discard(node)
+            uncovered.difference_update(graph.neighbors(node))
+    # Any remaining uncovered nodes (possible when the shuffle exhausts the
+    # list while skipping useless nodes) join directly.
+    chosen |= uncovered_nodes(graph, chosen)
+    return frozenset(chosen)
+
+
+def maximal_independent_set_dominating_set(
+    graph: nx.Graph, seed: int | None = None
+) -> frozenset:
+    """A dominating set obtained from a (greedy) maximal independent set.
+
+    Every maximal independent set is a dominating set; this baseline is the
+    classical "clustering by MIS" heuristic used in ad-hoc networks.  It is
+    not one of the paper's comparators but is a natural additional reference
+    point for the ad-hoc clustering example.
+    """
+    validate_simple_graph(graph)
+    rng = random.Random(seed)
+    order = list(graph.nodes())
+    rng.shuffle(order)
+    independent: set[Hashable] = set()
+    blocked: set[Hashable] = set()
+    for node in order:
+        if node in blocked:
+            continue
+        independent.add(node)
+        blocked.add(node)
+        blocked.update(graph.neighbors(node))
+    return frozenset(independent)

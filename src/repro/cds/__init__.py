@@ -1,0 +1,36 @@
+"""Connected dominating set (CDS) extension.
+
+The paper's related-work section repeatedly refers to the *connected*
+dominating set problem (Guha–Khuller's (ln Δ + O(1)) approximation, the
+Dubhashi et al. distributed algorithm, Wu–Li's marking scheme): in ad-hoc
+routing the cluster heads usually need to form a connected backbone so that
+inter-cluster traffic never leaves the dominating set.
+
+This package extends the reproduction with the standard constructions:
+
+* :mod:`~repro.cds.validation` -- what it means to be a CDS, plus backbone
+  statistics used by the examples.
+* :mod:`~repro.cds.connectify` -- turn any dominating set (e.g. the output
+  of the Kuhn–Wattenhofer pipeline) into a connected one by adding
+  connector nodes along shortest paths; because any two adjacent clusters
+  have dominators within distance 3, at most 2 connectors are added per
+  merge, so |CDS| ≤ 3·|DS| for connected graphs.
+* :mod:`~repro.cds.guha_khuller` -- the classical centralized greedy CDS
+  baseline the paper cites ([10] Guha & Khuller).
+
+This is an extension beyond the paper's own contribution; it is exercised
+by its own tests and by the ``examples/adhoc_clustering.py`` backbone
+statistics, and documented as such in DESIGN.md.
+"""
+
+from repro.cds.connectify import connect_dominating_set, kw_connected_dominating_set
+from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
+from repro.cds.validation import backbone_statistics, is_connected_dominating_set
+
+__all__ = [
+    "backbone_statistics",
+    "connect_dominating_set",
+    "guha_khuller_connected_dominating_set",
+    "is_connected_dominating_set",
+    "kw_connected_dominating_set",
+]

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Installed as ``repro-domset`` (see ``pyproject.toml``); also runnable as
+``python -m repro``.  Sub-commands:
+
+* ``solve``   -- run the Kuhn–Wattenhofer pipeline on one generated graph
+  and print the dominating set plus its quality report.
+* ``compare`` -- run the pipeline and every baseline on one graph and print
+  a comparison table.
+* ``sweep``   -- sweep the locality parameter k for the fractional
+  algorithms on one graph and print ratio / round tables.
+* ``bounds``  -- print the paper's closed-form bounds for given (k, Δ).
+
+The CLI exists so that the examples in the README are runnable end to end
+without writing Python; all heavy lifting is delegated to the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.bounds import (
+    algorithm2_approximation_bound,
+    algorithm2_round_bound,
+    algorithm3_approximation_bound,
+    algorithm3_round_bound,
+    pipeline_expected_ratio_bound,
+    rounding_expectation_bound,
+)
+from repro.analysis.experiment import as_instances, compare_algorithms, sweep_fractional
+from repro.analysis.tables import records_to_csv, render_table
+from repro.baselines.greedy import greedy_dominating_set
+from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
+from repro.baselines.lp_rounding_central import central_lp_rounding_dominating_set
+from repro.baselines.trivial import random_dominating_set
+from repro.baselines.wu_li import wu_li_dominating_set
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    kuhn_wattenhofer_dominating_set,
+)
+from repro.domset.quality import quality_report
+from repro.graphs.generators import GraphFamily, make_graph
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every sub-command that generates a graph."""
+    parser.add_argument(
+        "--family",
+        choices=[family.value for family in GraphFamily],
+        default=GraphFamily.UNIT_DISK.value,
+        help="graph family to generate (default: unit_disk)",
+    )
+    parser.add_argument("--n", type=int, default=80, help="number of nodes")
+    parser.add_argument(
+        "--radius", type=float, default=0.18, help="unit disk transmission radius"
+    )
+    parser.add_argument(
+        "--p", type=float, default=0.05, help="edge probability (Erdős–Rényi)"
+    )
+    parser.add_argument("--degree", type=int, default=6, help="degree (random regular)")
+    parser.add_argument("--seed", type=int, default=0, help="randomness seed")
+
+
+def _build_graph(args: argparse.Namespace):
+    return make_graph(
+        args.family,
+        seed=args.seed,
+        n=args.n,
+        radius=args.radius,
+        p=args.p,
+        degree=args.degree,
+    )
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    variant = FractionalVariant(args.variant)
+    result = kuhn_wattenhofer_dominating_set(
+        graph, k=args.k, seed=args.seed, variant=variant
+    )
+    report = quality_report(graph, result.dominating_set, solve_lp=not args.no_lp)
+    payload = {
+        "n": graph.number_of_nodes(),
+        "max_degree": result.max_degree,
+        "k": result.k,
+        "dominating_set_size": result.size,
+        "total_rounds": result.total_rounds,
+        "total_messages": result.total_messages,
+        "max_message_bits": result.max_message_bits,
+        "lp_optimum": report.lp_optimum,
+        "ratio_vs_lp": report.ratio_vs_lp,
+        "dual_lower_bound": report.dual_lower_bound,
+        "ratio_vs_dual": report.ratio_vs_dual,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_table([payload], title="Kuhn-Wattenhofer pipeline"))
+        if args.show_set:
+            print("dominating set:", sorted(result.dominating_set))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    instances = as_instances({"instance": graph})
+    algorithms = {
+        "kuhn-wattenhofer": lambda g, s: kuhn_wattenhofer_dominating_set(
+            g, k=args.k, seed=s
+        ).dominating_set,
+        "greedy": lambda g, s: greedy_dominating_set(g),
+        "lrg (jia et al.)": lambda g, s: lrg_dominating_set(g, seed=s).dominating_set,
+        "wu-li": lambda g, s: wu_li_dominating_set(g, seed=s).dominating_set,
+        "central LP + rounding": lambda g, s: central_lp_rounding_dominating_set(
+            g, seed=s
+        ).dominating_set,
+        "random fill": lambda g, s: random_dominating_set(g, seed=s),
+    }
+    records = compare_algorithms(
+        instances, algorithms, trials=args.trials, seed=args.seed
+    )
+    rows = [record.as_row() for record in records]
+    if args.csv:
+        print(records_to_csv(rows))
+    else:
+        print(render_table(rows, title="Algorithm comparison"))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    instances = as_instances({"instance": graph})
+    k_values = list(range(1, args.max_k + 1))
+    variant = FractionalVariant(args.variant)
+    records = sweep_fractional(instances, k_values, variant=variant, seed=args.seed)
+    rows = [record.as_row() for record in records]
+    if args.csv:
+        print(records_to_csv(rows))
+    else:
+        print(render_table(rows, title=f"k sweep ({variant.value})"))
+    return 0
+
+
+def _command_bounds(args: argparse.Namespace) -> int:
+    rows = []
+    for k in range(1, args.max_k + 1):
+        rows.append(
+            {
+                "k": k,
+                "alg2_ratio_bound": algorithm2_approximation_bound(k, args.delta),
+                "alg2_rounds": algorithm2_round_bound(k),
+                "alg3_ratio_bound": algorithm3_approximation_bound(k, args.delta),
+                "alg3_rounds": algorithm3_round_bound(k),
+                "rounding_factor": rounding_expectation_bound(1.0, args.delta),
+                "pipeline_ratio_bound": pipeline_expected_ratio_bound(k, args.delta),
+            }
+        )
+    print(render_table(rows, title=f"Paper bounds for Δ = {args.delta}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-domset",
+        description=(
+            "Distributed dominating set approximation "
+            "(Kuhn & Wattenhofer, PODC 2003) -- reproduction CLI"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="run the full pipeline on one graph")
+    _add_graph_arguments(solve)
+    solve.add_argument("--k", type=int, default=None, help="locality parameter")
+    solve.add_argument(
+        "--variant",
+        choices=[variant.value for variant in FractionalVariant],
+        default=FractionalVariant.UNKNOWN_DELTA.value,
+    )
+    solve.add_argument("--json", action="store_true", help="print JSON instead of a table")
+    solve.add_argument("--show-set", action="store_true", help="print the selected nodes")
+    solve.add_argument(
+        "--no-lp", action="store_true", help="skip the LP optimum (faster on large graphs)"
+    )
+    solve.set_defaults(handler=_command_solve)
+
+    compare = subparsers.add_parser("compare", help="compare against all baselines")
+    _add_graph_arguments(compare)
+    compare.add_argument("--k", type=int, default=2)
+    compare.add_argument("--trials", type=int, default=3)
+    compare.add_argument("--csv", action="store_true")
+    compare.set_defaults(handler=_command_compare)
+
+    sweep = subparsers.add_parser("sweep", help="sweep the locality parameter k")
+    _add_graph_arguments(sweep)
+    sweep.add_argument("--max-k", type=int, default=5)
+    sweep.add_argument(
+        "--variant",
+        choices=[variant.value for variant in FractionalVariant],
+        default=FractionalVariant.KNOWN_DELTA.value,
+    )
+    sweep.add_argument("--csv", action="store_true")
+    sweep.set_defaults(handler=_command_sweep)
+
+    bounds = subparsers.add_parser("bounds", help="print the paper's closed-form bounds")
+    bounds.add_argument("--delta", type=int, default=16)
+    bounds.add_argument("--max-k", type=int, default=6)
+    bounds.set_defaults(handler=_command_bounds)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""The paper's primary contribution: distributed MDS approximation.
+
+Public API:
+
+* :func:`~repro.core.kuhn_wattenhofer.kuhn_wattenhofer_dominating_set` --
+  the end-to-end pipeline (Theorem 6): distributed LP approximation followed
+  by randomized rounding.
+* :func:`~repro.core.fractional.approximate_fractional_mds` -- Algorithm 2
+  (Δ known), a k(Δ+1)^{2/k}-approximation of LP_MDS in 2k² rounds.
+* :func:`~repro.core.fractional_unknown.approximate_fractional_mds_unknown_delta`
+  -- Algorithm 3 (Δ unknown), a k((Δ+1)^{1/k}+(Δ+1)^{2/k})-approximation in
+  4k² + O(k) rounds.
+* :func:`~repro.core.rounding.round_fractional_solution` -- Algorithm 1,
+  constant-round randomized rounding of any feasible fractional solution.
+* :func:`~repro.core.weighted.approximate_weighted_fractional_mds` -- the
+  weighted variant sketched in the remark after Theorem 4.
+* :mod:`~repro.core.invariants` -- runtime checks of Lemmas 2-7.
+"""
+
+from repro.core.fractional import (
+    Algorithm2Program,
+    FractionalResult,
+    approximate_fractional_mds,
+)
+from repro.core.fractional_unknown import (
+    Algorithm3Program,
+    approximate_fractional_mds_unknown_delta,
+)
+from repro.core.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_algorithm2_invariants,
+    check_algorithm3_invariants,
+)
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    PipelineResult,
+    kuhn_wattenhofer_dominating_set,
+    log_delta_parameter,
+)
+from repro.core.rounding import (
+    Algorithm1Program,
+    RoundingResult,
+    RoundingRule,
+    expected_join_probabilities,
+    round_fractional_solution,
+)
+from repro.core.weighted import (
+    WeightedFractionalResult,
+    WeightedPipelineResult,
+    approximate_weighted_fractional_mds,
+    weighted_kuhn_wattenhofer_dominating_set,
+)
+
+__all__ = [
+    "Algorithm1Program",
+    "Algorithm2Program",
+    "Algorithm3Program",
+    "FractionalResult",
+    "FractionalVariant",
+    "InvariantReport",
+    "InvariantViolation",
+    "PipelineResult",
+    "RoundingResult",
+    "RoundingRule",
+    "WeightedFractionalResult",
+    "WeightedPipelineResult",
+    "approximate_fractional_mds",
+    "approximate_fractional_mds_unknown_delta",
+    "approximate_weighted_fractional_mds",
+    "check_algorithm2_invariants",
+    "check_algorithm3_invariants",
+    "expected_join_probabilities",
+    "kuhn_wattenhofer_dominating_set",
+    "log_delta_parameter",
+    "round_fractional_solution",
+    "weighted_kuhn_wattenhofer_dominating_set",
+]

@@ -1,0 +1,342 @@
+"""Runtime verification of the paper's loop invariants (Lemmas 2-7).
+
+The approximation proofs of Theorems 4 and 5 rest on per-iteration
+invariants:
+
+* **Lemma 2 / Lemma 5** -- at the beginning of outer-loop iteration ℓ, every
+  node's dynamic degree satisfies δ̃(v_i) ≤ (Δ+1)^{(ℓ+1)/k}.
+* **Lemma 3 / Lemma 6** -- at the beginning of each inner-loop iteration,
+  the number of active nodes in any closed neighbourhood satisfies
+  a(v_i) ≤ (Δ+1)^{(m+1)/k}.
+* **Lemma 4** -- (Algorithm 2) at the end of each outer-loop iteration,
+  the redistributed dual weights satisfy z_i ≤ (Δ+1)^{-(ℓ-1)/k}.
+* **Lemma 7** -- (Algorithm 3) at the end of each outer-loop iteration,
+  z_i ≤ (1 + (Δ+1)^{1/k}) / γ⁽¹⁾(v_i)^{ℓ/(ℓ+1)}.
+
+The distributed algorithms do not need to compute the z-values -- they are
+an artifact of the analysis -- so the checkers here reconstruct them
+centrally from an execution trace: whenever a node raises its x-value, the
+increase is split equally among the z-values of the *white* nodes in its
+closed neighbourhood (exactly the bookkeeping used in the proofs).
+
+These checkers serve two purposes: they are exercised by property-based
+tests on random graphs (experiment E6), and they double as debugging aids
+when modifying the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.core.fractional import WHITE
+from repro.graphs.utils import closed_neighborhood, max_degree
+from repro.simulator.trace import ExecutionTrace
+
+#: Numerical slack applied to every invariant comparison.  The invariants
+#: are exact in rational arithmetic; floating-point exponentiation introduces
+#: errors on the order of 1e-12 which must not produce spurious violations.
+TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One violated invariant instance."""
+
+    lemma: str
+    node_id: Hashable
+    ell: int
+    m: int | None
+    observed: float
+    bound: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        location = f"ell={self.ell}" + (f", m={self.m}" if self.m is not None else "")
+        return (
+            f"{self.lemma} violated at node {self.node_id} ({location}): "
+            f"observed {self.observed:.6g} > bound {self.bound:.6g}"
+        )
+
+
+@dataclass
+class InvariantReport:
+    """Aggregated verdict of an invariant-checking pass."""
+
+    checked: int = 0
+    violations: list[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every checked invariant held."""
+        return not self.violations
+
+    def merge(self, other: "InvariantReport") -> "InvariantReport":
+        """Combine two reports (used to aggregate per-lemma results)."""
+        return InvariantReport(
+            checked=self.checked + other.checked,
+            violations=[*self.violations, *other.violations],
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Trace helpers                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def _inner_loop_events(trace: ExecutionTrace) -> dict[tuple[int, int], dict[Hashable, dict]]:
+    """Group ``inner-loop`` events by (ell, m) then node id."""
+    grouped: dict[tuple[int, int], dict[Hashable, dict]] = {}
+    for event in trace.events(kind="inner-loop"):
+        key = (event.data["ell"], event.data["m"])
+        grouped.setdefault(key, {})[event.node_id] = dict(event.data)
+    return grouped
+
+
+def _outer_start_events(trace: ExecutionTrace) -> dict[int, dict[Hashable, dict]]:
+    """Group ``outer-loop-start`` events by ell then node id."""
+    grouped: dict[int, dict[Hashable, dict]] = {}
+    for event in trace.events(kind="outer-loop-start"):
+        grouped.setdefault(event.data["ell"], {})[event.node_id] = dict(event.data)
+    return grouped
+
+
+def _iteration_order(k: int) -> list[tuple[int, int]]:
+    """(ell, m) pairs in execution order (both loops count down)."""
+    return [(ell, m) for ell in range(k - 1, -1, -1) for m in range(k - 1, -1, -1)]
+
+
+def _reconstruct_z_values(
+    graph: nx.Graph,
+    trace: ExecutionTrace,
+    k: int,
+) -> dict[int, dict[Hashable, float]]:
+    """Reconstruct the analysis-only z-values per outer-loop iteration.
+
+    Returns a mapping ``ell -> {node: z_value at the end of iteration ell}``.
+    The z-values are reset to zero at the start of every outer-loop
+    iteration, exactly as in the proofs of Lemmas 4 and 7.
+    """
+    inner = _inner_loop_events(trace)
+    previous_x: dict[Hashable, float] = {node: 0.0 for node in graph.nodes()}
+    z_per_ell: dict[int, dict[Hashable, float]] = {}
+
+    for ell in range(k - 1, -1, -1):
+        z_values = {node: 0.0 for node in graph.nodes()}
+        for m in range(k - 1, -1, -1):
+            events = inner.get((ell, m), {})
+            # Determine which nodes are white *before* this iteration's
+            # x-increases: the colour recorded in the event is the node's
+            # colour at the start of the iteration.
+            white_nodes = {
+                node
+                for node, data in events.items()
+                if data.get("color") == WHITE
+            }
+            for node, data in events.items():
+                new_x = float(data["x"])
+                increase = new_x - previous_x.get(node, 0.0)
+                if increase > TOLERANCE:
+                    recipients = [
+                        neighbor
+                        for neighbor in closed_neighborhood(graph, node)
+                        if neighbor in white_nodes
+                    ]
+                    if recipients:
+                        share = increase / len(recipients)
+                        for neighbor in recipients:
+                            z_values[neighbor] += share
+                previous_x[node] = new_x
+        z_per_ell[ell] = z_values
+    return z_per_ell
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 2 / Lemma 5: dynamic-degree invariant at outer-loop start              #
+# --------------------------------------------------------------------------- #
+
+
+def check_dynamic_degree_invariant(
+    graph: nx.Graph, trace: ExecutionTrace, k: int, lemma: str = "Lemma 2"
+) -> InvariantReport:
+    """Check δ̃(v_i) ≤ (Δ+1)^{(ℓ+1)/k} at the start of every outer iteration."""
+    delta = max_degree(graph)
+    base = delta + 1.0
+    report = InvariantReport()
+    for ell, events in _outer_start_events(trace).items():
+        bound = base ** ((ell + 1) / k)
+        for node, data in events.items():
+            report.checked += 1
+            observed = float(data["dynamic_degree"])
+            if observed > bound + TOLERANCE:
+                report.violations.append(
+                    InvariantViolation(
+                        lemma=lemma,
+                        node_id=node,
+                        ell=ell,
+                        m=None,
+                        observed=observed,
+                        bound=bound,
+                    )
+                )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 3 / Lemma 6: active-count invariant inside the inner loop              #
+# --------------------------------------------------------------------------- #
+
+
+def check_active_count_invariant(
+    graph: nx.Graph, trace: ExecutionTrace, k: int, lemma: str = "Lemma 3"
+) -> InvariantReport:
+    """Check a(v_i) ≤ (Δ+1)^{(m+1)/k} at the start of every inner iteration.
+
+    For Algorithm 2 traces the active count a(v_i) is reconstructed from the
+    per-node ``active`` flags (the algorithm itself never computes it); for
+    Algorithm 3 traces the recorded ``a_value`` is used directly when
+    present, so the check also validates the value the algorithm actually
+    exchanged.
+    """
+    delta = max_degree(graph)
+    base = delta + 1.0
+    report = InvariantReport()
+    for (ell, m), events in _inner_loop_events(trace).items():
+        bound = base ** ((m + 1) / k)
+        active_nodes = {
+            node for node, data in events.items() if data.get("active")
+        }
+        for node, data in events.items():
+            report.checked += 1
+            if "a_value" in data:
+                observed = float(data["a_value"])
+            elif data.get("color") != WHITE:
+                observed = 0.0
+            else:
+                observed = float(
+                    sum(
+                        1
+                        for neighbor in closed_neighborhood(graph, node)
+                        if neighbor in active_nodes
+                    )
+                )
+            if observed > bound + TOLERANCE:
+                report.violations.append(
+                    InvariantViolation(
+                        lemma=lemma,
+                        node_id=node,
+                        ell=ell,
+                        m=m,
+                        observed=observed,
+                        bound=bound,
+                    )
+                )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 4: z-value invariant for Algorithm 2                                   #
+# --------------------------------------------------------------------------- #
+
+
+def check_z_invariant_known_delta(
+    graph: nx.Graph, trace: ExecutionTrace, k: int
+) -> InvariantReport:
+    """Check z_i ≤ (Δ+1)^{-(ℓ-1)/k} at the end of every outer iteration."""
+    delta = max_degree(graph)
+    base = delta + 1.0
+    report = InvariantReport()
+    for ell, z_values in _reconstruct_z_values(graph, trace, k).items():
+        bound = base ** (-(ell - 1) / k)
+        for node, observed in z_values.items():
+            report.checked += 1
+            if observed > bound + TOLERANCE:
+                report.violations.append(
+                    InvariantViolation(
+                        lemma="Lemma 4",
+                        node_id=node,
+                        ell=ell,
+                        m=None,
+                        observed=observed,
+                        bound=bound,
+                    )
+                )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 7: z-value invariant for Algorithm 3                                   #
+# --------------------------------------------------------------------------- #
+
+
+def check_z_invariant_unknown_delta(
+    graph: nx.Graph, trace: ExecutionTrace, k: int
+) -> InvariantReport:
+    """Check z_i ≤ (1 + (Δ+1)^{1/k}) / γ⁽¹⁾(v_i)^{ℓ/(ℓ+1)} per outer iteration.
+
+    γ⁽¹⁾(v_i) is the maximum dynamic degree over the closed neighbourhood of
+    v_i at the *beginning* of the outer-loop iteration, reconstructed from
+    the ``outer-loop-start`` trace events.
+    """
+    delta = max_degree(graph)
+    base = delta + 1.0
+    report = InvariantReport()
+    outer_starts = _outer_start_events(trace)
+    z_per_ell = _reconstruct_z_values(graph, trace, k)
+    for ell, z_values in z_per_ell.items():
+        start_events = outer_starts.get(ell, {})
+        if not start_events:
+            continue
+        dynamic_at_start = {
+            node: float(data["dynamic_degree"]) for node, data in start_events.items()
+        }
+        for node, observed in z_values.items():
+            report.checked += 1
+            gamma_one = max(
+                dynamic_at_start.get(neighbor, 0.0)
+                for neighbor in closed_neighborhood(graph, node)
+            )
+            gamma_one = max(gamma_one, 1.0)
+            bound = (1.0 + base ** (1.0 / k)) / gamma_one ** (ell / (ell + 1))
+            if observed > bound + TOLERANCE:
+                report.violations.append(
+                    InvariantViolation(
+                        lemma="Lemma 7",
+                        node_id=node,
+                        ell=ell,
+                        m=None,
+                        observed=observed,
+                        bound=bound,
+                    )
+                )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Aggregate checkers                                                            #
+# --------------------------------------------------------------------------- #
+
+
+def check_algorithm2_invariants(
+    graph: nx.Graph, trace: ExecutionTrace, k: int
+) -> InvariantReport:
+    """Check Lemmas 2, 3 and 4 against an Algorithm 2 execution trace."""
+    report = check_dynamic_degree_invariant(graph, trace, k, lemma="Lemma 2")
+    report = report.merge(
+        check_active_count_invariant(graph, trace, k, lemma="Lemma 3")
+    )
+    report = report.merge(check_z_invariant_known_delta(graph, trace, k))
+    return report
+
+
+def check_algorithm3_invariants(
+    graph: nx.Graph, trace: ExecutionTrace, k: int
+) -> InvariantReport:
+    """Check Lemmas 5, 6 and 7 against an Algorithm 3 execution trace."""
+    report = check_dynamic_degree_invariant(graph, trace, k, lemma="Lemma 5")
+    report = report.merge(
+        check_active_count_invariant(graph, trace, k, lemma="Lemma 6")
+    )
+    report = report.merge(check_z_invariant_unknown_delta(graph, trace, k))
+    return report

@@ -1,0 +1,189 @@
+"""The end-to-end Kuhn–Wattenhofer dominating set pipeline (Theorem 6).
+
+The paper's headline result composes the two building blocks:
+
+1. run a distributed fractional approximation of LP_MDS
+   (Algorithm 3 when Δ is unknown; Algorithm 2 when it is known), then
+2. round the fractional solution with Algorithm 1.
+
+Theorem 6: the expected size of the resulting dominating set is
+``O(k · Δ^{2/k} · log Δ) · |DS_OPT|`` and the whole computation takes
+``O(k²)`` rounds with per-node message complexity ``O(k² Δ)`` and message
+size ``O(log Δ)``.
+
+Setting ``k = Θ(log Δ)`` (final remark of the paper) yields an
+``O(log² Δ)`` approximation in ``O(log² Δ)`` rounds;
+:func:`log_delta_parameter` computes that choice of k.
+
+This module is the main public entry point of the library:
+:func:`kuhn_wattenhofer_dominating_set` runs the full pipeline and returns a
+validated dominating set together with every statistic the benchmarks need.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+from repro.core.fractional import FractionalResult, approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_solution
+from repro.domset.validation import is_dominating_set
+from repro.graphs.utils import max_degree, validate_simple_graph
+from repro.lp.feasibility import check_primal_feasible
+from repro.lp.formulation import build_lp
+
+
+class FractionalVariant(str, enum.Enum):
+    """Which distributed LP approximation feeds the rounding step."""
+
+    #: Algorithm 2 -- assumes every node knows the global maximum degree Δ.
+    KNOWN_DELTA = "known_delta"
+    #: Algorithm 3 -- uses only 2-hop-local information (the default).
+    UNKNOWN_DELTA = "unknown_delta"
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything produced by one end-to-end pipeline execution.
+
+    Attributes
+    ----------
+    dominating_set:
+        The final (validated) dominating set.
+    fractional:
+        The result of the LP approximation phase.
+    rounding:
+        The result of the randomized rounding phase.
+    total_rounds:
+        Rounds used by both phases combined.
+    total_messages:
+        Messages sent by both phases combined.
+    max_message_bits:
+        Largest message payload observed across both phases.
+    k:
+        Locality parameter used.
+    max_degree:
+        Maximum degree Δ of the input graph.
+    """
+
+    dominating_set: frozenset
+    fractional: FractionalResult
+    rounding: RoundingResult
+    total_rounds: int
+    total_messages: int
+    max_message_bits: int
+    k: int
+    max_degree: int
+
+    @property
+    def size(self) -> int:
+        """|DS| of the final dominating set."""
+        return len(self.dominating_set)
+
+
+def log_delta_parameter(delta: int) -> int:
+    """The k = Θ(log Δ) choice from the paper's final remark.
+
+    We use ``k = max(1, ⌈ln(Δ + 1)⌉)``, which makes ``(Δ+1)^{1/k} ≤ e`` and
+    therefore turns the Theorem-5 ratio into ``O(log Δ)`` and the Theorem-6
+    ratio into ``O(log² Δ)``.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    return max(1, math.ceil(math.log(delta + 1.0)))
+
+
+def kuhn_wattenhofer_dominating_set(
+    graph: nx.Graph,
+    k: int | None = None,
+    seed: int | None = None,
+    variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
+    rounding_rule: RoundingRule = RoundingRule.LOG,
+    collect_trace: bool = False,
+) -> PipelineResult:
+    """Compute a dominating set with the full Kuhn–Wattenhofer pipeline.
+
+    Parameters
+    ----------
+    graph:
+        The network graph (undirected, simple, non-empty).
+    k:
+        Locality parameter.  ``None`` selects the paper's
+        ``k = Θ(log Δ)`` default (:func:`log_delta_parameter`).
+    seed:
+        Seed for the randomized rounding coin flips (and for per-node
+        generators in general).
+    variant:
+        Which fractional algorithm to use (Algorithm 2 or Algorithm 3).
+    rounding_rule:
+        Probability multiplier for Algorithm 1.
+    collect_trace:
+        Record an execution trace of the fractional phase (needed for
+        invariant checking; adds memory overhead).
+
+    Returns
+    -------
+    PipelineResult
+
+    Raises
+    ------
+    RuntimeError
+        If the fractional phase produced an infeasible LP solution or the
+        final set fails validation -- both indicate an implementation bug
+        and are checked on every call precisely because the paper's
+        correctness argument relies on them.
+    """
+    validate_simple_graph(graph)
+    delta = max_degree(graph)
+    if k is None:
+        k = log_delta_parameter(delta)
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+    if variant is FractionalVariant.KNOWN_DELTA:
+        fractional = approximate_fractional_mds(
+            graph, k=k, seed=seed, collect_trace=collect_trace
+        )
+    else:
+        fractional = approximate_fractional_mds_unknown_delta(
+            graph, k=k, seed=seed, collect_trace=collect_trace
+        )
+
+    lp = build_lp(graph)
+    if not check_primal_feasible(lp, fractional.x, tolerance=1e-7):
+        raise RuntimeError(
+            "fractional phase returned an infeasible LP solution; "
+            "this indicates a bug in the distributed algorithm"
+        )
+
+    rounding = round_fractional_solution(
+        graph,
+        fractional.x,
+        seed=seed,
+        rule=rounding_rule,
+        require_feasible=False,  # already checked above
+    )
+    if not is_dominating_set(graph, rounding.dominating_set):
+        raise RuntimeError(
+            "rounding phase returned a non-dominating set; "
+            "this indicates a bug in Algorithm 1's fallback step"
+        )
+
+    return PipelineResult(
+        dominating_set=rounding.dominating_set,
+        fractional=fractional,
+        rounding=rounding,
+        total_rounds=fractional.rounds + rounding.rounds,
+        total_messages=fractional.metrics.total_messages
+        + rounding.metrics.total_messages,
+        max_message_bits=max(
+            fractional.metrics.max_message_bits, rounding.metrics.max_message_bits
+        ),
+        k=k,
+        max_degree=delta,
+    )

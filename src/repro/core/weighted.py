@@ -1,0 +1,269 @@
+"""Weighted variant of Algorithm 2 (remark after Theorem 4).
+
+The paper sketches how Algorithm 2 generalises to the *weighted* fractional
+dominating set problem, where node v_i carries a cost c_i ∈ [1, c_max] and
+the objective is Σ c_i x_i:
+
+* define the cost-scaled dynamic degree ``γ̃(v_i) := (c_max / c_i) · δ̃(v_i)``,
+* call a node *active* when ``γ̃(v_i) ≥ [c_max (Δ+1)]^{ℓ/k}`` instead of
+  ``δ̃(v_i) ≥ (Δ+1)^{ℓ/k}``.
+
+With those changes the approximation ratio becomes
+``k (Δ+1)^{1/k} [c_max (Δ+1)]^{1/k}``.  The message pattern (and hence the
+2k² round count) is identical to the unweighted Algorithm 2.
+
+The weighted rounding step reuses Algorithm 1 unchanged -- randomized
+rounding is oblivious to the objective weights; only the analysis changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+from repro.core.fractional import GRAY, WHITE
+from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_solution
+from repro.domset.validation import is_dominating_set
+from repro.domset.weighted import validate_weights, weighted_cost
+from repro.graphs.utils import max_degree, validate_simple_graph
+from repro.simulator.metrics import ExecutionMetrics
+from repro.simulator.network import Network
+from repro.simulator.node import NodeContext
+from repro.simulator.runtime import SynchronousRunner
+from repro.simulator.script import GeneratorNodeProgram
+
+
+@dataclass(frozen=True)
+class WeightedFractionalResult:
+    """Output of the weighted fractional dominating set algorithm.
+
+    Attributes
+    ----------
+    x:
+        Per-node fractional values.
+    objective:
+        The weighted objective Σ c_i x_i.
+    unweighted_objective:
+        Σ x_i (useful for comparisons with the unweighted run).
+    rounds:
+        Rounds used by the execution.
+    metrics:
+        Message/round metrics.
+    k, max_degree, c_max:
+        Parameters the theoretical bound is stated in.
+    """
+
+    x: dict[Hashable, float]
+    objective: float
+    unweighted_objective: float
+    rounds: int
+    metrics: ExecutionMetrics
+    k: int
+    max_degree: int
+    c_max: float
+
+
+class WeightedAlgorithm2Program(GeneratorNodeProgram):
+    """Per-node program for the weighted variant of Algorithm 2.
+
+    Parameters
+    ----------
+    k:
+        Locality parameter.
+    delta:
+        Global maximum degree Δ (known to all nodes, as in Algorithm 2).
+    cost:
+        This node's cost c_i ∈ [1, c_max].
+    c_max:
+        The global maximum cost (known to all nodes; the weighted remark
+        treats it as a global constant analogous to Δ).
+    """
+
+    def __init__(self, k: int, delta: int, cost: float, c_max: float) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if cost < 1.0 or cost > c_max:
+            raise ValueError("cost must lie in [1, c_max]")
+        self.k = k
+        self.delta = delta
+        self.cost = float(cost)
+        self.c_max = float(c_max)
+        self.x = 0.0
+        self.color = WHITE
+        self.dynamic_degree = 0
+
+    def run(self, ctx: NodeContext):
+        k = self.k
+        base = self.delta + 1.0
+        weighted_base = self.c_max * base
+
+        self.x = 0.0
+        self.dynamic_degree = ctx.degree + 1
+        self.color = WHITE
+
+        for ell in range(k - 1, -1, -1):
+            for m in range(k - 1, -1, -1):
+                # Weighted activity rule from the remark: a node is active
+                # when its cost-scaled dynamic degree is large.
+                scaled_degree = (self.c_max / self.cost) * self.dynamic_degree
+                active = scaled_degree >= weighted_base ** (ell / k)
+                if active:
+                    self.x = max(self.x, 1.0 / base ** (m / k))
+
+                # Same proof-consistent exchange order as the unweighted
+                # Algorithm 2 implementation: x-values first, colours second.
+                inbox = yield ctx.send_all(self.x, tag="x-value")
+                neighbor_x = self.inbox_by_sender(inbox)
+                coverage = self.x + sum(neighbor_x.values())
+                if coverage >= 1.0:
+                    self.color = GRAY
+
+                inbox = yield ctx.send_all(self.color == WHITE, tag="color")
+                colors = self.inbox_by_sender(inbox)
+                white_neighbors = sum(1 for flag in colors.values() if flag)
+                self.dynamic_degree = white_neighbors + (
+                    1 if self.color == WHITE else 0
+                )
+
+        self._result = self.x
+        return self.x
+
+
+def approximate_weighted_fractional_mds(
+    graph: nx.Graph,
+    weights: Mapping[Hashable, float],
+    k: int,
+    seed: int | None = None,
+) -> WeightedFractionalResult:
+    """Run the weighted variant of Algorithm 2.
+
+    Parameters
+    ----------
+    graph:
+        The network graph.
+    weights:
+        Node costs c_i with 1 ≤ c_i ≤ c_max.
+    k:
+        Locality parameter; the remark's bound is
+        k(Δ+1)^{1/k}[c_max(Δ+1)]^{1/k}.
+    seed:
+        Seed for reproducibility bookkeeping (the algorithm is deterministic).
+
+    Returns
+    -------
+    WeightedFractionalResult
+    """
+    validate_simple_graph(graph)
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    c_max = float(max(weights[node] for node in graph.nodes()))
+    validate_weights(graph, weights, c_max=c_max)
+    delta = max_degree(graph)
+
+    def factory(node_id: int, network: Network) -> WeightedAlgorithm2Program:
+        return WeightedAlgorithm2Program(
+            k=k, delta=delta, cost=float(weights[node_id]), c_max=c_max
+        )
+
+    network = Network(graph, factory, seed=seed)
+    runner = SynchronousRunner(network, max_rounds=2 * k * k + 10)
+    execution = runner.run()
+    if not execution.terminated:
+        raise RuntimeError(
+            "weighted Algorithm 2 did not terminate within its round budget"
+        )
+
+    x = {node: float(value) for node, value in execution.results.items()}
+    weighted_objective = float(sum(weights[node] * x[node] for node in x))
+    return WeightedFractionalResult(
+        x=x,
+        objective=weighted_objective,
+        unweighted_objective=float(sum(x.values())),
+        rounds=execution.rounds,
+        metrics=execution.metrics,
+        k=k,
+        max_degree=delta,
+        c_max=c_max,
+    )
+
+
+@dataclass(frozen=True)
+class WeightedPipelineResult:
+    """Output of the weighted end-to-end pipeline.
+
+    Attributes
+    ----------
+    dominating_set:
+        The final (validated) dominating set.
+    cost:
+        Its total weighted cost Σ_{v ∈ DS} c_v.
+    fractional:
+        The weighted fractional phase result.
+    rounding:
+        The randomized rounding phase result.
+    total_rounds:
+        Rounds used by both phases combined.
+    """
+
+    dominating_set: frozenset
+    cost: float
+    fractional: WeightedFractionalResult
+    rounding: RoundingResult
+    total_rounds: int
+
+    @property
+    def size(self) -> int:
+        """|DS| of the final dominating set."""
+        return len(self.dominating_set)
+
+
+def weighted_kuhn_wattenhofer_dominating_set(
+    graph: nx.Graph,
+    weights: Mapping[Hashable, float],
+    k: int,
+    seed: int | None = None,
+    rounding_rule: RoundingRule = RoundingRule.LOG,
+) -> WeightedPipelineResult:
+    """End-to-end weighted pipeline: weighted Algorithm 2 + Algorithm 1.
+
+    The rounding step is identical to the unweighted case (the randomized
+    rounding analysis of Theorem 3 is oblivious to the objective weights);
+    only the fractional phase uses the cost-scaled activity rule from the
+    remark after Theorem 4.
+
+    Parameters
+    ----------
+    graph:
+        The network graph.
+    weights:
+        Node costs c_i with 1 ≤ c_i ≤ c_max.
+    k:
+        Locality parameter.
+    seed:
+        Seed for the rounding coin flips.
+    rounding_rule:
+        Probability multiplier for Algorithm 1.
+
+    Returns
+    -------
+    WeightedPipelineResult
+    """
+    fractional = approximate_weighted_fractional_mds(graph, weights, k=k, seed=seed)
+    rounding = round_fractional_solution(
+        graph, fractional.x, seed=seed, rule=rounding_rule, require_feasible=True
+    )
+    if not is_dominating_set(graph, rounding.dominating_set):
+        raise RuntimeError(
+            "weighted pipeline produced a non-dominating set; "
+            "this indicates a bug in Algorithm 1's fallback step"
+        )
+    return WeightedPipelineResult(
+        dominating_set=rounding.dominating_set,
+        cost=weighted_cost(weights, rounding.dominating_set),
+        fractional=fractional,
+        rounding=rounding,
+        total_rounds=fractional.rounds + rounding.rounds,
+    )

@@ -1,0 +1,29 @@
+"""Dominating-set utilities: validation, quality reporting, weighted variant.
+
+* :mod:`~repro.domset.validation` -- "is this set actually dominating?"
+  plus coverage maps and uncovered-node diagnostics.
+* :mod:`~repro.domset.quality` -- approximation-ratio reports against the
+  exact optimum, the LP optimum and the Lemma-1 dual bound.
+* :mod:`~repro.domset.weighted` -- weighted dominating set cost and
+  validation helpers for the weighted variant.
+"""
+
+from repro.domset.quality import QualityReport, quality_report
+from repro.domset.validation import (
+    coverage_counts,
+    dominated_by,
+    is_dominating_set,
+    uncovered_nodes,
+)
+from repro.domset.weighted import weighted_cost, weighted_quality
+
+__all__ = [
+    "QualityReport",
+    "coverage_counts",
+    "dominated_by",
+    "is_dominating_set",
+    "quality_report",
+    "uncovered_nodes",
+    "weighted_cost",
+    "weighted_quality",
+]

@@ -1,0 +1,87 @@
+"""Dominating set validation.
+
+A set S ⊆ V dominates G when every node is in S or adjacent to a node of S
+(equivalently: every *closed* neighbourhood intersects S).  These checks are
+used pervasively -- every algorithm's output is validated before any quality
+number is reported.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.graphs.utils import closed_neighborhood
+
+
+def is_dominating_set(graph: nx.Graph, candidate: Iterable[Hashable]) -> bool:
+    """Whether ``candidate`` dominates every node of ``graph``.
+
+    Nodes in ``candidate`` that are not part of the graph are rejected with
+    ``ValueError`` -- passing a stale set from a different graph is always a
+    bug worth surfacing immediately.
+    """
+    members = set(candidate)
+    unknown = members - set(graph.nodes())
+    if unknown:
+        raise ValueError(f"candidate contains nodes not in the graph: {sorted(unknown)[:5]}")
+    return len(uncovered_nodes(graph, members)) == 0
+
+
+def uncovered_nodes(graph: nx.Graph, candidate: Iterable[Hashable]) -> set[Hashable]:
+    """Nodes whose closed neighbourhood contains no member of ``candidate``."""
+    members = set(candidate)
+    uncovered = set()
+    for node in graph.nodes():
+        if node in members:
+            continue
+        if members.isdisjoint(graph.neighbors(node)):
+            uncovered.add(node)
+    return uncovered
+
+
+def coverage_counts(graph: nx.Graph, candidate: Iterable[Hashable]) -> dict[Hashable, int]:
+    """For each node, how many dominators cover it (|N_i ∩ S|).
+
+    Coverage counts quantify redundancy: a minimal dominating set has many
+    nodes with count 1, while a heavily redundant set (e.g. the trivial
+    all-nodes set) has counts close to δ_i + 1.
+    """
+    members = set(candidate)
+    return {
+        node: len(members.intersection(closed_neighborhood(graph, node)))
+        for node in graph.nodes()
+    }
+
+
+def dominated_by(graph: nx.Graph, candidate: Iterable[Hashable]) -> dict[Hashable, set[Hashable]]:
+    """Map each node to the set of dominators covering it."""
+    members = set(candidate)
+    return {
+        node: members.intersection(closed_neighborhood(graph, node))
+        for node in graph.nodes()
+    }
+
+
+def prune_redundant(graph: nx.Graph, candidate: Iterable[Hashable]) -> frozenset:
+    """Greedily remove members whose removal keeps the set dominating.
+
+    This is a postprocessing utility (not part of the paper's algorithms);
+    it is used by examples to show how much slack a distributed solution
+    carries, and by tests as a sanity check that pruned sets stay dominating.
+    Members are examined in descending degree order so high-coverage nodes
+    are kept.
+    """
+    members = set(candidate)
+    if not is_dominating_set(graph, members):
+        raise ValueError("candidate must be dominating before pruning")
+    counts = coverage_counts(graph, members)
+    for node in sorted(members, key=lambda v: graph.degree(v)):
+        closed = closed_neighborhood(graph, node)
+        # node can be dropped iff every node it covers has another dominator.
+        if all(counts[covered] >= 2 for covered in closed):
+            members.remove(node)
+            for covered in closed:
+                counts[covered] -= 1
+    return frozenset(members)

@@ -1,0 +1,352 @@
+"""Synthetic graph families used by tests, examples and benchmarks.
+
+All generators return simple undirected :class:`networkx.Graph` objects with
+integer node labels ``0..n-1`` (the convention assumed by the LP formulation
+and the simulator).  Each generator accepts a ``seed`` where randomness is
+involved so that experiments are reproducible.
+
+The :func:`graph_suite` helper returns the standard collection of graphs the
+benchmarks sweep over; the :class:`GraphFamily` enumeration names them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+import random
+from typing import Callable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.graphs.unit_disk import random_unit_disk_graph
+from repro.graphs.utils import relabel_to_integers, validate_simple_graph
+
+
+class GraphFamily(str, enum.Enum):
+    """Named graph families used by the experiment sweeps."""
+
+    ERDOS_RENYI = "erdos_renyi"
+    RANDOM_REGULAR = "random_regular"
+    UNIT_DISK = "unit_disk"
+    GRID = "grid"
+    STAR = "star"
+    PATH = "path"
+    CYCLE = "cycle"
+    CATERPILLAR = "caterpillar"
+    POWER_LAW_TREE = "power_law_tree"
+    BOUNDED_DEGREE = "bounded_degree"
+    STAR_OF_CLIQUES = "star_of_cliques"
+    BIPARTITE = "bipartite"
+
+
+def erdos_renyi_graph(n: int, p: float, seed: int | None = None) -> nx.Graph:
+    """Erdős–Rényi G(n, p) graph, with isolated vertices kept.
+
+    Isolated vertices are legitimate inputs for dominating set (they must
+    dominate themselves), so they are *not* removed.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    return graph
+
+
+def random_regular_graph(n: int, degree: int, seed: int | None = None) -> nx.Graph:
+    """Random d-regular graph (requires ``n * degree`` even and degree < n)."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even for a regular graph to exist")
+    return nx.random_regular_graph(degree, n, seed=seed)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A rows × cols grid graph relabelled to integers."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    grid = nx.grid_2d_graph(rows, cols)
+    mapping = {node: index for index, node in enumerate(sorted(grid.nodes()))}
+    return nx.relabel_nodes(grid, mapping)
+
+
+def star_graph(leaves: int) -> nx.Graph:
+    """A star with one hub (node 0) and ``leaves`` leaves."""
+    if leaves < 0:
+        raise ValueError("leaves must be non-negative")
+    return nx.star_graph(leaves)
+
+
+def path_graph(n: int) -> nx.Graph:
+    """A simple path on n nodes."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return nx.path_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """A simple cycle on n ≥ 3 nodes."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> nx.Graph:
+    """A caterpillar: a path of length ``spine`` with pendant legs.
+
+    Caterpillars are a classical worst case for naive dominating-set
+    heuristics: the optimal solution is (roughly) the spine, while degree
+    heuristics can be lured onto the legs.
+    """
+    if spine <= 0:
+        raise ValueError("spine must be positive")
+    if legs_per_node < 0:
+        raise ValueError("legs_per_node must be non-negative")
+    graph = nx.path_graph(spine)
+    next_label = spine
+    for spine_node in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(spine_node, next_label)
+            next_label += 1
+    return graph
+
+
+def power_law_tree(n: int, gamma: float = 3.0, seed: int | None = None) -> nx.Graph:
+    """A random tree with a power-law degree sequence (heavy hubs).
+
+    Falls back to a random tree when networkx cannot realise the requested
+    power-law sequence for small n.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n <= 2:
+        return nx.path_graph(n)
+    try:
+        return nx.random_powerlaw_tree(n, gamma=gamma, seed=seed, tries=2000)
+    except nx.NetworkXError:
+        return nx.random_labeled_tree(n, seed=seed)
+
+
+def bounded_degree_graph(
+    n: int, max_degree: int, edge_probability: float = 0.5, seed: int | None = None
+) -> nx.Graph:
+    """A random graph whose maximum degree never exceeds ``max_degree``.
+
+    Edges are sampled in random order and accepted only when both endpoints
+    still have residual degree, which yields graphs with a controlled Δ --
+    exactly the parameter the paper's bounds are stated in.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if max_degree < 0:
+        raise ValueError("max_degree must be non-negative")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = nx.empty_graph(n)
+    candidate_edges = list(itertools.combinations(range(n), 2))
+    rng.shuffle(candidate_edges)
+    for u, v in candidate_edges:
+        if rng.random() > edge_probability:
+            continue
+        if graph.degree(u) < max_degree and graph.degree(v) < max_degree:
+            graph.add_edge(u, v)
+    return graph
+
+
+def clique_chain(cliques: int, clique_size: int) -> nx.Graph:
+    """A chain of cliques joined by single edges.
+
+    Each clique needs exactly one dominator, so |DS_OPT| = ``cliques``;
+    this gives graphs with a known optimum for ratio experiments.
+    """
+    if cliques <= 0 or clique_size <= 0:
+        raise ValueError("cliques and clique_size must be positive")
+    graph = nx.Graph()
+    for index in range(cliques):
+        offset = index * clique_size
+        members = range(offset, offset + clique_size)
+        graph.add_nodes_from(members)
+        graph.add_edges_from(itertools.combinations(members, 2))
+        if index > 0:
+            graph.add_edge(offset - clique_size, offset)
+    return graph
+
+
+def star_of_cliques(
+    arms: int, clique_size: int, arm_length: int = 1
+) -> nx.Graph:
+    """The layered construction used for the Figure-1 cascade experiment.
+
+    A central hub is connected to ``arms`` cliques of size ``clique_size``
+    through paths of ``arm_length`` relay nodes.  The hub has high degree
+    and each clique has locally high degree, so during Algorithm 2's inner
+    loop the hub and the clique centres become active at different
+    ``a(v)``-thresholds -- reproducing the cascade the paper's Figure 1
+    illustrates.
+    """
+    if arms <= 0 or clique_size <= 0 or arm_length < 0:
+        raise ValueError("arms, clique_size must be positive; arm_length >= 0")
+    graph = nx.Graph()
+    hub = 0
+    graph.add_node(hub)
+    next_label = 1
+    for _ in range(arms):
+        previous = hub
+        for _ in range(arm_length):
+            relay = next_label
+            next_label += 1
+            graph.add_edge(previous, relay)
+            previous = relay
+        members = list(range(next_label, next_label + clique_size))
+        next_label += clique_size
+        graph.add_nodes_from(members)
+        graph.add_edges_from(itertools.combinations(members, 2))
+        graph.add_edge(previous, members[0])
+    return graph
+
+
+def two_level_star(hub_fanout: int, leaf_fanout: int) -> nx.Graph:
+    """A two-level star: a hub whose children are themselves star centres.
+
+    |DS_OPT| equals ``hub_fanout`` (the middle layer, or hub + children
+    depending on fanouts), which makes greedy-vs-LP comparisons sharp.
+    """
+    if hub_fanout <= 0 or leaf_fanout < 0:
+        raise ValueError("hub_fanout must be positive, leaf_fanout non-negative")
+    graph = nx.Graph()
+    hub = 0
+    next_label = 1
+    for _ in range(hub_fanout):
+        middle = next_label
+        next_label += 1
+        graph.add_edge(hub, middle)
+        for _ in range(leaf_fanout):
+            graph.add_edge(middle, next_label)
+            next_label += 1
+    return graph
+
+
+def random_bipartite_graph(
+    left: int, right: int, p: float, seed: int | None = None
+) -> nx.Graph:
+    """Random bipartite graph (the classical set-cover-style instance)."""
+    if left <= 0 or right <= 0:
+        raise ValueError("both sides must be non-empty")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    graph = nx.bipartite.random_graph(left, right, p, seed=seed)
+    return nx.Graph(graph)
+
+
+GeneratorFn = Callable[..., nx.Graph]
+
+
+def graph_suite(
+    scale: str = "small", seed: int = 0
+) -> dict[str, nx.Graph]:
+    """The standard graph collection swept by the benchmarks.
+
+    Parameters
+    ----------
+    scale:
+        ``"tiny"`` (n ≈ 20, used in unit tests), ``"small"`` (n ≈ 60-120,
+        default for benchmarks with exact baselines) or ``"medium"``
+        (n ≈ 250-400, fractional baselines only).
+    seed:
+        Seed shared by all random generators in the suite.
+
+    Returns
+    -------
+    dict[str, networkx.Graph]
+        Mapping from a descriptive instance name to the graph.
+    """
+    if scale == "tiny":
+        return {
+            "erdos_renyi_n20": erdos_renyi_graph(20, 0.2, seed=seed),
+            "unit_disk_n20": random_unit_disk_graph(20, radius=0.35, seed=seed),
+            "grid_4x5": grid_graph(4, 5),
+            "star_12": star_graph(12),
+            "path_15": path_graph(15),
+            "caterpillar_5x2": caterpillar_graph(5, 2),
+        }
+    if scale == "small":
+        return {
+            "erdos_renyi_n60": erdos_renyi_graph(60, 0.08, seed=seed),
+            "erdos_renyi_n100": erdos_renyi_graph(100, 0.05, seed=seed + 1),
+            "random_regular_n80_d6": random_regular_graph(80, 6, seed=seed),
+            "unit_disk_n80": random_unit_disk_graph(80, radius=0.18, seed=seed),
+            "grid_8x8": grid_graph(8, 8),
+            "caterpillar_12x3": caterpillar_graph(12, 3),
+            "clique_chain_6x8": clique_chain(6, 8),
+            "two_level_star_8x6": two_level_star(8, 6),
+        }
+    if scale == "medium":
+        return {
+            "erdos_renyi_n250": erdos_renyi_graph(250, 0.03, seed=seed),
+            "random_regular_n300_d8": random_regular_graph(300, 8, seed=seed),
+            "unit_disk_n300": random_unit_disk_graph(300, radius=0.1, seed=seed),
+            "grid_18x18": grid_graph(18, 18),
+            "power_law_tree_n300": power_law_tree(300, seed=seed),
+            "bounded_degree_n350_d10": bounded_degree_graph(
+                350, 10, edge_probability=0.15, seed=seed
+            ),
+        }
+    raise ValueError(f"unknown scale {scale!r}; expected 'tiny', 'small' or 'medium'")
+
+
+def make_graph(family: GraphFamily | str, seed: int = 0, **params: object) -> nx.Graph:
+    """Build one graph from a named family with explicit parameters.
+
+    This is the programmatic entry point used by the CLI and the experiment
+    runner; the parameters accepted per family match the generator functions
+    above.
+    """
+    family = GraphFamily(family)
+    builders: Mapping[GraphFamily, Callable[[], nx.Graph]] = {
+        GraphFamily.ERDOS_RENYI: lambda: erdos_renyi_graph(
+            int(params.get("n", 100)), float(params.get("p", 0.05)), seed=seed
+        ),
+        GraphFamily.RANDOM_REGULAR: lambda: random_regular_graph(
+            int(params.get("n", 100)), int(params.get("degree", 6)), seed=seed
+        ),
+        GraphFamily.UNIT_DISK: lambda: random_unit_disk_graph(
+            int(params.get("n", 100)), float(params.get("radius", 0.15)), seed=seed
+        ),
+        GraphFamily.GRID: lambda: grid_graph(
+            int(params.get("rows", 10)), int(params.get("cols", 10))
+        ),
+        GraphFamily.STAR: lambda: star_graph(int(params.get("leaves", 20))),
+        GraphFamily.PATH: lambda: path_graph(int(params.get("n", 20))),
+        GraphFamily.CYCLE: lambda: cycle_graph(int(params.get("n", 20))),
+        GraphFamily.CATERPILLAR: lambda: caterpillar_graph(
+            int(params.get("spine", 10)), int(params.get("legs_per_node", 2))
+        ),
+        GraphFamily.POWER_LAW_TREE: lambda: power_law_tree(
+            int(params.get("n", 100)), seed=seed
+        ),
+        GraphFamily.BOUNDED_DEGREE: lambda: bounded_degree_graph(
+            int(params.get("n", 100)),
+            int(params.get("max_degree", 8)),
+            float(params.get("edge_probability", 0.2)),
+            seed=seed,
+        ),
+        GraphFamily.STAR_OF_CLIQUES: lambda: star_of_cliques(
+            int(params.get("arms", 4)),
+            int(params.get("clique_size", 6)),
+            int(params.get("arm_length", 1)),
+        ),
+        GraphFamily.BIPARTITE: lambda: random_bipartite_graph(
+            int(params.get("left", 30)),
+            int(params.get("right", 30)),
+            float(params.get("p", 0.1)),
+            seed=seed,
+        ),
+    }
+    graph = builders[family]()
+    validate_simple_graph(graph)
+    return relabel_to_integers(graph)

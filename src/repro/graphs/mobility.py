@@ -1,0 +1,129 @@
+"""Random-waypoint mobility for dynamic-topology experiments.
+
+Ad-hoc network topologies change as nodes move.  The random-waypoint model
+is the standard synthetic mobility model: each node repeatedly picks a
+random destination in the unit square and moves towards it at a random
+speed.  Sampling the node positions at regular intervals yields a sequence
+of unit disk graphs ("snapshots"); the dynamic-topology example recomputes
+a dominating set on each snapshot and measures how much the cluster-head
+set churns.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import networkx as nx
+
+from repro.graphs.unit_disk import unit_disk_graph
+
+
+@dataclass
+class MobilityTrace:
+    """A sequence of topology snapshots produced by a mobility model.
+
+    Attributes
+    ----------
+    snapshots:
+        Unit disk graphs sampled at consecutive time steps.  All snapshots
+        share the same node set.
+    positions:
+        Node positions per snapshot (parallel to ``snapshots``).
+    radius:
+        The transmission radius used to build every snapshot.
+    """
+
+    snapshots: list[nx.Graph] = field(default_factory=list)
+    positions: list[dict[int, tuple[float, float]]] = field(default_factory=list)
+    radius: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[nx.Graph]:
+        return iter(self.snapshots)
+
+    def churn(self, sets: Sequence[frozenset[int]]) -> list[float]:
+        """Fraction of cluster heads replaced between consecutive snapshots.
+
+        ``sets[t]`` is the dominating set computed on ``snapshots[t]``.
+        Churn at step t is ``|sets[t] Δ sets[t-1]| / max(1, |sets[t-1]|)``
+        (symmetric difference normalised by the previous set size).
+        """
+        if len(sets) != len(self.snapshots):
+            raise ValueError("one dominating set per snapshot is required")
+        churn_values = []
+        for previous, current in zip(sets, sets[1:]):
+            symmetric = len(previous.symmetric_difference(current))
+            churn_values.append(symmetric / max(1, len(previous)))
+        return churn_values
+
+
+def random_waypoint_trace(
+    n: int,
+    radius: float,
+    steps: int,
+    speed_range: tuple[float, float] = (0.01, 0.05),
+    pause_probability: float = 0.1,
+    seed: int | None = None,
+) -> MobilityTrace:
+    """Generate a random-waypoint mobility trace of unit disk snapshots.
+
+    Parameters
+    ----------
+    n:
+        Number of mobile nodes.
+    radius:
+        Transmission radius used for every snapshot.
+    steps:
+        Number of snapshots to produce.
+    speed_range:
+        (min, max) distance a node travels per step while moving.
+    pause_probability:
+        Probability per step that a node pauses instead of moving.
+    seed:
+        Randomness seed.
+
+    Returns
+    -------
+    MobilityTrace
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    if not 0.0 <= pause_probability <= 1.0:
+        raise ValueError("pause_probability must be in [0, 1]")
+    low_speed, high_speed = speed_range
+    if low_speed < 0 or high_speed < low_speed:
+        raise ValueError("speed_range must satisfy 0 <= min <= max")
+
+    rng = random.Random(seed)
+    positions = {node: (rng.random(), rng.random()) for node in range(n)}
+    waypoints = {node: (rng.random(), rng.random()) for node in range(n)}
+    speeds = {node: rng.uniform(low_speed, high_speed) for node in range(n)}
+
+    trace = MobilityTrace(radius=radius)
+    for _ in range(steps):
+        trace.snapshots.append(unit_disk_graph(positions, radius))
+        trace.positions.append(dict(positions))
+
+        for node in range(n):
+            if rng.random() < pause_probability:
+                continue
+            x, y = positions[node]
+            wx, wy = waypoints[node]
+            dx, dy = wx - x, wy - y
+            distance = math.hypot(dx, dy)
+            step = speeds[node]
+            if distance <= step:
+                # Waypoint reached: pick a new destination and speed.
+                positions[node] = (wx, wy)
+                waypoints[node] = (rng.random(), rng.random())
+                speeds[node] = rng.uniform(low_speed, high_speed)
+            else:
+                positions[node] = (x + dx / distance * step, y + dy / distance * step)
+    return trace

@@ -1,0 +1,97 @@
+"""Unit disk graphs -- the canonical ad-hoc network model.
+
+The paper motivates dominating sets by clustering in mobile ad-hoc networks.
+The standard abstraction of such networks is the *unit disk graph* (UDG):
+nodes are points in the plane and two nodes are adjacent exactly when their
+Euclidean distance is at most a transmission radius r.
+
+The generators here place points either explicitly (``unit_disk_graph``) or
+uniformly at random in the unit square (``random_unit_disk_graph``) and
+store the positions on the graph (``graph.nodes[v]["pos"]``) so the mobility
+model and plotting code can reuse them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+
+def unit_disk_graph(
+    positions: Mapping[int, tuple[float, float]] | Sequence[tuple[float, float]],
+    radius: float,
+) -> nx.Graph:
+    """Build the unit disk graph of explicit point positions.
+
+    Parameters
+    ----------
+    positions:
+        Either a mapping ``node -> (x, y)`` or a sequence of points (in which
+        case nodes are numbered 0..n-1 in sequence order).
+    radius:
+        Transmission radius; two nodes are adjacent iff their Euclidean
+        distance is ≤ ``radius``.
+
+    Returns
+    -------
+    networkx.Graph
+        Graph with a ``pos`` attribute on every node.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if not isinstance(positions, Mapping):
+        positions = {index: point for index, point in enumerate(positions)}
+    if len(positions) == 0:
+        raise ValueError("at least one position is required")
+
+    graph = nx.Graph()
+    for node, point in positions.items():
+        graph.add_node(node, pos=(float(point[0]), float(point[1])))
+
+    nodes = sorted(positions)
+    for i, u in enumerate(nodes):
+        ux, uy = positions[u]
+        for v in nodes[i + 1 :]:
+            vx, vy = positions[v]
+            if math.hypot(ux - vx, uy - vy) <= radius:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_unit_disk_graph(
+    n: int, radius: float, seed: int | None = None
+) -> nx.Graph:
+    """A unit disk graph on n points placed uniformly in the unit square.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    radius:
+        Transmission radius (in unit-square coordinates).  Density, and hence
+        Δ, grows roughly like ``n · π · radius²``.
+    seed:
+        Seed for point placement.
+
+    Returns
+    -------
+    networkx.Graph
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    positions = {node: (rng.random(), rng.random()) for node in range(n)}
+    return unit_disk_graph(positions, radius)
+
+
+def positions_of(graph: nx.Graph) -> dict[int, tuple[float, float]]:
+    """Extract the stored positions of a unit disk graph."""
+    positions = {}
+    for node, data in graph.nodes(data=True):
+        if "pos" not in data:
+            raise ValueError(f"node {node} has no position attribute")
+        positions[node] = data["pos"]
+    return positions

@@ -1,0 +1,60 @@
+"""Linear-programming substrate for the dominating set problem.
+
+Section 4 of the paper derives three mathematical programs:
+
+* ``IP_MDS`` -- the minimum dominating set integer program
+  (minimise Σ x_i subject to N·x ≥ 1, x ∈ {0,1}ⁿ),
+* ``LP_MDS`` -- its LP relaxation (x ≥ 0), and
+* ``DLP_MDS`` -- the dual packing LP (maximise Σ y_i subject to N·y ≤ 1,
+  y ≥ 0), whose feasible solutions lower-bound |DS_OPT| by weak duality
+  (Lemma 1).
+
+This package turns those three programs into code:
+
+* :mod:`~repro.lp.formulation` -- explicit matrix formulations built from a
+  graph (used both by the exact solver and by tests that verify the
+  distributed algorithms' outputs against the constraint system).
+* :mod:`~repro.lp.solver` -- exact fractional optima via ``scipy`` linear
+  programming, used as the baseline α = 1 input to Algorithm 1 and as the
+  denominator for measured approximation ratios.
+* :mod:`~repro.lp.feasibility` -- primal and dual feasibility checks with
+  numerical tolerances.
+* :mod:`~repro.lp.duality` -- the Lemma 1 lower bound and general
+  weak-duality utilities.
+"""
+
+from repro.lp.duality import (
+    dual_objective,
+    lemma1_dual_solution,
+    lemma1_lower_bound,
+    weak_duality_gap,
+)
+from repro.lp.feasibility import (
+    check_dual_feasible,
+    check_primal_feasible,
+    primal_violations,
+)
+from repro.lp.formulation import (
+    DominatingSetLP,
+    build_lp,
+    fractional_objective,
+    integer_objective,
+)
+from repro.lp.solver import LPSolution, solve_fractional_mds, solve_weighted_fractional_mds
+
+__all__ = [
+    "DominatingSetLP",
+    "LPSolution",
+    "build_lp",
+    "check_dual_feasible",
+    "check_primal_feasible",
+    "dual_objective",
+    "fractional_objective",
+    "integer_objective",
+    "lemma1_dual_solution",
+    "lemma1_lower_bound",
+    "primal_violations",
+    "solve_fractional_mds",
+    "solve_weighted_fractional_mds",
+    "weak_duality_gap",
+]

@@ -1,0 +1,155 @@
+"""Matrix formulations of IP_MDS, LP_MDS and DLP_MDS.
+
+The formulation object is deliberately small: it stores the neighbourhood
+matrix ``N`` (adjacency + identity), the canonical node ordering, and the
+objective weights (all ones for the unweighted problem, arbitrary positive
+costs for the weighted variant from the paper's remark after Theorem 4).
+Everything else -- solving, feasibility checking, duality bounds -- lives in
+the sibling modules and operates on this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs.utils import neighborhood_matrix
+
+
+@dataclass(frozen=True)
+class DominatingSetLP:
+    """The (fractional) dominating set LP for one graph.
+
+    Attributes
+    ----------
+    nodes:
+        Canonical node ordering: ``nodes[i]`` is the node whose variable is
+        x_i / whose constraint is row i.
+    matrix:
+        The neighbourhood matrix N = A + I as a dense float array.  Row i is
+        the domination constraint of node ``nodes[i]``; column j is the
+        incidence of variable x_j.
+    weights:
+        Objective coefficients c_i ≥ 0 (all ones in the unweighted case).
+    """
+
+    nodes: tuple[Hashable, ...]
+    matrix: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.nodes)
+        if self.matrix.shape != (n, n):
+            raise ValueError("neighbourhood matrix must be n × n")
+        if self.weights.shape != (n,):
+            raise ValueError("weights must be a length-n vector")
+        if np.any(self.weights < 0):
+            raise ValueError("weights must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Number of variables / constraints n."""
+        return len(self.nodes)
+
+    def index_of(self, node: Hashable) -> int:
+        """Index of a node in the canonical ordering."""
+        try:
+            return self.nodes.index(node)
+        except ValueError as exc:
+            raise KeyError(f"node {node!r} is not part of this LP") from exc
+
+    def vector_from_mapping(self, values: Mapping[Hashable, float]) -> np.ndarray:
+        """Convert a per-node mapping into a vector in canonical order.
+
+        Missing nodes default to 0, mirroring how distributed executions
+        report only nodes that set a non-zero value.
+        """
+        return np.array([float(values.get(node, 0.0)) for node in self.nodes])
+
+    def mapping_from_vector(self, vector: Sequence[float]) -> dict[Hashable, float]:
+        """Convert a canonical-order vector back into a per-node mapping."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.size,):
+            raise ValueError("vector length must equal the number of nodes")
+        return {node: float(value) for node, value in zip(self.nodes, vector)}
+
+    # ------------------------------------------------------------------ #
+    # Objectives                                                           #
+    # ------------------------------------------------------------------ #
+
+    def objective(self, x: Sequence[float] | Mapping[Hashable, float]) -> float:
+        """The (weighted) primal objective Σ c_i x_i."""
+        vector = self._as_vector(x)
+        return float(self.weights @ vector)
+
+    def dual_objective(self, y: Sequence[float] | Mapping[Hashable, float]) -> float:
+        """The dual objective Σ y_i."""
+        vector = self._as_vector(y)
+        return float(np.sum(vector))
+
+    def coverage(self, x: Sequence[float] | Mapping[Hashable, float]) -> np.ndarray:
+        """The vector N·x of per-node coverages."""
+        return self.matrix @ self._as_vector(x)
+
+    def dual_load(self, y: Sequence[float] | Mapping[Hashable, float]) -> np.ndarray:
+        """The vector N·y of per-neighbourhood dual loads."""
+        # N is symmetric, so the dual constraint matrix equals the primal one.
+        return self.matrix @ self._as_vector(y)
+
+    def _as_vector(self, values: Sequence[float] | Mapping[Hashable, float]) -> np.ndarray:
+        if isinstance(values, Mapping):
+            return self.vector_from_mapping(values)
+        vector = np.asarray(values, dtype=float)
+        if vector.shape != (self.size,):
+            raise ValueError("vector length must equal the number of nodes")
+        return vector
+
+
+def build_lp(
+    graph: nx.Graph, weights: Mapping[Hashable, float] | None = None
+) -> DominatingSetLP:
+    """Build the dominating set LP of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    weights:
+        Optional positive node costs for the weighted dominating set variant;
+        defaults to 1 for every node.
+
+    Returns
+    -------
+    DominatingSetLP
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("graph has no nodes")
+    nodes = tuple(sorted(graph.nodes()))
+    matrix = neighborhood_matrix(graph, nodelist=nodes)
+    if weights is None:
+        weight_vector = np.ones(len(nodes))
+    else:
+        missing = [node for node in nodes if node not in weights]
+        if missing:
+            raise ValueError(f"weights missing for nodes: {missing[:5]}")
+        weight_vector = np.array([float(weights[node]) for node in nodes])
+    return DominatingSetLP(nodes=nodes, matrix=matrix, weights=weight_vector)
+
+
+def fractional_objective(
+    graph: nx.Graph, x: Mapping[Hashable, float]
+) -> float:
+    """Σ x_i for a per-node fractional assignment (unweighted)."""
+    return float(sum(x.get(node, 0.0) for node in graph.nodes()))
+
+
+def integer_objective(dominating_set: Sequence[Hashable] | frozenset) -> int:
+    """|DS| for an integral dominating set."""
+    return len(set(dominating_set))

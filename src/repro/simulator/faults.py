@@ -1,0 +1,119 @@
+"""Fault injection policies.
+
+The paper assumes a fault-free synchronous network.  The fault models here
+are an *extension* used by the robustness examples and tests: they let us ask
+what happens to the dominating set quality and feasibility when messages are
+lost or nodes crash mid-execution (a realistic concern in the ad-hoc-network
+setting that motivates the paper).
+
+A fault model is consulted by the runner at two points:
+
+* :meth:`FaultModel.node_alive` -- before invoking a node's round callback;
+  crashed nodes neither compute nor send.
+* :meth:`FaultModel.deliver` -- for each message about to be delivered;
+  returning ``False`` silently drops the message.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.simulator.message import Message
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """Protocol for fault injection policies."""
+
+    def node_alive(self, node_id: int, round_index: int) -> bool:
+        """Whether ``node_id`` executes in ``round_index``."""
+        ...
+
+    def deliver(self, message: Message, round_index: int) -> bool:
+        """Whether ``message`` is delivered in ``round_index``."""
+        ...
+
+
+class NoFaults:
+    """The paper's model: every node alive, every message delivered."""
+
+    def node_alive(self, node_id: int, round_index: int) -> bool:
+        return True
+
+    def deliver(self, message: Message, round_index: int) -> bool:
+        return True
+
+
+@dataclass
+class MessageLossFaults:
+    """Drop each message independently with probability ``loss_probability``.
+
+    Messages to/from protected nodes (``protected``) are never dropped,
+    which is useful for targeted experiments.
+    """
+
+    loss_probability: float
+    seed: int = 0
+    protected: frozenset[int] = frozenset()
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def node_alive(self, node_id: int, round_index: int) -> bool:
+        return True
+
+    def deliver(self, message: Message, round_index: int) -> bool:
+        if message.sender in self.protected or message.receiver in self.protected:
+            return True
+        return self._rng.random() >= self.loss_probability
+
+
+@dataclass
+class CrashStopFaults:
+    """Crash-stop failures: each node crashes at a fixed round (or never).
+
+    Parameters
+    ----------
+    crash_rounds:
+        Mapping ``node_id -> round`` after which the node stops executing
+        and stops sending.  Nodes not present never crash.  Messages *to*
+        a crashed node are still "delivered" (they land in a dead mailbox),
+        matching the usual crash-stop semantics.
+    """
+
+    crash_rounds: dict[int, int] = field(default_factory=dict)
+
+    def node_alive(self, node_id: int, round_index: int) -> bool:
+        crash_round = self.crash_rounds.get(node_id)
+        if crash_round is None:
+            return True
+        return round_index < crash_round
+
+    def deliver(self, message: Message, round_index: int) -> bool:
+        crash_round = self.crash_rounds.get(message.sender)
+        if crash_round is None:
+            return True
+        return round_index <= crash_round
+
+    @classmethod
+    def random_crashes(
+        cls,
+        node_ids: Iterable[int],
+        crash_probability: float,
+        max_round: int,
+        seed: int = 0,
+    ) -> "CrashStopFaults":
+        """Crash each node independently at a uniform random round."""
+        if not 0.0 <= crash_probability <= 1.0:
+            raise ValueError("crash_probability must be in [0, 1]")
+        rng = random.Random(seed)
+        crash_rounds: dict[int, int] = {}
+        for node_id in node_ids:
+            if rng.random() < crash_probability:
+                crash_rounds[node_id] = rng.randint(0, max(max_round, 0))
+        return cls(crash_rounds=crash_rounds)

@@ -1,0 +1,231 @@
+"""The synchronous round engine.
+
+:class:`SynchronousRunner` drives a :class:`~repro.simulator.network.Network`
+through the LOCAL-model lifecycle:
+
+1. Call every node's ``on_start``; the returned messages form the round-0
+   mailboxes.
+2. For each round: deliver mailboxes, call every node's ``on_round``,
+   collect the returned messages into next-round mailboxes, and update
+   metrics.
+3. Stop when every node reports termination (or a round limit is hit).
+
+Messages sent to non-neighbours are rejected -- the LOCAL model only allows
+communication along edges -- which catches programming errors in node
+programs early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.simulator.faults import FaultModel, NoFaults
+from repro.simulator.message import Message
+from repro.simulator.metrics import ExecutionMetrics
+from repro.simulator.network import Network, ProgramFactory
+from repro.simulator.trace import ExecutionTrace
+
+import networkx as nx
+
+
+class SimulationError(RuntimeError):
+    """Raised when a node program violates the communication model."""
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one simulator execution.
+
+    Attributes
+    ----------
+    results:
+        Per-node local outputs (``program.result()``).
+    metrics:
+        Round/message metrics for the execution.
+    trace:
+        The execution trace (empty unless tracing was enabled and programs
+        recorded events).
+    terminated:
+        Whether every node terminated before the round limit.
+    """
+
+    results: dict[int, Any]
+    metrics: ExecutionMetrics
+    trace: ExecutionTrace
+    terminated: bool
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds executed."""
+        return self.metrics.round_count
+
+
+class SynchronousRunner:
+    """Execute a network of node programs in synchronous rounds.
+
+    Parameters
+    ----------
+    network:
+        The network to execute.
+    fault_model:
+        Optional fault-injection policy (default: fault-free execution,
+        matching the paper's model).
+    max_rounds:
+        Hard cap on the number of rounds, as a safety net against
+        non-terminating programs.  The paper's algorithms terminate after a
+        number of rounds that is known in advance, so hitting this limit in
+        a test indicates a bug.
+    collect_trace:
+        Whether to hand programs an :class:`ExecutionTrace` (programs that
+        support tracing expose a ``bind_trace`` method; others ignore it).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        fault_model: FaultModel | None = None,
+        max_rounds: int = 100_000,
+        collect_trace: bool = False,
+    ) -> None:
+        if max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+        self._network = network
+        self._fault_model: FaultModel = fault_model or NoFaults()
+        self._max_rounds = max_rounds
+        self._collect_trace = collect_trace
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ExecutionResult:
+        """Run the network to termination (or the round limit)."""
+        network = self._network
+        metrics = ExecutionMetrics()
+        trace = ExecutionTrace()
+
+        if self._collect_trace:
+            for node_id in network.node_ids:
+                program = network.program(node_id)
+                bind = getattr(program, "bind_trace", None)
+                if callable(bind):
+                    bind(trace)
+
+        mailboxes: dict[int, list[Message]] = {
+            node_id: [] for node_id in network.node_ids
+        }
+
+        # Round -1: on_start.  Its messages are delivered in round 0.
+        startup_metrics = metrics.begin_round(round_index=0)
+        for node_id in network.node_ids:
+            context = network.context(node_id)
+            outbox = network.program(node_id).on_start(context)
+            self._validate_outbox(node_id, outbox)
+            stamped = [message.with_round(0) for message in outbox]
+            metrics.record_messages(startup_metrics, stamped)
+            self._deliver(stamped, mailboxes, round_index=0)
+
+        terminated = network.all_terminated()
+        round_index = 0
+        while not terminated and round_index < self._max_rounds:
+            inboxes = mailboxes
+            mailboxes = {node_id: [] for node_id in network.node_ids}
+            # Reuse the startup round's metrics object for round 0 so that
+            # on_start messages and round-0 processing share one round entry;
+            # afterwards each round gets its own entry.
+            round_metrics = (
+                startup_metrics
+                if round_index == 0
+                else metrics.begin_round(round_index=round_index)
+            )
+
+            for node_id in network.node_ids:
+                program = network.program(node_id)
+                if program.is_terminated():
+                    continue
+                if not self._fault_model.node_alive(node_id, round_index):
+                    continue
+                context = network.context(node_id)
+                outbox = program.on_round(
+                    context, round_index, tuple(inboxes[node_id])
+                )
+                self._validate_outbox(node_id, outbox)
+                stamped = [message.with_round(round_index + 1) for message in outbox]
+                metrics.record_messages(round_metrics, stamped)
+                self._deliver(stamped, mailboxes, round_index=round_index + 1)
+
+            terminated = network.all_terminated()
+            round_index += 1
+
+        return ExecutionResult(
+            results=network.results(),
+            metrics=metrics,
+            trace=trace,
+            terminated=terminated,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _validate_outbox(self, node_id: int, outbox: Sequence[Message]) -> None:
+        """Reject messages that violate the LOCAL communication model."""
+        neighbors = set(self._network.neighbors(node_id))
+        for message in outbox:
+            if message.sender != node_id:
+                raise SimulationError(
+                    f"node {node_id} attempted to forge a message from "
+                    f"{message.sender}"
+                )
+            if message.receiver not in neighbors:
+                raise SimulationError(
+                    f"node {node_id} attempted to send to non-neighbour "
+                    f"{message.receiver}"
+                )
+
+    def _deliver(
+        self,
+        messages: Sequence[Message],
+        mailboxes: dict[int, list[Message]],
+        round_index: int,
+    ) -> None:
+        """Place messages into receiver mailboxes, applying fault policy."""
+        for message in messages:
+            if self._fault_model.deliver(message, round_index):
+                mailboxes[message.receiver].append(message)
+
+
+def run_program(
+    graph: nx.Graph,
+    program_factory: ProgramFactory,
+    seed: int | None = None,
+    fault_model: FaultModel | None = None,
+    max_rounds: int = 100_000,
+    collect_trace: bool = False,
+) -> ExecutionResult:
+    """Convenience wrapper: build a network and run it in one call.
+
+    Parameters
+    ----------
+    graph:
+        Communication graph.
+    program_factory:
+        Per-node program constructor ``(node_id, network) -> NodeProgram``.
+    seed:
+        Seed for per-node randomness.
+    fault_model, max_rounds, collect_trace:
+        Forwarded to :class:`SynchronousRunner`.
+
+    Returns
+    -------
+    ExecutionResult
+    """
+    network = Network(graph, program_factory, seed=seed)
+    runner = SynchronousRunner(
+        network,
+        fault_model=fault_model,
+        max_rounds=max_rounds,
+        collect_trace=collect_trace,
+    )
+    return runner.run()

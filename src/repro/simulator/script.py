@@ -1,0 +1,91 @@
+"""Generator-style node programs.
+
+The paper's pseudocode interleaves local computation with "send X to all
+neighbours / receive" steps.  Writing such algorithms as explicit state
+machines (one ``on_round`` branch per step) obscures the correspondence with
+the pseudocode, so this module provides :class:`GeneratorNodeProgram`: the
+algorithm body is a Python generator that *yields* the messages to send in a
+round and receives the next round's inbox as the value of the ``yield``
+expression.  The resulting code reads line-for-line like the paper:
+
+.. code-block:: python
+
+    def run(self, ctx):
+        inbox = yield ctx.send_all(self.color, tag="color")   # one round
+        colors = self.inbox_by_sender(inbox)
+        ...
+
+When the generator returns, the node is terminated; whatever the generator
+stored in ``self._result`` (or returned) becomes the node's local output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.simulator.message import Message
+from repro.simulator.node import NodeContext, StatefulNodeProgram
+from repro.simulator.trace import ExecutionTrace
+
+RoundGenerator = Generator[Sequence[Message], Sequence[Message], Any]
+
+
+class GeneratorNodeProgram(StatefulNodeProgram):
+    """Base class for node programs written as generators.
+
+    Subclasses implement :meth:`run`, a generator that yields the outbox for
+    each communication round and receives the corresponding inbox.  The base
+    class adapts that generator to the ``on_start`` / ``on_round`` protocol
+    expected by the runner.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._generator: RoundGenerator | None = None
+        self._trace: ExecutionTrace | None = None
+
+    # -- optional tracing ------------------------------------------------ #
+
+    def bind_trace(self, trace: ExecutionTrace) -> None:
+        """Attach an execution trace (called by the runner when tracing)."""
+        self._trace = trace
+
+    def trace_event(self, round_index: int, node_id: int, kind: str, **data: Any) -> None:
+        """Record a trace event if tracing is enabled (no-op otherwise)."""
+        if self._trace is not None:
+            self._trace.record(round_index, node_id, kind, **data)
+
+    # -- algorithm body -------------------------------------------------- #
+
+    def run(self, ctx: NodeContext) -> RoundGenerator:
+        """The algorithm body; must be a generator.  Override in subclasses."""
+        raise NotImplementedError
+
+    # -- protocol adaptation --------------------------------------------- #
+
+    def on_start(self, ctx: NodeContext) -> Sequence[Message]:
+        self._generator = self.run(ctx)
+        try:
+            outbox = next(self._generator)
+        except StopIteration as stop:
+            self._finish(stop)
+            return []
+        return outbox
+
+    def on_round(
+        self, ctx: NodeContext, round_index: int, inbox: Sequence[Message]
+    ) -> Sequence[Message]:
+        if self._generator is None:
+            raise RuntimeError("on_round called before on_start")
+        try:
+            outbox = self._generator.send(tuple(inbox))
+        except StopIteration as stop:
+            self._finish(stop)
+            return []
+        return outbox
+
+    def _finish(self, stop: StopIteration) -> None:
+        """Mark the node terminated; prefer the generator's return value."""
+        self._terminated = True
+        if stop.value is not None:
+            self._result = stop.value

@@ -1,0 +1,101 @@
+"""Structured execution traces.
+
+Traces record *what a node did in which round*.  They are optional (the
+runner only collects them when asked to) and are used by:
+
+* the Figure-1 reproduction, which needs the per-iteration sequence of
+  active-degree thresholds and node colourings;
+* the invariant monitors in :mod:`repro.core.invariants`, which assert the
+  paper's Lemmas 2-7 against recorded per-round state;
+* debugging of node programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    round_index:
+        Round in which the event happened (-1 for pre-round setup).
+    node_id:
+        Node that emitted the event.
+    kind:
+        Short event label, e.g. ``"x-update"``, ``"color"``, ``"active"``.
+    data:
+        Arbitrary event payload (kept small; copied verbatim into reports).
+    """
+
+    round_index: int
+    node_id: int
+    kind: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+
+class ExecutionTrace:
+    """An append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def record(
+        self,
+        round_index: int,
+        node_id: int,
+        kind: str,
+        **data: Any,
+    ) -> None:
+        """Append one event."""
+        self._events.append(
+            TraceEvent(round_index=round_index, node_id=node_id, kind=kind, data=data)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def events(
+        self,
+        kind: str | None = None,
+        node_id: int | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Filter events by kind, node and/or an arbitrary predicate."""
+        selected: Iterable[TraceEvent] = self._events
+        if kind is not None:
+            selected = (event for event in selected if event.kind == kind)
+        if node_id is not None:
+            selected = (event for event in selected if event.node_id == node_id)
+        if predicate is not None:
+            selected = (event for event in selected if predicate(event))
+        return list(selected)
+
+    def rounds(self) -> list[int]:
+        """Sorted list of distinct round indices that have events."""
+        return sorted({event.round_index for event in self._events})
+
+    def by_round(self) -> dict[int, list[TraceEvent]]:
+        """Group events by round index."""
+        grouped: dict[int, list[TraceEvent]] = {}
+        for event in self._events:
+            grouped.setdefault(event.round_index, []).append(event)
+        return grouped
+
+    def last_value(self, node_id: int, kind: str, key: str, default: Any = None) -> Any:
+        """The most recent ``data[key]`` of a given node/kind, if any."""
+        for event in reversed(self._events):
+            if event.node_id == node_id and event.kind == kind and key in event.data:
+                return event.data[key]
+        return default

@@ -1,0 +1,130 @@
+"""Unit tests for the closed-form theorem bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    algorithm2_approximation_bound,
+    algorithm2_round_bound,
+    algorithm3_approximation_bound,
+    algorithm3_round_bound,
+    kmw_lower_bound,
+    log_squared_delta_bound,
+    message_size_bound_bits,
+    messages_per_node_bound,
+    pipeline_expected_ratio_bound,
+    pipeline_round_bound,
+    rounding_expectation_bound,
+    rounding_expectation_bound_alternative,
+    weighted_approximation_bound,
+)
+
+
+class TestApproximationBounds:
+    def test_algorithm2_formula(self):
+        assert algorithm2_approximation_bound(2, 15) == pytest.approx(2 * 16.0)
+        assert algorithm2_approximation_bound(1, 15) == pytest.approx(256.0)
+
+    def test_algorithm2_decreases_then_flattens_in_k(self):
+        values = [algorithm2_approximation_bound(k, 63) for k in range(1, 12)]
+        assert values[0] > values[3] > values[6]
+
+    def test_algorithm3_geq_algorithm2(self):
+        for k in (1, 2, 4, 8):
+            for delta in (3, 15, 255):
+                assert algorithm3_approximation_bound(k, delta) >= (
+                    algorithm2_approximation_bound(k, delta)
+                )
+
+    def test_algorithm3_formula(self):
+        assert algorithm3_approximation_bound(2, 15) == pytest.approx(2 * (4.0 + 16.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            algorithm2_approximation_bound(0, 5)
+        with pytest.raises(ValueError):
+            algorithm3_approximation_bound(2, -1)
+
+
+class TestRoundBounds:
+    def test_algorithm2_rounds(self):
+        assert algorithm2_round_bound(1) == 2
+        assert algorithm2_round_bound(3) == 18
+
+    def test_algorithm3_rounds(self):
+        assert algorithm3_round_bound(1) == 9
+        assert algorithm3_round_bound(2) == 23
+
+    def test_pipeline_adds_constant(self):
+        assert pipeline_round_bound(2) == algorithm3_round_bound(2) + 4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            algorithm2_round_bound(0)
+        with pytest.raises(ValueError):
+            algorithm3_round_bound(0)
+
+
+class TestRoundingBounds:
+    def test_rounding_expectation_formula(self):
+        assert rounding_expectation_bound(1.0, 15) == pytest.approx(1.0 + math.log(16.0))
+
+    def test_alpha_scales_linearly(self):
+        assert rounding_expectation_bound(3.0, 15) == pytest.approx(
+            1.0 + 3.0 * math.log(16.0)
+        )
+
+    def test_alternative_bound_behaviour(self):
+        # For large Δ the alternative bound 2α(lnΔ − ln lnΔ) is smaller than
+        # 2α·lnΔ, and for tiny Δ it degenerates gracefully to ≥ 1.
+        assert rounding_expectation_bound_alternative(1.0, 1000) < 2 * math.log(1001)
+        assert rounding_expectation_bound_alternative(1.0, 1) >= 1.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            rounding_expectation_bound(0.5, 10)
+
+    def test_pipeline_ratio_composition(self):
+        k, delta = 2, 15
+        alpha = algorithm3_approximation_bound(k, delta)
+        assert pipeline_expected_ratio_bound(k, delta) == pytest.approx(
+            1.0 + alpha * math.log(delta + 1.0)
+        )
+
+
+class TestOtherBounds:
+    def test_weighted_bound_formula(self):
+        assert weighted_approximation_bound(2, 15, 4.0) == pytest.approx(
+            2 * 4.0 * math.sqrt(64.0)
+        )
+
+    def test_weighted_bound_reduces_when_cmax_one(self):
+        assert weighted_approximation_bound(3, 7, 1.0) == pytest.approx(
+            algorithm2_approximation_bound(3, 7)
+        )
+
+    def test_messages_per_node(self):
+        assert messages_per_node_bound(2, 10) == algorithm3_round_bound(2) * 10
+
+    def test_message_size_logarithmic(self):
+        assert message_size_bound_bits(1) <= message_size_bound_bits(1 << 20)
+        # ⌈log₂(Δ+2)⌉ + 1 sign/flag bit = ⌈log₂(1025)⌉ + 1 = 12.
+        assert message_size_bound_bits(1023, float_bits=0) == 12
+
+    def test_kmw_lower_bound_shape(self):
+        # For fixed Δ the lower bound decreases in k.
+        assert kmw_lower_bound(1, 256) > kmw_lower_bound(2, 256) > kmw_lower_bound(8, 256)
+
+    def test_kmw_lower_bound_validation(self):
+        with pytest.raises(ValueError):
+            kmw_lower_bound(2, 16, constant=0.0)
+
+    def test_log_squared_delta_grows_slowly(self):
+        small = log_squared_delta_bound(16)
+        large = log_squared_delta_bound(16**4)
+        assert large <= 16 * small  # log² growth: quadrupling the exponent ×16
+
+    def test_log_squared_delta_validation(self):
+        with pytest.raises(ValueError):
+            log_squared_delta_bound(-1)

@@ -1,0 +1,93 @@
+"""Unit tests for the experiment sweep machinery."""
+
+import pytest
+
+from repro.analysis.experiment import (
+    ExperimentRecord,
+    GraphInstance,
+    as_instances,
+    compare_algorithms,
+    sweep_fractional,
+    sweep_pipeline,
+)
+from repro.baselines.greedy import greedy_dominating_set
+from repro.core.kuhn_wattenhofer import FractionalVariant
+from repro.graphs.generators import graph_suite
+
+
+@pytest.fixture(scope="module")
+def instances():
+    suite = graph_suite("tiny", seed=2)
+    # Keep the sweep quick: two structurally different instances.
+    selected = {name: suite[name] for name in ("star_12", "grid_4x5")}
+    return as_instances(selected)
+
+
+class TestGraphInstance:
+    def test_wrapping(self, instances):
+        assert all(isinstance(instance, GraphInstance) for instance in instances)
+        assert {instance.name for instance in instances} == {"star_12", "grid_4x5"}
+
+    def test_properties(self, instances):
+        star = next(i for i in instances if i.name == "star_12")
+        assert star.node_count == 13
+        assert star.max_degree == 12
+
+
+class TestSweepFractional:
+    def test_record_per_instance_and_k(self, instances):
+        records = sweep_fractional(instances, k_values=[1, 2])
+        assert len(records) == len(instances) * 2
+
+    def test_measured_ratio_within_bound(self, instances):
+        for record in sweep_fractional(instances, k_values=[1, 2, 3]):
+            assert record.measurements["ratio"] <= record.measurements["bound"] + 1e-9
+
+    def test_unknown_delta_variant(self, instances):
+        records = sweep_fractional(
+            instances, k_values=[2], variant=FractionalVariant.UNKNOWN_DELTA
+        )
+        assert all("unknown" in record.algorithm for record in records)
+        for record in records:
+            assert record.measurements["ratio"] <= record.measurements["bound"] + 1e-9
+
+    def test_as_row_flattens(self, instances):
+        record = sweep_fractional(instances, k_values=[1])[0]
+        row = record.as_row()
+        assert "instance" in row and "k" in row and "ratio" in row
+
+
+class TestSweepPipeline:
+    def test_records_and_ratios(self, instances):
+        records = sweep_pipeline(instances, k_values=[1], trials=2, seed=0)
+        assert len(records) == len(instances)
+        for record in records:
+            assert record.measurements["mean_size"] > 0
+            assert record.measurements["mean_ratio_vs_lp"] >= 1.0 - 1e-9
+
+    def test_trials_recorded(self, instances):
+        record = sweep_pipeline(instances, k_values=[1], trials=3, seed=0)[0]
+        assert record.measurements["trials"] == 3.0
+
+
+class TestCompareAlgorithms:
+    def test_comparison_rows(self, instances):
+        algorithms = {
+            "greedy": lambda graph, seed: greedy_dominating_set(graph),
+            "all-nodes": lambda graph, seed: set(graph.nodes()),
+        }
+        records = compare_algorithms(instances, algorithms, trials=1)
+        assert len(records) == len(instances) * 2
+        by_algorithm = {record.algorithm: record for record in records if record.instance == "star_12"}
+        assert by_algorithm["greedy"].measurements["mean_size"] <= (
+            by_algorithm["all-nodes"].measurements["mean_size"]
+        )
+
+    def test_non_dominating_algorithm_rejected(self, instances):
+        algorithms = {"broken": lambda graph, seed: set()}
+        with pytest.raises(RuntimeError, match="non-dominating"):
+            compare_algorithms(instances, algorithms, trials=1)
+
+    def test_experiment_record_dataclass(self):
+        record = ExperimentRecord(instance="g", algorithm="a")
+        assert record.as_row() == {"instance": "g", "algorithm": "a"}

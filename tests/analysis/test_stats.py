@@ -1,0 +1,90 @@
+"""Unit tests for trial statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    confidence_interval,
+    mean,
+    ratio_of_means,
+    sample_std,
+    summarize,
+)
+
+
+class TestMean:
+    def test_simple_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestSampleStd:
+    def test_known_value(self):
+        assert sample_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+
+    def test_single_value_is_zero(self):
+        assert sample_std([3.0]) == 0.0
+
+    def test_constant_sample_is_zero(self):
+        assert sample_std([2.0, 2.0, 2.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sample_std([])
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        low, high = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert low <= 2.5 <= high
+
+    def test_single_value_degenerate(self):
+        assert confidence_interval([7.0]) == (7.0, 7.0)
+
+    def test_width_shrinks_with_more_samples(self):
+        small = confidence_interval([1.0, 3.0] * 5)
+        large = confidence_interval([1.0, 3.0] * 50)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_custom_z(self):
+        narrow = confidence_interval([1.0, 2.0, 3.0], z=1.0)
+        wide = confidence_interval([1.0, 2.0, 3.0], z=3.0)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_accepts_iterables(self):
+        summary = summarize(range(5))
+        assert summary.count == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRatioOfMeans:
+    def test_simple_ratio(self):
+        assert ratio_of_means([2.0, 4.0], [1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_of_means([1.0], [1.0, 2.0])
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_of_means([1.0], [0.0])

@@ -1,0 +1,75 @@
+"""Unit tests for table / CSV rendering."""
+
+from repro.analysis.tables import format_value, records_to_csv, render_series, render_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_bool_rendering(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_none_rendering(self):
+        assert format_value(None) == "-"
+
+    def test_nan_rendering(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_int_and_str(self):
+        assert format_value(7) == "7"
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_contains_header_and_rows(self):
+        rows = [{"k": 1, "ratio": 2.5}, {"k": 2, "ratio": 1.75}]
+        table = render_table(rows)
+        assert "k" in table and "ratio" in table
+        assert "2.500" in table and "1.750" in table
+
+    def test_title_included(self):
+        table = render_table([{"a": 1}], title="Experiment E1")
+        assert table.startswith("Experiment E1")
+
+    def test_empty_rows(self):
+        assert render_table([], title="Nothing") == "Nothing"
+        assert render_table([]) == "(no rows)"
+
+    def test_custom_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        table = render_table(rows, columns=["b", "a"])
+        header = table.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_column_rendered_as_dash(self):
+        table = render_table([{"a": 1}], columns=["a", "b"])
+        assert "-" in table.splitlines()[-1]
+
+    def test_column_widths_aligned(self):
+        rows = [{"name": "x", "v": 1}, {"name": "longer-name", "v": 22}]
+        lines = render_table(rows).splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+
+class TestRenderSeries:
+    def test_series_rows(self):
+        text = render_series({1: 2.0, 2: 4.0}, label="ratio")
+        assert "ratio" in text
+        assert "4.000" in text
+
+
+class TestRecordsToCSV:
+    def test_header_and_rows(self):
+        csv_text = records_to_csv([{"a": 1, "b": 2.5}])
+        lines = csv_text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1].startswith("1,")
+
+    def test_empty_records(self):
+        assert records_to_csv([]) == ""
+
+    def test_column_subset(self):
+        csv_text = records_to_csv([{"a": 1, "b": 2}], columns=["b"])
+        assert csv_text.splitlines()[0] == "b"

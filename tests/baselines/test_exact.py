@@ -1,0 +1,68 @@
+"""Unit tests for the exact branch-and-bound MDS solver."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact import (
+    SearchBudgetExceeded,
+    exact_minimum_dominating_set,
+    exact_optimum_size,
+)
+from repro.baselines.greedy import greedy_dominating_set
+from repro.domset.validation import is_dominating_set
+from repro.lp.solver import solve_fractional_mds
+
+
+class TestExactSolver:
+    def test_star_optimum_is_one(self, star):
+        result = exact_minimum_dominating_set(star)
+        assert result.size == 1
+        assert result.dominating_set == frozenset({0})
+
+    def test_clique_optimum_is_one(self, clique):
+        assert exact_optimum_size(clique) == 1
+
+    def test_path_optimum_is_ceil_n_over_3(self):
+        for n in range(1, 16):
+            assert exact_optimum_size(nx.path_graph(n)) == -(-n // 3)
+
+    def test_cycle_optimum_is_ceil_n_over_3(self):
+        for n in range(3, 13):
+            assert exact_optimum_size(nx.cycle_graph(n)) == -(-n // 3)
+
+    def test_edgeless_graph_needs_all_nodes(self):
+        assert exact_optimum_size(nx.empty_graph(5)) == 5
+
+    def test_grid_4x4_known_value(self, grid):
+        # The 4x4 grid has domination number 4.
+        assert exact_optimum_size(grid) == 4
+
+    def test_output_is_dominating(self, small_random_graph):
+        result = exact_minimum_dominating_set(small_random_graph)
+        assert is_dominating_set(small_random_graph, result.dominating_set)
+
+    def test_never_worse_than_greedy(self, tiny_suite):
+        for graph in tiny_suite.values():
+            assert exact_optimum_size(graph) <= len(greedy_dominating_set(graph))
+
+    def test_never_below_lp_optimum(self, tiny_suite):
+        for graph in tiny_suite.values():
+            assert exact_optimum_size(graph) >= solve_fractional_mds(graph).objective - 1e-6
+
+    def test_matches_networkx_upper_bound(self, unit_disk):
+        # networkx's heuristic dominating set is an upper bound on the optimum.
+        heuristic = nx.dominating_set(unit_disk)
+        assert exact_optimum_size(unit_disk) <= len(heuristic)
+
+    def test_work_budget_enforced(self):
+        graph = nx.erdos_renyi_graph(40, 0.15, seed=1)
+        with pytest.raises(SearchBudgetExceeded):
+            exact_minimum_dominating_set(graph, max_nodes_expanded=3)
+
+    def test_nodes_expanded_reported(self, star):
+        result = exact_minimum_dominating_set(star)
+        assert result.nodes_expanded >= 1
+
+    def test_disconnected_graph(self):
+        graph = nx.disjoint_union(nx.star_graph(3), nx.star_graph(3))
+        assert exact_optimum_size(graph) == 2

@@ -1,0 +1,101 @@
+"""Unit tests for the greedy dominating set baselines."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact import exact_optimum_size
+from repro.baselines.greedy import (
+    greedy_dominating_set,
+    greedy_span_sequence,
+    greedy_weighted_dominating_set,
+)
+from repro.domset.validation import is_dominating_set
+
+
+class TestGreedyDominatingSet:
+    def test_star_picks_only_the_hub(self, star):
+        assert greedy_dominating_set(star) == frozenset({0})
+
+    def test_clique_picks_one_node(self, clique):
+        assert len(greedy_dominating_set(clique)) == 1
+
+    def test_path_needs_three(self):
+        assert len(greedy_dominating_set(nx.path_graph(9))) == 3
+
+    def test_output_always_dominates(self, small_random_graph, unit_disk, grid):
+        for graph in (small_random_graph, unit_disk, grid):
+            assert is_dominating_set(graph, greedy_dominating_set(graph))
+
+    def test_edgeless_graph_takes_all_nodes(self):
+        graph = nx.empty_graph(4)
+        assert greedy_dominating_set(graph) == frozenset(graph.nodes())
+
+    def test_deterministic(self, small_random_graph):
+        assert greedy_dominating_set(small_random_graph) == greedy_dominating_set(
+            small_random_graph
+        )
+
+    def test_ln_delta_guarantee(self, tiny_suite):
+        """Greedy never exceeds (1 + ln(Δ+1)) times the optimum."""
+        for name, graph in tiny_suite.items():
+            optimum = exact_optimum_size(graph)
+            delta = max(degree for _, degree in graph.degree())
+            greedy_size = len(greedy_dominating_set(graph))
+            assert greedy_size <= (1.0 + math.log(delta + 1.0)) * optimum + 1e-9, name
+
+    def test_matches_set_cover_formulation(self, grid, caterpillar):
+        from repro.baselines.greedy_set_cover import greedy_set_cover_dominating_set
+
+        for graph in (grid, caterpillar):
+            assert len(greedy_dominating_set(graph)) == len(
+                greedy_set_cover_dominating_set(graph)
+            )
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            greedy_dominating_set(nx.Graph([(0, 0)]))
+
+
+class TestGreedySpanSequence:
+    def test_spans_non_increasing(self, small_random_graph):
+        spans = greedy_span_sequence(small_random_graph)
+        assert all(a >= b for a, b in zip(spans, spans[1:]))
+
+    def test_spans_sum_to_n(self, grid):
+        assert sum(greedy_span_sequence(grid)) == grid.number_of_nodes()
+
+    def test_star_single_span(self, star):
+        assert greedy_span_sequence(star) == [11]
+
+    def test_length_matches_greedy_size(self, unit_disk):
+        assert len(greedy_span_sequence(unit_disk)) == len(
+            greedy_dominating_set(unit_disk)
+        )
+
+
+class TestWeightedGreedy:
+    def test_uniform_weights_match_greedy_size(self, grid):
+        weights = {node: 1.0 for node in grid.nodes()}
+        weighted = greedy_weighted_dominating_set(grid, weights)
+        assert len(weighted) == len(greedy_dominating_set(grid))
+
+    def test_avoids_expensive_hub(self):
+        star = nx.star_graph(4)
+        weights = {0: 100.0, **{leaf: 1.0 for leaf in range(1, 5)}}
+        chosen = greedy_weighted_dominating_set(star, weights)
+        assert is_dominating_set(star, chosen)
+        # Choosing all leaves (cost 4... plus hub coverage) is cheaper than
+        # the 100-cost hub; the greedy must not pick the hub.
+        assert 0 not in chosen
+
+    def test_output_dominates(self, unit_disk):
+        weights = {node: 1.0 + (node % 3) for node in unit_disk.nodes()}
+        assert is_dominating_set(
+            unit_disk, greedy_weighted_dominating_set(unit_disk, weights)
+        )
+
+    def test_missing_weights_rejected(self, path):
+        with pytest.raises(ValueError):
+            greedy_weighted_dominating_set(path, {0: 1.0})

@@ -1,0 +1,65 @@
+"""Unit tests for greedy set cover."""
+
+import math
+
+import pytest
+
+from repro.baselines.greedy_set_cover import (
+    greedy_guarantee,
+    greedy_set_cover,
+    greedy_set_cover_dominating_set,
+    harmonic_number,
+)
+from repro.domset.validation import is_dominating_set
+
+
+class TestGreedySetCover:
+    def test_simple_cover(self):
+        sets = {"a": frozenset({1, 2, 3}), "b": frozenset({3, 4}), "c": frozenset({4, 5})}
+        chosen = greedy_set_cover({1, 2, 3, 4, 5}, sets)
+        covered = set()
+        for set_id in chosen:
+            covered |= sets[set_id]
+        assert covered >= {1, 2, 3, 4, 5}
+
+    def test_picks_largest_first(self):
+        sets = {"big": frozenset({1, 2, 3, 4}), "small": frozenset({5})}
+        assert greedy_set_cover({1, 2, 3, 4, 5}, sets)[0] == "big"
+
+    def test_uncoverable_universe_rejected(self):
+        with pytest.raises(ValueError, match="cannot be covered"):
+            greedy_set_cover({1, 2}, {"a": frozenset({1})})
+
+    def test_empty_universe_needs_no_sets(self):
+        assert greedy_set_cover(set(), {"a": frozenset({1})}) == []
+
+    def test_deterministic_tie_break_by_id(self):
+        sets = {"b": frozenset({1, 2}), "a": frozenset({1, 2})}
+        assert greedy_set_cover({1, 2}, sets) == ["a"]
+
+    def test_dominating_set_wrapper(self, grid):
+        chosen = greedy_set_cover_dominating_set(grid)
+        assert is_dominating_set(grid, chosen)
+
+
+class TestHarmonicBound:
+    def test_harmonic_number_values(self):
+        assert harmonic_number(1) == pytest.approx(1.0)
+        assert harmonic_number(3) == pytest.approx(1.0 + 0.5 + 1.0 / 3.0)
+        assert harmonic_number(0) == 0.0
+
+    def test_harmonic_close_to_log(self):
+        assert harmonic_number(1000) == pytest.approx(math.log(1000) + 0.5772, abs=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+    def test_greedy_guarantee_uses_max_degree(self, star):
+        assert greedy_guarantee(star) == pytest.approx(harmonic_number(11))
+
+    def test_greedy_guarantee_empty_graph(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            greedy_guarantee(nx.Graph())

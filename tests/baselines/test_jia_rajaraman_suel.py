@@ -1,0 +1,87 @@
+"""Unit tests for the Jia–Rajaraman–Suel LRG comparator."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact import exact_optimum_size
+from repro.baselines.jia_rajaraman_suel import LRGProgram, lrg_dominating_set
+from repro.domset.validation import is_dominating_set
+
+
+class TestLRGCorrectness:
+    def test_output_dominates_random_graph(self, small_random_graph):
+        for seed in range(3):
+            result = lrg_dominating_set(small_random_graph, seed=seed)
+            assert is_dominating_set(small_random_graph, result.dominating_set)
+
+    def test_output_dominates_structured_graphs(self, star, grid, caterpillar, clique):
+        for graph in (star, grid, caterpillar, clique):
+            result = lrg_dominating_set(graph, seed=0)
+            assert is_dominating_set(graph, result.dominating_set)
+
+    def test_output_dominates_unit_disk(self, unit_disk):
+        result = lrg_dominating_set(unit_disk, seed=1)
+        assert is_dominating_set(unit_disk, result.dominating_set)
+
+    def test_edgeless_graph(self):
+        graph = nx.empty_graph(4)
+        result = lrg_dominating_set(graph, seed=0)
+        assert result.dominating_set == frozenset(graph.nodes())
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        result = lrg_dominating_set(graph, seed=0)
+        assert result.dominating_set == frozenset({0})
+
+    def test_star_finds_small_set(self, star):
+        result = lrg_dominating_set(star, seed=0)
+        # The hub has by far the largest span; LRG should settle on a set
+        # much smaller than the trivial 11-node one.
+        assert result.size <= 3
+
+    def test_deterministic_given_seed(self, unit_disk):
+        first = lrg_dominating_set(unit_disk, seed=5)
+        second = lrg_dominating_set(unit_disk, seed=5)
+        assert first.dominating_set == second.dominating_set
+
+
+class TestLRGComplexity:
+    def test_phases_polylogarithmic(self, small_random_graph, unit_disk, grid):
+        for graph in (small_random_graph, unit_disk, grid):
+            n = graph.number_of_nodes()
+            delta = max(degree for _, degree in graph.degree())
+            result = lrg_dominating_set(graph, seed=0)
+            phase_bound = 4 * (math.ceil(math.log2(max(n, 2))) + 2) * (
+                math.ceil(math.log2(delta + 2)) + 2
+            )
+            assert result.phases <= phase_bound
+
+    def test_rounds_exceed_kw_pipeline_for_small_k(self, unit_disk):
+        """The paper's motivation: KW with constant k uses fewer rounds."""
+        from repro.core.kuhn_wattenhofer import kuhn_wattenhofer_dominating_set
+
+        kw = kuhn_wattenhofer_dominating_set(unit_disk, k=1, seed=0)
+        lrg = lrg_dominating_set(unit_disk, seed=0)
+        assert kw.total_rounds < lrg.rounds
+
+    def test_quality_reasonable(self, tiny_suite):
+        """LRG is an O(log Δ) approximation in expectation; check a generous
+        multiple on small instances (single run, not the expectation)."""
+        for name, graph in tiny_suite.items():
+            optimum = exact_optimum_size(graph)
+            delta = max(degree for _, degree in graph.degree())
+            result = lrg_dominating_set(graph, seed=3)
+            assert result.size <= 4 * (1 + math.log(delta + 2)) * optimum, name
+
+    def test_max_phases_validation(self):
+        with pytest.raises(ValueError):
+            LRGProgram(max_phases=0)
+
+    def test_explicit_phase_cap_respected(self, grid):
+        result = lrg_dominating_set(grid, seed=0, max_phases=1)
+        # One phase plus the join-directly backstop still dominates.
+        assert is_dominating_set(grid, result.dominating_set)
+        assert result.phases <= 1

@@ -1,0 +1,57 @@
+"""Unit tests for the central-LP + distributed rounding baseline."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import mean
+from repro.baselines.exact import exact_optimum_size
+from repro.baselines.lp_rounding_central import central_lp_rounding_dominating_set
+from repro.core.rounding import RoundingRule
+from repro.domset.validation import is_dominating_set
+
+
+class TestCentralLPRounding:
+    def test_output_dominates(self, small_random_graph, unit_disk, grid):
+        for graph in (small_random_graph, unit_disk, grid):
+            result = central_lp_rounding_dominating_set(graph, seed=0)
+            assert is_dominating_set(graph, result.dominating_set)
+
+    def test_lp_optimum_exposed(self, star):
+        result = central_lp_rounding_dominating_set(star, seed=0)
+        assert result.lp_optimum == pytest.approx(1.0, abs=1e-6)
+
+    def test_star_selects_hub(self, star):
+        result = central_lp_rounding_dominating_set(star, seed=0)
+        assert 0 in result.dominating_set
+        assert result.size <= 2
+
+    def test_alpha_one_expectation_bound(self, grid):
+        """With the optimal LP input, E[|DS|] ≤ (1 + ln(Δ+1))·|DS_OPT|."""
+        optimum = exact_optimum_size(grid)
+        delta = max(degree for _, degree in grid.degree())
+        sizes = [
+            central_lp_rounding_dominating_set(grid, seed=seed).size for seed in range(30)
+        ]
+        assert mean(sizes) <= 1.2 * (1.0 + math.log(delta + 1.0)) * optimum
+
+    def test_alternative_rule_supported(self, unit_disk):
+        result = central_lp_rounding_dominating_set(
+            unit_disk, seed=1, rule=RoundingRule.LOG_MINUS_LOGLOG
+        )
+        assert is_dominating_set(unit_disk, result.dominating_set)
+
+    def test_usually_at_least_as_good_as_distributed_pipeline(self, unit_disk):
+        """The α = 1 input should not be (much) worse than the k=1 pipeline."""
+        from repro.core.kuhn_wattenhofer import kuhn_wattenhofer_dominating_set
+
+        central = mean(
+            [central_lp_rounding_dominating_set(unit_disk, seed=s).size for s in range(5)]
+        )
+        distributed = mean(
+            [
+                kuhn_wattenhofer_dominating_set(unit_disk, k=1, seed=s).size
+                for s in range(5)
+            ]
+        )
+        assert central <= distributed + 1e-9

@@ -1,0 +1,66 @@
+"""Unit tests for the trivial baselines."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.trivial import (
+    all_nodes_dominating_set,
+    maximal_independent_set_dominating_set,
+    random_dominating_set,
+)
+from repro.domset.validation import is_dominating_set
+
+
+class TestAllNodes:
+    def test_is_always_dominating(self, small_random_graph):
+        assert is_dominating_set(
+            small_random_graph, all_nodes_dominating_set(small_random_graph)
+        )
+
+    def test_size_is_n(self, grid):
+        assert len(all_nodes_dominating_set(grid)) == grid.number_of_nodes()
+
+    def test_trivial_ratio_bound(self, tiny_suite):
+        """|V| ≤ (Δ+1)·|DS_OPT| -- the 'trivial' O(Δ) ratio from the paper."""
+        from repro.baselines.exact import exact_optimum_size
+
+        for graph in tiny_suite.values():
+            delta = max(degree for _, degree in graph.degree())
+            assert graph.number_of_nodes() <= (delta + 1) * exact_optimum_size(graph)
+
+
+class TestRandomDominatingSet:
+    def test_is_dominating(self, small_random_graph, unit_disk):
+        for graph in (small_random_graph, unit_disk):
+            for seed in range(3):
+                assert is_dominating_set(graph, random_dominating_set(graph, seed=seed))
+
+    def test_deterministic_given_seed(self, unit_disk):
+        assert random_dominating_set(unit_disk, seed=4) == random_dominating_set(
+            unit_disk, seed=4
+        )
+
+    def test_usually_smaller_than_all_nodes(self, unit_disk):
+        assert len(random_dominating_set(unit_disk, seed=0)) < unit_disk.number_of_nodes()
+
+    def test_edgeless_graph(self):
+        graph = nx.empty_graph(4)
+        assert random_dominating_set(graph, seed=0) == frozenset(graph.nodes())
+
+
+class TestMISDominatingSet:
+    def test_is_dominating(self, small_random_graph, grid):
+        for graph in (small_random_graph, grid):
+            assert is_dominating_set(
+                graph, maximal_independent_set_dominating_set(graph, seed=1)
+            )
+
+    def test_is_independent(self, unit_disk):
+        chosen = maximal_independent_set_dominating_set(unit_disk, seed=2)
+        for u in chosen:
+            for v in chosen:
+                if u != v:
+                    assert not unit_disk.has_edge(u, v)
+
+    def test_clique_yields_single_node(self, clique):
+        assert len(maximal_independent_set_dominating_set(clique, seed=0)) == 1

@@ -1,0 +1,76 @@
+"""Unit tests for the Wu–Li marking algorithm."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.wu_li import wu_li_dominating_set
+from repro.domset.validation import is_dominating_set
+
+
+class TestWuLiMarking:
+    def test_marks_cut_vertices_on_path(self):
+        graph = nx.path_graph(5)
+        result = wu_li_dominating_set(graph, apply_pruning=False, ensure_domination=False)
+        # Interior nodes have two non-adjacent neighbours and get marked.
+        assert result.marked == frozenset({1, 2, 3})
+
+    def test_complete_graph_marks_nothing(self, clique):
+        result = wu_li_dominating_set(clique, apply_pruning=False, ensure_domination=False)
+        assert result.marked == frozenset()
+
+    def test_star_marks_only_hub(self, star):
+        result = wu_li_dominating_set(star, apply_pruning=False, ensure_domination=False)
+        assert result.marked == frozenset({0})
+
+    def test_marked_set_dominates_connected_noncomplete_graph(self, grid, caterpillar):
+        for graph in (grid, caterpillar):
+            result = wu_li_dominating_set(graph, apply_pruning=False, ensure_domination=False)
+            assert is_dominating_set(graph, result.dominating_set)
+
+    def test_marked_set_connected_for_connected_graph(self, grid):
+        result = wu_li_dominating_set(grid, apply_pruning=False, ensure_domination=False)
+        assert nx.is_connected(grid.subgraph(result.dominating_set))
+
+
+class TestWuLiPruning:
+    def test_pruned_set_still_dominates(self, grid, unit_disk):
+        for graph in (grid, unit_disk):
+            result = wu_li_dominating_set(graph, apply_pruning=True)
+            assert is_dominating_set(graph, result.dominating_set)
+
+    def test_pruning_never_increases_size(self, unit_disk):
+        unpruned = wu_li_dominating_set(unit_disk, apply_pruning=False)
+        pruned = wu_li_dominating_set(unit_disk, apply_pruning=True)
+        assert pruned.size <= unpruned.size
+
+
+class TestWuLiCompletion:
+    def test_ensure_domination_on_complete_graph(self, clique):
+        result = wu_li_dominating_set(clique, ensure_domination=True)
+        assert is_dominating_set(clique, result.dominating_set)
+
+    def test_ensure_domination_with_isolated_nodes(self):
+        graph = nx.empty_graph(3)
+        graph.add_edge(0, 1)
+        result = wu_li_dominating_set(graph, ensure_domination=True)
+        assert is_dominating_set(graph, result.dominating_set)
+
+    def test_without_completion_complete_graph_not_dominated(self, clique):
+        result = wu_li_dominating_set(clique, ensure_domination=False)
+        assert result.dominating_set == frozenset()
+
+
+class TestWuLiComplexity:
+    def test_constant_rounds(self, small_random_graph, unit_disk, grid):
+        for graph in (small_random_graph, unit_disk, grid):
+            result = wu_li_dominating_set(graph)
+            assert result.rounds <= 3
+
+    def test_no_ratio_guarantee_demonstrated(self):
+        """Wu–Li can be Θ(n) times larger than the optimum (e.g. on a path),
+        which is exactly why the paper calls it a trivial-ratio algorithm."""
+        graph = nx.path_graph(60)
+        result = wu_li_dominating_set(graph, apply_pruning=False)
+        from repro.baselines.exact import exact_optimum_size
+
+        assert result.size >= 2 * exact_optimum_size(graph)

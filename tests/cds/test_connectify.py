@@ -1,0 +1,74 @@
+"""Unit tests for dominating set connectification."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.greedy import greedy_dominating_set
+from repro.cds.connectify import connect_dominating_set, kw_connected_dominating_set
+from repro.cds.validation import is_connected_dominating_set
+from repro.graphs.generators import erdos_renyi_graph, grid_graph
+from repro.graphs.unit_disk import random_unit_disk_graph
+
+
+def connected_random_graph(n, p, seed):
+    """A connected G(n, p)-style graph (resample until connected)."""
+    for attempt in range(50):
+        graph = erdos_renyi_graph(n, p, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return graph
+    raise RuntimeError("could not generate a connected graph")
+
+
+class TestConnectDominatingSet:
+    def test_already_connected_set_unchanged(self, star):
+        assert connect_dominating_set(star, {0}) == frozenset({0})
+
+    def test_path_dominators_get_connected(self):
+        graph = nx.path_graph(9)
+        cds = connect_dominating_set(graph, {1, 4, 7})
+        assert is_connected_dominating_set(graph, cds)
+        assert {1, 4, 7} <= cds
+
+    def test_size_at_most_three_times_input(self):
+        graph = connected_random_graph(40, 0.12, seed=3)
+        dominating = greedy_dominating_set(graph)
+        cds = connect_dominating_set(graph, dominating)
+        assert is_connected_dominating_set(graph, cds)
+        assert len(cds) <= 3 * len(dominating)
+
+    def test_grid_greedy_connectified(self):
+        graph = grid_graph(6, 6)
+        cds = connect_dominating_set(graph, greedy_dominating_set(graph))
+        assert is_connected_dominating_set(graph, cds)
+
+    def test_rejects_non_dominating_input(self):
+        graph = nx.path_graph(6)
+        with pytest.raises(ValueError, match="not a dominating set"):
+            connect_dominating_set(graph, {0})
+
+    def test_rejects_disconnected_graph(self):
+        graph = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+        with pytest.raises(ValueError, match="disconnected"):
+            connect_dominating_set(graph, set(graph.nodes()))
+
+    def test_single_node_graph(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert connect_dominating_set(graph, {0}) == frozenset({0})
+
+
+class TestKWConnectedDominatingSet:
+    def test_unit_disk_backbone(self):
+        graph = random_unit_disk_graph(60, radius=0.25, seed=5)
+        if not nx.is_connected(graph):
+            graph = graph.subgraph(max(nx.connected_components(graph), key=len)).copy()
+            graph = nx.convert_node_labels_to_integers(graph)
+        cds, pipeline = kw_connected_dominating_set(graph, k=2, seed=1)
+        assert is_connected_dominating_set(graph, cds)
+        assert pipeline.dominating_set <= cds
+
+    def test_connected_random_graph(self):
+        graph = connected_random_graph(35, 0.15, seed=9)
+        cds, pipeline = kw_connected_dominating_set(graph, k=2, seed=0)
+        assert is_connected_dominating_set(graph, cds)
+        assert len(cds) >= pipeline.size

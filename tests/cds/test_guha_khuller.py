@@ -1,0 +1,68 @@
+"""Unit tests for the Guha–Khuller greedy CDS baseline."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
+from repro.cds.validation import is_connected_dominating_set
+from repro.graphs.generators import grid_graph
+
+
+class TestGuhaKhuller:
+    def test_star_selects_hub(self, star):
+        assert guha_khuller_connected_dominating_set(star) == frozenset({0})
+
+    def test_clique_selects_single_node(self, clique):
+        assert len(guha_khuller_connected_dominating_set(clique)) == 1
+
+    def test_path_selects_interior(self):
+        graph = nx.path_graph(7)
+        cds = guha_khuller_connected_dominating_set(graph)
+        assert is_connected_dominating_set(graph, cds)
+        assert cds <= set(range(1, 6))
+
+    def test_output_is_cds_on_grid(self):
+        graph = grid_graph(5, 5)
+        cds = guha_khuller_connected_dominating_set(graph)
+        assert is_connected_dominating_set(graph, cds)
+
+    def test_output_is_cds_on_unit_disk(self, unit_disk):
+        graph = unit_disk
+        if not nx.is_connected(graph):
+            graph = graph.subgraph(max(nx.connected_components(graph), key=len)).copy()
+        cds = guha_khuller_connected_dominating_set(graph)
+        assert is_connected_dominating_set(graph, cds)
+
+    def test_single_node_graph(self):
+        graph = nx.Graph()
+        graph.add_node(3)
+        assert guha_khuller_connected_dominating_set(graph) == frozenset({3})
+
+    def test_two_node_graph(self):
+        graph = nx.path_graph(2)
+        cds = guha_khuller_connected_dominating_set(graph)
+        assert is_connected_dominating_set(graph, cds)
+        assert len(cds) == 1
+
+    def test_disconnected_graph_rejected(self):
+        graph = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+        with pytest.raises(ValueError, match="disconnected"):
+            guha_khuller_connected_dominating_set(graph)
+
+    def test_quality_on_grid_vs_optimum_domination(self):
+        """CDS size is within the classical ~(2+ln Δ)·OPT_CDS style factor;
+        since OPT_CDS ≥ OPT_DS we check against the dominating set optimum."""
+        from repro.baselines.exact import exact_optimum_size
+
+        graph = grid_graph(5, 5)
+        cds = guha_khuller_connected_dominating_set(graph)
+        delta = max(degree for _, degree in graph.degree())
+        # Loose sanity bound: |CDS| ≤ 3·(1 + ln(Δ+1))·|DS_OPT|.
+        assert len(cds) <= 3 * (1 + math.log(delta + 1)) * exact_optimum_size(graph)
+
+    def test_deterministic(self, grid):
+        assert guha_khuller_connected_dominating_set(
+            grid
+        ) == guha_khuller_connected_dominating_set(grid)

@@ -1,0 +1,74 @@
+"""Unit tests for connected dominating set validation and backbone stats."""
+
+import networkx as nx
+import pytest
+
+from repro.cds.validation import backbone_statistics, is_connected_dominating_set
+
+
+class TestIsConnectedDominatingSet:
+    def test_hub_of_star_is_cds(self, star):
+        assert is_connected_dominating_set(star, {0})
+
+    def test_disconnected_candidate_rejected(self):
+        graph = nx.path_graph(7)
+        # {0, 6} dominates nothing in the middle and is not connected anyway.
+        assert not is_connected_dominating_set(graph, {0, 6})
+
+    def test_dominating_but_disconnected_candidate(self):
+        graph = nx.path_graph(7)
+        # {1, 4} ∪ {6}? Use {1, 4, 6}: dominates 0..6? 1 covers 0,1,2; 4 covers
+        # 3,4,5; 6 covers 5,6 -> dominating, but induced subgraph has no edges.
+        assert not is_connected_dominating_set(graph, {1, 4, 6})
+
+    def test_path_interior_is_cds(self):
+        graph = nx.path_graph(5)
+        assert is_connected_dominating_set(graph, {1, 2, 3})
+
+    def test_empty_set_is_not_cds(self, path):
+        assert not is_connected_dominating_set(path, set())
+
+    def test_whole_vertex_set_of_connected_graph(self, grid):
+        assert is_connected_dominating_set(grid, set(grid.nodes()))
+
+    def test_disconnected_graph_has_no_cds(self):
+        graph = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+        assert not is_connected_dominating_set(graph, set(graph.nodes()))
+
+    def test_non_dominating_connected_set(self):
+        graph = nx.path_graph(6)
+        assert not is_connected_dominating_set(graph, {0, 1})
+
+
+class TestBackboneStatistics:
+    def test_star_hub_backbone(self, star):
+        stats = backbone_statistics(star, {0})
+        assert stats.size == 1
+        assert stats.is_dominating
+        assert stats.is_connected
+        assert stats.diameter == 0
+        assert stats.stretch is not None and stats.stretch >= 1.0
+
+    def test_path_backbone_diameter(self):
+        graph = nx.path_graph(7)
+        stats = backbone_statistics(graph, {1, 2, 3, 4, 5})
+        assert stats.is_connected
+        assert stats.diameter == 4
+
+    def test_disconnected_backbone_reports_none(self):
+        graph = nx.path_graph(7)
+        stats = backbone_statistics(graph, {1, 4, 6})
+        assert not stats.is_connected
+        assert stats.diameter is None
+        assert stats.stretch is None
+
+    def test_stretch_at_least_one(self, grid):
+        from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
+
+        cds = guha_khuller_connected_dominating_set(grid)
+        stats = backbone_statistics(grid, cds, sample_pairs=30, seed=1)
+        assert stats.stretch >= 1.0
+
+    def test_mean_degree_of_clique_backbone(self, clique):
+        stats = backbone_statistics(clique, set(clique.nodes()))
+        assert stats.mean_backbone_degree == pytest.approx(5.0)

@@ -1,0 +1,138 @@
+"""Edge-case tests for the core algorithms on degenerate and extreme graphs.
+
+The paper's algorithms are stated for arbitrary graphs; these tests pin the
+behaviour on the shapes that most often break distributed implementations:
+complete graphs (everything within one hop), graphs with isolated vertices
+(self-domination), disconnected graphs, two-node graphs, very large k
+relative to Δ, and heterogeneous-degree constructions.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import (
+    algorithm2_approximation_bound,
+    algorithm3_approximation_bound,
+)
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.kuhn_wattenhofer import FractionalVariant, kuhn_wattenhofer_dominating_set
+from repro.core.rounding import round_fractional_solution
+from repro.domset.validation import is_dominating_set
+from repro.graphs.generators import star_of_cliques, two_level_star
+from repro.lp.feasibility import check_primal_feasible
+from repro.lp.formulation import build_lp
+from repro.lp.solver import solve_fractional_mds
+
+
+def assert_feasible(graph, x):
+    assert check_primal_feasible(build_lp(graph), x, tolerance=1e-9)
+
+
+class TestCompleteGraphs:
+    @pytest.mark.parametrize("n", [2, 3, 8, 15])
+    def test_both_algorithms_feasible(self, n):
+        graph = nx.complete_graph(n)
+        assert_feasible(graph, approximate_fractional_mds(graph, k=2).x)
+        assert_feasible(graph, approximate_fractional_mds_unknown_delta(graph, k=2).x)
+
+    def test_pipeline_selects_few_nodes(self):
+        graph = nx.complete_graph(12)
+        result = kuhn_wattenhofer_dominating_set(graph, k=3, seed=0)
+        assert is_dominating_set(graph, result.dominating_set)
+        # On K_12 the LP optimum is 1; the bound allows ~1 + ln(12) ≈ 3.5
+        # times that in expectation, so a single run stays small.
+        assert result.size <= 12
+
+    def test_two_node_graph(self):
+        graph = nx.path_graph(2)
+        for k in (1, 2, 3):
+            result = kuhn_wattenhofer_dominating_set(graph, k=k, seed=1)
+            assert is_dominating_set(graph, result.dominating_set)
+            assert 1 <= result.size <= 2
+
+
+class TestIsolatedAndDisconnected:
+    def test_graph_with_isolated_vertices(self):
+        graph = nx.erdos_renyi_graph(20, 0.1, seed=4)
+        graph.add_nodes_from(range(100, 105))  # five isolated vertices
+        result = kuhn_wattenhofer_dominating_set(graph, k=2, seed=0)
+        assert is_dominating_set(graph, result.dominating_set)
+        assert set(range(100, 105)) <= result.dominating_set
+
+    def test_disconnected_components_handled_independently(self):
+        graph = nx.disjoint_union(nx.star_graph(5), nx.cycle_graph(6))
+        for k in (1, 2):
+            frac = approximate_fractional_mds_unknown_delta(graph, k=k)
+            assert_feasible(graph, frac.x)
+            result = kuhn_wattenhofer_dominating_set(graph, k=k, seed=2)
+            assert is_dominating_set(graph, result.dominating_set)
+
+    def test_many_tiny_components(self):
+        graph = nx.Graph()
+        for index in range(12):
+            graph.add_edge(2 * index, 2 * index + 1)
+        result = kuhn_wattenhofer_dominating_set(graph, k=2, seed=0)
+        assert is_dominating_set(graph, result.dominating_set)
+        # One endpoint per edge suffices; the expectation bound allows more,
+        # but at most both endpoints of each component can be selected.
+        assert result.size <= 24
+
+
+class TestExtremeK:
+    def test_k_much_larger_than_log_delta(self):
+        graph = nx.star_graph(9)
+        result2 = approximate_fractional_mds(graph, k=8)
+        result3 = approximate_fractional_mds_unknown_delta(graph, k=8)
+        assert_feasible(graph, result2.x)
+        assert_feasible(graph, result3.x)
+        # The guarantee keeps improving (or flattens); it never inverts.
+        lp_opt = solve_fractional_mds(graph).objective
+        assert result2.objective <= algorithm2_approximation_bound(8, 9) * lp_opt + 1e-9
+        assert result3.objective <= algorithm3_approximation_bound(8, 9) * lp_opt + 1e-9
+
+    def test_k_one_still_feasible_everywhere(self):
+        for graph in (nx.star_graph(6), nx.cycle_graph(9), nx.complete_graph(5)):
+            assert_feasible(graph, approximate_fractional_mds(graph, k=1).x)
+            assert_feasible(graph, approximate_fractional_mds_unknown_delta(graph, k=1).x)
+
+
+class TestHeterogeneousDegrees:
+    def test_star_of_cliques_both_variants(self):
+        graph = star_of_cliques(arms=4, clique_size=6, arm_length=2)
+        for variant in FractionalVariant:
+            result = kuhn_wattenhofer_dominating_set(graph, k=3, seed=1, variant=variant)
+            assert is_dominating_set(graph, result.dominating_set)
+
+    def test_two_level_star_fractional_quality(self):
+        graph = two_level_star(hub_fanout=6, leaf_fanout=5)
+        lp_opt = solve_fractional_mds(graph).objective
+        result = approximate_fractional_mds_unknown_delta(graph, k=3)
+        assert_feasible(graph, result.x)
+        delta = max(degree for _, degree in graph.degree())
+        assert result.objective <= algorithm3_approximation_bound(3, delta) * lp_opt + 1e-9
+
+    def test_rounding_on_heterogeneous_graph(self):
+        graph = two_level_star(hub_fanout=5, leaf_fanout=4)
+        x = solve_fractional_mds(graph).values
+        for seed in range(4):
+            result = round_fractional_solution(graph, x, seed=seed)
+            assert is_dominating_set(graph, result.dominating_set)
+
+
+class TestDeltaOverride:
+    def test_overestimated_delta_preserves_guarantee_wrt_override(self):
+        graph = nx.cycle_graph(12)
+        lp_opt = solve_fractional_mds(graph).objective
+        overestimate = 50
+        result = approximate_fractional_mds(graph, k=2, delta=overestimate)
+        assert_feasible(graph, result.x)
+        assert result.objective <= (
+            algorithm2_approximation_bound(2, overestimate) * lp_opt + 1e-9
+        )
+
+    def test_exact_delta_equals_default(self):
+        graph = nx.cycle_graph(10)
+        default = approximate_fractional_mds(graph, k=2)
+        explicit = approximate_fractional_mds(graph, k=2, delta=2)
+        assert default.x == explicit.x

@@ -1,0 +1,144 @@
+"""Unit tests for Algorithm 2 (fractional LP approximation, Δ known)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import (
+    algorithm2_approximation_bound,
+    algorithm2_round_bound,
+)
+from repro.core.fractional import Algorithm2Program, approximate_fractional_mds
+from repro.lp.feasibility import check_primal_feasible
+from repro.lp.formulation import build_lp
+from repro.lp.solver import solve_fractional_mds
+
+
+def assert_feasible(graph, x):
+    lp = build_lp(graph)
+    feasible, violation = check_primal_feasible(lp, x, return_violation=True)
+    assert feasible, f"infeasible solution, violation {violation}"
+
+
+class TestAlgorithm2Feasibility:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_output_feasible_on_random_graph(self, small_random_graph, k):
+        result = approximate_fractional_mds(small_random_graph, k=k)
+        assert_feasible(small_random_graph, result.x)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_output_feasible_on_unit_disk(self, unit_disk, k):
+        result = approximate_fractional_mds(unit_disk, k=k)
+        assert_feasible(unit_disk, result.x)
+
+    def test_output_feasible_on_star(self, star):
+        result = approximate_fractional_mds(star, k=2)
+        assert_feasible(star, result.x)
+
+    def test_output_feasible_on_edgeless_graph(self):
+        graph = nx.empty_graph(4)
+        result = approximate_fractional_mds(graph, k=3)
+        assert_feasible(graph, result.x)
+        # Isolated nodes must each carry x = 1.
+        assert all(value == pytest.approx(1.0) for value in result.x.values())
+
+    def test_output_feasible_on_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        result = approximate_fractional_mds(graph, k=2)
+        assert result.x[0] == pytest.approx(1.0)
+
+    def test_x_values_within_unit_interval(self, small_random_graph):
+        result = approximate_fractional_mds(small_random_graph, k=3)
+        assert all(0.0 <= value <= 1.0 + 1e-12 for value in result.x.values())
+
+
+class TestAlgorithm2Approximation:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_theorem4_bound(self, small_random_graph, k):
+        result = approximate_fractional_mds(small_random_graph, k=k)
+        lp_opt = solve_fractional_mds(small_random_graph).objective
+        bound = algorithm2_approximation_bound(k, result.max_degree)
+        assert result.objective <= bound * lp_opt + 1e-9
+
+    def test_k1_never_exceeds_n(self, unit_disk):
+        result = approximate_fractional_mds(unit_disk, k=1)
+        assert result.objective <= unit_disk.number_of_nodes() + 1e-9
+
+    def test_larger_k_not_worse_much(self, unit_disk):
+        # The guarantee improves with k; the measured objective usually does
+        # too.  Assert the weak form implied by the bounds.
+        lp_opt = solve_fractional_mds(unit_disk).objective
+        delta = max(d for _, d in unit_disk.degree())
+        for k in (1, 2, 4):
+            result = approximate_fractional_mds(unit_disk, k=k)
+            assert result.objective <= algorithm2_approximation_bound(k, delta) * lp_opt + 1e-9
+
+    def test_objective_equals_sum_of_x(self, grid):
+        result = approximate_fractional_mds(grid, k=2)
+        assert result.objective == pytest.approx(sum(result.x.values()))
+
+
+class TestAlgorithm2Rounds:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_exactly_2k_squared_rounds(self, small_random_graph, k):
+        result = approximate_fractional_mds(small_random_graph, k=k)
+        assert result.rounds == algorithm2_round_bound(k)
+
+    def test_round_count_independent_of_graph(self, star, grid):
+        assert (
+            approximate_fractional_mds(star, k=3).rounds
+            == approximate_fractional_mds(grid, k=3).rounds
+            == 18
+        )
+
+
+class TestAlgorithm2Messages:
+    def test_messages_bounded_by_rounds_times_degree(self, unit_disk):
+        result = approximate_fractional_mds(unit_disk, k=2)
+        for node in unit_disk.nodes():
+            assert (
+                result.metrics.messages_for_node(node)
+                <= result.rounds * unit_disk.degree(node)
+            )
+
+    def test_message_size_is_small(self, unit_disk):
+        result = approximate_fractional_mds(unit_disk, k=3)
+        # Colour bits and x-values: nothing larger than one float charge.
+        assert result.metrics.max_message_bits <= 32
+
+
+class TestAlgorithm2Interface:
+    def test_invalid_k_rejected(self, path):
+        with pytest.raises(ValueError):
+            approximate_fractional_mds(path, k=0)
+
+    def test_delta_override_must_be_upper_bound(self, star):
+        with pytest.raises(ValueError):
+            approximate_fractional_mds(star, k=2, delta=3)
+
+    def test_delta_overestimate_still_feasible(self, grid):
+        result = approximate_fractional_mds(grid, k=2, delta=50)
+        assert_feasible(grid, result.x)
+
+    def test_program_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Algorithm2Program(k=0, delta=5)
+        with pytest.raises(ValueError):
+            Algorithm2Program(k=2, delta=-1)
+
+    def test_deterministic_output(self, small_random_graph):
+        first = approximate_fractional_mds(small_random_graph, k=3, seed=1)
+        second = approximate_fractional_mds(small_random_graph, k=3, seed=1)
+        assert first.x == second.x
+
+    def test_trace_collection_optional(self, grid):
+        with_trace = approximate_fractional_mds(grid, k=2, collect_trace=True)
+        without_trace = approximate_fractional_mds(grid, k=2, collect_trace=False)
+        assert len(with_trace.trace) > 0
+        assert len(without_trace.trace) == 0
+        assert with_trace.x == without_trace.x
+
+    def test_rejects_self_loop_graph(self):
+        graph = nx.Graph([(0, 1), (1, 1)])
+        with pytest.raises(ValueError):
+            approximate_fractional_mds(graph, k=2)

@@ -1,0 +1,154 @@
+"""Unit tests for Algorithm 3 (fractional LP approximation, Δ unknown)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import (
+    algorithm3_approximation_bound,
+    algorithm3_round_bound,
+)
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import (
+    Algorithm3Program,
+    approximate_fractional_mds_unknown_delta,
+)
+from repro.lp.feasibility import check_primal_feasible
+from repro.lp.formulation import build_lp
+from repro.lp.solver import solve_fractional_mds
+
+
+def assert_feasible(graph, x):
+    lp = build_lp(graph)
+    feasible, violation = check_primal_feasible(lp, x, return_violation=True)
+    assert feasible, f"infeasible solution, violation {violation}"
+
+
+class TestAlgorithm3Feasibility:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_output_feasible_on_random_graph(self, small_random_graph, k):
+        result = approximate_fractional_mds_unknown_delta(small_random_graph, k=k)
+        assert_feasible(small_random_graph, result.x)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_output_feasible_on_unit_disk(self, unit_disk, k):
+        result = approximate_fractional_mds_unknown_delta(unit_disk, k=k)
+        assert_feasible(unit_disk, result.x)
+
+    def test_output_feasible_on_structured_graphs(self, star, grid, caterpillar):
+        for graph in (star, grid, caterpillar):
+            result = approximate_fractional_mds_unknown_delta(graph, k=3)
+            assert_feasible(graph, result.x)
+
+    def test_edgeless_graph(self):
+        graph = nx.empty_graph(5)
+        result = approximate_fractional_mds_unknown_delta(graph, k=2)
+        assert all(value == pytest.approx(1.0) for value in result.x.values())
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        result = approximate_fractional_mds_unknown_delta(graph, k=3)
+        assert result.x[0] == pytest.approx(1.0)
+
+    def test_x_values_within_unit_interval(self, small_random_graph):
+        result = approximate_fractional_mds_unknown_delta(small_random_graph, k=3)
+        assert all(0.0 <= value <= 1.0 + 1e-12 for value in result.x.values())
+
+
+class TestAlgorithm3Approximation:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_theorem5_bound(self, small_random_graph, k):
+        result = approximate_fractional_mds_unknown_delta(small_random_graph, k=k)
+        lp_opt = solve_fractional_mds(small_random_graph).objective
+        bound = algorithm3_approximation_bound(k, result.max_degree)
+        assert result.objective <= bound * lp_opt + 1e-9
+
+    def test_theorem5_bound_on_unit_disk(self, unit_disk):
+        lp_opt = solve_fractional_mds(unit_disk).objective
+        delta = max(d for _, d in unit_disk.degree())
+        for k in (2, 3):
+            result = approximate_fractional_mds_unknown_delta(unit_disk, k=k)
+            assert result.objective <= algorithm3_approximation_bound(k, delta) * lp_opt + 1e-9
+
+    def test_objective_matches_sum(self, grid):
+        result = approximate_fractional_mds_unknown_delta(grid, k=2)
+        assert result.objective == pytest.approx(sum(result.x.values()))
+
+
+class TestAlgorithm3Rounds:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_round_bound_4k2_plus_ok(self, small_random_graph, k):
+        result = approximate_fractional_mds_unknown_delta(small_random_graph, k=k)
+        assert result.rounds <= algorithm3_round_bound(k)
+
+    def test_rounds_grow_quadratically(self, grid):
+        rounds = [
+            approximate_fractional_mds_unknown_delta(grid, k=k).rounds for k in (1, 2, 4)
+        ]
+        # 4k² dominates: ratio between k=4 and k=1 should be close to 16.
+        assert rounds[2] > 8 * rounds[0] / 2
+
+    def test_more_rounds_than_algorithm2(self, grid):
+        # Algorithm 3 pays roughly a factor 2 in rounds for not knowing Δ.
+        alg2 = approximate_fractional_mds(grid, k=3)
+        alg3 = approximate_fractional_mds_unknown_delta(grid, k=3)
+        assert alg3.rounds > alg2.rounds
+
+
+class TestAlgorithm3Messages:
+    def test_messages_bounded_by_rounds_times_degree(self, unit_disk):
+        result = approximate_fractional_mds_unknown_delta(unit_disk, k=2)
+        for node in unit_disk.nodes():
+            assert (
+                result.metrics.messages_for_node(node)
+                <= result.rounds * unit_disk.degree(node)
+            )
+
+    def test_message_size_stays_logarithmic(self, unit_disk):
+        result = approximate_fractional_mds_unknown_delta(unit_disk, k=3)
+        assert result.metrics.max_message_bits <= 32
+
+
+class TestAlgorithm3Interface:
+    def test_invalid_k_rejected(self, path):
+        with pytest.raises(ValueError):
+            approximate_fractional_mds_unknown_delta(path, k=0)
+
+    def test_program_rejects_invalid_k(self):
+        with pytest.raises(ValueError):
+            Algorithm3Program(k=0)
+
+    def test_deterministic_output(self, small_random_graph):
+        first = approximate_fractional_mds_unknown_delta(small_random_graph, k=2, seed=3)
+        second = approximate_fractional_mds_unknown_delta(small_random_graph, k=2, seed=3)
+        assert first.x == second.x
+
+    def test_no_global_delta_needed(self, small_random_graph):
+        # Identical graphs with different node labels (hence identical Δ)
+        # must produce structurally identical solutions -- a smoke check
+        # that no global information leaks into the program.
+        relabeled = nx.relabel_nodes(
+            small_random_graph,
+            {node: node + 1000 for node in small_random_graph.nodes()},
+        )
+        original = approximate_fractional_mds_unknown_delta(small_random_graph, k=2)
+        shifted = approximate_fractional_mds_unknown_delta(relabeled, k=2)
+        assert original.objective == pytest.approx(shifted.objective)
+
+
+class TestAlgorithm2VersusAlgorithm3:
+    def test_both_feasible_same_graph(self, caterpillar):
+        lp = build_lp(caterpillar)
+        alg2 = approximate_fractional_mds(caterpillar, k=3)
+        alg3 = approximate_fractional_mds_unknown_delta(caterpillar, k=3)
+        assert check_primal_feasible(lp, alg2.x)
+        assert check_primal_feasible(lp, alg3.x)
+
+    def test_bounds_relation(self):
+        # Theorem 5's bound is never smaller than Theorem 4's.
+        for delta in (4, 16, 64):
+            for k in (1, 2, 3, 5):
+                assert (
+                    algorithm3_approximation_bound(k, delta)
+                    >= k * (delta + 1) ** (2 / k) - 1e-9
+                )

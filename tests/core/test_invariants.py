@@ -1,0 +1,122 @@
+"""Unit tests for the Lemma 2-7 invariant checkers."""
+
+import pytest
+
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_active_count_invariant,
+    check_algorithm2_invariants,
+    check_algorithm3_invariants,
+    check_dynamic_degree_invariant,
+    check_z_invariant_known_delta,
+    check_z_invariant_unknown_delta,
+)
+from repro.simulator.trace import ExecutionTrace
+
+
+class TestAlgorithm2Invariants:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_all_lemmas_hold_on_random_graph(self, small_random_graph, k):
+        result = approximate_fractional_mds(small_random_graph, k=k, collect_trace=True)
+        report = check_algorithm2_invariants(small_random_graph, result.trace, k)
+        assert report.ok, [str(v) for v in report.violations[:3]]
+
+    def test_all_lemmas_hold_on_unit_disk(self, unit_disk):
+        result = approximate_fractional_mds(unit_disk, k=3, collect_trace=True)
+        report = check_algorithm2_invariants(unit_disk, result.trace, 3)
+        assert report.ok
+
+    def test_all_lemmas_hold_on_structured_graphs(self, star, grid, caterpillar):
+        for graph in (star, grid, caterpillar):
+            result = approximate_fractional_mds(graph, k=2, collect_trace=True)
+            assert check_algorithm2_invariants(graph, result.trace, 2).ok
+
+    def test_checked_count_scales_with_k_and_n(self, grid):
+        k = 3
+        result = approximate_fractional_mds(grid, k=k, collect_trace=True)
+        report = check_dynamic_degree_invariant(grid, result.trace, k)
+        assert report.checked == k * grid.number_of_nodes()
+
+
+class TestAlgorithm3Invariants:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_all_lemmas_hold_on_random_graph(self, small_random_graph, k):
+        result = approximate_fractional_mds_unknown_delta(
+            small_random_graph, k=k, collect_trace=True
+        )
+        report = check_algorithm3_invariants(small_random_graph, result.trace, k)
+        assert report.ok, [str(v) for v in report.violations[:3]]
+
+    def test_all_lemmas_hold_on_unit_disk(self, unit_disk):
+        result = approximate_fractional_mds_unknown_delta(
+            unit_disk, k=4, collect_trace=True
+        )
+        assert check_algorithm3_invariants(unit_disk, result.trace, 4).ok
+
+    def test_active_count_values_checked_directly(self, grid):
+        k = 3
+        result = approximate_fractional_mds_unknown_delta(grid, k=k, collect_trace=True)
+        report = check_active_count_invariant(grid, result.trace, k, lemma="Lemma 6")
+        assert report.ok
+        assert report.checked == k * k * grid.number_of_nodes()
+
+
+class TestInvariantMachinery:
+    def test_empty_trace_passes_vacuously(self, grid):
+        report = check_algorithm2_invariants(grid, ExecutionTrace(), 2)
+        assert report.ok
+        # With no recorded events nothing can be violated; the z-checker
+        # still reports its (all-zero) reconstructed values as checked.
+        assert not report.violations
+
+    def test_report_merge_combines_counts(self):
+        first = InvariantReport(checked=2, violations=[])
+        second = InvariantReport(
+            checked=3,
+            violations=[
+                InvariantViolation(
+                    lemma="Lemma 2", node_id=0, ell=1, m=None, observed=5.0, bound=4.0
+                )
+            ],
+        )
+        merged = first.merge(second)
+        assert merged.checked == 5
+        assert not merged.ok
+        assert len(merged.violations) == 1
+
+    def test_violation_detected_on_forged_trace(self, path):
+        """A hand-built trace violating Lemma 2 must be flagged."""
+        trace = ExecutionTrace()
+        # Claim a dynamic degree far above the Δ+1 limit at the last outer
+        # iteration (ell = 0, bound (Δ+1)^{1/k}).
+        trace.record(0, 0, "outer-loop-start", ell=0, dynamic_degree=1000, x=0.0, color="white")
+        report = check_dynamic_degree_invariant(path, trace, k=2)
+        assert not report.ok
+        assert report.violations[0].lemma == "Lemma 2"
+
+    def test_z_checkers_handle_missing_outer_events(self, path):
+        trace = ExecutionTrace()
+        trace.record(0, 0, "inner-loop", ell=0, m=0, active=True, x=1.0, color="white",
+                     dynamic_degree=2)
+        # No outer-loop-start events: the Lemma-7 checker must not crash.
+        report = check_z_invariant_unknown_delta(path, trace, k=1)
+        assert isinstance(report, InvariantReport)
+
+    def test_z_known_delta_checker_runs_on_forged_trace(self, path):
+        trace = ExecutionTrace()
+        trace.record(0, 0, "outer-loop-start", ell=0, dynamic_degree=2, x=0.0, color="white")
+        trace.record(0, 0, "inner-loop", ell=0, m=0, active=True, x=1.0, color="white",
+                     dynamic_degree=2)
+        report = check_z_invariant_known_delta(path, trace, k=1)
+        assert report.checked == path.number_of_nodes()
+
+    def test_violation_string_mentions_lemma_and_node(self):
+        violation = InvariantViolation(
+            lemma="Lemma 4", node_id=7, ell=2, m=1, observed=3.0, bound=2.0
+        )
+        text = str(violation)
+        assert "Lemma 4" in text
+        assert "7" in text

@@ -1,0 +1,125 @@
+"""Unit tests for the end-to-end Kuhn–Wattenhofer pipeline (Theorem 6)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import pipeline_expected_ratio_bound, pipeline_round_bound
+from repro.analysis.stats import mean
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    kuhn_wattenhofer_dominating_set,
+    log_delta_parameter,
+)
+from repro.core.rounding import RoundingRule
+from repro.domset.validation import is_dominating_set
+from repro.lp.solver import solve_fractional_mds
+
+
+class TestLogDeltaParameter:
+    def test_minimum_is_one(self):
+        assert log_delta_parameter(0) == 1
+        assert log_delta_parameter(1) == 1
+
+    def test_grows_logarithmically(self):
+        assert log_delta_parameter(15) == 3
+        assert log_delta_parameter(1000) == 7
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            log_delta_parameter(-1)
+
+
+class TestPipelineCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_always_dominating(self, small_random_graph, k):
+        result = kuhn_wattenhofer_dominating_set(small_random_graph, k=k, seed=0)
+        assert is_dominating_set(small_random_graph, result.dominating_set)
+
+    def test_dominating_on_structured_graphs(self, star, grid, caterpillar, clique):
+        for graph in (star, grid, caterpillar, clique):
+            result = kuhn_wattenhofer_dominating_set(graph, k=2, seed=1)
+            assert is_dominating_set(graph, result.dominating_set)
+
+    def test_known_delta_variant(self, unit_disk):
+        result = kuhn_wattenhofer_dominating_set(
+            unit_disk, k=2, seed=0, variant=FractionalVariant.KNOWN_DELTA
+        )
+        assert is_dominating_set(unit_disk, result.dominating_set)
+
+    def test_default_k_uses_log_delta(self, unit_disk):
+        delta = max(d for _, d in unit_disk.degree())
+        result = kuhn_wattenhofer_dominating_set(unit_disk, seed=0)
+        assert result.k == log_delta_parameter(delta)
+
+    def test_alternative_rounding_rule(self, grid):
+        result = kuhn_wattenhofer_dominating_set(
+            grid, k=2, seed=0, rounding_rule=RoundingRule.LOG_MINUS_LOGLOG
+        )
+        assert is_dominating_set(grid, result.dominating_set)
+
+    def test_edgeless_graph(self):
+        graph = nx.empty_graph(4)
+        result = kuhn_wattenhofer_dominating_set(graph, k=2, seed=0)
+        assert result.dominating_set == frozenset(graph.nodes())
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        result = kuhn_wattenhofer_dominating_set(graph, k=1, seed=0)
+        assert result.dominating_set == frozenset({0})
+
+    def test_invalid_k_rejected(self, path):
+        with pytest.raises(ValueError):
+            kuhn_wattenhofer_dominating_set(path, k=0)
+
+
+class TestPipelineComplexity:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_total_rounds_bounded(self, small_random_graph, k):
+        result = kuhn_wattenhofer_dominating_set(small_random_graph, k=k, seed=0)
+        assert result.total_rounds <= pipeline_round_bound(k)
+
+    def test_total_messages_consistent(self, grid):
+        result = kuhn_wattenhofer_dominating_set(grid, k=2, seed=0)
+        assert result.total_messages == (
+            result.fractional.metrics.total_messages
+            + result.rounding.metrics.total_messages
+        )
+
+    def test_message_size_small(self, unit_disk):
+        result = kuhn_wattenhofer_dominating_set(unit_disk, k=2, seed=0)
+        assert result.max_message_bits <= 32
+
+    def test_rounds_independent_of_n_for_fixed_k(self):
+        small = nx.grid_2d_graph(3, 3)
+        big = nx.grid_2d_graph(8, 8)
+        small = nx.convert_node_labels_to_integers(small)
+        big = nx.convert_node_labels_to_integers(big)
+        rounds_small = kuhn_wattenhofer_dominating_set(small, k=2, seed=0).total_rounds
+        rounds_big = kuhn_wattenhofer_dominating_set(big, k=2, seed=0).total_rounds
+        # "Constant time": identical round count regardless of n.
+        assert rounds_small == rounds_big
+
+
+class TestTheorem6Quality:
+    def test_expected_ratio_within_bound(self, unit_disk):
+        lp_opt = solve_fractional_mds(unit_disk).objective
+        delta = max(d for _, d in unit_disk.degree())
+        k = 2
+        sizes = [
+            kuhn_wattenhofer_dominating_set(unit_disk, k=k, seed=seed).size
+            for seed in range(10)
+        ]
+        # The bound is stated against |DS_OPT| >= LP_OPT, so checking against
+        # LP_OPT is conservative; allow a 20% sampling margin.
+        assert mean(sizes) <= 1.2 * pipeline_expected_ratio_bound(k, delta) * lp_opt
+
+    def test_not_worse_than_trivial(self, small_random_graph):
+        result = kuhn_wattenhofer_dominating_set(small_random_graph, k=3, seed=0)
+        assert result.size <= small_random_graph.number_of_nodes()
+
+    def test_result_exposes_phase_details(self, grid):
+        result = kuhn_wattenhofer_dominating_set(grid, k=2, seed=0)
+        assert result.fractional.k == 2
+        assert result.rounding.size == result.size
+        assert result.size == len(result.dominating_set)

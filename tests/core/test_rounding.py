@@ -1,0 +1,143 @@
+"""Unit tests for Algorithm 1 (distributed randomized rounding)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import rounding_expectation_bound
+from repro.analysis.stats import mean
+from repro.baselines.exact import exact_optimum_size
+from repro.core.rounding import (
+    Algorithm1Program,
+    RoundingRule,
+    expected_join_probabilities,
+    round_fractional_solution,
+    rounding_multiplier,
+)
+from repro.domset.validation import is_dominating_set
+from repro.lp.solver import solve_fractional_mds
+
+
+class TestRoundingMultiplier:
+    def test_log_rule_is_natural_log(self):
+        import math
+
+        assert rounding_multiplier(9, RoundingRule.LOG) == pytest.approx(math.log(10))
+
+    def test_log_rule_zero_degree(self):
+        import math
+
+        assert rounding_multiplier(0, RoundingRule.LOG) == pytest.approx(math.log(1.0), abs=1e-12)
+
+    def test_alternative_rule_not_larger(self):
+        for delta_two in (0, 1, 5, 50, 500):
+            assert rounding_multiplier(
+                delta_two, RoundingRule.LOG_MINUS_LOGLOG
+            ) <= rounding_multiplier(delta_two, RoundingRule.LOG) + 1e-12
+
+    def test_alternative_rule_nonnegative(self):
+        for delta_two in range(0, 20):
+            assert rounding_multiplier(delta_two, RoundingRule.LOG_MINUS_LOGLOG) >= 0.0
+
+
+class TestRoundingCorrectness:
+    def test_output_always_dominating(self, small_random_graph):
+        lp_solution = solve_fractional_mds(small_random_graph).values
+        for seed in range(5):
+            result = round_fractional_solution(small_random_graph, lp_solution, seed=seed)
+            assert is_dominating_set(small_random_graph, result.dominating_set)
+
+    def test_output_dominating_on_structured_graphs(self, star, grid, caterpillar):
+        for graph in (star, grid, caterpillar):
+            lp_solution = solve_fractional_mds(graph).values
+            result = round_fractional_solution(graph, lp_solution, seed=1)
+            assert is_dominating_set(graph, result.dominating_set)
+
+    def test_all_ones_input_selects_everything(self, path):
+        x = {node: 1.0 for node in path.nodes()}
+        result = round_fractional_solution(path, x, seed=0)
+        assert result.dominating_set == frozenset(path.nodes())
+
+    def test_infeasible_input_rejected_by_default(self, path):
+        with pytest.raises(ValueError, match="feasible"):
+            round_fractional_solution(path, {0: 0.1}, seed=0)
+
+    def test_infeasible_input_allowed_when_requested(self, path):
+        result = round_fractional_solution(
+            path, {0: 0.1}, seed=0, require_feasible=False
+        )
+        # The fallback step still produces a dominating set.
+        assert is_dominating_set(path, result.dominating_set)
+
+    def test_constant_number_of_rounds(self, small_random_graph, grid):
+        for graph in (small_random_graph, grid):
+            lp_solution = solve_fractional_mds(graph).values
+            result = round_fractional_solution(graph, lp_solution, seed=0)
+            assert result.rounds <= 5
+
+    def test_partition_of_join_reasons(self, unit_disk):
+        lp_solution = solve_fractional_mds(unit_disk).values
+        result = round_fractional_solution(unit_disk, lp_solution, seed=2)
+        assert result.joined_randomly.isdisjoint(result.joined_as_fallback)
+        assert result.dominating_set == result.joined_randomly | result.joined_as_fallback
+
+    def test_deterministic_given_seed(self, unit_disk):
+        lp_solution = solve_fractional_mds(unit_disk).values
+        first = round_fractional_solution(unit_disk, lp_solution, seed=7)
+        second = round_fractional_solution(unit_disk, lp_solution, seed=7)
+        assert first.dominating_set == second.dominating_set
+
+    def test_different_seeds_can_differ(self):
+        # Feed a genuinely fractional feasible solution (x = 1/3 on a cycle)
+        # so the rounding step actually flips coins; graphs whose LP optimum
+        # happens to be integral are rounded deterministically.
+        graph = nx.cycle_graph(12)
+        fractional = {node: 1.0 / 3.0 for node in graph.nodes()}
+        sets = {
+            round_fractional_solution(graph, fractional, seed=seed).dominating_set
+            for seed in range(8)
+        }
+        assert len(sets) > 1
+
+
+class TestTheorem3Expectation:
+    def test_expected_size_within_bound(self, grid):
+        """E[|DS|] <= (1 + α ln(Δ+1)) |DS_OPT| for the α = 1 input (Theorem 3)."""
+        lp_solution = solve_fractional_mds(grid)
+        optimum = exact_optimum_size(grid)
+        delta = max(d for _, d in grid.degree())
+        sizes = [
+            round_fractional_solution(grid, lp_solution.values, seed=seed).size
+            for seed in range(40)
+        ]
+        bound = rounding_expectation_bound(1.0, delta) * optimum
+        # Allow a 20% sampling margin on top of the expectation bound.
+        assert mean(sizes) <= 1.2 * bound
+
+    def test_analytic_expectation_of_random_step(self, grid):
+        """The empirical joined-randomly count matches Σ p_i closely."""
+        lp_solution = solve_fractional_mds(grid)
+        probabilities = expected_join_probabilities(grid, lp_solution.values)
+        expected = sum(probabilities.values())
+        counts = [
+            len(round_fractional_solution(grid, lp_solution.values, seed=seed).joined_randomly)
+            for seed in range(60)
+        ]
+        assert mean(counts) == pytest.approx(expected, rel=0.35)
+
+    def test_probabilities_clipped_to_one(self, star):
+        probabilities = expected_join_probabilities(star, {0: 1.0})
+        assert probabilities[0] == 1.0
+        assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+
+class TestRoundingRules:
+    def test_alternative_rule_still_dominating(self, unit_disk):
+        lp_solution = solve_fractional_mds(unit_disk).values
+        result = round_fractional_solution(
+            unit_disk, lp_solution, seed=3, rule=RoundingRule.LOG_MINUS_LOGLOG
+        )
+        assert is_dominating_set(unit_disk, result.dominating_set)
+
+    def test_program_rejects_negative_x(self):
+        with pytest.raises(ValueError):
+            Algorithm1Program(x_value=-0.5)

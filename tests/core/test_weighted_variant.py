@@ -1,0 +1,143 @@
+"""Unit tests for the weighted variant of Algorithm 2."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import weighted_approximation_bound
+from repro.core.weighted import (
+    WeightedAlgorithm2Program,
+    approximate_weighted_fractional_mds,
+    weighted_kuhn_wattenhofer_dominating_set,
+)
+from repro.domset.validation import is_dominating_set
+from repro.domset.weighted import weighted_cost
+from repro.lp.feasibility import check_primal_feasible
+from repro.lp.formulation import build_lp
+from repro.lp.solver import solve_weighted_fractional_mds
+
+
+def spread_weights(graph, c_max=4.0):
+    """Deterministic weights in [1, c_max] varying by node id."""
+    n = max(graph.number_of_nodes() - 1, 1)
+    return {
+        node: 1.0 + (c_max - 1.0) * (index / n)
+        for index, node in enumerate(sorted(graph.nodes()))
+    }
+
+
+class TestWeightedFeasibility:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_output_feasible(self, small_random_graph, k):
+        weights = spread_weights(small_random_graph)
+        result = approximate_weighted_fractional_mds(small_random_graph, weights, k=k)
+        lp = build_lp(small_random_graph)
+        assert check_primal_feasible(lp, result.x)
+
+    def test_uniform_weights_reduce_to_unweighted(self, grid):
+        from repro.core.fractional import approximate_fractional_mds
+
+        weights = {node: 1.0 for node in grid.nodes()}
+        weighted = approximate_weighted_fractional_mds(grid, weights, k=3)
+        unweighted = approximate_fractional_mds(grid, k=3)
+        assert weighted.x == pytest.approx(unweighted.x)
+
+    def test_structured_graphs(self, star, caterpillar):
+        for graph in (star, caterpillar):
+            weights = spread_weights(graph, c_max=2.0)
+            result = approximate_weighted_fractional_mds(graph, weights, k=2)
+            assert check_primal_feasible(build_lp(graph), result.x)
+
+
+class TestWeightedApproximation:
+    @pytest.mark.parametrize("c_max", [1.0, 2.0, 4.0])
+    def test_remark_bound(self, unit_disk, c_max):
+        weights = spread_weights(unit_disk, c_max=c_max)
+        result = approximate_weighted_fractional_mds(unit_disk, weights, k=3)
+        lp_opt = solve_weighted_fractional_mds(unit_disk, weights).objective
+        bound = weighted_approximation_bound(3, result.max_degree, c_max)
+        assert result.objective <= bound * lp_opt + 1e-9
+
+    def test_objective_is_weighted_sum(self, grid):
+        weights = spread_weights(grid)
+        result = approximate_weighted_fractional_mds(grid, weights, k=2)
+        manual = sum(weights[node] * value for node, value in result.x.items())
+        assert result.objective == pytest.approx(manual)
+
+    def test_unweighted_objective_reported(self, grid):
+        weights = spread_weights(grid)
+        result = approximate_weighted_fractional_mds(grid, weights, k=2)
+        assert result.unweighted_objective == pytest.approx(sum(result.x.values()))
+
+
+class TestWeightedInterface:
+    def test_round_count_matches_algorithm2(self, grid):
+        weights = spread_weights(grid)
+        result = approximate_weighted_fractional_mds(grid, weights, k=3)
+        assert result.rounds == 18  # 2k²
+
+    def test_rejects_weights_below_one(self, path):
+        weights = {node: 1.0 for node in path.nodes()}
+        weights[0] = 0.5
+        with pytest.raises(ValueError):
+            approximate_weighted_fractional_mds(path, weights, k=2)
+
+    def test_rejects_invalid_k(self, path):
+        weights = {node: 1.0 for node in path.nodes()}
+        with pytest.raises(ValueError):
+            approximate_weighted_fractional_mds(path, weights, k=0)
+
+    def test_program_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WeightedAlgorithm2Program(k=0, delta=3, cost=1.0, c_max=2.0)
+        with pytest.raises(ValueError):
+            WeightedAlgorithm2Program(k=2, delta=3, cost=5.0, c_max=2.0)
+
+    def test_c_max_recorded(self, grid):
+        weights = spread_weights(grid, c_max=3.0)
+        result = approximate_weighted_fractional_mds(grid, weights, k=2)
+        assert result.c_max == pytest.approx(3.0)
+
+
+class TestWeightedPipeline:
+    def test_output_is_dominating(self, unit_disk):
+        weights = spread_weights(unit_disk)
+        result = weighted_kuhn_wattenhofer_dominating_set(unit_disk, weights, k=2, seed=0)
+        assert is_dominating_set(unit_disk, result.dominating_set)
+
+    def test_cost_matches_weighted_cost_helper(self, grid):
+        weights = spread_weights(grid)
+        result = weighted_kuhn_wattenhofer_dominating_set(grid, weights, k=2, seed=1)
+        assert result.cost == pytest.approx(
+            weighted_cost(weights, result.dominating_set)
+        )
+
+    def test_total_rounds_combines_phases(self, grid):
+        weights = spread_weights(grid)
+        result = weighted_kuhn_wattenhofer_dominating_set(grid, weights, k=2, seed=1)
+        assert result.total_rounds == result.fractional.rounds + result.rounding.rounds
+        assert result.size == len(result.dominating_set)
+
+    def test_deterministic_given_seed(self, caterpillar):
+        weights = spread_weights(caterpillar)
+        first = weighted_kuhn_wattenhofer_dominating_set(caterpillar, weights, k=2, seed=5)
+        second = weighted_kuhn_wattenhofer_dominating_set(caterpillar, weights, k=2, seed=5)
+        assert first.dominating_set == second.dominating_set
+
+    def test_mean_cost_within_composed_weighted_bound(self, unit_disk):
+        """Composing the weighted fractional bound with the Theorem-3 rounding
+        factor: E[cost] ≤ (1 + α_w·ln(Δ+1))·weighted_LP_OPT, checked with a
+        sampling margin over several seeds."""
+        import math
+
+        from repro.lp.solver import solve_weighted_fractional_mds
+
+        weights = spread_weights(unit_disk, c_max=4.0)
+        lp_opt = solve_weighted_fractional_mds(unit_disk, weights).objective
+        delta = max(degree for _, degree in unit_disk.degree())
+        alpha_w = weighted_approximation_bound(3, delta, 4.0)
+        bound = (1.0 + alpha_w * math.log(delta + 1.0)) * lp_opt
+        costs = [
+            weighted_kuhn_wattenhofer_dominating_set(unit_disk, weights, k=3, seed=seed).cost
+            for seed in range(6)
+        ]
+        assert sum(costs) / len(costs) <= 1.25 * bound

@@ -1,0 +1,51 @@
+"""Unit tests for dominating set quality reports."""
+
+import pytest
+
+from repro.baselines.exact import exact_minimum_dominating_set
+from repro.baselines.greedy import greedy_dominating_set
+from repro.domset.quality import quality_report
+
+
+class TestQualityReport:
+    def test_star_hub_is_optimal(self, star):
+        report = quality_report(star, {0}, exact_optimum=1)
+        assert report.size == 1
+        assert report.is_dominating
+        assert report.ratio_vs_exact == pytest.approx(1.0)
+        assert report.ratio_vs_lp == pytest.approx(1.0, abs=1e-6)
+
+    def test_ratios_ordering(self, grid):
+        # exact >= LP >= dual bound, so ratios are ordered the other way.
+        exact = exact_minimum_dominating_set(grid).size
+        candidate = greedy_dominating_set(grid)
+        report = quality_report(grid, candidate, exact_optimum=exact)
+        assert report.ratio_vs_exact <= report.ratio_vs_lp + 1e-9
+        assert report.ratio_vs_lp <= report.ratio_vs_dual + 1e-9
+
+    def test_non_dominating_candidate_flagged(self, path):
+        report = quality_report(path, {0})
+        assert not report.is_dominating
+
+    def test_skipping_lp(self, grid):
+        report = quality_report(grid, greedy_dominating_set(grid), solve_lp=False)
+        assert report.lp_optimum is None
+        assert report.ratio_vs_lp is None
+        assert report.dual_lower_bound > 0
+
+    def test_exact_optimum_optional(self, grid):
+        report = quality_report(grid, greedy_dominating_set(grid))
+        assert report.exact_optimum is None
+        assert report.ratio_vs_exact is None
+
+    def test_dual_bound_le_lp(self, small_random_graph):
+        report = quality_report(
+            small_random_graph, greedy_dominating_set(small_random_graph)
+        )
+        assert report.dual_lower_bound <= report.lp_optimum + 1e-9
+
+    def test_ratio_at_least_one_vs_exact(self, tiny_suite):
+        for graph in tiny_suite.values():
+            exact = exact_minimum_dominating_set(graph).size
+            report = quality_report(graph, greedy_dominating_set(graph), exact_optimum=exact)
+            assert report.ratio_vs_exact >= 1.0 - 1e-9

@@ -1,0 +1,92 @@
+"""Unit tests for dominating set validation utilities."""
+
+import networkx as nx
+import pytest
+
+from repro.domset.validation import (
+    coverage_counts,
+    dominated_by,
+    is_dominating_set,
+    prune_redundant,
+    uncovered_nodes,
+)
+
+
+class TestIsDominatingSet:
+    def test_hub_dominates_star(self, star):
+        assert is_dominating_set(star, {0})
+
+    def test_single_leaf_does_not_dominate_star(self, star):
+        assert not is_dominating_set(star, {1})
+
+    def test_all_nodes_always_dominate(self, small_random_graph):
+        assert is_dominating_set(small_random_graph, set(small_random_graph.nodes()))
+
+    def test_empty_set_only_for_empty_domination(self, path):
+        assert not is_dominating_set(path, set())
+
+    def test_path_every_third_node(self):
+        graph = nx.path_graph(9)
+        assert is_dominating_set(graph, {1, 4, 7})
+
+    def test_path_missing_coverage(self):
+        graph = nx.path_graph(9)
+        assert not is_dominating_set(graph, {1, 4})
+
+    def test_unknown_nodes_rejected(self, path):
+        with pytest.raises(ValueError):
+            is_dominating_set(path, {999})
+
+    def test_isolated_node_must_be_in_set(self):
+        graph = nx.empty_graph(3)
+        graph.add_edge(0, 1)
+        assert not is_dominating_set(graph, {0})
+        assert is_dominating_set(graph, {0, 2})
+
+
+class TestUncoveredNodes:
+    def test_no_uncovered_for_dominating_set(self, star):
+        assert uncovered_nodes(star, {0}) == set()
+
+    def test_reports_exactly_the_uncovered(self, path):
+        # {0} covers 0 and 1 on the path 0-1-...-8.
+        uncovered = uncovered_nodes(path, {0})
+        assert uncovered == set(range(2, 9))
+
+    def test_members_never_reported(self, path):
+        assert 0 not in uncovered_nodes(path, {0})
+
+
+class TestCoverageCounts:
+    def test_all_nodes_set_gives_closed_degree(self, path):
+        counts = coverage_counts(path, set(path.nodes()))
+        assert counts[0] == 2
+        assert counts[1] == 3
+
+    def test_single_hub_on_star(self, star):
+        counts = coverage_counts(star, {0})
+        assert all(count == 1 for count in counts.values())
+
+    def test_dominated_by_maps_to_members(self, star):
+        mapping = dominated_by(star, {0, 1})
+        assert mapping[5] == {0}
+        assert mapping[1] == {0, 1}
+
+
+class TestPruneRedundant:
+    def test_pruned_set_still_dominates(self, small_random_graph):
+        full = set(small_random_graph.nodes())
+        pruned = prune_redundant(small_random_graph, full)
+        assert is_dominating_set(small_random_graph, pruned)
+
+    def test_pruning_reduces_all_nodes_set(self, star):
+        pruned = prune_redundant(star, set(star.nodes()))
+        assert len(pruned) < star.number_of_nodes()
+        assert is_dominating_set(star, pruned)
+
+    def test_pruning_requires_dominating_input(self, path):
+        with pytest.raises(ValueError):
+            prune_redundant(path, {0})
+
+    def test_minimal_set_unchanged(self, star):
+        assert prune_redundant(star, {0}) == frozenset({0})

@@ -1,0 +1,168 @@
+"""Unit tests for the synthetic graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    GraphFamily,
+    bounded_degree_graph,
+    caterpillar_graph,
+    clique_chain,
+    cycle_graph,
+    erdos_renyi_graph,
+    graph_suite,
+    grid_graph,
+    make_graph,
+    path_graph,
+    power_law_tree,
+    random_bipartite_graph,
+    random_regular_graph,
+    star_graph,
+    star_of_cliques,
+    two_level_star,
+)
+
+
+class TestBasicGenerators:
+    def test_erdos_renyi_node_count(self):
+        assert erdos_renyi_graph(25, 0.1, seed=1).number_of_nodes() == 25
+
+    def test_erdos_renyi_deterministic_with_seed(self):
+        a = erdos_renyi_graph(25, 0.2, seed=9)
+        b = erdos_renyi_graph(25, 0.2, seed=9)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_erdos_renyi_keeps_isolated_nodes(self):
+        graph = erdos_renyi_graph(10, 0.0, seed=0)
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 0
+
+    def test_random_regular_degrees(self):
+        graph = random_regular_graph(20, 4, seed=2)
+        assert all(degree == 4 for _, degree in graph.degree())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_grid_size(self):
+        graph = grid_graph(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert max(degree for _, degree in graph.degree()) == 4
+
+    def test_grid_integer_labels(self):
+        graph = grid_graph(2, 2)
+        assert set(graph.nodes()) == {0, 1, 2, 3}
+
+    def test_star_graph(self):
+        graph = star_graph(7)
+        assert graph.number_of_nodes() == 8
+        assert graph.degree(0) == 7
+
+    def test_path_and_cycle(self):
+        assert path_graph(5).number_of_edges() == 4
+        assert cycle_graph(5).number_of_edges() == 5
+
+    def test_cycle_requires_three_nodes(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestStructuredGenerators:
+    def test_caterpillar_node_count(self):
+        graph = caterpillar_graph(4, 3)
+        assert graph.number_of_nodes() == 4 + 4 * 3
+
+    def test_caterpillar_spine_is_path(self):
+        graph = caterpillar_graph(5, 0)
+        assert nx.is_isomorphic(graph, nx.path_graph(5))
+
+    def test_clique_chain_is_connected(self):
+        graph = clique_chain(4, 5)
+        assert nx.is_connected(graph)
+        assert graph.number_of_nodes() == 20
+
+    def test_clique_chain_optimum_is_clique_count(self):
+        from repro.baselines.exact import exact_optimum_size
+
+        assert exact_optimum_size(clique_chain(3, 5)) == 3
+
+    def test_star_of_cliques_structure(self):
+        graph = star_of_cliques(arms=3, clique_size=4, arm_length=1)
+        # hub + 3 * (1 relay + 4 clique nodes)
+        assert graph.number_of_nodes() == 1 + 3 * 5
+        assert nx.is_connected(graph)
+
+    def test_two_level_star(self):
+        graph = two_level_star(3, 2)
+        assert graph.number_of_nodes() == 1 + 3 + 3 * 2
+        assert graph.degree(0) == 3
+
+    def test_power_law_tree_is_tree(self):
+        graph = power_law_tree(40, seed=3)
+        assert nx.is_tree(graph)
+
+    def test_bounded_degree_respects_cap(self):
+        graph = bounded_degree_graph(50, max_degree=5, edge_probability=0.5, seed=1)
+        assert max(degree for _, degree in graph.degree()) <= 5
+
+    def test_bipartite_generator(self):
+        graph = random_bipartite_graph(10, 12, 0.3, seed=2)
+        assert graph.number_of_nodes() == 22
+
+
+class TestSuiteAndFactory:
+    def test_tiny_suite_contents(self):
+        suite = graph_suite("tiny", seed=0)
+        assert len(suite) >= 5
+        assert all(graph.number_of_nodes() > 0 for graph in suite.values())
+
+    def test_small_suite_sizes(self):
+        suite = graph_suite("small", seed=0)
+        assert all(40 <= graph.number_of_nodes() <= 130 for graph in suite.values())
+
+    def test_medium_suite_sizes(self):
+        suite = graph_suite("medium", seed=0)
+        assert all(graph.number_of_nodes() >= 200 for graph in suite.values())
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            graph_suite("huge")
+
+    def test_make_graph_every_family(self):
+        for family in GraphFamily:
+            graph = make_graph(family, seed=1, n=20, rows=4, cols=4, leaves=6)
+            assert graph.number_of_nodes() > 0
+            assert sorted(graph.nodes()) == list(range(graph.number_of_nodes()))
+
+    def test_make_graph_accepts_string_family(self):
+        graph = make_graph("star", leaves=4)
+        assert graph.number_of_nodes() == 5
+
+    def test_make_graph_unknown_family(self):
+        with pytest.raises(ValueError):
+            make_graph("not-a-family")
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: erdos_renyi_graph(0, 0.5),
+            lambda: grid_graph(0, 3),
+            lambda: caterpillar_graph(0, 1),
+            lambda: clique_chain(0, 3),
+            lambda: star_of_cliques(0, 3),
+            lambda: two_level_star(0, 3),
+            lambda: bounded_degree_graph(0, 3),
+            lambda: path_graph(0),
+            lambda: power_law_tree(0),
+        ],
+    )
+    def test_nonpositive_sizes_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder()

@@ -1,0 +1,70 @@
+"""Unit tests for the random-waypoint mobility model."""
+
+import pytest
+
+from repro.graphs.mobility import MobilityTrace, random_waypoint_trace
+
+
+class TestRandomWaypointTrace:
+    def test_snapshot_count(self):
+        trace = random_waypoint_trace(20, radius=0.3, steps=5, seed=1)
+        assert len(trace) == 5
+        assert len(trace.positions) == 5
+
+    def test_all_snapshots_share_node_set(self):
+        trace = random_waypoint_trace(15, radius=0.3, steps=4, seed=2)
+        node_sets = [set(snapshot.nodes()) for snapshot in trace]
+        assert all(nodes == node_sets[0] for nodes in node_sets)
+
+    def test_positions_move_between_steps(self):
+        trace = random_waypoint_trace(
+            10, radius=0.3, steps=3, speed_range=(0.05, 0.1), pause_probability=0.0, seed=3
+        )
+        moved = sum(
+            trace.positions[0][node] != trace.positions[1][node] for node in range(10)
+        )
+        assert moved == 10
+
+    def test_positions_stay_in_unit_square(self):
+        trace = random_waypoint_trace(25, radius=0.2, steps=10, seed=4)
+        for positions in trace.positions:
+            for x, y in positions.values():
+                assert -1e-9 <= x <= 1.0 + 1e-9
+                assert -1e-9 <= y <= 1.0 + 1e-9
+
+    def test_deterministic_given_seed(self):
+        a = random_waypoint_trace(10, radius=0.3, steps=4, seed=5)
+        b = random_waypoint_trace(10, radius=0.3, steps=4, seed=5)
+        assert a.positions == b.positions
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_waypoint_trace(0, radius=0.3, steps=3)
+        with pytest.raises(ValueError):
+            random_waypoint_trace(5, radius=0.3, steps=0)
+        with pytest.raises(ValueError):
+            random_waypoint_trace(5, radius=0.3, steps=3, pause_probability=2.0)
+        with pytest.raises(ValueError):
+            random_waypoint_trace(5, radius=0.3, steps=3, speed_range=(0.2, 0.1))
+
+
+class TestChurn:
+    def test_churn_length(self):
+        trace = random_waypoint_trace(10, radius=0.3, steps=4, seed=1)
+        sets = [frozenset({0, 1}) for _ in range(4)]
+        assert len(trace.churn(sets)) == 3
+
+    def test_identical_sets_have_zero_churn(self):
+        trace = random_waypoint_trace(10, radius=0.3, steps=3, seed=1)
+        sets = [frozenset({0, 1, 2})] * 3
+        assert trace.churn(sets) == [0.0, 0.0]
+
+    def test_disjoint_sets_have_churn_two(self):
+        trace = random_waypoint_trace(10, radius=0.3, steps=2, seed=1)
+        churn = trace.churn([frozenset({0, 1}), frozenset({2, 3})])
+        assert churn == [2.0]
+
+    def test_churn_requires_matching_length(self):
+        trace = random_waypoint_trace(10, radius=0.3, steps=3, seed=1)
+        with pytest.raises(ValueError):
+            trace.churn([frozenset()])

@@ -1,0 +1,89 @@
+"""Unit tests for unit disk graphs."""
+
+import math
+
+import pytest
+
+from repro.graphs.unit_disk import positions_of, random_unit_disk_graph, unit_disk_graph
+
+
+class TestUnitDiskGraph:
+    def test_adjacency_matches_distance(self):
+        positions = {0: (0.0, 0.0), 1: (0.05, 0.0), 2: (0.9, 0.9)}
+        graph = unit_disk_graph(positions, radius=0.1)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+
+    def test_edge_at_exact_radius(self):
+        positions = {0: (0.0, 0.0), 1: (0.1, 0.0)}
+        graph = unit_disk_graph(positions, radius=0.1)
+        assert graph.has_edge(0, 1)
+
+    def test_zero_radius_yields_no_edges(self):
+        positions = {0: (0.0, 0.0), 1: (0.0001, 0.0)}
+        graph = unit_disk_graph(positions, radius=0.0)
+        assert graph.number_of_edges() == 0
+
+    def test_positions_stored_on_nodes(self):
+        positions = {0: (0.25, 0.75)}
+        graph = unit_disk_graph(positions, radius=0.5)
+        assert graph.nodes[0]["pos"] == (0.25, 0.75)
+
+    def test_sequence_input_gets_integer_labels(self):
+        graph = unit_disk_graph([(0.0, 0.0), (0.2, 0.0)], radius=0.5)
+        assert set(graph.nodes()) == {0, 1}
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            unit_disk_graph({0: (0, 0)}, radius=-1.0)
+
+    def test_empty_positions_rejected(self):
+        with pytest.raises(ValueError):
+            unit_disk_graph({}, radius=0.5)
+
+    def test_triangle_inequality_consistency(self):
+        # All pairwise distances below the radius -> complete graph.
+        positions = {i: (0.01 * i, 0.0) for i in range(5)}
+        graph = unit_disk_graph(positions, radius=1.0)
+        assert graph.number_of_edges() == 10
+
+
+class TestRandomUnitDiskGraph:
+    def test_node_count(self):
+        graph = random_unit_disk_graph(30, radius=0.2, seed=1)
+        assert graph.number_of_nodes() == 30
+
+    def test_deterministic_given_seed(self):
+        a = random_unit_disk_graph(30, radius=0.2, seed=7)
+        b = random_unit_disk_graph(30, radius=0.2, seed=7)
+        assert set(a.edges()) == set(b.edges())
+        assert positions_of(a) == positions_of(b)
+
+    def test_density_grows_with_radius(self):
+        sparse = random_unit_disk_graph(60, radius=0.05, seed=3)
+        dense = random_unit_disk_graph(60, radius=0.4, seed=3)
+        assert dense.number_of_edges() > sparse.number_of_edges()
+
+    def test_positions_inside_unit_square(self):
+        graph = random_unit_disk_graph(40, radius=0.2, seed=2)
+        for x, y in positions_of(graph).values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_edges_respect_radius(self):
+        graph = random_unit_disk_graph(40, radius=0.25, seed=4)
+        positions = positions_of(graph)
+        for u, v in graph.edges():
+            ux, uy = positions[u]
+            vx, vy = positions[v]
+            assert math.hypot(ux - vx, uy - vy) <= 0.25 + 1e-12
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_unit_disk_graph(0, radius=0.2)
+
+    def test_positions_of_requires_pos_attribute(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            positions_of(nx.path_graph(3))

@@ -1,0 +1,119 @@
+"""Integration tests: the full pipeline against baselines across graph families.
+
+These tests cross module boundaries on purpose: they exercise graph
+generation, the simulator, the LP machinery, the core algorithms, the
+baselines and the quality reporting together, the way the benchmark harness
+does.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    algorithm3_approximation_bound,
+    pipeline_round_bound,
+    rounding_expectation_bound,
+)
+from repro.analysis.stats import mean
+from repro.baselines.exact import exact_minimum_dominating_set
+from repro.baselines.greedy import greedy_dominating_set
+from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
+from repro.baselines.wu_li import wu_li_dominating_set
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    kuhn_wattenhofer_dominating_set,
+)
+from repro.domset.quality import quality_report
+from repro.domset.validation import is_dominating_set
+from repro.graphs.generators import graph_suite
+from repro.lp.solver import solve_fractional_mds
+
+
+@pytest.fixture(scope="module")
+def tiny_graphs():
+    return graph_suite("tiny", seed=13)
+
+
+class TestPipelineAcrossFamilies:
+    def test_every_family_yields_valid_sets(self, tiny_graphs):
+        for name, graph in tiny_graphs.items():
+            for k in (1, 2, 3):
+                result = kuhn_wattenhofer_dominating_set(graph, k=k, seed=0)
+                assert is_dominating_set(graph, result.dominating_set), (name, k)
+
+    def test_both_variants_agree_on_validity(self, tiny_graphs):
+        for name, graph in tiny_graphs.items():
+            for variant in FractionalVariant:
+                result = kuhn_wattenhofer_dominating_set(
+                    graph, k=2, seed=1, variant=variant
+                )
+                assert is_dominating_set(graph, result.dominating_set), (name, variant)
+
+    def test_round_budget_respected_everywhere(self, tiny_graphs):
+        for name, graph in tiny_graphs.items():
+            for k in (1, 2, 3):
+                result = kuhn_wattenhofer_dominating_set(graph, k=k, seed=0)
+                assert result.total_rounds <= pipeline_round_bound(k), (name, k)
+
+    def test_quality_reports_consistent(self, tiny_graphs):
+        for name, graph in tiny_graphs.items():
+            exact = exact_minimum_dominating_set(graph).size
+            result = kuhn_wattenhofer_dominating_set(graph, k=2, seed=0)
+            report = quality_report(graph, result.dominating_set, exact_optimum=exact)
+            assert report.is_dominating
+            assert report.ratio_vs_exact >= 1.0 - 1e-9
+            # The dual bound can never exceed the LP optimum.
+            assert report.dual_lower_bound <= report.lp_optimum + 1e-9
+
+
+class TestTheorem6EndToEnd:
+    def test_expected_size_bound_composition(self, tiny_graphs):
+        """E[|DS|] ≤ (1 + α·ln(Δ+1))·|DS_OPT| with α from Theorem 5."""
+        for name, graph in tiny_graphs.items():
+            exact = exact_minimum_dominating_set(graph).size
+            delta = max(degree for _, degree in graph.degree())
+            k = 2
+            sizes = [
+                kuhn_wattenhofer_dominating_set(graph, k=k, seed=seed).size
+                for seed in range(8)
+            ]
+            alpha = algorithm3_approximation_bound(k, delta)
+            bound = rounding_expectation_bound(alpha, delta) * exact
+            assert mean(sizes) <= 1.25 * bound, name
+
+    def test_fractional_phase_feeds_valid_alpha(self, tiny_graphs):
+        """Measured α of the fractional phase composes into the final bound."""
+        for name, graph in tiny_graphs.items():
+            lp_opt = solve_fractional_mds(graph).objective
+            result = kuhn_wattenhofer_dominating_set(graph, k=2, seed=3)
+            measured_alpha = result.fractional.objective / lp_opt
+            delta = result.max_degree
+            assert measured_alpha <= algorithm3_approximation_bound(2, delta) + 1e-9, name
+
+
+class TestComparisonOrdering:
+    def test_greedy_beats_trivial_everywhere(self, tiny_graphs):
+        for graph in tiny_graphs.values():
+            assert len(greedy_dominating_set(graph)) <= graph.number_of_nodes()
+
+    def test_exact_is_lower_bound_for_all_algorithms(self, tiny_graphs):
+        for name, graph in tiny_graphs.items():
+            exact = exact_minimum_dominating_set(graph).size
+            candidates = {
+                "kw": kuhn_wattenhofer_dominating_set(graph, k=2, seed=0).size,
+                "greedy": len(greedy_dominating_set(graph)),
+                "lrg": lrg_dominating_set(graph, seed=0).size,
+                "wu-li": wu_li_dominating_set(graph).size,
+            }
+            for algorithm, size in candidates.items():
+                assert size >= exact, (name, algorithm)
+
+    def test_kw_rounds_constant_while_lrg_grows(self):
+        """'Constant-time': KW round count is independent of n, LRG's is not
+        guaranteed to be (and in practice grows slowly)."""
+        small = graph_suite("tiny", seed=1)["erdos_renyi_n20"]
+        medium = graph_suite("small", seed=1)["erdos_renyi_n100"]
+        kw_small = kuhn_wattenhofer_dominating_set(small, k=2, seed=0).total_rounds
+        kw_medium = kuhn_wattenhofer_dominating_set(medium, k=2, seed=0).total_rounds
+        assert kw_small == kw_medium

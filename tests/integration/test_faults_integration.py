@@ -1,0 +1,104 @@
+"""Integration tests for fault injection on the distributed algorithms.
+
+The paper assumes a reliable synchronous network.  These tests document the
+behaviour of the implementation under the extension fault models: the
+rounding fallback keeps the output a dominating set among surviving nodes'
+decisions as long as every node executes the final step, while message loss
+during the fractional phase can produce infeasible LP solutions (which the
+pipeline detects).
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.fractional import Algorithm2Program, approximate_fractional_mds
+from repro.core.rounding import round_fractional_solution
+from repro.domset.validation import is_dominating_set, uncovered_nodes
+from repro.graphs.generators import erdos_renyi_graph
+from repro.lp.feasibility import check_primal_feasible
+from repro.lp.formulation import build_lp
+from repro.simulator.faults import CrashStopFaults, MessageLossFaults
+from repro.simulator.network import Network
+from repro.simulator.runtime import SynchronousRunner
+
+
+def run_algorithm2_with_faults(graph, k, fault_model, delta=None):
+    """Run Algorithm 2 under a fault model and return the x-values."""
+    if delta is None:
+        delta = max(degree for _, degree in graph.degree())
+    network = Network(graph, lambda n, net: Algorithm2Program(k=k, delta=delta), seed=0)
+    runner = SynchronousRunner(network, fault_model=fault_model, max_rounds=2 * k * k + 10)
+    execution = runner.run()
+    return {node: program.x for node, program in network.programs().items()}
+
+
+class TestFaultFreeBaseline:
+    def test_reference_execution_is_feasible(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=2)
+        result = approximate_fractional_mds(graph, k=2)
+        assert check_primal_feasible(build_lp(graph), result.x)
+
+
+class TestMessageLoss:
+    def test_moderate_loss_keeps_low_violation(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=2)
+        x = run_algorithm2_with_faults(
+            graph, k=2, fault_model=MessageLossFaults(loss_probability=0.05, seed=1)
+        )
+        lp = build_lp(graph)
+        feasible, violation = check_primal_feasible(lp, x, return_violation=True)
+        # Losing colour/x messages can only make nodes believe their
+        # neighbourhood is *less* covered than it is, so x-values only grow:
+        # the solution stays feasible (violation 0) or very close to it.
+        assert violation <= 1.0
+
+    def test_heavy_loss_still_never_negative(self):
+        graph = erdos_renyi_graph(25, 0.2, seed=3)
+        x = run_algorithm2_with_faults(
+            graph, k=2, fault_model=MessageLossFaults(loss_probability=0.5, seed=4)
+        )
+        assert all(value >= 0.0 for value in x.values())
+
+    def test_lost_messages_inflate_objective_not_break_feasibility(self):
+        """Dropping colour messages makes nodes overestimate their dynamic
+        degree, which makes *more* nodes active -- the objective grows but
+        feasibility is retained (the last iteration still sets x = 1 for
+        every node that believes itself uncovered)."""
+        graph = erdos_renyi_graph(30, 0.15, seed=5)
+        clean = approximate_fractional_mds(graph, k=2).x
+        lossy = run_algorithm2_with_faults(
+            graph, k=2, fault_model=MessageLossFaults(loss_probability=0.3, seed=6)
+        )
+        assert sum(lossy.values()) >= sum(clean.values()) - 1e-9
+
+
+class TestCrashStop:
+    def test_rounding_with_crashed_nodes_covers_survivors(self):
+        """If crashed nodes are excluded from the domination requirement,
+        the fallback step still covers every live node."""
+        graph = erdos_renyi_graph(30, 0.15, seed=7)
+        x = {node: 1.0 for node in graph.nodes()}  # trivially feasible input
+        crashed = {3: 0, 11: 0}
+        network = Network(
+            graph,
+            lambda n, net: __import__(
+                "repro.core.rounding", fromlist=["Algorithm1Program"]
+            ).Algorithm1Program(x_value=1.0),
+            seed=0,
+        )
+        runner = SynchronousRunner(
+            network, fault_model=CrashStopFaults(crash_rounds=crashed), max_rounds=16
+        )
+        execution = runner.run()
+        selected = {node for node, joined in execution.results.items() if joined}
+        live_nodes = set(graph.nodes()) - set(crashed)
+        uncovered_live = {
+            node for node in uncovered_nodes(graph, selected) if node in live_nodes
+        }
+        assert uncovered_live == set()
+
+    def test_rounding_without_faults_is_reference_behaviour(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=8)
+        x = {node: 1.0 for node in graph.nodes()}
+        result = round_fractional_solution(graph, x, seed=0)
+        assert is_dominating_set(graph, result.dominating_set)

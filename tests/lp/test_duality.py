@@ -1,0 +1,76 @@
+"""Unit tests for weak-duality lower bounds (Lemma 1)."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact import exact_optimum_size
+from repro.baselines.greedy import greedy_dominating_set
+from repro.lp.duality import (
+    certified_lower_bound,
+    dual_objective,
+    lemma1_dual_solution,
+    lemma1_lower_bound,
+    weak_duality_gap,
+)
+from repro.lp.formulation import build_lp
+from repro.lp.solver import solve_fractional_mds
+
+
+class TestLemma1:
+    def test_dual_values_formula(self, star):
+        y = lemma1_dual_solution(star)
+        # Every node's δ⁽¹⁾ is 10 (the hub's degree), so y_i = 1/11.
+        assert all(value == pytest.approx(1.0 / 11.0) for value in y.values())
+
+    def test_dual_solution_is_feasible(self, small_random_graph):
+        from repro.lp.feasibility import check_dual_feasible
+
+        lp = build_lp(small_random_graph)
+        assert check_dual_feasible(lp, lemma1_dual_solution(small_random_graph))
+
+    def test_lower_bound_below_exact_optimum(self, tiny_suite):
+        for graph in tiny_suite.values():
+            assert lemma1_lower_bound(graph) <= exact_optimum_size(graph) + 1e-9
+
+    def test_lower_bound_below_lp_optimum(self, small_random_graph):
+        assert (
+            lemma1_lower_bound(small_random_graph)
+            <= solve_fractional_mds(small_random_graph).objective + 1e-9
+        )
+
+    def test_lower_bound_below_any_dominating_set(self, unit_disk):
+        bound = lemma1_lower_bound(unit_disk)
+        assert bound <= len(greedy_dominating_set(unit_disk)) + 1e-9
+
+    def test_edgeless_graph_bound_equals_n(self):
+        graph = nx.empty_graph(4)
+        assert lemma1_lower_bound(graph) == pytest.approx(4.0)
+
+    def test_clique_bound(self, clique):
+        # δ⁽¹⁾ = 5 for every node of K6, so the bound is 6/6 = 1 = optimum.
+        assert lemma1_lower_bound(clique) == pytest.approx(1.0)
+
+
+class TestWeakDuality:
+    def test_gap_nonnegative_for_feasible_pair(self, grid):
+        lp = build_lp(grid)
+        primal = solve_fractional_mds(grid).values
+        dual = lemma1_dual_solution(grid)
+        assert weak_duality_gap(lp, primal, dual) >= -1e-9
+
+    def test_gap_rejects_infeasible_dual(self, path):
+        lp = build_lp(path)
+        primal = {node: 1.0 for node in path.nodes()}
+        with pytest.raises(ValueError):
+            weak_duality_gap(lp, primal, {node: 1.0 for node in path.nodes()})
+
+    def test_dual_objective_sums_values(self):
+        assert dual_objective({0: 0.5, 1: 0.25}) == pytest.approx(0.75)
+
+    def test_certified_lower_bound_accepts_lemma1(self, grid):
+        bound = certified_lower_bound(grid, lemma1_dual_solution(grid))
+        assert bound == pytest.approx(lemma1_lower_bound(grid))
+
+    def test_certified_lower_bound_rejects_infeasible(self, path):
+        with pytest.raises(ValueError):
+            certified_lower_bound(path, {node: 5.0 for node in path.nodes()})

@@ -1,0 +1,105 @@
+"""Unit tests for primal/dual feasibility checks."""
+
+import networkx as nx
+import pytest
+
+from repro.lp.feasibility import (
+    check_dual_feasible,
+    check_primal_feasible,
+    primal_violations,
+)
+from repro.lp.formulation import build_lp
+
+
+class TestPrimalFeasibility:
+    def test_all_ones_is_feasible(self, path):
+        lp = build_lp(path)
+        assert check_primal_feasible(lp, {node: 1.0 for node in path.nodes()})
+
+    def test_all_zeros_is_infeasible(self, path):
+        lp = build_lp(path)
+        assert not check_primal_feasible(lp, {node: 0.0 for node in path.nodes()})
+
+    def test_negative_values_are_infeasible(self, path):
+        lp = build_lp(path)
+        x = {node: 1.0 for node in path.nodes()}
+        x[0] = -0.5
+        assert not check_primal_feasible(lp, x)
+
+    def test_hub_indicator_feasible_on_star(self, star):
+        lp = build_lp(star)
+        assert check_primal_feasible(lp, {0: 1.0})
+
+    def test_leaf_indicator_infeasible_on_star(self, star):
+        lp = build_lp(star)
+        # A single leaf does not cover the other leaves.
+        assert not check_primal_feasible(lp, {1: 1.0})
+
+    def test_tolerance_allows_small_shortfall(self, path):
+        lp = build_lp(path)
+        x = {node: 1.0 for node in path.nodes()}
+        x[0] = 1.0 - 1e-12
+        assert check_primal_feasible(lp, x, tolerance=1e-9)
+
+    def test_return_violation_reports_magnitude(self, star):
+        lp = build_lp(star)
+        feasible, violation = check_primal_feasible(lp, {}, return_violation=True)
+        assert not feasible
+        assert violation == pytest.approx(1.0)
+
+    def test_fractional_cover_on_cycle(self):
+        cycle = nx.cycle_graph(6)
+        lp = build_lp(cycle)
+        assert check_primal_feasible(lp, {node: 1.0 / 3.0 for node in cycle.nodes()})
+
+
+class TestDualFeasibility:
+    def test_zero_is_dual_feasible(self, path):
+        lp = build_lp(path)
+        assert check_dual_feasible(lp, {node: 0.0 for node in path.nodes()})
+
+    def test_lemma1_assignment_is_dual_feasible(self, small_random_graph):
+        from repro.lp.duality import lemma1_dual_solution
+
+        lp = build_lp(small_random_graph)
+        assert check_dual_feasible(lp, lemma1_dual_solution(small_random_graph))
+
+    def test_all_ones_violates_packing_on_edge(self):
+        graph = nx.path_graph(2)
+        lp = build_lp(graph)
+        assert not check_dual_feasible(lp, {0: 1.0, 1: 1.0})
+
+    def test_negative_dual_rejected(self, path):
+        lp = build_lp(path)
+        y = {node: 0.0 for node in path.nodes()}
+        y[0] = -0.1
+        assert not check_dual_feasible(lp, y)
+
+    def test_weighted_dual_uses_costs_as_capacity(self, path):
+        weights = {node: 2.0 for node in path.nodes()}
+        lp = build_lp(path, weights=weights)
+        # y = 0.6 per node: closed neighbourhoods of interior nodes sum to
+        # 1.8 <= 2.0, endpoints to 1.2 <= 2.0.
+        assert check_dual_feasible(lp, {node: 0.6 for node in path.nodes()})
+
+    def test_return_violation_for_dual(self):
+        graph = nx.path_graph(2)
+        lp = build_lp(graph)
+        feasible, violation = check_dual_feasible(
+            lp, {0: 1.0, 1: 1.0}, return_violation=True
+        )
+        assert not feasible
+        assert violation == pytest.approx(1.0)
+
+
+class TestPrimalViolations:
+    def test_no_violations_for_feasible_point(self, path):
+        lp = build_lp(path)
+        assert primal_violations(lp, {node: 1.0 for node in path.nodes()}) == {}
+
+    def test_reports_uncovered_nodes(self, star):
+        lp = build_lp(star)
+        violations = primal_violations(lp, {1: 1.0})
+        # Every leaf except leaf 1 is uncovered (shortfall 1).
+        assert set(violations) == set(range(2, 11))
+        assert all(value == pytest.approx(1.0) for value in violations.values())

@@ -1,0 +1,117 @@
+"""Unit tests for the LP_MDS / DLP_MDS formulations."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.lp.formulation import (
+    DominatingSetLP,
+    build_lp,
+    fractional_objective,
+    integer_objective,
+)
+
+
+class TestBuildLP:
+    def test_size_matches_graph(self, path):
+        lp = build_lp(path)
+        assert lp.size == path.number_of_nodes()
+
+    def test_matrix_is_adjacency_plus_identity(self, path):
+        lp = build_lp(path)
+        adjacency = nx.to_numpy_array(path, nodelist=sorted(path.nodes()))
+        assert np.allclose(lp.matrix, adjacency + np.eye(path.number_of_nodes()))
+
+    def test_default_weights_are_ones(self, path):
+        lp = build_lp(path)
+        assert np.all(lp.weights == 1.0)
+
+    def test_explicit_weights(self, path):
+        weights = {node: 2.0 for node in path.nodes()}
+        lp = build_lp(path, weights=weights)
+        assert np.all(lp.weights == 2.0)
+
+    def test_missing_weights_rejected(self, path):
+        with pytest.raises(ValueError, match="missing"):
+            build_lp(path, weights={0: 1.0})
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            build_lp(nx.Graph())
+
+    def test_negative_weight_rejected(self, path):
+        weights = {node: -1.0 for node in path.nodes()}
+        with pytest.raises(ValueError):
+            build_lp(path, weights=weights)
+
+
+class TestVectorConversions:
+    def test_vector_from_mapping_defaults_missing_to_zero(self, path):
+        lp = build_lp(path)
+        vector = lp.vector_from_mapping({0: 1.0})
+        assert vector[0] == 1.0
+        assert np.all(vector[1:] == 0.0)
+
+    def test_roundtrip_mapping_vector(self, path):
+        lp = build_lp(path)
+        mapping = {node: float(node) / 10 for node in path.nodes()}
+        assert lp.mapping_from_vector(lp.vector_from_mapping(mapping)) == pytest.approx(mapping)
+
+    def test_mapping_from_wrong_length_vector(self, path):
+        lp = build_lp(path)
+        with pytest.raises(ValueError):
+            lp.mapping_from_vector([1.0, 2.0])
+
+    def test_index_of_known_and_unknown_node(self, path):
+        lp = build_lp(path)
+        assert lp.index_of(0) == 0
+        with pytest.raises(KeyError):
+            lp.index_of(999)
+
+
+class TestObjectives:
+    def test_objective_all_ones_equals_n(self, path):
+        lp = build_lp(path)
+        x = {node: 1.0 for node in path.nodes()}
+        assert lp.objective(x) == path.number_of_nodes()
+
+    def test_weighted_objective(self, path):
+        weights = {node: float(node + 1) for node in path.nodes()}
+        lp = build_lp(path, weights=weights)
+        x = {node: 1.0 for node in path.nodes()}
+        assert lp.objective(x) == sum(weights.values())
+
+    def test_dual_objective_is_plain_sum(self, path):
+        lp = build_lp(path)
+        y = {node: 0.25 for node in path.nodes()}
+        assert lp.dual_objective(y) == pytest.approx(0.25 * path.number_of_nodes())
+
+    def test_coverage_of_indicator(self, star):
+        lp = build_lp(star)
+        x = {0: 1.0}  # the hub dominates everyone
+        coverage = lp.coverage(x)
+        assert np.all(coverage >= 1.0)
+
+    def test_objective_accepts_vectors(self, path):
+        lp = build_lp(path)
+        vector = np.ones(lp.size)
+        assert lp.objective(vector) == lp.size
+
+    def test_wrong_length_vector_rejected(self, path):
+        lp = build_lp(path)
+        with pytest.raises(ValueError):
+            lp.objective(np.ones(lp.size + 1))
+
+
+class TestHelpers:
+    def test_fractional_objective(self, path):
+        assert fractional_objective(path, {0: 0.5, 1: 0.25}) == pytest.approx(0.75)
+
+    def test_integer_objective_deduplicates(self):
+        assert integer_objective([1, 1, 2]) == 2
+
+    def test_lp_dataclass_validation(self):
+        with pytest.raises(ValueError):
+            DominatingSetLP(nodes=(0, 1), matrix=np.eye(3), weights=np.ones(2))
+        with pytest.raises(ValueError):
+            DominatingSetLP(nodes=(0, 1), matrix=np.eye(2), weights=np.ones(3))

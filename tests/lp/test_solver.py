@@ -1,0 +1,84 @@
+"""Unit tests for the exact fractional LP solver."""
+
+import networkx as nx
+import pytest
+
+from repro.lp.feasibility import check_primal_feasible
+from repro.lp.solver import solve_fractional_mds, solve_weighted_fractional_mds
+
+
+class TestSolveFractionalMDS:
+    def test_star_optimum_is_one(self, star):
+        # Setting x_hub = 1 dominates every node.
+        solution = solve_fractional_mds(star)
+        assert solution.objective == pytest.approx(1.0, abs=1e-6)
+
+    def test_clique_optimum_is_one(self, clique):
+        solution = solve_fractional_mds(clique)
+        assert solution.objective == pytest.approx(1.0, abs=1e-6)
+
+    def test_path_optimum(self):
+        # Path on 9 nodes: integral optimum 3, and the LP optimum equals 3
+        # because paths have an integral LP optimum of ceil(n/3).
+        solution = solve_fractional_mds(nx.path_graph(9))
+        assert solution.objective == pytest.approx(3.0, abs=1e-6)
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        solution = solve_fractional_mds(graph)
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.values[0] == pytest.approx(1.0)
+
+    def test_edgeless_graph_needs_every_node(self):
+        graph = nx.empty_graph(5)
+        solution = solve_fractional_mds(graph)
+        assert solution.objective == pytest.approx(5.0, abs=1e-6)
+
+    def test_cycle_fractional_optimum(self):
+        # On C_5 the optimal fractional solution is x_i = 1/3 everywhere.
+        solution = solve_fractional_mds(nx.cycle_graph(5))
+        assert solution.objective == pytest.approx(5.0 / 3.0, abs=1e-6)
+
+    def test_solution_is_feasible(self, small_random_graph):
+        solution = solve_fractional_mds(small_random_graph)
+        assert check_primal_feasible(solution.lp, solution.values, tolerance=1e-6)
+
+    def test_solution_nonnegative(self, small_random_graph):
+        solution = solve_fractional_mds(small_random_graph)
+        assert all(value >= 0 for value in solution.values.values())
+
+    def test_lp_leq_integral_optimum(self, grid):
+        from repro.baselines.exact import exact_optimum_size
+
+        lp_value = solve_fractional_mds(grid).objective
+        assert lp_value <= exact_optimum_size(grid) + 1e-6
+
+    def test_as_vector_matches_values(self, path):
+        solution = solve_fractional_mds(path)
+        vector = solution.as_vector()
+        for index, node in enumerate(solution.lp.nodes):
+            assert vector[index] == pytest.approx(solution.values[node])
+
+
+class TestWeightedSolver:
+    def test_uniform_weights_match_unweighted(self, grid):
+        weights = {node: 1.0 for node in grid.nodes()}
+        weighted = solve_weighted_fractional_mds(grid, weights)
+        unweighted = solve_fractional_mds(grid)
+        assert weighted.objective == pytest.approx(unweighted.objective, abs=1e-6)
+
+    def test_scaling_weights_scales_objective(self, grid):
+        weights = {node: 3.0 for node in grid.nodes()}
+        weighted = solve_weighted_fractional_mds(grid, weights)
+        unweighted = solve_fractional_mds(grid)
+        assert weighted.objective == pytest.approx(3 * unweighted.objective, abs=1e-5)
+
+    def test_expensive_hub_avoided(self):
+        # Star where the hub is extremely expensive: the LP prefers leaves.
+        star = nx.star_graph(4)
+        weights = {0: 100.0, **{leaf: 1.0 for leaf in range(1, 5)}}
+        solution = solve_weighted_fractional_mds(star, weights)
+        cheap_only = 5.0  # covering every leaf by itself and hub by a leaf
+        assert solution.objective <= cheap_only + 1e-6
+        assert solution.objective < 100.0

@@ -1,0 +1,68 @@
+"""Shared hypothesis strategies for random graph generation.
+
+All property tests draw graphs from the same strategies so shrinking
+behaviour is consistent: hypothesis shrinks towards fewer nodes and fewer
+edges, which tends to produce minimal counterexamples (single edges,
+triangles) when an invariant is broken.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import strategies as st
+
+
+@st.composite
+def simple_graphs(draw, min_nodes: int = 1, max_nodes: int = 18):
+    """A random simple undirected graph with integer nodes 0..n-1.
+
+    Edges are chosen by sampling a subset of all possible pairs, so the
+    strategy covers edgeless graphs, sparse graphs and near-cliques.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=len(possible_edges))
+        if possible_edges
+        else st.just([])
+    )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    return graph
+
+
+@st.composite
+def connected_graphs(draw, min_nodes: int = 2, max_nodes: int = 16):
+    """A random connected graph built from a random tree plus extra edges."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    graph = nx.random_labeled_tree(n, seed=seed)
+    possible_extra = [
+        (u, v) for u in range(n) for v in range(u + 1, n) if not graph.has_edge(u, v)
+    ]
+    if possible_extra:
+        extra = draw(
+            st.lists(st.sampled_from(possible_extra), unique=True, max_size=min(len(possible_extra), 2 * n))
+        )
+        graph.add_edges_from(extra)
+    return graph
+
+
+@st.composite
+def graphs_with_k(draw, max_nodes: int = 14, max_k: int = 4):
+    """A (graph, k) pair for locality-parameter sweeps."""
+    graph = draw(simple_graphs(max_nodes=max_nodes))
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    return graph, k
+
+
+@st.composite
+def fractional_assignments(draw, graph: nx.Graph):
+    """A random non-negative per-node assignment (not necessarily feasible)."""
+    values = {}
+    for node in graph.nodes():
+        values[node] = draw(
+            st.floats(min_value=0.0, max_value=1.5, allow_nan=False, allow_infinity=False)
+        )
+    return values

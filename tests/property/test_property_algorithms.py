@@ -1,0 +1,122 @@
+"""Property-based tests for the paper's distributed algorithms.
+
+These are the most important properties in the repository: for *every*
+graph and every k,
+
+* Algorithm 2 and Algorithm 3 produce feasible LP_MDS solutions within
+  their respective approximation bounds and round budgets, and
+* Algorithm 1 turns any feasible fractional solution into a valid
+  dominating set in a constant number of rounds.
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    algorithm2_approximation_bound,
+    algorithm2_round_bound,
+    algorithm3_approximation_bound,
+    algorithm3_round_bound,
+    pipeline_round_bound,
+)
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.kuhn_wattenhofer import kuhn_wattenhofer_dominating_set
+from repro.core.rounding import round_fractional_solution
+from repro.domset.validation import is_dominating_set
+from repro.graphs.utils import max_degree
+from repro.lp.feasibility import check_primal_feasible
+from repro.lp.formulation import build_lp
+from repro.lp.solver import solve_fractional_mds
+
+from tests.property.strategies import graphs_with_k, simple_graphs
+
+ALGO_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestAlgorithm2Properties:
+    @ALGO_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=12, max_k=4))
+    def test_feasible_within_bound_and_rounds(self, graph_and_k):
+        graph, k = graph_and_k
+        result = approximate_fractional_mds(graph, k=k)
+        lp = build_lp(graph)
+        assert check_primal_feasible(lp, result.x, tolerance=1e-9)
+        lp_opt = solve_fractional_mds(graph).objective
+        bound = algorithm2_approximation_bound(k, max_degree(graph))
+        assert result.objective <= bound * lp_opt + 1e-7
+        assert result.rounds == algorithm2_round_bound(k)
+
+    @ALGO_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=12, max_k=3))
+    def test_x_values_bounded_by_one(self, graph_and_k):
+        graph, k = graph_and_k
+        result = approximate_fractional_mds(graph, k=k)
+        assert all(0.0 <= value <= 1.0 + 1e-12 for value in result.x.values())
+
+
+class TestAlgorithm3Properties:
+    @ALGO_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=12, max_k=4))
+    def test_feasible_within_bound_and_rounds(self, graph_and_k):
+        graph, k = graph_and_k
+        result = approximate_fractional_mds_unknown_delta(graph, k=k)
+        lp = build_lp(graph)
+        assert check_primal_feasible(lp, result.x, tolerance=1e-9)
+        lp_opt = solve_fractional_mds(graph).objective
+        bound = algorithm3_approximation_bound(k, max_degree(graph))
+        assert result.objective <= bound * lp_opt + 1e-7
+        assert result.rounds <= algorithm3_round_bound(k)
+
+    @ALGO_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=10, max_k=3))
+    def test_never_worse_than_trivial_solution(self, graph_and_k):
+        graph, k = graph_and_k
+        result = approximate_fractional_mds_unknown_delta(graph, k=k)
+        assert result.objective <= graph.number_of_nodes() + 1e-9
+
+
+class TestRoundingProperties:
+    @ALGO_SETTINGS
+    @given(
+        graph=simple_graphs(max_nodes=14),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_rounding_lp_optimum_always_dominates(self, graph, seed):
+        lp_solution = solve_fractional_mds(graph).values
+        result = round_fractional_solution(graph, lp_solution, seed=seed)
+        assert is_dominating_set(graph, result.dominating_set)
+        assert result.rounds <= 5
+
+    @ALGO_SETTINGS
+    @given(
+        graph=simple_graphs(max_nodes=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_rounding_any_input_with_fallback_dominates(self, graph, seed):
+        """Even deliberately infeasible inputs produce dominating sets thanks
+        to the line-6 fallback."""
+        bogus = {node: 0.0 for node in graph.nodes()}
+        result = round_fractional_solution(
+            graph, bogus, seed=seed, require_feasible=False
+        )
+        assert is_dominating_set(graph, result.dominating_set)
+
+
+class TestPipelineProperties:
+    @ALGO_SETTINGS
+    @given(
+        graph_and_k=graphs_with_k(max_nodes=11, max_k=3),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_pipeline_always_valid_and_constant_rounds(self, graph_and_k, seed):
+        graph, k = graph_and_k
+        result = kuhn_wattenhofer_dominating_set(graph, k=k, seed=seed)
+        assert is_dominating_set(graph, result.dominating_set)
+        assert result.total_rounds <= pipeline_round_bound(k)
+        assert result.size <= graph.number_of_nodes()

@@ -1,0 +1,56 @@
+"""Property-based tests for the connected dominating set extension."""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.greedy import greedy_dominating_set
+from repro.cds.connectify import connect_dominating_set
+from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
+from repro.cds.validation import is_connected_dominating_set
+
+from tests.property.strategies import connected_graphs
+
+CDS_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestConnectifyProperties:
+    @CDS_SETTINGS
+    @given(graph=connected_graphs(max_nodes=16))
+    def test_connectified_greedy_is_cds(self, graph):
+        dominating = greedy_dominating_set(graph)
+        cds = connect_dominating_set(graph, dominating)
+        assert is_connected_dominating_set(graph, cds)
+        assert dominating <= cds
+
+    @CDS_SETTINGS
+    @given(graph=connected_graphs(max_nodes=14))
+    def test_connectified_size_within_three_times(self, graph):
+        dominating = greedy_dominating_set(graph)
+        cds = connect_dominating_set(graph, dominating)
+        assert len(cds) <= 3 * max(len(dominating), 1)
+
+    @CDS_SETTINGS
+    @given(graph=connected_graphs(max_nodes=14))
+    def test_whole_vertex_set_fixpoint(self, graph):
+        cds = connect_dominating_set(graph, set(graph.nodes()))
+        assert cds == frozenset(graph.nodes())
+
+
+class TestGuhaKhullerProperties:
+    @CDS_SETTINGS
+    @given(graph=connected_graphs(max_nodes=16))
+    def test_always_produces_cds(self, graph):
+        cds = guha_khuller_connected_dominating_set(graph)
+        assert is_connected_dominating_set(graph, cds)
+
+    @CDS_SETTINGS
+    @given(graph=connected_graphs(max_nodes=14))
+    def test_never_larger_than_vertex_set_minus_leaves(self, graph):
+        """A CDS never needs a leaf of a non-trivial graph unless the leaf's
+        neighbour is its only connection -- in particular |CDS| ≤ n."""
+        cds = guha_khuller_connected_dominating_set(graph)
+        assert len(cds) <= graph.number_of_nodes()

@@ -1,0 +1,90 @@
+"""Property-based tests for dominating set utilities and baselines."""
+
+import math
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_minimum_dominating_set
+from repro.baselines.greedy import greedy_dominating_set
+from repro.baselines.trivial import random_dominating_set
+from repro.domset.validation import (
+    coverage_counts,
+    is_dominating_set,
+    prune_redundant,
+    uncovered_nodes,
+)
+
+from tests.property.strategies import simple_graphs
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestValidationProperties:
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=16))
+    def test_all_nodes_dominate(self, graph):
+        assert is_dominating_set(graph, set(graph.nodes()))
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=16), data=st.data())
+    def test_uncovered_plus_covered_partition(self, graph, data):
+        nodes = sorted(graph.nodes())
+        subset = set(
+            data.draw(st.lists(st.sampled_from(nodes), unique=True, max_size=len(nodes)))
+            if nodes
+            else []
+        )
+        uncovered = uncovered_nodes(graph, subset)
+        counts = coverage_counts(graph, subset)
+        # A node is uncovered exactly when its coverage count is zero.
+        for node in graph.nodes():
+            if node in uncovered:
+                assert counts[node] == 0
+            else:
+                assert counts[node] >= 1
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_prune_preserves_domination(self, graph):
+        pruned = prune_redundant(graph, set(graph.nodes()))
+        assert is_dominating_set(graph, pruned)
+        assert len(pruned) <= graph.number_of_nodes()
+
+
+class TestBaselineProperties:
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_greedy_always_dominates(self, graph):
+        assert is_dominating_set(graph, greedy_dominating_set(graph))
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=12))
+    def test_exact_below_greedy_and_ln_delta_holds(self, graph):
+        exact = exact_minimum_dominating_set(graph).size
+        greedy_size = len(greedy_dominating_set(graph))
+        delta = max(degree for _, degree in graph.degree())
+        assert exact <= greedy_size
+        assert greedy_size <= (1.0 + math.log(delta + 1.0)) * exact + 1e-9
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=12))
+    def test_exact_solution_is_minimal_dominating(self, graph):
+        result = exact_minimum_dominating_set(graph)
+        assert is_dominating_set(graph, result.dominating_set)
+        # Removing any single member must break domination (minimality of
+        # an *optimal* solution: |DS|-1 nodes cannot dominate).
+        for node in result.dominating_set:
+            smaller = set(result.dominating_set) - {node}
+            if smaller:
+                assert not is_dominating_set(graph, smaller) or len(smaller) >= result.size
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14), seed=st.integers(min_value=0, max_value=100))
+    def test_random_fill_always_dominates(self, graph, seed):
+        assert is_dominating_set(graph, random_dominating_set(graph, seed=seed))

@@ -1,0 +1,71 @@
+"""Property-based tests for the paper's Lemma 2-7 invariants (experiment E6).
+
+Every random graph execution of Algorithm 2 and Algorithm 3 is traced and
+checked against the lemma invariants reconstructed by
+:mod:`repro.core.invariants`.  A violation on *any* graph would falsify the
+proof-level behaviour of the implementation, so these tests are the
+strongest correctness evidence the repository carries beyond feasibility.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.invariants import (
+    check_algorithm2_invariants,
+    check_algorithm3_invariants,
+)
+from repro.graphs.generators import erdos_renyi_graph, random_unit_disk_graph
+
+from tests.property.strategies import graphs_with_k
+
+INVARIANT_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestLemmaInvariantsAlgorithm2:
+    @INVARIANT_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=12, max_k=4))
+    def test_lemmas_2_3_4_hold(self, graph_and_k):
+        graph, k = graph_and_k
+        result = approximate_fractional_mds(graph, k=k, collect_trace=True)
+        report = check_algorithm2_invariants(graph, result.trace, k)
+        assert report.ok, [str(v) for v in report.violations[:3]]
+
+    @INVARIANT_SETTINGS
+    @given(
+        n=st.integers(min_value=8, max_value=24),
+        p=st.floats(min_value=0.05, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=1_000),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_lemmas_hold_on_gnp_graphs(self, n, p, seed, k):
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        result = approximate_fractional_mds(graph, k=k, collect_trace=True)
+        assert check_algorithm2_invariants(graph, result.trace, k).ok
+
+
+class TestLemmaInvariantsAlgorithm3:
+    @INVARIANT_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=12, max_k=4))
+    def test_lemmas_5_6_7_hold(self, graph_and_k):
+        graph, k = graph_and_k
+        result = approximate_fractional_mds_unknown_delta(graph, k=k, collect_trace=True)
+        report = check_algorithm3_invariants(graph, result.trace, k)
+        assert report.ok, [str(v) for v in report.violations[:3]]
+
+    @INVARIANT_SETTINGS
+    @given(
+        n=st.integers(min_value=8, max_value=20),
+        radius=st.floats(min_value=0.1, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=1_000),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_lemmas_hold_on_unit_disk_graphs(self, n, radius, seed, k):
+        graph = random_unit_disk_graph(n, radius=radius, seed=seed)
+        result = approximate_fractional_mds_unknown_delta(graph, k=k, collect_trace=True)
+        assert check_algorithm3_invariants(graph, result.trace, k).ok

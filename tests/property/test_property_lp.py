@@ -1,0 +1,73 @@
+"""Property-based tests for the LP substrate (weak duality, feasibility)."""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_optimum_size
+from repro.lp.duality import lemma1_dual_solution, lemma1_lower_bound
+from repro.lp.feasibility import check_dual_feasible, check_primal_feasible
+from repro.lp.formulation import build_lp
+from repro.lp.solver import solve_fractional_mds
+
+from tests.property.strategies import simple_graphs
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestLPSolverProperties:
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_lp_optimum_is_feasible_and_bounded(self, graph):
+        solution = solve_fractional_mds(graph)
+        assert check_primal_feasible(solution.lp, solution.values, tolerance=1e-6)
+        # 1 <= LP_OPT <= n for any non-empty graph.
+        assert 1.0 - 1e-6 <= solution.objective <= graph.number_of_nodes() + 1e-6
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=12))
+    def test_lp_below_integral_optimum(self, graph):
+        lp_value = solve_fractional_mds(graph).objective
+        assert lp_value <= exact_optimum_size(graph) + 1e-6
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_all_ones_always_feasible(self, graph):
+        lp = build_lp(graph)
+        assert check_primal_feasible(lp, {node: 1.0 for node in graph.nodes()})
+
+
+class TestWeakDualityProperties:
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_lemma1_dual_is_feasible(self, graph):
+        lp = build_lp(graph)
+        assert check_dual_feasible(lp, lemma1_dual_solution(graph), tolerance=1e-9)
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_lemma1_bound_below_lp_optimum(self, graph):
+        assert lemma1_lower_bound(graph) <= solve_fractional_mds(graph).objective + 1e-6
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=12))
+    def test_lemma1_bound_below_exact_optimum(self, graph):
+        """Lemma 1 exactly as stated: the dual bound is below |DS| for every
+        dominating set, in particular the optimal one."""
+        assert lemma1_lower_bound(graph) <= exact_optimum_size(graph) + 1e-9
+
+    @COMMON_SETTINGS
+    @given(
+        graph=simple_graphs(max_nodes=12),
+        scale=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_scaled_lemma1_solution_stays_feasible(self, graph, scale):
+        """Dual feasibility is preserved under downscaling (packing LP)."""
+        lp = build_lp(graph)
+        scaled = {node: scale * value for node, value in lemma1_dual_solution(graph).items()}
+        assert check_dual_feasible(lp, scaled, tolerance=1e-9)

@@ -1,0 +1,121 @@
+"""Unit tests for fault models and their interaction with the runner."""
+
+import networkx as nx
+import pytest
+
+from repro.simulator.faults import CrashStopFaults, MessageLossFaults, NoFaults
+from repro.simulator.message import Message
+from repro.simulator.node import StatefulNodeProgram
+from repro.simulator.runtime import run_program
+
+
+def make_message(sender=0, receiver=1):
+    return Message(sender=sender, receiver=receiver, payload=1)
+
+
+class TestNoFaults:
+    def test_everything_alive_and_delivered(self):
+        model = NoFaults()
+        assert model.node_alive(0, 0)
+        assert model.deliver(make_message(), 10)
+
+
+class TestMessageLossFaults:
+    def test_zero_loss_delivers_everything(self):
+        model = MessageLossFaults(loss_probability=0.0, seed=1)
+        assert all(model.deliver(make_message(), r) for r in range(100))
+
+    def test_total_loss_drops_everything(self):
+        model = MessageLossFaults(loss_probability=1.0, seed=1)
+        assert not any(model.deliver(make_message(), r) for r in range(100))
+
+    def test_partial_loss_rate_is_plausible(self):
+        model = MessageLossFaults(loss_probability=0.3, seed=5)
+        delivered = sum(model.deliver(make_message(), r) for r in range(2000))
+        assert 0.6 * 2000 < delivered < 0.8 * 2000
+
+    def test_protected_nodes_never_lose(self):
+        model = MessageLossFaults(loss_probability=1.0, seed=1, protected=frozenset({0}))
+        assert model.deliver(make_message(sender=0, receiver=1), 0)
+        assert model.deliver(make_message(sender=2, receiver=0), 0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            MessageLossFaults(loss_probability=1.5)
+
+    def test_nodes_always_alive(self):
+        model = MessageLossFaults(loss_probability=0.5, seed=0)
+        assert model.node_alive(3, 7)
+
+
+class TestCrashStopFaults:
+    def test_node_without_crash_round_never_crashes(self):
+        model = CrashStopFaults(crash_rounds={})
+        assert model.node_alive(0, 10_000)
+
+    def test_node_crashes_at_given_round(self):
+        model = CrashStopFaults(crash_rounds={1: 3})
+        assert model.node_alive(1, 2)
+        assert not model.node_alive(1, 3)
+        assert not model.node_alive(1, 10)
+
+    def test_messages_from_crashed_node_stop(self):
+        model = CrashStopFaults(crash_rounds={0: 2})
+        assert model.deliver(make_message(sender=0), 2)
+        assert not model.deliver(make_message(sender=0), 3)
+
+    def test_random_crashes_probability_bounds(self):
+        with pytest.raises(ValueError):
+            CrashStopFaults.random_crashes([0, 1], crash_probability=2.0, max_round=5)
+
+    def test_random_crashes_all(self):
+        model = CrashStopFaults.random_crashes(range(10), crash_probability=1.0, max_round=5, seed=3)
+        assert len(model.crash_rounds) == 10
+
+    def test_random_crashes_none(self):
+        model = CrashStopFaults.random_crashes(range(10), crash_probability=0.0, max_round=5, seed=3)
+        assert len(model.crash_rounds) == 0
+
+
+class CountingProgram(StatefulNodeProgram):
+    """Counts received messages over a fixed number of rounds."""
+
+    def __init__(self, rounds=3):
+        super().__init__()
+        self.rounds = rounds
+        self.received = 0
+
+    def on_start(self, ctx):
+        return ctx.send_all("tick")
+
+    def on_round(self, ctx, round_index, inbox):
+        self.received += len(inbox)
+        if round_index + 1 >= self.rounds:
+            self._terminated = True
+            self._result = self.received
+            return []
+        return ctx.send_all("tick")
+
+
+class TestFaultsInRunner:
+    def test_message_loss_reduces_received_count(self):
+        graph = nx.complete_graph(6)
+        lossless = run_program(graph, lambda n, net: CountingProgram(), seed=0)
+        lossy = run_program(
+            graph,
+            lambda n, net: CountingProgram(),
+            seed=0,
+            fault_model=MessageLossFaults(loss_probability=0.5, seed=9),
+        )
+        assert sum(lossy.results.values()) < sum(lossless.results.values())
+
+    def test_crashed_node_sends_nothing_after_crash(self):
+        graph = nx.star_graph(3)
+        result = run_program(
+            graph,
+            lambda n, net: CountingProgram(rounds=4),
+            fault_model=CrashStopFaults(crash_rounds={0: 1}),
+        )
+        # Leaves only hear from the hub while it is alive.
+        healthy = run_program(graph, lambda n, net: CountingProgram(rounds=4))
+        assert result.results[1] < healthy.results[1]

@@ -1,0 +1,111 @@
+"""Unit tests for message envelopes and size accounting."""
+
+import math
+
+import pytest
+
+from repro.simulator.message import Message, broadcast, payload_size_bits
+
+
+class TestPayloadSizeBits:
+    def test_none_costs_one_bit(self):
+        assert payload_size_bits(None) == 1
+
+    def test_bool_costs_one_bit(self):
+        assert payload_size_bits(True) == 1
+        assert payload_size_bits(False) == 1
+
+    def test_zero_int_costs_one_bit(self):
+        assert payload_size_bits(0) == 1
+
+    def test_small_int(self):
+        # 5 needs 3 magnitude bits + 1 sign bit.
+        assert payload_size_bits(5) == 4
+
+    def test_negative_int_same_as_positive(self):
+        assert payload_size_bits(-5) == payload_size_bits(5)
+
+    def test_int_grows_logarithmically(self):
+        assert payload_size_bits(1023) == 11
+        assert payload_size_bits(1024) == 12
+
+    def test_float_is_constant_cost(self):
+        assert payload_size_bits(0.5) == 32
+        assert payload_size_bits(123456.789) == 32
+
+    def test_float_zero_is_cheap(self):
+        assert payload_size_bits(0.0) == 1
+
+    def test_float_nan_and_inf(self):
+        assert payload_size_bits(float("nan")) == 32
+        assert payload_size_bits(float("inf")) == 32
+
+    def test_string_costs_utf8_bits(self):
+        assert payload_size_bits("ab") == 16
+
+    def test_list_sums_elements(self):
+        assert payload_size_bits([1, 2, 3]) == sum(payload_size_bits(v) for v in (1, 2, 3))
+
+    def test_dict_sums_keys_and_values(self):
+        payload = {"a": 1}
+        assert payload_size_bits(payload) == payload_size_bits("a") + payload_size_bits(1)
+
+    def test_nested_structures(self):
+        payload = {"xs": [1, 2], "flag": True}
+        expected = (
+            payload_size_bits("xs")
+            + payload_size_bits(1)
+            + payload_size_bits(2)
+            + payload_size_bits("flag")
+            + payload_size_bits(True)
+        )
+        assert payload_size_bits(payload) == expected
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_size_bits(object())
+
+    def test_degree_payload_is_log_delta(self):
+        # The paper's O(log Δ) message size: a degree value Δ costs
+        # ~log2(Δ) bits.
+        for delta in (2, 16, 255, 4096):
+            assert payload_size_bits(delta) <= math.ceil(math.log2(delta + 1)) + 2
+
+
+class TestMessage:
+    def test_size_bits_delegates_to_payload(self):
+        message = Message(sender=0, receiver=1, payload=7)
+        assert message.size_bits == payload_size_bits(7)
+
+    def test_with_round_preserves_fields(self):
+        message = Message(sender=0, receiver=1, payload="x", tag="t")
+        stamped = message.with_round(5)
+        assert stamped.round_index == 5
+        assert stamped.sender == 0
+        assert stamped.receiver == 1
+        assert stamped.payload == "x"
+        assert stamped.tag == "t"
+
+    def test_message_is_immutable(self):
+        message = Message(sender=0, receiver=1)
+        with pytest.raises(AttributeError):
+            message.payload = 3  # type: ignore[misc]
+
+    def test_default_round_is_minus_one(self):
+        assert Message(sender=0, receiver=1).round_index == -1
+
+
+class TestBroadcast:
+    def test_one_message_per_neighbor(self):
+        messages = broadcast(0, [1, 2, 3], payload="hello")
+        assert len(messages) == 3
+        assert {m.receiver for m in messages} == {1, 2, 3}
+
+    def test_all_messages_share_payload_and_sender(self):
+        messages = broadcast(7, [1, 2], payload=42, tag="deg")
+        assert all(m.sender == 7 for m in messages)
+        assert all(m.payload == 42 for m in messages)
+        assert all(m.tag == "deg" for m in messages)
+
+    def test_empty_neighbor_list(self):
+        assert broadcast(0, [], payload=1) == []

@@ -1,0 +1,77 @@
+"""Unit tests for execution metrics."""
+
+from repro.simulator.message import Message
+from repro.simulator.metrics import ExecutionMetrics, RoundMetrics
+
+
+def make_message(sender=0, receiver=1, payload=7):
+    return Message(sender=sender, receiver=receiver, payload=payload)
+
+
+class TestRoundMetrics:
+    def test_record_updates_counts(self):
+        round_metrics = RoundMetrics(round_index=0)
+        round_metrics.record(make_message(payload=7))
+        assert round_metrics.messages_sent == 1
+        assert round_metrics.total_bits == make_message(payload=7).size_bits
+
+    def test_max_message_bits_tracks_largest(self):
+        round_metrics = RoundMetrics(round_index=0)
+        round_metrics.record(make_message(payload=1))
+        round_metrics.record(make_message(payload=10_000))
+        assert round_metrics.max_message_bits == make_message(payload=10_000).size_bits
+
+
+class TestExecutionMetrics:
+    def test_begin_round_appends(self):
+        metrics = ExecutionMetrics()
+        metrics.begin_round(0)
+        metrics.begin_round(1)
+        assert metrics.round_count == 2
+
+    def test_record_messages_accumulates_per_node(self):
+        metrics = ExecutionMetrics()
+        round_metrics = metrics.begin_round(0)
+        metrics.record_messages(
+            round_metrics,
+            [make_message(sender=0), make_message(sender=0), make_message(sender=1)],
+        )
+        assert metrics.messages_per_node[0] == 2
+        assert metrics.messages_per_node[1] == 1
+        assert metrics.total_messages == 3
+
+    def test_totals_across_rounds(self):
+        metrics = ExecutionMetrics()
+        first = metrics.begin_round(0)
+        metrics.record_messages(first, [make_message()])
+        second = metrics.begin_round(1)
+        metrics.record_messages(second, [make_message(), make_message()])
+        assert metrics.total_messages == 3
+        assert metrics.total_bits == 3 * make_message().size_bits
+
+    def test_max_messages_per_node(self):
+        metrics = ExecutionMetrics()
+        round_metrics = metrics.begin_round(0)
+        metrics.record_messages(
+            round_metrics,
+            [make_message(sender=0)] * 5 + [make_message(sender=1)] * 2,
+        )
+        assert metrics.max_messages_per_node == 5
+
+    def test_empty_metrics_defaults(self):
+        metrics = ExecutionMetrics()
+        assert metrics.round_count == 0
+        assert metrics.total_messages == 0
+        assert metrics.max_message_bits == 0
+        assert metrics.max_messages_per_node == 0
+        assert metrics.messages_for_node(3) == 0
+
+    def test_summary_keys(self):
+        metrics = ExecutionMetrics()
+        round_metrics = metrics.begin_round(0)
+        metrics.record_messages(round_metrics, [make_message()])
+        summary = metrics.summary()
+        assert summary["rounds"] == 1
+        assert summary["total_messages"] == 1
+        assert summary["max_messages_per_node"] == 1
+        assert summary["mean_messages_per_node"] == 1.0

@@ -1,0 +1,114 @@
+"""Unit tests for the Network wrapper."""
+
+import networkx as nx
+import pytest
+
+from repro.simulator.network import Network
+from repro.simulator.node import StatefulNodeProgram
+
+
+class _NullProgram(StatefulNodeProgram):
+    def on_start(self, ctx):
+        return []
+
+    def on_round(self, ctx, round_index, inbox):
+        self._terminated = True
+        return []
+
+
+def null_factory(node_id, network):
+    return _NullProgram()
+
+
+class TestNetworkConstruction:
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            Network(nx.Graph(), null_factory)
+
+    def test_rejects_self_loops(self):
+        graph = nx.Graph([(0, 0), (0, 1)])
+        with pytest.raises(ValueError, match="self loops"):
+            Network(graph, null_factory)
+
+    def test_rejects_directed_graphs(self):
+        graph = nx.DiGraph([(0, 1)])
+        with pytest.raises(ValueError, match="undirected"):
+            Network(graph, null_factory)
+
+    def test_node_ids_sorted(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([5, 1, 3])
+        network = Network(graph, null_factory)
+        assert network.node_ids == (1, 3, 5)
+
+    def test_node_count(self):
+        network = Network(nx.path_graph(4), null_factory)
+        assert network.node_count == 4
+
+    def test_from_edges_with_isolated_nodes(self):
+        network = Network.from_edges([(0, 1)], null_factory, isolated_nodes=[5])
+        assert 5 in network.node_ids
+        assert network.degree(5) == 0
+
+
+class TestNetworkStructure:
+    def test_max_degree(self):
+        network = Network(nx.star_graph(4), null_factory)
+        assert network.max_degree == 4
+
+    def test_degree_per_node(self):
+        network = Network(nx.path_graph(3), null_factory)
+        assert network.degree(0) == 1
+        assert network.degree(1) == 2
+
+    def test_neighbors_sorted(self):
+        graph = nx.Graph([(0, 3), (0, 1), (0, 2)])
+        network = Network(graph, null_factory)
+        assert network.neighbors(0) == (1, 2, 3)
+
+    def test_closed_neighborhood_includes_node(self):
+        network = Network(nx.path_graph(3), null_factory)
+        assert network.closed_neighborhood(1) == (1, 0, 2)
+
+
+class TestNetworkPrograms:
+    def test_each_node_gets_own_program_instance(self):
+        network = Network(nx.path_graph(3), null_factory)
+        programs = [network.program(node) for node in network.node_ids]
+        assert len({id(program) for program in programs}) == 3
+
+    def test_factory_receives_node_id_and_network(self):
+        seen = {}
+
+        def factory(node_id, network):
+            seen[node_id] = network
+            return _NullProgram()
+
+        network = Network(nx.path_graph(2), factory)
+        assert set(seen) == {0, 1}
+        assert all(value is network for value in seen.values())
+
+    def test_results_collects_program_outputs(self):
+        class Echo(_NullProgram):
+            def __init__(self, node_id):
+                super().__init__()
+                self._result = node_id
+
+        network = Network(nx.path_graph(3), lambda node_id, net: Echo(node_id))
+        assert network.results() == {0: 0, 1: 1, 2: 2}
+
+    def test_all_terminated_initially_false(self):
+        network = Network(nx.path_graph(3), null_factory)
+        assert not network.all_terminated()
+
+    def test_per_node_rng_deterministic_given_seed(self):
+        network_a = Network(nx.path_graph(3), null_factory, seed=42)
+        network_b = Network(nx.path_graph(3), null_factory, seed=42)
+        values_a = [network_a.context(node).rng.random() for node in network_a.node_ids]
+        values_b = [network_b.context(node).rng.random() for node in network_b.node_ids]
+        assert values_a == values_b
+
+    def test_per_node_rng_differs_between_nodes(self):
+        network = Network(nx.path_graph(3), null_factory, seed=42)
+        values = [network.context(node).rng.random() for node in network.node_ids]
+        assert len(set(values)) == 3

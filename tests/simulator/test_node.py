@@ -1,0 +1,84 @@
+"""Unit tests for node contexts and the stateful program helpers."""
+
+import random
+
+import pytest
+
+from repro.simulator.message import Message
+from repro.simulator.node import NodeContext, NodeProgram, StatefulNodeProgram
+
+
+def make_context(node_id=0, neighbors=(1, 2, 3)):
+    return NodeContext(node_id=node_id, neighbors=tuple(neighbors), rng=random.Random(0))
+
+
+class TestNodeContext:
+    def test_degree_counts_neighbors(self):
+        assert make_context(neighbors=(1, 2)).degree == 2
+
+    def test_degree_zero_for_isolated(self):
+        assert make_context(neighbors=()).degree == 0
+
+    def test_closed_neighborhood_includes_self(self):
+        ctx = make_context(node_id=5, neighbors=(1, 2))
+        assert ctx.closed_neighborhood == (5, 1, 2)
+
+    def test_send_all_targets_every_neighbor(self):
+        ctx = make_context(node_id=0, neighbors=(4, 5))
+        messages = ctx.send_all("payload", tag="t")
+        assert {m.receiver for m in messages} == {4, 5}
+        assert all(m.sender == 0 for m in messages)
+        assert all(m.tag == "t" for m in messages)
+
+    def test_send_all_with_no_neighbors(self):
+        assert make_context(neighbors=()).send_all(1) == []
+
+
+class _MiniProgram(StatefulNodeProgram):
+    """Trivial program used to exercise the base-class defaults."""
+
+    def on_start(self, ctx):
+        return []
+
+    def on_round(self, ctx, round_index, inbox):
+        self._terminated = True
+        self._result = "done"
+        return []
+
+
+class TestStatefulNodeProgram:
+    def test_initially_not_terminated(self):
+        assert not _MiniProgram().is_terminated()
+
+    def test_result_defaults_to_none(self):
+        assert _MiniProgram().result() is None
+
+    def test_satisfies_protocol(self):
+        assert isinstance(_MiniProgram(), NodeProgram)
+
+    def test_inbox_by_sender(self):
+        inbox = [
+            Message(sender=1, receiver=0, payload="a"),
+            Message(sender=2, receiver=0, payload="b"),
+        ]
+        assert StatefulNodeProgram.inbox_by_sender(inbox) == {1: "a", 2: "b"}
+
+    def test_inbox_by_sender_last_payload_wins(self):
+        inbox = [
+            Message(sender=1, receiver=0, payload="first"),
+            Message(sender=1, receiver=0, payload="second"),
+        ]
+        assert StatefulNodeProgram.inbox_by_sender(inbox) == {1: "second"}
+
+    def test_inbox_by_tag_groups_messages(self):
+        inbox = [
+            Message(sender=1, receiver=0, payload=1, tag="deg"),
+            Message(sender=2, receiver=0, payload=2, tag="deg"),
+            Message(sender=1, receiver=0, payload=True, tag="color"),
+        ]
+        grouped = StatefulNodeProgram.inbox_by_tag(inbox)
+        assert grouped == {"deg": {1: 1, 2: 2}, "color": {1: True}}
+
+    def test_inbox_helpers_accept_empty(self):
+        assert StatefulNodeProgram.inbox_by_sender([]) == {}
+        assert StatefulNodeProgram.inbox_by_tag([]) == {}

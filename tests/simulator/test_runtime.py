@@ -1,0 +1,159 @@
+"""Unit tests for the synchronous round engine."""
+
+import networkx as nx
+import pytest
+
+from repro.simulator.message import Message
+from repro.simulator.network import Network
+from repro.simulator.node import StatefulNodeProgram
+from repro.simulator.runtime import SimulationError, SynchronousRunner, run_program
+
+
+class FloodMax(StatefulNodeProgram):
+    """Classic flood-max: after `rounds` rounds every node knows the max id.
+
+    Used as a well-understood reference program: in a connected graph of
+    diameter d, ``rounds >= d`` makes every node output the global maximum.
+    """
+
+    def __init__(self, rounds):
+        super().__init__()
+        self.rounds = rounds
+        self.best = None
+
+    def on_start(self, ctx):
+        self.best = ctx.node_id
+        return ctx.send_all(self.best)
+
+    def on_round(self, ctx, round_index, inbox):
+        for message in inbox:
+            self.best = max(self.best, message.payload)
+        if round_index + 1 >= self.rounds:
+            self._terminated = True
+            self._result = self.best
+            return []
+        return ctx.send_all(self.best)
+
+
+class EchoOnce(StatefulNodeProgram):
+    """Sends one message then stops; counts what it received."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = 0
+
+    def on_start(self, ctx):
+        return ctx.send_all("ping")
+
+    def on_round(self, ctx, round_index, inbox):
+        self.received += len(inbox)
+        self._terminated = True
+        self._result = self.received
+        return []
+
+
+class Misbehaving(StatefulNodeProgram):
+    """Tries to send to a non-neighbour (should be rejected)."""
+
+    def on_start(self, ctx):
+        return [Message(sender=ctx.node_id, receiver=ctx.node_id + 100)]
+
+    def on_round(self, ctx, round_index, inbox):
+        self._terminated = True
+        return []
+
+
+class Forger(StatefulNodeProgram):
+    """Tries to forge another node's sender id."""
+
+    def on_start(self, ctx):
+        if not ctx.neighbors:
+            return []
+        return [Message(sender=ctx.node_id + 1, receiver=ctx.neighbors[0])]
+
+    def on_round(self, ctx, round_index, inbox):
+        self._terminated = True
+        return []
+
+
+class NeverTerminates(StatefulNodeProgram):
+    def on_start(self, ctx):
+        return []
+
+    def on_round(self, ctx, round_index, inbox):
+        return []
+
+
+class TestRunProgram:
+    def test_flood_max_on_path(self):
+        graph = nx.path_graph(5)
+        result = run_program(graph, lambda n, net: FloodMax(rounds=4))
+        assert result.terminated
+        assert all(value == 4 for value in result.results.values())
+
+    def test_flood_max_insufficient_rounds(self):
+        graph = nx.path_graph(5)
+        result = run_program(graph, lambda n, net: FloodMax(rounds=1))
+        # One round is not enough for node 0 to learn about node 4.
+        assert result.results[0] < 4
+
+    def test_every_neighbor_receives_messages(self):
+        graph = nx.star_graph(4)
+        result = run_program(graph, lambda n, net: EchoOnce())
+        # The hub hears from all 4 leaves, each leaf only from the hub.
+        assert result.results[0] == 4
+        assert all(result.results[leaf] == 1 for leaf in range(1, 5))
+
+    def test_single_node_graph(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        result = run_program(graph, lambda n, net: EchoOnce())
+        assert result.terminated
+        assert result.results[0] == 0
+
+    def test_rejects_message_to_non_neighbor(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(SimulationError, match="non-neighbour"):
+            run_program(graph, lambda n, net: Misbehaving())
+
+    def test_rejects_forged_sender(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(SimulationError, match="forge"):
+            run_program(graph, lambda n, net: Forger())
+
+    def test_round_limit_stops_nonterminating_programs(self):
+        graph = nx.path_graph(3)
+        result = run_program(graph, lambda n, net: NeverTerminates(), max_rounds=5)
+        assert not result.terminated
+        assert result.rounds == 5
+
+
+class TestRunnerMetrics:
+    def test_round_count_matches_program_rounds(self):
+        graph = nx.path_graph(4)
+        result = run_program(graph, lambda n, net: FloodMax(rounds=3))
+        assert result.rounds == 3
+
+    def test_message_count_on_path(self):
+        graph = nx.path_graph(3)  # 2 edges
+        result = run_program(graph, lambda n, net: EchoOnce())
+        # Each node broadcasts once along each incident edge: 2 * |E| messages.
+        assert result.metrics.total_messages == 4
+
+    def test_per_node_message_counts(self):
+        graph = nx.star_graph(3)
+        result = run_program(graph, lambda n, net: EchoOnce())
+        assert result.metrics.messages_for_node(0) == 3
+        assert result.metrics.messages_for_node(1) == 1
+
+    def test_invalid_max_rounds(self):
+        network = Network(nx.path_graph(2), lambda n, net: EchoOnce())
+        with pytest.raises(ValueError):
+            SynchronousRunner(network, max_rounds=0)
+
+    def test_runner_is_deterministic_with_seed(self):
+        graph = nx.path_graph(4)
+        first = run_program(graph, lambda n, net: FloodMax(rounds=3), seed=1)
+        second = run_program(graph, lambda n, net: FloodMax(rounds=3), seed=1)
+        assert first.results == second.results
+        assert first.metrics.total_messages == second.metrics.total_messages

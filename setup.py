@@ -1,0 +1,10 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e . --no-use-pep517 --no-build-isolation``
+works in offline environments whose setuptools predates PEP 660 editable
+install support (which otherwise requires the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

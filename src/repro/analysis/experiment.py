@@ -26,6 +26,8 @@ from repro.core.kuhn_wattenhofer import (
     FractionalVariant,
     kuhn_wattenhofer_dominating_set,
 )
+from repro.core.vectorized import SIMULATED, VECTORIZED
+from repro.simulator.bulk import BulkGraph
 from repro.domset.validation import is_dominating_set
 from repro.graphs.utils import max_degree
 from repro.lp.duality import lemma1_lower_bound
@@ -75,24 +77,33 @@ def sweep_fractional(
     k_values: Sequence[int],
     variant: FractionalVariant = FractionalVariant.KNOWN_DELTA,
     seed: int = 0,
+    backend: str = SIMULATED,
 ) -> list[ExperimentRecord]:
     """Run a fractional algorithm over instances × k and record quality.
 
     Every record contains the measured fractional objective, the LP optimum,
     the measured/optimal ratio, the theorem's bound for that (k, Δ), the
-    number of rounds used and the per-node message maxima.
+    number of rounds used and the per-node message maxima.  ``backend``
+    selects the execution engine; both produce identical records (the
+    vectorized engine models its message counts).
     """
     records: list[ExperimentRecord] = []
     for instance in instances:
         lp_optimum = solve_fractional_mds(instance.graph).objective
         delta = instance.max_degree
+        # One CSR build per instance, reused across the whole k sweep.
+        bulk = (
+            BulkGraph.from_graph(instance.graph) if backend == VECTORIZED else None
+        )
         for k in k_values:
             if variant is FractionalVariant.KNOWN_DELTA:
-                result = approximate_fractional_mds(instance.graph, k=k, seed=seed)
+                result = approximate_fractional_mds(
+                    instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
+                )
                 bound = algorithm2_approximation_bound(k, delta)
             else:
                 result = approximate_fractional_mds_unknown_delta(
-                    instance.graph, k=k, seed=seed
+                    instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
                 )
                 bound = algorithm3_approximation_bound(k, delta)
             ratio = result.objective / lp_optimum if lp_optimum > 0 else float("nan")
@@ -121,18 +132,24 @@ def sweep_pipeline(
     trials: int = 5,
     variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
     seed: int = 0,
+    backend: str = SIMULATED,
 ) -> list[ExperimentRecord]:
     """Run the full pipeline over instances × k, averaging over trials.
 
     The expected-size guarantee of Theorem 6 is about the mean over the
     rounding randomness, so each (instance, k) cell aggregates ``trials``
-    independent executions.
+    independent executions.  ``backend`` selects the execution engine for
+    both pipeline phases; seeds produce the same sets on either engine.
     """
     records: list[ExperimentRecord] = []
     for instance in instances:
         lower_bound = lemma1_lower_bound(instance.graph)
         lp_optimum = solve_fractional_mds(instance.graph).objective
         delta = instance.max_degree
+        # One CSR build per instance, reused across all (k, trial) cells.
+        bulk = (
+            BulkGraph.from_graph(instance.graph) if backend == VECTORIZED else None
+        )
         for k in k_values:
             sizes = []
             rounds = []
@@ -142,6 +159,8 @@ def sweep_pipeline(
                     k=k,
                     seed=seed + trial,
                     variant=variant,
+                    backend=backend,
+                    _bulk=bulk,
                 )
                 if not is_dominating_set(instance.graph, result.dominating_set):
                     raise RuntimeError(

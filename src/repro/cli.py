@@ -41,6 +41,7 @@ from repro.core.kuhn_wattenhofer import (
     FractionalVariant,
     kuhn_wattenhofer_dominating_set,
 )
+from repro.core.vectorized import BACKENDS, SIMULATED
 from repro.domset.quality import quality_report
 from repro.graphs.generators import GraphFamily, make_graph
 
@@ -62,6 +63,16 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--degree", type=int, default=6, help="degree (random regular)")
     parser.add_argument("--seed", type=int, default=0, help="randomness seed")
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=SIMULATED,
+        help=(
+            "execution backend: 'simulated' drives per-node message passing "
+            "(traces, message-level fidelity), 'vectorized' uses the "
+            "bulk-synchronous array engine (same results, much faster)"
+        ),
+    )
 
 
 def _build_graph(args: argparse.Namespace):
@@ -79,7 +90,7 @@ def _command_solve(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     variant = FractionalVariant(args.variant)
     result = kuhn_wattenhofer_dominating_set(
-        graph, k=args.k, seed=args.seed, variant=variant
+        graph, k=args.k, seed=args.seed, variant=variant, backend=args.backend
     )
     report = quality_report(graph, result.dominating_set, solve_lp=not args.no_lp)
     payload = {
@@ -109,7 +120,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     instances = as_instances({"instance": graph})
     algorithms = {
         "kuhn-wattenhofer": lambda g, s: kuhn_wattenhofer_dominating_set(
-            g, k=args.k, seed=s
+            g, k=args.k, seed=s, backend=args.backend
         ).dominating_set,
         "greedy": lambda g, s: greedy_dominating_set(g),
         "lrg (jia et al.)": lambda g, s: lrg_dominating_set(g, seed=s).dominating_set,
@@ -135,7 +146,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     instances = as_instances({"instance": graph})
     k_values = list(range(1, args.max_k + 1))
     variant = FractionalVariant(args.variant)
-    records = sweep_fractional(instances, k_values, variant=variant, seed=args.seed)
+    records = sweep_fractional(
+        instances, k_values, variant=variant, seed=args.seed, backend=args.backend
+    )
     rows = [record.as_row() for record in records]
     if args.csv:
         print(records_to_csv(rows))

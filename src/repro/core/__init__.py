@@ -15,6 +15,12 @@ Public API:
 * :func:`~repro.core.weighted.approximate_weighted_fractional_mds` -- the
   weighted variant sketched in the remark after Theorem 4.
 * :mod:`~repro.core.invariants` -- runtime checks of Lemmas 2-7.
+
+The fractional, rounding and pipeline entry points accept
+``backend="simulated"`` (per-node message passing) or
+``backend="vectorized"`` (the bulk-synchronous array engine in
+:mod:`~repro.core.vectorized`); both compute identical results.  The
+weighted variant currently runs on the simulator only.
 """
 
 from repro.core.fractional import (
@@ -38,6 +44,7 @@ from repro.core.kuhn_wattenhofer import (
     kuhn_wattenhofer_dominating_set,
     log_delta_parameter,
 )
+from repro.core.vectorized import BACKENDS, SIMULATED, VECTORIZED, validate_backend
 from repro.core.rounding import (
     Algorithm1Program,
     RoundingResult,
@@ -56,6 +63,7 @@ __all__ = [
     "Algorithm1Program",
     "Algorithm2Program",
     "Algorithm3Program",
+    "BACKENDS",
     "FractionalResult",
     "FractionalVariant",
     "InvariantReport",
@@ -63,6 +71,8 @@ __all__ = [
     "PipelineResult",
     "RoundingResult",
     "RoundingRule",
+    "SIMULATED",
+    "VECTORIZED",
     "WeightedFractionalResult",
     "WeightedPipelineResult",
     "approximate_fractional_mds",
@@ -74,5 +84,6 @@ __all__ = [
     "kuhn_wattenhofer_dominating_set",
     "log_delta_parameter",
     "round_fractional_solution",
+    "validate_backend",
     "weighted_kuhn_wattenhofer_dominating_set",
 ]

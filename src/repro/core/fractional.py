@@ -18,7 +18,14 @@ from typing import Hashable, Mapping
 
 import networkx as nx
 
+from repro.core.vectorized import (
+    SIMULATED,
+    VECTORIZED,
+    run_algorithm2_bulk,
+    validate_backend,
+)
 from repro.graphs.utils import max_degree, validate_simple_graph
+from repro.simulator.bulk import BulkGraph
 from repro.simulator.message import Message
 from repro.simulator.metrics import ExecutionMetrics
 from repro.simulator.network import Network
@@ -164,6 +171,35 @@ class Algorithm2Program(GeneratorNodeProgram):
         return self.x
 
 
+def _vectorized_fractional_result(
+    graph, k, collect_trace, run_bulk, true_delta, bulk=None
+):
+    """Shared vectorized-backend dispatch for Algorithms 2 and 3.
+
+    ``run_bulk`` is the bulk runner bound to its algorithm parameters; it
+    receives the :class:`BulkGraph` and returns ``(values, metrics)``.
+    ``bulk`` lets the pipeline reuse one CSR build across both phases.
+    """
+    if collect_trace:
+        raise ValueError(
+            "collect_trace requires backend='simulated'; the vectorized "
+            "backend does not execute per-node programs"
+        )
+    if bulk is None:
+        bulk = BulkGraph.from_graph(graph)
+    values, metrics = run_bulk(bulk)
+    x = {node: float(value) for node, value in zip(bulk.nodes, values)}
+    return FractionalResult(
+        x=x,
+        objective=float(sum(x.values())),
+        rounds=metrics.round_count,
+        metrics=metrics,
+        trace=ExecutionTrace(),
+        k=k,
+        max_degree=true_delta,
+    )
+
+
 def _program_factory(k: int, delta: int):
     """Build the per-node program factory for Algorithm 2."""
 
@@ -179,6 +215,8 @@ def approximate_fractional_mds(
     seed: int | None = None,
     collect_trace: bool = False,
     delta: int | None = None,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
 ) -> FractionalResult:
     """Run Algorithm 2 on a graph and return its fractional solution.
 
@@ -194,17 +232,23 @@ def approximate_fractional_mds(
         seed only matters for reproducibility bookkeeping.
     collect_trace:
         Record a full execution trace (needed by the invariant monitors and
-        the Figure-1 experiment).
+        the Figure-1 experiment).  Only supported by the simulated backend.
     delta:
         Override for the Δ value distributed to the nodes.  Defaults to the
         true maximum degree of ``graph``; passing a larger value emulates
         nodes knowing only an upper bound on Δ.
+    backend:
+        ``"simulated"`` executes per-node message-passing programs
+        (message-level fidelity, traces, fault models); ``"vectorized"``
+        computes the identical x-vector with whole-graph array operations
+        (orders of magnitude faster on large graphs).
 
     Returns
     -------
     FractionalResult
     """
     validate_simple_graph(graph)
+    validate_backend(backend)
     if k < 1:
         raise ValueError("k must be at least 1")
     true_delta = max_degree(graph)
@@ -213,6 +257,16 @@ def approximate_fractional_mds(
     elif delta < true_delta:
         raise ValueError(
             f"delta={delta} is smaller than the true maximum degree {true_delta}"
+        )
+
+    if backend == VECTORIZED:
+        return _vectorized_fractional_result(
+            graph,
+            k,
+            collect_trace,
+            lambda bulk: run_algorithm2_bulk(bulk, k=k, delta=delta),
+            true_delta,
+            bulk=_bulk,
         )
 
     network = Network(graph, _program_factory(k, delta), seed=seed)

@@ -23,8 +23,20 @@ from typing import Hashable
 
 import networkx as nx
 
-from repro.core.fractional import GRAY, WHITE, FractionalResult
+from repro.core.fractional import (
+    GRAY,
+    WHITE,
+    FractionalResult,
+    _vectorized_fractional_result,
+)
+from repro.core.vectorized import (
+    SIMULATED,
+    VECTORIZED,
+    run_algorithm3_bulk,
+    validate_backend,
+)
 from repro.graphs.utils import max_degree, validate_simple_graph
+from repro.simulator.bulk import BulkGraph
 from repro.simulator.network import Network
 from repro.simulator.node import NodeContext
 from repro.simulator.runtime import SynchronousRunner
@@ -191,6 +203,8 @@ def approximate_fractional_mds_unknown_delta(
     k: int,
     seed: int | None = None,
     collect_trace: bool = False,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
 ) -> FractionalResult:
     """Run Algorithm 3 on a graph and return its fractional solution.
 
@@ -205,15 +219,31 @@ def approximate_fractional_mds_unknown_delta(
         Seed for per-node randomness (Algorithm 3 is deterministic; kept for
         interface symmetry with the randomized components).
     collect_trace:
-        Record a full execution trace for invariant checking.
+        Record a full execution trace for invariant checking.  Only
+        supported by the simulated backend.
+    backend:
+        ``"simulated"`` for per-node message passing, ``"vectorized"`` for
+        the bulk-synchronous array engine (identical x-vectors, far faster
+        on large graphs).
 
     Returns
     -------
     FractionalResult
     """
     validate_simple_graph(graph)
+    validate_backend(backend)
     if k < 1:
         raise ValueError("k must be at least 1")
+
+    if backend == VECTORIZED:
+        return _vectorized_fractional_result(
+            graph,
+            k,
+            collect_trace,
+            lambda bulk: run_algorithm3_bulk(bulk, k=k),
+            max_degree(graph),
+            bulk=_bulk,
+        )
 
     network = Network(graph, _program_factory(k), seed=seed)
     runner = SynchronousRunner(

@@ -32,6 +32,8 @@ import networkx as nx
 from repro.core.fractional import FractionalResult, approximate_fractional_mds
 from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
 from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_solution
+from repro.core.vectorized import SIMULATED, VECTORIZED, validate_backend
+from repro.simulator.bulk import BulkGraph
 from repro.domset.validation import is_dominating_set
 from repro.graphs.utils import max_degree, validate_simple_graph
 from repro.lp.feasibility import check_primal_feasible
@@ -105,6 +107,8 @@ def kuhn_wattenhofer_dominating_set(
     variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
     rounding_rule: RoundingRule = RoundingRule.LOG,
     collect_trace: bool = False,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
 ) -> PipelineResult:
     """Compute a dominating set with the full Kuhn–Wattenhofer pipeline.
 
@@ -124,7 +128,13 @@ def kuhn_wattenhofer_dominating_set(
         Probability multiplier for Algorithm 1.
     collect_trace:
         Record an execution trace of the fractional phase (needed for
-        invariant checking; adds memory overhead).
+        invariant checking; adds memory overhead).  Only supported by the
+        simulated backend.
+    backend:
+        ``"simulated"`` drives both phases through the message-passing
+        simulator; ``"vectorized"`` uses the bulk-synchronous array engine
+        for both (same x-vectors and, for a given seed, the same coin
+        flips -- so the same dominating set -- at a fraction of the cost).
 
     Returns
     -------
@@ -139,19 +149,37 @@ def kuhn_wattenhofer_dominating_set(
         correctness argument relies on them.
     """
     validate_simple_graph(graph)
+    validate_backend(backend)
     delta = max_degree(graph)
     if k is None:
         k = log_delta_parameter(delta)
     if k < 1:
         raise ValueError("k must be at least 1")
 
+    # One CSR build serves both vectorized phases (callers running many
+    # pipelines on one graph can pass theirs in).
+    if _bulk is not None:
+        bulk = _bulk
+    else:
+        bulk = BulkGraph.from_graph(graph) if backend == VECTORIZED else None
+
     if variant is FractionalVariant.KNOWN_DELTA:
         fractional = approximate_fractional_mds(
-            graph, k=k, seed=seed, collect_trace=collect_trace
+            graph,
+            k=k,
+            seed=seed,
+            collect_trace=collect_trace,
+            backend=backend,
+            _bulk=bulk,
         )
     else:
         fractional = approximate_fractional_mds_unknown_delta(
-            graph, k=k, seed=seed, collect_trace=collect_trace
+            graph,
+            k=k,
+            seed=seed,
+            collect_trace=collect_trace,
+            backend=backend,
+            _bulk=bulk,
         )
 
     lp = build_lp(graph)
@@ -167,6 +195,8 @@ def kuhn_wattenhofer_dominating_set(
         seed=seed,
         rule=rounding_rule,
         require_feasible=False,  # already checked above
+        backend=backend,
+        _bulk=bulk,
     )
     if not is_dominating_set(graph, rounding.dominating_set):
         raise RuntimeError(

@@ -28,8 +28,16 @@ from typing import Hashable, Mapping
 
 import networkx as nx
 
+from repro.core.vectorized import (
+    SIMULATED,
+    VECTORIZED,
+    run_rounding_bulk,
+    validate_backend,
+    x_array_from_mapping,
+)
 from repro.graphs.utils import validate_simple_graph
 from repro.lp.feasibility import check_primal_feasible
+from repro.simulator.bulk import BulkGraph
 from repro.lp.formulation import build_lp
 from repro.simulator.metrics import ExecutionMetrics
 from repro.simulator.network import Network
@@ -158,6 +166,8 @@ def round_fractional_solution(
     seed: int | None = None,
     rule: RoundingRule = RoundingRule.LOG,
     require_feasible: bool = True,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
 ) -> RoundingResult:
     """Round a fractional dominating set solution into an integral one.
 
@@ -176,6 +186,11 @@ def round_fractional_solution(
         Probability multiplier rule.
     require_feasible:
         Whether to verify ``N·x ≥ 1`` before rounding.
+    backend:
+        ``"simulated"`` for per-node message passing, ``"vectorized"`` for
+        the bulk-synchronous array engine.  Both draw each node's coin from
+        the same seeded stream, so for a given ``seed`` they select the
+        same dominating set.
 
     Returns
     -------
@@ -185,6 +200,7 @@ def round_fractional_solution(
         infeasible inputs, as long as every node runs the fallback step).
     """
     validate_simple_graph(graph)
+    validate_backend(backend)
     if require_feasible:
         lp = build_lp(graph)
         feasible, violation = check_primal_feasible(
@@ -196,6 +212,28 @@ def round_fractional_solution(
                 f"(max constraint violation {violation:.3e}); "
                 "pass require_feasible=False to round it anyway"
             )
+
+    if backend == VECTORIZED:
+        bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        in_set, randomly, fallback, metrics = run_rounding_bulk(
+            bulk,
+            x_array_from_mapping(bulk, x),
+            seed=seed,
+            multiplier_for=lambda delta_two: rounding_multiplier(delta_two, rule),
+        )
+        return RoundingResult(
+            dominating_set=frozenset(
+                node for node, joined in zip(bulk.nodes, in_set) if joined
+            ),
+            joined_randomly=frozenset(
+                node for node, joined in zip(bulk.nodes, randomly) if joined
+            ),
+            joined_as_fallback=frozenset(
+                node for node, joined in zip(bulk.nodes, fallback) if joined
+            ),
+            rounds=metrics.round_count,
+            metrics=metrics,
+        )
 
     network = Network(graph, _program_factory(x, rule), seed=seed)
     runner = SynchronousRunner(network, max_rounds=16)

@@ -1,0 +1,265 @@
+"""Vectorized bulk-synchronous implementations of Algorithms 1-3.
+
+These functions compute the *exact* same per-node values as the
+message-passing programs in :mod:`repro.core.fractional`,
+:mod:`repro.core.fractional_unknown` and :mod:`repro.core.rounding`, but
+replace every per-message Python object with one whole-graph array
+operation over a :class:`~repro.simulator.bulk.BulkGraph`.
+
+Numerical equivalence is engineered, not approximate:
+
+* neighbourhood sums accumulate in the simulator's ascending-sender order
+  (see :meth:`BulkGraph.neighbor_sum`), so coverage values -- and therefore
+  the white/gray colouring decisions they gate -- are bitwise identical;
+* every transcendental (the activity thresholds ``γ^(ℓ/(ℓ+1))``, the
+  x-boosts ``a^(−m/(m+1))``, the rounding multipliers ``ln(δ⁽²⁾+1)``) is
+  evaluated once per *distinct* operand with Python's own float power /
+  ``math.log``, exactly as the per-node programs do, and broadcast back;
+* the randomized rounding draws its per-node coin from
+  ``random.Random(f"{seed}:{node}")`` -- the same stream
+  :class:`~repro.simulator.network.Network` hands each node -- so the
+  selected dominating set matches the simulated backend flip for flip.
+
+Round counts and (modeled) message counts are reported through the same
+:class:`~repro.simulator.metrics.ExecutionMetrics` structure the simulator
+produces, with an identical per-round layout.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Mapping
+
+import numpy as np
+
+from repro.simulator.bulk import (
+    BOOL_PAYLOAD_BITS,
+    BulkGraph,
+    BulkMetricsBuilder,
+    float_payload_bits,
+    int_payload_bits,
+)
+from repro.simulator.metrics import ExecutionMetrics
+
+#: The execution backends exposed by the public entry points.
+SIMULATED = "simulated"
+VECTORIZED = "vectorized"
+BACKENDS = (SIMULATED, VECTORIZED)
+
+
+def validate_backend(backend: str) -> str:
+    """Check a ``backend=`` argument and return it normalised."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def _unique_powers(values: np.ndarray, exponent: float) -> np.ndarray:
+    """``values ** exponent`` evaluated with Python float semantics.
+
+    Computes the power once per distinct operand using ``float.__pow__`` --
+    the operation the per-node programs perform -- and scatters the results,
+    so the vectorized backend cannot drift from the simulator by even one
+    ULP on platforms where numpy's pow differs from libm's.
+    """
+    unique, inverse = np.unique(values, return_inverse=True)
+    table = np.array([float(value) ** exponent for value in unique], dtype=np.float64)
+    return table[inverse]
+
+
+def _unique_map(values: np.ndarray, func: Callable[[int], float]) -> np.ndarray:
+    """Apply an int -> float function once per distinct value and scatter."""
+    unique, inverse = np.unique(values, return_inverse=True)
+    table = np.array([func(int(value)) for value in unique], dtype=np.float64)
+    return table[inverse]
+
+
+def _delta_two(bulk: BulkGraph, metrics: BulkMetricsBuilder) -> np.ndarray:
+    """δ⁽²⁾ per node: two degree-max exchanges, recorded in program order."""
+    metrics.record_exchange(int_payload_bits(bulk.degrees))
+    delta_one = bulk.closed_max(bulk.degrees)
+    metrics.record_exchange(int_payload_bits(delta_one))
+    return bulk.closed_max(delta_one)
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm 2 (Δ known)                                                   #
+# ---------------------------------------------------------------------- #
+
+
+def run_algorithm2_bulk(
+    bulk: BulkGraph, k: int, delta: int
+) -> tuple[np.ndarray, ExecutionMetrics]:
+    """Vectorized Algorithm 2: the same 2k² exchanges as the node program.
+
+    Returns the per-node x-vector (indexed like ``bulk.nodes``) and the
+    modeled execution metrics.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+
+    base = delta + 1.0
+    x = np.zeros(bulk.n, dtype=np.float64)
+    white = np.ones(bulk.n, dtype=bool)
+    dynamic_degree = bulk.degrees + 1
+    metrics = BulkMetricsBuilder(bulk.degrees)
+
+    for ell in range(k - 1, -1, -1):
+        threshold = base ** (ell / k)
+        for m in range(k - 1, -1, -1):
+            # Lines 6-8: active nodes raise their x-value.
+            active = dynamic_degree >= threshold
+            boost = 1.0 / base ** (m / k)
+            x = np.where(active, np.maximum(x, boost), x)
+
+            # Exchange x-values; colour gray once covered (lines 11-12).
+            metrics.record_exchange(float_payload_bits(x))
+            coverage = x + bulk.neighbor_sum(x)
+            white &= coverage < 1.0
+
+            # Exchange colours; recompute the dynamic degree (lines 9-10).
+            metrics.record_exchange(BOOL_PAYLOAD_BITS)
+            dynamic_degree = bulk.neighbor_count(white) + white
+
+    return x, metrics.build(bulk.nodes)
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm 3 (Δ unknown)                                                 #
+# ---------------------------------------------------------------------- #
+
+
+def run_algorithm3_bulk(
+    bulk: BulkGraph, k: int
+) -> tuple[np.ndarray, ExecutionMetrics]:
+    """Vectorized Algorithm 3: the same 4k² + 2k + 2 exchanges as the program."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+    x = np.zeros(bulk.n, dtype=np.float64)
+    white = np.ones(bulk.n, dtype=bool)
+    metrics = BulkMetricsBuilder(bulk.degrees)
+
+    # Line 2: two exchanges computing δ⁽²⁾.
+    delta_two = _delta_two(bulk, metrics)
+
+    # Line 3: γ⁽²⁾ := δ⁽²⁾ + 1;  δ̃ := δ + 1.
+    gamma_two = (delta_two + 1).astype(np.float64)
+    dynamic_degree = bulk.degrees + 1
+
+    for ell in range(k - 1, -1, -1):
+        for m in range(k - 1, -1, -1):
+            # Lines 7-9: activity threshold γ⁽²⁾^(ℓ/(ℓ+1)), then one exchange.
+            threshold = _unique_powers(gamma_two, ell / (ell + 1))
+            active = dynamic_degree >= threshold
+            metrics.record_exchange(BOOL_PAYLOAD_BITS)
+
+            # Lines 10-11: a(v) = active nodes in N(v); 0 for gray nodes.
+            a_value = np.where(
+                white, bulk.neighbor_count(active) + active, 0
+            ).astype(np.int64)
+
+            # Lines 12-13: exchange a-values, closed-neighbourhood max.
+            metrics.record_exchange(int_payload_bits(a_value))
+            a_one = bulk.closed_max(a_value)
+
+            # Lines 15-17: active nodes raise x to a⁽¹⁾^(−m/(m+1)); a⁽¹⁾ ≥ 1
+            # whenever a node is active, so the power is well defined.
+            if active.any():
+                boost = _unique_powers(
+                    a_one[active].astype(np.float64), -m / (m + 1)
+                )
+                x[active] = np.maximum(x[active], boost)
+
+            # Line 18: exchange x-values; line 19: colour gray once covered.
+            metrics.record_exchange(float_payload_bits(x))
+            coverage = x + bulk.neighbor_sum(x)
+            white &= coverage < 1.0
+
+            # Lines 20-21: exchange colours, recompute the dynamic degree.
+            metrics.record_exchange(BOOL_PAYLOAD_BITS)
+            dynamic_degree = bulk.neighbor_count(white) + white
+
+        # Lines 24-27: two exchanges refreshing γ⁽²⁾, floored at 1.
+        metrics.record_exchange(int_payload_bits(dynamic_degree))
+        gamma_one = bulk.closed_max(dynamic_degree)
+        metrics.record_exchange(int_payload_bits(gamma_one))
+        gamma_two = np.maximum(
+            bulk.closed_max(gamma_one).astype(np.float64), 1.0
+        )
+
+    return x, metrics.build(bulk.nodes)
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm 1 (randomized rounding)                                       #
+# ---------------------------------------------------------------------- #
+
+
+def run_rounding_bulk(
+    bulk: BulkGraph,
+    x: np.ndarray,
+    seed: int | None,
+    multiplier_for: Callable[[int], float],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, ExecutionMetrics]:
+    """Vectorized Algorithm 1 with the simulator's per-node coin streams.
+
+    Parameters
+    ----------
+    bulk:
+        The communication graph.
+    x:
+        Per-node fractional values, indexed like ``bulk.nodes``.
+    seed:
+        Experiment seed; node ``v`` draws from ``Random(f"{seed}:{v}")``
+        exactly as the simulated network does, so both backends flip the
+        same coins.
+    multiplier_for:
+        ``δ⁽²⁾ -> multiplier`` for the join probability (the rounding-rule
+        specific ``ln(δ⁽²⁾+1)`` term).
+
+    Returns
+    -------
+    (in_set, joined_randomly, joined_as_fallback, metrics)
+        Three boolean arrays indexed like ``bulk.nodes`` plus the metrics.
+    """
+    if np.any(np.asarray(x) < 0):
+        # Same rejection Algorithm1Program performs per node.
+        raise ValueError("fractional values must be non-negative")
+    metrics = BulkMetricsBuilder(bulk.degrees)
+
+    # Line 1: δ⁽²⁾ via two exchanges of degree maxima.
+    delta_two = _delta_two(bulk, metrics)
+
+    # Lines 2-3: join with probability min(1, x · multiplier(δ⁽²⁾)).
+    probability = np.minimum(
+        1.0, np.asarray(x, dtype=np.float64) * _unique_map(delta_two, multiplier_for)
+    )
+    draws = np.fromiter(
+        (
+            random.Random(f"{seed}:{node}" if seed is not None else None).random()
+            for node in bulk.nodes
+        ),
+        dtype=np.float64,
+        count=bulk.n,
+    )
+    joined_randomly = draws < probability
+
+    # Line 4: announce the decision (one exchange).
+    metrics.record_exchange(BOOL_PAYLOAD_BITS)
+
+    # Lines 5-7: nodes with no dominator in their closed neighbourhood join.
+    joined_as_fallback = ~joined_randomly & ~bulk.neighbor_any(joined_randomly)
+    in_set = joined_randomly | joined_as_fallback
+    return in_set, joined_randomly, joined_as_fallback, metrics.build(bulk.nodes)
+
+
+def x_array_from_mapping(bulk: BulkGraph, x: Mapping[Hashable, float]) -> np.ndarray:
+    """Convert a node -> value mapping into a ``bulk.nodes``-indexed array."""
+    return np.array(
+        [float(x.get(node, 0.0)) for node in bulk.nodes], dtype=np.float64
+    )

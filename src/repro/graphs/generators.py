@@ -255,8 +255,9 @@ def graph_suite(
     ----------
     scale:
         ``"tiny"`` (n ≈ 20, used in unit tests), ``"small"`` (n ≈ 60-120,
-        default for benchmarks with exact baselines) or ``"medium"``
-        (n ≈ 250-400, fractional baselines only).
+        default for benchmarks with exact baselines), ``"medium"``
+        (n ≈ 250-400, fractional baselines only) or ``"large"``
+        (n ≥ 2000, vectorized backend territory).
     seed:
         Seed shared by all random generators in the suite.
 
@@ -296,7 +297,17 @@ def graph_suite(
                 350, 10, edge_probability=0.15, seed=seed
             ),
         }
-    raise ValueError(f"unknown scale {scale!r}; expected 'tiny', 'small' or 'medium'")
+    if scale == "large":
+        return {
+            "erdos_renyi_n2000": erdos_renyi_graph(2000, 0.004, seed=seed),
+            "random_regular_n2000_d6": random_regular_graph(2000, 6, seed=seed),
+            "grid_45x45": grid_graph(45, 45),
+            "caterpillar_500x3": caterpillar_graph(500, 3),
+            "clique_chain_100x20": clique_chain(100, 20),
+        }
+    raise ValueError(
+        f"unknown scale {scale!r}; expected 'tiny', 'small', 'medium' or 'large'"
+    )
 
 
 def make_graph(family: GraphFamily | str, seed: int = 0, **params: object) -> nx.Graph:

@@ -24,8 +24,12 @@ model:
   injection used by the robustness experiments.
 * :mod:`~repro.simulator.trace` -- structured execution traces (used by the
   Figure-1 cascade experiment).
+* :mod:`~repro.simulator.bulk` -- the CSR substrate of the *vectorized*
+  backend: whole-graph neighbourhood operators with the simulator's
+  accumulation order, plus modeled :class:`ExecutionMetrics`.
 """
 
+from repro.simulator.bulk import BulkGraph, BulkMetricsBuilder
 from repro.simulator.faults import (
     CrashStopFaults,
     FaultModel,
@@ -41,6 +45,8 @@ from repro.simulator.script import GeneratorNodeProgram
 from repro.simulator.trace import ExecutionTrace, TraceEvent
 
 __all__ = [
+    "BulkGraph",
+    "BulkMetricsBuilder",
     "CrashStopFaults",
     "ExecutionMetrics",
     "ExecutionResult",

@@ -1,0 +1,236 @@
+"""Bulk-synchronous execution substrate for the vectorized backend.
+
+The message-passing simulator (:mod:`repro.simulator.runtime`) materialises
+one :class:`~repro.simulator.message.Message` object per edge per round.
+That fidelity is what makes traces and fault injection possible, but it caps
+executions at a few thousand nodes.  This module provides the substrate for
+an alternative *bulk-synchronous* execution style: every "send X to all
+neighbours / receive" step of the paper's algorithms is one whole-graph
+array operation over a CSR view of the adjacency structure.
+
+Two invariants tie this module to the simulator so the two backends stay
+numerically interchangeable:
+
+* **Ordering.**  :class:`BulkGraph` stores nodes in sorted order and each
+  adjacency row in ascending neighbour order -- exactly the order in which
+  :class:`~repro.simulator.network.Network` sorts neighbours and the runner
+  delivers messages.  :meth:`BulkGraph.neighbor_sum` accumulates every row
+  left to right in that order (``numpy.bincount`` iterates its input
+  sequentially), so floating-point sums are *bitwise identical* to the
+  ``sum(inbox_by_sender(...).values())`` loops in the node programs.
+* **Metrics.**  :class:`BulkMetricsBuilder` models the messages a
+  fault-free simulated execution would have sent (one payload broadcast per
+  node per exchange) and lays the per-round counters out exactly like
+  :class:`~repro.simulator.runtime.SynchronousRunner` does: the start-up
+  exchange and the round-0 exchange share the first
+  :class:`~repro.simulator.metrics.RoundMetrics` entry, and the final round
+  (in which every program terminates without sending) is an empty entry.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.simulator.metrics import ExecutionMetrics, RoundMetrics
+
+#: Bit cost of a boolean payload (mirrors ``payload_size_bits(True)``).
+BOOL_PAYLOAD_BITS = 1
+
+#: Bit cost of a non-zero real payload (mirrors ``payload_size_bits(1.5)``).
+FLOAT_PAYLOAD_BITS = 32
+
+
+def int_payload_bits(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``payload_size_bits`` for integer payloads.
+
+    Matches ``_int_bits`` in :mod:`repro.simulator.message`: one bit for
+    zero, otherwise ``bit_length + 1`` (sign bit).  ``numpy.frexp`` returns
+    the exact binary exponent, i.e. the bit length, for integers below 2⁵³.
+    """
+    magnitude = np.abs(np.asarray(values, dtype=np.int64))
+    _, exponent = np.frexp(magnitude.astype(np.float64))
+    return np.where(magnitude == 0, 1, exponent + 1)
+
+
+def float_payload_bits(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``payload_size_bits`` for real payloads (1 bit for 0.0)."""
+    values = np.asarray(values, dtype=np.float64)
+    return np.where(values == 0.0, 1, FLOAT_PAYLOAD_BITS)
+
+
+class BulkGraph:
+    """A CSR (compressed sparse row) view of a communication graph.
+
+    Attributes
+    ----------
+    nodes:
+        Node identifiers in sorted order; array index ``i`` corresponds to
+        ``nodes[i]`` everywhere in the vectorized backend.
+    degrees:
+        Per-node degree δ_i as an ``int64`` array.
+    indptr / col:
+        CSR adjacency: the neighbours of node ``i`` (as indices) are
+        ``col[indptr[i]:indptr[i+1]]``, ascending.
+    row:
+        ``col``'s companion: ``row[j]`` is the node that owns adjacency
+        entry ``j`` (i.e. ``indptr`` expanded back to one entry per edge
+        endpoint).
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("bulk graph must contain at least one node")
+        if any(u == v for u, v in graph.edges()):
+            raise ValueError("bulk graph must not contain self loops")
+
+        self.nodes: tuple[Hashable, ...] = tuple(sorted(graph.nodes()))
+        self.n = len(self.nodes)
+        index = {node: position for position, node in enumerate(self.nodes)}
+
+        degrees = np.zeros(self.n, dtype=np.int64)
+        col_chunks: list[np.ndarray] = []
+        for position, node in enumerate(self.nodes):
+            # Sorting identifiers and then mapping to indices preserves the
+            # simulator's ascending-neighbour delivery order because the
+            # index assignment above is monotone in the sorted identifiers.
+            neighbor_indices = np.fromiter(
+                (index[neighbor] for neighbor in sorted(graph.neighbors(node))),
+                dtype=np.int64,
+            )
+            degrees[position] = neighbor_indices.size
+            col_chunks.append(neighbor_indices)
+
+        self.degrees = degrees
+        self.indptr = np.concatenate(([0], np.cumsum(degrees)))
+        self.col = (
+            np.concatenate(col_chunks) if col_chunks else np.empty(0, dtype=np.int64)
+        )
+        self.row = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
+        # Row starts of the non-empty CSR rows, for reduceat-based maxima.
+        self._nonempty = np.flatnonzero(degrees > 0)
+        self._nonempty_starts = self.indptr[self._nonempty]
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph) -> "BulkGraph":
+        """Build a :class:`BulkGraph` from a networkx graph."""
+        return cls(graph)
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood operators                                             #
+    # ------------------------------------------------------------------ #
+
+    def neighbor_sum(self, values: np.ndarray) -> np.ndarray:
+        """Per-node sum of ``values`` over the *open* neighbourhood.
+
+        Accumulates each row left to right in ascending neighbour order,
+        reproducing the node programs' ``sum(neighbor_payloads.values())``
+        bit for bit.
+        """
+        return np.bincount(
+            self.row,
+            weights=np.asarray(values, dtype=np.float64)[self.col],
+            minlength=self.n,
+        )
+
+    def neighbor_count(self, flags: np.ndarray) -> np.ndarray:
+        """Per-node count of ``True`` flags over the open neighbourhood."""
+        mask = np.asarray(flags, dtype=bool)[self.col]
+        return np.bincount(self.row[mask], minlength=self.n)
+
+    def closed_max(self, values: np.ndarray) -> np.ndarray:
+        """Per-node maximum of ``values`` over the *closed* neighbourhood."""
+        values = np.asarray(values)
+        result = values.copy()
+        if self.col.size:
+            row_max = np.maximum.reduceat(values[self.col], self._nonempty_starts)
+            result[self._nonempty] = np.maximum(values[self._nonempty], row_max)
+        return result
+
+    def neighbor_any(self, flags: np.ndarray) -> np.ndarray:
+        """Whether any open-neighbourhood flag is set, per node."""
+        return self.neighbor_count(flags) > 0
+
+
+class BulkMetricsBuilder:
+    """Accumulates modeled message statistics for a bulk execution.
+
+    Call :meth:`record_exchange` once per "send to all neighbours" step, in
+    execution order, with the payload bit-size each node broadcasts; then
+    :meth:`build` produces an :class:`ExecutionMetrics` laid out exactly as
+    the synchronous runner would have recorded the same (fault-free)
+    execution.
+    """
+
+    def __init__(self, degrees: np.ndarray) -> None:
+        self._degrees = np.asarray(degrees, dtype=np.int64)
+        self._messages_per_exchange = int(self._degrees.sum())
+        self._senders = np.flatnonzero(self._degrees > 0)
+        # (total_bits, max_bits) per exchange, in execution order.
+        self._exchanges: list[tuple[int, int]] = []
+        self._bits_per_node = np.zeros(self._degrees.size, dtype=np.int64)
+
+    def record_exchange(self, payload_bits: np.ndarray | int) -> None:
+        """Account for one broadcast exchange.
+
+        Parameters
+        ----------
+        payload_bits:
+            Bits of the payload each node sends to *each* neighbour --
+            either a per-node array or a scalar for uniform payloads
+            (e.g. ``BOOL_PAYLOAD_BITS`` for colour flags).
+        """
+        bits = np.broadcast_to(
+            np.asarray(payload_bits, dtype=np.int64), self._degrees.shape
+        )
+        total_bits = int((bits * self._degrees).sum())
+        max_bits = int(bits[self._senders].max()) if self._senders.size else 0
+        self._exchanges.append((total_bits, max_bits))
+        self._bits_per_node += bits * self._degrees
+
+    @property
+    def exchange_count(self) -> int:
+        """Number of exchanges recorded so far (= rounds of the execution)."""
+        return len(self._exchanges)
+
+    def build(self, nodes: Sequence[Hashable]) -> ExecutionMetrics:
+        """Assemble the final :class:`ExecutionMetrics`.
+
+        The runner folds the start-up exchange into the round-0 entry and
+        appends one empty entry for the final round in which every program
+        terminates; executions with a single exchange have no such trailer.
+        """
+        per_round: list[tuple[int, int, int]] = []  # (messages, bits, max_bits)
+        exchanges = self._exchanges
+        messages = self._messages_per_exchange
+        if len(exchanges) == 1:
+            total_bits, max_bits = exchanges[0]
+            per_round.append((messages, total_bits, max_bits))
+        elif len(exchanges) >= 2:
+            first_bits = exchanges[0][0] + exchanges[1][0]
+            first_max = max(exchanges[0][1], exchanges[1][1])
+            per_round.append((2 * messages, first_bits, first_max))
+            for total_bits, max_bits in exchanges[2:]:
+                per_round.append((messages, total_bits, max_bits))
+            per_round.append((0, 0, 0))
+
+        metrics = ExecutionMetrics()
+        for round_index, (sent, total_bits, max_bits) in enumerate(per_round):
+            metrics.rounds.append(
+                RoundMetrics(
+                    round_index=round_index,
+                    messages_sent=sent,
+                    total_bits=total_bits,
+                    max_message_bits=max_bits,
+                )
+            )
+        exchange_total = len(exchanges)
+        for position in self._senders:
+            node = nodes[position]
+            metrics.messages_per_node[node] = exchange_total * int(
+                self._degrees[position]
+            )
+            metrics.bits_per_node[node] = int(self._bits_per_node[position])
+        return metrics

@@ -1,0 +1,183 @@
+"""Equivalence of the vectorized and simulated execution backends.
+
+The vectorized backend is engineered to reproduce the message-passing
+simulator *exactly*: identical x-vectors (same accumulation order, same
+transcendental evaluations), identical round counts and modeled message
+metrics, and -- for the randomized rounding -- identical per-node coin
+flips from the shared seeded streams.  These tests pin all of that down
+across graph families, locality parameters and seeds.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    kuhn_wattenhofer_dominating_set,
+)
+from repro.core.rounding import RoundingRule, round_fractional_solution
+from repro.core.vectorized import BACKENDS, validate_backend
+from repro.graphs.generators import caterpillar_graph, graph_suite
+
+TOLERANCE = 1e-12
+
+TINY = sorted(graph_suite("tiny", seed=5).items())
+SMALL_SUBSET = [
+    (name, graph)
+    for name, graph in sorted(graph_suite("small", seed=3).items())
+    if name in {"erdos_renyi_n60", "clique_chain_6x8", "two_level_star_8x6"}
+]
+
+FRACTIONAL_RUNNERS = {
+    "algorithm2": approximate_fractional_mds,
+    "algorithm3": approximate_fractional_mds_unknown_delta,
+}
+
+
+def assert_fractional_equivalent(simulated, vectorized):
+    """The two backends must agree on values, rounds and modeled metrics."""
+    assert set(simulated.x) == set(vectorized.x)
+    for node, value in simulated.x.items():
+        assert abs(value - vectorized.x[node]) <= TOLERANCE
+    # The engineered guarantee is stronger than the tolerance: bitwise.
+    assert simulated.objective == vectorized.objective
+    assert simulated.rounds == vectorized.rounds
+    assert simulated.k == vectorized.k
+    assert simulated.max_degree == vectorized.max_degree
+
+    sim_metrics, vec_metrics = simulated.metrics, vectorized.metrics
+    assert sim_metrics.round_count == vec_metrics.round_count
+    assert sim_metrics.total_messages == vec_metrics.total_messages
+    assert sim_metrics.total_bits == vec_metrics.total_bits
+    assert sim_metrics.max_message_bits == vec_metrics.max_message_bits
+    assert dict(sim_metrics.messages_per_node) == dict(vec_metrics.messages_per_node)
+    assert dict(sim_metrics.bits_per_node) == dict(vec_metrics.bits_per_node)
+    assert [r.messages_sent for r in sim_metrics.rounds] == [
+        r.messages_sent for r in vec_metrics.rounds
+    ]
+
+
+class TestFractionalEquivalence:
+    @pytest.mark.parametrize("algorithm", sorted(FRACTIONAL_RUNNERS))
+    @pytest.mark.parametrize("name,graph", TINY, ids=[name for name, _ in TINY])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_tiny_suite(self, algorithm, name, graph, k):
+        runner = FRACTIONAL_RUNNERS[algorithm]
+        simulated = runner(graph, k=k, seed=0)
+        vectorized = runner(graph, k=k, seed=0, backend="vectorized")
+        assert_fractional_equivalent(simulated, vectorized)
+
+    @pytest.mark.parametrize("algorithm", sorted(FRACTIONAL_RUNNERS))
+    @pytest.mark.parametrize(
+        "name,graph", SMALL_SUBSET, ids=[name for name, _ in SMALL_SUBSET]
+    )
+    def test_small_instances(self, algorithm, name, graph):
+        runner = FRACTIONAL_RUNNERS[algorithm]
+        simulated = runner(graph, k=2, seed=1)
+        vectorized = runner(graph, k=2, seed=1, backend="vectorized")
+        assert_fractional_equivalent(simulated, vectorized)
+
+    def test_delta_override_matches(self):
+        graph = caterpillar_graph(8, 2)
+        simulated = approximate_fractional_mds(graph, k=2, delta=10)
+        vectorized = approximate_fractional_mds(
+            graph, k=2, delta=10, backend="vectorized"
+        )
+        assert_fractional_equivalent(simulated, vectorized)
+
+    def test_single_node_graph(self):
+        graph = nx.empty_graph(1)
+        for runner in FRACTIONAL_RUNNERS.values():
+            simulated = runner(graph, k=2, seed=0)
+            vectorized = runner(graph, k=2, seed=0, backend="vectorized")
+            assert_fractional_equivalent(simulated, vectorized)
+
+    def test_isolated_nodes(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(5))
+        graph.add_edge(0, 1)
+        for runner in FRACTIONAL_RUNNERS.values():
+            simulated = runner(graph, k=2, seed=0)
+            vectorized = runner(graph, k=2, seed=0, backend="vectorized")
+            assert_fractional_equivalent(simulated, vectorized)
+
+
+class TestRoundingEquivalence:
+    @pytest.mark.parametrize("rule", list(RoundingRule))
+    @pytest.mark.parametrize("seed", [0, 7, 2003])
+    @pytest.mark.parametrize("name,graph", TINY, ids=[name for name, _ in TINY])
+    def test_shared_rng_selects_same_set(self, name, graph, seed, rule):
+        x = approximate_fractional_mds(graph, k=2, backend="vectorized").x
+        simulated = round_fractional_solution(
+            graph, x, seed=seed, rule=rule, require_feasible=False
+        )
+        vectorized = round_fractional_solution(
+            graph, x, seed=seed, rule=rule, require_feasible=False, backend="vectorized"
+        )
+        assert simulated.dominating_set == vectorized.dominating_set
+        assert simulated.joined_randomly == vectorized.joined_randomly
+        assert simulated.joined_as_fallback == vectorized.joined_as_fallback
+        assert simulated.rounds == vectorized.rounds
+        assert (
+            simulated.metrics.total_messages == vectorized.metrics.total_messages
+        )
+        assert simulated.metrics.total_bits == vectorized.metrics.total_bits
+
+    def test_feasibility_check_applies_to_both_backends(self, star):
+        infeasible = {node: 0.0 for node in star.nodes()}
+        for backend in BACKENDS:
+            with pytest.raises(ValueError, match="not a feasible"):
+                round_fractional_solution(star, infeasible, backend=backend)
+
+    def test_negative_values_rejected_by_both_backends(self, star):
+        negative = {node: 1.0 for node in star.nodes()}
+        negative[0] = -0.5
+        for backend in BACKENDS:
+            with pytest.raises(ValueError, match="non-negative"):
+                round_fractional_solution(
+                    star, negative, require_feasible=False, backend=backend
+                )
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("variant", list(FractionalVariant))
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_same_dominating_set(self, unit_disk, variant, seed):
+        simulated = kuhn_wattenhofer_dominating_set(
+            unit_disk, k=2, seed=seed, variant=variant
+        )
+        vectorized = kuhn_wattenhofer_dominating_set(
+            unit_disk, k=2, seed=seed, variant=variant, backend="vectorized"
+        )
+        assert simulated.dominating_set == vectorized.dominating_set
+        assert simulated.fractional.objective == vectorized.fractional.objective
+        assert simulated.total_rounds == vectorized.total_rounds
+        assert simulated.total_messages == vectorized.total_messages
+        assert simulated.max_message_bits == vectorized.max_message_bits
+
+
+class TestBackendValidation:
+    def test_known_backends(self):
+        assert set(BACKENDS) == {"simulated", "vectorized"}
+        for backend in BACKENDS:
+            assert validate_backend(backend) == backend
+
+    def test_unknown_backend_rejected(self, star):
+        with pytest.raises(ValueError, match="unknown backend"):
+            approximate_fractional_mds(star, k=1, backend="quantum")
+        with pytest.raises(ValueError, match="unknown backend"):
+            kuhn_wattenhofer_dominating_set(star, k=1, backend="quantum")
+
+    def test_vectorized_rejects_trace_collection(self, star):
+        with pytest.raises(ValueError, match="collect_trace"):
+            approximate_fractional_mds(
+                star, k=1, collect_trace=True, backend="vectorized"
+            )
+        with pytest.raises(ValueError, match="collect_trace"):
+            approximate_fractional_mds_unknown_delta(
+                star, k=1, collect_trace=True, backend="vectorized"
+            )

@@ -42,7 +42,7 @@ def _timed(function):
 
 
 @pytest.mark.benchmark(group="backend-speedup")
-def test_backend_speedup(benchmark, bench_seed, emit_table):
+def test_backend_speedup(benchmark, bench_seed, emit_table, emit_json):
     """Vectorized Algorithm 2 is ≥ 10× faster than simulation at n ≥ 2000."""
     rows = []
     for name, graph in sorted(graph_suite(SCALE, seed=bench_seed).items()):
@@ -77,6 +77,28 @@ def test_backend_speedup(benchmark, bench_seed, emit_table):
                 f"{SCALE} suite ({'quick' if QUICK else 'full'} mode)"
             ),
         ),
+    )
+    emit_json(
+        "backend_speedup",
+        {
+            "algorithm": "algorithm2",
+            "k": K,
+            "scale": SCALE,
+            "quick": QUICK,
+            "backends": ["simulated", "vectorized"],
+            "instances": [
+                {
+                    "instance": row["instance"],
+                    "n": row["n"],
+                    "delta": row["delta"],
+                    "objective_match": bool(row["objective_match"]),
+                    "simulated_s": row["simulated_s"],
+                    "vectorized_s": row["vectorized_s"],
+                    "speedup": row["speedup"],
+                }
+                for row in rows
+            ],
+        },
     )
 
     for row in rows:

@@ -1,0 +1,144 @@
+"""Graph-construction benchmark: grid-bucket hashing vs. the O(n²) scan.
+
+PR 1 made the *algorithms* fast; after that the wall-clock of a sweep was
+dominated by everything around them, starting with unit-disk construction
+(the paper's motivating graph family).  This benchmark pins the tentpole
+claims of the CSR-native substrate:
+
+* grid-bucket unit-disk construction at n = 20 000 is ≥ 20× faster than the
+  pairwise baseline with an edge-identical result,
+* the direct-to-CSR generators build the whole ``"xlarge"`` suite
+  (n ≥ 20 000 per instance) in seconds without per-edge Python objects, and
+* the bucket-queue greedy matches the set-based greedy's output at a
+  fraction of the cost, keeping the reference point comparable at scale.
+
+Quick mode (``REPRO_BENCH_QUICK=1``) shrinks the pairwise comparison to
+n = 3000 so CI stays a sub-minute smoke run; the speedup floor applies in
+both modes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
+from repro.baselines.greedy import greedy_dominating_set
+from repro.graphs.bulk import bulk_graph_suite, bulk_unit_disk_graph
+from repro.graphs.generators import random_unit_disk_graph
+from repro.graphs.unit_disk import random_unit_disk_positions, unit_disk_edges
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+#: Node count for the bucketed-vs-pairwise construction comparison.
+N_CONSTRUCTION = 3000 if QUICK else 20000
+#: Radius chosen so expected degree stays ≈ 9 at either size.
+RADIUS = 0.03 if QUICK else 0.012
+#: Minimum acceptable (pairwise / grid) wall-clock ratio.
+MIN_SPEEDUP = 20.0
+#: Node count for the greedy comparison (the set-based greedy is the cap).
+N_GREEDY = 600 if QUICK else 2000
+#: Radius keeping the greedy instance moderately dense (expected degree
+#: ≈ 40 at full scale) so the span-update cost dominates both variants.
+GREEDY_RADIUS = 0.12 if QUICK else 0.08
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="construction")
+def test_construction_speedup(benchmark, bench_seed, emit_table, emit_json):
+    """Grid-bucket unit-disk construction: ≥ 20× over the pairwise scan."""
+    points = random_unit_disk_positions(N_CONSTRUCTION, seed=bench_seed)
+    (grid_u, grid_v), grid_time = _timed(
+        lambda: unit_disk_edges(points, RADIUS, method="grid")
+    )
+    (pair_u, pair_v), pair_time = _timed(
+        lambda: unit_disk_edges(points, RADIUS, method="pairwise")
+    )
+    edges_match = set(zip(grid_u.tolist(), grid_v.tolist())) == set(
+        zip(pair_u.tolist(), pair_v.tolist())
+    )
+    construction_speedup = pair_time / grid_time
+
+    # The xlarge suite never materialises per-edge Python objects; building
+    # all of it should cost on the order of one networkx instance.
+    suite, suite_time = _timed(lambda: bulk_graph_suite("xlarge", seed=bench_seed))
+
+    # Bucket-queue greedy vs. the set-based reference.
+    small = random_unit_disk_graph(N_GREEDY, radius=GREEDY_RADIUS, seed=bench_seed)
+    reference_set, reference_time = _timed(lambda: greedy_dominating_set(small))
+    bulk_small = bulk_unit_disk_graph(N_GREEDY, radius=GREEDY_RADIUS, seed=bench_seed)
+    bulk_set, bulk_time = _timed(lambda: greedy_dominating_set_bulk(bulk_small))
+    greedy_match = reference_set == bulk_set
+
+    rows = [
+        {
+            "measurement": f"unit_disk_edges n={N_CONSTRUCTION}",
+            "baseline_s": round(pair_time, 3),
+            "fast_s": round(grid_time, 4),
+            "speedup": round(construction_speedup, 1),
+            "identical": edges_match,
+        },
+        {
+            "measurement": f"bucket greedy n={N_GREEDY}",
+            "baseline_s": round(reference_time, 3),
+            "fast_s": round(bulk_time, 4),
+            "speedup": round(reference_time / bulk_time, 1),
+            "identical": greedy_match,
+        },
+        {
+            "measurement": "bulk_graph_suite('xlarge') build",
+            "baseline_s": None,
+            "fast_s": round(suite_time, 4),
+            "speedup": None,
+            "identical": True,
+        },
+    ]
+    emit_table(
+        "construction_speedup",
+        render_table(
+            rows,
+            title=(
+                "CSR-native construction "
+                f"({'quick' if QUICK else 'full'} mode, "
+                f"{grid_u.size} edges at n={N_CONSTRUCTION})"
+            ),
+        ),
+    )
+    emit_json(
+        "construction_speedup",
+        {
+            "quick": QUICK,
+            "n": N_CONSTRUCTION,
+            "radius": RADIUS,
+            "edges": int(grid_u.size),
+            "pairwise_s": round(pair_time, 3),
+            "grid_s": round(grid_time, 4),
+            "speedup": round(construction_speedup, 1),
+            "edges_match": bool(edges_match),
+            "xlarge_suite_nodes": {name: g.n for name, g in suite.items()},
+            "xlarge_suite_build_s": round(suite_time, 3),
+            "greedy": {
+                "n": N_GREEDY,
+                "reference_s": round(reference_time, 3),
+                "bucket_queue_s": round(bulk_time, 4),
+                "sets_match": bool(greedy_match),
+            },
+        },
+    )
+
+    assert edges_match, "grid bucketing changed the edge set"
+    assert greedy_match, "bucket-queue greedy diverged from the reference"
+    assert construction_speedup >= MIN_SPEEDUP, (
+        f"construction speedup {construction_speedup:.1f}× below the "
+        f"{MIN_SPEEDUP}× floor"
+    )
+
+    benchmark(lambda: unit_disk_edges(points, RADIUS, method="grid"))

@@ -1,0 +1,145 @@
+"""Weighted backend benchmark: vectorized weighted Algorithm 2 vs. simulation.
+
+The weighted variant (remark after Theorem 4) was the last algorithm still
+confined to the per-message simulator.  This benchmark mirrors
+``bench_backend_speedup`` for the weighted port: wall-clock of the weighted
+fractional phase on n ≥ 2000 instances under both backends, bitwise
+equivalence of the x-vectors/objectives, matching dominating sets from the
+weighted end-to-end pipeline, and the ≥ 10× speedup floor the port was
+built to deliver.
+
+Quick mode (``REPRO_BENCH_QUICK=1``) substitutes the medium suite and only
+gates on equivalence (millisecond-scale vectorized timings on shared CI
+runners make ratio floors meaningless there).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.weighted import (
+    approximate_weighted_fractional_mds,
+    weighted_kuhn_wattenhofer_dominating_set,
+)
+from repro.graphs.generators import graph_suite
+from repro.graphs.utils import max_degree
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SCALE = "medium" if QUICK else "large"
+#: Minimum acceptable (simulated / vectorized) wall-clock ratio at n ≥ 2000.
+MIN_SPEEDUP = None if QUICK else 10.0
+K = 2
+C_MAX = 4.0
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def spread_weights(graph, c_max=C_MAX):
+    """Deterministic weights in [1, c_max] varying by node id."""
+    n = max(graph.number_of_nodes() - 1, 1)
+    return {
+        node: 1.0 + (c_max - 1.0) * (index / n)
+        for index, node in enumerate(sorted(graph.nodes()))
+    }
+
+
+@pytest.mark.benchmark(group="weighted-backend")
+def test_weighted_backend_speedup(benchmark, bench_seed, emit_table, emit_json):
+    """Vectorized weighted Algorithm 2: bitwise identical, ≥ 10× at n ≥ 2000."""
+    rows = []
+    for name, graph in sorted(graph_suite(SCALE, seed=bench_seed).items()):
+        weights = spread_weights(graph)
+        simulated, simulated_time = _timed(
+            lambda: approximate_weighted_fractional_mds(
+                graph, weights, k=K, seed=bench_seed
+            )
+        )
+        vectorized, vectorized_time = _timed(
+            lambda: approximate_weighted_fractional_mds(
+                graph, weights, k=K, seed=bench_seed, backend="vectorized"
+            )
+        )
+        rows.append(
+            {
+                "instance": name,
+                "n": graph.number_of_nodes(),
+                "delta": max_degree(graph),
+                "objective": simulated.objective,
+                "x_match": simulated.x == vectorized.x,
+                "objective_match": simulated.objective == vectorized.objective,
+                "rounds": simulated.rounds,
+                "simulated_s": round(simulated_time, 3),
+                "vectorized_s": round(vectorized_time, 4),
+                "speedup": round(simulated_time / vectorized_time, 1),
+            }
+        )
+
+    emit_table(
+        "weighted_backend_speedup",
+        render_table(
+            rows,
+            title=(
+                f"Weighted backend speedup: k={K}, c_max={C_MAX}, "
+                f"{SCALE} suite ({'quick' if QUICK else 'full'} mode)"
+            ),
+        ),
+    )
+    emit_json(
+        "weighted_backend_speedup",
+        {
+            "algorithm": "weighted_algorithm2",
+            "k": K,
+            "c_max": C_MAX,
+            "scale": SCALE,
+            "quick": QUICK,
+            "backends": ["simulated", "vectorized"],
+            "instances": [
+                {
+                    "instance": row["instance"],
+                    "n": row["n"],
+                    "delta": row["delta"],
+                    "x_match": bool(row["x_match"]),
+                    "objective_match": bool(row["objective_match"]),
+                    "simulated_s": row["simulated_s"],
+                    "vectorized_s": row["vectorized_s"],
+                    "speedup": row["speedup"],
+                }
+                for row in rows
+            ],
+        },
+    )
+
+    for row in rows:
+        assert row["x_match"], f"x-vector mismatch on {row['instance']}"
+        assert row["objective_match"], f"objective mismatch on {row['instance']}"
+        if MIN_SPEEDUP is not None:
+            assert row["speedup"] >= MIN_SPEEDUP, (
+                f"{row['instance']}: weighted speedup {row['speedup']}× below "
+                f"the {MIN_SPEEDUP}× floor"
+            )
+
+    # The weighted end-to-end pipeline selects identical sets per seed.
+    name, graph = sorted(graph_suite(SCALE, seed=bench_seed).items())[0]
+    weights = spread_weights(graph)
+    pipeline_simulated = weighted_kuhn_wattenhofer_dominating_set(
+        graph, weights, k=K, seed=bench_seed
+    )
+    pipeline_vectorized = weighted_kuhn_wattenhofer_dominating_set(
+        graph, weights, k=K, seed=bench_seed, backend="vectorized"
+    )
+    assert pipeline_simulated.dominating_set == pipeline_vectorized.dominating_set
+    assert pipeline_simulated.cost == pipeline_vectorized.cost
+
+    benchmark(
+        lambda: approximate_weighted_fractional_mds(
+            graph, weights, k=K, seed=bench_seed, backend="vectorized"
+        )
+    )

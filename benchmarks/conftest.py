@@ -14,12 +14,14 @@ interactively.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Callable
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -31,6 +33,24 @@ def emit_table() -> Callable[[str, str], None]:
         print(table)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def emit_json() -> Callable[[str, object], None]:
+    """Fixture: persist machine-readable results as ``BENCH_<name>.json``.
+
+    Written at the repository root (next to CHANGES.md) so the perf
+    trajectory is tracked across PRs; payloads must be timestamp-free to
+    stay diffable.
+    """
+
+    def _emit(name: str, payload: object) -> None:
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
 
     return _emit
 

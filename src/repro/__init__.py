@@ -31,8 +31,9 @@ Backends
 --------
 
 Every algorithm entry point (``approximate_fractional_mds``,
-``approximate_fractional_mds_unknown_delta``, ``round_fractional_solution``
-and ``kuhn_wattenhofer_dominating_set``) accepts a ``backend`` argument:
+``approximate_fractional_mds_unknown_delta``, ``round_fractional_solution``,
+``kuhn_wattenhofer_dominating_set`` and the weighted variants) accepts a
+``backend`` argument:
 
 * ``"simulated"`` (default) -- drive one message-passing program per node
   through the synchronous LOCAL-model simulator.  Use it when you need
@@ -61,14 +62,17 @@ from repro.core import (
     kuhn_wattenhofer_dominating_set,
     log_delta_parameter,
     round_fractional_solution,
+    round_fractional_solution_batched,
     weighted_kuhn_wattenhofer_dominating_set,
 )
 from repro.domset import is_dominating_set, quality_report
+from repro.simulator.bulk import BulkGraph
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BACKENDS",
+    "BulkGraph",
     "FractionalVariant",
     "PipelineResult",
     "RoundingRule",
@@ -81,5 +85,6 @@ __all__ = [
     "log_delta_parameter",
     "quality_report",
     "round_fractional_solution",
+    "round_fractional_solution_batched",
     "weighted_kuhn_wattenhofer_dominating_set",
 ]

@@ -5,11 +5,22 @@ collection of graphs (and a range of k values, and several random trials),
 collect per-run records, and aggregate them into the rows the paper's claims
 correspond to.  This module centralises that machinery so every benchmark
 file stays a thin declaration of *what* to measure.
+
+Two scaling features let sweeps run far past the networkx comfort zone:
+
+* instances may wrap CSR :class:`~repro.simulator.bulk.BulkGraph` objects
+  (e.g. from ``graph_suite("xlarge")``); those sweep with the vectorized
+  backend and skip the (dense, centralized) LP reference columns, and
+* every sweep accepts ``jobs=N`` to parallelize across graph instances
+  with a process pool -- instances are independent, so records are simply
+  computed in worker processes and concatenated in instance order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import networkx as nx
@@ -22,10 +33,8 @@ from repro.analysis.bounds import (
 from repro.analysis.stats import summarize
 from repro.core.fractional import approximate_fractional_mds
 from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
-from repro.core.kuhn_wattenhofer import (
-    FractionalVariant,
-    kuhn_wattenhofer_dominating_set,
-)
+from repro.core.kuhn_wattenhofer import FractionalVariant
+from repro.core.rounding import round_fractional_solution_batched
 from repro.core.vectorized import SIMULATED, VECTORIZED
 from repro.simulator.bulk import BulkGraph
 from repro.domset.validation import is_dominating_set
@@ -36,13 +45,26 @@ from repro.lp.solver import solve_fractional_mds
 
 @dataclass(frozen=True)
 class GraphInstance:
-    """One named graph instance in a sweep."""
+    """One named graph instance in a sweep.
+
+    ``graph`` is either a networkx graph or a CSR
+    :class:`~repro.simulator.bulk.BulkGraph` (the ``"xlarge"`` suite);
+    bulk instances require the vectorized backend and report ``NaN`` for
+    the centralized LP reference columns, which are not computed at that
+    scale.
+    """
 
     name: str
-    graph: nx.Graph
+    graph: nx.Graph | BulkGraph
+
+    @property
+    def is_bulk(self) -> bool:
+        return isinstance(self.graph, BulkGraph)
 
     @property
     def node_count(self) -> int:
+        if self.is_bulk:
+            return self.graph.n
         return self.graph.number_of_nodes()
 
     @property
@@ -72,12 +94,108 @@ class ExperimentRecord:
         return row
 
 
+def _check_backend_for_instance(instance: GraphInstance, backend: str) -> None:
+    if instance.is_bulk and backend != VECTORIZED:
+        raise ValueError(
+            f"instance {instance.name!r} is a CSR BulkGraph and requires "
+            "backend='vectorized'"
+        )
+
+
+def _lp_reference(instance: GraphInstance) -> float:
+    """The centralized LP optimum, or NaN for CSR instances (not computed
+    at that scale -- the dense solve is the very cost the bulk path avoids)."""
+    if instance.is_bulk:
+        return float("nan")
+    return solve_fractional_mds(instance.graph).objective
+
+
+def _prebuild_bulk(instance: GraphInstance, backend: str) -> BulkGraph | None:
+    """One CSR build per instance for vectorized sweeps (None otherwise)."""
+    if backend == VECTORIZED and not instance.is_bulk:
+        return BulkGraph.from_graph(instance.graph)
+    return None
+
+
+def _map_instances(
+    worker: Callable[[GraphInstance], list[ExperimentRecord]],
+    instances: Sequence[GraphInstance],
+    jobs: int,
+) -> list[ExperimentRecord]:
+    """Run a per-instance worker, optionally on a process pool.
+
+    Results are concatenated in instance order regardless of completion
+    order, so ``jobs`` never changes the produced records -- only the
+    wall-clock.  ``worker`` (and everything it closes over) must be
+    picklable when ``jobs > 1``.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if jobs == 1 or len(instances) <= 1:
+        per_instance = [worker(instance) for instance in instances]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(instances))) as pool:
+            per_instance = list(pool.map(worker, instances))
+    return [record for records in per_instance for record in records]
+
+
+# ---------------------------------------------------------------------- #
+# Fractional sweep                                                        #
+# ---------------------------------------------------------------------- #
+
+
+def _sweep_fractional_instance(
+    instance: GraphInstance,
+    k_values: Sequence[int],
+    variant: FractionalVariant,
+    seed: int,
+    backend: str,
+) -> list[ExperimentRecord]:
+    """All fractional records of one instance (one process-pool work unit)."""
+    _check_backend_for_instance(instance, backend)
+    records: list[ExperimentRecord] = []
+    lp_optimum = _lp_reference(instance)
+    delta = instance.max_degree
+    # One CSR build per instance, reused across the whole k sweep.
+    bulk = _prebuild_bulk(instance, backend)
+    for k in k_values:
+        if variant is FractionalVariant.KNOWN_DELTA:
+            result = approximate_fractional_mds(
+                instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
+            )
+            bound = algorithm2_approximation_bound(k, delta)
+        else:
+            result = approximate_fractional_mds_unknown_delta(
+                instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
+            )
+            bound = algorithm3_approximation_bound(k, delta)
+        ratio = result.objective / lp_optimum if lp_optimum > 0 else float("nan")
+        records.append(
+            ExperimentRecord(
+                instance=instance.name,
+                algorithm=f"fractional[{variant.value}]",
+                parameters={"k": k, "n": instance.node_count, "delta": delta},
+                measurements={
+                    "objective": result.objective,
+                    "lp_optimum": lp_optimum,
+                    "ratio": ratio,
+                    "bound": bound,
+                    "rounds": result.rounds,
+                    "max_messages_per_node": result.metrics.max_messages_per_node,
+                    "max_message_bits": result.metrics.max_message_bits,
+                },
+            )
+        )
+    return records
+
+
 def sweep_fractional(
     instances: Sequence[GraphInstance],
     k_values: Sequence[int],
     variant: FractionalVariant = FractionalVariant.KNOWN_DELTA,
     seed: int = 0,
     backend: str = SIMULATED,
+    jobs: int = 1,
 ) -> list[ExperimentRecord]:
     """Run a fractional algorithm over instances × k and record quality.
 
@@ -85,44 +203,97 @@ def sweep_fractional(
     the measured/optimal ratio, the theorem's bound for that (k, Δ), the
     number of rounds used and the per-node message maxima.  ``backend``
     selects the execution engine; both produce identical records (the
-    vectorized engine models its message counts).
+    vectorized engine models its message counts).  ``jobs`` parallelizes
+    across instances with a process pool (identical records, any order of
+    execution).
     """
+    worker = partial(
+        _sweep_fractional_instance,
+        k_values=tuple(k_values),
+        variant=variant,
+        seed=seed,
+        backend=backend,
+    )
+    return _map_instances(worker, instances, jobs)
+
+
+# ---------------------------------------------------------------------- #
+# Pipeline sweep                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def _sweep_pipeline_instance(
+    instance: GraphInstance,
+    k_values: Sequence[int],
+    trials: int,
+    variant: FractionalVariant,
+    seed: int,
+    backend: str,
+) -> list[ExperimentRecord]:
+    """All pipeline records of one instance (one process-pool work unit).
+
+    The fractional phase is deterministic (its seed is bookkeeping only),
+    so it -- and its feasibility check -- runs *once* per (instance, k);
+    the per-trial loop only redraws the rounding coins, through the batched
+    rounding entry point.  Record values are identical to running the full
+    pipeline once per trial, just without re-paying the seed-independent
+    phases.
+    """
+    _check_backend_for_instance(instance, backend)
     records: list[ExperimentRecord] = []
-    for instance in instances:
-        lp_optimum = solve_fractional_mds(instance.graph).objective
-        delta = instance.max_degree
-        # One CSR build per instance, reused across the whole k sweep.
-        bulk = (
-            BulkGraph.from_graph(instance.graph) if backend == VECTORIZED else None
-        )
-        for k in k_values:
-            if variant is FractionalVariant.KNOWN_DELTA:
-                result = approximate_fractional_mds(
-                    instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
-                )
-                bound = algorithm2_approximation_bound(k, delta)
-            else:
-                result = approximate_fractional_mds_unknown_delta(
-                    instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
-                )
-                bound = algorithm3_approximation_bound(k, delta)
-            ratio = result.objective / lp_optimum if lp_optimum > 0 else float("nan")
-            records.append(
-                ExperimentRecord(
-                    instance=instance.name,
-                    algorithm=f"fractional[{variant.value}]",
-                    parameters={"k": k, "n": instance.node_count, "delta": delta},
-                    measurements={
-                        "objective": result.objective,
-                        "lp_optimum": lp_optimum,
-                        "ratio": ratio,
-                        "bound": bound,
-                        "rounds": result.rounds,
-                        "max_messages_per_node": result.metrics.max_messages_per_node,
-                        "max_message_bits": result.metrics.max_message_bits,
-                    },
-                )
+    lower_bound = (
+        float("nan") if instance.is_bulk else lemma1_lower_bound(instance.graph)
+    )
+    lp_optimum = _lp_reference(instance)
+    delta = instance.max_degree
+    # One CSR build per instance, reused across all (k, trial) cells.
+    bulk = _prebuild_bulk(instance, backend)
+    for k in k_values:
+        if variant is FractionalVariant.KNOWN_DELTA:
+            fractional = approximate_fractional_mds(
+                instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
             )
+        else:
+            fractional = approximate_fractional_mds_unknown_delta(
+                instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
+            )
+        roundings = round_fractional_solution_batched(
+            instance.graph,
+            fractional.x,
+            seeds=[seed + trial for trial in range(trials)],
+            require_feasible=True,  # the per-trial pipelines checked this too
+            backend=backend,
+            _bulk=bulk,
+        )
+        sizes = []
+        rounds = []
+        for rounding in roundings:
+            if not is_dominating_set(instance.graph, rounding.dominating_set):
+                raise RuntimeError(
+                    f"pipeline produced a non-dominating set on {instance.name}"
+                )
+            sizes.append(float(len(rounding.dominating_set)))
+            rounds.append(float(fractional.rounds + rounding.rounds))
+        size_summary = summarize(sizes)
+        records.append(
+            ExperimentRecord(
+                instance=instance.name,
+                algorithm=f"kuhn-wattenhofer[{variant.value}]",
+                parameters={"k": k, "n": instance.node_count, "delta": delta},
+                measurements={
+                    "mean_size": size_summary.mean,
+                    "std_size": size_summary.std,
+                    "lp_optimum": lp_optimum,
+                    "dual_lower_bound": lower_bound,
+                    "mean_ratio_vs_lp": size_summary.mean / lp_optimum
+                    if lp_optimum > 0
+                    else float("nan"),
+                    "bound": pipeline_expected_ratio_bound(k, delta),
+                    "mean_rounds": sum(rounds) / len(rounds),
+                    "trials": float(trials),
+                },
+            )
+        )
     return records
 
 
@@ -133,61 +304,72 @@ def sweep_pipeline(
     variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
     seed: int = 0,
     backend: str = SIMULATED,
+    jobs: int = 1,
 ) -> list[ExperimentRecord]:
     """Run the full pipeline over instances × k, averaging over trials.
 
     The expected-size guarantee of Theorem 6 is about the mean over the
     rounding randomness, so each (instance, k) cell aggregates ``trials``
-    independent executions.  ``backend`` selects the execution engine for
-    both pipeline phases; seeds produce the same sets on either engine.
+    independent executions.  Only the rounding coins depend on the trial:
+    the deterministic fractional phase is solved once per (instance, k) and
+    its solution is rounded under ``trials`` seeds in one batch.
+    ``backend`` selects the execution engine for both pipeline phases;
+    seeds produce the same sets on either engine.  ``jobs`` parallelizes
+    across instances with a process pool.
     """
+    worker = partial(
+        _sweep_pipeline_instance,
+        k_values=tuple(k_values),
+        trials=trials,
+        variant=variant,
+        seed=seed,
+        backend=backend,
+    )
+    return _map_instances(worker, instances, jobs)
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm comparison                                                    #
+# ---------------------------------------------------------------------- #
+
+
+def _compare_instance(
+    instance: GraphInstance,
+    algorithms: Mapping[str, Callable[[nx.Graph, int], Iterable]],
+    trials: int,
+    seed: int,
+) -> list[ExperimentRecord]:
+    """All comparison records of one instance (one process-pool work unit)."""
     records: list[ExperimentRecord] = []
-    for instance in instances:
-        lower_bound = lemma1_lower_bound(instance.graph)
-        lp_optimum = solve_fractional_mds(instance.graph).objective
-        delta = instance.max_degree
-        # One CSR build per instance, reused across all (k, trial) cells.
-        bulk = (
-            BulkGraph.from_graph(instance.graph) if backend == VECTORIZED else None
-        )
-        for k in k_values:
-            sizes = []
-            rounds = []
-            for trial in range(trials):
-                result = kuhn_wattenhofer_dominating_set(
-                    instance.graph,
-                    k=k,
-                    seed=seed + trial,
-                    variant=variant,
-                    backend=backend,
-                    _bulk=bulk,
+    lp_optimum = _lp_reference(instance)
+    delta = instance.max_degree
+    for name, algorithm in algorithms.items():
+        sizes = []
+        for trial in range(trials):
+            candidate = frozenset(algorithm(instance.graph, seed + trial))
+            if not is_dominating_set(instance.graph, candidate):
+                raise RuntimeError(
+                    f"algorithm {name!r} returned a non-dominating set "
+                    f"on {instance.name}"
                 )
-                if not is_dominating_set(instance.graph, result.dominating_set):
-                    raise RuntimeError(
-                        f"pipeline produced a non-dominating set on {instance.name}"
-                    )
-                sizes.append(float(result.size))
-                rounds.append(float(result.total_rounds))
-            size_summary = summarize(sizes)
-            records.append(
-                ExperimentRecord(
-                    instance=instance.name,
-                    algorithm=f"kuhn-wattenhofer[{variant.value}]",
-                    parameters={"k": k, "n": instance.node_count, "delta": delta},
-                    measurements={
-                        "mean_size": size_summary.mean,
-                        "std_size": size_summary.std,
-                        "lp_optimum": lp_optimum,
-                        "dual_lower_bound": lower_bound,
-                        "mean_ratio_vs_lp": size_summary.mean / lp_optimum
-                        if lp_optimum > 0
-                        else float("nan"),
-                        "bound": pipeline_expected_ratio_bound(k, delta),
-                        "mean_rounds": sum(rounds) / len(rounds),
-                        "trials": float(trials),
-                    },
-                )
+            sizes.append(float(len(candidate)))
+        summary = summarize(sizes)
+        records.append(
+            ExperimentRecord(
+                instance=instance.name,
+                algorithm=name,
+                parameters={"n": instance.node_count, "delta": delta},
+                measurements={
+                    "mean_size": summary.mean,
+                    "min_size": summary.minimum,
+                    "max_size": summary.maximum,
+                    "lp_optimum": lp_optimum,
+                    "mean_ratio_vs_lp": summary.mean / lp_optimum
+                    if lp_optimum > 0
+                    else float("nan"),
+                },
             )
+        )
     return records
 
 
@@ -196,55 +378,34 @@ def compare_algorithms(
     algorithms: Mapping[str, Callable[[nx.Graph, int], Iterable]],
     trials: int = 3,
     seed: int = 0,
+    jobs: int = 1,
 ) -> list[ExperimentRecord]:
     """Run arbitrary set-producing algorithms over instances and record sizes.
 
     Parameters
     ----------
     instances:
-        Graphs to evaluate on.
+        Graphs to evaluate on.  Bulk (CSR) instances work as long as every
+        algorithm callable accepts a BulkGraph; the LP reference column is
+        skipped for them.
     algorithms:
         Mapping from algorithm name to a callable ``(graph, seed) -> set``
-        returning a dominating set.
+        returning a dominating set.  With ``jobs > 1`` the callables must
+        be picklable (module-level functions or ``functools.partial`` of
+        them -- not lambdas).
     trials:
         Number of seeds per (instance, algorithm) pair -- deterministic
         algorithms simply produce identical rows.
     seed:
         Base seed.
+    jobs:
+        Process-pool width across instances.
 
     Returns
     -------
     list[ExperimentRecord]
     """
-    records: list[ExperimentRecord] = []
-    for instance in instances:
-        lp_optimum = solve_fractional_mds(instance.graph).objective
-        delta = instance.max_degree
-        for name, algorithm in algorithms.items():
-            sizes = []
-            for trial in range(trials):
-                candidate = frozenset(algorithm(instance.graph, seed + trial))
-                if not is_dominating_set(instance.graph, candidate):
-                    raise RuntimeError(
-                        f"algorithm {name!r} returned a non-dominating set "
-                        f"on {instance.name}"
-                    )
-                sizes.append(float(len(candidate)))
-            summary = summarize(sizes)
-            records.append(
-                ExperimentRecord(
-                    instance=instance.name,
-                    algorithm=name,
-                    parameters={"n": instance.node_count, "delta": delta},
-                    measurements={
-                        "mean_size": summary.mean,
-                        "min_size": summary.minimum,
-                        "max_size": summary.maximum,
-                        "lp_optimum": lp_optimum,
-                        "mean_ratio_vs_lp": summary.mean / lp_optimum
-                        if lp_optimum > 0
-                        else float("nan"),
-                    },
-                )
-            )
-    return records
+    worker = partial(
+        _compare_instance, algorithms=dict(algorithms), trials=trials, seed=seed
+    )
+    return _map_instances(worker, instances, jobs)

@@ -14,7 +14,12 @@
 * :mod:`~repro.baselines.wu_li` -- the Wu–Li constant-round marking
   algorithm (no non-trivial ratio guarantee).
 * :mod:`~repro.baselines.trivial` -- the O(Δ) trivial baselines.
+* :mod:`~repro.baselines.bulk_greedy` -- the same greedy selection rule on
+  a CSR :class:`~repro.simulator.bulk.BulkGraph` with a bucket queue, for
+  the n ≥ 20 000 suites.
 """
+
+from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
 
 from repro.baselines.exact import (
     ExactResult,
@@ -56,6 +61,7 @@ __all__ = [
     "exact_minimum_dominating_set",
     "exact_optimum_size",
     "greedy_dominating_set",
+    "greedy_dominating_set_bulk",
     "greedy_guarantee",
     "greedy_set_cover",
     "greedy_set_cover_dominating_set",

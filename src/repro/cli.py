@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from functools import partial
 from typing import Sequence
 
 from repro.analysis.bounds import (
@@ -32,6 +33,7 @@ from repro.analysis.bounds import (
 )
 from repro.analysis.experiment import as_instances, compare_algorithms, sweep_fractional
 from repro.analysis.tables import records_to_csv, render_table
+from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
 from repro.baselines.lp_rounding_central import central_lp_rounding_dominating_set
@@ -43,7 +45,7 @@ from repro.core.kuhn_wattenhofer import (
 )
 from repro.core.vectorized import BACKENDS, SIMULATED
 from repro.domset.quality import quality_report
-from repro.graphs.generators import GraphFamily, make_graph
+from repro.graphs.generators import GraphFamily, graph_suite, make_graph
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -75,6 +77,29 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "process-pool width for parallelizing across graph instances "
+            "(default: 1, no pool)"
+        ),
+    )
+    parser.add_argument(
+        "--suite",
+        choices=["tiny", "small", "medium", "large", "xlarge"],
+        default=None,
+        help=(
+            "run over a whole graph_suite scale instead of one generated "
+            "graph; overrides --family/--n/--radius/--p/--degree "
+            "(xlarge instances are CSR-native and require "
+            "--backend vectorized)"
+        ),
+    )
+
+
 def _build_graph(args: argparse.Namespace):
     return make_graph(
         args.family,
@@ -84,6 +109,38 @@ def _build_graph(args: argparse.Namespace):
         p=args.p,
         degree=args.degree,
     )
+
+
+# The comparison algorithms are module-level callables (not lambdas) so the
+# experiment runner can ship them to --jobs worker processes.
+def _alg_kuhn_wattenhofer(graph, seed, k=2, backend=SIMULATED):
+    return kuhn_wattenhofer_dominating_set(
+        graph, k=k, seed=seed, backend=backend
+    ).dominating_set
+
+
+def _alg_greedy(graph, seed):
+    return greedy_dominating_set(graph)
+
+
+def _alg_lrg(graph, seed):
+    return lrg_dominating_set(graph, seed=seed).dominating_set
+
+
+def _alg_wu_li(graph, seed):
+    return wu_li_dominating_set(graph, seed=seed).dominating_set
+
+
+def _alg_central_lp(graph, seed):
+    return central_lp_rounding_dominating_set(graph, seed=seed).dominating_set
+
+
+def _alg_random_fill(graph, seed):
+    return random_dominating_set(graph, seed=seed)
+
+
+def _alg_bulk_greedy(graph, seed):
+    return greedy_dominating_set_bulk(graph)
 
 
 def _command_solve(args: argparse.Namespace) -> int:
@@ -115,23 +172,48 @@ def _command_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Printed (before paying the n >= 20000 suite construction) when a CSR
+#: suite is requested with a backend that cannot execute it.
+_XLARGE_BACKEND_ERROR = (
+    "error: --suite xlarge instances are CSR-native and require "
+    "--backend vectorized"
+)
+
+
+def _build_instances(args: argparse.Namespace):
+    """One generated graph, or a whole suite when ``--suite`` is given."""
+    if getattr(args, "suite", None):
+        return as_instances(graph_suite(args.suite, seed=args.seed))
+    return as_instances({"instance": _build_graph(args)})
+
+
 def _command_compare(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    instances = as_instances({"instance": graph})
-    algorithms = {
-        "kuhn-wattenhofer": lambda g, s: kuhn_wattenhofer_dominating_set(
-            g, k=args.k, seed=s, backend=args.backend
-        ).dominating_set,
-        "greedy": lambda g, s: greedy_dominating_set(g),
-        "lrg (jia et al.)": lambda g, s: lrg_dominating_set(g, seed=s).dominating_set,
-        "wu-li": lambda g, s: wu_li_dominating_set(g, seed=s).dominating_set,
-        "central LP + rounding": lambda g, s: central_lp_rounding_dominating_set(
-            g, seed=s
-        ).dominating_set,
-        "random fill": lambda g, s: random_dominating_set(g, seed=s),
-    }
+    if args.suite == "xlarge" and args.backend != "vectorized":
+        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+        return 2
+    instances = _build_instances(args)
+    if any(instance.is_bulk for instance in instances):
+        # CSR (xlarge) instances: only the bulk-capable algorithms apply --
+        # the vectorized pipeline and the bucket-queue greedy reference.
+        algorithms = {
+            "kuhn-wattenhofer": partial(
+                _alg_kuhn_wattenhofer, k=args.k, backend=args.backend
+            ),
+            "greedy (bucket queue)": _alg_bulk_greedy,
+        }
+    else:
+        algorithms = {
+            "kuhn-wattenhofer": partial(
+                _alg_kuhn_wattenhofer, k=args.k, backend=args.backend
+            ),
+            "greedy": _alg_greedy,
+            "lrg (jia et al.)": _alg_lrg,
+            "wu-li": _alg_wu_li,
+            "central LP + rounding": _alg_central_lp,
+            "random fill": _alg_random_fill,
+        }
     records = compare_algorithms(
-        instances, algorithms, trials=args.trials, seed=args.seed
+        instances, algorithms, trials=args.trials, seed=args.seed, jobs=args.jobs
     )
     rows = [record.as_row() for record in records]
     if args.csv:
@@ -142,12 +224,19 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    instances = as_instances({"instance": graph})
+    if args.suite == "xlarge" and args.backend != "vectorized":
+        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+        return 2
+    instances = _build_instances(args)
     k_values = list(range(1, args.max_k + 1))
     variant = FractionalVariant(args.variant)
     records = sweep_fractional(
-        instances, k_values, variant=variant, seed=args.seed, backend=args.backend
+        instances,
+        k_values,
+        variant=variant,
+        seed=args.seed,
+        backend=args.backend,
+        jobs=args.jobs,
     )
     rows = [record.as_row() for record in records]
     if args.csv:
@@ -203,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = subparsers.add_parser("compare", help="compare against all baselines")
     _add_graph_arguments(compare)
+    _add_jobs_argument(compare)
     compare.add_argument("--k", type=int, default=2)
     compare.add_argument("--trials", type=int, default=3)
     compare.add_argument("--csv", action="store_true")
@@ -210,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser("sweep", help="sweep the locality parameter k")
     _add_graph_arguments(sweep)
+    _add_jobs_argument(sweep)
     sweep.add_argument("--max-k", type=int, default=5)
     sweep.add_argument(
         "--variant",

@@ -16,11 +16,16 @@ Public API:
   weighted variant sketched in the remark after Theorem 4.
 * :mod:`~repro.core.invariants` -- runtime checks of Lemmas 2-7.
 
-The fractional, rounding and pipeline entry points accept
+Every entry point above -- including the weighted variant -- accepts
 ``backend="simulated"`` (per-node message passing) or
 ``backend="vectorized"`` (the bulk-synchronous array engine in
 :mod:`~repro.core.vectorized`); both compute identical results.  The
-weighted variant currently runs on the simulator only.
+vectorized backend also accepts CSR
+:class:`~repro.simulator.bulk.BulkGraph` inputs directly (see
+:mod:`repro.graphs.bulk`), and
+:func:`~repro.core.rounding.round_fractional_solution_batched` rounds one
+fractional solution under many seeds while paying the seed-independent
+work once.
 """
 
 from repro.core.fractional import (
@@ -51,6 +56,7 @@ from repro.core.rounding import (
     RoundingRule,
     expected_join_probabilities,
     round_fractional_solution,
+    round_fractional_solution_batched,
 )
 from repro.core.weighted import (
     WeightedFractionalResult,
@@ -84,6 +90,7 @@ __all__ = [
     "kuhn_wattenhofer_dominating_set",
     "log_delta_parameter",
     "round_fractional_solution",
+    "round_fractional_solution_batched",
     "validate_backend",
     "weighted_kuhn_wattenhofer_dominating_set",
 ]

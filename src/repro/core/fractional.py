@@ -21,6 +21,7 @@ import networkx as nx
 from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
+    resolve_bulk_input,
     run_algorithm2_bulk,
     validate_backend,
 )
@@ -243,12 +244,18 @@ def approximate_fractional_mds(
         computes the identical x-vector with whole-graph array operations
         (orders of magnitude faster on large graphs).
 
+    ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`
+    (e.g. from :mod:`repro.graphs.bulk`), in which case the vectorized
+    backend is required -- no networkx graph is ever materialised.
+
     Returns
     -------
     FractionalResult
     """
-    validate_simple_graph(graph)
     validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
     if k < 1:
         raise ValueError("k must be at least 1")
     true_delta = max_degree(graph)

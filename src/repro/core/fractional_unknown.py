@@ -32,6 +32,7 @@ from repro.core.fractional import (
 from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
+    resolve_bulk_input,
     run_algorithm3_bulk,
     validate_backend,
 )
@@ -226,12 +227,17 @@ def approximate_fractional_mds_unknown_delta(
         the bulk-synchronous array engine (identical x-vectors, far faster
         on large graphs).
 
+    ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`,
+    in which case the vectorized backend is required.
+
     Returns
     -------
     FractionalResult
     """
-    validate_simple_graph(graph)
     validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
     if k < 1:
         raise ValueError("k must be at least 1")
 

@@ -31,13 +31,21 @@ import networkx as nx
 
 from repro.core.fractional import FractionalResult, approximate_fractional_mds
 from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
-from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_solution
-from repro.core.vectorized import SIMULATED, VECTORIZED, validate_backend
+from repro.core.rounding import (
+    RoundingResult,
+    RoundingRule,
+    round_fractional_solution,
+    solution_feasibility,
+)
+from repro.core.vectorized import (
+    SIMULATED,
+    VECTORIZED,
+    resolve_bulk_input,
+    validate_backend,
+)
 from repro.simulator.bulk import BulkGraph
 from repro.domset.validation import is_dominating_set
 from repro.graphs.utils import max_degree, validate_simple_graph
-from repro.lp.feasibility import check_primal_feasible
-from repro.lp.formulation import build_lp
 
 
 class FractionalVariant(str, enum.Enum):
@@ -115,7 +123,10 @@ def kuhn_wattenhofer_dominating_set(
     Parameters
     ----------
     graph:
-        The network graph (undirected, simple, non-empty).
+        The network graph (undirected, simple, non-empty).  May also be a
+        CSR :class:`~repro.simulator.bulk.BulkGraph` (e.g. from
+        :mod:`repro.graphs.bulk`), in which case ``backend="vectorized"``
+        is required and no networkx graph is ever materialised.
     k:
         Locality parameter.  ``None`` selects the paper's
         ``k = Θ(log Δ)`` default (:func:`log_delta_parameter`).
@@ -148,8 +159,10 @@ def kuhn_wattenhofer_dominating_set(
         and are checked on every call precisely because the paper's
         correctness argument relies on them.
     """
-    validate_simple_graph(graph)
     validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
     delta = max_degree(graph)
     if k is None:
         k = log_delta_parameter(delta)
@@ -182,8 +195,8 @@ def kuhn_wattenhofer_dominating_set(
             _bulk=bulk,
         )
 
-    lp = build_lp(graph)
-    if not check_primal_feasible(lp, fractional.x, tolerance=1e-7):
+    feasible, _ = solution_feasibility(graph, fractional.x, _bulk=bulk)
+    if not feasible:
         raise RuntimeError(
             "fractional phase returned an infeasible LP solution; "
             "this indicates a bug in the distributed algorithm"

@@ -24,14 +24,16 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Hashable, Mapping, Sequence
 
 import networkx as nx
 
 from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
+    resolve_bulk_input,
     run_rounding_bulk,
+    run_rounding_bulk_batched,
     validate_backend,
     x_array_from_mapping,
 )
@@ -149,6 +151,60 @@ class Algorithm1Program(GeneratorNodeProgram):
         return in_set
 
 
+def solution_feasibility(
+    graph,
+    x: Mapping[Hashable, float],
+    tolerance: float = 1e-7,
+    _bulk: BulkGraph | None = None,
+) -> tuple[bool, float]:
+    """``(feasible, max_violation)`` of ``x`` for LP_MDS (``N·x ≥ 1, x ≥ 0``).
+
+    Whenever a CSR view is available (a BulkGraph input, or the prebuilt
+    ``_bulk`` of a vectorized run) the constraint is checked directly on it
+    in O(n + m); only the simulated path without a CSR in hand builds the
+    dense LP.  Both checks return the same verdict.  Shared by the rounding
+    precondition and the pipeline's post-fractional self-check.
+    """
+    if _bulk is not None:
+        return _bulk.check_lp_feasible(
+            x_array_from_mapping(_bulk, x), tolerance=tolerance
+        )
+    lp = build_lp(graph)
+    return check_primal_feasible(
+        lp, dict(x), tolerance=tolerance, return_violation=True
+    )
+
+
+def _check_rounding_input_feasible(
+    graph, bulk: BulkGraph | None, x: Mapping[Hashable, float]
+) -> None:
+    """Verify the Theorem-3 precondition ``N·x ≥ 1`` for either input kind."""
+    feasible, violation = solution_feasibility(graph, x, _bulk=bulk)
+    if not feasible:
+        raise ValueError(
+            "input is not a feasible LP_MDS solution "
+            f"(max constraint violation {violation:.3e}); "
+            "pass require_feasible=False to round it anyway"
+        )
+
+
+def _bulk_rounding_result(bulk, in_set, randomly, fallback, metrics) -> RoundingResult:
+    """Package the vectorized runner's arrays as a :class:`RoundingResult`."""
+    return RoundingResult(
+        dominating_set=frozenset(
+            node for node, joined in zip(bulk.nodes, in_set) if joined
+        ),
+        joined_randomly=frozenset(
+            node for node, joined in zip(bulk.nodes, randomly) if joined
+        ),
+        joined_as_fallback=frozenset(
+            node for node, joined in zip(bulk.nodes, fallback) if joined
+        ),
+        rounds=metrics.round_count,
+        metrics=metrics,
+    )
+
+
 def _program_factory(
     x: Mapping[Hashable, float], rule: RoundingRule
 ):
@@ -192,6 +248,10 @@ def round_fractional_solution(
         the same seeded stream, so for a given ``seed`` they select the
         same dominating set.
 
+    ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`
+    (vectorized backend only); the feasibility precondition is then checked
+    directly on the CSR in O(n + m) instead of building the dense LP.
+
     Returns
     -------
     RoundingResult
@@ -199,19 +259,12 @@ def round_fractional_solution(
         valid dominating set (line 6 of the algorithm guarantees it even for
         infeasible inputs, as long as every node runs the fallback step).
     """
-    validate_simple_graph(graph)
     validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
     if require_feasible:
-        lp = build_lp(graph)
-        feasible, violation = check_primal_feasible(
-            lp, dict(x), tolerance=1e-7, return_violation=True
-        )
-        if not feasible:
-            raise ValueError(
-                "input is not a feasible LP_MDS solution "
-                f"(max constraint violation {violation:.3e}); "
-                "pass require_feasible=False to round it anyway"
-            )
+        _check_rounding_input_feasible(graph, _bulk, x)
 
     if backend == VECTORIZED:
         bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
@@ -221,19 +274,7 @@ def round_fractional_solution(
             seed=seed,
             multiplier_for=lambda delta_two: rounding_multiplier(delta_two, rule),
         )
-        return RoundingResult(
-            dominating_set=frozenset(
-                node for node, joined in zip(bulk.nodes, in_set) if joined
-            ),
-            joined_randomly=frozenset(
-                node for node, joined in zip(bulk.nodes, randomly) if joined
-            ),
-            joined_as_fallback=frozenset(
-                node for node, joined in zip(bulk.nodes, fallback) if joined
-            ),
-            rounds=metrics.round_count,
-            metrics=metrics,
-        )
+        return _bulk_rounding_result(bulk, in_set, randomly, fallback, metrics)
 
     network = Network(graph, _program_factory(x, rule), seed=seed)
     runner = SynchronousRunner(network, max_rounds=16)
@@ -261,6 +302,62 @@ def round_fractional_solution(
         rounds=execution.rounds,
         metrics=execution.metrics,
     )
+
+
+def round_fractional_solution_batched(
+    graph: nx.Graph,
+    x: Mapping[Hashable, float],
+    seeds: Sequence[int | None],
+    rule: RoundingRule = RoundingRule.LOG,
+    require_feasible: bool = True,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
+) -> list[RoundingResult]:
+    """Round one fractional solution under many independent rounding seeds.
+
+    Trial ``t`` reproduces ``round_fractional_solution(graph, x, seeds[t],
+    ...)`` exactly -- the per-node coins come from the same per-seed
+    streams -- but the seed-independent work (input feasibility, the CSR
+    build, the δ⁽²⁾ exchanges, the join probabilities) is paid once instead
+    of once per trial.  This is what lets ``sweep_pipeline`` stop re-running
+    the deterministic fractional phase and its feasibility check for every
+    rounding trial.
+
+    On the simulated backend the batch simply loops the one-seed entry
+    point (per-message fidelity has nothing seed-independent to share
+    beyond the feasibility check).
+
+    Returns
+    -------
+    list[RoundingResult]
+        One result per seed, in seed order.
+    """
+    validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
+    if require_feasible:
+        _check_rounding_input_feasible(graph, _bulk, x)
+
+    if backend == VECTORIZED:
+        bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        batch = run_rounding_bulk_batched(
+            bulk,
+            x_array_from_mapping(bulk, x),
+            seeds=seeds,
+            multiplier_for=lambda delta_two: rounding_multiplier(delta_two, rule),
+        )
+        return [
+            _bulk_rounding_result(bulk, in_set, randomly, fallback, metrics)
+            for in_set, randomly, fallback, metrics in batch
+        ]
+
+    return [
+        round_fractional_solution(
+            graph, x, seed=seed, rule=rule, require_feasible=False, backend=backend
+        )
+        for seed in seeds
+    ]
 
 
 def expected_join_probabilities(

@@ -28,7 +28,7 @@ produces, with an identical per-round layout.
 from __future__ import annotations
 
 import random
-from typing import Callable, Hashable, Mapping
+from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -54,6 +54,27 @@ def validate_backend(backend: str) -> str:
             f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
         )
     return backend
+
+
+def resolve_bulk_input(graph, backend: str, bulk: BulkGraph | None = None):
+    """Support :class:`BulkGraph` instances passed as the ``graph`` argument.
+
+    The CSR-native generators produce :class:`BulkGraph` objects directly;
+    the public entry points accept them wherever ``backend="vectorized"``
+    is in effect (there is no per-node program to run them through, so the
+    simulated backend rejects them).  Returns the :class:`BulkGraph` to use
+    for vectorized execution -- the input itself when it already is one,
+    otherwise the caller-provided prebuilt ``bulk`` (which may be ``None``,
+    meaning "build from the networkx graph on demand").
+    """
+    if isinstance(graph, BulkGraph):
+        if backend != VECTORIZED:
+            raise ValueError(
+                "BulkGraph inputs require backend='vectorized'; the simulated "
+                "backend needs a networkx graph to build per-node programs"
+            )
+        return graph
+    return bulk
 
 
 def _unique_powers(values: np.ndarray, exponent: float) -> np.ndarray:
@@ -122,6 +143,66 @@ def run_algorithm2_bulk(
             white &= coverage < 1.0
 
             # Exchange colours; recompute the dynamic degree (lines 9-10).
+            metrics.record_exchange(BOOL_PAYLOAD_BITS)
+            dynamic_degree = bulk.neighbor_count(white) + white
+
+    return x, metrics.build(bulk.nodes)
+
+
+def run_weighted_algorithm2_bulk(
+    bulk: BulkGraph, k: int, delta: int, costs: np.ndarray, c_max: float
+) -> tuple[np.ndarray, ExecutionMetrics]:
+    """Vectorized weighted Algorithm 2 (remark after Theorem 4).
+
+    Identical to :func:`run_algorithm2_bulk` except for the cost-scaled
+    activity rule: node ``i`` is active when
+    ``(c_max / c_i) · δ̃_i ≥ [c_max (Δ+1)]^{ℓ/k}``.  The exchange pattern
+    (x-values, then colours; 2k² rounds) is unchanged, so the modeled
+    metrics and the per-node values are bitwise identical to the
+    message-passing :class:`~repro.core.weighted.WeightedAlgorithm2Program`.
+
+    Parameters
+    ----------
+    bulk:
+        The communication graph.
+    k:
+        Locality parameter.
+    delta:
+        Maximum degree Δ known to all nodes.
+    costs:
+        Per-node costs c_i ∈ [1, c_max], indexed like ``bulk.nodes``.
+    c_max:
+        The global maximum cost.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+
+    base = delta + 1.0
+    weighted_base = float(c_max) * base
+    # The per-node program computes (c_max / cost) once at line 1 of each
+    # activity check; a single elementwise divide reproduces those floats.
+    cost_scale = float(c_max) / np.asarray(costs, dtype=np.float64)
+    x = np.zeros(bulk.n, dtype=np.float64)
+    white = np.ones(bulk.n, dtype=bool)
+    dynamic_degree = bulk.degrees + 1
+    metrics = BulkMetricsBuilder(bulk.degrees)
+
+    for ell in range(k - 1, -1, -1):
+        threshold = weighted_base ** (ell / k)
+        for m in range(k - 1, -1, -1):
+            # Weighted activity rule: cost-scaled dynamic degree.
+            active = cost_scale * dynamic_degree >= threshold
+            boost = 1.0 / base ** (m / k)
+            x = np.where(active, np.maximum(x, boost), x)
+
+            # Exchange x-values; colour gray once covered.
+            metrics.record_exchange(float_payload_bits(x))
+            coverage = x + bulk.neighbor_sum(x)
+            white &= coverage < 1.0
+
+            # Exchange colours; recompute the dynamic degree.
             metrics.record_exchange(BOOL_PAYLOAD_BITS)
             dynamic_degree = bulk.neighbor_count(white) + white
 
@@ -239,15 +320,7 @@ def run_rounding_bulk(
     probability = np.minimum(
         1.0, np.asarray(x, dtype=np.float64) * _unique_map(delta_two, multiplier_for)
     )
-    draws = np.fromiter(
-        (
-            random.Random(f"{seed}:{node}" if seed is not None else None).random()
-            for node in bulk.nodes
-        ),
-        dtype=np.float64,
-        count=bulk.n,
-    )
-    joined_randomly = draws < probability
+    joined_randomly = _coin_draws(bulk, seed) < probability
 
     # Line 4: announce the decision (one exchange).
     metrics.record_exchange(BOOL_PAYLOAD_BITS)
@@ -256,6 +329,64 @@ def run_rounding_bulk(
     joined_as_fallback = ~joined_randomly & ~bulk.neighbor_any(joined_randomly)
     in_set = joined_randomly | joined_as_fallback
     return in_set, joined_randomly, joined_as_fallback, metrics.build(bulk.nodes)
+
+
+def _coin_draws(bulk: BulkGraph, seed: int | None) -> np.ndarray:
+    """Each node's rounding coin from its simulator-identical seeded stream."""
+    return np.fromiter(
+        (
+            random.Random(f"{seed}:{node}" if seed is not None else None).random()
+            for node in bulk.nodes
+        ),
+        dtype=np.float64,
+        count=bulk.n,
+    )
+
+
+def run_rounding_bulk_batched(
+    bulk: BulkGraph,
+    x: np.ndarray,
+    seeds: Sequence[int | None],
+    multiplier_for: Callable[[int], float],
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, ExecutionMetrics]]:
+    """Vectorized Algorithm 1 for many rounding seeds over one x-vector.
+
+    The seed-independent work -- the two δ⁽²⁾ exchanges, the join
+    probabilities, the per-exchange payload bits -- is computed once; each
+    trial then only redraws its coin column.  Trial ``t`` reproduces
+    ``run_rounding_bulk(bulk, x, seeds[t], multiplier_for)`` exactly: the
+    per-node coins come from the identical ``Random(f"{seed}:{node}")``
+    streams, so the selected sets (and the modeled metrics) match the
+    one-seed runner -- and therefore the message-passing simulator --
+    trial for trial.
+
+    Returns one ``(in_set, joined_randomly, joined_as_fallback, metrics)``
+    tuple per seed, in seed order.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x < 0):
+        raise ValueError("fractional values must be non-negative")
+
+    # Seed-independent phase: δ⁽²⁾, join probabilities, payload sizes.
+    degree_bits = int_payload_bits(bulk.degrees)
+    delta_one = bulk.closed_max(bulk.degrees)
+    delta_one_bits = int_payload_bits(delta_one)
+    delta_two = bulk.closed_max(delta_one)
+    probability = np.minimum(1.0, x * _unique_map(delta_two, multiplier_for))
+
+    results = []
+    for seed in seeds:
+        joined_randomly = _coin_draws(bulk, seed) < probability
+        joined_as_fallback = ~joined_randomly & ~bulk.neighbor_any(joined_randomly)
+        in_set = joined_randomly | joined_as_fallback
+        metrics = BulkMetricsBuilder(bulk.degrees)
+        metrics.record_exchange(degree_bits)
+        metrics.record_exchange(delta_one_bits)
+        metrics.record_exchange(BOOL_PAYLOAD_BITS)
+        results.append(
+            (in_set, joined_randomly, joined_as_fallback, metrics.build(bulk.nodes))
+        )
+    return results
 
 
 def x_array_from_mapping(bulk: BulkGraph, x: Mapping[Hashable, float]) -> np.ndarray:

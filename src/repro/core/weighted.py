@@ -22,12 +22,21 @@ from dataclasses import dataclass
 from typing import Hashable, Mapping
 
 import networkx as nx
+import numpy as np
 
 from repro.core.fractional import GRAY, WHITE
 from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_solution
+from repro.core.vectorized import (
+    SIMULATED,
+    VECTORIZED,
+    resolve_bulk_input,
+    run_weighted_algorithm2_bulk,
+    validate_backend,
+)
 from repro.domset.validation import is_dominating_set
 from repro.domset.weighted import validate_weights, weighted_cost
 from repro.graphs.utils import max_degree, validate_simple_graph
+from repro.simulator.bulk import BulkGraph
 from repro.simulator.metrics import ExecutionMetrics
 from repro.simulator.network import Network
 from repro.simulator.node import NodeContext
@@ -137,13 +146,16 @@ def approximate_weighted_fractional_mds(
     weights: Mapping[Hashable, float],
     k: int,
     seed: int | None = None,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
 ) -> WeightedFractionalResult:
     """Run the weighted variant of Algorithm 2.
 
     Parameters
     ----------
     graph:
-        The network graph.
+        The network graph.  May also be a CSR
+        :class:`~repro.simulator.bulk.BulkGraph` (vectorized backend only).
     weights:
         Node costs c_i with 1 ≤ c_i ≤ c_max.
     k:
@@ -151,17 +163,47 @@ def approximate_weighted_fractional_mds(
         k(Δ+1)^{1/k}[c_max(Δ+1)]^{1/k}.
     seed:
         Seed for reproducibility bookkeeping (the algorithm is deterministic).
+    backend:
+        ``"simulated"`` drives per-node message passing; ``"vectorized"``
+        computes the identical x-vector (bitwise, like the unweighted
+        ports) with whole-graph array operations.
 
     Returns
     -------
     WeightedFractionalResult
     """
-    validate_simple_graph(graph)
+    validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
     if k < 1:
         raise ValueError("k must be at least 1")
-    c_max = float(max(weights[node] for node in graph.nodes()))
+    node_ids = _bulk.nodes if _bulk is graph else tuple(graph.nodes())
+    c_max = float(max(weights[node] for node in node_ids))
     validate_weights(graph, weights, c_max=c_max)
     delta = max_degree(graph)
+
+    if backend == VECTORIZED:
+        bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        costs = np.array(
+            [float(weights[node]) for node in bulk.nodes], dtype=np.float64
+        )
+        values, metrics = run_weighted_algorithm2_bulk(
+            bulk, k=k, delta=delta, costs=costs, c_max=c_max
+        )
+        x = {node: float(value) for node, value in zip(bulk.nodes, values)}
+        return WeightedFractionalResult(
+            x=x,
+            # The same sorted-order Python float sums the simulated path
+            # performs, so both objectives are bitwise identical.
+            objective=float(sum(weights[node] * x[node] for node in x)),
+            unweighted_objective=float(sum(x.values())),
+            rounds=metrics.round_count,
+            metrics=metrics,
+            k=k,
+            max_degree=delta,
+            c_max=c_max,
+        )
 
     def factory(node_id: int, network: Network) -> WeightedAlgorithm2Program:
         return WeightedAlgorithm2Program(
@@ -226,6 +268,8 @@ def weighted_kuhn_wattenhofer_dominating_set(
     k: int,
     seed: int | None = None,
     rounding_rule: RoundingRule = RoundingRule.LOG,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
 ) -> WeightedPipelineResult:
     """End-to-end weighted pipeline: weighted Algorithm 2 + Algorithm 1.
 
@@ -237,7 +281,9 @@ def weighted_kuhn_wattenhofer_dominating_set(
     Parameters
     ----------
     graph:
-        The network graph.
+        The network graph (networkx, or a CSR
+        :class:`~repro.simulator.bulk.BulkGraph` with the vectorized
+        backend).
     weights:
         Node costs c_i with 1 ≤ c_i ≤ c_max.
     k:
@@ -246,14 +292,30 @@ def weighted_kuhn_wattenhofer_dominating_set(
         Seed for the rounding coin flips.
     rounding_rule:
         Probability multiplier for Algorithm 1.
+    backend:
+        Execution engine for both phases; for a given seed both backends
+        select the same dominating set.
 
     Returns
     -------
     WeightedPipelineResult
     """
-    fractional = approximate_weighted_fractional_mds(graph, weights, k=k, seed=seed)
+    validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is None and backend == VECTORIZED:
+        # One CSR build serves both phases.
+        _bulk = BulkGraph.from_graph(graph)
+    fractional = approximate_weighted_fractional_mds(
+        graph, weights, k=k, seed=seed, backend=backend, _bulk=_bulk
+    )
     rounding = round_fractional_solution(
-        graph, fractional.x, seed=seed, rule=rounding_rule, require_feasible=True
+        graph,
+        fractional.x,
+        seed=seed,
+        rule=rounding_rule,
+        require_feasible=True,
+        backend=backend,
+        _bulk=_bulk,
     )
     if not is_dominating_set(graph, rounding.dominating_set):
         raise RuntimeError(

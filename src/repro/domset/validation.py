@@ -11,8 +11,9 @@ from __future__ import annotations
 from typing import Hashable, Iterable
 
 import networkx as nx
+import numpy as np
 
-from repro.graphs.utils import closed_neighborhood
+from repro.graphs.utils import closed_neighborhood, is_bulk_graph
 
 
 def is_dominating_set(graph: nx.Graph, candidate: Iterable[Hashable]) -> bool:
@@ -23,6 +24,16 @@ def is_dominating_set(graph: nx.Graph, candidate: Iterable[Hashable]) -> bool:
     bug worth surfacing immediately.
     """
     members = set(candidate)
+    if is_bulk_graph(graph):
+        unknown = members - set(graph.nodes)
+        if unknown:
+            raise ValueError(
+                f"candidate contains nodes not in the graph: {sorted(unknown)[:5]}"
+            )
+        flags = np.zeros(graph.n, dtype=bool)
+        if members:
+            flags[graph.index_of(members)] = True
+        return graph.is_dominating_set(flags)
     unknown = members - set(graph.nodes())
     if unknown:
         raise ValueError(f"candidate contains nodes not in the graph: {sorted(unknown)[:5]}")

@@ -15,6 +15,7 @@ from typing import Hashable, Iterable, Mapping
 import networkx as nx
 
 from repro.domset.validation import is_dominating_set
+from repro.graphs.utils import is_bulk_graph
 from repro.lp.solver import solve_weighted_fractional_mds
 
 
@@ -27,7 +28,8 @@ def validate_weights(
     c_max; enforcing that keeps the approximation formula
     k(Δ+1)^{1/k}·[c_max(Δ+1)]^{1/k} meaningful.
     """
-    missing = [node for node in graph.nodes() if node not in weights]
+    node_ids = graph.nodes if is_bulk_graph(graph) else graph.nodes()
+    missing = [node for node in node_ids if node not in weights]
     if missing:
         raise ValueError(f"weights missing for nodes: {missing[:5]}")
     for node, cost in weights.items():

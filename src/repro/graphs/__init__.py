@@ -34,8 +34,20 @@ from repro.graphs.generators import (
     star_of_cliques,
     two_level_star,
 )
+from repro.graphs.bulk import (
+    bulk_caterpillar_graph,
+    bulk_erdos_renyi_graph,
+    bulk_graph_suite,
+    bulk_grid_graph,
+    bulk_unit_disk_graph,
+)
 from repro.graphs.mobility import MobilityTrace, random_waypoint_trace
-from repro.graphs.unit_disk import random_unit_disk_graph, unit_disk_graph
+from repro.graphs.unit_disk import (
+    random_unit_disk_graph,
+    random_unit_disk_positions,
+    unit_disk_edges,
+    unit_disk_graph,
+)
 from repro.graphs.utils import (
     closed_neighborhood,
     closed_neighborhoods,
@@ -50,6 +62,11 @@ __all__ = [
     "GraphFamily",
     "MobilityTrace",
     "bounded_degree_graph",
+    "bulk_caterpillar_graph",
+    "bulk_erdos_renyi_graph",
+    "bulk_graph_suite",
+    "bulk_grid_graph",
+    "bulk_unit_disk_graph",
     "caterpillar_graph",
     "clique_chain",
     "closed_neighborhood",
@@ -68,9 +85,11 @@ __all__ = [
     "random_bipartite_graph",
     "random_regular_graph",
     "random_unit_disk_graph",
+    "random_unit_disk_positions",
     "random_waypoint_trace",
     "star_graph",
     "star_of_cliques",
     "two_level_star",
+    "unit_disk_edges",
     "unit_disk_graph",
 ]

@@ -15,9 +15,12 @@ import enum
 import itertools
 import math
 import random
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.simulator.bulk import BulkGraph
 
 from repro.graphs.unit_disk import random_unit_disk_graph
 from repro.graphs.utils import relabel_to_integers, validate_simple_graph
@@ -248,7 +251,7 @@ GeneratorFn = Callable[..., nx.Graph]
 
 def graph_suite(
     scale: str = "small", seed: int = 0
-) -> dict[str, nx.Graph]:
+) -> "dict[str, nx.Graph | BulkGraph]":
     """The standard graph collection swept by the benchmarks.
 
     Parameters
@@ -256,15 +259,19 @@ def graph_suite(
     scale:
         ``"tiny"`` (n ≈ 20, used in unit tests), ``"small"`` (n ≈ 60-120,
         default for benchmarks with exact baselines), ``"medium"``
-        (n ≈ 250-400, fractional baselines only) or ``"large"``
-        (n ≥ 2000, vectorized backend territory).
+        (n ≈ 250-400, fractional baselines only), ``"large"``
+        (n ≥ 2000, vectorized backend territory) or ``"xlarge"``
+        (n ≥ 20 000; CSR-native :class:`~repro.simulator.bulk.BulkGraph`
+        instances that never materialise per-edge Python objects -- only
+        usable with ``backend="vectorized"``).
     seed:
         Seed shared by all random generators in the suite.
 
     Returns
     -------
     dict[str, networkx.Graph]
-        Mapping from a descriptive instance name to the graph.
+        Mapping from a descriptive instance name to the graph (for
+        ``"xlarge"``, to a :class:`~repro.simulator.bulk.BulkGraph`).
     """
     if scale == "tiny":
         return {
@@ -305,8 +312,13 @@ def graph_suite(
             "caterpillar_500x3": caterpillar_graph(500, 3),
             "clique_chain_100x20": clique_chain(100, 20),
         }
+    if scale == "xlarge":
+        from repro.graphs.bulk import bulk_graph_suite
+
+        return bulk_graph_suite("xlarge", seed=seed)
     raise ValueError(
-        f"unknown scale {scale!r}; expected 'tiny', 'small', 'medium' or 'large'"
+        f"unknown scale {scale!r}; expected 'tiny', 'small', 'medium', "
+        "'large' or 'xlarge'"
     )
 
 

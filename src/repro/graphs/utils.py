@@ -28,8 +28,21 @@ def degree_map(graph: nx.Graph) -> dict[Hashable, int]:
     return {node: degree for node, degree in graph.degree()}
 
 
+def is_bulk_graph(graph: object) -> bool:
+    """Whether ``graph`` is a CSR :class:`~repro.simulator.bulk.BulkGraph`."""
+    from repro.simulator.bulk import BulkGraph
+
+    return isinstance(graph, BulkGraph)
+
+
 def max_degree(graph: nx.Graph) -> int:
-    """The maximum degree Δ of the graph (0 for an edgeless graph)."""
+    """The maximum degree Δ of the graph (0 for an edgeless graph).
+
+    Accepts both networkx graphs and CSR
+    :class:`~repro.simulator.bulk.BulkGraph` instances.
+    """
+    if is_bulk_graph(graph):
+        return graph.max_degree
     if graph.number_of_nodes() == 0:
         raise ValueError("graph has no nodes")
     return max(degree for _, degree in graph.degree())

@@ -29,7 +29,7 @@ numerically interchangeable:
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
 import numpy as np
@@ -62,7 +62,12 @@ def float_payload_bits(values: np.ndarray) -> np.ndarray:
 
 
 class BulkGraph:
-    """A CSR (compressed sparse row) view of a communication graph.
+    """A CSR (compressed sparse row) communication graph.
+
+    A :class:`BulkGraph` is a *first-class* construction target: the
+    direct-to-CSR generators in :mod:`repro.graphs.bulk` build one straight
+    from edge arrays without ever materialising per-edge Python objects,
+    and :meth:`from_graph` converts an existing networkx graph.
 
     Attributes
     ----------
@@ -80,19 +85,76 @@ class BulkGraph:
         endpoint).
     """
 
-    def __init__(self, graph: nx.Graph) -> None:
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        col: np.ndarray,
+        nodes: Sequence[Hashable] | None = None,
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        col = np.asarray(col, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 2:
+            raise ValueError("indptr must be a 1-d array with at least two entries")
+        n = indptr.size - 1
+        if indptr[0] != 0 or indptr[-1] != col.size:
+            raise ValueError("indptr must start at 0 and end at len(col)")
+        degrees = np.diff(indptr)
+        if np.any(degrees < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if col.size and (col.min() < 0 or col.max() >= n):
+            raise ValueError("col entries must index nodes (0..n-1)")
+
+        self.nodes: tuple[Hashable, ...] = (
+            tuple(range(n)) if nodes is None else tuple(nodes)
+        )
+        if len(self.nodes) != n:
+            raise ValueError("nodes must provide one identifier per CSR row")
+        self.n = n
+        self.degrees = degrees
+        self.indptr = indptr
+        self.col = col
+        self.row = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
+        if np.any(self.row == col):
+            raise ValueError("bulk graph must not contain self loops")
+        # Each row must list its neighbours strictly ascending -- the
+        # simulator-equivalence invariant every neighbourhood operator
+        # relies on (and it rules out duplicate entries).
+        if col.size > 1:
+            interior = np.ones(col.size - 1, dtype=bool)
+            starts = indptr[1:-1]
+            starts = starts[(starts > 0) & (starts < col.size)]
+            interior[starts - 1] = False
+            if not np.all(np.diff(col)[interior] > 0):
+                raise ValueError(
+                    "CSR rows must be strictly ascending; build through "
+                    "from_edges or from_graph to normalise the adjacency"
+                )
+        # The adjacency must be symmetric (undirected communication).
+        forward = np.sort(self.row * np.int64(n) + col)
+        backward = np.sort(col * np.int64(n) + self.row)
+        if not np.array_equal(forward, backward):
+            raise ValueError("bulk graph adjacency must be symmetric")
+        # Row starts of the non-empty CSR rows, for reduceat-based maxima.
+        self._nonempty = np.flatnonzero(degrees > 0)
+        self._nonempty_starts = self.indptr[self._nonempty]
+        # node -> position, built lazily by index_of.
+        self._index: dict[Hashable, int] | None = None
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph) -> "BulkGraph":
+        """Build a :class:`BulkGraph` from a networkx graph."""
         if graph.number_of_nodes() == 0:
             raise ValueError("bulk graph must contain at least one node")
         if any(u == v for u, v in graph.edges()):
             raise ValueError("bulk graph must not contain self loops")
 
-        self.nodes: tuple[Hashable, ...] = tuple(sorted(graph.nodes()))
-        self.n = len(self.nodes)
-        index = {node: position for position, node in enumerate(self.nodes)}
+        nodes: tuple[Hashable, ...] = tuple(sorted(graph.nodes()))
+        n = len(nodes)
+        index = {node: position for position, node in enumerate(nodes)}
 
-        degrees = np.zeros(self.n, dtype=np.int64)
+        degrees = np.zeros(n, dtype=np.int64)
         col_chunks: list[np.ndarray] = []
-        for position, node in enumerate(self.nodes):
+        for position, node in enumerate(nodes):
             # Sorting identifiers and then mapping to indices preserves the
             # simulator's ascending-neighbour delivery order because the
             # index assignment above is monotone in the sorted identifiers.
@@ -103,20 +165,98 @@ class BulkGraph:
             degrees[position] = neighbor_indices.size
             col_chunks.append(neighbor_indices)
 
-        self.degrees = degrees
-        self.indptr = np.concatenate(([0], np.cumsum(degrees)))
-        self.col = (
-            np.concatenate(col_chunks) if col_chunks else np.empty(0, dtype=np.int64)
-        )
-        self.row = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
-        # Row starts of the non-empty CSR rows, for reduceat-based maxima.
-        self._nonempty = np.flatnonzero(degrees > 0)
-        self._nonempty_starts = self.indptr[self._nonempty]
+        indptr = np.concatenate(([0], np.cumsum(degrees)))
+        col = np.concatenate(col_chunks) if col_chunks else np.empty(0, dtype=np.int64)
+        return cls(indptr, col, nodes=nodes)
 
     @classmethod
-    def from_graph(cls, graph: nx.Graph) -> "BulkGraph":
-        """Build a :class:`BulkGraph` from a networkx graph."""
-        return cls(graph)
+    def from_edges(
+        cls,
+        n: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        nodes: Sequence[Hashable] | None = None,
+    ) -> "BulkGraph":
+        """Build a :class:`BulkGraph` from arrays of undirected edges.
+
+        Duplicate edges (in either orientation) are merged; self loops are
+        rejected.  The CSR rows come out in ascending neighbour order, so
+        the result is interchangeable with :meth:`from_graph` of the same
+        edge set.
+        """
+        if n <= 0:
+            raise ValueError("bulk graph must contain at least one node")
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("u and v must have the same shape")
+        if u.size and (
+            min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n
+        ):
+            raise ValueError("edge endpoints must index nodes (0..n-1)")
+        if np.any(u == v):
+            raise ValueError("bulk graph must not contain self loops")
+
+        # Symmetrize, then dedupe via the flattened (row, col) key.
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        keys = np.unique(src * np.int64(n) + dst)
+        row = keys // n
+        col = keys % n
+        indptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(row, minlength=n)))
+        ).astype(np.int64)
+        return cls(indptr, col, nodes=nodes)
+
+    def to_networkx(self) -> nx.Graph:
+        """Materialise the equivalent networkx graph (for tests/interop)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes)
+        mask = self.row < self.col
+        node_array = self.nodes
+        graph.add_edges_from(
+            (node_array[int(a)], node_array[int(b)])
+            for a, b in zip(self.row[mask], self.col[mask])
+        )
+        return graph
+
+    @property
+    def max_degree(self) -> int:
+        """The maximum degree Δ (0 for an edgeless graph)."""
+        return int(self.degrees.max()) if self.n else 0
+
+    @property
+    def number_of_edges(self) -> int:
+        """Number of undirected edges m."""
+        return int(self.col.size // 2)
+
+    def index_of(self, items: Iterable[Hashable]) -> np.ndarray:
+        """Map node identifiers to their array positions."""
+        if self._index is None:
+            self._index = {
+                node: position for position, node in enumerate(self.nodes)
+            }
+        return np.fromiter((self._index[item] for item in items), dtype=np.int64)
+
+    def is_dominating_set(self, flags: np.ndarray) -> bool:
+        """Whether the flagged nodes dominate every node (closed coverage)."""
+        flags = np.asarray(flags, dtype=bool)
+        return bool(np.all(flags | self.neighbor_any(flags)))
+
+    def check_lp_feasible(
+        self, x: np.ndarray, tolerance: float = 1e-7
+    ) -> tuple[bool, float]:
+        """Check ``N·x ≥ 1`` and ``x ≥ 0`` up to ``tolerance`` on the CSR.
+
+        Returns ``(feasible, max_violation)``; same verdict as building the
+        dense LP and calling ``check_primal_feasible`` but O(n + m).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        nonnegativity_violation = float(np.max(np.maximum(-x, 0.0), initial=0.0))
+        coverage = x + self.neighbor_sum(x)
+        coverage_violation = float(np.max(np.maximum(1.0 - coverage, 0.0), initial=0.0))
+        max_violation = max(nonnegativity_violation, coverage_violation)
+        return max_violation <= tolerance, max_violation
 
     # ------------------------------------------------------------------ #
     # Neighbourhood operators                                             #

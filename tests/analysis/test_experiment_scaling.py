@@ -1,0 +1,139 @@
+"""Scaling features of the experiment runner: jobs=N and CSR instances.
+
+The process pool must be a pure wall-clock optimisation (identical records
+in identical order), the pipeline sweep must match the old per-trial
+pipeline semantics exactly, and bulk (CSR) instances must sweep with the
+vectorized backend while skipping the centralized LP columns.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiment import (
+    as_instances,
+    compare_algorithms,
+    sweep_fractional,
+    sweep_pipeline,
+)
+from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    kuhn_wattenhofer_dominating_set,
+)
+from repro.graphs.bulk import bulk_graph_suite, bulk_unit_disk_graph
+from repro.graphs.generators import graph_suite
+
+
+@pytest.fixture(scope="module")
+def instances():
+    suite = graph_suite("tiny", seed=2)
+    selected = {name: suite[name] for name in ("star_12", "grid_4x5", "path_15")}
+    return as_instances(selected)
+
+
+def _greedy_algorithm(graph, seed):
+    # Module-level (picklable) algorithm for process-pool comparison runs.
+    return greedy_dominating_set_bulk(graph)
+
+
+class TestProcessPool:
+    def test_sweep_fractional_jobs_identical(self, instances):
+        serial = sweep_fractional(instances, k_values=[1, 2])
+        pooled = sweep_fractional(instances, k_values=[1, 2], jobs=3)
+        assert [r.as_row() for r in serial] == [r.as_row() for r in pooled]
+
+    def test_sweep_pipeline_jobs_identical(self, instances):
+        serial = sweep_pipeline(instances, k_values=[2], trials=3, seed=1)
+        pooled = sweep_pipeline(instances, k_values=[2], trials=3, seed=1, jobs=2)
+        assert [r.as_row() for r in serial] == [r.as_row() for r in pooled]
+
+    def test_compare_algorithms_jobs_identical(self, instances):
+        algorithms = {"greedy": _greedy_algorithm}
+        serial = compare_algorithms(instances, algorithms, trials=2)
+        pooled = compare_algorithms(instances, algorithms, trials=2, jobs=2)
+        assert [r.as_row() for r in serial] == [r.as_row() for r in pooled]
+
+    def test_jobs_must_be_positive(self, instances):
+        with pytest.raises(ValueError, match="jobs"):
+            sweep_fractional(instances, k_values=[1], jobs=0)
+
+
+class TestHoistedPipelineSweep:
+    def test_matches_per_trial_pipeline_runs(self, instances):
+        """The hoisted fractional phase changes nothing about the records."""
+        trials, seed = 4, 5
+        for variant in FractionalVariant:
+            records = sweep_pipeline(
+                instances[:1], k_values=[2], trials=trials, seed=seed, variant=variant
+            )
+            sizes = [
+                float(
+                    kuhn_wattenhofer_dominating_set(
+                        instances[0].graph, k=2, seed=seed + trial, variant=variant
+                    ).size
+                )
+                for trial in range(trials)
+            ]
+            assert records[0].measurements["mean_size"] == sum(sizes) / trials
+
+    def test_backends_produce_identical_sweeps(self, instances):
+        simulated = sweep_pipeline(instances, k_values=[2], trials=3, seed=0)
+        vectorized = sweep_pipeline(
+            instances, k_values=[2], trials=3, seed=0, backend="vectorized"
+        )
+        assert [r.as_row() for r in simulated] == [r.as_row() for r in vectorized]
+
+
+class TestBulkInstances:
+    @pytest.fixture(scope="class")
+    def bulk_instances(self):
+        return as_instances(
+            {"unit_disk_csr": bulk_unit_disk_graph(300, radius=0.1, seed=0)}
+        )
+
+    def test_fractional_sweep_skips_lp(self, bulk_instances):
+        records = sweep_fractional(
+            bulk_instances, k_values=[1, 2], backend="vectorized"
+        )
+        assert len(records) == 2
+        for record in records:
+            assert math.isnan(record.measurements["lp_optimum"])
+            assert record.measurements["objective"] > 0
+
+    def test_pipeline_sweep_runs(self, bulk_instances):
+        records = sweep_pipeline(
+            bulk_instances, k_values=[2], trials=3, backend="vectorized"
+        )
+        assert records[0].measurements["mean_size"] > 0
+        assert math.isnan(records[0].measurements["dual_lower_bound"])
+
+    def test_bulk_matches_networkx_instance(self, bulk_instances):
+        bulk_records = sweep_fractional(
+            bulk_instances, k_values=[2], backend="vectorized"
+        )
+        nx_instances = as_instances(
+            {"unit_disk_csr": bulk_instances[0].graph.to_networkx()}
+        )
+        nx_records = sweep_fractional(nx_instances, k_values=[2], backend="vectorized")
+        assert (
+            bulk_records[0].measurements["objective"]
+            == nx_records[0].measurements["objective"]
+        )
+        assert (
+            bulk_records[0].measurements["rounds"]
+            == nx_records[0].measurements["rounds"]
+        )
+
+    def test_simulated_backend_rejected(self, bulk_instances):
+        with pytest.raises(ValueError, match="vectorized"):
+            sweep_fractional(bulk_instances, k_values=[1])
+
+    def test_instance_properties(self):
+        suite = bulk_graph_suite("large", seed=0)
+        instance = as_instances(suite)[0]
+        assert instance.is_bulk
+        assert instance.node_count == instance.graph.n
+        assert instance.max_degree == instance.graph.max_degree

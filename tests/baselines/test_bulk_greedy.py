@@ -1,0 +1,57 @@
+"""Tests for the CSR-native bucket-queue greedy baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
+from repro.baselines.greedy import greedy_dominating_set
+from repro.domset.validation import is_dominating_set
+from repro.graphs.bulk import (
+    bulk_erdos_renyi_graph,
+    bulk_unit_disk_graph,
+)
+from repro.graphs.generators import graph_suite
+from repro.simulator.bulk import BulkGraph
+
+
+class TestMatchesReferenceGreedy:
+    @pytest.mark.parametrize("scale", ["tiny", "small"])
+    def test_identical_selection_across_suites(self, scale):
+        for name, graph in graph_suite(scale, seed=3).items():
+            assert greedy_dominating_set_bulk(graph) == greedy_dominating_set(
+                graph
+            ), name
+
+    def test_identical_on_bulk_input(self):
+        bulk = bulk_unit_disk_graph(400, radius=0.08, seed=1)
+        assert greedy_dominating_set_bulk(bulk) == greedy_dominating_set(
+            bulk.to_networkx()
+        )
+
+    def test_structured_fixtures(self, star, path, clique, caterpillar):
+        for graph in (star, path, clique, caterpillar):
+            assert greedy_dominating_set_bulk(graph) == greedy_dominating_set(graph)
+
+
+class TestAtScale:
+    def test_valid_at_csr_scale(self):
+        bulk = bulk_erdos_renyi_graph(5000, 0.002, seed=0)
+        dominating = greedy_dominating_set_bulk(bulk)
+        assert is_dominating_set(bulk, dominating)
+
+    def test_isolated_nodes_choose_themselves(self):
+        import numpy as np
+
+        bulk = BulkGraph.from_edges(
+            5, np.array([0], dtype=np.int64), np.array([1], dtype=np.int64)
+        )
+        dominating = greedy_dominating_set_bulk(bulk)
+        assert {2, 3, 4} <= dominating
+        assert is_dominating_set(bulk, dominating)
+
+    def test_single_node(self):
+        import numpy as np
+
+        bulk = BulkGraph(np.array([0, 0]), np.array([], dtype=np.int64))
+        assert greedy_dominating_set_bulk(bulk) == frozenset({0})

@@ -1,0 +1,111 @@
+"""Batched multi-trial randomized rounding reproduces per-trial runs.
+
+``round_fractional_solution_batched`` pays the seed-independent work (CSR
+build, δ⁽²⁾ exchanges, join probabilities, feasibility check) once; each
+trial column must still reproduce the exact per-seed coin streams, so the
+selected sets match one-seed runs -- and hence the simulator -- for every
+seed, on both backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.rounding import (
+    RoundingRule,
+    round_fractional_solution,
+    round_fractional_solution_batched,
+)
+from repro.graphs.bulk import bulk_unit_disk_graph
+from repro.graphs.generators import graph_suite
+
+TINY = sorted(graph_suite("tiny", seed=5).items())
+SEEDS = [0, 1, 7, 2003]
+
+
+def assert_same_rounding(batch_result, single_result):
+    assert batch_result.dominating_set == single_result.dominating_set
+    assert batch_result.joined_randomly == single_result.joined_randomly
+    assert batch_result.joined_as_fallback == single_result.joined_as_fallback
+    assert batch_result.rounds == single_result.rounds
+    assert batch_result.metrics.total_messages == single_result.metrics.total_messages
+    assert batch_result.metrics.total_bits == single_result.metrics.total_bits
+    assert (
+        batch_result.metrics.max_message_bits
+        == single_result.metrics.max_message_bits
+    )
+
+
+class TestBatchedMatchesPerTrial:
+    @pytest.mark.parametrize("backend", ["simulated", "vectorized"])
+    @pytest.mark.parametrize("rule", list(RoundingRule))
+    @pytest.mark.parametrize("name,graph", TINY, ids=[name for name, _ in TINY])
+    def test_every_seed_matches(self, name, graph, rule, backend):
+        x = approximate_fractional_mds(graph, k=2, backend="vectorized").x
+        batch = round_fractional_solution_batched(
+            graph, x, seeds=SEEDS, rule=rule, backend=backend
+        )
+        assert len(batch) == len(SEEDS)
+        for seed, batch_result in zip(SEEDS, batch):
+            single = round_fractional_solution(
+                graph, x, seed=seed, rule=rule, backend=backend
+            )
+            assert_same_rounding(batch_result, single)
+
+    def test_backends_agree_within_batch(self, unit_disk):
+        x = approximate_fractional_mds(unit_disk, k=2, backend="vectorized").x
+        simulated = round_fractional_solution_batched(
+            unit_disk, x, seeds=SEEDS, backend="simulated"
+        )
+        vectorized = round_fractional_solution_batched(
+            unit_disk, x, seeds=SEEDS, backend="vectorized"
+        )
+        for sim, vec in zip(simulated, vectorized):
+            assert sim.dominating_set == vec.dominating_set
+
+    def test_empty_seed_list(self, star):
+        x = {node: 1.0 for node in star.nodes()}
+        assert (
+            round_fractional_solution_batched(star, x, seeds=[], backend="vectorized")
+            == []
+        )
+
+
+class TestBatchedValidation:
+    def test_feasibility_checked_once(self, star):
+        infeasible = {node: 0.0 for node in star.nodes()}
+        for backend in ("simulated", "vectorized"):
+            with pytest.raises(ValueError, match="not a feasible"):
+                round_fractional_solution_batched(
+                    star, infeasible, seeds=SEEDS, backend=backend
+                )
+
+    def test_negative_values_rejected(self, star):
+        negative = {node: 1.0 for node in star.nodes()}
+        negative[0] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            round_fractional_solution_batched(
+                star, negative, seeds=SEEDS, require_feasible=False,
+                backend="vectorized",
+            )
+
+
+class TestBatchedBulkInputs:
+    def test_bulk_graph_input_matches_networkx(self):
+        bulk = bulk_unit_disk_graph(150, radius=0.12, seed=3)
+        x = approximate_fractional_mds(bulk, k=2, backend="vectorized").x
+        direct = round_fractional_solution_batched(
+            bulk, x, seeds=SEEDS, backend="vectorized"
+        )
+        via_networkx = round_fractional_solution_batched(
+            bulk.to_networkx(), x, seeds=SEEDS, backend="vectorized"
+        )
+        for a, b in zip(direct, via_networkx):
+            assert a.dominating_set == b.dominating_set
+
+    def test_bulk_requires_vectorized(self):
+        bulk = bulk_unit_disk_graph(30, radius=0.2, seed=0)
+        x = {node: 1.0 for node in bulk.nodes}
+        with pytest.raises(ValueError, match="vectorized"):
+            round_fractional_solution_batched(bulk, x, seeds=SEEDS)

@@ -1,0 +1,176 @@
+"""Tests for the direct-to-CSR generators and the CSR BulkGraph builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.bulk import (
+    bulk_caterpillar_graph,
+    bulk_erdos_renyi_graph,
+    bulk_graph_suite,
+    bulk_grid_graph,
+    bulk_unit_disk_graph,
+)
+from repro.graphs.generators import (
+    caterpillar_graph,
+    graph_suite,
+    grid_graph,
+    random_unit_disk_graph,
+)
+from repro.simulator.bulk import BulkGraph
+
+
+def assert_same_csr(a: BulkGraph, b: BulkGraph) -> None:
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.col, b.col)
+
+
+class TestFromEdges:
+    def test_matches_from_graph(self):
+        graph = grid_graph(5, 6)
+        u, v = zip(*graph.edges())
+        built = BulkGraph.from_edges(
+            graph.number_of_nodes(), np.array(u), np.array(v)
+        )
+        assert_same_csr(built, BulkGraph.from_graph(graph))
+
+    def test_deduplicates_and_symmetrizes(self):
+        built = BulkGraph.from_edges(3, np.array([0, 1, 0]), np.array([1, 0, 2]))
+        assert built.number_of_edges == 2
+        assert built.degrees.tolist() == [2, 1, 1]
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError, match="self loops"):
+            BulkGraph.from_edges(3, np.array([1]), np.array([1]))
+
+    def test_constructor_rejects_asymmetric_csr(self):
+        # Edge 0→1 without the reverse entry.
+        with pytest.raises(ValueError, match="symmetric"):
+            BulkGraph(np.array([0, 1, 1]), np.array([1]))
+
+    def test_constructor_rejects_unsorted_rows(self):
+        # Both directions present but row 0 lists neighbours out of order.
+        with pytest.raises(ValueError, match="ascending"):
+            BulkGraph(
+                np.array([0, 2, 3, 4]), np.array([2, 1, 0, 0])
+            )
+
+    def test_constructor_rejects_duplicate_entries(self):
+        with pytest.raises(ValueError, match="ascending"):
+            BulkGraph(np.array([0, 2, 4]), np.array([1, 1, 0, 0]))
+
+    def test_feasibility_matches_dense_check(self):
+        from repro.lp.feasibility import check_primal_feasible
+        from repro.lp.formulation import build_lp
+
+        graph = grid_graph(4, 4)
+        bulk = BulkGraph.from_graph(graph)
+        lp = build_lp(graph)
+        for x in (
+            {node: 1.0 for node in graph.nodes()},
+            {node: -1e-12 if node == 0 else 1.0 for node in graph.nodes()},
+            {node: 0.1 for node in graph.nodes()},
+            {node: -1.0 for node in graph.nodes()},
+        ):
+            vector = np.array([x[node] for node in bulk.nodes])
+            dense_feasible, dense_violation = check_primal_feasible(
+                lp, x, tolerance=1e-7, return_violation=True
+            )
+            csr_feasible, csr_violation = bulk.check_lp_feasible(
+                vector, tolerance=1e-7
+            )
+            assert csr_feasible == dense_feasible
+            assert csr_violation == pytest.approx(dense_violation)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="index nodes"):
+            BulkGraph.from_edges(3, np.array([0]), np.array([5]))
+
+    def test_empty_edge_set(self):
+        built = BulkGraph.from_edges(4, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert built.n == 4
+        assert built.number_of_edges == 0
+
+    def test_roundtrip_networkx(self):
+        graph = caterpillar_graph(6, 2)
+        bulk = BulkGraph.from_graph(graph)
+        back = bulk.to_networkx()
+        assert set(back.nodes()) == set(graph.nodes())
+        assert set(map(frozenset, back.edges())) == set(
+            map(frozenset, graph.edges())
+        )
+
+
+class TestDirectGenerators:
+    def test_unit_disk_matches_networkx_generator(self):
+        for seed in (0, 3, 11):
+            bulk = bulk_unit_disk_graph(250, radius=0.1, seed=seed)
+            reference = BulkGraph.from_graph(
+                random_unit_disk_graph(250, radius=0.1, seed=seed)
+            )
+            assert_same_csr(bulk, reference)
+
+    def test_unit_disk_exposes_positions(self):
+        bulk = bulk_unit_disk_graph(50, radius=0.2, seed=1)
+        assert bulk.positions.shape == (50, 2)
+
+    def test_grid_matches_networkx_generator(self):
+        assert_same_csr(
+            bulk_grid_graph(7, 9), BulkGraph.from_graph(grid_graph(7, 9))
+        )
+        assert_same_csr(
+            bulk_grid_graph(1, 4), BulkGraph.from_graph(grid_graph(1, 4))
+        )
+
+    def test_caterpillar_matches_networkx_generator(self):
+        assert_same_csr(
+            bulk_caterpillar_graph(12, 3),
+            BulkGraph.from_graph(caterpillar_graph(12, 3)),
+        )
+
+    def test_erdos_renyi_deterministic_per_seed(self):
+        a = bulk_erdos_renyi_graph(500, 0.01, seed=5)
+        b = bulk_erdos_renyi_graph(500, 0.01, seed=5)
+        assert_same_csr(a, b)
+        c = bulk_erdos_renyi_graph(500, 0.01, seed=6)
+        assert not np.array_equal(a.col, c.col)
+
+    def test_erdos_renyi_edge_count_near_expectation(self):
+        n, p = 2000, 0.005
+        bulk = bulk_erdos_renyi_graph(n, p, seed=0)
+        expected = p * n * (n - 1) / 2
+        assert 0.85 * expected <= bulk.number_of_edges <= 1.15 * expected
+
+    def test_erdos_renyi_degenerate_probabilities(self):
+        assert bulk_erdos_renyi_graph(10, 0.0).number_of_edges == 0
+        complete = bulk_erdos_renyi_graph(5, 1.0)
+        assert complete.number_of_edges == 10
+        assert complete.degrees.tolist() == [4] * 5
+
+    def test_erdos_renyi_validation(self):
+        with pytest.raises(ValueError):
+            bulk_erdos_renyi_graph(0, 0.5)
+        with pytest.raises(ValueError):
+            bulk_erdos_renyi_graph(10, 1.5)
+
+
+class TestBulkSuites:
+    def test_large_scale_instances(self):
+        suite = bulk_graph_suite("large", seed=0)
+        assert all(isinstance(g, BulkGraph) for g in suite.values())
+        assert all(g.n >= 1500 for g in suite.values())
+
+    def test_xlarge_scale_instances(self):
+        suite = bulk_graph_suite("xlarge", seed=0)
+        assert all(isinstance(g, BulkGraph) for g in suite.values())
+        assert all(g.n >= 20000 for g in suite.values())
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            bulk_graph_suite("galactic")
+
+    def test_graph_suite_offers_xlarge(self):
+        suite = graph_suite("xlarge", seed=0)
+        assert all(isinstance(g, BulkGraph) for g in suite.values())
+        assert set(suite) == set(bulk_graph_suite("xlarge", seed=0))

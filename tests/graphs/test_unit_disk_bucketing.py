@@ -1,0 +1,144 @@
+"""Property tests: grid-bucket unit-disk construction is edge-identical.
+
+The bucketed edge enumeration must reproduce the brute-force pairwise
+check *exactly* -- including at floating-point boundary distances, where
+``math.hypot`` (the reference predicate) and C's ``hypot`` can disagree by
+an ULP.  The cases below cover the satellite checklist: radii
+{0.05, 0.2, 0.7}, several seeds, and boundary-distance point sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.unit_disk import (
+    random_unit_disk_positions,
+    unit_disk_edges,
+    unit_disk_graph,
+)
+
+RADII = [0.05, 0.2, 0.7]
+
+
+def edge_set(points: np.ndarray, radius: float, method: str) -> set[tuple[int, int]]:
+    u, v = unit_disk_edges(points, radius, method=method)
+    return set(zip(u.tolist(), v.tolist()))
+
+
+def assert_edge_identical(points: np.ndarray, radius: float) -> None:
+    assert edge_set(points, radius, "grid") == edge_set(points, radius, "pairwise")
+
+
+class TestRandomPointSets:
+    @pytest.mark.parametrize("radius", RADII)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 2003])
+    def test_uniform_square(self, radius, seed):
+        points = random_unit_disk_positions(120, seed=seed)
+        assert_edge_identical(points, radius)
+
+    @pytest.mark.parametrize("radius", RADII)
+    def test_clustered_points(self, radius):
+        # Tight clusters stress the within-cell pair enumeration.
+        rng = np.random.default_rng(7)
+        centers = rng.random((6, 2))
+        points = np.concatenate(
+            [center + 0.01 * rng.standard_normal((25, 2)) for center in centers]
+        )
+        assert_edge_identical(points, radius)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 1.0, allow_nan=False, width=32),
+                st.floats(0.0, 1.0, allow_nan=False, width=32),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.sampled_from(RADII),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_arbitrary_points(self, point_list, radius):
+        points = np.array(point_list, dtype=np.float64)
+        assert_edge_identical(points, radius)
+
+
+class TestBoundaryDistances:
+    """Point sets whose pairwise distances sit exactly on the radius."""
+
+    @pytest.mark.parametrize("radius", RADII)
+    def test_collinear_exact_spacing(self, radius):
+        points = np.array([(index * radius, 0.25) for index in range(40)])
+        assert_edge_identical(points, radius)
+
+    @pytest.mark.parametrize("radius", RADII)
+    def test_lattice_exact_spacing(self, radius):
+        # Axis neighbours at distance exactly r; diagonals at r·√2 (outside).
+        points = np.array(
+            [(i * radius, j * radius) for i in range(9) for j in range(9)]
+        )
+        assert_edge_identical(points, radius)
+
+    @pytest.mark.parametrize("radius", RADII)
+    def test_circle_of_exact_radius(self, radius):
+        angles = np.linspace(0.0, 2 * np.pi, 24, endpoint=False)
+        rim = 0.5 + radius * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        points = np.concatenate(([(0.5, 0.5)], rim))
+        assert_edge_identical(points, radius)
+
+    @pytest.mark.parametrize("radius", RADII)
+    def test_near_boundary_perturbations(self, radius):
+        # Distances a few ULPs either side of the radius.
+        eps = np.spacing(radius)
+        offsets = [-4 * eps, -eps, 0.0, eps, 4 * eps]
+        points = np.array(
+            [(0.1, 0.1 + k * 0.3) for k in range(len(offsets))]
+            + [(0.1 + radius + off, 0.1 + k * 0.3) for k, off in enumerate(offsets)]
+        )
+        assert_edge_identical(points, radius)
+
+    def test_coincident_points_and_zero_radius(self):
+        points = np.array([(0.2, 0.2)] * 4 + [(0.8, 0.4)] * 3 + [(0.5, 0.5)])
+        for radius in [0.0, *RADII]:
+            assert_edge_identical(points, radius)
+        # radius 0 connects exactly the coincident groups: C(4,2) + C(3,2).
+        assert len(edge_set(points, 0.0, "grid")) == 6 + 3
+
+    def test_single_point(self):
+        points = np.array([(0.4, 0.6)])
+        for radius in [0.0, *RADII]:
+            assert_edge_identical(points, radius)
+
+    def test_empty_point_set(self):
+        points = np.empty((0, 2))
+        for method in ("grid", "pairwise"):
+            u, v = unit_disk_edges(points, 0.5, method=method)
+            assert u.size == 0 and v.size == 0
+
+
+class TestGraphConstruction:
+    @pytest.mark.parametrize("radius", RADII)
+    def test_graph_matches_pairwise_method(self, radius):
+        positions = {
+            node: tuple(point)
+            for node, point in enumerate(random_unit_disk_positions(80, seed=9))
+        }
+        grid = unit_disk_graph(positions, radius)
+        pairwise = unit_disk_graph(positions, radius, method="pairwise")
+        assert set(grid.nodes()) == set(pairwise.nodes())
+        assert set(map(frozenset, grid.edges())) == set(
+            map(frozenset, pairwise.edges())
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            unit_disk_edges(np.zeros((3, 2)), 0.1, method="quadtree")
+
+    def test_extreme_coordinate_spread_falls_back(self):
+        # Coordinate spread / radius too large for integer cell indices; the
+        # implementation must still return the exact edge set.
+        points = np.array([(0.0, 0.0), (1e-9, 0.0), (1e12, 0.5), (1e12, 1e12)])
+        assert_edge_identical(points, 1e-8)

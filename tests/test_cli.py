@@ -109,3 +109,67 @@ class TestBoundsCommand:
         assert exit_code == 0
         assert "alg2_ratio_bound" in captured.out
         assert "pipeline_ratio_bound" in captured.out
+
+
+class TestScalingFlags:
+    def test_jobs_and_suite_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.suite is None
+
+    def test_sweep_over_suite_with_jobs(self, capsys):
+        exit_code = main(
+            ["sweep", "--suite", "tiny", "--max-k", "2", "--jobs", "2", "--csv"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = captured.out.splitlines()
+        # One row per (instance, k): 6 tiny instances × 2 k-values + header.
+        assert len(lines) == 1 + 6 * 2
+        assert any(line.startswith("star_12,") for line in lines)
+
+    def test_compare_with_jobs(self, capsys):
+        exit_code = main(
+            ["compare", "--family", "star", "--n", "12", "--jobs", "2", "--trials", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "greedy" in captured.out
+
+    def test_sweep_suite_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--suite", "galactic"])
+
+    def test_sweep_xlarge_requires_vectorized_backend(self, capsys):
+        exit_code = main(["sweep", "--suite", "xlarge"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "vectorized" in captured.err
+
+    def test_compare_xlarge_requires_vectorized_backend(self, capsys):
+        exit_code = main(["compare", "--suite", "xlarge"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "vectorized" in captured.err
+
+    def test_compare_bulk_suite_uses_bulk_algorithms(self, capsys, monkeypatch):
+        # CSR suites restrict compare to the bulk-capable algorithms; patch
+        # the suite to a small CSR instance to keep the test fast.
+        import repro.cli as cli_module
+        from repro.graphs.bulk import bulk_unit_disk_graph
+
+        monkeypatch.setattr(
+            cli_module,
+            "graph_suite",
+            lambda scale, seed=0: {
+                "unit_disk_csr": bulk_unit_disk_graph(60, radius=0.2, seed=seed)
+            },
+        )
+        exit_code = main(
+            ["compare", "--suite", "xlarge", "--backend", "vectorized",
+             "--trials", "1", "--csv"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "bucket queue" in captured.out
+        assert "wu-li" not in captured.out

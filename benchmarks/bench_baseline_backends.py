@@ -1,0 +1,154 @@
+"""Baseline backend benchmark: the vectorized comparison stack vs. references.
+
+PR 1/2 put the Kuhn–Wattenhofer core on the CSR bulk engine; this benchmark
+gates the port of the *comparison stack* -- the Jia–Rajaraman–Suel LRG
+comparator, Wu–Li marking and greedy set cover -- measuring wall-clock under
+both execution paths on the ``graph_suite("large")`` instances (n ≥ 2000)
+and checking output identity on every instance:
+
+* LRG: same dominating set (same per-seed coin streams) and same phase
+  count, with a ≥ 20× speedup floor for the bulk path;
+* Wu–Li: same marking and same pruned backbone;
+* set cover greedy: same picks as the reference greedy.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, CI smoke) substitutes the medium suite
+and reports speedups without gating on them (shared runners, millisecond
+timings); the identity checks always gate.
+
+Results are persisted as ``BENCH_baseline_speedup.json``; the CI smoke step
+fails if any emitted BENCH JSON contains ``"objective_match": false``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.baselines.bulk_set_cover import greedy_set_cover_dominating_set_bulk
+from repro.baselines.greedy_set_cover import greedy_set_cover_dominating_set
+from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
+from repro.baselines.wu_li import wu_li_dominating_set
+from repro.graphs.generators import graph_suite
+from repro.graphs.utils import max_degree
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SCALE = "medium" if QUICK else "large"
+#: Acceptance floor for the bulk LRG at n ≥ 2000 (full mode only).
+MIN_LRG_SPEEDUP = None if QUICK else 20.0
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="baseline-backends")
+def test_baseline_backend_speedup(benchmark, bench_seed, emit_table, emit_json):
+    """Bulk LRG ≥ 20× over the simulator at n ≥ 2000, outputs identical."""
+    suite = sorted(graph_suite(SCALE, seed=bench_seed).items())
+    rows = []
+    payload_instances = []
+    for name, graph in suite:
+        n = graph.number_of_nodes()
+        delta = max_degree(graph)
+
+        simulated_lrg, simulated_lrg_s = _timed(
+            lambda: lrg_dominating_set(graph, seed=bench_seed)
+        )
+        bulk_lrg, bulk_lrg_s = _timed(
+            lambda: lrg_dominating_set(graph, seed=bench_seed, backend="vectorized")
+        )
+        lrg_match = (
+            simulated_lrg.dominating_set == bulk_lrg.dominating_set
+            and simulated_lrg.phases == bulk_lrg.phases
+        )
+
+        simulated_wl, simulated_wl_s = _timed(lambda: wu_li_dominating_set(graph))
+        bulk_wl, bulk_wl_s = _timed(
+            lambda: wu_li_dominating_set(graph, backend="vectorized")
+        )
+        wl_match = (
+            simulated_wl.dominating_set == bulk_wl.dominating_set
+            and simulated_wl.marked == bulk_wl.marked
+        )
+
+        reference_sc, reference_sc_s = _timed(
+            lambda: greedy_set_cover_dominating_set(graph)
+        )
+        bulk_sc, bulk_sc_s = _timed(
+            lambda: greedy_set_cover_dominating_set_bulk(graph)
+        )
+        sc_match = reference_sc == bulk_sc
+
+        for algorithm, match, reference_s, bulk_s, size in (
+            ("lrg", lrg_match, simulated_lrg_s, bulk_lrg_s, bulk_lrg.size),
+            ("wu-li", wl_match, simulated_wl_s, bulk_wl_s, bulk_wl.size),
+            ("set-cover", sc_match, reference_sc_s, bulk_sc_s, len(bulk_sc)),
+        ):
+            speedup = reference_s / bulk_s if bulk_s > 0 else float("inf")
+            rows.append(
+                {
+                    "instance": name,
+                    "algorithm": algorithm,
+                    "n": n,
+                    "delta": delta,
+                    "size": size,
+                    "objective_match": match,
+                    "reference_s": round(reference_s, 3),
+                    "bulk_s": round(bulk_s, 4),
+                    "speedup": round(speedup, 1),
+                }
+            )
+            payload_instances.append(
+                {
+                    "instance": name,
+                    "algorithm": algorithm,
+                    "n": n,
+                    "delta": delta,
+                    "objective_match": bool(match),
+                    "set_equality": bool(match),
+                    "reference_s": round(reference_s, 3),
+                    "bulk_s": round(bulk_s, 4),
+                    "speedup": round(speedup, 1),
+                }
+            )
+
+    emit_table(
+        "baseline_backends",
+        render_table(
+            rows,
+            title=(
+                f"Baseline backends: reference vs. bulk (CSR), {SCALE} suite "
+                f"({'quick' if QUICK else 'full'} mode)"
+            ),
+        ),
+    )
+    emit_json(
+        "baseline_speedup",
+        {
+            "scale": SCALE,
+            "quick": QUICK,
+            "algorithms": ["lrg", "wu-li", "set-cover"],
+            "min_lrg_speedup": MIN_LRG_SPEEDUP,
+            "instances": payload_instances,
+        },
+    )
+
+    for row in rows:
+        assert row["objective_match"], (
+            f"{row['algorithm']} output mismatch on {row['instance']}"
+        )
+        if MIN_LRG_SPEEDUP is not None and row["algorithm"] == "lrg":
+            assert row["speedup"] >= MIN_LRG_SPEEDUP, (
+                f"{row['instance']}: bulk LRG speedup {row['speedup']}× below "
+                f"the {MIN_LRG_SPEEDUP}× floor"
+            )
+
+    name, graph = suite[0]
+    benchmark(
+        lambda: lrg_dominating_set(graph, seed=bench_seed, backend="vectorized")
+    )

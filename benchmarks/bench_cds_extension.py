@@ -17,6 +17,8 @@ Reported: backbone size, connectivity, diameter, and routing stretch.
 
 from __future__ import annotations
 
+import os
+
 import networkx as nx
 import pytest
 
@@ -92,3 +94,49 @@ def test_x1_connected_backbones(benchmark, bench_seed, emit_table):
 
     graph = connected_unit_disk(80, RADIUS, bench_seed)
     benchmark(lambda: guha_khuller_connected_dominating_set(graph))
+
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+CSR_N = 2000 if QUICK else 20000
+CSR_RADIUS = 0.05 if QUICK else 0.016
+
+
+@pytest.mark.benchmark(group="X1-cds")
+def test_x1_backbones_at_scale(benchmark, bench_seed, emit_table):
+    """CDS backbones on a CSR unit disk graph at n ≥ 20000, end to end.
+
+    Every stage -- the pipeline, Wu–Li, the greedy reference, the
+    connectification and the CDS validation -- runs on the bulk engine; no
+    networkx object is ever materialised.
+    """
+    from repro.analysis.experiment import as_instances, sweep_cds
+    from repro.cds.bulk import bulk_is_connected, bulk_largest_component
+    from repro.graphs.bulk import bulk_unit_disk_graph
+
+    bulk = bulk_unit_disk_graph(CSR_N, radius=CSR_RADIUS, seed=bench_seed)
+    if not bulk_is_connected(bulk):
+        bulk = bulk_largest_component(bulk)
+    instances = as_instances({f"unit_disk_csr_n{bulk.n}": bulk})
+
+    records = sweep_cds(instances, k=2, seed=bench_seed, backend="vectorized")
+    rows = [record.as_row() for record in records]
+    emit_table(
+        "X1_cds_at_scale",
+        render_table(
+            rows,
+            title=(
+                f"X1 (at scale): CDS backbones on a CSR unit disk graph, "
+                f"n = {bulk.n} ({'quick' if QUICK else 'full'} mode)"
+            ),
+        ),
+    )
+
+    # sweep_cds validates every backbone as a CDS before reporting; the
+    # centralized-quality greedy reference must not lose to the pipeline.
+    by_algorithm = {row["algorithm"]: row for row in rows}
+    assert (
+        by_algorithm["greedy+connect"]["backbone_size"]
+        <= by_algorithm["kw(k=2)+connect"]["backbone_size"]
+    )
+
+    benchmark(lambda: sweep_cds(instances, k=2, seed=bench_seed, backend="vectorized"))

@@ -16,6 +16,8 @@ and round count side by side.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.stats import mean
@@ -103,3 +105,92 @@ def test_e10_algorithm_comparison(benchmark, bench_seed, emit_table):
 
     graph = suite["unit_disk_n20"]
     benchmark(lambda: greedy_dominating_set(graph))
+
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SCALE_N = 2000 if QUICK else 20000
+SCALE_RADIUS = 0.04 if QUICK else 0.012
+
+
+@pytest.mark.benchmark(group="E10-comparison")
+def test_e10_comparison_at_scale(benchmark, bench_seed, emit_table):
+    """The paper's head-to-head at CSR scale: every comparator at n ≥ 20000.
+
+    Before the bulk ports of the comparison stack, this table was capped at
+    the per-node simulator's ~n = 2000; now the LRG comparator, Wu–Li, the
+    greedy references and the pipeline all run on one CSR build.  Ratios
+    are measured against the Lemma-1 dual bound (the LP optimum denominator
+    is the one quantity not computed at this scale).
+    """
+    from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
+    from repro.baselines.bulk_set_cover import greedy_set_cover_dominating_set_bulk
+    from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
+    from repro.baselines.wu_li import wu_li_dominating_set
+    from repro.core.kuhn_wattenhofer import kuhn_wattenhofer_dominating_set
+    from repro.domset.validation import is_dominating_set
+    from repro.graphs.bulk import bulk_unit_disk_graph
+    from repro.lp.duality import lemma1_lower_bound
+
+    bulk = bulk_unit_disk_graph(SCALE_N, radius=SCALE_RADIUS, seed=bench_seed)
+    dual_bound = lemma1_lower_bound(bulk)
+
+    kw = kuhn_wattenhofer_dominating_set(bulk, k=K, seed=bench_seed, backend="vectorized")
+    lrg = lrg_dominating_set(bulk, seed=bench_seed, backend="vectorized")
+    wu_li = wu_li_dominating_set(bulk, backend="vectorized")
+    greedy = greedy_dominating_set_bulk(bulk)
+    set_cover = greedy_set_cover_dominating_set_bulk(bulk)
+
+    rows = []
+    sizes = {}
+    for name, candidate, rounds in (
+        (f"kuhn-wattenhofer (k={K})", kw.dominating_set, kw.total_rounds),
+        ("jia-rajaraman-suel", lrg.dominating_set, lrg.rounds),
+        ("wu-li", wu_li.dominating_set, wu_li.rounds),
+        ("greedy (bucket queue)", greedy, None),
+        ("set cover greedy", set_cover, None),
+    ):
+        assert is_dominating_set(bulk, candidate), name
+        sizes[name] = len(candidate)
+        rows.append(
+            {
+                "algorithm": name,
+                "n": bulk.n,
+                "size": len(candidate),
+                "ratio_vs_dual": len(candidate) / dual_bound,
+                "rounds": rounds,
+            }
+        )
+
+    emit_table(
+        "E10_comparison_at_scale",
+        render_table(
+            rows,
+            title=(
+                f"E10 (at scale): comparison on a CSR unit disk graph, "
+                f"n = {SCALE_N} ({'quick' if QUICK else 'full'} mode)"
+            ),
+        ),
+    )
+
+    # Shape assertions at scale mirror the tiny-suite claims: the two
+    # greedy references coincide and win, LRG tracks greedy within a small
+    # factor, and KW with constant k pays a bounded quality premium for its
+    # constant round count but still beats the trivial all-nodes baseline.
+    assert sizes["greedy (bucket queue)"] == sizes["set cover greedy"]
+    assert sizes["jia-rajaraman-suel"] <= 2.0 * sizes["greedy (bucket queue)"]
+    assert sizes[f"kuhn-wattenhofer (k={K})"] < bulk.n
+
+    # Theorem 6 bounds E[|DS|] / LP_OPT -- the dual bound is not a valid
+    # denominator for that comparison (the duality gap can be large), so
+    # the ratio gate solves LP_MDS *sparsely* for the true denominator.
+    # Full mode only: the n = 20000 sparse solve costs ~25 s.
+    if not QUICK:
+        from repro.analysis.bounds import pipeline_expected_ratio_bound
+        from repro.lp.solver import solve_fractional_mds_sparse
+
+        lp_optimum = solve_fractional_mds_sparse(bulk).objective
+        measured = len(kw.dominating_set) / lp_optimum
+        # 30% margin: the assert draws one sample of an expectation bound.
+        assert measured <= 1.3 * pipeline_expected_ratio_bound(K, bulk.max_degree)
+
+    benchmark(lambda: lrg_dominating_set(bulk, seed=bench_seed, backend="vectorized"))

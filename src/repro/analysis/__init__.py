@@ -30,8 +30,10 @@ from repro.analysis.experiment import (
     GraphInstance,
     as_instances,
     compare_algorithms,
+    sweep_cds,
     sweep_fractional,
     sweep_pipeline,
+    sweep_tradeoff,
 )
 from repro.analysis.stats import (
     SummaryStatistics,
@@ -70,7 +72,9 @@ __all__ = [
     "rounding_expectation_bound_alternative",
     "sample_std",
     "summarize",
+    "sweep_cds",
     "sweep_fractional",
     "sweep_pipeline",
+    "sweep_tradeoff",
     "weighted_approximation_bound",
 ]

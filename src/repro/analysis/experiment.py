@@ -28,11 +28,19 @@ import networkx as nx
 from repro.analysis.bounds import (
     algorithm2_approximation_bound,
     algorithm3_approximation_bound,
+    kmw_lower_bound,
     pipeline_expected_ratio_bound,
+    pipeline_round_bound,
 )
 from repro.analysis.stats import summarize
-from repro.core.fractional import approximate_fractional_mds
-from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.fractional import (
+    approximate_fractional_mds,
+    approximate_fractional_mds_multi_k,
+)
+from repro.core.fractional_unknown import (
+    approximate_fractional_mds_unknown_delta,
+    approximate_fractional_mds_unknown_delta_multi_k,
+)
 from repro.core.kuhn_wattenhofer import FractionalVariant
 from repro.core.rounding import round_fractional_solution_batched
 from repro.core.vectorized import SIMULATED, VECTORIZED
@@ -102,10 +110,20 @@ def _check_backend_for_instance(instance: GraphInstance, backend: str) -> None:
         )
 
 
-def _lp_reference(instance: GraphInstance) -> float:
-    """The centralized LP optimum, or NaN for CSR instances (not computed
-    at that scale -- the dense solve is the very cost the bulk path avoids)."""
+def _lp_reference(instance: GraphInstance, sparse_for_bulk: bool = False) -> float:
+    """The centralized LP optimum reference for one instance.
+
+    CSR instances report NaN by default (the dense solve is the very cost
+    the bulk path avoids); with ``sparse_for_bulk`` they are solved through
+    :func:`~repro.lp.solver.solve_fractional_mds_sparse` instead -- exact,
+    O(n + m) memory, but tens of seconds at n = 20 000, so sweeps only opt
+    in when the caller asks for the LP ratio column at that scale.
+    """
     if instance.is_bulk:
+        if sparse_for_bulk:
+            from repro.lp.solver import solve_fractional_mds_sparse
+
+            return solve_fractional_mds_sparse(instance.graph).objective
         return float("nan")
     return solve_fractional_mds(instance.graph).objective
 
@@ -115,6 +133,30 @@ def _prebuild_bulk(instance: GraphInstance, backend: str) -> BulkGraph | None:
     if backend == VECTORIZED and not instance.is_bulk:
         return BulkGraph.from_graph(instance.graph)
     return None
+
+
+def _fractional_sweep(
+    instance: GraphInstance,
+    k_values: Sequence[int],
+    variant: FractionalVariant,
+    seed: int,
+    backend: str,
+    bulk: BulkGraph | None,
+):
+    """One multi-k fractional execution covering the whole k sweep.
+
+    On the vectorized backend the snapshot engine runs the entire sweep in
+    a single engine invocation (per-k results bitwise equal to independent
+    runs); on the simulated backend the entry point loops per k.  Either
+    way every (instance, k) cell comes from *one* call here.
+    """
+    if variant is FractionalVariant.KNOWN_DELTA:
+        return approximate_fractional_mds_multi_k(
+            instance.graph, k_values, seed=seed, backend=backend, _bulk=bulk
+        )
+    return approximate_fractional_mds_unknown_delta_multi_k(
+        instance.graph, k_values, seed=seed, backend=backend, _bulk=bulk
+    )
 
 
 def _map_instances(
@@ -156,18 +198,17 @@ def _sweep_fractional_instance(
     records: list[ExperimentRecord] = []
     lp_optimum = _lp_reference(instance)
     delta = instance.max_degree
-    # One CSR build per instance, reused across the whole k sweep.
+    # One CSR build per instance; the whole k sweep runs as one fractional
+    # execution through the snapshot engine.
     bulk = _prebuild_bulk(instance, backend)
+    fractional_by_k = _fractional_sweep(
+        instance, k_values, variant, seed, backend, bulk
+    )
     for k in k_values:
+        result = fractional_by_k[k]
         if variant is FractionalVariant.KNOWN_DELTA:
-            result = approximate_fractional_mds(
-                instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
-            )
             bound = algorithm2_approximation_bound(k, delta)
         else:
-            result = approximate_fractional_mds_unknown_delta(
-                instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
-            )
             bound = algorithm3_approximation_bound(k, delta)
         ratio = result.objective / lp_optimum if lp_optimum > 0 else float("nan")
         records.append(
@@ -241,22 +282,18 @@ def _sweep_pipeline_instance(
     """
     _check_backend_for_instance(instance, backend)
     records: list[ExperimentRecord] = []
-    lower_bound = (
-        float("nan") if instance.is_bulk else lemma1_lower_bound(instance.graph)
-    )
+    lower_bound = lemma1_lower_bound(instance.graph)
     lp_optimum = _lp_reference(instance)
     delta = instance.max_degree
-    # One CSR build per instance, reused across all (k, trial) cells.
+    # One CSR build per instance; the deterministic fractional phase of the
+    # whole k sweep is one snapshot-engine execution, and each k's solution
+    # is rounded under all trial seeds in one batch.
     bulk = _prebuild_bulk(instance, backend)
+    fractional_by_k = _fractional_sweep(
+        instance, k_values, variant, seed, backend, bulk
+    )
     for k in k_values:
-        if variant is FractionalVariant.KNOWN_DELTA:
-            fractional = approximate_fractional_mds(
-                instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
-            )
-        else:
-            fractional = approximate_fractional_mds_unknown_delta(
-                instance.graph, k=k, seed=seed, backend=backend, _bulk=bulk
-            )
+        fractional = fractional_by_k[k]
         roundings = round_fractional_solution_batched(
             instance.graph,
             fractional.x,
@@ -317,6 +354,8 @@ def sweep_pipeline(
     seeds produce the same sets on either engine.  ``jobs`` parallelizes
     across instances with a process pool.
     """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
     worker = partial(
         _sweep_pipeline_instance,
         k_values=tuple(k_values),
@@ -325,6 +364,224 @@ def sweep_pipeline(
         seed=seed,
         backend=backend,
     )
+    return _map_instances(worker, instances, jobs)
+
+
+# ---------------------------------------------------------------------- #
+# Trade-off sweep (measured ratio vs. the paper's bound curves)           #
+# ---------------------------------------------------------------------- #
+
+
+def _sweep_tradeoff_instance(
+    instance: GraphInstance,
+    k_values: Sequence[int],
+    trials: int,
+    variant: FractionalVariant,
+    seed: int,
+    backend: str,
+    sparse_lp: bool,
+) -> list[ExperimentRecord]:
+    """All trade-off records of one instance (one process-pool work unit).
+
+    Like the pipeline sweep, the deterministic fractional phase of the
+    whole k sweep is a *single* snapshot-engine execution; each record adds
+    the Theorem-6 upper bound, the KMW lower-bound shape and the round
+    bound so callers can place the measured curve between the two shapes.
+    """
+    _check_backend_for_instance(instance, backend)
+    records: list[ExperimentRecord] = []
+    lower_bound = lemma1_lower_bound(instance.graph)
+    lp_optimum = _lp_reference(instance, sparse_for_bulk=sparse_lp)
+    delta = instance.max_degree
+    bulk = _prebuild_bulk(instance, backend)
+    fractional_by_k = _fractional_sweep(
+        instance, k_values, variant, seed, backend, bulk
+    )
+    for k in k_values:
+        fractional = fractional_by_k[k]
+        roundings = round_fractional_solution_batched(
+            instance.graph,
+            fractional.x,
+            seeds=[seed + trial for trial in range(trials)],
+            require_feasible=True,
+            backend=backend,
+            _bulk=bulk,
+        )
+        sizes = []
+        for rounding in roundings:
+            if not is_dominating_set(instance.graph, rounding.dominating_set):
+                raise RuntimeError(
+                    f"pipeline produced a non-dominating set on {instance.name}"
+                )
+            sizes.append(float(len(rounding.dominating_set)))
+        size_summary = summarize(sizes)
+        reference = lp_optimum if lp_optimum > 0 else float("nan")
+        records.append(
+            ExperimentRecord(
+                instance=instance.name,
+                algorithm=f"tradeoff[{variant.value}]",
+                parameters={"k": k, "n": instance.node_count, "delta": delta},
+                measurements={
+                    "mean_size": size_summary.mean,
+                    "lp_optimum": lp_optimum,
+                    "dual_lower_bound": lower_bound,
+                    "mean_ratio_vs_lp": size_summary.mean / reference,
+                    "mean_ratio_vs_dual": size_summary.mean / lower_bound
+                    if lower_bound > 0
+                    else float("nan"),
+                    "upper_bound_thm6": pipeline_expected_ratio_bound(k, delta),
+                    "lower_bound_shape_kmw": kmw_lower_bound(k, delta),
+                    "rounds": float(fractional.rounds + roundings[0].rounds),
+                    "round_bound": float(pipeline_round_bound(k)),
+                    "trials": float(trials),
+                },
+            )
+        )
+    return records
+
+
+def sweep_tradeoff(
+    instances: Sequence[GraphInstance],
+    k_values: Sequence[int],
+    trials: int = 5,
+    variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
+    seed: int = 0,
+    backend: str = SIMULATED,
+    jobs: int = 1,
+    sparse_lp: bool = False,
+) -> list[ExperimentRecord]:
+    """The paper's k-vs-quality trade-off curve over instances × k.
+
+    Each record pairs the measured mean ratio (over ``trials`` rounding
+    seeds) with the Theorem-6 upper-bound curve and the KMW
+    ``Ω(Δ^{1/k}/k)`` lower-bound shape for the same (k, Δ), plus measured
+    and guaranteed round counts -- everything ``bench_tradeoff_curve`` and
+    the CLI ``tradeoff`` sub-command print.  All k values of an instance
+    are evaluated from one fractional snapshot-engine execution;
+    ``jobs`` parallelizes across instances.
+
+    For CSR instances the LP ratio column is NaN by default (use the
+    ``mean_ratio_vs_dual`` column, whose Lemma-1 denominator is cheap at
+    any scale); pass ``sparse_lp=True`` to solve LP_MDS sparsely and get
+    the true LP denominator at the cost of tens of seconds per n = 20 000
+    instance.
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    worker = partial(
+        _sweep_tradeoff_instance,
+        k_values=tuple(k_values),
+        trials=trials,
+        variant=variant,
+        seed=seed,
+        backend=backend,
+        sparse_lp=sparse_lp,
+    )
+    return _map_instances(worker, instances, jobs)
+
+
+# ---------------------------------------------------------------------- #
+# Connected dominating set comparison                                     #
+# ---------------------------------------------------------------------- #
+
+
+def _sweep_cds_instance(
+    instance: GraphInstance,
+    k: int,
+    seed: int,
+    backend: str,
+) -> list[ExperimentRecord]:
+    """All CDS records of one (connected) instance.
+
+    Compares three backbones: the Kuhn–Wattenhofer pipeline plus
+    connectification, the (bucket-queue) greedy plus connectification, and
+    Wu–Li marking (connectified only when its pruning left the backbone
+    disconnected).  Centralized Guha–Khuller joins on networkx instances;
+    at the CSR scale the greedy column is the centralized quality
+    reference.  Every backbone is validated as a CDS before reporting.
+    """
+    from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
+    from repro.baselines.greedy import greedy_dominating_set
+    from repro.baselines.wu_li import wu_li_dominating_set
+    from repro.cds.connectify import connect_dominating_set, kw_connected_dominating_set
+    from repro.cds.validation import is_connected_dominating_set
+
+    _check_backend_for_instance(instance, backend)
+    graph = instance.graph
+    is_bulk = instance.is_bulk
+
+    entries: list[tuple[str, frozenset, frozenset, float | None]] = []
+
+    kw_cds, pipeline = kw_connected_dominating_set(
+        graph, k=k, seed=seed, backend=backend
+    )
+    entries.append(
+        (f"kw(k={k})+connect", kw_cds, pipeline.dominating_set, float(pipeline.total_rounds))
+    )
+
+    # _check_backend_for_instance has already forced backend == VECTORIZED
+    # for bulk instances, so one pass-through serves both substrates.
+    wu_li = wu_li_dominating_set(graph, backend=backend)
+    wu_li_cds = wu_li.dominating_set
+    if not is_connected_dominating_set(graph, wu_li_cds):
+        wu_li_cds = connect_dominating_set(graph, wu_li.dominating_set)
+    entries.append(
+        ("wu-li(+connect)", wu_li_cds, wu_li.dominating_set, float(wu_li.rounds))
+    )
+
+    greedy = (
+        greedy_dominating_set_bulk(graph) if is_bulk else greedy_dominating_set(graph)
+    )
+    entries.append(("greedy+connect", connect_dominating_set(graph, greedy), greedy, None))
+
+    if not is_bulk:
+        from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
+
+        gk = guha_khuller_connected_dominating_set(graph)
+        entries.append(("guha-khuller (centralized)", gk, gk, None))
+
+    records = []
+    for name, backbone, base, rounds in entries:
+        if not is_connected_dominating_set(graph, backbone):
+            raise RuntimeError(
+                f"algorithm {name!r} produced an invalid CDS on {instance.name}"
+            )
+        records.append(
+            ExperimentRecord(
+                instance=instance.name,
+                algorithm=name,
+                parameters={
+                    "n": instance.node_count,
+                    "delta": instance.max_degree,
+                },
+                measurements={
+                    "backbone_size": float(len(backbone)),
+                    "base_size": float(len(base)),
+                    "connectors_added": float(len(backbone) - len(base & backbone)),
+                    "distributed_rounds": rounds if rounds is not None else float("nan"),
+                },
+            )
+        )
+    return records
+
+
+def sweep_cds(
+    instances: Sequence[GraphInstance],
+    k: int = 2,
+    seed: int = 0,
+    backend: str = SIMULATED,
+    jobs: int = 1,
+) -> list[ExperimentRecord]:
+    """Compare connected dominating set backbones over (connected) instances.
+
+    Instances must be connected graphs (a disconnected graph has no CDS);
+    use :func:`repro.cds.bulk.bulk_largest_component` or the networkx
+    equivalent to preprocess.  Works on networkx and CSR instances alike --
+    at the CSR scale every stage (pipeline, greedy, Wu–Li,
+    connectification, validation) runs on the bulk engine.  ``jobs``
+    parallelizes across instances with a process pool.
+    """
+    worker = partial(_sweep_cds_instance, k=k, seed=seed, backend=backend)
     return _map_instances(worker, instances, jobs)
 
 

@@ -17,9 +17,20 @@
 * :mod:`~repro.baselines.bulk_greedy` -- the same greedy selection rule on
   a CSR :class:`~repro.simulator.bulk.BulkGraph` with a bucket queue, for
   the n ≥ 20 000 suites.
+* :mod:`~repro.baselines.bulk_lrg`, :mod:`~repro.baselines.bulk_wu_li`,
+  :mod:`~repro.baselines.bulk_set_cover` -- vectorized CSR executions of
+  the LRG comparator, the Wu–Li marking algorithm and greedy set cover,
+  output-identical to the reference implementations (``lrg_dominating_set``
+  and ``wu_li_dominating_set`` select them via ``backend="vectorized"``).
 """
 
 from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
+from repro.baselines.bulk_lrg import run_lrg_bulk
+from repro.baselines.bulk_set_cover import (
+    greedy_set_cover_bulk,
+    greedy_set_cover_dominating_set_bulk,
+)
+from repro.baselines.bulk_wu_li import run_wu_li_bulk
 
 from repro.baselines.exact import (
     ExactResult,
@@ -64,12 +75,16 @@ __all__ = [
     "greedy_dominating_set_bulk",
     "greedy_guarantee",
     "greedy_set_cover",
+    "greedy_set_cover_bulk",
     "greedy_set_cover_dominating_set",
+    "greedy_set_cover_dominating_set_bulk",
     "greedy_span_sequence",
     "greedy_weighted_dominating_set",
     "harmonic_number",
     "lrg_dominating_set",
     "maximal_independent_set_dominating_set",
     "random_dominating_set",
+    "run_lrg_bulk",
+    "run_wu_li_bulk",
     "wu_li_dominating_set",
 ]

@@ -35,13 +35,19 @@ size.
 from __future__ import annotations
 
 import math
-import statistics
 from dataclasses import dataclass
 from typing import Hashable
 
 import networkx as nx
 
+from repro.core.vectorized import (
+    SIMULATED,
+    VECTORIZED,
+    resolve_bulk_input,
+    validate_backend,
+)
 from repro.graphs.utils import max_degree, validate_simple_graph
+from repro.simulator.bulk import BulkGraph
 from repro.simulator.metrics import ExecutionMetrics
 from repro.simulator.network import Network
 from repro.simulator.node import NodeContext
@@ -81,6 +87,21 @@ def _next_power_of_two(value: int) -> int:
     if value <= 1:
         return 1
     return 1 << (value - 1).bit_length()
+
+
+def _median_support(values: list[int]) -> float:
+    """Median of a non-empty list of support counts.
+
+    Value-identical to ``statistics.median`` (middle element when odd,
+    mean of the two middle elements when even) but without its
+    type-dispatch and module-call overhead -- this sits in the innermost
+    per-candidate loop of every LRG phase, where the list is usually tiny.
+    """
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
 
 
 class LRGProgram(GeneratorNodeProgram):
@@ -161,7 +182,7 @@ class LRGProgram(GeneratorNodeProgram):
                 if not self.covered and own_count > 0:
                     support_counts.append(own_count)
                 if support_counts:
-                    median_support = statistics.median(support_counts)
+                    median_support = _median_support(support_counts)
                     probability = min(1.0, 1.0 / max(median_support, 1.0))
                     joined_now = ctx.rng.random() < probability
             if joined_now:
@@ -193,29 +214,56 @@ def lrg_dominating_set(
     graph: nx.Graph,
     seed: int | None = None,
     max_phases: int | None = None,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
 ) -> LRGResult:
     """Run the Jia–Rajaraman–Suel LRG algorithm on a graph.
 
     Parameters
     ----------
     graph:
-        The network graph.
+        The network graph.  May also be a CSR
+        :class:`~repro.simulator.bulk.BulkGraph`, in which case
+        ``backend="vectorized"`` is required.
     seed:
         Seed for the per-node coin flips.
     max_phases:
         Phase cap; defaults to ``4·(⌈log₂ n⌉ + 2)·(⌈log₂(Δ+1)⌉ + 2)``, a
         generous multiple of the w.h.p. phase bound.
+    backend:
+        ``"simulated"`` drives the per-node message-passing programs;
+        ``"vectorized"`` runs the bulk array engine
+        (:mod:`repro.baselines.bulk_lrg`).  Both draw each node's coins
+        from the same seeded streams, so for a given ``seed`` they select
+        the same dominating set in the same number of phases.
 
     Returns
     -------
     LRGResult
     """
-    validate_simple_graph(graph)
-    n = graph.number_of_nodes()
+    validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
+    n = graph.n if isinstance(graph, BulkGraph) else graph.number_of_nodes()
     delta = max_degree(graph)
     if max_phases is None:
         max_phases = 4 * (math.ceil(math.log2(max(n, 2))) + 2) * (
             math.ceil(math.log2(delta + 2)) + 2
+        )
+
+    if backend == VECTORIZED:
+        from repro.baselines.bulk_lrg import run_lrg_bulk
+
+        bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        in_set, phases, metrics = run_lrg_bulk(bulk, seed=seed, max_phases=max_phases)
+        return LRGResult(
+            dominating_set=frozenset(
+                node for node, joined in zip(bulk.nodes, in_set) if joined
+            ),
+            rounds=metrics.round_count,
+            phases=phases,
+            metrics=metrics,
         )
 
     def factory(node_id: int, network: Network) -> LRGProgram:

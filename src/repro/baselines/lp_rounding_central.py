@@ -20,7 +20,13 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_solution
-from repro.lp.solver import LPSolution, solve_fractional_mds
+from repro.core.vectorized import SIMULATED, validate_backend
+from repro.lp.solver import (
+    LPSolution,
+    solve_fractional_mds,
+    solve_fractional_mds_sparse,
+)
+from repro.simulator.bulk import BulkGraph
 
 
 @dataclass(frozen=True)
@@ -56,25 +62,42 @@ def central_lp_rounding_dominating_set(
     graph: nx.Graph,
     seed: int | None = None,
     rule: RoundingRule = RoundingRule.LOG,
+    backend: str = SIMULATED,
 ) -> CentralLPRoundingResult:
     """Solve LP_MDS exactly, then round with distributed Algorithm 1.
 
     Parameters
     ----------
     graph:
-        The network graph.
+        The network graph.  May also be a CSR
+        :class:`~repro.simulator.bulk.BulkGraph` (vectorized backend
+        only), in which case the LP is solved *sparsely* -- the dense
+        n × n formulation is never materialised -- and the rounding runs
+        on the bulk array engine end to end.
     seed:
         Seed for the rounding coin flips.
     rule:
         Probability multiplier rule for Algorithm 1.
+    backend:
+        Execution backend for the distributed rounding phase; both flip
+        the same per-seed coins, so the selected set is backend-invariant.
 
     Returns
     -------
     CentralLPRoundingResult
     """
-    lp_solution = solve_fractional_mds(graph)
+    validate_backend(backend)
+    if isinstance(graph, BulkGraph):
+        lp_solution = solve_fractional_mds_sparse(graph)
+    else:
+        lp_solution = solve_fractional_mds(graph)
     rounding = round_fractional_solution(
-        graph, lp_solution.values, seed=seed, rule=rule, require_feasible=True
+        graph,
+        lp_solution.values,
+        seed=seed,
+        rule=rule,
+        require_feasible=True,
+        backend=backend,
     )
     return CentralLPRoundingResult(
         dominating_set=rounding.dominating_set,

@@ -28,8 +28,15 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.core.vectorized import (
+    SIMULATED,
+    VECTORIZED,
+    resolve_bulk_input,
+    validate_backend,
+)
 from repro.domset.validation import uncovered_nodes
 from repro.graphs.utils import validate_simple_graph
+from repro.simulator.bulk import BulkGraph
 from repro.simulator.metrics import ExecutionMetrics
 from repro.simulator.network import Network
 from repro.simulator.node import NodeContext
@@ -146,13 +153,17 @@ def wu_li_dominating_set(
     apply_pruning: bool = True,
     ensure_domination: bool = True,
     seed: int | None = None,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
 ) -> WuLiResult:
     """Run the Wu–Li marking algorithm.
 
     Parameters
     ----------
     graph:
-        The network graph.
+        The network graph.  May also be a CSR
+        :class:`~repro.simulator.bulk.BulkGraph`, in which case
+        ``backend="vectorized"`` is required.
     apply_pruning:
         Apply pruning rules 1 and 2 after marking.
     ensure_domination:
@@ -163,12 +174,39 @@ def wu_li_dominating_set(
     seed:
         Seed for per-node randomness (unused -- the algorithm is
         deterministic -- but accepted for interface symmetry).
+    backend:
+        ``"simulated"`` drives the per-node message-passing programs;
+        ``"vectorized"`` computes the identical marking and pruning
+        decisions on the CSR (:mod:`repro.baselines.bulk_wu_li`).
 
     Returns
     -------
     WuLiResult
     """
-    validate_simple_graph(graph)
+    validate_backend(backend)
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
+
+    if backend == VECTORIZED:
+        from repro.baselines.bulk_wu_li import run_wu_li_bulk
+
+        bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        final, marked_flags, metrics = run_wu_li_bulk(
+            bulk, apply_pruning=apply_pruning
+        )
+        if ensure_domination:
+            final = final | ~(final | bulk.neighbor_any(final))
+        return WuLiResult(
+            dominating_set=frozenset(
+                node for node, selected in zip(bulk.nodes, final) if selected
+            ),
+            marked=frozenset(
+                node for node, flag in zip(bulk.nodes, marked_flags) if flag
+            ),
+            rounds=metrics.round_count,
+            metrics=metrics,
+        )
 
     def factory(node_id: int, network: Network) -> WuLiProgram:
         return WuLiProgram(apply_pruning=apply_pruning)

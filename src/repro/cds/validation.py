@@ -6,8 +6,10 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable
 
 import networkx as nx
+import numpy as np
 
 from repro.domset.validation import is_dominating_set
+from repro.graphs.utils import is_bulk_graph
 
 
 def is_connected_dominating_set(graph: nx.Graph, candidate: Iterable[Hashable]) -> bool:
@@ -18,10 +20,25 @@ def is_connected_dominating_set(graph: nx.Graph, candidate: Iterable[Hashable]) 
     *disconnected* input graph no connected dominating set exists (every
     component needs a dominator, and dominators in different components
     cannot be connected), so the function returns ``False``.
+
+    ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`;
+    the domination and induced-connectivity checks then run as array
+    sweeps without materialising a networkx object.
     """
     members = set(candidate)
     if not members:
         return False
+    if is_bulk_graph(graph):
+        from repro.cds.bulk import is_connected_dominating_set_bulk
+
+        unknown = members - set(graph.nodes)
+        if unknown:
+            raise ValueError(
+                f"candidate contains nodes not in the graph: {sorted(unknown)[:5]}"
+            )
+        flags = np.zeros(graph.n, dtype=bool)
+        flags[graph.index_of(members)] = True
+        return is_connected_dominating_set_bulk(graph, flags)
     if not is_dominating_set(graph, members):
         return False
     induced = graph.subgraph(members)

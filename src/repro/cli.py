@@ -9,7 +9,16 @@ Installed as ``repro-domset`` (see ``pyproject.toml``); also runnable as
   a comparison table.
 * ``sweep``   -- sweep the locality parameter k for the fractional
   algorithms on one graph and print ratio / round tables.
+* ``tradeoff`` -- the paper's k-vs-quality trade-off curve: measured ratio
+  between the Theorem-6 upper bound and the KMW lower-bound shape, all k
+  values evaluated from one fractional snapshot-engine execution.
+* ``cds``     -- compare connected dominating set backbones (KW+connect,
+  Wu–Li, greedy+connect, Guha–Khuller).
 * ``bounds``  -- print the paper's closed-form bounds for given (k, Δ).
+
+``compare``, ``cds`` and ``tradeoff`` accept ``--backend vectorized`` and
+``--suite xlarge``, in which case every stage runs on the CSR bulk engine
+and graphs with n ≥ 20 000 are routine.
 
 The CLI exists so that the examples in the README are runnable end to end
 without writing Python; all heavy lifting is delegated to the library.
@@ -31,9 +40,16 @@ from repro.analysis.bounds import (
     pipeline_expected_ratio_bound,
     rounding_expectation_bound,
 )
-from repro.analysis.experiment import as_instances, compare_algorithms, sweep_fractional
+from repro.analysis.experiment import (
+    as_instances,
+    compare_algorithms,
+    sweep_cds,
+    sweep_fractional,
+    sweep_tradeoff,
+)
 from repro.analysis.tables import records_to_csv, render_table
 from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
+from repro.baselines.bulk_set_cover import greedy_set_cover_dominating_set_bulk
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
 from repro.baselines.lp_rounding_central import central_lp_rounding_dominating_set
@@ -143,6 +159,18 @@ def _alg_bulk_greedy(graph, seed):
     return greedy_dominating_set_bulk(graph)
 
 
+def _alg_bulk_lrg(graph, seed):
+    return lrg_dominating_set(graph, seed=seed, backend="vectorized").dominating_set
+
+
+def _alg_bulk_wu_li(graph, seed):
+    return wu_li_dominating_set(graph, backend="vectorized").dominating_set
+
+
+def _alg_bulk_set_cover(graph, seed):
+    return greedy_set_cover_dominating_set_bulk(graph)
+
+
 def _command_solve(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     variant = FractionalVariant(args.variant)
@@ -193,13 +221,17 @@ def _command_compare(args: argparse.Namespace) -> int:
         return 2
     instances = _build_instances(args)
     if any(instance.is_bulk for instance in instances):
-        # CSR (xlarge) instances: only the bulk-capable algorithms apply --
-        # the vectorized pipeline and the bucket-queue greedy reference.
+        # CSR (xlarge) instances: the whole comparison stack is
+        # bulk-capable -- the vectorized pipeline, the LRG comparator, the
+        # Wu–Li marking algorithm and two greedy references.
         algorithms = {
             "kuhn-wattenhofer": partial(
                 _alg_kuhn_wattenhofer, k=args.k, backend=args.backend
             ),
             "greedy (bucket queue)": _alg_bulk_greedy,
+            "lrg (jia et al.)": _alg_bulk_lrg,
+            "wu-li": _alg_bulk_wu_li,
+            "set cover greedy": _alg_bulk_set_cover,
         }
     else:
         algorithms = {
@@ -243,6 +275,70 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(records_to_csv(rows))
     else:
         print(render_table(rows, title=f"k sweep ({variant.value})"))
+    return 0
+
+
+def _command_tradeoff(args: argparse.Namespace) -> int:
+    if args.suite == "xlarge" and args.backend != "vectorized":
+        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+        return 2
+    instances = _build_instances(args)
+    k_values = list(range(1, args.max_k + 1))
+    records = sweep_tradeoff(
+        instances,
+        k_values,
+        trials=args.trials,
+        variant=FractionalVariant(args.variant),
+        seed=args.seed,
+        backend=args.backend,
+        jobs=args.jobs,
+        sparse_lp=args.sparse_lp,
+    )
+    rows = [record.as_row() for record in records]
+    if args.csv:
+        print(records_to_csv(rows))
+    else:
+        print(
+            render_table(
+                rows,
+                title="k-vs-quality trade-off (measured vs. Thm 6 / KMW shapes)",
+            )
+        )
+    return 0
+
+
+def _command_cds(args: argparse.Namespace) -> int:
+    if args.suite == "xlarge" and args.backend != "vectorized":
+        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+        return 2
+    instances = _build_instances(args)
+    # CDS experiments are only defined on connected graphs; restrict every
+    # instance to its largest component up front.
+    connected = []
+    for instance in instances:
+        graph = instance.graph
+        if instance.is_bulk:
+            from repro.cds.bulk import bulk_is_connected, bulk_largest_component
+
+            if not bulk_is_connected(graph):
+                graph = bulk_largest_component(graph)
+        else:
+            import networkx as nx
+
+            if not nx.is_connected(graph):
+                component = max(nx.connected_components(graph), key=len)
+                graph = nx.convert_node_labels_to_integers(
+                    graph.subgraph(component).copy()
+                )
+        connected.append(type(instance)(name=instance.name, graph=graph))
+    records = sweep_cds(
+        connected, k=args.k, seed=args.seed, backend=args.backend, jobs=args.jobs
+    )
+    rows = [record.as_row() for record in records]
+    if args.csv:
+        print(records_to_csv(rows))
+    else:
+        print(render_table(rows, title="Connected dominating set backbones"))
     return 0
 
 
@@ -309,6 +405,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--csv", action="store_true")
     sweep.set_defaults(handler=_command_sweep)
+
+    tradeoff = subparsers.add_parser(
+        "tradeoff",
+        help="measured k-vs-quality trade-off against the paper's bound curves",
+    )
+    _add_graph_arguments(tradeoff)
+    _add_jobs_argument(tradeoff)
+    tradeoff.add_argument("--max-k", type=int, default=6)
+    tradeoff.add_argument("--trials", type=int, default=5)
+    tradeoff.add_argument(
+        "--variant",
+        choices=[variant.value for variant in FractionalVariant],
+        default=FractionalVariant.UNKNOWN_DELTA.value,
+    )
+    tradeoff.add_argument(
+        "--sparse-lp",
+        action="store_true",
+        help=(
+            "solve LP_MDS sparsely for CSR instances so the ratio-vs-LP "
+            "column is real instead of NaN (tens of seconds at n = 20000; "
+            "without it, use the always-available ratio-vs-dual column)"
+        ),
+    )
+    tradeoff.add_argument("--csv", action="store_true")
+    tradeoff.set_defaults(handler=_command_tradeoff)
+
+    cds = subparsers.add_parser(
+        "cds", help="compare connected dominating set backbones"
+    )
+    _add_graph_arguments(cds)
+    _add_jobs_argument(cds)
+    cds.add_argument("--k", type=int, default=2)
+    cds.add_argument("--csv", action="store_true")
+    cds.set_defaults(handler=_command_cds)
 
     bounds = subparsers.add_parser("bounds", help="print the paper's closed-form bounds")
     bounds.add_argument("--delta", type=int, default=16)

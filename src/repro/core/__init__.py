@@ -32,10 +32,12 @@ from repro.core.fractional import (
     Algorithm2Program,
     FractionalResult,
     approximate_fractional_mds,
+    approximate_fractional_mds_multi_k,
 )
 from repro.core.fractional_unknown import (
     Algorithm3Program,
     approximate_fractional_mds_unknown_delta,
+    approximate_fractional_mds_unknown_delta_multi_k,
 )
 from repro.core.invariants import (
     InvariantReport,
@@ -82,7 +84,9 @@ __all__ = [
     "WeightedFractionalResult",
     "WeightedPipelineResult",
     "approximate_fractional_mds",
+    "approximate_fractional_mds_multi_k",
     "approximate_fractional_mds_unknown_delta",
+    "approximate_fractional_mds_unknown_delta_multi_k",
     "approximate_weighted_fractional_mds",
     "check_algorithm2_invariants",
     "check_algorithm3_invariants",

@@ -14,7 +14,7 @@ correspondence is annotated in :meth:`Algorithm2Program.run`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import Hashable, Mapping, Sequence
 
 import networkx as nx
 
@@ -23,6 +23,7 @@ from repro.core.vectorized import (
     VECTORIZED,
     resolve_bulk_input,
     run_algorithm2_bulk,
+    run_algorithm2_bulk_multi_k,
     validate_backend,
 )
 from repro.graphs.utils import max_degree, validate_simple_graph
@@ -296,3 +297,60 @@ def approximate_fractional_mds(
         k=k,
         max_degree=true_delta,
     )
+
+
+def approximate_fractional_mds_multi_k(
+    graph: nx.Graph,
+    k_values: "Sequence[int]",
+    seed: int | None = None,
+    delta: int | None = None,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
+) -> dict[int, FractionalResult]:
+    """Run Algorithm 2 for a whole k sweep in one call.
+
+    On the vectorized backend this dispatches to the snapshot engine
+    (:func:`repro.core.vectorized.run_algorithm2_bulk_multi_k`): one engine
+    invocation produces the per-k x-vectors -- each bitwise identical to an
+    independent ``approximate_fractional_mds(graph, k, ...)`` run -- while
+    paying validation, the CSR build and the shared transcendental tables
+    once for the sweep instead of once per k.  On the simulated backend
+    (kept so sweeps have a single code path) the call simply loops the
+    per-k entry point.
+
+    Returns ``{k: FractionalResult}`` for every requested k.
+    """
+    validate_backend(backend)
+    if backend != VECTORIZED:
+        return {
+            k: approximate_fractional_mds(
+                graph, k=k, seed=seed, delta=delta, backend=backend
+            )
+            for k in k_values
+        }
+
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
+    true_delta = max_degree(graph)
+    if delta is None:
+        delta = true_delta
+    elif delta < true_delta:
+        raise ValueError(
+            f"delta={delta} is smaller than the true maximum degree {true_delta}"
+        )
+    bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+    snapshots = run_algorithm2_bulk_multi_k(bulk, tuple(k_values), delta=delta)
+    results: dict[int, FractionalResult] = {}
+    for k, (values, metrics) in snapshots.items():
+        x = {node: float(value) for node, value in zip(bulk.nodes, values)}
+        results[k] = FractionalResult(
+            x=x,
+            objective=float(sum(x.values())),
+            rounds=metrics.round_count,
+            metrics=metrics,
+            trace=ExecutionTrace(),
+            k=k,
+            max_degree=true_delta,
+        )
+    return results

@@ -19,7 +19,7 @@ terminates after ``4k² + O(k)`` rounds.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Sequence
 
 import networkx as nx
 
@@ -34,6 +34,7 @@ from repro.core.vectorized import (
     VECTORIZED,
     resolve_bulk_input,
     run_algorithm3_bulk,
+    run_algorithm3_bulk_multi_k,
     validate_backend,
 )
 from repro.graphs.utils import max_degree, validate_simple_graph
@@ -271,3 +272,54 @@ def approximate_fractional_mds_unknown_delta(
         k=k,
         max_degree=max_degree(graph),
     )
+
+
+def approximate_fractional_mds_unknown_delta_multi_k(
+    graph: nx.Graph,
+    k_values: Sequence[int],
+    seed: int | None = None,
+    backend: str = SIMULATED,
+    _bulk: BulkGraph | None = None,
+) -> dict[int, FractionalResult]:
+    """Run Algorithm 3 for a whole k sweep in one call.
+
+    The vectorized backend dispatches to the snapshot engine
+    (:func:`repro.core.vectorized.run_algorithm3_bulk_multi_k`), which
+    computes the k-independent δ⁽²⁾ prefix once and shares the
+    transcendental tables across the sweep while producing per-k results
+    bitwise identical to independent
+    ``approximate_fractional_mds_unknown_delta`` runs.  The simulated
+    backend loops the per-k entry point so sweeps keep one code path.
+
+    Returns ``{k: FractionalResult}`` for every requested k.
+    """
+    validate_backend(backend)
+    if backend != VECTORIZED:
+        return {
+            k: approximate_fractional_mds_unknown_delta(
+                graph, k=k, seed=seed, backend=backend
+            )
+            for k in k_values
+        }
+
+    _bulk = resolve_bulk_input(graph, backend, _bulk)
+    if _bulk is not graph:
+        validate_simple_graph(graph)
+    from repro.simulator.trace import ExecutionTrace
+
+    true_delta = max_degree(graph)
+    bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+    snapshots = run_algorithm3_bulk_multi_k(bulk, tuple(k_values))
+    results: dict[int, FractionalResult] = {}
+    for k, (values, metrics) in snapshots.items():
+        x = {node: float(value) for node, value in zip(bulk.nodes, values)}
+        results[k] = FractionalResult(
+            x=x,
+            objective=float(sum(x.values())),
+            rounds=metrics.round_count,
+            metrics=metrics,
+            trace=ExecutionTrace(),
+            k=k,
+            max_degree=true_delta,
+        )
+    return results

@@ -40,9 +40,30 @@ def is_dominating_set(graph: nx.Graph, candidate: Iterable[Hashable]) -> bool:
     return len(uncovered_nodes(graph, members)) == 0
 
 
+def _bulk_member_flags(graph, candidate: Iterable[Hashable]) -> np.ndarray:
+    """Boolean member flags for a candidate set on a CSR graph.
+
+    Nodes outside the graph are ignored, matching the networkx branches of
+    the coverage helpers (which intersect against actual neighbourhoods).
+    """
+    members = set(candidate) & set(graph.nodes)
+    flags = np.zeros(graph.n, dtype=bool)
+    if members:
+        flags[graph.index_of(members)] = True
+    return flags
+
+
 def uncovered_nodes(graph: nx.Graph, candidate: Iterable[Hashable]) -> set[Hashable]:
-    """Nodes whose closed neighbourhood contains no member of ``candidate``."""
+    """Nodes whose closed neighbourhood contains no member of ``candidate``.
+
+    Accepts CSR :class:`~repro.simulator.bulk.BulkGraph` inputs, for which
+    the check is one array sweep.
+    """
     members = set(candidate)
+    if is_bulk_graph(graph):
+        flags = _bulk_member_flags(graph, members)
+        uncovered_flags = ~(flags | graph.neighbor_any(flags))
+        return {graph.nodes[position] for position in np.flatnonzero(uncovered_flags)}
     uncovered = set()
     for node in graph.nodes():
         if node in members:
@@ -57,9 +78,15 @@ def coverage_counts(graph: nx.Graph, candidate: Iterable[Hashable]) -> dict[Hash
 
     Coverage counts quantify redundancy: a minimal dominating set has many
     nodes with count 1, while a heavily redundant set (e.g. the trivial
-    all-nodes set) has counts close to δ_i + 1.
+    all-nodes set) has counts close to δ_i + 1.  CSR
+    :class:`~repro.simulator.bulk.BulkGraph` inputs are counted with one
+    ``bincount`` over the adjacency instead of n set intersections.
     """
     members = set(candidate)
+    if is_bulk_graph(graph):
+        flags = _bulk_member_flags(graph, members)
+        counts = graph.neighbor_count(flags) + flags
+        return {node: int(count) for node, count in zip(graph.nodes, counts)}
     return {
         node: len(members.intersection(closed_neighborhood(graph, node)))
         for node in graph.nodes()

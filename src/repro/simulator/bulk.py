@@ -280,12 +280,31 @@ class BulkGraph:
         mask = np.asarray(flags, dtype=bool)[self.col]
         return np.bincount(self.row[mask], minlength=self.n)
 
-    def closed_max(self, values: np.ndarray) -> np.ndarray:
-        """Per-node maximum of ``values`` over the *closed* neighbourhood."""
+    def closed_max(
+        self, values: np.ndarray, senders: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-node maximum of ``values`` over the *closed* neighbourhood.
+
+        ``senders`` optionally masks which neighbours contribute: entries
+        with a ``False`` sender flag are ignored, exactly as the simulator
+        drops the values of nodes that terminated and no longer broadcast.
+        A node's *own* value always participates (the per-node programs
+        seed their running maximum with it before reading the inbox).
+        """
         values = np.asarray(values)
         result = values.copy()
         if self.col.size:
-            row_max = np.maximum.reduceat(values[self.col], self._nonempty_starts)
+            contributions = values[self.col]
+            if senders is not None:
+                floor = (
+                    np.iinfo(values.dtype).min
+                    if np.issubdtype(values.dtype, np.integer)
+                    else -np.inf
+                )
+                contributions = np.where(
+                    np.asarray(senders, dtype=bool)[self.col], contributions, floor
+                )
+            row_max = np.maximum.reduceat(contributions, self._nonempty_starts)
             result[self._nonempty] = np.maximum(values[self._nonempty], row_max)
         return result
 
@@ -306,13 +325,14 @@ class BulkMetricsBuilder:
 
     def __init__(self, degrees: np.ndarray) -> None:
         self._degrees = np.asarray(degrees, dtype=np.int64)
-        self._messages_per_exchange = int(self._degrees.sum())
-        self._senders = np.flatnonzero(self._degrees > 0)
-        # (total_bits, max_bits) per exchange, in execution order.
-        self._exchanges: list[tuple[int, int]] = []
+        # (messages, total_bits, max_bits) per exchange, in execution order.
+        self._exchanges: list[tuple[int, int, int]] = []
         self._bits_per_node = np.zeros(self._degrees.size, dtype=np.int64)
+        self._messages_per_node = np.zeros(self._degrees.size, dtype=np.int64)
 
-    def record_exchange(self, payload_bits: np.ndarray | int) -> None:
+    def record_exchange(
+        self, payload_bits: np.ndarray | int, senders: np.ndarray | None = None
+    ) -> None:
         """Account for one broadcast exchange.
 
         Parameters
@@ -321,14 +341,26 @@ class BulkMetricsBuilder:
             Bits of the payload each node sends to *each* neighbour --
             either a per-node array or a scalar for uniform payloads
             (e.g. ``BOOL_PAYLOAD_BITS`` for colour flags).
+        senders:
+            Optional boolean mask of the nodes that broadcast in this
+            exchange.  Algorithms with per-node early termination (LRG)
+            pass the still-running mask so the modeled counts equal the
+            simulator's, where terminated programs stop sending.
         """
         bits = np.broadcast_to(
             np.asarray(payload_bits, dtype=np.int64), self._degrees.shape
         )
-        total_bits = int((bits * self._degrees).sum())
-        max_bits = int(bits[self._senders].max()) if self._senders.size else 0
-        self._exchanges.append((total_bits, max_bits))
-        self._bits_per_node += bits * self._degrees
+        degrees = self._degrees
+        if senders is None:
+            sent = degrees
+        else:
+            sent = np.where(np.asarray(senders, dtype=bool), degrees, 0)
+        active = np.flatnonzero(sent > 0)
+        total_bits = int((bits * sent).sum())
+        max_bits = int(bits[active].max()) if active.size else 0
+        self._exchanges.append((int(sent.sum()), total_bits, max_bits))
+        self._bits_per_node += bits * sent
+        self._messages_per_node += sent
 
     @property
     def exchange_count(self) -> int:
@@ -344,16 +376,14 @@ class BulkMetricsBuilder:
         """
         per_round: list[tuple[int, int, int]] = []  # (messages, bits, max_bits)
         exchanges = self._exchanges
-        messages = self._messages_per_exchange
         if len(exchanges) == 1:
-            total_bits, max_bits = exchanges[0]
-            per_round.append((messages, total_bits, max_bits))
+            per_round.append(exchanges[0])
         elif len(exchanges) >= 2:
-            first_bits = exchanges[0][0] + exchanges[1][0]
-            first_max = max(exchanges[0][1], exchanges[1][1])
-            per_round.append((2 * messages, first_bits, first_max))
-            for total_bits, max_bits in exchanges[2:]:
-                per_round.append((messages, total_bits, max_bits))
+            first_messages = exchanges[0][0] + exchanges[1][0]
+            first_bits = exchanges[0][1] + exchanges[1][1]
+            first_max = max(exchanges[0][2], exchanges[1][2])
+            per_round.append((first_messages, first_bits, first_max))
+            per_round.extend(exchanges[2:])
             per_round.append((0, 0, 0))
 
         metrics = ExecutionMetrics()
@@ -366,11 +396,8 @@ class BulkMetricsBuilder:
                     max_message_bits=max_bits,
                 )
             )
-        exchange_total = len(exchanges)
-        for position in self._senders:
+        for position in np.flatnonzero(self._messages_per_node > 0):
             node = nodes[position]
-            metrics.messages_per_node[node] = exchange_total * int(
-                self._degrees[position]
-            )
+            metrics.messages_per_node[node] = int(self._messages_per_node[position])
             metrics.bits_per_node[node] = int(self._bits_per_node[position])
         return metrics

@@ -1,0 +1,146 @@
+"""CSR connectification: equivalence with the reference and components."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import greedy_dominating_set
+from repro.cds.bulk import (
+    bulk_connected_components,
+    bulk_is_connected,
+    bulk_largest_component,
+    connect_dominating_set_bulk,
+    is_connected_dominating_set_bulk,
+)
+from repro.cds.connectify import connect_dominating_set, kw_connected_dominating_set
+from repro.cds.validation import is_connected_dominating_set
+from repro.graphs.bulk import bulk_unit_disk_graph
+from repro.graphs.generators import graph_suite
+from repro.simulator.bulk import BulkGraph
+
+
+def connected_instances(scale, seed):
+    """(name, graph) pairs restricted to their largest component."""
+    for name, graph in sorted(graph_suite(scale, seed=seed).items()):
+        if not nx.is_connected(graph):
+            component = max(nx.connected_components(graph), key=len)
+            graph = nx.convert_node_labels_to_integers(graph.subgraph(component).copy())
+        yield name, graph
+
+
+def flags_for(bulk, members):
+    flags = np.zeros(bulk.n, dtype=bool)
+    flags[bulk.index_of(members)] = True
+    return flags
+
+
+class TestConnectifyEquivalence:
+    @pytest.mark.parametrize("scale", ["tiny", "small", "medium"])
+    def test_reference_and_bulk_select_the_same_cds(self, scale):
+        for name, graph in connected_instances(scale, seed=13):
+            dominating = greedy_dominating_set(graph)
+            reference = connect_dominating_set(graph, dominating)
+            bulk = BulkGraph.from_graph(graph)
+            result = connect_dominating_set_bulk(bulk, flags_for(bulk, dominating))
+            selected = frozenset(
+                node for node, flag in zip(bulk.nodes, result) if flag
+            )
+            assert selected == reference, name
+            assert len(reference) <= 3 * len(dominating), name
+            assert is_connected_dominating_set(graph, reference), name
+
+    def test_sparse_dominators_need_connectors(self):
+        graph = nx.path_graph(9)
+        bulk = BulkGraph.from_graph(graph)
+        result = connect_dominating_set_bulk(bulk, flags_for(bulk, {1, 4, 7}))
+        selected = frozenset(node for node, flag in zip(bulk.nodes, result) if flag)
+        assert selected == connect_dominating_set(graph, {1, 4, 7})
+        assert {1, 4, 7} <= selected
+        assert is_connected_dominating_set_bulk(bulk, result)
+
+    def test_rejects_non_dominating_input(self):
+        bulk = BulkGraph.from_graph(nx.path_graph(6))
+        with pytest.raises(ValueError, match="not a dominating set"):
+            connect_dominating_set_bulk(bulk, flags_for(bulk, {0}))
+
+    def test_rejects_disconnected_graph(self):
+        graph = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+        bulk = BulkGraph.from_graph(graph)
+        with pytest.raises(ValueError, match="disconnected"):
+            connect_dominating_set_bulk(bulk, flags_for(bulk, set(graph.nodes())))
+
+    def test_single_member_unchanged(self):
+        bulk = BulkGraph.from_graph(nx.star_graph(5))
+        result = connect_dominating_set_bulk(bulk, flags_for(bulk, {0}))
+        assert list(np.flatnonzero(result)) == [0]
+
+
+class TestBulkComponents:
+    def test_labels_match_networkx(self):
+        graph = nx.disjoint_union(nx.path_graph(4), nx.cycle_graph(3))
+        bulk = BulkGraph.from_graph(graph)
+        labels = bulk_connected_components(bulk)
+        assert labels.tolist() == [0, 0, 0, 0, 1, 1, 1]
+        assert not bulk_is_connected(bulk)
+
+    def test_subset_restriction(self):
+        bulk = BulkGraph.from_graph(nx.path_graph(5))
+        subset = np.array([True, True, False, True, True])
+        labels = bulk_connected_components(bulk, subset)
+        assert labels[2] == -1
+        assert labels[0] == labels[1] != labels[3]
+        assert labels[3] == labels[4]
+
+    def test_largest_component_extraction(self):
+        graph = nx.disjoint_union(nx.path_graph(3), nx.cycle_graph(5))
+        bulk = BulkGraph.from_graph(graph)
+        largest = bulk_largest_component(bulk)
+        assert largest.n == 5
+        assert bulk_is_connected(largest)
+        assert largest.number_of_edges == 5
+
+    def test_single_node_graph(self):
+        single = nx.Graph()
+        single.add_node(0)
+        bulk = BulkGraph.from_graph(single)
+        assert bulk_is_connected(bulk)
+        assert bulk_largest_component(bulk).n == 1
+
+
+class TestConnectedValidationDispatch:
+    def test_is_connected_dominating_set_accepts_bulk(self):
+        bulk = bulk_unit_disk_graph(120, radius=0.2, seed=3)
+        graph = bulk.to_networkx()
+        if not nx.is_connected(graph):
+            pytest.skip("sampled graph disconnected; the dispatch test needs a CDS")
+        cds = connect_dominating_set(graph, greedy_dominating_set(graph))
+        assert is_connected_dominating_set(bulk, cds)
+        assert not is_connected_dominating_set(bulk, set())
+        with pytest.raises(ValueError, match="not in the graph"):
+            is_connected_dominating_set(bulk, {10**9})
+
+
+class TestBulkKWPipeline:
+    def test_end_to_end_on_csr(self):
+        bulk = bulk_unit_disk_graph(500, radius=0.09, seed=12)
+        if not bulk_is_connected(bulk):
+            bulk = bulk_largest_component(bulk)
+        cds, pipeline = kw_connected_dominating_set(
+            bulk, k=2, seed=5, backend="vectorized"
+        )
+        assert pipeline.dominating_set <= cds
+        assert is_connected_dominating_set(bulk, cds)
+
+    def test_matches_networkx_route(self):
+        bulk = bulk_unit_disk_graph(200, radius=0.15, seed=8)
+        if not bulk_is_connected(bulk):
+            bulk = bulk_largest_component(bulk)
+        via_bulk, _ = kw_connected_dominating_set(
+            bulk, k=2, seed=5, backend="vectorized"
+        )
+        via_nx, _ = kw_connected_dominating_set(
+            bulk.to_networkx(), k=2, seed=5, backend="vectorized"
+        )
+        assert via_bulk == via_nx

@@ -153,8 +153,9 @@ class TestScalingFlags:
         assert "vectorized" in captured.err
 
     def test_compare_bulk_suite_uses_bulk_algorithms(self, capsys, monkeypatch):
-        # CSR suites restrict compare to the bulk-capable algorithms; patch
-        # the suite to a small CSR instance to keep the test fast.
+        # CSR suites run the bulk-capable comparison stack (pipeline, LRG,
+        # Wu–Li, both greedy references); patch the suite to a small CSR
+        # instance to keep the test fast.
         import repro.cli as cli_module
         from repro.graphs.bulk import bulk_unit_disk_graph
 
@@ -172,4 +173,8 @@ class TestScalingFlags:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "bucket queue" in captured.out
-        assert "wu-li" not in captured.out
+        assert "lrg (jia et al.)" in captured.out
+        assert "wu-li" in captured.out
+        assert "set cover greedy" in captured.out
+        # The dense-LP baseline stays off the CSR path.
+        assert "central LP" not in captured.out

@@ -1,22 +1,31 @@
-"""Baseline backend benchmark: the vectorized comparison stack vs. references.
+"""Backend twin benchmark: every registered simulated/bulk pair, gated.
 
-PR 1/2 put the Kuhn–Wattenhofer core on the CSR bulk engine; this benchmark
-gates the port of the *comparison stack* -- the Jia–Rajaraman–Suel LRG
-comparator, Wu–Li marking and greedy set cover -- measuring wall-clock under
-both execution paths on the ``graph_suite("large")`` instances (n ≥ 2000)
-and checking output identity on every instance:
+PR 1/2 put the Kuhn–Wattenhofer core on the CSR bulk engine and PR 3
+ported the comparison stack; this benchmark used to hand-list the ported
+algorithms.  It now enumerates the :mod:`repro.api` registry instead:
+every :class:`~repro.api.AlgorithmSpec` that declares *both* execution
+backends (``twin_specs()``) is run under each engine on every suite
+instance and gated on output identity -- dominating set, objective and
+round count must match exactly.  Registering a new twin algorithm adds it
+to this gate automatically; nothing here needs to change.
 
-* LRG: same dominating set (same per-seed coin streams) and same phase
-  count, with a ≥ 20× speedup floor for the bulk path;
-* Wu–Li: same marking and same pruned backbone;
-* set cover greedy: same picks as the reference greedy.
+Wall-clock is measured under both paths on the ``graph_suite("large")``
+instances (n ≥ 2000), with a ≥ 20× speedup floor for the bulk LRG (the
+pair whose port PR 3 gated).  Some pairs overlap other benchmarks on
+purpose: the pipeline twins are speed-gated separately
+(``bench_backend_speedup`` / ``bench_weighted_backend``) and central-lp's
+dominant cost (the exact LP solve) is backend-invariant, so for those
+rows only the *identity* column is the signal here -- the point of this
+file is that no registered twin can dodge the equivalence gate.
 
-Quick mode (``REPRO_BENCH_QUICK=1``, CI smoke) substitutes the medium suite
-and reports speedups without gating on them (shared runners, millisecond
-timings); the identity checks always gate.
+Quick mode (``REPRO_BENCH_QUICK=1``, CI smoke) substitutes the medium
+suite and reports speedups without gating on them (shared runners,
+millisecond timings); the identity checks always gate.
 
-Results are persisted as ``BENCH_baseline_speedup.json``; the CI smoke step
-fails if any emitted BENCH JSON contains ``"objective_match": false``.
+Results are persisted as ``BENCH_baseline_speedup.json``; the CI smoke
+step fails if any emitted BENCH JSON contains ``"objective_match":
+false``, and additionally fails if any registered twin pair is missing
+from the payload's ``algorithms`` list (coverage gate).
 """
 
 from __future__ import annotations
@@ -27,10 +36,7 @@ import time
 import pytest
 
 from repro.analysis.tables import render_table
-from repro.baselines.bulk_set_cover import greedy_set_cover_dominating_set_bulk
-from repro.baselines.greedy_set_cover import greedy_set_cover_dominating_set
-from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
-from repro.baselines.wu_li import wu_li_dominating_set
+from repro.api import solve, twin_specs
 from repro.graphs.generators import graph_suite
 from repro.graphs.utils import max_degree
 
@@ -38,6 +44,9 @@ QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
 SCALE = "medium" if QUICK else "large"
 #: Acceptance floor for the bulk LRG at n ≥ 2000 (full mode only).
 MIN_LRG_SPEEDUP = None if QUICK else 20.0
+#: Per-twin parameter overrides (the pipeline twins sweep at the paper's
+#: default comparison k).
+PARAMS = {"kuhn-wattenhofer": {"k": 2}, "weighted-kuhn-wattenhofer": {"k": 2}}
 
 
 def _timed(function):
@@ -47,58 +56,44 @@ def _timed(function):
 
 
 @pytest.mark.benchmark(group="baseline-backends")
-def test_baseline_backend_speedup(benchmark, bench_seed, emit_table, emit_json):
-    """Bulk LRG ≥ 20× over the simulator at n ≥ 2000, outputs identical."""
+def test_backend_twin_equivalence(benchmark, bench_seed, emit_table, emit_json):
+    """Every registered twin pair: identical outputs, bulk LRG ≥ 20×."""
     suite = sorted(graph_suite(SCALE, seed=bench_seed).items())
+    pairs = twin_specs()
+    assert pairs, "registry lost its backend twins"
+
     rows = []
     payload_instances = []
     for name, graph in suite:
         n = graph.number_of_nodes()
         delta = max_degree(graph)
-
-        simulated_lrg, simulated_lrg_s = _timed(
-            lambda: lrg_dominating_set(graph, seed=bench_seed)
-        )
-        bulk_lrg, bulk_lrg_s = _timed(
-            lambda: lrg_dominating_set(graph, seed=bench_seed, backend="vectorized")
-        )
-        lrg_match = (
-            simulated_lrg.dominating_set == bulk_lrg.dominating_set
-            and simulated_lrg.phases == bulk_lrg.phases
-        )
-
-        simulated_wl, simulated_wl_s = _timed(lambda: wu_li_dominating_set(graph))
-        bulk_wl, bulk_wl_s = _timed(
-            lambda: wu_li_dominating_set(graph, backend="vectorized")
-        )
-        wl_match = (
-            simulated_wl.dominating_set == bulk_wl.dominating_set
-            and simulated_wl.marked == bulk_wl.marked
-        )
-
-        reference_sc, reference_sc_s = _timed(
-            lambda: greedy_set_cover_dominating_set(graph)
-        )
-        bulk_sc, bulk_sc_s = _timed(
-            lambda: greedy_set_cover_dominating_set_bulk(graph)
-        )
-        sc_match = reference_sc == bulk_sc
-
-        for algorithm, match, reference_s, bulk_s, size in (
-            ("lrg", lrg_match, simulated_lrg_s, bulk_lrg_s, bulk_lrg.size),
-            ("wu-li", wl_match, simulated_wl_s, bulk_wl_s, bulk_wl.size),
-            ("set-cover", sc_match, reference_sc_s, bulk_sc_s, len(bulk_sc)),
-        ):
-            speedup = reference_s / bulk_s if bulk_s > 0 else float("inf")
+        for spec in pairs:
+            params = PARAMS.get(spec.name, {})
+            simulated, simulated_s = _timed(
+                lambda: solve(
+                    spec, graph, backend="simulated", seed=bench_seed, **params
+                )
+            )
+            bulk, bulk_s = _timed(
+                lambda: solve(
+                    spec, graph, backend="vectorized", seed=bench_seed, **params
+                )
+            )
+            match = (
+                simulated.dominating_set == bulk.dominating_set
+                and simulated.objective == bulk.objective
+                and simulated.rounds == bulk.rounds
+            )
+            speedup = simulated_s / bulk_s if bulk_s > 0 else float("inf")
             rows.append(
                 {
                     "instance": name,
-                    "algorithm": algorithm,
+                    "algorithm": spec.name,
                     "n": n,
                     "delta": delta,
-                    "size": size,
+                    "size": bulk.size,
                     "objective_match": match,
-                    "reference_s": round(reference_s, 3),
+                    "reference_s": round(simulated_s, 3),
                     "bulk_s": round(bulk_s, 4),
                     "speedup": round(speedup, 1),
                 }
@@ -106,12 +101,12 @@ def test_baseline_backend_speedup(benchmark, bench_seed, emit_table, emit_json):
             payload_instances.append(
                 {
                     "instance": name,
-                    "algorithm": algorithm,
+                    "algorithm": spec.name,
                     "n": n,
                     "delta": delta,
                     "objective_match": bool(match),
                     "set_equality": bool(match),
-                    "reference_s": round(reference_s, 3),
+                    "reference_s": round(simulated_s, 3),
                     "bulk_s": round(bulk_s, 4),
                     "speedup": round(speedup, 1),
                 }
@@ -122,7 +117,7 @@ def test_baseline_backend_speedup(benchmark, bench_seed, emit_table, emit_json):
         render_table(
             rows,
             title=(
-                f"Baseline backends: reference vs. bulk (CSR), {SCALE} suite "
+                f"Backend twins: simulated vs. bulk (CSR), {SCALE} suite "
                 f"({'quick' if QUICK else 'full'} mode)"
             ),
         ),
@@ -132,7 +127,7 @@ def test_baseline_backend_speedup(benchmark, bench_seed, emit_table, emit_json):
         {
             "scale": SCALE,
             "quick": QUICK,
-            "algorithms": ["lrg", "wu-li", "set-cover"],
+            "algorithms": [spec.name for spec in pairs],
             "min_lrg_speedup": MIN_LRG_SPEEDUP,
             "instances": payload_instances,
         },
@@ -150,5 +145,5 @@ def test_baseline_backend_speedup(benchmark, bench_seed, emit_table, emit_json):
 
     name, graph = suite[0]
     benchmark(
-        lambda: lrg_dominating_set(graph, seed=bench_seed, backend="vectorized")
+        lambda: solve("lrg", graph, backend="vectorized", seed=bench_seed)
     )

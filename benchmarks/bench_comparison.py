@@ -10,8 +10,11 @@ Claims being reproduced, qualitatively:
   k·Δ^{O(1/k)}·log Δ ratio -- the trade-off the paper introduces;
 * Wu–Li and the trivial baselines are fast but have no non-trivial ratio.
 
-The benchmark runs all algorithms on the same suite and prints size, ratio
-and round count side by side.
+The comparator set is not hand-listed: both tables enumerate the
+:mod:`repro.api` registry (every spec marked for comparison, plus the
+trivial all-nodes upper bound), so a newly registered algorithm joins the
+E10 tables automatically.  The benchmark runs all algorithms on the same
+suite and prints size, ratio and round count side by side.
 """
 
 from __future__ import annotations
@@ -22,69 +25,55 @@ import pytest
 
 from repro.analysis.stats import mean
 from repro.analysis.tables import render_table
+from repro.api import get_spec, iter_specs, solve
 from repro.baselines.exact import exact_minimum_dominating_set
-from repro.baselines.greedy import greedy_dominating_set
-from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
-from repro.baselines.lp_rounding_central import central_lp_rounding_dominating_set
-from repro.baselines.trivial import all_nodes_dominating_set, random_dominating_set
-from repro.baselines.wu_li import wu_li_dominating_set
-from repro.core.kuhn_wattenhofer import kuhn_wattenhofer_dominating_set
+from repro.core.vectorized import SIMULATED, VECTORIZED
 from repro.domset.validation import is_dominating_set
 from repro.graphs.generators import graph_suite
 
 TRIALS = 3
 K = 2
+#: Per-algorithm parameters for the comparison tables.
+PARAMS = {"kuhn-wattenhofer": {"k": K}}
+
+
+def _comparison_reports(graph, spec, seed, backend):
+    """The per-trial RunReports of one spec (one for deterministic specs)."""
+    trials = 1 if spec.deterministic else TRIALS
+    params = PARAMS.get(spec.name, {})
+    return [
+        solve(spec, graph, backend=backend, seed=seed + trial, **params)
+        for trial in range(trials)
+    ]
 
 
 @pytest.mark.benchmark(group="E10-comparison")
 def test_e10_algorithm_comparison(benchmark, bench_seed, emit_table):
-    """Regenerate the E10 table: every algorithm on every tiny-suite graph."""
+    """Regenerate the E10 table: every registered algorithm, tiny suite."""
     suite = graph_suite("tiny", seed=bench_seed)
+    specs = list(iter_specs(backend=SIMULATED, comparison=True))
+    specs.append(get_spec("all-nodes"))
 
     rows = []
     aggregate = {}
     for name, graph in suite.items():
         optimum = exact_minimum_dominating_set(graph).size
-
-        def record(algorithm, sizes, rounds):
+        for spec in specs:
+            reports = _comparison_reports(graph, spec, bench_seed, SIMULATED)
+            for report in reports:
+                assert is_dominating_set(graph, report.dominating_set), spec.name
+            sizes = [report.size for report in reports]
             rows.append(
                 {
                     "instance": name,
-                    "algorithm": algorithm,
+                    "algorithm": spec.name,
                     "mean_size": mean(sizes),
                     "optimum": optimum,
                     "mean_ratio": mean(sizes) / optimum,
-                    "rounds": rounds,
+                    "rounds": reports[0].rounds,
                 }
             )
-            aggregate.setdefault(algorithm, []).append(mean(sizes) / optimum)
-
-        kw_results = [
-            kuhn_wattenhofer_dominating_set(graph, k=K, seed=bench_seed + t)
-            for t in range(TRIALS)
-        ]
-        record("kuhn-wattenhofer (k=2)", [r.size for r in kw_results], kw_results[0].total_rounds)
-
-        lrg_results = [lrg_dominating_set(graph, seed=bench_seed + t) for t in range(TRIALS)]
-        record("jia-rajaraman-suel", [r.size for r in lrg_results],
-               max(r.rounds for r in lrg_results))
-
-        greedy = greedy_dominating_set(graph)
-        assert is_dominating_set(graph, greedy)
-        record("greedy (sequential)", [len(greedy)], None)
-
-        central = [
-            central_lp_rounding_dominating_set(graph, seed=bench_seed + t).size
-            for t in range(TRIALS)
-        ]
-        record("central LP + rounding", central, 4)
-
-        wu_li = wu_li_dominating_set(graph)
-        record("wu-li", [wu_li.size], wu_li.rounds)
-
-        record("random fill", [len(random_dominating_set(graph, seed=bench_seed + t))
-                               for t in range(TRIALS)], None)
-        record("all nodes (trivial)", [len(all_nodes_dominating_set(graph))], 0)
+            aggregate.setdefault(spec.name, []).append(mean(sizes) / optimum)
 
     emit_table(
         "E10_comparison",
@@ -97,14 +86,14 @@ def test_e10_algorithm_comparison(benchmark, bench_seed, emit_table):
     mean_ratio = {algorithm: mean(values) for algorithm, values in aggregate.items()}
     # Shape assertions (who wins):
     # greedy and the central LP pipeline are the best polynomial heuristics;
-    assert mean_ratio["greedy (sequential)"] <= mean_ratio["kuhn-wattenhofer (k=2)"] + 1e-9
+    assert mean_ratio["greedy"] <= mean_ratio["kuhn-wattenhofer"] + 1e-9
     # the distributed pipeline beats the trivial all-nodes baseline;
-    assert mean_ratio["kuhn-wattenhofer (k=2)"] < mean_ratio["all nodes (trivial)"]
+    assert mean_ratio["kuhn-wattenhofer"] < mean_ratio["all-nodes"]
     # and LRG (more rounds) is at least as good as KW with constant k.
-    assert mean_ratio["jia-rajaraman-suel"] <= mean_ratio["kuhn-wattenhofer (k=2)"] + 0.25
+    assert mean_ratio["lrg"] <= mean_ratio["kuhn-wattenhofer"] + 0.25
 
     graph = suite["unit_disk_n20"]
-    benchmark(lambda: greedy_dominating_set(graph))
+    benchmark(lambda: solve("greedy", graph, backend=SIMULATED))
 
 
 QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
@@ -114,50 +103,37 @@ SCALE_RADIUS = 0.04 if QUICK else 0.012
 
 @pytest.mark.benchmark(group="E10-comparison")
 def test_e10_comparison_at_scale(benchmark, bench_seed, emit_table):
-    """The paper's head-to-head at CSR scale: every comparator at n ≥ 20000.
+    """The paper's head-to-head at CSR scale: every bulk comparator at n ≥ 20000.
 
     Before the bulk ports of the comparison stack, this table was capped at
-    the per-node simulator's ~n = 2000; now the LRG comparator, Wu–Li, the
-    greedy references and the pipeline all run on one CSR build.  Ratios
-    are measured against the Lemma-1 dual bound (the LP optimum denominator
-    is the one quantity not computed at this scale).
+    the per-node simulator's ~n = 2000; now every registry spec that opts
+    into bulk comparisons runs on one CSR build.  Ratios are measured
+    against the Lemma-1 dual bound (the LP optimum denominator is the one
+    quantity not computed at this scale).
     """
-    from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
-    from repro.baselines.bulk_set_cover import greedy_set_cover_dominating_set_bulk
-    from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
-    from repro.baselines.wu_li import wu_li_dominating_set
-    from repro.core.kuhn_wattenhofer import kuhn_wattenhofer_dominating_set
-    from repro.domset.validation import is_dominating_set
     from repro.graphs.bulk import bulk_unit_disk_graph
     from repro.lp.duality import lemma1_lower_bound
 
     bulk = bulk_unit_disk_graph(SCALE_N, radius=SCALE_RADIUS, seed=bench_seed)
     dual_bound = lemma1_lower_bound(bulk)
-
-    kw = kuhn_wattenhofer_dominating_set(bulk, k=K, seed=bench_seed, backend="vectorized")
-    lrg = lrg_dominating_set(bulk, seed=bench_seed, backend="vectorized")
-    wu_li = wu_li_dominating_set(bulk, backend="vectorized")
-    greedy = greedy_dominating_set_bulk(bulk)
-    set_cover = greedy_set_cover_dominating_set_bulk(bulk)
+    specs = list(
+        iter_specs(backend=VECTORIZED, comparison=True, bulk_comparison=True)
+    )
 
     rows = []
     sizes = {}
-    for name, candidate, rounds in (
-        (f"kuhn-wattenhofer (k={K})", kw.dominating_set, kw.total_rounds),
-        ("jia-rajaraman-suel", lrg.dominating_set, lrg.rounds),
-        ("wu-li", wu_li.dominating_set, wu_li.rounds),
-        ("greedy (bucket queue)", greedy, None),
-        ("set cover greedy", set_cover, None),
-    ):
-        assert is_dominating_set(bulk, candidate), name
-        sizes[name] = len(candidate)
+    for spec in specs:
+        params = PARAMS.get(spec.name, {})
+        report = solve(spec, bulk, backend=VECTORIZED, seed=bench_seed, **params)
+        assert is_dominating_set(bulk, report.dominating_set), spec.name
+        sizes[spec.name] = report.size
         rows.append(
             {
-                "algorithm": name,
+                "algorithm": spec.name,
                 "n": bulk.n,
-                "size": len(candidate),
-                "ratio_vs_dual": len(candidate) / dual_bound,
-                "rounds": rounds,
+                "size": report.size,
+                "ratio_vs_dual": report.size / dual_bound,
+                "rounds": report.rounds,
             }
         )
 
@@ -176,9 +152,9 @@ def test_e10_comparison_at_scale(benchmark, bench_seed, emit_table):
     # greedy references coincide and win, LRG tracks greedy within a small
     # factor, and KW with constant k pays a bounded quality premium for its
     # constant round count but still beats the trivial all-nodes baseline.
-    assert sizes["greedy (bucket queue)"] == sizes["set cover greedy"]
-    assert sizes["jia-rajaraman-suel"] <= 2.0 * sizes["greedy (bucket queue)"]
-    assert sizes[f"kuhn-wattenhofer (k={K})"] < bulk.n
+    assert sizes["greedy"] == sizes["set-cover-greedy"]
+    assert sizes["lrg"] <= 2.0 * sizes["greedy"]
+    assert sizes["kuhn-wattenhofer"] < bulk.n
 
     # Theorem 6 bounds E[|DS|] / LP_OPT -- the dual bound is not a valid
     # denominator for that comparison (the duality gap can be large), so
@@ -189,8 +165,10 @@ def test_e10_comparison_at_scale(benchmark, bench_seed, emit_table):
         from repro.lp.solver import solve_fractional_mds_sparse
 
         lp_optimum = solve_fractional_mds_sparse(bulk).objective
-        measured = len(kw.dominating_set) / lp_optimum
+        measured = sizes["kuhn-wattenhofer"] / lp_optimum
         # 30% margin: the assert draws one sample of an expectation bound.
-        assert measured <= 1.3 * pipeline_expected_ratio_bound(K, bulk.max_degree)
+        assert measured <= 1.3 * pipeline_expected_ratio_bound(
+            K, bulk.max_degree
+        )
 
-    benchmark(lambda: lrg_dominating_set(bulk, seed=bench_seed, backend="vectorized"))
+    benchmark(lambda: solve("lrg", bulk, backend=VECTORIZED, seed=bench_seed))

@@ -5,28 +5,30 @@ Section 1 of the paper motivates dominating sets as cluster heads for
 routing in wireless ad-hoc networks: only the dominating-set nodes act as
 routers, every other node talks to an adjacent cluster head.
 
-This example models an ad-hoc network as a unit disk graph, elects cluster
-heads with the distributed pipeline, and reports clustering statistics that
-matter for routing: number of cluster heads, per-cluster sizes, how many
-routers each ordinary node can reach (redundancy), and the cost comparison
-against greedy, LRG and the MIS-based clustering heuristic.
+This example models an ad-hoc network as a unit disk graph and elects
+cluster heads with four registered algorithms through the one
+``repro.api.solve`` façade -- the distributed pipeline, LRG, the
+centralised greedy and the MIS heuristic differ only by their registry
+name here.  For each it reports clustering statistics that matter for
+routing: number of cluster heads, per-cluster sizes, how many routers
+each ordinary node can reach (redundancy).
 
 Run with:  python examples/adhoc_clustering.py
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
-from repro import kuhn_wattenhofer_dominating_set
-from repro.baselines.greedy import greedy_dominating_set
-from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
-from repro.baselines.trivial import maximal_independent_set_dominating_set
+from repro.api import solve
 from repro.domset.validation import coverage_counts, dominated_by, is_dominating_set
 from repro.graphs.unit_disk import random_unit_disk_graph
 
-NODES = 150
-RADIUS = 0.13
+#: Smoke-test knob (CI): shrink the network so the example runs in <1 s.
+QUICK = bool(int(os.environ.get("REPRO_EXAMPLES_QUICK", "0")))
+NODES = 60 if QUICK else 150
+RADIUS = 0.2 if QUICK else 0.13
 SEED = 11
 
 
@@ -61,24 +63,28 @@ def main() -> None:
     # Distributed election of cluster heads: every device runs the same
     # local algorithm, no device knows the whole topology, and the election
     # finishes in a constant number of communication rounds.
-    result = kuhn_wattenhofer_dominating_set(graph, k=3, seed=SEED)
+    pipeline = solve("kuhn-wattenhofer", graph, k=3, seed=SEED)
     describe_clustering(
-        f"Kuhn-Wattenhofer pipeline (k=3, {result.total_rounds} rounds, "
-        f"{result.total_messages} messages)",
+        f"Kuhn-Wattenhofer pipeline (k=3, {pipeline.total_rounds} rounds, "
+        f"{pipeline.total_messages} messages, {pipeline.backend} backend)",
         graph,
-        result.dominating_set,
+        pipeline.dominating_set,
     )
 
-    # Comparators.
-    lrg = lrg_dominating_set(graph, seed=SEED)
+    # Comparators: same façade, different registry names.
+    lrg = solve("lrg", graph, seed=SEED)
     describe_clustering(
         f"Jia-Rajaraman-Suel LRG ({lrg.rounds} rounds)", graph, lrg.dominating_set
     )
-    describe_clustering("sequential greedy (centralised)", graph, greedy_dominating_set(graph))
+    describe_clustering(
+        "sequential greedy (centralised)",
+        graph,
+        solve("greedy", graph).dominating_set,
+    )
     describe_clustering(
         "MIS-based clustering heuristic",
         graph,
-        maximal_independent_set_dominating_set(graph, seed=SEED),
+        solve("mis", graph, seed=SEED).dominating_set,
     )
 
     print(

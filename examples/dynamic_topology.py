@@ -14,14 +14,18 @@ Run with:  python examples/dynamic_topology.py
 
 from __future__ import annotations
 
+import os
+
 from repro import kuhn_wattenhofer_dominating_set
 from repro.analysis.stats import mean
 from repro.domset.validation import is_dominating_set
 from repro.graphs.mobility import random_waypoint_trace
 
-NODES = 80
-RADIUS = 0.18
-SNAPSHOTS = 12
+#: Smoke-test knob (CI): fewer topology snapshots.
+QUICK = bool(int(os.environ.get("REPRO_EXAMPLES_QUICK", "0")))
+NODES = 40 if QUICK else 80
+RADIUS = 0.25 if QUICK else 0.18
+SNAPSHOTS = 4 if QUICK else 12
 SEED = 3
 K = 2
 

@@ -12,6 +12,8 @@ Run with:  python examples/tradeoff_study.py
 
 from __future__ import annotations
 
+import os
+
 from repro import kuhn_wattenhofer_dominating_set, log_delta_parameter
 from repro.analysis.bounds import (
     pipeline_expected_ratio_bound,
@@ -23,11 +25,13 @@ from repro.graphs.unit_disk import random_unit_disk_graph
 from repro.graphs.utils import max_degree
 from repro.lp.solver import solve_fractional_mds
 
-NODES = 120
-RADIUS = 0.15
+#: Smoke-test knob (CI): shrink the sweep so the example runs in seconds.
+QUICK = bool(int(os.environ.get("REPRO_EXAMPLES_QUICK", "0")))
+NODES = 60 if QUICK else 120
+RADIUS = 0.22 if QUICK else 0.15
 SEED = 5
-TRIALS = 5
-K_RANGE = range(1, 7)
+TRIALS = 2 if QUICK else 5
+K_RANGE = range(1, 4) if QUICK else range(1, 7)
 
 
 def main() -> None:

@@ -16,6 +16,8 @@ Run with:  python examples/weighted_clustering.py
 
 from __future__ import annotations
 
+import os
+
 import random
 
 from repro import kuhn_wattenhofer_dominating_set
@@ -26,8 +28,10 @@ from repro.domset.validation import is_dominating_set
 from repro.domset.weighted import weighted_cost, weighted_quality
 from repro.graphs.unit_disk import random_unit_disk_graph
 
-NODES = 100
-RADIUS = 0.16
+#: Smoke-test knob (CI): shrink the network.
+QUICK = bool(int(os.environ.get("REPRO_EXAMPLES_QUICK", "0")))
+NODES = 50 if QUICK else 100
+RADIUS = 0.22 if QUICK else 0.16
 SEED = 9
 K = 3
 C_MAX = 5.0

@@ -1,14 +1,14 @@
 """Reproduction of Kuhn & Wattenhofer (PODC 2003 / DC 2005):
 *Constant-time distributed dominating set approximation*.
 
-The library contains four layers:
+The library contains five layers:
 
 * ``repro.simulator`` -- a synchronous LOCAL-model message-passing simulator
   (rounds, messages, message-size accounting, traces, fault injection).
 * ``repro.graphs`` / ``repro.lp`` / ``repro.domset`` -- substrates: graph
-  generators (including unit disk graphs and mobility), the LP_MDS /
-  DLP_MDS formulations with an exact solver, and dominating set validation
-  and quality reporting.
+  generators (including unit disk graphs, mobility and CSR-native
+  ``BulkGraph`` construction), the LP_MDS / DLP_MDS formulations with an
+  exact solver, and dominating set validation and quality reporting.
 * ``repro.core`` -- the paper's contribution: Algorithm 1 (randomized
   rounding), Algorithm 2 (fractional approximation, Δ known), Algorithm 3
   (Δ unknown), the weighted variant, the composed Theorem-6 pipeline, and
@@ -16,43 +16,59 @@ The library contains four layers:
 * ``repro.baselines`` / ``repro.analysis`` -- comparison algorithms
   (greedy, exact, LRG, Wu-Li, trivial) and the experiment/bounds machinery
   used by the benchmark harness.
+* ``repro.api`` -- the unified algorithm registry and the ``solve()``
+  façade every CLI sub-command, sweep and benchmark dispatches through.
 
 Quickstart
 ----------
 
 >>> import networkx as nx
->>> from repro import kuhn_wattenhofer_dominating_set
+>>> from repro import solve
 >>> graph = nx.random_geometric_graph(50, 0.25, seed=1)
->>> result = kuhn_wattenhofer_dominating_set(graph, k=2, seed=0)
->>> sorted(result.dominating_set)  # doctest: +SKIP
+>>> report = solve("kuhn-wattenhofer", graph, k=2, seed=0)
+>>> report.backend, report.size, report.total_rounds  # doctest: +SKIP
+('simulated', 11, 47)
+>>> sorted(report.dominating_set)  # doctest: +SKIP
 [...]
 
-Backends
---------
+``solve(algorithm, graph, **params)`` runs any registered algorithm --
+``repro.api.algorithm_names()`` lists them (the pipeline, greedy, LRG,
+Wu–Li, central LP rounding, the weighted pipeline, CDS constructions,
+...) -- and returns one normalised ``RunReport`` (set, objective, backend
+used, rounds, messages, wall-clock).  The classic per-algorithm entry
+points (``kuhn_wattenhofer_dominating_set`` et al.) remain available
+unchanged; the registry delegates to them.
 
-Every algorithm entry point (``approximate_fractional_mds``,
-``approximate_fractional_mds_unknown_delta``, ``round_fractional_solution``,
-``kuhn_wattenhofer_dominating_set`` and the weighted variants) accepts a
-``backend`` argument:
+Backends and ``backend="auto"``
+-------------------------------
 
-* ``"simulated"`` (default) -- drive one message-passing program per node
-  through the synchronous LOCAL-model simulator.  Use it when you need
+Every algorithm supports up to two execution engines:
+
+* ``"simulated"`` -- drive one message-passing program per node through
+  the synchronous LOCAL-model simulator.  Use it when you need
   message-level fidelity: execution traces, the invariant monitors, fault
   injection, or per-message size accounting.
 * ``"vectorized"`` -- execute the same bulk-synchronous schedule with
   whole-graph NumPy operations (``repro.core.vectorized`` over
   ``repro.simulator.bulk``).  It produces bitwise-identical x-vectors,
   objectives, round counts and (for a given seed) the same rounded
-  dominating sets, at orders-of-magnitude lower cost -- use it for large
-  graphs and parameter sweeps.
+  dominating sets, at orders-of-magnitude lower cost.
 
-Both report rounds and message counts through ``ExecutionMetrics``; the
-vectorized backend *models* the messages a fault-free simulated run would
-have sent rather than materialising them.
+``solve`` defaults to ``backend="auto"``: CSR ``BulkGraph`` inputs and
+graphs with ``n >= repro.api.AUTO_VECTORIZE_THRESHOLD`` dispatch to the
+vectorized engine (when the algorithm's registered capabilities allow),
+``collect_trace=True`` dispatches to the simulated engine, and impossible
+combinations raise one well-worded ``CapabilityError`` naming the
+algorithm, the capability and the backends that support it.
+
+Both engines report rounds and message counts through
+``ExecutionMetrics``; the vectorized backend *models* the messages a
+fault-free simulated run would have sent rather than materialising them.
 """
 
 from repro.core import (
     BACKENDS,
+    CapabilityError,
     FractionalVariant,
     PipelineResult,
     RoundingRule,
@@ -68,23 +84,55 @@ from repro.core import (
 from repro.domset import is_dominating_set, quality_report
 from repro.simulator.bulk import BulkGraph
 
-__version__ = "1.0.0"
+#: Registry façade names re-exported lazily (PEP 562): ``import repro``
+#: stays light -- the registry pulls in every baseline and CDS module, so
+#: it only loads on first use of ``repro.solve`` and friends.  This keeps
+#: process-pool workers (which import subpackages, not the registry) from
+#: paying the full-library import cost.
+_API_EXPORTS = (
+    "AUTO",
+    "AlgorithmSpec",
+    "RunReport",
+    "algorithm_names",
+    "get_spec",
+    "resolve_backend",
+    "solve",
+)
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "AUTO",
+    "AlgorithmSpec",
     "BACKENDS",
     "BulkGraph",
+    "CapabilityError",
     "FractionalVariant",
     "PipelineResult",
     "RoundingRule",
+    "RunReport",
     "__version__",
+    "algorithm_names",
     "approximate_fractional_mds",
     "approximate_fractional_mds_unknown_delta",
     "approximate_weighted_fractional_mds",
+    "get_spec",
     "is_dominating_set",
     "kuhn_wattenhofer_dominating_set",
     "log_delta_parameter",
     "quality_report",
+    "resolve_backend",
     "round_fractional_solution",
     "round_fractional_solution_batched",
+    "solve",
     "weighted_kuhn_wattenhofer_dominating_set",
 ]

@@ -14,6 +14,16 @@ Two scaling features let sweeps run far past the networkx comfort zone:
 * every sweep accepts ``jobs=N`` to parallelize across graph instances
   with a process pool -- instances are independent, so records are simply
   computed in worker processes and concatenated in instance order.
+
+Backend selection is capability-based: every sweep accepts
+``backend="auto"`` (the default) and resolves the execution engine per
+instance through the :mod:`repro.api` registry -- CSR instances and large
+graphs go to the vectorized engine, small graphs to the simulated one,
+and impossible combinations raise the registry's single
+:class:`~repro.core.vectorized.CapabilityError`.  The algorithm
+comparison (:func:`compare_algorithms`) enumerates the registry by
+default, so newly registered algorithms join every comparison (and the
+CLI ``compare`` sub-command) without touching this module.
 """
 
 from __future__ import annotations
@@ -43,7 +53,7 @@ from repro.core.fractional_unknown import (
 )
 from repro.core.kuhn_wattenhofer import FractionalVariant
 from repro.core.rounding import round_fractional_solution_batched
-from repro.core.vectorized import SIMULATED, VECTORIZED
+from repro.core.vectorized import VECTORIZED
 from repro.simulator.bulk import BulkGraph
 from repro.domset.validation import is_dominating_set
 from repro.graphs.utils import max_degree
@@ -102,12 +112,21 @@ class ExperimentRecord:
         return row
 
 
-def _check_backend_for_instance(instance: GraphInstance, backend: str) -> None:
-    if instance.is_bulk and backend != VECTORIZED:
-        raise ValueError(
-            f"instance {instance.name!r} is a CSR BulkGraph and requires "
-            "backend='vectorized'"
-        )
+def _resolve_instance_backend(
+    instance: GraphInstance, backend: str, algorithm: str = "kuhn-wattenhofer"
+) -> str:
+    """Capability-based backend resolution for one sweep instance.
+
+    Delegates to the :mod:`repro.api` registry: ``"auto"`` resolves to the
+    vectorized engine for CSR instances and large graphs, and impossible
+    combinations (a ``BulkGraph`` under ``backend="simulated"``, ...)
+    raise the registry's single
+    :class:`~repro.core.vectorized.CapabilityError`.  Imported lazily so
+    process-pool workers only pay for the registry when a sweep runs.
+    """
+    from repro.api import get_spec, resolve_backend
+
+    return resolve_backend(get_spec(algorithm), instance.graph, backend=backend)
 
 
 def _lp_reference(instance: GraphInstance, sparse_for_bulk: bool = False) -> float:
@@ -194,7 +213,7 @@ def _sweep_fractional_instance(
     backend: str,
 ) -> list[ExperimentRecord]:
     """All fractional records of one instance (one process-pool work unit)."""
-    _check_backend_for_instance(instance, backend)
+    backend = _resolve_instance_backend(instance, backend)
     records: list[ExperimentRecord] = []
     lp_optimum = _lp_reference(instance)
     delta = instance.max_degree
@@ -235,7 +254,7 @@ def sweep_fractional(
     k_values: Sequence[int],
     variant: FractionalVariant = FractionalVariant.KNOWN_DELTA,
     seed: int = 0,
-    backend: str = SIMULATED,
+    backend: str = "auto",
     jobs: int = 1,
 ) -> list[ExperimentRecord]:
     """Run a fractional algorithm over instances × k and record quality.
@@ -280,7 +299,7 @@ def _sweep_pipeline_instance(
     pipeline once per trial, just without re-paying the seed-independent
     phases.
     """
-    _check_backend_for_instance(instance, backend)
+    backend = _resolve_instance_backend(instance, backend)
     records: list[ExperimentRecord] = []
     lower_bound = lemma1_lower_bound(instance.graph)
     lp_optimum = _lp_reference(instance)
@@ -340,7 +359,7 @@ def sweep_pipeline(
     trials: int = 5,
     variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
     seed: int = 0,
-    backend: str = SIMULATED,
+    backend: str = "auto",
     jobs: int = 1,
 ) -> list[ExperimentRecord]:
     """Run the full pipeline over instances × k, averaging over trials.
@@ -388,7 +407,7 @@ def _sweep_tradeoff_instance(
     the Theorem-6 upper bound, the KMW lower-bound shape and the round
     bound so callers can place the measured curve between the two shapes.
     """
-    _check_backend_for_instance(instance, backend)
+    backend = _resolve_instance_backend(instance, backend)
     records: list[ExperimentRecord] = []
     lower_bound = lemma1_lower_bound(instance.graph)
     lp_optimum = _lp_reference(instance, sparse_for_bulk=sparse_lp)
@@ -446,7 +465,7 @@ def sweep_tradeoff(
     trials: int = 5,
     variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
     seed: int = 0,
-    backend: str = SIMULATED,
+    backend: str = "auto",
     jobs: int = 1,
     sparse_lp: bool = False,
 ) -> list[ExperimentRecord]:
@@ -493,51 +512,55 @@ def _sweep_cds_instance(
 ) -> list[ExperimentRecord]:
     """All CDS records of one (connected) instance.
 
-    Compares three backbones: the Kuhn–Wattenhofer pipeline plus
-    connectification, the (bucket-queue) greedy plus connectification, and
-    Wu–Li marking (connectified only when its pruning left the backbone
-    disconnected).  Centralized Guha–Khuller joins on networkx instances;
-    at the CSR scale the greedy column is the centralized quality
-    reference.  Every backbone is validated as a CDS before reporting.
+    Compares three backbones: the registered ``kw-connect`` spec (pipeline
+    plus connectification), the (bucket-queue) greedy plus
+    connectification, and Wu–Li marking (connectified only when its
+    pruning left the backbone disconnected).  The registered centralized
+    ``guha-khuller`` spec joins on networkx instances; at the CSR scale
+    the greedy column is the centralized quality reference.  Every
+    backbone is validated as a CDS before reporting.
     """
-    from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
-    from repro.baselines.greedy import greedy_dominating_set
-    from repro.baselines.wu_li import wu_li_dominating_set
-    from repro.cds.connectify import connect_dominating_set, kw_connected_dominating_set
+    from repro.api import solve
+    from repro.cds.connectify import connect_dominating_set
     from repro.cds.validation import is_connected_dominating_set
 
-    _check_backend_for_instance(instance, backend)
+    backend = _resolve_instance_backend(instance, backend, algorithm="kw-connect")
     graph = instance.graph
     is_bulk = instance.is_bulk
 
     entries: list[tuple[str, frozenset, frozenset, float | None]] = []
 
-    kw_cds, pipeline = kw_connected_dominating_set(
-        graph, k=k, seed=seed, backend=backend
-    )
+    kw_report = solve("kw-connect", graph, backend=backend, seed=seed, k=k)
+    _, pipeline = kw_report.raw
     entries.append(
-        (f"kw(k={k})+connect", kw_cds, pipeline.dominating_set, float(pipeline.total_rounds))
+        (
+            f"kw(k={k})+connect",
+            kw_report.dominating_set,
+            pipeline.dominating_set,
+            float(kw_report.rounds),
+        )
     )
 
-    # _check_backend_for_instance has already forced backend == VECTORIZED
-    # for bulk instances, so one pass-through serves both substrates.
-    wu_li = wu_li_dominating_set(graph, backend=backend)
-    wu_li_cds = wu_li.dominating_set
+    # Backend resolution has already forced the vectorized engine for bulk
+    # instances, so one pass-through serves both substrates.
+    wu_li_report = solve("wu-li", graph, backend=backend, seed=seed)
+    wu_li_cds = wu_li_report.dominating_set
     if not is_connected_dominating_set(graph, wu_li_cds):
-        wu_li_cds = connect_dominating_set(graph, wu_li.dominating_set)
+        wu_li_cds = connect_dominating_set(graph, wu_li_report.dominating_set)
     entries.append(
-        ("wu-li(+connect)", wu_li_cds, wu_li.dominating_set, float(wu_li.rounds))
+        (
+            "wu-li(+connect)",
+            wu_li_cds,
+            wu_li_report.dominating_set,
+            float(wu_li_report.rounds),
+        )
     )
 
-    greedy = (
-        greedy_dominating_set_bulk(graph) if is_bulk else greedy_dominating_set(graph)
-    )
+    greedy = solve("greedy", graph, backend=backend, seed=seed).dominating_set
     entries.append(("greedy+connect", connect_dominating_set(graph, greedy), greedy, None))
 
     if not is_bulk:
-        from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
-
-        gk = guha_khuller_connected_dominating_set(graph)
+        gk = solve("guha-khuller", graph, seed=seed).dominating_set
         entries.append(("guha-khuller (centralized)", gk, gk, None))
 
     records = []
@@ -569,7 +592,7 @@ def sweep_cds(
     instances: Sequence[GraphInstance],
     k: int = 2,
     seed: int = 0,
-    backend: str = SIMULATED,
+    backend: str = "auto",
     jobs: int = 1,
 ) -> list[ExperimentRecord]:
     """Compare connected dominating set backbones over (connected) instances.
@@ -590,19 +613,59 @@ def sweep_cds(
 # ---------------------------------------------------------------------- #
 
 
+def _instance_algorithms(
+    instance: GraphInstance,
+    algorithms: "Mapping[str, Callable] | Sequence[str] | None",
+    backend: str,
+    overrides: "Mapping[str, Mapping[str, Any]] | None",
+) -> "Mapping[str, Callable[[nx.Graph, int], Iterable]]":
+    """The comparison callables to run on one instance.
+
+    An explicit mapping passes through unchanged (legacy callers); a
+    sequence of registry names, or ``None`` (= every spec registered for
+    comparison), is resolved through :func:`repro.api.comparison_algorithms`
+    against the instance's substrate -- CSR instances keep only
+    bulk-capable specs.
+    """
+    if isinstance(algorithms, Mapping):
+        return algorithms
+    from repro.api import comparison_algorithms
+
+    return comparison_algorithms(
+        bulk=instance.is_bulk,
+        backend=backend,
+        names=algorithms,
+        overrides=overrides,
+    )
+
+
 def _compare_instance(
     instance: GraphInstance,
-    algorithms: Mapping[str, Callable[[nx.Graph, int], Iterable]],
+    algorithms: "Mapping[str, Callable] | Sequence[str] | None",
     trials: int,
     seed: int,
+    backend: str = "auto",
+    overrides: "Mapping[str, Mapping[str, Any]] | None" = None,
 ) -> list[ExperimentRecord]:
     """All comparison records of one instance (one process-pool work unit)."""
     records: list[ExperimentRecord] = []
     lp_optimum = _lp_reference(instance)
     delta = instance.max_degree
-    for name, algorithm in algorithms.items():
+    registry_driven = not isinstance(algorithms, Mapping)
+    if registry_driven:
+        from repro.api import get_spec
+    resolved = _instance_algorithms(instance, algorithms, backend, overrides)
+    for name, algorithm in resolved.items():
+        # Registry specs declare determinism: one trial suffices (the
+        # summary statistics of identical repetitions are identical).
+        # Legacy callable mappings keep the full trial count -- their
+        # names carry no capability metadata.
+        if registry_driven:
+            effective_trials = 1 if get_spec(name).deterministic else trials
+        else:
+            effective_trials = trials
         sizes = []
-        for trial in range(trials):
+        for trial in range(effective_trials):
             candidate = frozenset(algorithm(instance.graph, seed + trial))
             if not is_dominating_set(instance.graph, candidate):
                 raise RuntimeError(
@@ -632,24 +695,30 @@ def _compare_instance(
 
 def compare_algorithms(
     instances: Sequence[GraphInstance],
-    algorithms: Mapping[str, Callable[[nx.Graph, int], Iterable]],
+    algorithms: "Mapping[str, Callable] | Sequence[str] | None" = None,
     trials: int = 3,
     seed: int = 0,
     jobs: int = 1,
+    backend: str = "auto",
+    overrides: "Mapping[str, Mapping[str, Any]] | None" = None,
 ) -> list[ExperimentRecord]:
-    """Run arbitrary set-producing algorithms over instances and record sizes.
+    """Run dominating set algorithms over instances and record sizes.
 
     Parameters
     ----------
     instances:
-        Graphs to evaluate on.  Bulk (CSR) instances work as long as every
-        algorithm callable accepts a BulkGraph; the LP reference column is
-        skipped for them.
+        Graphs to evaluate on.  Bulk (CSR) instances keep only the
+        bulk-capable registry specs; the LP reference column is skipped
+        for them.
     algorithms:
-        Mapping from algorithm name to a callable ``(graph, seed) -> set``
-        returning a dominating set.  With ``jobs > 1`` the callables must
-        be picklable (module-level functions or ``functools.partial`` of
-        them -- not lambdas).
+        What to compare.  ``None`` (the default) enumerates every spec
+        the :mod:`repro.api` registry marks for comparison -- newly
+        registered algorithms join automatically.  A sequence of registry
+        names restricts to those algorithms.  A mapping from name to a
+        callable ``(graph, seed) -> set`` bypasses the registry entirely
+        (legacy interface).  With ``jobs > 1`` callables must be
+        picklable (module-level functions or ``functools.partial`` of
+        them -- not lambdas; the registry-produced callables always are).
     trials:
         Number of seeds per (instance, algorithm) pair -- deterministic
         algorithms simply produce identical rows.
@@ -657,12 +726,28 @@ def compare_algorithms(
         Base seed.
     jobs:
         Process-pool width across instances.
+    backend:
+        Execution backend forwarded to registry-driven algorithms
+        (``"auto"`` resolves per spec capabilities and instance; ignored
+        for explicit callable mappings, which bind their own backend).
+    overrides:
+        Per-algorithm parameter overrides for registry-driven runs, e.g.
+        ``{"kuhn-wattenhofer": {"k": 3}}``.
 
     Returns
     -------
     list[ExperimentRecord]
     """
+    if isinstance(algorithms, Mapping):
+        algorithms = dict(algorithms)
+    elif algorithms is not None:
+        algorithms = tuple(algorithms)
     worker = partial(
-        _compare_instance, algorithms=dict(algorithms), trials=trials, seed=seed
+        _compare_instance,
+        algorithms=algorithms,
+        trials=trials,
+        seed=seed,
+        backend=backend,
+        overrides=dict(overrides) if overrides else None,
     )
     return _map_instances(worker, instances, jobs)

@@ -3,10 +3,11 @@
 Installed as ``repro-domset`` (see ``pyproject.toml``); also runnable as
 ``python -m repro``.  Sub-commands:
 
-* ``solve``   -- run the Kuhn–Wattenhofer pipeline on one generated graph
-  and print the dominating set plus its quality report.
-* ``compare`` -- run the pipeline and every baseline on one graph and print
-  a comparison table.
+* ``solve``   -- run one registered algorithm (default: the
+  Kuhn–Wattenhofer pipeline) on one generated graph and print the
+  dominating set plus its quality report.
+* ``compare`` -- run every algorithm the registry marks for comparison on
+  one graph (or a whole suite) and print a comparison table.
 * ``sweep``   -- sweep the locality parameter k for the fractional
   algorithms on one graph and print ratio / round tables.
 * ``tradeoff`` -- the paper's k-vs-quality trade-off curve: measured ratio
@@ -14,14 +15,19 @@ Installed as ``repro-domset`` (see ``pyproject.toml``); also runnable as
   values evaluated from one fractional snapshot-engine execution.
 * ``cds``     -- compare connected dominating set backbones (KW+connect,
   Wu–Li, greedy+connect, Guha–Khuller).
+* ``algorithms`` -- list the registry: every algorithm with its backends
+  and capability flags.
 * ``bounds``  -- print the paper's closed-form bounds for given (k, Δ).
 
-``compare``, ``cds`` and ``tradeoff`` accept ``--backend vectorized`` and
-``--suite xlarge``, in which case every stage runs on the CSR bulk engine
-and graphs with n ≥ 20 000 are routine.
+Every algorithm-running sub-command accepts ``--backend`` with the
+default ``auto``: the :mod:`repro.api` registry resolves the execution
+engine per algorithm capabilities and input, so CSR suites
+(``--suite xlarge``) and large graphs run vectorized without any flag,
+and ``--backend simulated`` / ``vectorized`` force an engine explicitly.
 
-The CLI exists so that the examples in the README are runnable end to end
-without writing Python; all heavy lifting is delegated to the library.
+The CLI is a thin enumeration of the :mod:`repro.api` registry: there is
+no per-algorithm wiring here, so registering a new algorithm makes it
+reachable from ``solve --algorithm`` and ``compare`` automatically.
 """
 
 from __future__ import annotations
@@ -29,7 +35,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from functools import partial
 from typing import Sequence
 
 from repro.analysis.bounds import (
@@ -48,20 +53,20 @@ from repro.analysis.experiment import (
     sweep_tradeoff,
 )
 from repro.analysis.tables import records_to_csv, render_table
-from repro.baselines.bulk_greedy import greedy_dominating_set_bulk
-from repro.baselines.bulk_set_cover import greedy_set_cover_dominating_set_bulk
-from repro.baselines.greedy import greedy_dominating_set
-from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
-from repro.baselines.lp_rounding_central import central_lp_rounding_dominating_set
-from repro.baselines.trivial import random_dominating_set
-from repro.baselines.wu_li import wu_li_dominating_set
-from repro.core.kuhn_wattenhofer import (
-    FractionalVariant,
-    kuhn_wattenhofer_dominating_set,
+from repro.api import (
+    AUTO,
+    DISPATCH_BACKENDS,
+    SIMULATED,
+    CapabilityError,
+    algorithm_names,
+    get_spec,
+    iter_specs,
+    solve as api_solve,
 )
-from repro.core.vectorized import BACKENDS, SIMULATED
+from repro.core.kuhn_wattenhofer import FractionalVariant
 from repro.domset.quality import quality_report
 from repro.graphs.generators import GraphFamily, graph_suite, make_graph
+from repro.graphs.utils import max_degree
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,12 +88,14 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="randomness seed")
     parser.add_argument(
         "--backend",
-        choices=list(BACKENDS),
-        default=SIMULATED,
+        choices=list(DISPATCH_BACKENDS),
+        default=AUTO,
         help=(
-            "execution backend: 'simulated' drives per-node message passing "
-            "(traces, message-level fidelity), 'vectorized' uses the "
-            "bulk-synchronous array engine (same results, much faster)"
+            "execution backend: 'auto' (default) resolves per algorithm "
+            "capabilities and input -- vectorized for CSR/large graphs, "
+            "simulated otherwise; 'simulated' forces per-node message "
+            "passing (traces, message-level fidelity), 'vectorized' forces "
+            "the bulk-synchronous array engine (same results, much faster)"
         ),
     )
 
@@ -110,8 +117,8 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help=(
             "run over a whole graph_suite scale instead of one generated "
             "graph; overrides --family/--n/--radius/--p/--degree "
-            "(xlarge instances are CSR-native and require "
-            "--backend vectorized)"
+            "(xlarge instances are CSR-native; the default --backend auto "
+            "runs them vectorized)"
         ),
     )
 
@@ -127,85 +134,77 @@ def _build_graph(args: argparse.Namespace):
     )
 
 
-# The comparison algorithms are module-level callables (not lambdas) so the
-# experiment runner can ship them to --jobs worker processes.
-def _alg_kuhn_wattenhofer(graph, seed, k=2, backend=SIMULATED):
-    return kuhn_wattenhofer_dominating_set(
-        graph, k=k, seed=seed, backend=backend
-    ).dominating_set
-
-
-def _alg_greedy(graph, seed):
-    return greedy_dominating_set(graph)
-
-
-def _alg_lrg(graph, seed):
-    return lrg_dominating_set(graph, seed=seed).dominating_set
-
-
-def _alg_wu_li(graph, seed):
-    return wu_li_dominating_set(graph, seed=seed).dominating_set
-
-
-def _alg_central_lp(graph, seed):
-    return central_lp_rounding_dominating_set(graph, seed=seed).dominating_set
-
-
-def _alg_random_fill(graph, seed):
-    return random_dominating_set(graph, seed=seed)
-
-
-def _alg_bulk_greedy(graph, seed):
-    return greedy_dominating_set_bulk(graph)
-
-
-def _alg_bulk_lrg(graph, seed):
-    return lrg_dominating_set(graph, seed=seed, backend="vectorized").dominating_set
-
-
-def _alg_bulk_wu_li(graph, seed):
-    return wu_li_dominating_set(graph, backend="vectorized").dominating_set
-
-
-def _alg_bulk_set_cover(graph, seed):
-    return greedy_set_cover_dominating_set_bulk(graph)
-
-
 def _command_solve(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
-    variant = FractionalVariant(args.variant)
-    result = kuhn_wattenhofer_dominating_set(
-        graph, k=args.k, seed=args.seed, variant=variant, backend=args.backend
-    )
-    report = quality_report(graph, result.dominating_set, solve_lp=not args.no_lp)
+    spec = get_spec(args.algorithm)
+    # Forward the generic options the spec declares (no per-algorithm
+    # wiring: a newly registered k-accepting algorithm only declares
+    # cli_params=("k",) and the CLI picks it up).
+    params = {}
+    if "k" in spec.cli_params and args.k is not None:
+        params["k"] = args.k
+    if "variant" in spec.cli_params:
+        params["variant"] = FractionalVariant(
+            args.variant or FractionalVariant.UNKNOWN_DELTA.value
+        )
+    for option, given in (("k", args.k), ("variant", args.variant)):
+        if given is not None and option not in spec.cli_params:
+            print(
+                f"note: --{option} is not used by algorithm {spec.name!r}; "
+                "ignoring",
+                file=sys.stderr,
+            )
+    try:
+        report = api_solve(
+            spec, graph, backend=args.backend, seed=args.seed, **params
+        )
+    except (CapabilityError, ValueError) as error:
+        # Unsatisfiable capability combinations and invalid inputs (e.g. a
+        # disconnected graph handed to a CDS algorithm) are CLI errors,
+        # not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    quality = quality_report(graph, report.dominating_set, solve_lp=not args.no_lp)
     payload = {
         "n": graph.number_of_nodes(),
-        "max_degree": result.max_degree,
-        "k": result.k,
-        "dominating_set_size": result.size,
-        "total_rounds": result.total_rounds,
-        "total_messages": result.total_messages,
-        "max_message_bits": result.max_message_bits,
-        "lp_optimum": report.lp_optimum,
-        "ratio_vs_lp": report.ratio_vs_lp,
-        "dual_lower_bound": report.dual_lower_bound,
-        "ratio_vs_dual": report.ratio_vs_dual,
+        "algorithm": report.algorithm,
+        "backend": report.backend,
+        "max_degree": max_degree(graph),
+        # Runners report the k they resolved (pipelines pick Θ(log Δ) when
+        # unset); algorithms without a k report null.
+        "k": report.params.get("k"),
+        "dominating_set_size": report.size,
+        "total_rounds": report.total_rounds,
+        "total_messages": report.total_messages,
+        "max_message_bits": report.max_message_bits,
+        "lp_optimum": quality.lp_optimum,
+        "ratio_vs_lp": quality.ratio_vs_lp,
+        "dual_lower_bound": quality.dual_lower_bound,
+        "ratio_vs_dual": quality.ratio_vs_dual,
     }
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
-        print(render_table([payload], title="Kuhn-Wattenhofer pipeline"))
+        print(render_table([payload], title=f"{report.algorithm} ({report.backend})"))
         if args.show_set:
-            print("dominating set:", sorted(result.dominating_set))
+            print("dominating set:", sorted(report.dominating_set))
     return 0
 
 
 #: Printed (before paying the n >= 20000 suite construction) when a CSR
-#: suite is requested with a backend that cannot execute it.
+#: suite is requested with an explicitly simulated backend; the default
+#: ``--backend auto`` resolves CSR instances to the vectorized engine.
 _XLARGE_BACKEND_ERROR = (
-    "error: --suite xlarge instances are CSR-native and require "
-    "--backend vectorized"
+    "error: --suite xlarge instances are CSR-native and cannot run on "
+    "--backend simulated; use --backend vectorized (or the default, auto)"
 )
+
+
+def _reject_simulated_xlarge(args: argparse.Namespace) -> bool:
+    if getattr(args, "suite", None) == "xlarge" and args.backend == SIMULATED:
+        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+        return True
+    return False
 
 
 def _build_instances(args: argparse.Namespace):
@@ -216,37 +215,25 @@ def _build_instances(args: argparse.Namespace):
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    if args.suite == "xlarge" and args.backend != "vectorized":
-        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+    if _reject_simulated_xlarge(args):
         return 2
     instances = _build_instances(args)
-    if any(instance.is_bulk for instance in instances):
-        # CSR (xlarge) instances: the whole comparison stack is
-        # bulk-capable -- the vectorized pipeline, the LRG comparator, the
-        # Wu–Li marking algorithm and two greedy references.
-        algorithms = {
-            "kuhn-wattenhofer": partial(
-                _alg_kuhn_wattenhofer, k=args.k, backend=args.backend
-            ),
-            "greedy (bucket queue)": _alg_bulk_greedy,
-            "lrg (jia et al.)": _alg_bulk_lrg,
-            "wu-li": _alg_bulk_wu_li,
-            "set cover greedy": _alg_bulk_set_cover,
-        }
-    else:
-        algorithms = {
-            "kuhn-wattenhofer": partial(
-                _alg_kuhn_wattenhofer, k=args.k, backend=args.backend
-            ),
-            "greedy": _alg_greedy,
-            "lrg (jia et al.)": _alg_lrg,
-            "wu-li": _alg_wu_li,
-            "central LP + rounding": _alg_central_lp,
-            "random fill": _alg_random_fill,
-        }
-    records = compare_algorithms(
-        instances, algorithms, trials=args.trials, seed=args.seed, jobs=args.jobs
-    )
+    try:
+        records = compare_algorithms(
+            instances,
+            algorithms=args.algorithm or None,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            backend=args.backend,
+            overrides={"kuhn-wattenhofer": {"k": args.k}},
+        )
+    except (CapabilityError, ValueError) as error:
+        # An explicitly requested algorithm/backend combination that no
+        # engine satisfies (or invalid inputs): a CLI error, not a
+        # traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     rows = [record.as_row() for record in records]
     if args.csv:
         print(records_to_csv(rows))
@@ -256,8 +243,7 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    if args.suite == "xlarge" and args.backend != "vectorized":
-        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+    if _reject_simulated_xlarge(args):
         return 2
     instances = _build_instances(args)
     k_values = list(range(1, args.max_k + 1))
@@ -279,8 +265,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_tradeoff(args: argparse.Namespace) -> int:
-    if args.suite == "xlarge" and args.backend != "vectorized":
-        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+    if _reject_simulated_xlarge(args):
         return 2
     instances = _build_instances(args)
     k_values = list(range(1, args.max_k + 1))
@@ -308,8 +293,7 @@ def _command_tradeoff(args: argparse.Namespace) -> int:
 
 
 def _command_cds(args: argparse.Namespace) -> int:
-    if args.suite == "xlarge" and args.backend != "vectorized":
-        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+    if _reject_simulated_xlarge(args):
         return 2
     instances = _build_instances(args)
     # CDS experiments are only defined on connected graphs; restrict every
@@ -342,6 +326,25 @@ def _command_cds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_algorithms(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in iter_specs():
+        rows.append(
+            {
+                "algorithm": spec.name,
+                "backends": "+".join(spec.backends),
+                "bulk": spec.accepts_bulk,
+                "weighted": spec.weighted,
+                "cds": spec.produces_cds,
+                "trace": spec.supports_trace,
+                "multi_k": spec.supports_multi_k,
+                "summary": spec.summary,
+            }
+        )
+    print(render_table(rows, title="Registered algorithms"))
+    return 0
+
+
 def _command_bounds(args: argparse.Namespace) -> int:
     rows = []
     for k in range(1, args.max_k + 1):
@@ -371,13 +374,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    solve = subparsers.add_parser("solve", help="run the full pipeline on one graph")
+    solve = subparsers.add_parser(
+        "solve", help="run one registered algorithm on one graph"
+    )
     _add_graph_arguments(solve)
+    solve.add_argument(
+        "--algorithm",
+        choices=list(algorithm_names()),
+        default="kuhn-wattenhofer",
+        help="registered algorithm to run (default: the paper's pipeline)",
+    )
     solve.add_argument("--k", type=int, default=None, help="locality parameter")
     solve.add_argument(
         "--variant",
         choices=[variant.value for variant in FractionalVariant],
-        default=FractionalVariant.UNKNOWN_DELTA.value,
+        default=None,
+        help="fractional variant (default: unknown_delta)",
     )
     solve.add_argument("--json", action="store_true", help="print JSON instead of a table")
     solve.add_argument("--show-set", action="store_true", help="print the selected nodes")
@@ -389,6 +401,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="compare against all baselines")
     _add_graph_arguments(compare)
     _add_jobs_argument(compare)
+    compare.add_argument(
+        "--algorithm",
+        action="append",
+        choices=list(algorithm_names()),
+        default=None,
+        help=(
+            "restrict the comparison to this registered algorithm "
+            "(repeatable; default: every algorithm the registry marks "
+            "for comparison)"
+        ),
+    )
     compare.add_argument("--k", type=int, default=2)
     compare.add_argument("--trials", type=int, default=3)
     compare.add_argument("--csv", action="store_true")
@@ -439,6 +462,11 @@ def build_parser() -> argparse.ArgumentParser:
     cds.add_argument("--k", type=int, default=2)
     cds.add_argument("--csv", action="store_true")
     cds.set_defaults(handler=_command_cds)
+
+    algorithms = subparsers.add_parser(
+        "algorithms", help="list the algorithm registry and its capabilities"
+    )
+    algorithms.set_defaults(handler=_command_algorithms)
 
     bounds = subparsers.add_parser("bounds", help="print the paper's closed-form bounds")
     bounds.add_argument("--delta", type=int, default=16)

@@ -51,7 +51,13 @@ from repro.core.kuhn_wattenhofer import (
     kuhn_wattenhofer_dominating_set,
     log_delta_parameter,
 )
-from repro.core.vectorized import BACKENDS, SIMULATED, VECTORIZED, validate_backend
+from repro.core.vectorized import (
+    BACKENDS,
+    SIMULATED,
+    VECTORIZED,
+    CapabilityError,
+    validate_backend,
+)
 from repro.core.rounding import (
     Algorithm1Program,
     RoundingResult,
@@ -72,6 +78,7 @@ __all__ = [
     "Algorithm2Program",
     "Algorithm3Program",
     "BACKENDS",
+    "CapabilityError",
     "FractionalResult",
     "FractionalVariant",
     "InvariantReport",

@@ -21,6 +21,7 @@ import networkx as nx
 from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
+    CapabilityError,
     resolve_bulk_input,
     run_algorithm2_bulk,
     run_algorithm2_bulk_multi_k,
@@ -174,19 +175,20 @@ class Algorithm2Program(GeneratorNodeProgram):
 
 
 def _vectorized_fractional_result(
-    graph, k, collect_trace, run_bulk, true_delta, bulk=None
+    graph, k, collect_trace, run_bulk, true_delta, bulk=None,
+    algorithm="approximate_fractional_mds",
 ):
     """Shared vectorized-backend dispatch for Algorithms 2 and 3.
 
     ``run_bulk`` is the bulk runner bound to its algorithm parameters; it
     receives the :class:`BulkGraph` and returns ``(values, metrics)``.
-    ``bulk`` lets the pipeline reuse one CSR build across both phases.
+    ``bulk`` lets the pipeline reuse one CSR build across both phases;
+    ``algorithm`` names the entry point in the capability error raised
+    when a trace is requested (the vectorized engine has no per-node
+    programs to trace).
     """
     if collect_trace:
-        raise ValueError(
-            "collect_trace requires backend='simulated'; the vectorized "
-            "backend does not execute per-node programs"
-        )
+        raise CapabilityError(algorithm, "collect_trace", VECTORIZED, (SIMULATED,))
     if bulk is None:
         bulk = BulkGraph.from_graph(graph)
     values, metrics = run_bulk(bulk)

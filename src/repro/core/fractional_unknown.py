@@ -250,6 +250,7 @@ def approximate_fractional_mds_unknown_delta(
             lambda bulk: run_algorithm3_bulk(bulk, k=k),
             max_degree(graph),
             bulk=_bulk,
+            algorithm="approximate_fractional_mds_unknown_delta",
         )
 
     network = Network(graph, _program_factory(k), seed=seed)

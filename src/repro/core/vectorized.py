@@ -47,6 +47,52 @@ VECTORIZED = "vectorized"
 BACKENDS = (SIMULATED, VECTORIZED)
 
 
+class CapabilityError(ValueError):
+    """A requested capability is not available on the requested backend.
+
+    This is the one error path shared by every entry point and by the
+    :mod:`repro.api` dispatcher: the message always names the algorithm,
+    the capability that was asked for, the backend it was asked on, and
+    the backends that do support it, so callers never have to guess which
+    combination to change.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    handlers (and tests) keep working.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        capability: str,
+        requested: str | None = None,
+        supported: Sequence[str] = (),
+    ) -> None:
+        self.algorithm = algorithm
+        self.capability = capability
+        self.requested = requested
+        self.supported = tuple(supported)
+        if self.supported:
+            remedy = "backend(s) supporting it: " + ", ".join(
+                repr(name) for name in self.supported
+            )
+        else:
+            remedy = "no backend supports it"
+        where = f" on backend {requested!r}" if requested is not None else ""
+        super().__init__(
+            f"algorithm {algorithm!r} does not support {capability}{where}; "
+            f"{remedy}"
+        )
+
+    def __reduce__(self):
+        # Rebuild from the original arguments so the error survives
+        # pickling -- process-pool workers (sweeps with jobs > 1) must be
+        # able to ship it back instead of dying with BrokenProcessPool.
+        return (
+            type(self),
+            (self.algorithm, self.capability, self.requested, self.supported),
+        )
+
+
 def validate_backend(backend: str) -> str:
     """Check a ``backend=`` argument and return it normalised."""
     if backend not in BACKENDS:

@@ -18,7 +18,7 @@ rounding is oblivious to the objective weights; only the analysis changes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
 import networkx as nx
@@ -29,6 +29,7 @@ from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_s
 from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
+    CapabilityError,
     resolve_bulk_input,
     run_weighted_algorithm2_bulk,
     validate_backend,
@@ -42,6 +43,7 @@ from repro.simulator.network import Network
 from repro.simulator.node import NodeContext
 from repro.simulator.runtime import SynchronousRunner
 from repro.simulator.script import GeneratorNodeProgram
+from repro.simulator.trace import ExecutionTrace
 
 
 @dataclass(frozen=True)
@@ -72,6 +74,9 @@ class WeightedFractionalResult:
     k: int
     max_degree: int
     c_max: float
+    #: Execution trace of the fractional phase (empty unless the run was
+    #: simulated with ``collect_trace=True``).
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
 
 
 class WeightedAlgorithm2Program(GeneratorNodeProgram):
@@ -112,8 +117,18 @@ class WeightedAlgorithm2Program(GeneratorNodeProgram):
         self.x = 0.0
         self.dynamic_degree = ctx.degree + 1
         self.color = WHITE
+        round_counter = 0
 
         for ell in range(k - 1, -1, -1):
+            self.trace_event(
+                round_counter,
+                ctx.node_id,
+                "outer-loop-start",
+                ell=ell,
+                dynamic_degree=self.dynamic_degree,
+                x=self.x,
+                color=self.color,
+            )
             for m in range(k - 1, -1, -1):
                 # Weighted activity rule from the remark: a node is active
                 # when its cost-scaled dynamic degree is large.
@@ -121,16 +136,33 @@ class WeightedAlgorithm2Program(GeneratorNodeProgram):
                 active = scaled_degree >= weighted_base ** (ell / k)
                 if active:
                     self.x = max(self.x, 1.0 / base ** (m / k))
+                self.trace_event(
+                    round_counter,
+                    ctx.node_id,
+                    "inner-loop",
+                    ell=ell,
+                    m=m,
+                    active=active,
+                    x=self.x,
+                    color=self.color,
+                    dynamic_degree=self.dynamic_degree,
+                )
 
                 # Same proof-consistent exchange order as the unweighted
                 # Algorithm 2 implementation: x-values first, colours second.
                 inbox = yield ctx.send_all(self.x, tag="x-value")
+                round_counter += 1
                 neighbor_x = self.inbox_by_sender(inbox)
                 coverage = self.x + sum(neighbor_x.values())
                 if coverage >= 1.0:
+                    if self.color == WHITE:
+                        self.trace_event(
+                            round_counter, ctx.node_id, "colored-gray", ell=ell, m=m
+                        )
                     self.color = GRAY
 
                 inbox = yield ctx.send_all(self.color == WHITE, tag="color")
+                round_counter += 1
                 colors = self.inbox_by_sender(inbox)
                 white_neighbors = sum(1 for flag in colors.values() if flag)
                 self.dynamic_degree = white_neighbors + (
@@ -146,6 +178,7 @@ def approximate_weighted_fractional_mds(
     weights: Mapping[Hashable, float],
     k: int,
     seed: int | None = None,
+    collect_trace: bool = False,
     backend: str = SIMULATED,
     _bulk: BulkGraph | None = None,
 ) -> WeightedFractionalResult:
@@ -163,6 +196,9 @@ def approximate_weighted_fractional_mds(
         k(Δ+1)^{1/k}[c_max(Δ+1)]^{1/k}.
     seed:
         Seed for reproducibility bookkeeping (the algorithm is deterministic).
+    collect_trace:
+        Record a full execution trace (invariant monitors).  Like the
+        unweighted entry points, only the simulated backend can trace.
     backend:
         ``"simulated"`` drives per-node message passing; ``"vectorized"``
         computes the identical x-vector (bitwise, like the unweighted
@@ -173,6 +209,13 @@ def approximate_weighted_fractional_mds(
     WeightedFractionalResult
     """
     validate_backend(backend)
+    if collect_trace and backend == VECTORIZED:
+        raise CapabilityError(
+            "approximate_weighted_fractional_mds",
+            "collect_trace",
+            VECTORIZED,
+            (SIMULATED,),
+        )
     _bulk = resolve_bulk_input(graph, backend, _bulk)
     if _bulk is not graph:
         validate_simple_graph(graph)
@@ -211,7 +254,9 @@ def approximate_weighted_fractional_mds(
         )
 
     network = Network(graph, factory, seed=seed)
-    runner = SynchronousRunner(network, max_rounds=2 * k * k + 10)
+    runner = SynchronousRunner(
+        network, max_rounds=2 * k * k + 10, collect_trace=collect_trace
+    )
     execution = runner.run()
     if not execution.terminated:
         raise RuntimeError(
@@ -229,6 +274,7 @@ def approximate_weighted_fractional_mds(
         k=k,
         max_degree=delta,
         c_max=c_max,
+        trace=execution.trace,
     )
 
 
@@ -268,6 +314,7 @@ def weighted_kuhn_wattenhofer_dominating_set(
     k: int,
     seed: int | None = None,
     rounding_rule: RoundingRule = RoundingRule.LOG,
+    collect_trace: bool = False,
     backend: str = SIMULATED,
     _bulk: BulkGraph | None = None,
 ) -> WeightedPipelineResult:
@@ -292,6 +339,9 @@ def weighted_kuhn_wattenhofer_dominating_set(
         Seed for the rounding coin flips.
     rounding_rule:
         Probability multiplier for Algorithm 1.
+    collect_trace:
+        Record an execution trace of the fractional phase (simulated
+        backend only).
     backend:
         Execution engine for both phases; for a given seed both backends
         select the same dominating set.
@@ -306,7 +356,13 @@ def weighted_kuhn_wattenhofer_dominating_set(
         # One CSR build serves both phases.
         _bulk = BulkGraph.from_graph(graph)
     fractional = approximate_weighted_fractional_mds(
-        graph, weights, k=k, seed=seed, backend=backend, _bulk=_bulk
+        graph,
+        weights,
+        k=k,
+        seed=seed,
+        collect_trace=collect_trace,
+        backend=backend,
+        _bulk=_bulk,
     )
     rounding = round_fractional_solution(
         graph,

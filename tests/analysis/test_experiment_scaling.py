@@ -134,8 +134,23 @@ class TestBulkInstances:
         )
 
     def test_simulated_backend_rejected(self, bulk_instances):
+        # An *explicit* simulated request on a CSR instance is the
+        # impossible combination; the default backend="auto" resolves it.
         with pytest.raises(ValueError, match="vectorized"):
-            sweep_fractional(bulk_instances, k_values=[1])
+            sweep_fractional(bulk_instances, k_values=[1], backend="simulated")
+
+    def test_auto_backend_resolves_bulk_instances(self, bulk_instances):
+        auto = sweep_fractional(bulk_instances, k_values=[1])
+        explicit = sweep_fractional(bulk_instances, k_values=[1], backend="vectorized")
+        for auto_record, explicit_record in zip(auto, explicit):
+            assert auto_record.measurements["objective"] == (
+                explicit_record.measurements["objective"]
+            )
+            assert auto_record.measurements["rounds"] == (
+                explicit_record.measurements["rounds"]
+            )
+            # The dense LP reference stays skipped on CSR instances.
+            assert math.isnan(auto_record.measurements["lp_optimum"])
 
     def test_instance_properties(self):
         suite = bulk_graph_suite("large", seed=0)

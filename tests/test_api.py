@@ -1,0 +1,603 @@
+"""Tests for the unified algorithm registry and the ``solve()`` façade.
+
+Four contracts are pinned here:
+
+* **Dispatch** -- ``backend="auto"`` resolves per capabilities and input
+  (BulkGraph / large n -> vectorized, ``collect_trace`` -> simulated),
+  and every impossible combination raises the single
+  :class:`CapabilityError` naming algorithm, capability and backends.
+* **Registry completeness** -- everything reachable from the CLI and from
+  ``compare_algorithms`` comes from the registry (no drift), and every
+  spec's declared capabilities are honored (declared-bulk specs consume a
+  ``BulkGraph`` without conversion, declared-trace specs trace, every
+  declared backend executes).
+* **RunReport** -- one normalised schema with back-compat accessors.
+* **Back-compat** -- the classic public entry points keep their exact
+  signatures, and ``solve`` reproduces their outputs bitwise.
+"""
+
+import inspect
+
+import networkx as nx
+import pytest
+
+from repro import api
+from repro.api import (
+    AUTO,
+    AUTO_VECTORIZE_THRESHOLD,
+    AlgorithmSpec,
+    CapabilityError,
+    RunReport,
+    algorithm_names,
+    comparison_algorithms,
+    get_spec,
+    iter_specs,
+    resolve_backend,
+    solve,
+    twin_specs,
+)
+from repro.core.vectorized import SIMULATED, VECTORIZED
+from repro.graphs.bulk import bulk_grid_graph, bulk_unit_disk_graph
+from repro.simulator.bulk import BulkGraph
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    """A small connected graph every algorithm (incl. CDS specs) accepts."""
+    graph = nx.random_geometric_graph(40, 0.3, seed=1)
+    assert nx.is_connected(graph)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def bulk_graph():
+    """A small connected CSR instance."""
+    return bulk_grid_graph(5, 6)
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        names = set(algorithm_names())
+        assert {
+            "kuhn-wattenhofer",
+            "greedy",
+            "set-cover-greedy",
+            "lrg",
+            "wu-li",
+            "central-lp",
+            "mis",
+            "random-fill",
+            "all-nodes",
+            "weighted-kuhn-wattenhofer",
+            "kw-connect",
+            "guha-khuller",
+        } <= names
+
+    def test_unknown_algorithm_names_the_registry(self):
+        with pytest.raises(KeyError, match="kuhn-wattenhofer"):
+            get_spec("does-not-exist")
+
+    def test_specs_pass_through_get_spec(self):
+        spec = get_spec("greedy")
+        assert get_spec(spec) is spec
+
+    def test_capability_consistency(self):
+        for spec in iter_specs():
+            assert spec.backends, spec.name
+            assert set(spec.backends) <= {SIMULATED, VECTORIZED}, spec.name
+            if spec.accepts_bulk:
+                assert spec.supports_backend(VECTORIZED), spec.name
+            if spec.supports_trace:
+                assert spec.supports_backend(SIMULATED), spec.name
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            api.register(get_spec("greedy"))
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.register(
+                AlgorithmSpec(
+                    name="bogus",
+                    summary="",
+                    backends=("quantum",),
+                    runner=lambda *a, **k: None,
+                    entry_point=len,
+                )
+            )
+
+    def test_twin_specs_cover_the_ported_stack(self):
+        names = {spec.name for spec in twin_specs()}
+        assert {
+            "kuhn-wattenhofer",
+            "weighted-kuhn-wattenhofer",
+            "greedy",
+            "set-cover-greedy",
+            "lrg",
+            "wu-li",
+            "central-lp",
+        } <= names
+        # CDS twins gate on their own connected suites.
+        assert "kw-connect" not in names
+
+
+class TestDispatch:
+    def test_auto_picks_simulated_for_small_graphs(self, small_graph):
+        report = solve("kuhn-wattenhofer", small_graph, seed=0, k=2)
+        assert report.backend == SIMULATED
+
+    def test_auto_picks_vectorized_for_bulk_inputs(self, bulk_graph):
+        report = solve("kuhn-wattenhofer", bulk_graph, seed=0, k=2)
+        assert report.backend == VECTORIZED
+
+    def test_auto_picks_vectorized_for_large_graphs(self):
+        graph = nx.path_graph(AUTO_VECTORIZE_THRESHOLD)
+        assert resolve_backend("kuhn-wattenhofer", graph) == VECTORIZED
+        assert resolve_backend("kuhn-wattenhofer", nx.path_graph(50)) == SIMULATED
+        # End to end, on a cheap spec.
+        report = solve("greedy", graph)
+        assert report.backend == VECTORIZED
+
+    def test_auto_respects_single_backend_specs(self, small_graph):
+        graph = nx.path_graph(AUTO_VECTORIZE_THRESHOLD)
+        # random-fill has no vectorized engine; auto stays simulated even
+        # above the threshold.
+        assert resolve_backend("random-fill", graph) == SIMULATED
+
+    def test_collect_trace_dispatches_to_simulated(self, small_graph):
+        report = solve("kuhn-wattenhofer", small_graph, seed=0, k=2, collect_trace=True)
+        assert report.backend == SIMULATED
+        assert len(report.raw.fractional.trace) > 0
+
+    def test_collect_trace_on_vectorized_rejected(self, small_graph):
+        with pytest.raises(CapabilityError, match="collect_trace"):
+            solve(
+                "kuhn-wattenhofer",
+                small_graph,
+                backend=VECTORIZED,
+                collect_trace=True,
+            )
+
+    def test_collect_trace_on_traceless_spec_rejected(self, small_graph):
+        with pytest.raises(CapabilityError, match="greedy"):
+            solve("greedy", small_graph, collect_trace=True)
+
+    def test_bulk_input_on_simulated_rejected(self, bulk_graph):
+        with pytest.raises(CapabilityError, match="BulkGraph"):
+            solve("kuhn-wattenhofer", bulk_graph, backend=SIMULATED)
+
+    def test_bulk_input_on_simulated_only_spec_rejected(self, bulk_graph):
+        with pytest.raises(CapabilityError, match="random-fill"):
+            solve("random-fill", bulk_graph)
+
+    def test_bulk_input_with_trace_impossible(self, bulk_graph):
+        with pytest.raises(CapabilityError, match="collect_trace"):
+            solve("kuhn-wattenhofer", bulk_graph, collect_trace=True)
+
+    def test_unsupported_backend_rejected(self, small_graph):
+        with pytest.raises(CapabilityError, match="vectorized"):
+            solve("random-fill", small_graph, backend=VECTORIZED)
+
+    def test_unknown_backend_rejected(self, small_graph):
+        with pytest.raises(ValueError, match="auto"):
+            solve("greedy", small_graph, backend="warp-drive")
+
+    def test_capability_error_names_everything(self, small_graph):
+        with pytest.raises(CapabilityError) as excinfo:
+            solve("kuhn-wattenhofer", small_graph, backend=VECTORIZED, collect_trace=True)
+        message = str(excinfo.value)
+        assert "kuhn-wattenhofer" in message
+        assert "collect_trace" in message
+        assert "simulated" in message
+
+    def test_capability_error_is_a_value_error(self):
+        assert issubclass(CapabilityError, ValueError)
+
+
+class TestRunReport:
+    def test_schema(self, small_graph):
+        report = solve("kuhn-wattenhofer", small_graph, seed=3, k=2)
+        assert isinstance(report, RunReport)
+        assert report.algorithm == "kuhn-wattenhofer"
+        assert report.backend in (SIMULATED, VECTORIZED)
+        assert isinstance(report.dominating_set, frozenset)
+        assert report.objective == float(report.size)
+        assert report.rounds > 0
+        assert report.messages > 0
+        assert report.max_message_bits > 0
+        assert report.seed == 3
+        assert report.params["k"] == 2
+        assert report.elapsed_s >= 0.0
+
+    def test_backcompat_accessors(self, small_graph):
+        report = solve("kuhn-wattenhofer", small_graph, seed=0, k=2)
+        assert report.size == len(report.dominating_set)
+        assert report.total_rounds == report.rounds
+        assert report.total_messages == report.messages
+
+    def test_as_row_flattens(self, small_graph):
+        row = solve("greedy", small_graph).as_row()
+        assert row["algorithm"] == "greedy"
+        assert row["size"] > 0
+        assert row["rounds"] is None
+
+    def test_centralized_specs_report_none_rounds(self, small_graph):
+        report = solve("mis", small_graph, seed=0)
+        assert report.rounds is None
+        assert report.messages is None
+
+    def test_weighted_objective_is_cost(self, small_graph):
+        weights = {node: 2.0 for node in small_graph}
+        report = solve(
+            "weighted-kuhn-wattenhofer", small_graph, seed=0, k=2, weights=weights
+        )
+        assert report.objective == 2.0 * report.size
+        # Unit weights by default: objective == size.
+        unit = solve("weighted-kuhn-wattenhofer", small_graph, seed=0, k=2)
+        assert unit.objective == float(unit.size)
+
+
+class TestCapabilitiesHonored:
+    """Every declared capability is exercised, not just declared."""
+
+    @pytest.mark.parametrize(
+        "name", [spec.name for spec in iter_specs() if spec.accepts_bulk]
+    )
+    def test_bulk_specs_consume_csr_without_conversion(self, name, monkeypatch):
+        bulk = bulk_grid_graph(4, 5)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError(
+                f"{name} converted a BulkGraph through BulkGraph.from_graph"
+            )
+
+        monkeypatch.setattr(BulkGraph, "from_graph", forbidden)
+        report = solve(name, bulk, seed=0)
+        assert report.backend == VECTORIZED
+        assert report.size > 0
+
+    @pytest.mark.parametrize(
+        "name", [spec.name for spec in iter_specs() if spec.supports_trace]
+    )
+    def test_trace_specs_produce_events(self, name, small_graph):
+        report = solve(name, small_graph, seed=0, k=2, collect_trace=True)
+        assert report.backend == SIMULATED
+        raw = report.raw
+        trace = raw.fractional.trace if hasattr(raw, "fractional") else raw.trace
+        assert len(trace) > 0
+
+    @pytest.mark.parametrize(
+        "name,backend",
+        [
+            (spec.name, backend)
+            for spec in iter_specs()
+            for backend in spec.backends
+        ],
+    )
+    def test_every_declared_backend_executes(self, name, backend, small_graph):
+        report = solve(name, small_graph, backend=backend, seed=0)
+        assert report.backend == backend
+        assert report.size > 0
+
+
+class TestRegistryCompleteness:
+    """No drift: CLI and compare_algorithms enumerate the registry."""
+
+    def test_cli_has_no_handwired_algorithm_wrappers(self):
+        import repro.cli as cli
+
+        wrappers = [name for name in vars(cli) if name.startswith("_alg_")]
+        assert wrappers == []
+
+    def test_cli_algorithm_choices_come_from_registry(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        observed = set()
+        for action in parser._subparsers._group_actions[0].choices.values():
+            for sub_action in action._actions:
+                if "--algorithm" in getattr(sub_action, "option_strings", ()):
+                    observed.add(tuple(sub_action.choices))
+        assert observed == {tuple(algorithm_names())}
+
+    def test_compare_algorithms_defaults_come_from_registry(self, small_graph):
+        from repro.analysis.experiment import as_instances, compare_algorithms
+
+        instances = as_instances({"g": small_graph})
+        records = compare_algorithms(instances, trials=1, seed=0)
+        observed = {record.algorithm for record in records}
+        expected = {spec.name for spec in iter_specs(comparison=True)}
+        assert observed == expected
+
+    def test_bulk_comparison_keeps_only_bulk_capable_specs(self):
+        from repro.analysis.experiment import as_instances, compare_algorithms
+
+        bulk = bulk_unit_disk_graph(60, radius=0.25, seed=0)
+        records = compare_algorithms(
+            as_instances({"csr": bulk}), trials=1, seed=0
+        )
+        observed = {record.algorithm for record in records}
+        expected = {
+            spec.name
+            for spec in iter_specs(backend=VECTORIZED, comparison=True)
+            if spec.in_bulk_comparison
+        }
+        assert observed == expected
+        assert "central-lp" not in observed
+        assert "random-fill" not in observed
+
+    def test_explicit_bulk_incapable_request_errors(self):
+        bulk = bulk_unit_disk_graph(40, radius=0.3, seed=0)
+        with pytest.raises(CapabilityError, match="random-fill"):
+            comparison_algorithms(bulk=True, names=["random-fill"])
+
+    def test_comparison_callables_are_picklable(self):
+        import pickle
+
+        algorithms = comparison_algorithms(overrides={"kuhn-wattenhofer": {"k": 3}})
+        for name, algorithm in algorithms.items():
+            pickle.dumps(algorithm), name
+
+
+ENTRY_POINT_SIGNATURES = {
+    "kuhn_wattenhofer_dominating_set": [
+        "graph", "k", "seed", "variant", "rounding_rule", "collect_trace",
+        "backend", "_bulk",
+    ],
+    "lrg_dominating_set": ["graph", "seed", "max_phases", "backend", "_bulk"],
+    "wu_li_dominating_set": [
+        "graph", "apply_pruning", "ensure_domination", "seed", "backend", "_bulk",
+    ],
+    "greedy_dominating_set": ["graph"],
+    "central_lp_rounding_dominating_set": ["graph", "seed", "rule", "backend"],
+    "random_dominating_set": ["graph", "seed"],
+    "weighted_kuhn_wattenhofer_dominating_set": [
+        "graph", "weights", "k", "seed", "rounding_rule", "collect_trace",
+        "backend", "_bulk",
+    ],
+    "approximate_weighted_fractional_mds": [
+        "graph", "weights", "k", "seed", "collect_trace", "backend", "_bulk",
+    ],
+}
+
+
+class TestBackCompat:
+    """The classic entry points stay unchanged; solve() matches them bitwise."""
+
+    @pytest.mark.parametrize("name", sorted(ENTRY_POINT_SIGNATURES))
+    def test_entry_point_signatures_pinned(self, name):
+        import repro
+        from repro.baselines.greedy import greedy_dominating_set
+        from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
+        from repro.baselines.lp_rounding_central import (
+            central_lp_rounding_dominating_set,
+        )
+        from repro.baselines.trivial import random_dominating_set
+        from repro.baselines.wu_li import wu_li_dominating_set
+
+        functions = {
+            "kuhn_wattenhofer_dominating_set": repro.kuhn_wattenhofer_dominating_set,
+            "lrg_dominating_set": lrg_dominating_set,
+            "wu_li_dominating_set": wu_li_dominating_set,
+            "greedy_dominating_set": greedy_dominating_set,
+            "central_lp_rounding_dominating_set": central_lp_rounding_dominating_set,
+            "random_dominating_set": random_dominating_set,
+            "weighted_kuhn_wattenhofer_dominating_set": (
+                repro.weighted_kuhn_wattenhofer_dominating_set
+            ),
+            "approximate_weighted_fractional_mds": (
+                repro.approximate_weighted_fractional_mds
+            ),
+        }
+        parameters = list(inspect.signature(functions[name]).parameters)
+        assert parameters == ENTRY_POINT_SIGNATURES[name]
+
+    @pytest.mark.parametrize("backend", [SIMULATED, VECTORIZED])
+    def test_solve_matches_pipeline_entry_point_bitwise(self, small_graph, backend):
+        import repro
+
+        direct = repro.kuhn_wattenhofer_dominating_set(
+            small_graph, k=2, seed=7, backend=backend
+        )
+        report = solve("kuhn-wattenhofer", small_graph, backend=backend, seed=7, k=2)
+        assert report.dominating_set == direct.dominating_set
+        assert report.rounds == direct.total_rounds
+        assert report.messages == direct.total_messages
+        assert report.max_message_bits == direct.max_message_bits
+        assert report.raw.fractional.x == direct.fractional.x
+
+    def test_solve_matches_baseline_entry_points(self, small_graph):
+        from repro.baselines.greedy import greedy_dominating_set
+        from repro.baselines.jia_rajaraman_suel import lrg_dominating_set
+        from repro.baselines.trivial import random_dominating_set
+        from repro.baselines.wu_li import wu_li_dominating_set
+
+        assert solve("greedy", small_graph).dominating_set == greedy_dominating_set(
+            small_graph
+        )
+        assert (
+            solve("lrg", small_graph, backend=SIMULATED, seed=5).dominating_set
+            == lrg_dominating_set(small_graph, seed=5).dominating_set
+        )
+        assert (
+            solve("wu-li", small_graph, backend=SIMULATED).dominating_set
+            == wu_li_dominating_set(small_graph).dominating_set
+        )
+        assert solve(
+            "random-fill", small_graph, seed=11
+        ).dominating_set == random_dominating_set(small_graph, seed=11)
+
+    def test_solve_matches_weighted_entry_point(self, small_graph):
+        import repro
+
+        weights = {node: 1.0 + (node % 3) for node in small_graph}
+        direct = repro.weighted_kuhn_wattenhofer_dominating_set(
+            small_graph, weights, k=2, seed=3
+        )
+        report = solve(
+            "weighted-kuhn-wattenhofer",
+            small_graph,
+            backend=SIMULATED,
+            seed=3,
+            k=2,
+            weights=weights,
+        )
+        assert report.dominating_set == direct.dominating_set
+        assert report.objective == direct.cost
+
+
+class TestExplicitBackendComparisons:
+    """Regressions: explicit concrete backends on mixed comparison sets."""
+
+    def test_enumerated_comparison_skips_backend_incapable_specs(self):
+        algorithms = comparison_algorithms(backend=VECTORIZED)
+        assert "kuhn-wattenhofer" in algorithms and "lrg" in algorithms
+        # Simulated-only specs are skipped, not raised on.
+        assert "mis" not in algorithms
+        assert "random-fill" not in algorithms
+
+    def test_named_backend_incapable_spec_raises_up_front(self):
+        with pytest.raises(CapabilityError, match="mis"):
+            comparison_algorithms(backend=VECTORIZED, names=["mis"])
+
+    def test_unknown_backend_rejected_up_front(self):
+        with pytest.raises(ValueError, match="auto"):
+            comparison_algorithms(backend="warp-drive")
+
+    def test_compare_with_explicit_vectorized_backend_runs(self, small_graph):
+        from repro.analysis.experiment import as_instances, compare_algorithms
+
+        records = compare_algorithms(
+            as_instances({"g": small_graph}),
+            trials=1,
+            seed=0,
+            backend=VECTORIZED,
+        )
+        observed = {record.algorithm for record in records}
+        assert "kuhn-wattenhofer" in observed
+        assert "mis" not in observed
+
+    def test_unsupported_backend_message_is_not_garbled(self, small_graph):
+        with pytest.raises(CapabilityError) as excinfo:
+            solve("mis", small_graph, backend=VECTORIZED)
+        message = str(excinfo.value)
+        assert message.count("vectorized") == 1
+        assert "execution" in message
+        assert "'simulated'" in message
+
+
+class TestCliParamDeclarations:
+    def test_k_accepting_specs_declare_it(self):
+        declared = {
+            spec.name for spec in iter_specs() if "k" in spec.cli_params
+        }
+        assert declared == {
+            "kuhn-wattenhofer",
+            "weighted-kuhn-wattenhofer",
+            "kw-connect",
+        }
+
+
+class TestReviewRegressions:
+    def test_capability_error_survives_pickling(self):
+        import pickle
+
+        error = CapabilityError("lrg", "collect_trace", "vectorized", ("simulated",))
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == str(error)
+        assert clone.algorithm == "lrg" and clone.supported == ("simulated",)
+
+    def test_capability_error_crosses_process_pool(self):
+        from repro.analysis.experiment import as_instances, sweep_fractional
+
+        bulk = [
+            bulk_unit_disk_graph(30, radius=0.3, seed=s) for s in (0, 1)
+        ]
+        instances = as_instances({"a": bulk[0], "b": bulk[1]})
+        with pytest.raises(CapabilityError, match="vectorized"):
+            sweep_fractional(instances, k_values=[1], backend="simulated", jobs=2)
+
+    def test_falsy_collect_trace_ignored_by_traceless_specs(self, small_graph):
+        report = solve("greedy", small_graph, collect_trace=False)
+        assert report.size > 0
+
+    def test_requires_connected_enforced(self):
+        disconnected = nx.Graph()
+        disconnected.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="connected graph"):
+            solve("guha-khuller", disconnected)
+        with pytest.raises(ValueError, match="kw-connect"):
+            solve("kw-connect", disconnected, k=1, seed=0)
+
+    def test_bulk_named_sim_only_spec_message_is_accurate(self):
+        with pytest.raises(CapabilityError) as excinfo:
+            comparison_algorithms(bulk=True, names=["mis"])
+        message = str(excinfo.value)
+        assert "no backend supports it" in message
+        # Must not point the user at a backend that cannot help.
+        assert "'vectorized'" not in message
+
+    def test_runners_report_resolved_k(self, small_graph):
+        # Default k = Θ(log Δ) is surfaced through RunReport.params, so no
+        # caller has to introspect algorithm-specific result shapes.
+        report = solve("kuhn-wattenhofer", small_graph, seed=0)
+        assert report.params["k"] == report.raw.k >= 1
+        weighted = solve("weighted-kuhn-wattenhofer", small_graph, seed=0)
+        assert weighted.params["k"] == weighted.raw.fractional.k == 2
+        connect = solve("kw-connect", small_graph, seed=0)
+        assert connect.params["k"] == connect.raw[1].k >= 1
+
+    def test_registry_comparisons_skip_redundant_deterministic_trials(
+        self, small_graph, monkeypatch
+    ):
+        from collections import Counter
+
+        from repro.analysis.experiment import as_instances, compare_algorithms
+
+        calls = Counter()
+        real = api.run_algorithm
+
+        def counting(graph, seed, algorithm="kuhn-wattenhofer", **kwargs):
+            calls[algorithm] += 1
+            return real(graph, seed, algorithm=algorithm, **kwargs)
+
+        monkeypatch.setattr(api, "run_algorithm", counting)
+        compare_algorithms(
+            as_instances({"g": small_graph}),
+            algorithms=["greedy", "lrg"],
+            trials=3,
+            seed=0,
+        )
+        assert calls["greedy"] == 1  # deterministic: one trial suffices
+        assert calls["lrg"] == 3
+
+    def test_vectorized_without_bulk_native_entry_point_is_gated(self):
+        # A spec may support the vectorized engine yet not consume CSR
+        # inputs natively; dispatch must refuse the BulkGraph rather than
+        # hand it to an entry point that needs networkx.
+        spec = AlgorithmSpec(
+            name="hypothetical",
+            summary="",
+            backends=(SIMULATED, VECTORIZED),
+            runner=lambda *a, **k: None,
+            entry_point=len,
+            accepts_bulk=False,
+        )
+        bulk = bulk_grid_graph(3, 3)
+        with pytest.raises(CapabilityError, match="BulkGraph"):
+            resolve_backend(spec, bulk)
+
+    def test_import_repro_does_not_load_the_registry(self):
+        import subprocess
+        import sys
+
+        code = (
+            "import sys, repro; "
+            "assert 'repro.api' not in sys.modules; "
+            "repro.solve; "
+            "assert 'repro.api' in sys.modules"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr

@@ -140,22 +140,25 @@ class TestScalingFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--suite", "galactic"])
 
-    def test_sweep_xlarge_requires_vectorized_backend(self, capsys):
-        exit_code = main(["sweep", "--suite", "xlarge"])
+    def test_sweep_xlarge_rejects_simulated_backend(self, capsys):
+        # The default --backend auto resolves CSR suites to the vectorized
+        # engine; only an *explicit* simulated request is impossible.
+        exit_code = main(["sweep", "--suite", "xlarge", "--backend", "simulated"])
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "vectorized" in captured.err
 
-    def test_compare_xlarge_requires_vectorized_backend(self, capsys):
-        exit_code = main(["compare", "--suite", "xlarge"])
+    def test_compare_xlarge_rejects_simulated_backend(self, capsys):
+        exit_code = main(["compare", "--suite", "xlarge", "--backend", "simulated"])
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "vectorized" in captured.err
 
     def test_compare_bulk_suite_uses_bulk_algorithms(self, capsys, monkeypatch):
-        # CSR suites run the bulk-capable comparison stack (pipeline, LRG,
-        # Wu–Li, both greedy references); patch the suite to a small CSR
-        # instance to keep the test fast.
+        # CSR suites keep only the bulk-capable registry specs (pipeline,
+        # LRG, Wu–Li, both greedy references); patch the suite to a small
+        # CSR instance to keep the test fast.  The default backend (auto)
+        # resolves the CSR instance to the vectorized engine.
         import repro.cli as cli_module
         from repro.graphs.bulk import bulk_unit_disk_graph
 
@@ -167,14 +170,141 @@ class TestScalingFlags:
             },
         )
         exit_code = main(
-            ["compare", "--suite", "xlarge", "--backend", "vectorized",
-             "--trials", "1", "--csv"]
+            ["compare", "--suite", "xlarge", "--trials", "1", "--csv"]
         )
         captured = capsys.readouterr()
         assert exit_code == 0
-        assert "bucket queue" in captured.out
-        assert "lrg (jia et al.)" in captured.out
-        assert "wu-li" in captured.out
-        assert "set cover greedy" in captured.out
-        # The dense-LP baseline stays off the CSR path.
-        assert "central LP" not in captured.out
+        for name in ("kuhn-wattenhofer", "greedy", "lrg", "wu-li", "set-cover-greedy"):
+            assert name in captured.out
+        # The dense-LP reference opts out of bulk-scale comparisons, and
+        # the simulated-only specs cannot run on CSR instances.
+        assert "central-lp" not in captured.out
+        assert "random-fill" not in captured.out
+
+
+class TestRegistryDrivenCli:
+    def test_backend_defaults_to_auto(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.backend == "auto"
+
+    def test_solve_accepts_any_registered_algorithm(self, capsys):
+        exit_code = main(
+            ["solve", "--family", "grid", "--algorithm", "greedy", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["algorithm"] == "greedy"
+        assert payload["total_rounds"] is None
+        assert payload["dominating_set_size"] >= 1
+
+    def test_solve_reports_resolved_backend(self, capsys):
+        exit_code = main(["solve", "--family", "star", "--k", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        # n = 80 star sits below the auto threshold -> simulated.
+        assert payload["backend"] == "simulated"
+
+    def test_compare_restricted_to_named_algorithms(self, capsys):
+        exit_code = main(
+            [
+                "compare", "--family", "star", "--n", "14", "--trials", "1",
+                "--algorithm", "greedy", "--algorithm", "wu-li", "--csv",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        body = captured.out.splitlines()[1:]
+        observed = {line.split(",")[1] for line in body}
+        assert observed == {"greedy", "wu-li"}
+
+    def test_algorithms_subcommand_lists_registry(self, capsys):
+        from repro.api import algorithm_names
+
+        exit_code = main(["algorithms"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in algorithm_names():
+            assert name in captured.out
+
+    def test_solve_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--algorithm", "quantum-annealer"])
+
+    def test_compare_explicit_vectorized_backend_skips_simulated_only(self, capsys):
+        exit_code = main(
+            [
+                "compare", "--family", "star", "--n", "14", "--trials", "1",
+                "--backend", "vectorized", "--csv",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        body = captured.out.splitlines()[1:]
+        observed = {line.split(",")[1] for line in body}
+        assert "kuhn-wattenhofer" in observed
+        assert "mis" not in observed and "random-fill" not in observed
+
+    def test_compare_named_incompatible_algorithm_is_a_cli_error(self, capsys):
+        exit_code = main(
+            [
+                "compare", "--family", "star", "--n", "14", "--trials", "1",
+                "--backend", "vectorized", "--algorithm", "mis",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err and "mis" in captured.err
+
+    def test_solve_notes_ignored_k(self, capsys):
+        exit_code = main(
+            ["solve", "--family", "grid", "--algorithm", "greedy", "--k", "5", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "--k is not used" in captured.err
+
+    def test_solve_reports_resolved_default_k(self, capsys):
+        # Without --k the pipeline picks k = Θ(log Δ); the payload shows
+        # the resolved value, not null.
+        exit_code = main(["solve", "--family", "grid", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["k"] >= 1
+
+    def test_solve_named_incompatible_backend_is_a_cli_error(self, capsys):
+        exit_code = main(
+            ["solve", "--family", "star", "--algorithm", "mis",
+             "--backend", "vectorized"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err and "mis" in captured.err
+
+    def test_solve_disconnected_cds_algorithm_is_a_cli_error(self, capsys):
+        exit_code = main(
+            ["solve", "--family", "erdos_renyi", "--n", "40", "--p", "0.03",
+             "--algorithm", "kw-connect", "--no-lp"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err and "connected" in captured.err
+
+    def test_solve_notes_ignored_variant(self, capsys):
+        exit_code = main(
+            ["solve", "--family", "grid", "--algorithm", "greedy",
+             "--variant", "known_delta", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "--variant is not used" in captured.err
+
+    def test_solve_weighted_reports_default_k(self, capsys):
+        exit_code = main(
+            ["solve", "--family", "grid",
+             "--algorithm", "weighted-kuhn-wattenhofer", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        # The runner default (k=2) is reported, not null.
+        assert payload["k"] == 2

@@ -1,0 +1,343 @@
+"""Sparse LP & validation stack benchmark: dense vs. CSR twins, gated.
+
+PR 5 moved the last dense layers onto the CSR substrate: the weighted
+fractional LP solve, the primal/dual feasibility checks and
+``weak_duality_gap`` (matrix-free :class:`~repro.lp.sparse.SparseDominatingSetLP`),
+the bucket-queue Guha–Khuller scan and ``prune_redundant``.  This
+benchmark gates all of them:
+
+* **LP solve twins** -- ``solve_weighted_fractional_mds`` (dense
+  formulation) vs. the sparse CSR solve, unweighted and weighted, on
+  instances at n ≥ 2000.  Objectives must agree to solver tolerance on
+  every row.  The *speedup* gate (≥ 20×, full mode) applies to the
+  ``gated`` rows, where the dense formulation's O(n²) build dominates;
+  the ungated hard-LP row (``erdos_renyi_n2000``) is reported honestly
+  at ≈ 1× -- there the HiGHS solve itself dominates both paths and the
+  sparse win is the O(n²) → O(n + m) *memory*, which is what unlocks
+  the n ≥ 20 000 section below.
+* **Duality certification twins** -- build the formulation, check the
+  Lemma-1 dual feasible, check the solution primal feasible and compute
+  the weak duality gap: dense vs. matrix-free, ≥ 20× on the gated rows,
+  gap values must agree.
+* **n ≥ 20 000** -- the sparse weighted solve plus a full duality
+  certificate on CSR-native xlarge instances, where the dense path
+  cannot run at all (the n × n matrix alone is ≥ 3 GB).  Always
+  reported with ``objective_match`` pinned by the CSR feasibility check.
+* **CDS twins** -- every registered algorithm pair that *both* engines
+  implement and that produces a connected dominating set
+  (``twin_specs(exclude_cds=False)``: currently kw-connect and the new
+  bucket-queue guha-khuller) runs under each backend on connected
+  instances and is gated on set identity.  Newly registered CDS twins
+  join automatically; the non-CDS twins (incl. the fully vectorized
+  Wu–Li core) stay gated by ``bench_baseline_backends``.
+* **prune_redundant twins** -- the set-based and CSR pruners must return
+  bitwise-identical sets on every instance/candidate pair.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, CI smoke) substitutes smaller
+instances and reports speedups without gating on them; the identity /
+objective checks always gate.  Results are persisted as
+``BENCH_lp_speedup.json``; the CI gate fails on any
+``"objective_match": false`` in the payload and on any registered CDS
+twin missing from its ``algorithms`` list.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.api import solve, twin_specs
+from repro.graphs.generators import caterpillar_graph, graph_suite
+from repro.lp.duality import lemma1_dual_solution, weak_duality_gap
+from repro.lp.feasibility import check_dual_feasible, check_primal_feasible
+from repro.lp.formulation import build_lp
+from repro.lp.solver import (
+    solve_weighted_fractional_mds,
+    solve_weighted_fractional_mds_sparse,
+)
+from repro.lp.sparse import build_lp_sparse
+from repro.simulator.bulk import BulkGraph
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+#: Acceptance floor for the gated dense-vs-sparse rows (full mode only).
+MIN_LP_SPEEDUP = None if QUICK else 20.0
+#: Per-CDS-twin parameter overrides.
+CDS_PARAMS = {"kw-connect": {"k": 2}}
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def _lp_instances() -> list[tuple[str, nx.Graph, bool]]:
+    """(name, graph, gated) rows for the dense-vs-sparse LP sections.
+
+    The gated rows are formulation-bound (easy LPs on sparse graphs,
+    n ≥ 2000): there the dense path pays its O(n²) build and the ≥ 20×
+    floor applies.  The ungated row is solver-bound on purpose.
+    """
+    if QUICK:
+        suite = graph_suite("medium", seed=2003)
+        return [
+            ("caterpillar_250x3", caterpillar_graph(250, 3), True),
+            ("erdos_renyi_n250", suite["erdos_renyi_n250"], False),
+        ]
+    suite = graph_suite("large", seed=2003)
+    return [
+        ("caterpillar_1000x3", caterpillar_graph(1000, 3), True),
+        ("caterpillar_2000x3", caterpillar_graph(2000, 3), True),
+        ("erdos_renyi_n2000", suite["erdos_renyi_n2000"], False),
+    ]
+
+
+def _weights(graph: nx.Graph) -> dict:
+    """Deterministic non-uniform node costs (id-derived, seed-free)."""
+    return {
+        node: 1.0 + (index % 7) / 7.0
+        for index, node in enumerate(sorted(graph.nodes()))
+    }
+
+
+def _largest_component(graph: nx.Graph) -> nx.Graph:
+    component = max(nx.connected_components(graph), key=len)
+    return nx.convert_node_labels_to_integers(graph.subgraph(component).copy())
+
+
+@pytest.mark.benchmark(group="lp-speedup")
+def test_sparse_lp_and_validation_stack(benchmark, bench_seed, emit_table, emit_json):
+    """Dense vs. CSR: LP solves, duality certificates, CDS & prune twins."""
+    instances = _lp_instances()
+
+    # ---------------------------------------------------------------- #
+    # 1. LP solve twins (unweighted + weighted)                         #
+    # ---------------------------------------------------------------- #
+    solve_rows = []
+    for name, graph, gated in instances:
+        bulk = BulkGraph.from_graph(graph)
+        for weighted in (False, True):
+            weights = _weights(graph) if weighted else None
+            dense, dense_s = _timed(
+                lambda: solve_weighted_fractional_mds(graph, weights)
+            )
+            sparse, sparse_s = _timed(
+                lambda: solve_weighted_fractional_mds_sparse(bulk, weights)
+            )
+            scale = max(abs(dense.objective), 1.0)
+            match = abs(dense.objective - sparse.objective) <= 1e-6 * scale
+            solve_rows.append(
+                {
+                    "instance": name,
+                    "n": graph.number_of_nodes(),
+                    "weighted": weighted,
+                    "objective": round(sparse.objective, 3),
+                    "objective_match": bool(match),
+                    "dense_s": round(dense_s, 3),
+                    "sparse_s": round(sparse_s, 4),
+                    "speedup": round(dense_s / sparse_s, 1) if sparse_s > 0 else float("inf"),
+                    "gated": gated,
+                }
+            )
+
+    # ---------------------------------------------------------------- #
+    # 2. Duality certification twins                                    #
+    # ---------------------------------------------------------------- #
+    duality_rows = []
+    for name, graph, gated in instances:
+        bulk = BulkGraph.from_graph(graph)
+        x = solve_weighted_fractional_mds_sparse(bulk).values
+        y = lemma1_dual_solution(graph)
+
+        def _certify_dense():
+            lp = build_lp(graph)
+            assert check_primal_feasible(lp, x, tolerance=1e-6)
+            assert check_dual_feasible(lp, y, tolerance=1e-9)
+            return weak_duality_gap(lp, x, y)
+
+        def _certify_sparse():
+            lp = build_lp_sparse(bulk)
+            assert check_primal_feasible(lp, x, tolerance=1e-6)
+            assert check_dual_feasible(lp, y, tolerance=1e-9)
+            return weak_duality_gap(lp, x, y)
+
+        gap_dense, dense_s = _timed(_certify_dense)
+        gap_sparse, sparse_s = _timed(_certify_sparse)
+        match = abs(gap_dense - gap_sparse) <= 1e-6 * max(abs(gap_dense), 1.0)
+        duality_rows.append(
+            {
+                "instance": name,
+                "n": graph.number_of_nodes(),
+                "weak_duality_gap": round(gap_sparse, 3),
+                "objective_match": bool(match),
+                "dense_s": round(dense_s, 3),
+                "sparse_s": round(sparse_s, 4),
+                "speedup": round(dense_s / sparse_s, 1) if sparse_s > 0 else float("inf"),
+                "gated": gated,
+            }
+        )
+
+    # ---------------------------------------------------------------- #
+    # 3. Sparse-only certification at n >= 20000                        #
+    # ---------------------------------------------------------------- #
+    xlarge_rows = []
+    xlarge_names = ["caterpillar_5000x3"] if QUICK else [
+        "caterpillar_5000x3",
+        "unit_disk_n20000",
+    ]
+    xlarge_suite = graph_suite("xlarge", seed=bench_seed)
+    for name in xlarge_names:
+        bulk = xlarge_suite[name]
+        solution, solve_s = _timed(
+            lambda: solve_weighted_fractional_mds_sparse(bulk)
+        )
+
+        def _certify():
+            lp = solution.lp
+            y = lemma1_dual_solution(bulk)
+            assert check_dual_feasible(lp, y, tolerance=1e-9)
+            return weak_duality_gap(lp, solution.values, y)
+
+        gap, certify_s = _timed(_certify)
+        # The sparse solver already verified primal feasibility on the
+        # CSR; a finite non-negative certified gap pins the chain.
+        xlarge_rows.append(
+            {
+                "instance": name,
+                "n": bulk.n,
+                "lp_optimum": round(solution.objective, 3),
+                "weak_duality_gap": round(gap, 3),
+                "objective_match": bool(np.isfinite(gap) and gap >= 0.0),
+                "solve_s": round(solve_s, 3),
+                "certify_s": round(certify_s, 4),
+            }
+        )
+
+    # ---------------------------------------------------------------- #
+    # 4. CDS twins (auto-enumerated from the registry)                  #
+    # ---------------------------------------------------------------- #
+    cds_specs = [
+        spec for spec in twin_specs(exclude_cds=False) if spec.produces_cds
+    ]
+    assert cds_specs, "registry lost its CDS backend twins"
+    cds_scale = "small" if QUICK else "medium"
+    cds_suite = {
+        name: _largest_component(graph)
+        for name, graph in sorted(graph_suite(cds_scale, seed=bench_seed).items())
+    }
+    if not QUICK:
+        cds_suite["erdos_renyi_n2000"] = _largest_component(
+            graph_suite("large", seed=bench_seed)["erdos_renyi_n2000"]
+        )
+    cds_rows = []
+    for name, graph in cds_suite.items():
+        for spec in cds_specs:
+            params = CDS_PARAMS.get(spec.name, {})
+            simulated, simulated_s = _timed(
+                lambda: solve(
+                    spec, graph, backend="simulated", seed=bench_seed, **params
+                )
+            )
+            bulk_report, bulk_s = _timed(
+                lambda: solve(
+                    spec, graph, backend="vectorized", seed=bench_seed, **params
+                )
+            )
+            match = (
+                simulated.dominating_set == bulk_report.dominating_set
+                and simulated.objective == bulk_report.objective
+            )
+            cds_rows.append(
+                {
+                    "instance": name,
+                    "algorithm": spec.name,
+                    "n": graph.number_of_nodes(),
+                    "size": bulk_report.size,
+                    "objective_match": bool(match),
+                    "reference_s": round(simulated_s, 3),
+                    "bulk_s": round(bulk_s, 4),
+                    "speedup": round(simulated_s / bulk_s, 1) if bulk_s > 0 else float("inf"),
+                }
+            )
+
+    # ---------------------------------------------------------------- #
+    # 5. prune_redundant twins                                          #
+    # ---------------------------------------------------------------- #
+    from repro.baselines.greedy import greedy_dominating_set
+    from repro.domset.validation import prune_redundant, prune_redundant_bulk
+
+    prune_rows = []
+    for name, graph, _ in instances:
+        bulk = BulkGraph.from_graph(graph)
+        greedy = greedy_dominating_set(graph)
+        for candidate_name, candidate in (
+            ("all-nodes", set(graph.nodes())),
+            ("greedy+slack", set(greedy) | set(sorted(graph.nodes())[: len(greedy)])),
+        ):
+            reference, reference_s = _timed(
+                lambda: prune_redundant(graph, candidate)
+            )
+            pruned, bulk_s = _timed(lambda: prune_redundant_bulk(bulk, candidate))
+            prune_rows.append(
+                {
+                    "instance": name,
+                    "candidate": candidate_name,
+                    "n": graph.number_of_nodes(),
+                    "pruned_size": len(pruned),
+                    "objective_match": bool(reference == pruned),
+                    "reference_s": round(reference_s, 3),
+                    "bulk_s": round(bulk_s, 4),
+                    "speedup": round(reference_s / bulk_s, 1) if bulk_s > 0 else float("inf"),
+                }
+            )
+
+    # ---------------------------------------------------------------- #
+    # Emit + gate                                                       #
+    # ---------------------------------------------------------------- #
+    mode = "quick" if QUICK else "full"
+    emit_table(
+        "lp_speedup",
+        "\n\n".join(
+            [
+                render_table(solve_rows, title=f"LP solve: dense vs. sparse ({mode})"),
+                render_table(
+                    duality_rows, title="Duality certification: dense vs. matrix-free"
+                ),
+                render_table(xlarge_rows, title="Sparse-only certification, n >= 20000"),
+                render_table(cds_rows, title="CDS twins: simulated vs. bulk (CSR)"),
+                render_table(prune_rows, title="prune_redundant: set-based vs. CSR"),
+            ]
+        ),
+    )
+    emit_json(
+        "lp_speedup",
+        {
+            "quick": QUICK,
+            "min_lp_speedup": MIN_LP_SPEEDUP,
+            "algorithms": [spec.name for spec in cds_specs],
+            "lp_solve": solve_rows,
+            "duality": duality_rows,
+            "xlarge": xlarge_rows,
+            "cds_twins": cds_rows,
+            "prune": prune_rows,
+        },
+    )
+
+    for row in solve_rows + duality_rows + xlarge_rows + cds_rows + prune_rows:
+        assert row["objective_match"], f"output mismatch: {row}"
+    if MIN_LP_SPEEDUP is not None:
+        for row in solve_rows + duality_rows:
+            if row["gated"]:
+                assert row["speedup"] >= MIN_LP_SPEEDUP, (
+                    f"{row['instance']}: dense/sparse speedup {row['speedup']}x "
+                    f"below the {MIN_LP_SPEEDUP}x floor"
+                )
+
+    small = _lp_instances()[0][1]
+    small_bulk = BulkGraph.from_graph(small)
+    benchmark(lambda: solve_weighted_fractional_mds_sparse(small_bulk))

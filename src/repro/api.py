@@ -364,7 +364,9 @@ def twin_specs(exclude_cds: bool = True) -> list[AlgorithmSpec]:
     seed; ``benchmarks/bench_baseline_backends.py`` gates exactly this
     list, so a newly registered twin is covered automatically.  CDS
     algorithms are excluded by default (they require connected inputs, so
-    they are gated on their own connected suites).
+    they are gated on their own connected suites --
+    ``benchmarks/bench_lp_speedup.py`` enumerates
+    ``twin_specs(exclude_cds=False)`` and gates the CDS twins there).
     """
     return [
         spec
@@ -796,7 +798,9 @@ def _run_kw_connect(graph, seed, backend, k: int | None = None) -> _RunPayload:
 
 
 def _run_guha_khuller(graph, seed, backend) -> _RunPayload:
-    return _set_payload(guha_khuller_connected_dominating_set(graph))
+    return _set_payload(
+        guha_khuller_connected_dominating_set(graph, backend=backend)
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -952,10 +956,12 @@ register(
 register(
     AlgorithmSpec(
         name="guha-khuller",
-        summary="Guha–Khuller centralized connected dominating set greedy",
-        backends=(SIMULATED,),
+        summary="Guha–Khuller centralized connected dominating set greedy "
+        "(bucket-queue CSR twin)",
+        backends=(SIMULATED, VECTORIZED),
         runner=_run_guha_khuller,
         entry_point=guha_khuller_connected_dominating_set,
+        accepts_bulk=True,
         produces_cds=True,
         deterministic=True,
         requires_connected=True,

@@ -1,22 +1,35 @@
-"""Vectorized (CSR) Wu–Li marking with pruning rules 1 and 2.
+"""Fully vectorized (CSR) Wu–Li marking with pruning rules 1 and 2.
 
 The reference implementation in :mod:`repro.baselines.wu_li` ships every
 node its neighbours' neighbour lists through the simulator -- O(Σ δ_i²)
-Python payload objects for the 2-hop exchange alone.  This module computes
-the identical marking and pruning decisions directly on a CSR
-:class:`~repro.simulator.bulk.BulkGraph` with a hybrid strategy:
+Python payload objects for the 2-hop exchange alone.  Earlier bulk ports
+replaced the messages but kept a per-node Python core (frozenset subset
+tests under degree prefilters).  This module removes that core entirely:
+marking and both pruning rules are evaluated as whole-graph array
+expressions built from one sparse triangle product.
 
-* a vectorized degree prefilter settles most markings without touching any
-  2-hop structure: if some neighbour of ``v`` has degree < δ(v) − 1 it
-  cannot be adjacent to all other neighbours of ``v``, so ``v`` is marked
-  immediately (in sparse random graphs this resolves nearly every node);
-* survivors fall back to adjacency-set scans with early exit -- the first
-  non-adjacent neighbour pair proves the marking, so non-clique
-  neighbourhoods settle after a handful of O(1) membership tests;
-* pruning rules 1 and 2 are existence checks over marked higher-id
-  neighbours, run as C-speed ``frozenset`` subset tests behind size
-  prefilters (a closed neighbourhood can only be covered by closed
-  neighbourhoods that are large enough).
+The key quantity is the per-edge *common-neighbour count*
+``B[u, v] = |N(u) ∩ N(v)|`` for every edge {u, v}, obtained from the
+sparse product ``(A·A) ∘ A``:
+
+* **Marking.**  v is marked iff two of its neighbours are non-adjacent,
+  i.e. iff N(v) is not a clique.  The number of adjacent neighbour pairs
+  of v is ``Σ_{u ∈ N(v)} B[v, u] / 2`` (each in-neighbourhood edge is
+  seen from both endpoints), so v is marked iff that count falls short
+  of ``δ(v)·(δ(v)−1)/2`` -- one ``bincount`` and one comparison.
+* **Rule 1.**  For an edge {v, u}: ``N[v] ⊆ N[u]`` iff
+  ``|N[v] ∩ N[u]| = δ(v)+1``; since u ~ v, the closed intersection is
+  ``B[v, u] + 2`` (the two endpoints join in), so the subset test is the
+  pure equality ``B[v, u] == δ(v) − 1`` -- evaluated for every edge at
+  once, masked to marked higher-id neighbours, reduced per row.
+* **Rule 2.**  Candidate triangles (v, u, w) -- u, w marked higher-id
+  neighbours of v, u ~ w -- are enumerated as flat arrays; adjacency of
+  arbitrary pairs is one binary search into the (globally sorted) key
+  array ``row·n + col``; the coverage test ``N[v] ⊆ N[u] ∪ N[w]``
+  expands each surviving triangle's closed neighbourhood and resolves
+  membership with the same vectorized key search, after an
+  inclusion-exclusion prefilter (``B[v,u] + B[v,w] ≥ δ(v)`` is necessary)
+  discards most triangles without touching any neighbourhood.
 
 Both rules only read the marking flags (not the pruned output), so the
 evaluation order cannot change the result; the output is identical to the
@@ -35,58 +48,102 @@ from repro.simulator.bulk import (
 from repro.simulator.message import payload_size_bits
 
 
-def _adjacency_sets(bulk: BulkGraph) -> list[frozenset]:
-    """Open-neighbourhood position sets, one per node (O(n + m) build)."""
-    col = bulk.col.tolist()
-    indptr = bulk.indptr
-    return [
-        frozenset(col[indptr[position] : indptr[position + 1]])
-        for position in range(bulk.n)
-    ]
+def _edge_common_neighbors(bulk: BulkGraph) -> np.ndarray:
+    """``B[e] = |N(u) ∩ N(v)|`` for every CSR adjacency entry e = (u, v).
+
+    One sparse triangle product ``(A·A) ∘ A``, re-aligned to the CSR
+    entry order through the globally sorted ``row·n + col`` keys (entries
+    whose product is zero are simply absent and stay zero).
+    """
+    from scipy import sparse
+
+    n = bulk.n
+    if bulk.col.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    adjacency = sparse.csr_matrix(
+        (np.ones(bulk.col.size, dtype=np.int64), bulk.col, bulk.indptr),
+        shape=(n, n),
+    )
+    triangle = (adjacency @ adjacency).multiply(adjacency).tocoo()
+    common = np.zeros(bulk.col.size, dtype=np.int64)
+    keys = _edge_keys(bulk)
+    positions = np.searchsorted(
+        keys, triangle.row.astype(np.int64) * np.int64(n) + triangle.col
+    )
+    common[positions] = triangle.data
+    return common
+
+
+def _edge_keys(bulk: BulkGraph) -> np.ndarray:
+    """The globally sorted ``row·n + col`` key array (sorted by construction)."""
+    return bulk.row * np.int64(bulk.n) + bulk.col
+
+
+def _edge_member(
+    bulk: BulkGraph, u: np.ndarray, v: np.ndarray, keys: np.ndarray | None = None
+) -> np.ndarray:
+    """Vectorized adjacency test ``u ~ v`` via the sorted CSR key array."""
+    if keys is None:
+        keys = _edge_keys(bulk)
+    wanted = np.asarray(u, dtype=np.int64) * np.int64(bulk.n) + np.asarray(
+        v, dtype=np.int64
+    )
+    positions = np.searchsorted(keys, wanted)
+    inside = positions < keys.size
+    result = np.zeros(wanted.shape, dtype=bool)
+    result[inside] = keys[positions[inside]] == wanted[inside]
+    return result
+
+
+def _pairs_by_group(sizes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All unordered index pairs (i < j) within consecutive groups.
+
+    Returns ``(group, first, second)`` flat arrays: for a group of size s
+    there are s·(s−1)/2 pairs with *local* indices ``first < second``.
+    Vectorized per distinct group size (``triu_indices`` tiled across all
+    groups sharing that size).
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    groups: list[np.ndarray] = []
+    firsts: list[np.ndarray] = []
+    seconds: list[np.ndarray] = []
+    for size in np.unique(sizes[sizes >= 2]).tolist():
+        where = np.flatnonzero(sizes == size)
+        i, j = np.triu_indices(size, k=1)
+        groups.append(np.repeat(where, i.size))
+        firsts.append(np.tile(i, where.size))
+        seconds.append(np.tile(j, where.size))
+    if not groups:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate(groups),
+        np.concatenate(firsts),
+        np.concatenate(seconds),
+    )
 
 
 def compute_marked_bulk(
-    bulk: BulkGraph, adjacency: list[frozenset] | None = None
+    bulk: BulkGraph, common: np.ndarray | None = None
 ) -> np.ndarray:
-    """Wu–Li marking flags: marked iff two neighbours are not adjacent."""
+    """Wu–Li marking flags: marked iff two neighbours are not adjacent.
+
+    Equivalent to "N(v) is not a clique", settled for every node at once
+    by comparing the count of adjacent neighbour pairs (from the triangle
+    product) against ``δ(v)·(δ(v)−1)/2``.
+    """
     degrees = bulk.degrees
-    eligible = degrees >= 2
-    marked = np.zeros(bulk.n, dtype=bool)
-    if not eligible.any():
-        return marked
-
-    # Prefilter: a neighbour of degree < δ(v) − 1 cannot cover the rest of
-    # N(v), so the neighbourhood is certainly not a clique.
-    min_neighbor_degree = np.full(bulk.n, np.iinfo(np.int64).max, dtype=np.int64)
-    if bulk.col.size:
-        np.minimum.at(min_neighbor_degree, bulk.row, degrees[bulk.col])
-    marked = eligible & (min_neighbor_degree < degrees - 1)
-
-    # Exact check for the survivors: scan neighbour pairs until one
-    # non-adjacent pair is found (usually the first).
-    if adjacency is None:
-        adjacency = _adjacency_sets(bulk)
-    col = bulk.col
-    indptr = bulk.indptr
-    for position in np.flatnonzero(eligible & ~marked):
-        neighbors = col[indptr[position] : indptr[position + 1]].tolist()
-        found = False
-        for index, first in enumerate(neighbors):
-            first_adjacency = adjacency[first]
-            for second in neighbors[index + 1 :]:
-                if second not in first_adjacency:
-                    found = True
-                    break
-            if found:
-                break
-        marked[position] = found
-    return marked
+    if common is None:
+        common = _edge_common_neighbors(bulk)
+    # Σ_{u ∈ N(v)} |N(v) ∩ N(u)| counts every edge inside N(v) twice.
+    adjacent_pairs = np.bincount(bulk.row, weights=common, minlength=bulk.n)
+    return (degrees >= 2) & (adjacent_pairs < degrees * (degrees - 1))  # ×2 both sides
 
 
 def apply_pruning_bulk(
     bulk: BulkGraph,
     marked: np.ndarray,
-    adjacency: list[frozenset] | None = None,
+    common: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pruning rules 1 and 2 applied to the marked flags (returns new flags).
 
@@ -95,50 +152,101 @@ def apply_pruning_bulk(
     higher-id neighbours jointly do.  Ids compare by CSR position, which
     equals identifier order because ``BulkGraph`` stores nodes sorted.
     """
-    if adjacency is None:
-        adjacency = _adjacency_sets(bulk)
+    marked = np.asarray(marked, dtype=bool)
+    if common is None:
+        common = _edge_common_neighbors(bulk)
+    n = bulk.n
     degrees = bulk.degrees
-    col = bulk.col
-    indptr = bulk.indptr
-    final = marked.copy()
-    for position in np.flatnonzero(marked):
-        neighbors = col[indptr[position] : indptr[position + 1]]
-        marked_above = neighbors[marked[neighbors] & (neighbors > position)]
-        if marked_above.size == 0:
-            continue
-        closed = adjacency[position] | {position}
-        degree = int(degrees[position])
+    row, col = bulk.row, bulk.col
 
-        # Rule 1: |closed(u)| = δ(u) + 1 must reach |closed(v)| = δ(v) + 1
-        # for the subset to be possible -- filter the candidates first.
-        pruned = False
-        for candidate in marked_above[degrees[marked_above] >= degree].tolist():
-            if closed <= adjacency[candidate] | {candidate}:
-                pruned = True
-                break
+    # Entries (v, u) with v marked and u a marked higher-id neighbour --
+    # the candidate pool of both rules.
+    eligible = marked[row] & marked[col] & (col > row)
 
-        if not pruned and marked_above.size >= 2:
-            candidates = marked_above.tolist()
-            for index, first in enumerate(candidates):
-                first_adjacency = adjacency[first]
-                first_degree = int(degrees[first])
-                for second in candidates[index + 1 :]:
-                    # Must be adjacent, and the joint closed neighbourhood
-                    # (which overlaps in at least {u, w}) must be large
-                    # enough: δ(u) + δ(w) ≥ δ(v) + 1.
-                    if second not in first_adjacency:
-                        continue
-                    if first_degree + int(degrees[second]) < degree + 1:
-                        continue
-                    joint = first_adjacency | {first} | adjacency[second] | {second}
-                    if closed <= joint:
-                        pruned = True
-                        break
-                if pruned:
-                    break
-        if pruned:
-            final[position] = False
+    # Rule 1: N[v] ⊆ N[u]  ⟺  B[v, u] == δ(v) − 1  (closed sets share
+    # both endpoints on top of the B common neighbours).
+    rule1_hits = eligible & (common == degrees[row] - 1)
+    rule1 = np.bincount(row[rule1_hits], minlength=n) > 0
+
+    # Rule 2 only matters where rule 1 did not already unmark (the rules
+    # combine by disjunction and both read the original marked flags).
+    candidate = marked & ~rule1
+    entry_positions = np.flatnonzero(eligible & candidate[row])
+    rule2 = np.zeros(n, dtype=bool)
+    if entry_positions.size:
+        # Per candidate v, the marked higher-id neighbour entries form one
+        # consecutive "group" in entry order (CSR rows are contiguous).
+        owners = row[entry_positions]
+        group_start = np.flatnonzero(
+            np.concatenate(([True], owners[1:] != owners[:-1]))
+        )
+        sizes = np.diff(np.append(group_start, owners.size))
+        group, first, second = _pairs_by_group(sizes)
+        if group.size:
+            base = group_start[group]
+            first_entry = entry_positions[base + first]
+            second_entry = entry_positions[base + second]
+            v = row[first_entry]
+            u = col[first_entry]
+            w = col[second_entry]
+            b_u = common[first_entry]
+            b_w = common[second_entry]
+            # Prefilters, cheapest first: the joint closed neighbourhood
+            # must be large enough, the closed intersections must be able
+            # to cover N[v] (inclusion-exclusion necessity), and u ~ w.
+            keys = _edge_keys(bulk)
+            keep = (degrees[u] + degrees[w] >= degrees[v] + 1) & (
+                b_u + b_w >= degrees[v]
+            )
+            keep[keep] = _edge_member(bulk, u[keep], w[keep], keys)
+            v, u, w = v[keep], u[keep], w[keep]
+            if v.size:
+                rule2 |= _triangles_cover(bulk, v, u, w, keys)
+    final = marked & ~rule1 & ~rule2
     return final
+
+
+def _triangles_cover(
+    bulk: BulkGraph,
+    v: np.ndarray,
+    u: np.ndarray,
+    w: np.ndarray,
+    keys: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-node flag: some triangle (v, u, w) has ``N[v] ⊆ N[u] ∪ N[w]``.
+
+    Expands every triangle's closed neighbourhood of ``v`` into one flat
+    array and resolves the at-most-four membership tests per element with
+    vectorized key searches; a triangle covers iff none of its elements
+    is left uncovered.
+    """
+    n = bulk.n
+    counts = bulk.degrees[v] + 1
+    triangle = np.repeat(np.arange(v.size, dtype=np.int64), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    local = np.arange(int(counts.sum()), dtype=np.int64) - offsets[triangle]
+    # Closed neighbourhood of v, laid out per triangle: the δ(v) CSR
+    # entries followed by v itself.
+    is_self = local == bulk.degrees[v][triangle]
+    element = np.where(
+        is_self,
+        v[triangle],
+        bulk.col[np.minimum(bulk.indptr[v[triangle]] + local, bulk.col.size - 1)],
+    )
+    u_rep = u[triangle]
+    w_rep = w[triangle]
+    covered = (element == u_rep) | (element == w_rep)
+    todo = ~covered
+    covered[todo] = _edge_member(bulk, u_rep[todo], element[todo], keys)
+    todo = ~covered
+    covered[todo] = _edge_member(bulk, w_rep[todo], element[todo], keys)
+    uncovered_per_triangle = np.bincount(
+        triangle[~covered], minlength=v.size
+    )
+    hit = uncovered_per_triangle == 0
+    result = np.zeros(n, dtype=bool)
+    result[v[hit]] = True
+    return result
 
 
 def _neighbor_list_bits(bulk: BulkGraph) -> np.ndarray:
@@ -162,10 +270,10 @@ def run_wu_li_bulk(
     (the ``ensure_domination`` deviation) is left to the caller, as in the
     simulated wrapper.
     """
-    adjacency = _adjacency_sets(bulk)
-    marked = compute_marked_bulk(bulk, adjacency)
+    common = _edge_common_neighbors(bulk)
+    marked = compute_marked_bulk(bulk, common)
     final = (
-        apply_pruning_bulk(bulk, marked, adjacency)
+        apply_pruning_bulk(bulk, marked, common)
         if apply_pruning
         else marked.copy()
     )

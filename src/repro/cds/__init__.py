@@ -24,24 +24,30 @@ statistics, and documented as such in DESIGN.md.
 """
 
 from repro.cds.bulk import (
+    backbone_statistics_bulk,
+    bulk_bfs_distances,
     bulk_connected_components,
     bulk_is_connected,
     bulk_largest_component,
     connect_dominating_set_bulk,
     is_connected_dominating_set_bulk,
 )
+from repro.cds.bulk_guha_khuller import guha_khuller_connected_dominating_set_bulk
 from repro.cds.connectify import connect_dominating_set, kw_connected_dominating_set
 from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
 from repro.cds.validation import backbone_statistics, is_connected_dominating_set
 
 __all__ = [
     "backbone_statistics",
+    "backbone_statistics_bulk",
+    "bulk_bfs_distances",
     "bulk_connected_components",
     "bulk_is_connected",
     "bulk_largest_component",
     "connect_dominating_set",
     "connect_dominating_set_bulk",
     "guha_khuller_connected_dominating_set",
+    "guha_khuller_connected_dominating_set_bulk",
     "is_connected_dominating_set",
     "is_connected_dominating_set_bulk",
     "kw_connected_dominating_set",

@@ -109,6 +109,42 @@ def bulk_largest_component(bulk: BulkGraph) -> BulkGraph:
     )
 
 
+def bulk_bfs_distances(
+    bulk: BulkGraph,
+    sources: np.ndarray,
+    subset: np.ndarray | None = None,
+) -> np.ndarray:
+    """Multi-source BFS hop distances on the CSR, O(n + m) total.
+
+    Returns one distance per node: 0 for the sources, the hop count of
+    the nearest source otherwise, −1 for unreachable (or excluded)
+    nodes.  ``subset`` restricts the traversal to the induced subgraph on
+    the flagged nodes (sources outside the subset are dropped) -- the
+    substrate for backbone diameter/eccentricity and for
+    backbone-constrained routing distances, replacing the
+    ``networkx.shortest_path_length`` calls of the dense path.
+    """
+    include = (
+        np.ones(bulk.n, dtype=bool)
+        if subset is None
+        else np.asarray(subset, dtype=bool)
+    )
+    distances = np.full(bulk.n, -1, dtype=np.int64)
+    frontier = np.unique(np.asarray(sources, dtype=np.int64))
+    frontier = frontier[include[frontier]]
+    distances[frontier] = 0
+    depth = 0
+    while frontier.size:
+        depth += 1
+        neighbors = _gather_rows(bulk, frontier)
+        fresh = np.unique(
+            neighbors[include[neighbors] & (distances[neighbors] < 0)]
+        )
+        distances[fresh] = depth
+        frontier = fresh
+    return distances
+
+
 def is_connected_dominating_set_bulk(bulk: BulkGraph, flags: np.ndarray) -> bool:
     """CSR version of :func:`repro.cds.validation.is_connected_dominating_set`."""
     flags = np.asarray(flags, dtype=bool)
@@ -201,3 +237,109 @@ def connect_dominating_set_bulk(bulk: BulkGraph, flags: np.ndarray) -> np.ndarra
     if not is_connected_dominating_set_bulk(bulk, result):
         raise RuntimeError("connectification produced an invalid CDS (internal error)")
     return result
+
+
+def backbone_statistics_bulk(
+    bulk: BulkGraph,
+    backbone,
+    sample_pairs: int = 50,
+    seed: int = 0,
+):
+    """CSR implementation of :func:`repro.cds.validation.backbone_statistics`.
+
+    Produces the identical :class:`~repro.cds.validation.BackboneStatistics`
+    as the networkx path on the equivalent graph: the diameter comes from
+    one BFS per backbone node over the induced backbone, the stretch
+    sample draws the same ``random.Random(seed)`` node pairs (``bulk``
+    stores nodes sorted, matching the dense path's ordering), and each
+    pair's backbone route is one multi-source BFS from the source's
+    adjacent backbone heads -- the exact minimum the dense path takes
+    over all (source head, target head) combinations.  No networkx object
+    is ever materialised.
+    """
+    import random
+
+    from repro.cds.validation import BackboneStatistics
+    from repro.domset.validation import is_dominating_set
+
+    members = set(backbone)
+    dominating = bool(members) and is_dominating_set(bulk, members)
+    flags = np.zeros(bulk.n, dtype=bool)
+    if members:
+        flags[bulk.index_of(members & set(bulk.nodes))] = True
+    member_positions = np.flatnonzero(flags)
+    connected = bool(members) and bulk_is_connected(bulk, flags)
+
+    diameter = None
+    stretch = None
+    if connected and member_positions.size > 0:
+        if member_positions.size > 1:
+            diameter = 0
+            for position in member_positions.tolist():
+                distances = bulk_bfs_distances(
+                    bulk, np.array([position]), subset=flags
+                )
+                diameter = max(diameter, int(distances[member_positions].max()))
+        else:
+            diameter = 0
+
+        # Stretch: route via the backbone vs. the direct shortest path --
+        # same RNG, same node ordering, hence the same sampled pairs as
+        # the dense implementation.
+        rng = random.Random(seed)
+        nodes = list(bulk.nodes)
+        worst = 1.0
+        for _ in range(sample_pairs):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            if source == target:
+                continue
+            source_position = int(bulk.index_of([source])[0])
+            target_position = int(bulk.index_of([target])[0])
+            direct_distances = bulk_bfs_distances(
+                bulk, np.array([source_position])
+            )
+            direct = int(direct_distances[target_position])
+            if direct <= 0:
+                continue
+            source_heads = _closed_member_positions(bulk, source_position, flags)
+            target_heads = _closed_member_positions(bulk, target_position, flags)
+            if source_heads.size == 0 or target_heads.size == 0:
+                continue
+            backbone_distances = bulk_bfs_distances(
+                bulk, source_heads, subset=flags
+            )
+            reachable = backbone_distances[target_heads]
+            reachable = reachable[reachable >= 0]
+            if reachable.size == 0:
+                continue
+            hops = (
+                int(reachable.min())
+                + int(not flags[source_position])
+                + int(not flags[target_position])
+            )
+            worst = max(worst, hops / direct)
+        stretch = worst
+
+    if member_positions.size:
+        induced_degrees = bulk.neighbor_count(flags)[member_positions]
+        mean_degree = float(induced_degrees.sum()) / member_positions.size
+    else:
+        mean_degree = 0.0
+    return BackboneStatistics(
+        size=len(members),
+        is_dominating=dominating,
+        is_connected=connected,
+        diameter=diameter,
+        mean_backbone_degree=mean_degree,
+        stretch=stretch,
+    )
+
+
+def _closed_member_positions(
+    bulk: BulkGraph, position: int, flags: np.ndarray
+) -> np.ndarray:
+    """Backbone positions in the closed neighbourhood of ``position``."""
+    closed = np.append(
+        bulk.col[bulk.indptr[position] : bulk.indptr[position + 1]], position
+    )
+    return closed[flags[closed]]

@@ -24,18 +24,35 @@ from typing import Hashable
 import networkx as nx
 
 from repro.cds.validation import is_connected_dominating_set
+from repro.core.vectorized import (
+    SIMULATED,
+    VECTORIZED,
+    resolve_bulk_input,
+    validate_backend,
+)
 from repro.graphs.utils import validate_simple_graph
+from repro.simulator.bulk import BulkGraph
 
 WHITE, GRAY, BLACK = 0, 1, 2
 
 
-def guha_khuller_connected_dominating_set(graph: nx.Graph) -> frozenset:
+def guha_khuller_connected_dominating_set(
+    graph: nx.Graph, backend: str = SIMULATED
+) -> frozenset:
     """Compute a connected dominating set with the Guha–Khuller greedy scan.
 
     Parameters
     ----------
     graph:
-        A connected graph with at least one node.
+        A connected graph with at least one node.  May also be a CSR
+        :class:`~repro.simulator.bulk.BulkGraph`, in which case
+        ``backend="vectorized"`` is required.
+    backend:
+        ``"simulated"`` runs the original set-based scan;
+        ``"vectorized"`` runs the identical selection rule on the CSR
+        with a bucket queue
+        (:mod:`repro.cds.bulk_guha_khuller`) -- same set, milliseconds
+        where the set-based scan takes minutes.
 
     Returns
     -------
@@ -48,6 +65,17 @@ def guha_khuller_connected_dominating_set(graph: nx.Graph) -> frozenset:
     ValueError
         If the graph is disconnected (no CDS exists).
     """
+    validate_backend(backend)
+    bulk = resolve_bulk_input(graph, backend)
+    if backend == VECTORIZED:
+        from repro.cds.bulk_guha_khuller import (
+            guha_khuller_connected_dominating_set_bulk,
+        )
+
+        if bulk is None:
+            validate_simple_graph(graph)
+            bulk = BulkGraph.from_graph(graph)
+        return guha_khuller_connected_dominating_set_bulk(bulk)
     validate_simple_graph(graph)
     if not nx.is_connected(graph):
         raise ValueError("a disconnected graph has no connected dominating set")

@@ -95,8 +95,21 @@ def backbone_statistics(
         Number of random node pairs used for the stretch estimate.
     seed:
         Seed for the pair sample.
+
+    ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`:
+    the statistics then come from CSR frontier BFS
+    (:func:`repro.cds.bulk.backbone_statistics_bulk`) -- identical values
+    (same pair sample, same hop counts), no networkx materialisation, so
+    backbone reporting joins the rest of the bulk CDS path at n ≥ 20 000.
     """
     import random
+
+    if is_bulk_graph(graph):
+        from repro.cds.bulk import backbone_statistics_bulk
+
+        return backbone_statistics_bulk(
+            graph, backbone, sample_pairs=sample_pairs, seed=seed
+        )
 
     members = set(backbone)
     dominating = bool(members) and is_dominating_set(graph, members)

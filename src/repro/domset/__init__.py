@@ -13,6 +13,8 @@ from repro.domset.validation import (
     coverage_counts,
     dominated_by,
     is_dominating_set,
+    prune_redundant,
+    prune_redundant_bulk,
     uncovered_nodes,
 )
 from repro.domset.weighted import weighted_cost, weighted_quality
@@ -22,6 +24,8 @@ __all__ = [
     "coverage_counts",
     "dominated_by",
     "is_dominating_set",
+    "prune_redundant",
+    "prune_redundant_bulk",
     "quality_report",
     "uncovered_nodes",
     "weighted_cost",

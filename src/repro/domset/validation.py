@@ -108,14 +108,24 @@ def prune_redundant(graph: nx.Graph, candidate: Iterable[Hashable]) -> frozenset
     This is a postprocessing utility (not part of the paper's algorithms);
     it is used by examples to show how much slack a distributed solution
     carries, and by tests as a sanity check that pruned sets stay dominating.
-    Members are examined in descending degree order so high-coverage nodes
-    are kept.
+    Members are examined in ascending (degree, id) order so low-coverage
+    nodes are dropped first and high-coverage nodes are kept; the id
+    tie-break makes the examination order -- and hence the output --
+    fully deterministic.
+
+    CSR :class:`~repro.simulator.bulk.BulkGraph` inputs run the identical
+    examination sequence on arrays
+    (:func:`prune_redundant_bulk`): coverage counts live in one integer
+    vector and each drop is a slice decrement, so pruning stays O(n + m)
+    at the n ≥ 20 000 scale.
     """
+    if is_bulk_graph(graph):
+        return prune_redundant_bulk(graph, candidate)
     members = set(candidate)
     if not is_dominating_set(graph, members):
         raise ValueError("candidate must be dominating before pruning")
     counts = coverage_counts(graph, members)
-    for node in sorted(members, key=lambda v: graph.degree(v)):
+    for node in sorted(members, key=lambda v: (graph.degree(v), v)):
         closed = closed_neighborhood(graph, node)
         # node can be dropped iff every node it covers has another dominator.
         if all(counts[covered] >= 2 for covered in closed):
@@ -123,3 +133,45 @@ def prune_redundant(graph: nx.Graph, candidate: Iterable[Hashable]) -> frozenset
             for covered in closed:
                 counts[covered] -= 1
     return frozenset(members)
+
+
+def prune_redundant_bulk(graph, candidate: Iterable[Hashable]) -> frozenset:
+    """CSR implementation of :func:`prune_redundant` (identical output).
+
+    Members are visited in the same ascending (degree, id) order -- CSR
+    positions order like sorted identifiers, so ``lexsort`` on
+    (position, degree) reproduces the reference sequence exactly -- and
+    the per-member droppability test reads one closed-neighbourhood slice
+    of the coverage-count vector.
+    """
+    members = set(candidate)
+    unknown = members - set(graph.nodes)
+    if unknown:
+        raise ValueError(
+            f"candidate contains nodes not in the graph: {sorted(unknown)[:5]}"
+        )
+    flags = np.zeros(graph.n, dtype=bool)
+    if members:
+        flags[graph.index_of(members)] = True
+    if not graph.is_dominating_set(flags):
+        raise ValueError("candidate must be dominating before pruning")
+    counts = (graph.neighbor_count(flags) + flags).tolist()
+    positions = np.flatnonzero(flags)
+    order = positions[np.lexsort((positions, graph.degrees[positions]))]
+    # The examination is inherently sequential (every drop changes the
+    # counts later members see), so the hot loop runs on plain lists --
+    # O(1) indexed updates without per-member array-allocation overhead.
+    col = graph.col.tolist()
+    indptr = graph.indptr
+    keep = flags.tolist()
+    for position in order.tolist():
+        closed = col[indptr[position] : indptr[position + 1]]
+        closed.append(position)
+        # position can be dropped iff everything it covers stays covered.
+        if all(counts[covered] >= 2 for covered in closed):
+            keep[position] = False
+            for covered in closed:
+                counts[covered] -= 1
+    return frozenset(
+        node for node, kept in zip(graph.nodes, keep) if kept
+    )

@@ -21,6 +21,10 @@ This package turns those three programs into code:
   numerical tolerances.
 * :mod:`~repro.lp.duality` -- the Lemma 1 lower bound and general
   weak-duality utilities.
+* :mod:`~repro.lp.sparse` -- the CSR-backed (matrix-free) formulation
+  used for LP certification at the n ≥ 20 000 bulk scale: same
+  interface as the dense formulation, O(n + m) memory, accepted by all
+  feasibility/duality helpers interchangeably.
 """
 
 from repro.lp.duality import (
@@ -40,12 +44,21 @@ from repro.lp.formulation import (
     fractional_objective,
     integer_objective,
 )
-from repro.lp.solver import LPSolution, solve_fractional_mds, solve_weighted_fractional_mds
+from repro.lp.solver import (
+    LPSolution,
+    solve_fractional_mds,
+    solve_fractional_mds_sparse,
+    solve_weighted_fractional_mds,
+    solve_weighted_fractional_mds_sparse,
+)
+from repro.lp.sparse import SparseDominatingSetLP, build_lp_sparse
 
 __all__ = [
     "DominatingSetLP",
     "LPSolution",
+    "SparseDominatingSetLP",
     "build_lp",
+    "build_lp_sparse",
     "check_dual_feasible",
     "check_primal_feasible",
     "dual_objective",
@@ -55,6 +68,8 @@ __all__ = [
     "lemma1_lower_bound",
     "primal_violations",
     "solve_fractional_mds",
+    "solve_fractional_mds_sparse",
     "solve_weighted_fractional_mds",
+    "solve_weighted_fractional_mds_sparse",
     "weak_duality_gap",
 ]

@@ -5,19 +5,33 @@ parts: the produced x-vector is *feasible* for LP_MDS, and its objective is
 within the stated factor of the optimum.  These helpers check the first part
 with explicit numerical tolerances; they are used by unit tests, property
 tests, benchmarks and the end-to-end pipeline's self-checks.
+
+Every check operates through the formulation's ``coverage`` / ``dual_load``
+operators, so both the dense :class:`~repro.lp.formulation.DominatingSetLP`
+and the CSR-backed :class:`~repro.lp.sparse.SparseDominatingSetLP` are
+accepted interchangeably -- the sparse formulation evaluates N·x in
+O(n + m) without materialising a constraint matrix, which is what makes
+feasibility certification routine at n ≥ 20 000.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Sequence
+from typing import TYPE_CHECKING, Hashable, Mapping, Sequence, Union
 
 import numpy as np
 
 from repro.lp.formulation import DominatingSetLP
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lp.sparse import SparseDominatingSetLP
+
+    AnyDominatingSetLP = Union[DominatingSetLP, SparseDominatingSetLP]
+else:  # pragma: no cover
+    AnyDominatingSetLP = DominatingSetLP
+
 
 def check_primal_feasible(
-    lp: DominatingSetLP,
+    lp: "AnyDominatingSetLP",
     x: Mapping[Hashable, float] | Sequence[float],
     tolerance: float = 1e-9,
     return_violation: bool = False,
@@ -27,7 +41,7 @@ def check_primal_feasible(
     Parameters
     ----------
     lp:
-        The LP formulation.
+        The LP formulation (dense or sparse).
     x:
         Candidate primal solution (mapping or canonical-order vector).
     tolerance:
@@ -42,7 +56,7 @@ def check_primal_feasible(
     """
     vector = lp._as_vector(x)
     nonnegativity_violation = float(np.max(np.maximum(-vector, 0.0), initial=0.0))
-    coverage = lp.matrix @ vector
+    coverage = lp.coverage(vector)
     coverage_violation = float(np.max(np.maximum(1.0 - coverage, 0.0), initial=0.0))
     max_violation = max(nonnegativity_violation, coverage_violation)
     feasible = max_violation <= tolerance
@@ -52,7 +66,7 @@ def check_primal_feasible(
 
 
 def check_dual_feasible(
-    lp: DominatingSetLP,
+    lp: "AnyDominatingSetLP",
     y: Mapping[Hashable, float] | Sequence[float],
     tolerance: float = 1e-9,
     return_violation: bool = False,
@@ -65,7 +79,7 @@ def check_dual_feasible(
     """
     vector = lp._as_vector(y)
     nonnegativity_violation = float(np.max(np.maximum(-vector, 0.0), initial=0.0))
-    load = lp.matrix @ vector
+    load = lp.dual_load(vector)
     packing_violation = float(np.max(np.maximum(load - lp.weights, 0.0), initial=0.0))
     max_violation = max(nonnegativity_violation, packing_violation)
     feasible = max_violation <= tolerance
@@ -75,7 +89,7 @@ def check_dual_feasible(
 
 
 def primal_violations(
-    lp: DominatingSetLP,
+    lp: "AnyDominatingSetLP",
     x: Mapping[Hashable, float] | Sequence[float],
     tolerance: float = 1e-9,
 ) -> dict[Hashable, float]:
@@ -84,7 +98,7 @@ def primal_violations(
     Useful for diagnosing *which* nodes a buggy algorithm left uncovered.
     """
     vector = lp._as_vector(x)
-    coverage = lp.matrix @ vector
+    coverage = lp.coverage(vector)
     shortfall = np.maximum(1.0 - coverage, 0.0)
     return {
         node: float(value)

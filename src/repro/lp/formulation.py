@@ -114,21 +114,30 @@ class DominatingSetLP:
 
 def build_lp(
     graph: nx.Graph, weights: Mapping[Hashable, float] | None = None
-) -> DominatingSetLP:
+) -> "DominatingSetLP":
     """Build the dominating set LP of a graph.
 
     Parameters
     ----------
     graph:
-        The input graph.
+        The input graph.  A CSR :class:`~repro.simulator.bulk.BulkGraph`
+        dispatches to :func:`repro.lp.sparse.build_lp_sparse`: the
+        returned formulation exposes the same interface but never
+        materialises the dense n × n constraint matrix.
     weights:
         Optional positive node costs for the weighted dominating set variant;
         defaults to 1 for every node.
 
     Returns
     -------
-    DominatingSetLP
+    DominatingSetLP | SparseDominatingSetLP
     """
+    from repro.graphs.utils import is_bulk_graph
+
+    if is_bulk_graph(graph):
+        from repro.lp.sparse import build_lp_sparse
+
+        return build_lp_sparse(graph, weights=weights)
     if graph.number_of_nodes() == 0:
         raise ValueError("graph has no nodes")
     nodes = tuple(sorted(graph.nodes()))

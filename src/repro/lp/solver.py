@@ -20,6 +20,7 @@ from repro.lp.feasibility import check_primal_feasible
 from repro.lp.formulation import DominatingSetLP, build_lp
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.lp.sparse import SparseDominatingSetLP
     from repro.simulator.bulk import BulkGraph
 
 
@@ -39,21 +40,23 @@ class LPSolution:
         The optimal objective Σ c_i x_i (``LP_OPT``).
     lp:
         The formulation that was solved (kept for downstream feasibility
-        and duality checks).  ``None`` when the LP was solved sparsely from
-        a CSR :class:`~repro.simulator.bulk.BulkGraph` -- at that scale the
-        dense n × n formulation is exactly what the solve avoids building.
+        and duality checks).  Dense solves attach a
+        :class:`DominatingSetLP`; sparse CSR solves attach a matrix-free
+        :class:`~repro.lp.sparse.SparseDominatingSetLP` -- at that scale
+        the dense n × n formulation is exactly what the solve avoids
+        building, but duality certification still needs the canonical
+        ordering, weights and coverage operators.
     """
 
     values: dict[Hashable, float]
     objective: float
-    lp: DominatingSetLP | None
+    lp: "DominatingSetLP | SparseDominatingSetLP | None"
 
     def as_vector(self) -> np.ndarray:
         """The solution as a vector in the LP's canonical node order."""
         if self.lp is None:
             raise ValueError(
-                "no dense formulation attached (sparse CSR solve); "
-                "use the values mapping directly"
+                "no formulation attached; use the values mapping directly"
             )
         return self.lp.vector_from_mapping(self.values)
 
@@ -95,7 +98,9 @@ def solve_weighted_fractional_mds(
     Parameters
     ----------
     graph:
-        Input graph.
+        Input graph.  A CSR :class:`~repro.simulator.bulk.BulkGraph`
+        dispatches to the sparse solve (identical optimum, O(n + m)
+        memory).
     weights:
         Positive node costs; ``None`` means unweighted (all ones).
     tolerance:
@@ -105,6 +110,12 @@ def solve_weighted_fractional_mds(
     -------
     LPSolution
     """
+    from repro.graphs.utils import is_bulk_graph
+
+    if is_bulk_graph(graph):
+        return solve_weighted_fractional_mds_sparse(
+            graph, weights=weights, tolerance=tolerance
+        )
     lp = build_lp(graph, weights=weights)
     # linprog minimises c·x subject to A_ub·x ≤ b_ub, so the covering
     # constraint N·x ≥ 1 becomes -N·x ≤ -1.
@@ -144,18 +155,35 @@ def solve_fractional_mds_sparse(
     (same HiGHS solve, same constraints); feasibility of the returned
     point is verified on the CSR before it is handed out.
     """
-    from scipy import sparse
+    return solve_weighted_fractional_mds_sparse(
+        bulk, weights=None, tolerance=tolerance
+    )
 
-    n = bulk.n
-    data = np.ones(bulk.col.size + n)
-    rows = np.concatenate([bulk.row, np.arange(n, dtype=np.int64)])
-    cols = np.concatenate([bulk.col, np.arange(n, dtype=np.int64)])
-    neighborhood = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
 
+def solve_weighted_fractional_mds_sparse(
+    bulk: "BulkGraph",
+    weights: "Mapping[Hashable, float] | None" = None,
+    tolerance: float = 1e-9,
+) -> LPSolution:
+    """Solve the weighted fractional dominating set LP on a CSR graph.
+
+    The sparse counterpart of :func:`solve_weighted_fractional_mds`: the
+    objective Σ c_i x_i comes from the per-node cost mapping (``None`` =
+    unweighted), the covering constraints from the CSR adjacency -- no
+    dense matrix is ever built, so the weighted solve runs at n ≥ 20 000
+    where the dense formulation alone would need gigabytes.  The returned
+    solution carries a matrix-free
+    :class:`~repro.lp.sparse.SparseDominatingSetLP`, so downstream
+    duality certification (:func:`~repro.lp.duality.weak_duality_gap`,
+    dual feasibility checks) works exactly as for dense solves.
+    """
+    from repro.lp.sparse import build_lp_sparse, neighborhood_csr_matrix
+
+    lp = build_lp_sparse(bulk, weights=weights)
     result = linprog(
-        c=np.ones(n),
-        A_ub=-neighborhood,
-        b_ub=-np.ones(n),
+        c=lp.weights,
+        A_ub=-neighborhood_csr_matrix(bulk),
+        b_ub=-np.ones(bulk.n),
         bounds=(0.0, None),
         method="highs",
     )
@@ -170,9 +198,8 @@ def solve_fractional_mds_sparse(
         raise LPSolverError(
             f"linprog returned an infeasible point (max violation {max_violation:.2e})"
         )
-    values = {
-        node: float(value) for node, value in zip(bulk.nodes, solution_vector)
-    }
     return LPSolution(
-        values=values, objective=float(solution_vector.sum()), lp=None
+        values=lp.mapping_from_vector(solution_vector),
+        objective=float(lp.weights @ solution_vector),
+        lp=lp,
     )

@@ -201,5 +201,9 @@ class TestCentralLPBackends:
             bulk.to_networkx(), seed=1, backend="vectorized"
         )
         assert result.dominating_set == reference.dominating_set
-        assert result.lp_solution.lp is None  # sparse path: no dense LP built
+        # Sparse path: the matrix-free formulation is attached, never a
+        # dense constraint matrix.
+        from repro.lp.sparse import SparseDominatingSetLP
+
+        assert isinstance(result.lp_solution.lp, SparseDominatingSetLP)
         assert result.lp_optimum == pytest.approx(reference.lp_optimum, abs=1e-6)

@@ -1,0 +1,97 @@
+"""Output identity of the bucket-queue (CSR) Guha–Khuller scan."""
+
+import networkx as nx
+import pytest
+
+from repro.cds.bulk_guha_khuller import guha_khuller_connected_dominating_set_bulk
+from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
+from repro.cds.validation import is_connected_dominating_set
+from repro.graphs.generators import graph_suite
+from repro.simulator.bulk import BulkGraph
+
+
+def _largest_component(graph: nx.Graph) -> nx.Graph:
+    component = max(nx.connected_components(graph), key=len)
+    return nx.convert_node_labels_to_integers(graph.subgraph(component).copy())
+
+
+def _connected_suite(scale: str, seed: int):
+    return [
+        (name, _largest_component(graph))
+        for name, graph in sorted(graph_suite(scale, seed=seed).items())
+    ]
+
+
+TINY = _connected_suite("tiny", 5)
+SMALL = _connected_suite("small", 3)
+
+
+class TestBucketQueueIdentity:
+    @pytest.mark.parametrize("name,graph", TINY, ids=[name for name, _ in TINY])
+    def test_tiny_suite(self, name, graph):
+        reference = guha_khuller_connected_dominating_set(graph)
+        bulk = guha_khuller_connected_dominating_set_bulk(BulkGraph.from_graph(graph))
+        assert reference == bulk
+
+    @pytest.mark.parametrize("name,graph", SMALL, ids=[name for name, _ in SMALL])
+    def test_small_suite(self, name, graph):
+        reference = guha_khuller_connected_dominating_set(graph)
+        bulk = guha_khuller_connected_dominating_set_bulk(BulkGraph.from_graph(graph))
+        assert reference == bulk
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_connected_graphs(self, seed):
+        graph = _largest_component(nx.gnp_random_graph(40, 0.1, seed=seed))
+        reference = guha_khuller_connected_dominating_set(graph)
+        bulk = guha_khuller_connected_dominating_set_bulk(BulkGraph.from_graph(graph))
+        assert reference == bulk
+        assert is_connected_dominating_set(graph, bulk)
+
+
+class TestBackendParameter:
+    def test_vectorized_backend_on_networkx(self, grid):
+        assert guha_khuller_connected_dominating_set(
+            grid, backend="vectorized"
+        ) == guha_khuller_connected_dominating_set(grid)
+
+    def test_bulk_input_requires_vectorized(self, grid):
+        bulk = BulkGraph.from_graph(grid)
+        with pytest.raises(ValueError, match="vectorized"):
+            guha_khuller_connected_dominating_set(bulk)
+
+    def test_bulk_input_with_vectorized_backend(self, grid):
+        bulk = BulkGraph.from_graph(grid)
+        assert guha_khuller_connected_dominating_set(
+            bulk, backend="vectorized"
+        ) == guha_khuller_connected_dominating_set(grid)
+
+    def test_unknown_backend_rejected(self, grid):
+        with pytest.raises(ValueError, match="unknown backend"):
+            guha_khuller_connected_dominating_set(grid, backend="quantum")
+
+
+class TestEdgeCases:
+    def test_single_node(self):
+        bulk = BulkGraph(indptr=[0, 0], col=[], nodes=[7])
+        assert guha_khuller_connected_dominating_set_bulk(bulk) == frozenset({7})
+
+    def test_star_picks_hub(self, star):
+        bulk = BulkGraph.from_graph(star)
+        assert guha_khuller_connected_dominating_set_bulk(bulk) == frozenset({0})
+
+    def test_clique_single_pick(self, clique):
+        bulk = BulkGraph.from_graph(clique)
+        assert len(guha_khuller_connected_dominating_set_bulk(bulk)) == 1
+
+    def test_disconnected_raises(self):
+        graph = nx.empty_graph(4)
+        with pytest.raises(ValueError, match="disconnected"):
+            guha_khuller_connected_dominating_set_bulk(BulkGraph.from_graph(graph))
+
+    def test_registry_solve_on_bulk(self, grid):
+        from repro.api import solve
+
+        bulk = BulkGraph.from_graph(grid)
+        report = solve("guha-khuller", bulk, seed=0)
+        assert report.backend == "vectorized"
+        assert report.dominating_set == guha_khuller_connected_dominating_set(grid)

@@ -72,3 +72,54 @@ class TestBackboneStatistics:
     def test_mean_degree_of_clique_backbone(self, clique):
         stats = backbone_statistics(clique, set(clique.nodes()))
         assert stats.mean_backbone_degree == pytest.approx(5.0)
+
+
+class TestBackboneStatisticsBulk:
+    """CSR backbone statistics equal the networkx path, value for value."""
+
+    def _pairs(self):
+        from repro.graphs.generators import graph_suite
+        from repro.simulator.bulk import BulkGraph
+
+        for name, graph in sorted(graph_suite("tiny", seed=11).items()):
+            if not nx.is_connected(graph):
+                component = max(nx.connected_components(graph), key=len)
+                graph = nx.convert_node_labels_to_integers(
+                    graph.subgraph(component).copy()
+                )
+            yield name, graph, BulkGraph.from_graph(graph)
+
+    def test_cds_backbones_match(self):
+        from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
+
+        for name, graph, bulk in self._pairs():
+            cds = guha_khuller_connected_dominating_set(graph)
+            dense = backbone_statistics(graph, cds, sample_pairs=25, seed=4)
+            sparse = backbone_statistics(bulk, cds, sample_pairs=25, seed=4)
+            assert dense == sparse, name
+
+    def test_degenerate_backbones_match(self):
+        for name, graph, bulk in self._pairs():
+            single = {sorted(graph.nodes())[0]}
+            assert backbone_statistics(graph, single, sample_pairs=10, seed=2) == (
+                backbone_statistics(bulk, single, sample_pairs=10, seed=2)
+            ), name
+            everything = set(graph.nodes())
+            assert backbone_statistics(graph, everything, sample_pairs=10, seed=1) == (
+                backbone_statistics(bulk, everything, sample_pairs=10, seed=1)
+            ), name
+
+    def test_disconnected_backbone_on_bulk(self):
+        from repro.simulator.bulk import BulkGraph
+
+        graph = nx.path_graph(7)
+        stats = backbone_statistics(BulkGraph.from_graph(graph), {1, 4, 6})
+        assert not stats.is_connected
+        assert stats.diameter is None and stats.stretch is None
+
+    def test_path_backbone_diameter_on_bulk(self):
+        from repro.simulator.bulk import BulkGraph
+
+        graph = nx.path_graph(7)
+        stats = backbone_statistics(BulkGraph.from_graph(graph), {1, 2, 3, 4, 5})
+        assert stats.is_connected and stats.diameter == 4

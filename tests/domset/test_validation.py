@@ -90,3 +90,59 @@ class TestPruneRedundant:
 
     def test_minimal_set_unchanged(self, star):
         assert prune_redundant(star, {0}) == frozenset({0})
+
+
+class TestPruneRedundantBulk:
+    """The CSR pruner is output-identical to the set-based reference."""
+
+    def _suites(self):
+        from repro.graphs.generators import graph_suite
+
+        for scale, seed in (("tiny", 5), ("small", 3)):
+            yield from sorted(graph_suite(scale, seed=seed).items())
+
+    def test_identical_on_suites_all_nodes(self):
+        from repro.simulator.bulk import BulkGraph
+
+        for name, graph in self._suites():
+            candidate = set(graph.nodes())
+            reference = prune_redundant(graph, candidate)
+            bulk = prune_redundant(BulkGraph.from_graph(graph), candidate)
+            assert reference == bulk, name
+
+    def test_identical_on_greedy_with_slack(self):
+        from repro.baselines.greedy import greedy_dominating_set
+        from repro.simulator.bulk import BulkGraph
+
+        for name, graph in self._suites():
+            greedy = set(greedy_dominating_set(graph))
+            slack = set(sorted(graph.nodes())[: len(greedy)])
+            candidate = greedy | slack
+            reference = prune_redundant(graph, candidate)
+            bulk = prune_redundant(BulkGraph.from_graph(graph), candidate)
+            assert reference == bulk, name
+
+    def test_bulk_requires_dominating_input(self, path):
+        from repro.simulator.bulk import BulkGraph
+
+        with pytest.raises(ValueError):
+            prune_redundant(BulkGraph.from_graph(path), {0})
+
+    def test_bulk_result_dominates(self, unit_disk):
+        from repro.simulator.bulk import BulkGraph
+
+        bulk = BulkGraph.from_graph(unit_disk)
+        pruned = prune_redundant(bulk, set(unit_disk.nodes()))
+        assert is_dominating_set(bulk, pruned)
+        assert is_dominating_set(unit_disk, pruned)
+
+    def test_examination_order_is_degree_then_id(self):
+        # Two degree-1 twins dominating a 4-path: the (degree, id) order
+        # must drop the smaller id first, keeping the larger twin.
+        graph = nx.Graph([(0, 1), (1, 2), (2, 3)])
+        pruned = prune_redundant(graph, {1, 2})
+        assert pruned == frozenset({1, 2})  # both ends need their dominator
+        star = nx.star_graph(3)
+        # Leaves 1..3 all redundant next to the hub: ascending id drops 1,
+        # then 2, then 3 -- only the hub survives.
+        assert prune_redundant(star, {0, 1, 2, 3}) == frozenset({0})

@@ -1,0 +1,188 @@
+"""Unit tests for the CSR-backed (matrix-free) LP formulation and solve."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.generators import graph_suite
+from repro.lp.duality import (
+    certified_lower_bound,
+    lemma1_dual_solution,
+    weak_duality_gap,
+)
+from repro.lp.feasibility import (
+    check_dual_feasible,
+    check_primal_feasible,
+    primal_violations,
+)
+from repro.lp.formulation import DominatingSetLP, build_lp
+from repro.lp.solver import (
+    solve_fractional_mds,
+    solve_fractional_mds_sparse,
+    solve_weighted_fractional_mds,
+    solve_weighted_fractional_mds_sparse,
+)
+from repro.lp.sparse import SparseDominatingSetLP, build_lp_sparse
+from repro.simulator.bulk import BulkGraph
+
+SUITE = sorted(graph_suite("tiny", seed=5).items()) + sorted(
+    graph_suite("small", seed=3).items()
+)
+
+
+def _weights(graph):
+    return {node: 1.0 + (index % 5) for index, node in enumerate(sorted(graph.nodes()))}
+
+
+class TestBuildDispatch:
+    def test_build_lp_returns_sparse_for_bulk(self, grid):
+        lp = build_lp(BulkGraph.from_graph(grid))
+        assert isinstance(lp, SparseDominatingSetLP)
+
+    def test_build_lp_returns_dense_for_networkx(self, grid):
+        assert isinstance(build_lp(grid), DominatingSetLP)
+
+    def test_same_canonical_order_and_weights(self, grid):
+        dense = build_lp(grid, weights=_weights(grid))
+        sparse = build_lp(BulkGraph.from_graph(grid), weights=_weights(grid))
+        assert dense.nodes == sparse.nodes
+        np.testing.assert_array_equal(dense.weights, sparse.weights)
+
+    def test_missing_weights_rejected(self, grid):
+        bulk = BulkGraph.from_graph(grid)
+        with pytest.raises(ValueError, match="weights missing"):
+            build_lp_sparse(bulk, weights={next(iter(grid.nodes())): 1.0})
+
+    def test_negative_weights_rejected(self, grid):
+        bulk = BulkGraph.from_graph(grid)
+        with pytest.raises(ValueError, match="non-negative"):
+            build_lp_sparse(bulk, weights={node: -1.0 for node in grid.nodes()})
+
+
+class TestSparseOperators:
+    @pytest.mark.parametrize("name,graph", SUITE, ids=[name for name, _ in SUITE])
+    def test_coverage_matches_dense(self, name, graph):
+        dense = build_lp(graph)
+        sparse = build_lp_sparse(BulkGraph.from_graph(graph))
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0.0, 1.0, size=len(dense.nodes))
+        np.testing.assert_allclose(sparse.coverage(x), dense.coverage(x), atol=1e-12)
+        np.testing.assert_allclose(sparse.dual_load(x), dense.dual_load(x), atol=1e-12)
+        assert sparse.objective(x) == pytest.approx(dense.objective(x))
+        assert sparse.dual_objective(x) == pytest.approx(dense.dual_objective(x))
+
+    def test_mapping_round_trip(self, grid):
+        sparse = build_lp_sparse(BulkGraph.from_graph(grid))
+        values = {node: 0.25 for node in grid.nodes()}
+        vector = sparse.vector_from_mapping(values)
+        assert sparse.mapping_from_vector(vector) == values
+
+    def test_index_of(self, grid):
+        sparse = build_lp_sparse(BulkGraph.from_graph(grid))
+        for index, node in enumerate(sparse.nodes):
+            assert sparse.index_of(node) == index
+        with pytest.raises(KeyError):
+            sparse.index_of("not-a-node")
+
+
+class TestSparseFeasibility:
+    @pytest.mark.parametrize("name,graph", SUITE, ids=[name for name, _ in SUITE])
+    def test_same_verdicts_as_dense(self, name, graph):
+        dense = build_lp(graph)
+        sparse = build_lp_sparse(BulkGraph.from_graph(graph))
+        all_ones = {node: 1.0 for node in graph.nodes()}
+        all_zero = {node: 0.0 for node in graph.nodes()}
+        lemma1 = lemma1_dual_solution(graph)
+        for point in (all_ones, all_zero, lemma1):
+            assert check_primal_feasible(sparse, point) == check_primal_feasible(
+                dense, point
+            )
+            assert check_dual_feasible(sparse, point) == check_dual_feasible(
+                dense, point
+            )
+
+    def test_violations_match_dense(self, path):
+        dense = build_lp(path)
+        sparse = build_lp_sparse(BulkGraph.from_graph(path))
+        x = {0: 1.0}  # leaves most of the path uncovered
+        assert primal_violations(sparse, x) == primal_violations(dense, x)
+
+    def test_max_violation_values_agree(self, grid):
+        dense = build_lp(grid)
+        sparse = build_lp_sparse(BulkGraph.from_graph(grid))
+        x = {node: 0.1 for node in grid.nodes()}
+        _, dense_violation = check_primal_feasible(dense, x, return_violation=True)
+        _, sparse_violation = check_primal_feasible(sparse, x, return_violation=True)
+        assert sparse_violation == pytest.approx(dense_violation)
+
+
+class TestSparseSolve:
+    @pytest.mark.parametrize("name,graph", SUITE, ids=[name for name, _ in SUITE])
+    def test_unweighted_objective_matches_dense(self, name, graph):
+        dense = solve_fractional_mds(graph)
+        sparse = solve_fractional_mds_sparse(BulkGraph.from_graph(graph))
+        assert sparse.objective == pytest.approx(dense.objective, abs=1e-6)
+
+    @pytest.mark.parametrize(
+        "name,graph", SUITE[:6], ids=[name for name, _ in SUITE[:6]]
+    )
+    def test_weighted_objective_matches_dense(self, name, graph):
+        weights = _weights(graph)
+        dense = solve_weighted_fractional_mds(graph, weights)
+        sparse = solve_weighted_fractional_mds_sparse(
+            BulkGraph.from_graph(graph), weights
+        )
+        assert sparse.objective == pytest.approx(dense.objective, abs=1e-5)
+
+    def test_entry_point_dispatches_bulk(self, grid):
+        bulk = BulkGraph.from_graph(grid)
+        via_entry = solve_weighted_fractional_mds(bulk, _weights(grid))
+        direct = solve_weighted_fractional_mds_sparse(bulk, _weights(grid))
+        assert via_entry.objective == pytest.approx(direct.objective)
+        assert isinstance(via_entry.lp, SparseDominatingSetLP)
+
+    def test_solution_carries_certifiable_formulation(self, unit_disk):
+        bulk = BulkGraph.from_graph(unit_disk)
+        solution = solve_fractional_mds_sparse(bulk)
+        assert isinstance(solution.lp, SparseDominatingSetLP)
+        assert check_primal_feasible(solution.lp, solution.values, tolerance=1e-6)
+        assert solution.as_vector().sum() == pytest.approx(solution.objective)
+
+    def test_expensive_hub_avoided(self):
+        star = nx.star_graph(4)
+        weights = {0: 100.0, **{leaf: 1.0 for leaf in range(1, 5)}}
+        solution = solve_weighted_fractional_mds_sparse(
+            BulkGraph.from_graph(star), weights
+        )
+        assert solution.objective <= 5.0 + 1e-6
+
+
+class TestSparseDuality:
+    @pytest.mark.parametrize("name,graph", SUITE, ids=[name for name, _ in SUITE])
+    def test_gap_matches_dense(self, name, graph):
+        dense = build_lp(graph)
+        sparse = build_lp_sparse(BulkGraph.from_graph(graph))
+        x = {node: 1.0 for node in graph.nodes()}
+        y = lemma1_dual_solution(graph)
+        assert weak_duality_gap(sparse, x, y) == pytest.approx(
+            weak_duality_gap(dense, x, y)
+        )
+
+    def test_gap_nonnegative_for_lp_optimum(self, unit_disk):
+        bulk = BulkGraph.from_graph(unit_disk)
+        solution = solve_fractional_mds_sparse(bulk)
+        gap = weak_duality_gap(
+            solution.lp, solution.values, lemma1_dual_solution(bulk), tolerance=1e-9
+        )
+        assert gap >= -1e-9
+
+    def test_infeasible_dual_rejected(self, grid):
+        sparse = build_lp_sparse(BulkGraph.from_graph(grid))
+        bad = {node: 10.0 for node in grid.nodes()}
+        with pytest.raises(ValueError, match="not a feasible dual"):
+            weak_duality_gap(sparse, {node: 1.0 for node in grid.nodes()}, bad)
+
+    def test_certified_lower_bound_on_bulk(self, grid):
+        bulk = BulkGraph.from_graph(grid)
+        bound = certified_lower_bound(bulk, lemma1_dual_solution(bulk))
+        assert bound == pytest.approx(certified_lower_bound(grid, lemma1_dual_solution(grid)))

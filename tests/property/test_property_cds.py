@@ -54,3 +54,32 @@ class TestGuhaKhullerProperties:
         neighbour is its only connection -- in particular |CDS| ≤ n."""
         cds = guha_khuller_connected_dominating_set(graph)
         assert len(cds) <= graph.number_of_nodes()
+
+
+class TestBucketQueueGuhaKhullerProperties:
+    @CDS_SETTINGS
+    @given(graph=connected_graphs(max_nodes=16))
+    def test_bulk_scan_identity(self, graph):
+        from repro.cds.bulk_guha_khuller import (
+            guha_khuller_connected_dominating_set_bulk,
+        )
+        from repro.simulator.bulk import BulkGraph
+
+        reference = guha_khuller_connected_dominating_set(graph)
+        bulk = guha_khuller_connected_dominating_set_bulk(
+            BulkGraph.from_graph(graph)
+        )
+        assert reference == bulk
+
+    @CDS_SETTINGS
+    @given(graph=connected_graphs(max_nodes=16))
+    def test_backbone_statistics_identity(self, graph):
+        from repro.cds.validation import backbone_statistics
+        from repro.simulator.bulk import BulkGraph
+
+        cds = guha_khuller_connected_dominating_set(graph)
+        dense = backbone_statistics(graph, cds, sample_pairs=10, seed=3)
+        sparse = backbone_statistics(
+            BulkGraph.from_graph(graph), cds, sample_pairs=10, seed=3
+        )
+        assert dense == sparse

@@ -88,3 +88,27 @@ class TestBaselineProperties:
     @given(graph=simple_graphs(max_nodes=14), seed=st.integers(min_value=0, max_value=100))
     def test_random_fill_always_dominates(self, graph, seed):
         assert is_dominating_set(graph, random_dominating_set(graph, seed=seed))
+
+
+class TestBulkTwinProperties:
+    """CSR twins are output-identical to their set-based references."""
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_prune_redundant_bulk_identity(self, graph):
+        from repro.simulator.bulk import BulkGraph
+
+        candidate = set(graph.nodes())
+        reference = prune_redundant(graph, candidate)
+        bulk = prune_redundant(BulkGraph.from_graph(graph), candidate)
+        assert reference == bulk
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(min_nodes=2, max_nodes=14))
+    def test_wu_li_vectorized_identity(self, graph):
+        from repro.baselines.wu_li import wu_li_dominating_set
+
+        simulated = wu_li_dominating_set(graph)
+        vectorized = wu_li_dominating_set(graph, backend="vectorized")
+        assert simulated.dominating_set == vectorized.dominating_set
+        assert simulated.marked == vectorized.marked

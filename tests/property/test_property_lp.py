@@ -71,3 +71,48 @@ class TestWeakDualityProperties:
         lp = build_lp(graph)
         scaled = {node: scale * value for node, value in lemma1_dual_solution(graph).items()}
         assert check_dual_feasible(lp, scaled, tolerance=1e-9)
+
+
+class TestSparseFormulationProperties:
+    """The matrix-free CSR formulation agrees with the dense one everywhere."""
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_sparse_objective_matches_dense(self, graph):
+        from repro.lp.solver import solve_fractional_mds_sparse
+        from repro.simulator.bulk import BulkGraph
+
+        dense = solve_fractional_mds(graph)
+        sparse = solve_fractional_mds_sparse(BulkGraph.from_graph(graph))
+        assert sparse.objective == pytest.approx(dense.objective, abs=1e-5)
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_sparse_feasibility_verdicts_match(self, graph):
+        from repro.lp.sparse import build_lp_sparse
+        from repro.simulator.bulk import BulkGraph
+
+        dense = build_lp(graph)
+        sparse = build_lp_sparse(BulkGraph.from_graph(graph))
+        y = lemma1_dual_solution(graph)
+        for point in ({node: 1.0 for node in graph.nodes()}, y):
+            assert check_primal_feasible(sparse, point) == check_primal_feasible(
+                dense, point
+            )
+            assert check_dual_feasible(sparse, point) == check_dual_feasible(
+                dense, point
+            )
+
+    @COMMON_SETTINGS
+    @given(graph=simple_graphs(max_nodes=14))
+    def test_sparse_weak_duality_gap_nonnegative(self, graph):
+        from repro.lp.duality import weak_duality_gap
+        from repro.lp.solver import solve_fractional_mds_sparse
+        from repro.simulator.bulk import BulkGraph
+
+        bulk = BulkGraph.from_graph(graph)
+        solution = solve_fractional_mds_sparse(bulk)
+        gap = weak_duality_gap(
+            solution.lp, solution.values, lemma1_dual_solution(bulk), tolerance=1e-9
+        )
+        assert gap >= -1e-6

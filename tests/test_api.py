@@ -601,3 +601,27 @@ class TestReviewRegressions:
             [sys.executable, "-c", code], capture_output=True, text=True
         )
         assert result.returncode == 0, result.stderr
+
+
+class TestCDSTwins:
+    """The CDS twin pairs gated by bench_lp_speedup are auto-enumerated."""
+
+    def test_cds_twins_enumerated(self):
+        cds = {
+            spec.name
+            for spec in twin_specs(exclude_cds=False)
+            if spec.produces_cds
+        }
+        assert {"kw-connect", "guha-khuller"} <= cds
+
+    def test_guha_khuller_backend_twins(self, small_graph):
+        import networkx as nx
+
+        component = max(nx.connected_components(small_graph), key=len)
+        graph = nx.convert_node_labels_to_integers(
+            small_graph.subgraph(component).copy()
+        )
+        simulated = solve("guha-khuller", graph, backend="simulated", seed=0)
+        vectorized = solve("guha-khuller", graph, backend="vectorized", seed=0)
+        assert simulated.dominating_set == vectorized.dominating_set
+        assert simulated.objective == vectorized.objective

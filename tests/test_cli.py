@@ -308,3 +308,122 @@ class TestRegistryDrivenCli:
         assert exit_code == 0
         # The runner default (k=2) is reported, not null.
         assert payload["k"] == 2
+
+
+class TestCertifyCommand:
+    def test_certify_defaults(self):
+        args = build_parser().parse_args(["certify"])
+        assert args.algorithm == "kuhn-wattenhofer"
+        assert args.backend == "auto"
+        assert not args.no_lp
+
+    def test_certify_valid_certificate(self, capsys):
+        exit_code = main(
+            [
+                "certify",
+                "--family",
+                "erdos_renyi",
+                "--n",
+                "40",
+                "--p",
+                "0.15",
+                "--seed",
+                "1",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["primal_feasible"] is True
+        assert payload["dual_feasible"] is True
+        assert payload["weak_duality_gap"] >= 0.0
+        assert payload["certified_ratio"] >= 1.0
+        assert payload["certified_lower_bound"] > 0.0
+        assert payload["ratio_vs_lp"] >= 1.0
+        assert payload["formulation"] == "dense"
+
+    def test_certify_no_lp_keeps_lemma1_certificate(self, capsys):
+        exit_code = main(
+            ["certify", "--family", "star", "--n", "12", "--no-lp", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["lp_optimum"] is None
+        assert payload["ratio_vs_lp"] is None
+        assert payload["dual_feasible"] is True
+
+    def test_certify_table_output_reports_validity(self, capsys):
+        exit_code = main(
+            ["certify", "--family", "grid", "--n", "25", "--algorithm", "greedy"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "certificate: VALID" in captured.out
+
+    def test_certify_uses_sparse_formulation_at_scale(self, capsys, monkeypatch):
+        import repro.api
+
+        monkeypatch.setattr(repro.api, "AUTO_VECTORIZE_THRESHOLD", 16)
+        exit_code = main(
+            [
+                "certify",
+                "--family",
+                "erdos_renyi",
+                "--n",
+                "30",
+                "--p",
+                "0.2",
+                "--seed",
+                "3",
+                "--algorithm",
+                "greedy",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["formulation"] == "sparse-csr"
+        assert payload["dual_feasible"] is True
+        assert payload["ratio_vs_lp"] >= 1.0
+
+    def test_certify_forwards_registry_params(self, capsys):
+        exit_code = main(
+            [
+                "certify",
+                "--family",
+                "unit_disk",
+                "--n",
+                "30",
+                "--k",
+                "2",
+                "--algorithm",
+                "kuhn-wattenhofer",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert json.loads(captured.out)["dominating_set_size"] > 0
+
+    def test_certify_disconnected_cds_algorithm_is_a_cli_error(self, capsys):
+        exit_code = main(
+            [
+                "certify",
+                "--family",
+                "erdos_renyi",
+                "--n",
+                "40",
+                "--p",
+                "0.01",
+                "--seed",
+                "0",
+                "--algorithm",
+                "kw-connect",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err

@@ -1,0 +1,118 @@
+"""No-conversion audit: CSR paths never materialise networkx objects.
+
+Satellite of the sparse LP/validation PR: every analysis/validation path
+that has a CSR implementation must *use* it on ``BulkGraph`` inputs --
+neither ``BulkGraph.to_networkx`` (CSR → networkx) nor
+``BulkGraph.from_graph`` (networkx → CSR, i.e. a round trip) may run.
+Both conversion directions are poisoned for the duration of each test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.bulk import bulk_unit_disk_graph
+from repro.simulator.bulk import BulkGraph
+
+
+@pytest.fixture
+def poisoned(monkeypatch):
+    """Make every BulkGraph conversion raise for the test's duration."""
+
+    def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("a CSR code path materialised a networkx graph")
+
+    monkeypatch.setattr(BulkGraph, "to_networkx", forbidden)
+    monkeypatch.setattr(BulkGraph, "from_graph", forbidden)
+
+
+@pytest.fixture
+def bulk() -> BulkGraph:
+    return bulk_unit_disk_graph(300, radius=0.08, seed=2)
+
+
+class TestCertificationStack:
+    def test_sparse_lp_solve_and_duality(self, poisoned, bulk):
+        from repro.lp.duality import lemma1_dual_solution, weak_duality_gap
+        from repro.lp.feasibility import check_dual_feasible, check_primal_feasible
+        from repro.lp.formulation import build_lp
+        from repro.lp.solver import solve_weighted_fractional_mds
+
+        solution = solve_weighted_fractional_mds(bulk, weights=None)
+        lp = build_lp(bulk)
+        assert check_primal_feasible(lp, solution.values, tolerance=1e-6)
+        y = lemma1_dual_solution(bulk)
+        assert check_dual_feasible(lp, y, tolerance=1e-9)
+        assert weak_duality_gap(lp, solution.values, y) >= -1e-9
+
+    def test_quality_report_with_lp(self, poisoned, bulk):
+        from repro.api import solve
+        from repro.domset.quality import quality_report
+
+        report = solve("greedy", bulk, seed=0)
+        quality = quality_report(bulk, report.dominating_set, solve_lp=True)
+        assert quality.is_dominating
+        assert quality.lp_optimum is not None
+        assert quality.ratio_vs_lp >= 1.0 - 1e-9
+
+
+class TestValidationPaths:
+    def test_prune_redundant(self, poisoned, bulk):
+        from repro.domset.validation import is_dominating_set, prune_redundant
+
+        pruned = prune_redundant(bulk, set(bulk.nodes))
+        assert is_dominating_set(bulk, pruned)
+
+    def test_backbone_statistics(self, poisoned, bulk, monkeypatch):
+        from repro.cds.bulk import bulk_largest_component
+        from repro.cds.validation import backbone_statistics
+
+        component = bulk_largest_component(bulk)
+        from repro.cds.bulk_guha_khuller import (
+            guha_khuller_connected_dominating_set_bulk,
+        )
+
+        cds = guha_khuller_connected_dominating_set_bulk(component)
+        stats = backbone_statistics(component, cds, sample_pairs=10, seed=0)
+        assert stats.is_dominating and stats.is_connected
+        assert stats.diameter is not None
+        assert stats.stretch is None or stats.stretch >= 1.0
+
+    def test_guha_khuller_entry_point(self, poisoned, bulk):
+        from repro.cds.bulk import bulk_largest_component
+        from repro.cds.guha_khuller import guha_khuller_connected_dominating_set
+        from repro.cds.validation import is_connected_dominating_set
+
+        component = bulk_largest_component(bulk)
+        cds = guha_khuller_connected_dominating_set(component, backend="vectorized")
+        assert is_connected_dominating_set(component, cds)
+
+
+class TestSweepPaths:
+    def test_sweep_cds_on_bulk_instance(self, poisoned, bulk):
+        from repro.analysis.experiment import as_instances, sweep_cds
+        from repro.cds.bulk import bulk_largest_component
+
+        component = bulk_largest_component(bulk)
+        records = sweep_cds(as_instances({"csr": component}), k=2, seed=0)
+        algorithms = {record.algorithm for record in records}
+        # The centralized reference now joins CSR sweeps (bucket queue).
+        assert "guha-khuller (centralized)" in algorithms
+        assert all(
+            record.measurements["backbone_size"] > 0 for record in records
+        )
+
+    def test_compare_with_sparse_lp_reference(self, poisoned, bulk):
+        from repro.analysis.experiment import as_instances, compare_algorithms
+
+        records = compare_algorithms(
+            as_instances({"csr": bulk}),
+            algorithms=["greedy"],
+            trials=1,
+            seed=0,
+            sparse_lp=True,
+        )
+        (record,) = records
+        assert np.isfinite(record.measurements["lp_optimum"])
+        assert record.measurements["mean_ratio_vs_lp"] >= 1.0 - 1e-9

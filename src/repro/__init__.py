@@ -46,18 +46,22 @@ Every algorithm supports up to two execution engines:
 
 * ``"simulated"`` -- drive one message-passing program per node through
   the synchronous LOCAL-model simulator.  Use it when you need
-  message-level fidelity: execution traces, the invariant monitors, fault
-  injection, or per-message size accounting.
+  message-level fidelity: fault injection, per-message size accounting,
+  or event-by-event execution traces.
 * ``"vectorized"`` -- execute the same bulk-synchronous schedule with
   whole-graph NumPy operations (``repro.core.vectorized`` over
   ``repro.simulator.bulk``).  It produces bitwise-identical x-vectors,
   objectives, round counts and (for a given seed) the same rounded
-  dominating sets, at orders-of-magnitude lower cost.
+  dominating sets, at orders-of-magnitude lower cost -- and records
+  columnar traces (``repro.simulator.columnar``) that feed the same
+  invariant monitors at n ≥ 20 000.
 
 ``solve`` defaults to ``backend="auto"``: CSR ``BulkGraph`` inputs and
 graphs with ``n >= repro.api.AUTO_VECTORIZE_THRESHOLD`` dispatch to the
 vectorized engine (when the algorithm's registered capabilities allow),
-``collect_trace=True`` dispatches to the simulated engine, and impossible
+``collect_trace=True`` restricts dispatch to the backends the spec can
+trace on (event-based ``ExecutionTrace`` on the simulated engine,
+columnar ``ColumnarTrace`` on the vectorized engine), and impossible
 combinations raise one well-worded ``CapabilityError`` naming the
 algorithm, the capability and the backends that support it.
 

@@ -8,6 +8,9 @@
 * :mod:`~repro.analysis.stats` -- trial statistics (means, confidence
   intervals) for the randomized components.
 * :mod:`~repro.analysis.tables` -- ASCII table / CSV rendering of records.
+* :mod:`~repro.analysis.trace_report` -- per-phase observability reports
+  (degree distributions, coverage growth, message histograms) computed by
+  array reductions over execution traces.
 """
 
 from repro.analysis.bounds import (
@@ -44,11 +47,14 @@ from repro.analysis.stats import (
     summarize,
 )
 from repro.analysis.tables import format_value, records_to_csv, render_series, render_table
+from repro.analysis.trace_report import PhaseReport, TraceReport, trace_report
 
 __all__ = [
     "ExperimentRecord",
     "GraphInstance",
+    "PhaseReport",
     "SummaryStatistics",
+    "TraceReport",
     "algorithm2_approximation_bound",
     "algorithm2_round_bound",
     "algorithm3_approximation_bound",
@@ -76,5 +82,6 @@ __all__ = [
     "sweep_fractional",
     "sweep_pipeline",
     "sweep_tradeoff",
+    "trace_report",
     "weighted_approximation_bound",
 ]

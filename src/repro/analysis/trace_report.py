@@ -1,0 +1,239 @@
+"""Per-phase observability reports computed from execution traces.
+
+A *phase* is one outer-loop iteration ℓ of Algorithm 2/3 (k phases in
+total, counting down from k-1 to 0).  The paper's analysis is phrased
+per phase -- the dynamic-degree bound of Lemmas 2/5 shrinks with ℓ, the
+active-set bound of Lemmas 3/6 shrinks within the phase -- so this module
+aggregates a trace into the per-phase quantities worth eyeballing:
+
+* the distribution of dynamic degrees at the start of the phase
+  (mean / P95 / P99 / max -- directly comparable to the Lemma 2 bound),
+* coverage growth: how many nodes are already gray when the phase starts
+  and how many turn gray in each inner iteration,
+* active-node counts per inner iteration (the quantity Lemmas 3/6 bound),
+* the total fractional mass Σx at the end of the phase, and
+* optionally the per-round message histogram (from
+  :class:`~repro.simulator.metrics.ExecutionMetrics`) and per-round
+  message-drop counters (recorded by the simulator under fault models).
+
+Everything is computed by array reductions over a
+:class:`~repro.simulator.columnar.ColumnarTrace`; event-based
+:class:`~repro.simulator.trace.ExecutionTrace` inputs are converted first,
+so both backends' traces produce the same report for the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.simulator.columnar import ColumnarTrace
+from repro.simulator.metrics import ExecutionMetrics
+from repro.simulator.trace import ExecutionTrace
+
+__all__ = ["PhaseReport", "TraceReport", "trace_report"]
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Aggregates for one outer-loop iteration (phase) ℓ."""
+
+    ell: int
+    #: Nodes that reported an ``outer-loop-start`` event for this phase.
+    nodes: int
+    #: White / gray split at the start of the phase.
+    white_at_start: int
+    gray_at_start: int
+    #: Dynamic-degree distribution at the start of the phase.
+    dynamic_degree_mean: float
+    dynamic_degree_p95: float
+    dynamic_degree_p99: float
+    dynamic_degree_max: float
+    #: Active-node count per inner iteration, in execution order (m = k-1..0).
+    active_counts: tuple[int, ...]
+    #: Nodes newly coloured gray per inner iteration, in execution order.
+    newly_gray: tuple[int, ...]
+    #: Total fractional mass Σ x_i after the phase's last inner iteration.
+    x_mass_end: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat dictionary form (JSON-serialisable)."""
+        return {
+            "ell": self.ell,
+            "nodes": self.nodes,
+            "white_at_start": self.white_at_start,
+            "gray_at_start": self.gray_at_start,
+            "dynamic_degree_mean": self.dynamic_degree_mean,
+            "dynamic_degree_p95": self.dynamic_degree_p95,
+            "dynamic_degree_p99": self.dynamic_degree_p99,
+            "dynamic_degree_max": self.dynamic_degree_max,
+            "active_counts": list(self.active_counts),
+            "newly_gray": list(self.newly_gray),
+            "x_mass_end": self.x_mass_end,
+        }
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Per-phase metrics plus whole-execution histograms."""
+
+    phases: tuple[PhaseReport, ...]
+    #: Gray fraction at the start of each phase, in phase order.
+    coverage_growth: tuple[float, ...]
+    #: Messages sent per round (empty when no metrics were supplied).
+    round_messages: tuple[int, ...]
+    #: Per-round (dropped, delivered) counters when the trace recorded
+    #: ``message-drops`` events (simulator under a fault model), else ().
+    round_drops: tuple[tuple[int, int], ...]
+
+    @property
+    def total_dropped(self) -> int:
+        """Messages dropped over the whole execution."""
+        return sum(dropped for dropped, _ in self.round_drops)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat dictionary form (JSON-serialisable)."""
+        return {
+            "phases": [phase.to_dict() for phase in self.phases],
+            "coverage_growth": list(self.coverage_growth),
+            "round_messages": list(self.round_messages),
+            "round_drops": [list(pair) for pair in self.round_drops],
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (used by ``repro trace``)."""
+        lines = []
+        header = (
+            f"{'ell':>4} {'nodes':>7} {'gray%':>7} {'deg~mean':>9} "
+            f"{'deg~p95':>8} {'deg~p99':>8} {'deg~max':>8} "
+            f"{'active (per m)':>18}  {'newly gray':>12} {'sum(x)':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for phase, gray_fraction in zip(self.phases, self.coverage_growth):
+            active = ",".join(str(count) for count in phase.active_counts)
+            gray = ",".join(str(count) for count in phase.newly_gray)
+            lines.append(
+                f"{phase.ell:>4} {phase.nodes:>7} {100.0 * gray_fraction:>6.1f}% "
+                f"{phase.dynamic_degree_mean:>9.2f} "
+                f"{phase.dynamic_degree_p95:>8.2f} {phase.dynamic_degree_p99:>8.2f} "
+                f"{phase.dynamic_degree_max:>8.0f} "
+                f"{active:>18}  {gray:>12} {phase.x_mass_end:>9.4f}"
+            )
+        if self.round_messages:
+            total = sum(self.round_messages)
+            peak = max(self.round_messages)
+            lines.append(
+                f"messages: {total} over {len(self.round_messages)} rounds "
+                f"(peak {peak}/round)"
+            )
+        if self.round_drops:
+            delivered = sum(count for _, count in self.round_drops)
+            lines.append(
+                f"faults: {self.total_dropped} dropped / {delivered} delivered"
+            )
+        return "\n".join(lines)
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    if values.size == 0:
+        return 0.0
+    return float(np.percentile(values, q))
+
+
+def trace_report(
+    trace: ExecutionTrace | ColumnarTrace,
+    metrics: ExecutionMetrics | None = None,
+) -> TraceReport:
+    """Build a :class:`TraceReport` from an execution trace.
+
+    Parameters
+    ----------
+    trace:
+        An event-based or columnar trace of Algorithm 2/3 (or the weighted
+        variant).  Event traces are converted to columnar form first, so
+        both produce identical reports for the same run.
+    metrics:
+        Optional :class:`~repro.simulator.metrics.ExecutionMetrics` whose
+        per-round message counts become the report's message histogram.
+    """
+    if isinstance(trace, ExecutionTrace):
+        trace = trace.to_columnar()
+
+    phases: list[PhaseReport] = []
+    coverage: list[float] = []
+
+    outer_ells = trace.column("outer-loop-start", "ell")
+    outer_nodes_total = int(outer_ells.size)
+    if outer_nodes_total:
+        outer_degrees = trace.column("outer-loop-start", "dynamic_degree").astype(
+            np.float64
+        )
+        outer_colors = trace.column("outer-loop-start", "color")
+        inner_ells = trace.column("inner-loop", "ell")
+        inner_ms = trace.column("inner-loop", "m")
+        inner_active = trace.column("inner-loop", "active")
+        inner_x = trace.column("inner-loop", "x")
+        gray_ells = trace.column("colored-gray", "ell")
+        gray_ms = trace.column("colored-gray", "m")
+
+        seen = np.unique(outer_ells)
+        # Phases execute in descending ell order.
+        for ell in sorted((int(value) for value in seen), reverse=True):
+            outer_mask = outer_ells == ell
+            degrees = outer_degrees[outer_mask]
+            white = int(np.count_nonzero(outer_colors[outer_mask] == "white"))
+            nodes = int(np.count_nonzero(outer_mask))
+            gray = nodes - white
+
+            active_counts: list[int] = []
+            newly_gray: list[int] = []
+            x_mass = 0.0
+            phase_ms = inner_ms[inner_ells == ell]
+            for m in sorted((int(value) for value in np.unique(phase_ms)), reverse=True):
+                inner_mask = (inner_ells == ell) & (inner_ms == m)
+                active_counts.append(int(np.count_nonzero(inner_active[inner_mask])))
+                newly_gray.append(
+                    int(np.count_nonzero((gray_ells == ell) & (gray_ms == m)))
+                )
+                x_mass = float(np.sum(inner_x[inner_mask]))
+
+            phases.append(
+                PhaseReport(
+                    ell=ell,
+                    nodes=nodes,
+                    white_at_start=white,
+                    gray_at_start=gray,
+                    dynamic_degree_mean=float(degrees.mean()) if degrees.size else 0.0,
+                    dynamic_degree_p95=_percentile(degrees, 95.0),
+                    dynamic_degree_p99=_percentile(degrees, 99.0),
+                    dynamic_degree_max=float(degrees.max()) if degrees.size else 0.0,
+                    active_counts=tuple(active_counts),
+                    newly_gray=tuple(newly_gray),
+                    x_mass_end=x_mass,
+                )
+            )
+            coverage.append(gray / nodes if nodes else 0.0)
+
+    round_messages: tuple[int, ...] = ()
+    if metrics is not None:
+        round_messages = tuple(
+            round_metrics.messages_sent for round_metrics in metrics.rounds
+        )
+
+    round_drops: tuple[tuple[int, int], ...] = ()
+    if "message-drops" in trace.kinds():
+        dropped = trace.column("message-drops", "dropped")
+        delivered = trace.column("message-drops", "delivered")
+        round_drops = tuple(
+            (int(d), int(s)) for d, s in zip(dropped.tolist(), delivered.tolist())
+        )
+
+    return TraceReport(
+        phases=tuple(phases),
+        coverage_growth=tuple(coverage),
+        round_messages=round_messages,
+        round_drops=round_drops,
+    )

@@ -22,8 +22,12 @@ execution backend from the spec's capabilities and the input:
 * a :class:`BulkGraph` input (or a networkx graph with
   ``n >= AUTO_VECTORIZE_THRESHOLD``) dispatches to the vectorized bulk
   engine whenever the algorithm supports it;
-* ``collect_trace=True`` dispatches to the simulated per-node engine
-  (the only one that materialises messages);
+* ``collect_trace=True`` restricts dispatch to the backends named in the
+  spec's ``trace_backends`` -- the simulated engine records event-based
+  :class:`~repro.simulator.trace.ExecutionTrace` objects, the vectorized
+  engine columnar :class:`~repro.simulator.columnar.ColumnarTrace`
+  snapshots, and large traced runs stay on the bulk engine instead of
+  being forced through per-node message passing;
 * every impossible combination raises the single, well-worded
   :class:`~repro.core.vectorized.CapabilityError` instead of a scattered
   per-module ``ValueError``.
@@ -219,8 +223,11 @@ class AlgorithmSpec:
     produces_cds:
         The output is a *connected* dominating set; requires a connected
         input graph.
-    supports_trace:
-        ``collect_trace=True`` is available (simulated backend only).
+    trace_backends:
+        Backends on which ``collect_trace=True`` is available (a subset of
+        :attr:`backends`).  The simulated engine records event-based
+        ``ExecutionTrace`` objects, the vectorized engine columnar
+        ``ColumnarTrace`` snapshots; empty means tracing is unsupported.
     supports_multi_k:
         A whole k sweep can run from one engine invocation
         (the ``*_multi_k`` snapshot entry points).
@@ -251,7 +258,7 @@ class AlgorithmSpec:
     accepts_bulk: bool = False
     weighted: bool = False
     produces_cds: bool = False
-    supports_trace: bool = False
+    trace_backends: tuple[str, ...] = ()
     supports_multi_k: bool = False
     deterministic: bool = False
     requires_connected: bool = False
@@ -262,6 +269,15 @@ class AlgorithmSpec:
     def supports_backend(self, backend: str) -> bool:
         """Whether ``backend`` (a concrete backend) is supported."""
         return backend in self.backends
+
+    @property
+    def supports_trace(self) -> bool:
+        """Whether ``collect_trace=True`` is available on any backend."""
+        return bool(self.trace_backends)
+
+    def supports_trace_on(self, backend: str) -> bool:
+        """Whether ``collect_trace=True`` is available on ``backend``."""
+        return backend in self.trace_backends
 
     @property
     def has_backend_twins(self) -> bool:
@@ -298,11 +314,13 @@ def register(spec: AlgorithmSpec) -> AlgorithmSpec:
             f"algorithm {spec.name!r} claims BulkGraph support without the "
             "vectorized backend"
         )
-    if spec.supports_trace and SIMULATED not in spec.backends:
-        raise ValueError(
-            f"algorithm {spec.name!r} claims trace support without the "
-            "simulated backend"
-        )
+    for backend in spec.trace_backends:
+        if backend not in spec.backends:
+            raise ValueError(
+                f"algorithm {spec.name!r} claims trace support on backend "
+                f"{backend!r} it does not execute on; trace_backends must "
+                "be a subset of backends"
+            )
     if spec.in_bulk_comparison and VECTORIZED not in spec.backends:
         raise ValueError(
             f"algorithm {spec.name!r} opts into bulk comparisons without "
@@ -396,9 +414,9 @@ def resolve_backend(
 
     Resolution rules, in order:
 
-    1. ``collect_trace=True`` requires the simulated engine (the only one
-       that materialises per-node messages) -- and an algorithm whose spec
-       declares :attr:`~AlgorithmSpec.supports_trace`.
+    1. ``collect_trace=True`` restricts dispatch to the spec's
+       :attr:`~AlgorithmSpec.trace_backends` (event-based traces on the
+       simulated engine, columnar traces on the vectorized engine).
     2. A CSR :class:`BulkGraph` input requires the vectorized engine
        (there are no per-node programs to run it through).
     3. Otherwise ``auto`` picks the vectorized engine for graphs with
@@ -415,16 +433,10 @@ def resolve_backend(
             f"unknown backend {backend!r}; expected one of "
             + ", ".join(DISPATCH_BACKENDS)
         )
-    if collect_trace and not spec.supports_trace:
+    if collect_trace and not spec.trace_backends:
         raise CapabilityError(spec.name, "collect_trace", backend, ())
     is_bulk = isinstance(graph, BulkGraph)
     if is_bulk:
-        if collect_trace:
-            # Traces need the per-node engine, CSR inputs need the bulk
-            # engine -- no backend satisfies both.
-            raise CapabilityError(
-                spec.name, "collect_trace on BulkGraph (CSR) inputs", backend, ()
-            )
         if not (spec.supports_backend(VECTORIZED) and spec.accepts_bulk):
             # A vectorized engine alone is not enough: the spec must also
             # declare that its entry point consumes CSR inputs natively.
@@ -435,20 +447,24 @@ def resolve_backend(
             raise CapabilityError(
                 spec.name, "BulkGraph (CSR) inputs", SIMULATED, (VECTORIZED,)
             )
+        if collect_trace and not spec.supports_trace_on(VECTORIZED):
+            # CSR inputs pin the bulk engine, which this spec cannot trace.
+            raise CapabilityError(
+                spec.name, "collect_trace", VECTORIZED, spec.trace_backends
+            )
         return VECTORIZED
     if backend == AUTO:
-        if collect_trace:
-            return SIMULATED
-        if spec.has_backend_twins:
+        candidates = spec.trace_backends if collect_trace else spec.backends
+        if SIMULATED in candidates and VECTORIZED in candidates:
             if _node_count(graph) >= AUTO_VECTORIZE_THRESHOLD:
                 return VECTORIZED
             return SIMULATED
-        return spec.backends[0]
+        return candidates[0]
     if not spec.supports_backend(backend):
         raise CapabilityError(spec.name, "execution", backend, spec.backends)
-    if collect_trace and backend == VECTORIZED:
+    if collect_trace and not spec.supports_trace_on(backend):
         raise CapabilityError(
-            spec.name, "collect_trace", VECTORIZED, (SIMULATED,)
+            spec.name, "collect_trace", backend, spec.trace_backends
         )
     return backend
 
@@ -817,7 +833,7 @@ register(
         runner=_run_kuhn_wattenhofer,
         entry_point=kuhn_wattenhofer_dominating_set,
         accepts_bulk=True,
-        supports_trace=True,
+        trace_backends=(SIMULATED, VECTORIZED),
         supports_multi_k=True,
         cli_params=("k", "variant"),
     )
@@ -930,7 +946,7 @@ register(
         entry_point=weighted_kuhn_wattenhofer_dominating_set,
         accepts_bulk=True,
         weighted=True,
-        supports_trace=True,
+        trace_backends=(SIMULATED, VECTORIZED),
         in_comparison=False,
         cli_params=("k",),
     )

@@ -20,6 +20,9 @@ Installed as ``repro-domset`` (see ``pyproject.toml``); also runnable as
   set, dual feasibility of the Lemma-1 assignment, the weak duality
   gap and the certified approximation ratio -- through the matrix-free
   sparse formulation at scale.
+* ``trace``   -- run a trace-capable algorithm with ``collect_trace=True``
+  (on either backend) and print the per-phase observability report plus
+  the Lemma 2-7 invariant verdict.
 * ``algorithms`` -- list the registry: every algorithm with its backends
   and capability flags.
 * ``bounds``  -- print the paper's closed-form bounds for given (k, Δ).
@@ -58,6 +61,11 @@ from repro.analysis.experiment import (
     sweep_tradeoff,
 )
 from repro.analysis.tables import records_to_csv, render_table
+from repro.analysis.trace_report import trace_report
+from repro.core.invariants import (
+    check_algorithm2_invariants,
+    check_algorithm3_invariants,
+)
 from repro.api import (
     AUTO,
     DISPATCH_BACKENDS,
@@ -420,6 +428,68 @@ def _command_certify(args: argparse.Namespace) -> int:
     return 0 if certified else 1
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    spec = get_spec(args.algorithm)
+    params = _registry_params(spec, args)
+    try:
+        report = api_solve(
+            spec,
+            graph,
+            backend=args.backend,
+            seed=args.seed,
+            collect_trace=True,
+            **params,
+        )
+    except (CapabilityError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    fractional = report.raw.fractional
+    observability = trace_report(fractional.trace, fractional.metrics)
+
+    # The weighted variant's cost-scaled x-values don't satisfy the
+    # unweighted Lemma 2-7 statements verbatim, so the invariant verdict
+    # only applies to the plain pipeline.
+    invariants = None
+    if spec.name == "kuhn-wattenhofer" and not args.no_invariants:
+        variant = params.get("variant", FractionalVariant.UNKNOWN_DELTA)
+        if variant is FractionalVariant.KNOWN_DELTA:
+            invariants = check_algorithm2_invariants(graph, fractional.trace, fractional.k)
+        else:
+            invariants = check_algorithm3_invariants(graph, fractional.trace, fractional.k)
+
+    trace_kind = type(fractional.trace).__name__
+    if args.json:
+        payload = {
+            "n": graph.number_of_nodes(),
+            "algorithm": report.algorithm,
+            "backend": report.backend,
+            "k": report.params.get("k"),
+            "trace": trace_kind,
+            "events": len(fractional.trace),
+            "report": observability.to_dict(),
+        }
+        if invariants is not None:
+            payload["invariants"] = {
+                "checked": invariants.checked,
+                "ok": invariants.ok,
+                "violations": [str(violation) for violation in invariants.violations],
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{report.algorithm} ({report.backend}, k={report.params.get('k')}): "
+            f"{len(fractional.trace)} events in a {trace_kind}"
+        )
+        print(observability.render())
+        if invariants is not None:
+            verdict = "OK" if invariants.ok else "VIOLATED"
+            print(f"invariants (Lemmas over {invariants.checked} checks): {verdict}")
+            for violation in invariants.violations:
+                print(f"  {violation}")
+    return 0 if invariants is None or invariants.ok else 1
+
+
 def _command_algorithms(args: argparse.Namespace) -> int:
     rows = []
     for spec in iter_specs():
@@ -430,7 +500,7 @@ def _command_algorithms(args: argparse.Namespace) -> int:
                 "bulk": spec.accepts_bulk,
                 "weighted": spec.weighted,
                 "cds": spec.produces_cds,
-                "trace": spec.supports_trace,
+                "trace": "+".join(spec.trace_backends) if spec.trace_backends else "-",
                 "multi_k": spec.supports_multi_k,
                 "summary": spec.summary,
             }
@@ -595,6 +665,38 @@ def build_parser() -> argparse.ArgumentParser:
     cds.add_argument("--k", type=int, default=2)
     cds.add_argument("--csv", action="store_true")
     cds.set_defaults(handler=_command_cds)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help=(
+            "run a trace-capable algorithm with collect_trace=True and "
+            "print the per-phase observability report plus the Lemma 2-7 "
+            "invariant verdict"
+        ),
+    )
+    _add_graph_arguments(trace)
+    trace.add_argument(
+        "--algorithm",
+        choices=[spec.name for spec in iter_specs() if spec.supports_trace],
+        default="kuhn-wattenhofer",
+        help="trace-capable algorithm to run (default: the paper's pipeline)",
+    )
+    trace.add_argument("--k", type=int, default=None, help="locality parameter")
+    trace.add_argument(
+        "--variant",
+        choices=[variant.value for variant in FractionalVariant],
+        default=None,
+        help="fractional variant (default: unknown_delta)",
+    )
+    trace.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the invariant checkers (report only)",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="print JSON instead of the report"
+    )
+    trace.set_defaults(handler=_command_trace)
 
     algorithms = subparsers.add_parser(
         "algorithms", help="list the algorithm registry and its capabilities"

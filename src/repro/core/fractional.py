@@ -21,12 +21,12 @@ import networkx as nx
 from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
-    CapabilityError,
     resolve_bulk_input,
     run_algorithm2_bulk,
     run_algorithm2_bulk_multi_k,
     validate_backend,
 )
+from repro.simulator.columnar import ColumnarTrace
 from repro.graphs.utils import max_degree, validate_simple_graph
 from repro.simulator.bulk import BulkGraph
 from repro.simulator.message import Message
@@ -67,7 +67,7 @@ class FractionalResult:
     objective: float
     rounds: int
     metrics: ExecutionMetrics
-    trace: ExecutionTrace
+    trace: ExecutionTrace | ColumnarTrace
     k: int
     max_degree: int
 
@@ -181,24 +181,25 @@ def _vectorized_fractional_result(
     """Shared vectorized-backend dispatch for Algorithms 2 and 3.
 
     ``run_bulk`` is the bulk runner bound to its algorithm parameters; it
-    receives the :class:`BulkGraph` and returns ``(values, metrics)``.
-    ``bulk`` lets the pipeline reuse one CSR build across both phases;
-    ``algorithm`` names the entry point in the capability error raised
-    when a trace is requested (the vectorized engine has no per-node
-    programs to trace).
+    receives the :class:`BulkGraph` and an optional
+    :class:`~repro.simulator.columnar.ColumnarTrace` and returns
+    ``(values, metrics)``.  ``bulk`` lets the pipeline reuse one CSR build
+    across both phases; ``algorithm`` is kept for signature stability.
+    When ``collect_trace`` is set the engine fills a columnar trace (the
+    per-node programs' events in structure-of-arrays form) that lands on
+    ``FractionalResult.trace``.
     """
-    if collect_trace:
-        raise CapabilityError(algorithm, "collect_trace", VECTORIZED, (SIMULATED,))
     if bulk is None:
         bulk = BulkGraph.from_graph(graph)
-    values, metrics = run_bulk(bulk)
+    trace = ColumnarTrace() if collect_trace else None
+    values, metrics = run_bulk(bulk, trace)
     x = {node: float(value) for node, value in zip(bulk.nodes, values)}
     return FractionalResult(
         x=x,
         objective=float(sum(x.values())),
         rounds=metrics.round_count,
         metrics=metrics,
-        trace=ExecutionTrace(),
+        trace=trace if trace is not None else ExecutionTrace(),
         k=k,
         max_degree=true_delta,
     )
@@ -236,7 +237,11 @@ def approximate_fractional_mds(
         seed only matters for reproducibility bookkeeping.
     collect_trace:
         Record a full execution trace (needed by the invariant monitors and
-        the Figure-1 experiment).  Only supported by the simulated backend.
+        the Figure-1 experiment).  The simulated backend records an
+        event-based :class:`~repro.simulator.trace.ExecutionTrace`; the
+        vectorized backend records the same information as a
+        :class:`~repro.simulator.columnar.ColumnarTrace` (losslessly
+        convertible to events) at O(rounds · n) array cost.
     delta:
         Override for the Δ value distributed to the nodes.  Defaults to the
         true maximum degree of ``graph``; passing a larger value emulates
@@ -274,7 +279,7 @@ def approximate_fractional_mds(
             graph,
             k,
             collect_trace,
-            lambda bulk: run_algorithm2_bulk(bulk, k=k, delta=delta),
+            lambda bulk, trace: run_algorithm2_bulk(bulk, k=k, delta=delta, trace=trace),
             true_delta,
             bulk=_bulk,
         )

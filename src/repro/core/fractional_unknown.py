@@ -247,7 +247,7 @@ def approximate_fractional_mds_unknown_delta(
             graph,
             k,
             collect_trace,
-            lambda bulk: run_algorithm3_bulk(bulk, k=k),
+            lambda bulk, trace: run_algorithm3_bulk(bulk, k=k, trace=trace),
             max_degree(graph),
             bulk=_bulk,
             algorithm="approximate_fractional_mds_unknown_delta",

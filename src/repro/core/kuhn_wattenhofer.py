@@ -139,8 +139,9 @@ def kuhn_wattenhofer_dominating_set(
         Probability multiplier for Algorithm 1.
     collect_trace:
         Record an execution trace of the fractional phase (needed for
-        invariant checking; adds memory overhead).  Only supported by the
-        simulated backend.
+        invariant checking; adds memory overhead).  The simulated backend
+        records event objects, the vectorized backend columnar arrays --
+        see :mod:`repro.simulator.columnar`.
     backend:
         ``"simulated"`` drives both phases through the message-passing
         simulator; ``"vectorized"`` uses the bulk-synchronous array engine

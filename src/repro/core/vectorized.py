@@ -39,6 +39,7 @@ from repro.simulator.bulk import (
     float_payload_bits,
     int_payload_bits,
 )
+from repro.simulator.columnar import ColumnarTrace
 from repro.simulator.metrics import ExecutionMetrics
 
 #: The execution backends exposed by the public entry points.
@@ -156,6 +157,74 @@ def _unique_map(values: np.ndarray, func: Callable[[int], float]) -> np.ndarray:
     return table[inverse]
 
 
+class _TraceRecorder:
+    """Columnar trace writer for the bulk fractional engines.
+
+    Appends the same events the per-node programs emit -- identical kinds,
+    payload keys, values and round indices -- but one
+    :meth:`~repro.simulator.columnar.ColumnarTrace.record_group` call per
+    event kind per (outer, inner) iteration instead of one Python object
+    per node, i.e. O(rounds · n) array cost.  The round index recorded for
+    each event equals ``BulkMetricsBuilder.exchange_count`` at the
+    recording site, which is exactly the node programs' ``round_counter``
+    at the corresponding ``trace_event`` call.  Only the within-round
+    event order differs from the simulator (whole kinds at a time instead
+    of node-major interleaving); every per-node value is bitwise equal.
+    """
+
+    def __init__(self, trace: ColumnarTrace, bulk: BulkGraph) -> None:
+        self._trace = trace
+        self._nodes = np.asarray(bulk.nodes, dtype=np.int64)
+
+    @staticmethod
+    def _colors(white: np.ndarray) -> np.ndarray:
+        # The literals match fractional.WHITE / fractional.GRAY (importing
+        # them here would be circular: fractional imports this module).
+        return np.where(white, "white", "gray")
+
+    def outer_start(
+        self,
+        rc: int,
+        ell: int,
+        dynamic_degree: np.ndarray,
+        x: np.ndarray,
+        white: np.ndarray,
+        gamma_two: np.ndarray | None = None,
+    ) -> None:
+        data: dict = {"ell": ell, "dynamic_degree": dynamic_degree}
+        if gamma_two is not None:
+            data["gamma_two"] = gamma_two
+        data["x"] = x
+        data["color"] = self._colors(white)
+        self._trace.record_group("outer-loop-start", rc, self._nodes, **data)
+
+    def inner(
+        self,
+        rc: int,
+        ell: int,
+        m: int,
+        active: np.ndarray,
+        x: np.ndarray,
+        white: np.ndarray,
+        dynamic_degree: np.ndarray,
+        a_value: np.ndarray | None = None,
+        a_one: np.ndarray | None = None,
+    ) -> None:
+        data: dict = {"ell": ell, "m": m, "active": active}
+        if a_value is not None:
+            data["a_value"] = a_value
+            data["a_one"] = a_one
+        data["x"] = x
+        data["color"] = self._colors(white)
+        data["dynamic_degree"] = dynamic_degree
+        self._trace.record_group("inner-loop", rc, self._nodes, **data)
+
+    def colored_gray(self, rc: int, ell: int, m: int, newly_gray: np.ndarray) -> None:
+        self._trace.record_group(
+            "colored-gray", rc, self._nodes[newly_gray], ell=ell, m=m
+        )
+
+
 def _delta_two(bulk: BulkGraph, metrics: BulkMetricsBuilder) -> np.ndarray:
     """δ⁽²⁾ per node: two degree-max exchanges, recorded in program order."""
     metrics.record_exchange(int_payload_bits(bulk.degrees))
@@ -170,20 +239,28 @@ def _delta_two(bulk: BulkGraph, metrics: BulkMetricsBuilder) -> np.ndarray:
 
 
 def run_algorithm2_bulk(
-    bulk: BulkGraph, k: int, delta: int
+    bulk: BulkGraph, k: int, delta: int, trace: ColumnarTrace | None = None
 ) -> tuple[np.ndarray, ExecutionMetrics]:
     """Vectorized Algorithm 2: the same 2k² exchanges as the node program.
 
     Returns the per-node x-vector (indexed like ``bulk.nodes``) and the
-    modeled execution metrics.  Delegates to the snapshot engine with a
-    one-element sweep, so the single-k and multi-k paths cannot drift:
-    there is exactly one copy of the loop body.
+    modeled execution metrics.  When ``trace`` is given, per-iteration
+    columnar snapshots are recorded into it (the same events the node
+    program emits).  Delegates to the snapshot engine with a one-element
+    sweep, so the single-k and multi-k paths cannot drift: there is
+    exactly one copy of the loop body.
     """
-    return run_algorithm2_bulk_multi_k(bulk, (k,), delta=delta)[k]
+    traces = None if trace is None else {k: trace}
+    return run_algorithm2_bulk_multi_k(bulk, (k,), delta=delta, traces=traces)[k]
 
 
 def run_weighted_algorithm2_bulk(
-    bulk: BulkGraph, k: int, delta: int, costs: np.ndarray, c_max: float
+    bulk: BulkGraph,
+    k: int,
+    delta: int,
+    costs: np.ndarray,
+    c_max: float,
+    trace: ColumnarTrace | None = None,
 ) -> tuple[np.ndarray, ExecutionMetrics]:
     """Vectorized weighted Algorithm 2 (remark after Theorem 4).
 
@@ -206,6 +283,9 @@ def run_weighted_algorithm2_bulk(
         Per-node costs c_i ∈ [1, c_max], indexed like ``bulk.nodes``.
     c_max:
         The global maximum cost.
+    trace:
+        Optional :class:`~repro.simulator.columnar.ColumnarTrace` to fill
+        with per-iteration snapshots.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
@@ -221,18 +301,29 @@ def run_weighted_algorithm2_bulk(
     white = np.ones(bulk.n, dtype=bool)
     dynamic_degree = bulk.degrees + 1
     metrics = BulkMetricsBuilder(bulk.degrees)
+    recorder = None if trace is None else _TraceRecorder(trace, bulk)
 
     for ell in range(k - 1, -1, -1):
         threshold = weighted_base ** (ell / k)
+        if recorder is not None:
+            recorder.outer_start(metrics.exchange_count, ell, dynamic_degree, x, white)
         for m in range(k - 1, -1, -1):
             # Weighted activity rule: cost-scaled dynamic degree.
             active = cost_scale * dynamic_degree >= threshold
             boost = 1.0 / base ** (m / k)
             x = np.where(active, np.maximum(x, boost), x)
+            if recorder is not None:
+                recorder.inner(
+                    metrics.exchange_count, ell, m, active, x, white, dynamic_degree
+                )
 
             # Exchange x-values; colour gray once covered.
             metrics.record_exchange(float_payload_bits(x))
             coverage = x + bulk.neighbor_sum(x)
+            if recorder is not None:
+                recorder.colored_gray(
+                    metrics.exchange_count, ell, m, white & (coverage >= 1.0)
+                )
             white &= coverage < 1.0
 
             # Exchange colours; recompute the dynamic degree.
@@ -243,7 +334,10 @@ def run_weighted_algorithm2_bulk(
 
 
 def run_algorithm2_bulk_multi_k(
-    bulk: BulkGraph, k_values: Sequence[int], delta: int
+    bulk: BulkGraph,
+    k_values: Sequence[int],
+    delta: int,
+    traces: Mapping[int, ColumnarTrace] | None = None,
 ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]]:
     """Snapshot engine: Algorithm 2 for every k in one engine invocation.
 
@@ -259,6 +353,11 @@ def run_algorithm2_bulk_multi_k(
     ``run_algorithm2_bulk(bulk, k, delta)``: identical x-vectors and
     identical modeled metrics, because every shared value is produced by
     the exact expression the single-k engine evaluates.
+
+    ``traces`` optionally maps a k to a
+    :class:`~repro.simulator.columnar.ColumnarTrace`; for those k the
+    engine records per-iteration snapshots (the per-node programs' trace
+    events, in columnar form) into the given trace.
 
     Returns ``{k: (x, metrics)}`` for every requested k.
     """
@@ -281,17 +380,32 @@ def run_algorithm2_bulk_multi_k(
         white = np.ones(bulk.n, dtype=bool)
         dynamic_degree = bulk.degrees + 1
         metrics = BulkMetricsBuilder(bulk.degrees)
+        recorder = None
+        if traces is not None and k in traces:
+            recorder = _TraceRecorder(traces[k], bulk)
         for ell in range(k - 1, -1, -1):
             threshold = base_power(ell / k)
+            if recorder is not None:
+                recorder.outer_start(
+                    metrics.exchange_count, ell, dynamic_degree, x, white
+                )
             for m in range(k - 1, -1, -1):
                 # Lines 6-8: active nodes raise their x-value.
                 active = dynamic_degree >= threshold
                 boost = 1.0 / base_power(m / k)
                 x = np.where(active, np.maximum(x, boost), x)
+                if recorder is not None:
+                    recorder.inner(
+                        metrics.exchange_count, ell, m, active, x, white, dynamic_degree
+                    )
 
                 # Exchange x-values; colour gray once covered (lines 11-12).
                 metrics.record_exchange(float_payload_bits(x))
                 coverage = x + bulk.neighbor_sum(x)
+                if recorder is not None:
+                    recorder.colored_gray(
+                        metrics.exchange_count, ell, m, white & (coverage >= 1.0)
+                    )
                 white &= coverage < 1.0
 
                 # Exchange colours; recompute the dynamic degree (lines 9-10).
@@ -307,18 +421,22 @@ def run_algorithm2_bulk_multi_k(
 
 
 def run_algorithm3_bulk(
-    bulk: BulkGraph, k: int
+    bulk: BulkGraph, k: int, trace: ColumnarTrace | None = None
 ) -> tuple[np.ndarray, ExecutionMetrics]:
     """Vectorized Algorithm 3: the same 4k² + 2k + 2 exchanges as the program.
 
     Delegates to the snapshot engine with a one-element sweep -- one copy
-    of the loop body serves both the single-k and multi-k paths.
+    of the loop body serves both the single-k and multi-k paths.  When
+    ``trace`` is given, per-iteration columnar snapshots are recorded.
     """
-    return run_algorithm3_bulk_multi_k(bulk, (k,))[k]
+    traces = None if trace is None else {k: trace}
+    return run_algorithm3_bulk_multi_k(bulk, (k,), traces=traces)[k]
 
 
 def run_algorithm3_bulk_multi_k(
-    bulk: BulkGraph, k_values: Sequence[int]
+    bulk: BulkGraph,
+    k_values: Sequence[int],
+    traces: Mapping[int, ColumnarTrace] | None = None,
 ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]]:
     """Snapshot engine: Algorithm 3 for every k in one engine invocation.
 
@@ -351,8 +469,16 @@ def run_algorithm3_bulk_multi_k(
         metrics.record_exchange(int_payload_bits(delta_one))
         gamma_two = initial_gamma_two
         dynamic_degree = bulk.degrees + 1
+        recorder = None
+        if traces is not None and k in traces:
+            recorder = _TraceRecorder(traces[k], bulk)
 
         for ell in range(k - 1, -1, -1):
+            if recorder is not None:
+                recorder.outer_start(
+                    metrics.exchange_count, ell, dynamic_degree, x, white,
+                    gamma_two=gamma_two,
+                )
             for m in range(k - 1, -1, -1):
                 # Lines 7-9: activity threshold γ⁽²⁾^(ℓ/(ℓ+1)), one exchange.
                 threshold = _unique_powers_cached(
@@ -378,10 +504,19 @@ def run_algorithm3_bulk_multi_k(
                         a_one[active].astype(np.float64), -m / (m + 1), power_cache
                     )
                     x[active] = np.maximum(x[active], boost)
+                if recorder is not None:
+                    recorder.inner(
+                        metrics.exchange_count, ell, m, active, x, white,
+                        dynamic_degree, a_value=a_value, a_one=a_one,
+                    )
 
                 # Line 18: exchange x-values; line 19: colour once covered.
                 metrics.record_exchange(float_payload_bits(x))
                 coverage = x + bulk.neighbor_sum(x)
+                if recorder is not None:
+                    recorder.colored_gray(
+                        metrics.exchange_count, ell, m, white & (coverage >= 1.0)
+                    )
                 white &= coverage < 1.0
 
                 # Lines 20-21: exchange colours, recompute dynamic degree.

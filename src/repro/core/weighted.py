@@ -29,7 +29,6 @@ from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_s
 from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
-    CapabilityError,
     resolve_bulk_input,
     run_weighted_algorithm2_bulk,
     validate_backend,
@@ -43,6 +42,7 @@ from repro.simulator.network import Network
 from repro.simulator.node import NodeContext
 from repro.simulator.runtime import SynchronousRunner
 from repro.simulator.script import GeneratorNodeProgram
+from repro.simulator.columnar import ColumnarTrace
 from repro.simulator.trace import ExecutionTrace
 
 
@@ -74,9 +74,10 @@ class WeightedFractionalResult:
     k: int
     max_degree: int
     c_max: float
-    #: Execution trace of the fractional phase (empty unless the run was
-    #: simulated with ``collect_trace=True``).
-    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    #: Execution trace of the fractional phase (empty unless the run
+    #: collected one; event-based on the simulated backend, columnar on
+    #: the vectorized backend).
+    trace: ExecutionTrace | ColumnarTrace = field(default_factory=ExecutionTrace)
 
 
 class WeightedAlgorithm2Program(GeneratorNodeProgram):
@@ -197,8 +198,11 @@ def approximate_weighted_fractional_mds(
     seed:
         Seed for reproducibility bookkeeping (the algorithm is deterministic).
     collect_trace:
-        Record a full execution trace (invariant monitors).  Like the
-        unweighted entry points, only the simulated backend can trace.
+        Record a full execution trace (invariant monitors).  The simulated
+        backend records an event-based
+        :class:`~repro.simulator.trace.ExecutionTrace`; the vectorized
+        backend records the same information as a columnar
+        :class:`~repro.simulator.columnar.ColumnarTrace`.
     backend:
         ``"simulated"`` drives per-node message passing; ``"vectorized"``
         computes the identical x-vector (bitwise, like the unweighted
@@ -209,13 +213,6 @@ def approximate_weighted_fractional_mds(
     WeightedFractionalResult
     """
     validate_backend(backend)
-    if collect_trace and backend == VECTORIZED:
-        raise CapabilityError(
-            "approximate_weighted_fractional_mds",
-            "collect_trace",
-            VECTORIZED,
-            (SIMULATED,),
-        )
     _bulk = resolve_bulk_input(graph, backend, _bulk)
     if _bulk is not graph:
         validate_simple_graph(graph)
@@ -231,8 +228,9 @@ def approximate_weighted_fractional_mds(
         costs = np.array(
             [float(weights[node]) for node in bulk.nodes], dtype=np.float64
         )
+        trace = ColumnarTrace() if collect_trace else None
         values, metrics = run_weighted_algorithm2_bulk(
-            bulk, k=k, delta=delta, costs=costs, c_max=c_max
+            bulk, k=k, delta=delta, costs=costs, c_max=c_max, trace=trace
         )
         x = {node: float(value) for node, value in zip(bulk.nodes, values)}
         return WeightedFractionalResult(
@@ -246,6 +244,7 @@ def approximate_weighted_fractional_mds(
             k=k,
             max_degree=delta,
             c_max=c_max,
+            trace=trace if trace is not None else ExecutionTrace(),
         )
 
     def factory(node_id: int, network: Network) -> WeightedAlgorithm2Program:
@@ -340,8 +339,8 @@ def weighted_kuhn_wattenhofer_dominating_set(
     rounding_rule:
         Probability multiplier for Algorithm 1.
     collect_trace:
-        Record an execution trace of the fractional phase (simulated
-        backend only).
+        Record an execution trace of the fractional phase (event-based on
+        the simulated backend, columnar on the vectorized backend).
     backend:
         Execution engine for both phases; for a given seed both backends
         select the same dominating set.

@@ -24,12 +24,16 @@ model:
   injection used by the robustness experiments.
 * :mod:`~repro.simulator.trace` -- structured execution traces (used by the
   Figure-1 cascade experiment).
+* :mod:`~repro.simulator.columnar` -- the same traces as NumPy columns
+  (structure-of-arrays), losslessly convertible both ways and cheap enough
+  to collect at n >= 20 000 on the vectorized backend.
 * :mod:`~repro.simulator.bulk` -- the CSR substrate of the *vectorized*
   backend: whole-graph neighbourhood operators with the simulator's
   accumulation order, plus modeled :class:`ExecutionMetrics`.
 """
 
 from repro.simulator.bulk import BulkGraph, BulkMetricsBuilder
+from repro.simulator.columnar import ColumnarTrace
 from repro.simulator.faults import (
     CrashStopFaults,
     FaultModel,
@@ -47,6 +51,7 @@ from repro.simulator.trace import ExecutionTrace, TraceEvent
 __all__ = [
     "BulkGraph",
     "BulkMetricsBuilder",
+    "ColumnarTrace",
     "CrashStopFaults",
     "ExecutionMetrics",
     "ExecutionResult",

@@ -139,6 +139,11 @@ class BulkGraph:
         self._nonempty_starts = self.indptr[self._nonempty]
         # node -> position, built lazily by index_of.
         self._index: dict[Hashable, int] | None = None
+        # Lazy augmented-CSR structure for closed_chain_sum.
+        self._chain_senders: np.ndarray | None = None
+        self._chain_carry_slots: np.ndarray | None = None
+        self._chain_value_mask: np.ndarray | None = None
+        self._chain_row: np.ndarray | None = None
 
     @classmethod
     def from_graph(cls, graph: nx.Graph) -> "BulkGraph":
@@ -311,6 +316,59 @@ class BulkGraph:
     def neighbor_any(self, flags: np.ndarray) -> np.ndarray:
         """Whether any open-neighbourhood flag is set, per node."""
         return self.neighbor_count(flags) > 0
+
+    def closed_chain_sum(self, carry: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Left-to-right chain ``carry_i + Σ values_j`` over closed N[i].
+
+        For each node ``i`` this evaluates
+        ``(((carry_i + v_{j1}) + v_{j2}) + ...)`` where ``j1 < j2 < ...``
+        ranges over the *closed* neighbourhood of ``i`` in ascending node
+        order -- the node's own value participates at its sorted position,
+        and the carry is the leading term of the chain.  This is exactly
+        the accumulation order of a central bookkeeping loop that walks
+        nodes in ascending order and does ``acc[i] += values[j]`` for every
+        sender ``j`` with ``i`` in N[j], starting from ``acc = carry`` --
+        the order the Lemma 4/7 z-value reconstruction in
+        :mod:`repro.core.invariants` uses -- so results are bitwise equal
+        to that Python loop, not merely close.
+        """
+        if self._chain_senders is None:
+            # Augmented CSR: per row, one leading carry slot, then the
+            # closed neighbourhood with the node itself inserted at its
+            # ascending position among its neighbours.
+            n = self.n
+            total = int(self.col.size) + 2 * n
+            slots = self.degrees + 2
+            indptr = np.concatenate(
+                ([0], np.cumsum(slots))
+            ).astype(np.int64)
+            senders = np.empty(total, dtype=np.int64)
+            carry_slots = indptr[:-1]
+            senders[carry_slots] = -1  # placeholder, filled per call
+            offset_in_row = np.arange(self.col.size, dtype=np.int64) - self.indptr[
+                self.row
+            ]
+            entry_slots = (
+                indptr[self.row] + 1 + offset_in_row + (self.col > self.row)
+            )
+            senders[entry_slots] = self.col
+            count_less = np.bincount(
+                self.row[self.col < self.row], minlength=n
+            ).astype(np.int64)
+            self_slots = carry_slots + 1 + count_less
+            senders[self_slots] = np.arange(n, dtype=np.int64)
+            self._chain_senders = senders
+            self._chain_carry_slots = carry_slots
+            self._chain_value_mask = np.ones(total, dtype=bool)
+            self._chain_value_mask[carry_slots] = False
+            self._chain_row = np.repeat(np.arange(n, dtype=np.int64), slots)
+        weights = np.empty(self._chain_senders.size, dtype=np.float64)
+        weights[self._chain_carry_slots] = np.asarray(carry, dtype=np.float64)
+        mask = self._chain_value_mask
+        weights[mask] = np.asarray(values, dtype=np.float64)[
+            self._chain_senders[mask]
+        ]
+        return np.bincount(self._chain_row, weights=weights, minlength=self.n)
 
 
 class BulkMetricsBuilder:

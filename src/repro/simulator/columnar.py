@@ -1,0 +1,323 @@
+"""Columnar (structure-of-arrays) execution traces.
+
+:class:`~repro.simulator.trace.ExecutionTrace` stores one Python object per
+event, which is perfect for message-level debugging but caps the invariant
+monitors and per-phase diagnostics at the simulator's scale (n ≈ 2000).
+:class:`ColumnarTrace` stores the same information as NumPy columns:
+
+* three flat per-event arrays -- ``round_index``, ``node_id`` and an integer
+  kind id -- preserve the exact append order of the event stream;
+* per *kind*, one array per payload key (x-values, colors, active flags,
+  dynamic degrees, drop counts, ...), in the order events of that kind were
+  appended.
+
+Together the two views are lossless: :meth:`ColumnarTrace.to_events`
+reconstructs the original event stream bitwise (values round-trip through
+fixed per-column Python types), and
+:meth:`~repro.simulator.trace.ExecutionTrace.to_columnar` converts the other
+way.  The simulated runner can record into a ``ColumnarTrace`` natively
+(it only needs ``record``), while the vectorized backends append whole
+per-iteration snapshots at O(n) array cost via :meth:`record_group`.
+
+Payload values are restricted to ``bool``/``int``/``float``/``str`` scalars
+(all the algorithm programs use) and every event of a given kind must carry
+the same payload keys -- that uniformity is what makes columns well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.simulator.trace import ExecutionTrace, TraceEvent
+
+#: Python payload types a column may hold.  ``bool`` must precede ``int``
+#: in dispatch because ``bool`` is a subclass of ``int``.
+_SCALAR_TYPES = (bool, int, float, str)
+
+_NUMPY_DTYPES = {bool: np.bool_, int: np.int64, float: np.float64}
+
+
+def _type_of(value: Any) -> type:
+    """The column type tag for a scalar payload value."""
+    for candidate in _SCALAR_TYPES:
+        if isinstance(value, candidate) and not (
+            candidate is int and isinstance(value, bool)
+        ):
+            return candidate
+    raise TypeError(
+        f"trace payload values must be bool/int/float/str, got "
+        f"{type(value).__name__}: {value!r}"
+    )
+
+
+def _type_of_dtype(dtype: np.dtype) -> type:
+    """The column type tag for a NumPy array dtype."""
+    if dtype == np.bool_:
+        return bool
+    if np.issubdtype(dtype, np.integer):
+        return int
+    if np.issubdtype(dtype, np.floating):
+        return float
+    if dtype.kind in ("U", "S"):
+        return str
+    raise TypeError(f"trace payload arrays must be bool/int/float/str, got {dtype}")
+
+
+class _Column:
+    """One payload column: chunked appends, lazily concatenated."""
+
+    __slots__ = ("type", "_chunks", "_pending", "_array")
+
+    def __init__(self, type_: type) -> None:
+        self.type = type_
+        self._chunks: list[np.ndarray] = []
+        self._pending: list[Any] = []
+        self._array: np.ndarray | None = None
+
+    def append(self, value: Any) -> None:
+        self._pending.append(value)
+        self._array = None
+
+    def extend(self, values: np.ndarray) -> None:
+        self._flush()
+        self._chunks.append(values)
+        self._array = None
+
+    def _flush(self) -> None:
+        if self._pending:
+            dtype = _NUMPY_DTYPES.get(self.type)
+            self._chunks.append(np.asarray(self._pending, dtype=dtype))
+            self._pending = []
+
+    def array(self) -> np.ndarray:
+        if self._array is None:
+            self._flush()
+            if not self._chunks:
+                dtype = _NUMPY_DTYPES.get(self.type, "<U1")
+                self._array = np.empty(0, dtype=dtype)
+            elif len(self._chunks) == 1:
+                self._array = self._chunks[0]
+            else:
+                self._array = np.concatenate(self._chunks)
+                self._chunks = [self._array]
+        return self._array
+
+
+class ColumnarTrace:
+    """An execution trace stored as per-kind NumPy columns.
+
+    The write API mirrors :class:`~repro.simulator.trace.ExecutionTrace`
+    (``record``), so node programs and the synchronous runner can bind a
+    ``ColumnarTrace`` without changes; :meth:`record_group` appends one
+    whole array slice per call for the vectorized backends.
+    """
+
+    def __init__(self) -> None:
+        self._kind_names: list[str] = []
+        self._kind_ids: dict[str, int] = {}
+        # Per-kind payload schema: ordered key list and per-key column.
+        self._keys: dict[str, tuple[str, ...]] = {}
+        self._columns: dict[str, dict[str, _Column]] = {}
+        self._counts: dict[str, int] = {}
+        # Flat per-event arrays preserving the append order.
+        self._round = _Column(int)
+        self._node = _Column(int)
+        self._kind = _Column(int)
+        self._n_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _kind_id(self, kind: str, keys: tuple[str, ...]) -> int:
+        kind_id = self._kind_ids.get(kind)
+        if kind_id is None:
+            kind_id = len(self._kind_names)
+            self._kind_ids[kind] = kind_id
+            self._kind_names.append(kind)
+            self._keys[kind] = keys
+            self._columns[kind] = {}
+            self._counts[kind] = 0
+        elif self._keys[kind] != keys:
+            raise ValueError(
+                f"columnar trace kind {kind!r} was recorded with keys "
+                f"{self._keys[kind]} but received keys {keys}; every event "
+                f"of one kind must carry the same payload keys"
+            )
+        return kind_id
+
+    def record(self, round_index: int, node_id: int, kind: str, **data: Any) -> None:
+        """Append one event (same signature as ``ExecutionTrace.record``)."""
+        kind_id = self._kind_id(kind, tuple(data))
+        columns = self._columns[kind]
+        for key, value in data.items():
+            column = columns.get(key)
+            if column is None:
+                column = columns[key] = _Column(_type_of(value))
+            elif _type_of(value) is not column.type:
+                raise ValueError(
+                    f"columnar trace column {kind!r}/{key!r} holds "
+                    f"{column.type.__name__} values but received "
+                    f"{type(value).__name__}: {value!r}"
+                )
+            column.append(value)
+        self._round.append(round_index)
+        self._node.append(node_id)
+        self._kind.append(kind_id)
+        self._counts[kind] += 1
+        self._n_events += 1
+
+    def record_group(
+        self,
+        kind: str,
+        round_index: int,
+        node_ids: np.ndarray,
+        **columns: Any,
+    ) -> None:
+        """Append one event per entry of ``node_ids`` in a single array op.
+
+        Scalar column values are broadcast across the group; array values
+        must match ``node_ids`` in length.  All events in the group share
+        ``round_index``.  This is the vectorized backends' write path: one
+        call per (outer, inner) iteration instead of one per node.
+        """
+        node_ids = np.asarray(node_ids)
+        count = int(node_ids.size)
+        if count == 0:
+            return
+        kind_id = self._kind_id(kind, tuple(columns))
+        kind_columns = self._columns[kind]
+        for key, values in columns.items():
+            array = np.asarray(values)
+            if array.ndim == 0:
+                array = np.broadcast_to(array, (count,))
+            elif array.shape != (count,):
+                raise ValueError(
+                    f"columnar trace column {kind!r}/{key!r}: expected "
+                    f"{count} values, got shape {array.shape}"
+                )
+            type_ = _type_of_dtype(array.dtype)
+            column = kind_columns.get(key)
+            if column is None:
+                column = kind_columns[key] = _Column(type_)
+            elif type_ is not column.type:
+                raise ValueError(
+                    f"columnar trace column {kind!r}/{key!r} holds "
+                    f"{column.type.__name__} values but received an array "
+                    f"of dtype {array.dtype}"
+                )
+            dtype = _NUMPY_DTYPES.get(type_, array.dtype)
+            # Always copy: callers (the vectorized engines) mutate their
+            # state arrays in place between iterations.
+            column.extend(np.array(array, dtype=dtype, copy=True))
+        self._round.extend(np.full(count, round_index, dtype=np.int64))
+        self._node.extend(node_ids.astype(np.int64))
+        self._kind.extend(np.full(count, kind_id, dtype=np.int64))
+        self._counts[kind] += count
+        self._n_events += count
+
+    # ------------------------------------------------------------------ #
+    # Columnar queries                                                    #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n_events
+
+    def kinds(self) -> list[str]:
+        """Kind names in first-appearance order."""
+        return list(self._kind_names)
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind`` (0 if the kind never occurred)."""
+        return self._counts.get(kind, 0)
+
+    def keys(self, kind: str) -> tuple[str, ...]:
+        """Payload keys carried by events of ``kind``, in recording order."""
+        return self._keys.get(kind, ())
+
+    def column_type(self, kind: str, key: str) -> type:
+        """The Python scalar type of one payload column."""
+        return self._columns[kind][key].type
+
+    def column(self, kind: str, key: str) -> np.ndarray:
+        """All values of ``data[key]`` over events of ``kind``, in order."""
+        kind_columns = self._columns.get(kind)
+        if kind_columns is None or key not in kind_columns:
+            return np.empty(0, dtype=np.float64)
+        return self._columns[kind][key].array()
+
+    def rounds_of(self, kind: str) -> np.ndarray:
+        """Round indices of all events of ``kind``, in append order."""
+        mask = self._kind.array() == self._kind_ids.get(kind, -1)
+        return self._round.array()[mask]
+
+    def nodes_of(self, kind: str) -> np.ndarray:
+        """Node ids of all events of ``kind``, in append order."""
+        mask = self._kind.array() == self._kind_ids.get(kind, -1)
+        return self._node.array()[mask]
+
+    def round_index(self) -> np.ndarray:
+        """Per-event round indices (flat, append order)."""
+        return self._round.array()
+
+    def node_id(self) -> np.ndarray:
+        """Per-event node ids (flat, append order)."""
+        return self._node.array()
+
+    def kind_id(self) -> np.ndarray:
+        """Per-event kind ids (flat, append order); see :meth:`kinds`."""
+        return self._kind.array()
+
+    # ------------------------------------------------------------------ #
+    # Bridges                                                             #
+    # ------------------------------------------------------------------ #
+
+    def iter_events(self) -> Iterator["TraceEvent"]:
+        """Yield the event stream in original append order (lossless)."""
+        from repro.simulator.trace import TraceEvent
+
+        rounds = self._round.array()
+        nodes = self._node.array()
+        kind_ids = self._kind.array()
+        per_kind: list[tuple[str, tuple[str, ...], list[np.ndarray], list[type]]] = []
+        for kind in self._kind_names:
+            keys = self._keys[kind]
+            arrays = [self._columns[kind][key].array() for key in keys]
+            types = [self._columns[kind][key].type for key in keys]
+            per_kind.append((kind, keys, arrays, types))
+        cursors = [0] * len(per_kind)
+        for i in range(self._n_events):
+            kind_id = int(kind_ids[i])
+            kind, keys, arrays, types = per_kind[kind_id]
+            j = cursors[kind_id]
+            cursors[kind_id] = j + 1
+            data = {
+                key: type_(array[j])
+                for key, array, type_ in zip(keys, arrays, types)
+            }
+            yield TraceEvent(
+                round_index=int(rounds[i]),
+                node_id=int(nodes[i]),
+                kind=kind,
+                data=data,
+            )
+
+    def to_events(self) -> "ExecutionTrace":
+        """Convert back to an object-per-event :class:`ExecutionTrace`."""
+        from repro.simulator.trace import ExecutionTrace
+
+        trace = ExecutionTrace()
+        for event in self.iter_events():
+            trace.record(event.round_index, event.node_id, event.kind, **event.data)
+        return trace
+
+    @classmethod
+    def from_events(cls, trace: "ExecutionTrace") -> "ColumnarTrace":
+        """Build a columnar trace from an event trace (lossless)."""
+        columnar = cls()
+        for event in trace:
+            columnar.record(event.round_index, event.node_id, event.kind, **event.data)
+        return columnar

@@ -18,9 +18,12 @@ programs early.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.simulator.faults import FaultModel, NoFaults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.columnar import ColumnarTrace
 from repro.simulator.message import Message
 from repro.simulator.metrics import ExecutionMetrics
 from repro.simulator.network import Network, ProgramFactory
@@ -52,7 +55,7 @@ class ExecutionResult:
 
     results: dict[int, Any]
     metrics: ExecutionMetrics
-    trace: ExecutionTrace
+    trace: "ExecutionTrace | ColumnarTrace"
     terminated: bool
 
     @property
@@ -79,6 +82,19 @@ class SynchronousRunner:
     collect_trace:
         Whether to hand programs an :class:`ExecutionTrace` (programs that
         support tracing expose a ``bind_trace`` method; others ignore it).
+    trace:
+        Optional trace object to record into instead of a fresh
+        :class:`ExecutionTrace`.  Anything with the same ``record``
+        signature works; pass a
+        :class:`~repro.simulator.columnar.ColumnarTrace` to have the
+        runner record natively into columnar storage.  Supplying a trace
+        implies ``collect_trace=True``.
+
+    When tracing is enabled and a fault model other than
+    :class:`~repro.simulator.faults.NoFaults` is installed, the runner also
+    records one ``"message-drops"`` event per delivery round (node id -1)
+    with the number of dropped and delivered messages, so fault runs are
+    observable through the same trace pipeline.
     """
 
     def __init__(
@@ -87,13 +103,15 @@ class SynchronousRunner:
         fault_model: FaultModel | None = None,
         max_rounds: int = 100_000,
         collect_trace: bool = False,
+        trace: "ExecutionTrace | ColumnarTrace | None" = None,
     ) -> None:
         if max_rounds <= 0:
             raise ValueError("max_rounds must be positive")
         self._network = network
         self._fault_model: FaultModel = fault_model or NoFaults()
         self._max_rounds = max_rounds
-        self._collect_trace = collect_trace
+        self._collect_trace = collect_trace or trace is not None
+        self._trace = trace
 
     # ------------------------------------------------------------------ #
     # Execution                                                           #
@@ -103,7 +121,11 @@ class SynchronousRunner:
         """Run the network to termination (or the round limit)."""
         network = self._network
         metrics = ExecutionMetrics()
-        trace = ExecutionTrace()
+        trace = self._trace if self._trace is not None else ExecutionTrace()
+        self._drops: dict[int, list[int]] = {}
+        count_drops = self._collect_trace and not isinstance(
+            self._fault_model, NoFaults
+        )
 
         if self._collect_trace:
             for node_id in network.node_ids:
@@ -158,6 +180,20 @@ class SynchronousRunner:
             terminated = network.all_terminated()
             round_index += 1
 
+        if count_drops and self._drops:
+            # One dense per-round entry (a column in columnar form); the
+            # sentinel node id -1 marks runner-level rather than node events.
+            last_round = max(self._drops)
+            for delivery_round in range(last_round + 1):
+                dropped, delivered = self._drops.get(delivery_round, [0, 0])
+                trace.record(
+                    delivery_round,
+                    -1,
+                    "message-drops",
+                    dropped=dropped,
+                    delivered=delivered,
+                )
+
         return ExecutionResult(
             results=network.results(),
             metrics=metrics,
@@ -191,9 +227,13 @@ class SynchronousRunner:
         round_index: int,
     ) -> None:
         """Place messages into receiver mailboxes, applying fault policy."""
+        counts = self._drops.setdefault(round_index, [0, 0])
         for message in messages:
             if self._fault_model.deliver(message, round_index):
                 mailboxes[message.receiver].append(message)
+                counts[1] += 1
+            else:
+                counts[0] += 1
 
 
 def run_program(
@@ -203,6 +243,7 @@ def run_program(
     fault_model: FaultModel | None = None,
     max_rounds: int = 100_000,
     collect_trace: bool = False,
+    trace: "ExecutionTrace | ColumnarTrace | None" = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build a network and run it in one call.
 
@@ -214,7 +255,7 @@ def run_program(
         Per-node program constructor ``(node_id, network) -> NodeProgram``.
     seed:
         Seed for per-node randomness.
-    fault_model, max_rounds, collect_trace:
+    fault_model, max_rounds, collect_trace, trace:
         Forwarded to :class:`SynchronousRunner`.
 
     Returns
@@ -227,5 +268,6 @@ def run_program(
         fault_model=fault_model,
         max_rounds=max_rounds,
         collect_trace=collect_trace,
+        trace=trace,
     )
     return runner.run()

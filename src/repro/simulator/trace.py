@@ -8,12 +8,20 @@ runner only collects them when asked to) and are used by:
 * the invariant monitors in :mod:`repro.core.invariants`, which assert the
   paper's Lemmas 2-7 against recorded per-round state;
 * debugging of node programs.
+
+For large executions the same information is available in columnar
+(structure-of-arrays) form -- see :mod:`repro.simulator.columnar`; the two
+representations convert losslessly via :meth:`ExecutionTrace.to_columnar`
+and :meth:`~repro.simulator.columnar.ColumnarTrace.to_events`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.columnar import ColumnarTrace
 
 
 @dataclass(frozen=True)
@@ -99,3 +107,17 @@ class ExecutionTrace:
             if event.node_id == node_id and event.kind == kind and key in event.data:
                 return event.data[key]
         return default
+
+    # ------------------------------------------------------------------ #
+    # Bridges                                                             #
+    # ------------------------------------------------------------------ #
+
+    def to_columnar(self) -> "ColumnarTrace":
+        """Convert to a columnar (structure-of-arrays) trace, losslessly.
+
+        ``trace.to_columnar().to_events()`` reproduces the event stream
+        bitwise: same order, same kinds, same payload keys and values.
+        """
+        from repro.simulator.columnar import ColumnarTrace
+
+        return ColumnarTrace.from_events(self)

@@ -1,0 +1,110 @@
+"""Unit tests for the per-phase trace observability report."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.trace_report import TraceReport, trace_report
+from repro.core.fractional import Algorithm2Program, approximate_fractional_mds
+from repro.graphs.generators import erdos_renyi_graph
+from repro.simulator.columnar import ColumnarTrace
+from repro.simulator.faults import MessageLossFaults
+from repro.simulator.network import Network
+from repro.simulator.runtime import SynchronousRunner
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(40, 0.12, seed=3)
+
+
+class TestPhaseAggregation:
+    def test_phases_follow_execution_order(self, graph):
+        k = 3
+        result = approximate_fractional_mds(graph, k=k, collect_trace=True)
+        report = trace_report(result.trace, result.metrics)
+        assert [phase.ell for phase in report.phases] == list(range(k - 1, -1, -1))
+        for phase in report.phases:
+            assert phase.nodes == graph.number_of_nodes()
+            assert phase.white_at_start + phase.gray_at_start == phase.nodes
+            assert len(phase.active_counts) == k
+            assert len(phase.newly_gray) == k
+            assert phase.dynamic_degree_max >= phase.dynamic_degree_p99
+            assert phase.dynamic_degree_p99 >= phase.dynamic_degree_p95
+
+    def test_coverage_growth_is_monotone(self, graph):
+        result = approximate_fractional_mds(graph, k=3, collect_trace=True)
+        report = trace_report(result.trace)
+        growth = list(report.coverage_growth)
+        assert growth == sorted(growth)
+        assert all(0.0 <= fraction <= 1.0 for fraction in growth)
+
+    def test_x_mass_matches_final_objective(self, graph):
+        result = approximate_fractional_mds(graph, k=2, collect_trace=True)
+        report = trace_report(result.trace)
+        assert report.phases[-1].x_mass_end == pytest.approx(result.objective)
+
+    def test_both_backends_report_identically(self, graph):
+        simulated = approximate_fractional_mds(graph, k=2, collect_trace=True)
+        vectorized = approximate_fractional_mds(
+            graph, k=2, collect_trace=True, backend="vectorized"
+        )
+        assert (
+            trace_report(simulated.trace).to_dict()
+            == trace_report(vectorized.trace).to_dict()
+        )
+
+    def test_round_messages_come_from_metrics(self, graph):
+        result = approximate_fractional_mds(graph, k=2, collect_trace=True)
+        with_metrics = trace_report(result.trace, result.metrics)
+        without = trace_report(result.trace)
+        assert sum(with_metrics.round_messages) == result.metrics.total_messages
+        assert without.round_messages == ()
+
+    def test_empty_trace_yields_empty_report(self):
+        report = trace_report(ColumnarTrace())
+        assert isinstance(report, TraceReport)
+        assert report.phases == ()
+        assert report.coverage_growth == ()
+        assert report.total_dropped == 0
+
+
+class TestRendering:
+    def test_render_lists_every_phase(self, graph):
+        result = approximate_fractional_mds(graph, k=3, collect_trace=True)
+        report = trace_report(result.trace, result.metrics)
+        text = report.render()
+        assert "ell" in text and "gray%" in text
+        for phase in report.phases:
+            assert f"\n{phase.ell:>4} " in "\n" + text
+        assert "messages:" in text
+        assert "faults:" not in text  # fault-free run
+
+    def test_to_dict_round_trips_through_json(self, graph):
+        import json
+
+        result = approximate_fractional_mds(graph, k=2, collect_trace=True)
+        payload = trace_report(result.trace, result.metrics).to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestFaultReporting:
+    def test_drop_counters_surface_in_the_report(self, graph):
+        delta = max(degree for _, degree in graph.degree())
+        network = Network(
+            graph, lambda n, net: Algorithm2Program(k=2, delta=delta), seed=0
+        )
+        runner = SynchronousRunner(
+            network,
+            fault_model=MessageLossFaults(loss_probability=0.1, seed=11),
+            trace=ColumnarTrace(),
+            max_rounds=50,
+        )
+        execution = runner.run()
+        report = trace_report(execution.trace, execution.metrics)
+        assert report.round_drops  # one (dropped, delivered) pair per round
+        assert report.total_dropped > 0
+        assert "faults:" in report.render()
+        delivered = sum(count for _, count in report.round_drops)
+        assert report.total_dropped + delivered == sum(
+            dropped + kept for dropped, kept in report.round_drops
+        )

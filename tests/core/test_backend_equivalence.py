@@ -172,12 +172,19 @@ class TestBackendValidation:
         with pytest.raises(ValueError, match="unknown backend"):
             kuhn_wattenhofer_dominating_set(star, k=1, backend="quantum")
 
-    def test_vectorized_rejects_trace_collection(self, star):
-        with pytest.raises(ValueError, match="collect_trace"):
-            approximate_fractional_mds(
-                star, k=1, collect_trace=True, backend="vectorized"
-            )
-        with pytest.raises(ValueError, match="collect_trace"):
-            approximate_fractional_mds_unknown_delta(
-                star, k=1, collect_trace=True, backend="vectorized"
+    def test_vectorized_trace_collection_is_columnar(self, star):
+        from repro.simulator.columnar import ColumnarTrace
+
+        for run in (
+            approximate_fractional_mds,
+            approximate_fractional_mds_unknown_delta,
+        ):
+            result = run(star, k=1, collect_trace=True, backend="vectorized")
+            assert isinstance(result.trace, ColumnarTrace)
+            assert len(result.trace) > 0
+            # Same run, other engine: the event trace converts losslessly
+            # into the columnar form the vectorized engine records.
+            simulated = run(star, k=1, collect_trace=True)
+            assert list(simulated.trace.to_columnar().to_events()) == list(
+                simulated.trace
             )

@@ -1,0 +1,93 @@
+"""Property-based tests for the columnar trace layer.
+
+Two contracts over the shared random-graph corpus:
+
+* **Lossless bridge** -- every recorded trace survives
+  ``ExecutionTrace -> ColumnarTrace -> ExecutionTrace`` bitwise (same
+  event order, kinds, payload keys and values, including the float
+  x-values the invariant checkers feed on).
+* **Verdict parity** -- the columnar Lemma 2-7 checkers return exactly
+  the event-based reference's verdict on every execution, for both
+  Algorithm 2 and Algorithm 3 and for traces recorded by either backend.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.core.invariants import (
+    check_algorithm2_invariants,
+    check_algorithm3_invariants,
+)
+
+from tests.property.strategies import graphs_with_k
+
+COLUMNAR_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _verdict(report):
+    return (
+        report.checked,
+        report.ok,
+        sorted(
+            (v.lemma, v.node_id, v.ell, v.m, v.observed, v.bound)
+            for v in report.violations
+        ),
+    )
+
+
+class TestRoundTrip:
+    @COLUMNAR_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=12, max_k=4))
+    def test_event_columnar_round_trip_is_bitwise(self, graph_and_k):
+        graph, k = graph_and_k
+        result = approximate_fractional_mds(graph, k=k, collect_trace=True)
+        original = list(result.trace)
+        restored = list(result.trace.to_columnar().to_events())
+        assert restored == original
+        for before, after in zip(original, restored):
+            for key, value in before.data.items():
+                if isinstance(value, float):
+                    assert value.hex() == after.data[key].hex()
+
+
+class TestVerdictParity:
+    @COLUMNAR_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=12, max_k=4))
+    def test_algorithm2_columnar_verdict_matches(self, graph_and_k):
+        graph, k = graph_and_k
+        simulated = approximate_fractional_mds(graph, k=k, collect_trace=True)
+        vectorized = approximate_fractional_mds(
+            graph, k=k, collect_trace=True, backend="vectorized"
+        )
+        reference = _verdict(check_algorithm2_invariants(graph, simulated.trace, k))
+        assert reference == _verdict(
+            check_algorithm2_invariants(graph, simulated.trace.to_columnar(), k)
+        )
+        assert reference == _verdict(
+            check_algorithm2_invariants(graph, vectorized.trace, k)
+        )
+        assert reference[1], reference[2][:3]
+
+    @COLUMNAR_SETTINGS
+    @given(graph_and_k=graphs_with_k(max_nodes=12, max_k=3))
+    def test_algorithm3_columnar_verdict_matches(self, graph_and_k):
+        graph, k = graph_and_k
+        simulated = approximate_fractional_mds_unknown_delta(
+            graph, k=k, collect_trace=True
+        )
+        vectorized = approximate_fractional_mds_unknown_delta(
+            graph, k=k, collect_trace=True, backend="vectorized"
+        )
+        reference = _verdict(check_algorithm3_invariants(graph, simulated.trace, k))
+        assert reference == _verdict(
+            check_algorithm3_invariants(graph, simulated.trace.to_columnar(), k)
+        )
+        assert reference == _verdict(
+            check_algorithm3_invariants(graph, vectorized.trace, k)
+        )
+        assert reference[1], reference[2][:3]

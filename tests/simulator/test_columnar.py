@@ -1,0 +1,261 @@
+"""Unit tests for the columnar (structure-of-arrays) trace.
+
+Pins the recording contracts the vectorized backends and the invariant
+monitors rely on:
+
+* ``record`` / ``record_group`` append the same logical event stream
+  (scalar path vs. whole-array path), with per-column Python type tags
+  (``bool`` before ``int`` -- bool is a subclass of int), broadcast of
+  scalar group values, and defensive copies of caller arrays.
+* Schema uniformity is enforced: one payload-key tuple and one column
+  type per kind, with well-worded ``ValueError``\\ s otherwise.
+* The event bridge is lossless: ``ExecutionTrace.to_columnar()`` /
+  ``ColumnarTrace.to_events()`` round-trip bitwise, including interleaved
+  kinds and the runner's fault-drop events.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.fractional import Algorithm2Program
+from repro.graphs.generators import erdos_renyi_graph
+from repro.simulator.columnar import ColumnarTrace
+from repro.simulator.faults import MessageLossFaults
+from repro.simulator.network import Network
+from repro.simulator.runtime import SynchronousRunner
+from repro.simulator.trace import ExecutionTrace
+
+
+class TestScalarRecording:
+    def test_record_appends_columns_in_order(self):
+        trace = ColumnarTrace()
+        trace.record(0, 3, "step", x=0.5, active=True, label="a")
+        trace.record(1, 4, "step", x=0.25, active=False, label="b")
+        assert len(trace) == 2
+        assert trace.kinds() == ["step"]
+        assert trace.count("step") == 2
+        assert trace.keys("step") == ("x", "active", "label")
+        np.testing.assert_array_equal(trace.column("step", "x"), [0.5, 0.25])
+        np.testing.assert_array_equal(trace.column("step", "active"), [True, False])
+        assert list(trace.column("step", "label")) == ["a", "b"]
+        np.testing.assert_array_equal(trace.rounds_of("step"), [0, 1])
+        np.testing.assert_array_equal(trace.nodes_of("step"), [3, 4])
+
+    def test_flat_arrays_preserve_interleaved_append_order(self):
+        trace = ColumnarTrace()
+        trace.record(0, 0, "a", v=1)
+        trace.record(0, 1, "b", w=2.0)
+        trace.record(1, 2, "a", v=3)
+        assert trace.kinds() == ["a", "b"]
+        np.testing.assert_array_equal(trace.round_index(), [0, 0, 1])
+        np.testing.assert_array_equal(trace.node_id(), [0, 1, 2])
+        np.testing.assert_array_equal(trace.kind_id(), [0, 1, 0])
+        np.testing.assert_array_equal(trace.column("a", "v"), [1, 3])
+
+    def test_column_types_distinguish_bool_from_int(self):
+        trace = ColumnarTrace()
+        trace.record(0, 0, "step", flag=True, count=1, value=2.0, name="x")
+        assert trace.column_type("step", "flag") is bool
+        assert trace.column_type("step", "count") is int
+        assert trace.column_type("step", "value") is float
+        assert trace.column_type("step", "name") is str
+        assert trace.column("step", "flag").dtype == np.bool_
+        assert trace.column("step", "count").dtype == np.int64
+        assert trace.column("step", "value").dtype == np.float64
+
+    def test_mixed_types_in_one_column_rejected(self):
+        trace = ColumnarTrace()
+        trace.record(0, 0, "step", flag=True)
+        with pytest.raises(ValueError, match="holds bool"):
+            trace.record(0, 1, "step", flag=1)
+
+    def test_inconsistent_keys_per_kind_rejected(self):
+        trace = ColumnarTrace()
+        trace.record(0, 0, "step", x=1.0)
+        with pytest.raises(ValueError, match="same payload keys"):
+            trace.record(0, 1, "step", y=1.0)
+
+    def test_unsupported_payload_type_rejected(self):
+        trace = ColumnarTrace()
+        with pytest.raises(TypeError, match="bool/int/float/str"):
+            trace.record(0, 0, "step", payload=[1, 2])
+
+    def test_unknown_kind_and_key_return_empty(self):
+        trace = ColumnarTrace()
+        trace.record(0, 0, "step", x=1.0)
+        assert trace.count("missing") == 0
+        assert trace.keys("missing") == ()
+        assert trace.column("missing", "x").size == 0
+        assert trace.column("step", "missing").size == 0
+        assert trace.rounds_of("missing").size == 0
+        assert trace.nodes_of("missing").size == 0
+
+
+class TestGroupRecording:
+    def test_group_matches_scalar_recording(self):
+        scalar, grouped = ColumnarTrace(), ColumnarTrace()
+        nodes = np.array([4, 1, 7])
+        xs = np.array([0.5, 0.25, 1.0])
+        for node, x in zip(nodes, xs):
+            scalar.record(2, int(node), "step", x=float(x), ell=3)
+        grouped.record_group("step", 2, nodes, x=xs, ell=3)
+        assert list(grouped.iter_events()) == list(scalar.iter_events())
+
+    def test_scalar_values_broadcast_across_the_group(self):
+        trace = ColumnarTrace()
+        trace.record_group("step", 0, np.arange(4), ell=2, active=True)
+        np.testing.assert_array_equal(trace.column("step", "ell"), [2, 2, 2, 2])
+        np.testing.assert_array_equal(
+            trace.column("step", "active"), [True] * 4
+        )
+
+    def test_group_copies_caller_arrays(self):
+        trace = ColumnarTrace()
+        values = np.array([1.0, 2.0])
+        trace.record_group("step", 0, np.array([0, 1]), x=values)
+        values[:] = -1.0  # engines mutate state arrays in place
+        np.testing.assert_array_equal(trace.column("step", "x"), [1.0, 2.0])
+
+    def test_shape_mismatch_rejected(self):
+        trace = ColumnarTrace()
+        with pytest.raises(ValueError, match="expected 3 values"):
+            trace.record_group("step", 0, np.arange(3), x=np.array([1.0, 2.0]))
+
+    def test_dtype_mismatch_across_groups_rejected(self):
+        trace = ColumnarTrace()
+        trace.record_group("step", 0, np.arange(2), v=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="holds float"):
+            trace.record_group("step", 1, np.arange(2), v=np.array([1, 2]))
+
+    def test_empty_group_is_a_no_op(self):
+        trace = ColumnarTrace()
+        trace.record_group("step", 0, np.empty(0, dtype=np.int64), x=np.empty(0))
+        assert len(trace) == 0
+        assert trace.kinds() == []
+
+
+class TestEventBridge:
+    def test_round_trip_is_bitwise(self):
+        events = ExecutionTrace()
+        events.record(-1, 0, "setup", delta=7)
+        events.record(0, 2, "x-update", x=0.125, active=True, color="white")
+        events.record(0, 1, "x-update", x=1.0, active=False, color="gray")
+        events.record(3, 2, "colored-gray", ell=1, m=0)
+        columnar = events.to_columnar()
+        restored = columnar.to_events()
+        assert list(restored) == list(events)
+        # And the columnar forms of both agree column-for-column.
+        twice = restored.to_columnar()
+        for kind in columnar.kinds():
+            for key in columnar.keys(kind):
+                np.testing.assert_array_equal(
+                    columnar.column(kind, key), twice.column(kind, key)
+                )
+
+    def test_round_trip_from_group_recording(self):
+        trace = ColumnarTrace()
+        trace.record_group(
+            "inner-loop",
+            1,
+            np.array([0, 1, 2]),
+            x=np.array([0.5, 0.0, 1.0]),
+            active=np.array([True, False, True]),
+        )
+        trace.record(2, -1, "message-drops", dropped=3, delivered=10)
+        events = trace.to_events()
+        assert len(events) == 4
+        rebuilt = ColumnarTrace.from_events(events)
+        assert rebuilt.kinds() == trace.kinds()
+        np.testing.assert_array_equal(
+            rebuilt.column("inner-loop", "x"), trace.column("inner-loop", "x")
+        )
+        assert rebuilt.column("message-drops", "dropped").tolist() == [3]
+
+
+def run_algorithm2_traced(graph, k, trace, fault_model=None, seed=0):
+    delta = max(degree for _, degree in graph.degree())
+    network = Network(
+        graph, lambda n, net: Algorithm2Program(k=k, delta=delta), seed=seed
+    )
+    runner = SynchronousRunner(
+        network, fault_model=fault_model, trace=trace, max_rounds=2 * k * k + 10
+    )
+    return runner.run()
+
+
+class TestFaultDropColumns:
+    """Satellite: message-drop counts become trace columns under faults."""
+
+    GRAPH_SEED = 2
+    FAULTS = dict(loss_probability=0.1, seed=11)
+
+    def test_drop_columns_are_dense_and_deterministic(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=self.GRAPH_SEED)
+        trace = ColumnarTrace()
+        run_algorithm2_traced(
+            graph, 2, trace, fault_model=MessageLossFaults(**self.FAULTS)
+        )
+        assert "message-drops" in trace.kinds()
+        dropped = trace.column("message-drops", "dropped")
+        delivered = trace.column("message-drops", "delivered")
+        rounds = trace.rounds_of("message-drops")
+        # Dense per-round series: one entry per delivery round, in order,
+        # all attributed to the runner sentinel id -1.
+        np.testing.assert_array_equal(rounds, np.arange(rounds.size))
+        assert set(trace.nodes_of("message-drops").tolist()) == {-1}
+        assert dropped.size == delivered.size == rounds.size
+        # Deterministic regression for the seeded fault model.
+        total_dropped = int(dropped.sum())
+        total_delivered = int(delivered.sum())
+        assert total_dropped > 0
+        expected_rate = self.FAULTS["loss_probability"]
+        observed_rate = total_dropped / (total_dropped + total_delivered)
+        assert abs(observed_rate - expected_rate) < 0.05
+        # Same seeds -> identical columns on a re-run.
+        again = ColumnarTrace()
+        run_algorithm2_traced(
+            graph, 2, again, fault_model=MessageLossFaults(**self.FAULTS)
+        )
+        np.testing.assert_array_equal(
+            again.column("message-drops", "dropped"), dropped
+        )
+        np.testing.assert_array_equal(
+            again.column("message-drops", "delivered"), delivered
+        )
+
+    def test_event_trace_records_the_same_drops(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=self.GRAPH_SEED)
+        columnar = ColumnarTrace()
+        run_algorithm2_traced(
+            graph, 2, columnar, fault_model=MessageLossFaults(**self.FAULTS)
+        )
+        events = ExecutionTrace()
+        run_algorithm2_traced(
+            graph, 2, events, fault_model=MessageLossFaults(**self.FAULTS)
+        )
+        converted = events.to_columnar()
+        np.testing.assert_array_equal(
+            converted.column("message-drops", "dropped"),
+            columnar.column("message-drops", "dropped"),
+        )
+        np.testing.assert_array_equal(
+            converted.column("message-drops", "delivered"),
+            columnar.column("message-drops", "delivered"),
+        )
+
+    def test_fault_free_runs_have_no_drop_columns(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=self.GRAPH_SEED)
+        trace = ColumnarTrace()
+        run_algorithm2_traced(graph, 2, trace)
+        assert "message-drops" not in trace.kinds()
+
+    def test_simulated_runner_records_columnar_natively(self):
+        """The runner's scalar ``record`` path fills a ColumnarTrace whose
+        event stream matches an ExecutionTrace of the same run."""
+        graph = nx.path_graph(12)
+        columnar = ColumnarTrace()
+        run_algorithm2_traced(graph, 2, columnar)
+        events = ExecutionTrace()
+        run_algorithm2_traced(graph, 2, events)
+        assert list(columnar.iter_events()) == list(events)

@@ -3,7 +3,8 @@
 Four contracts are pinned here:
 
 * **Dispatch** -- ``backend="auto"`` resolves per capabilities and input
-  (BulkGraph / large n -> vectorized, ``collect_trace`` -> simulated),
+  (BulkGraph / large n -> vectorized, ``collect_trace`` restricts to the
+  spec's declared trace backends),
   and every impossible combination raises the single
   :class:`CapabilityError` naming algorithm, capability and backends.
 * **Registry completeness** -- everything reachable from the CLI and from
@@ -88,7 +89,7 @@ class TestRegistry:
             if spec.accepts_bulk:
                 assert spec.supports_backend(VECTORIZED), spec.name
             if spec.supports_trace:
-                assert spec.supports_backend(SIMULATED), spec.name
+                assert set(spec.trace_backends) <= set(spec.backends), spec.name
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
@@ -149,14 +150,29 @@ class TestDispatch:
         assert report.backend == SIMULATED
         assert len(report.raw.fractional.trace) > 0
 
-    def test_collect_trace_on_vectorized_rejected(self, small_graph):
-        with pytest.raises(CapabilityError, match="collect_trace"):
-            solve(
-                "kuhn-wattenhofer",
-                small_graph,
-                backend=VECTORIZED,
-                collect_trace=True,
-            )
+    def test_collect_trace_on_vectorized_returns_columnar(self, small_graph):
+        from repro.simulator.columnar import ColumnarTrace
+
+        report = solve(
+            "kuhn-wattenhofer",
+            small_graph,
+            seed=0,
+            k=2,
+            backend=VECTORIZED,
+            collect_trace=True,
+        )
+        assert report.backend == VECTORIZED
+        trace = report.raw.fractional.trace
+        assert isinstance(trace, ColumnarTrace)
+        assert len(trace) > 0
+
+    def test_auto_trace_above_threshold_goes_vectorized(self):
+        from repro.simulator.columnar import ColumnarTrace
+
+        graph = nx.path_graph(AUTO_VECTORIZE_THRESHOLD + 50)
+        report = solve("kuhn-wattenhofer", graph, seed=0, k=2, collect_trace=True)
+        assert report.backend == VECTORIZED
+        assert isinstance(report.raw.fractional.trace, ColumnarTrace)
 
     def test_collect_trace_on_traceless_spec_rejected(self, small_graph):
         with pytest.raises(CapabilityError, match="greedy"):
@@ -170,9 +186,12 @@ class TestDispatch:
         with pytest.raises(CapabilityError, match="random-fill"):
             solve("random-fill", bulk_graph)
 
-    def test_bulk_input_with_trace_impossible(self, bulk_graph):
-        with pytest.raises(CapabilityError, match="collect_trace"):
-            solve("kuhn-wattenhofer", bulk_graph, collect_trace=True)
+    def test_bulk_input_with_trace_goes_columnar(self, bulk_graph):
+        from repro.simulator.columnar import ColumnarTrace
+
+        report = solve("kuhn-wattenhofer", bulk_graph, seed=0, k=2, collect_trace=True)
+        assert report.backend == VECTORIZED
+        assert isinstance(report.raw.fractional.trace, ColumnarTrace)
 
     def test_unsupported_backend_rejected(self, small_graph):
         with pytest.raises(CapabilityError, match="vectorized"):
@@ -184,11 +203,11 @@ class TestDispatch:
 
     def test_capability_error_names_everything(self, small_graph):
         with pytest.raises(CapabilityError) as excinfo:
-            solve("kuhn-wattenhofer", small_graph, backend=VECTORIZED, collect_trace=True)
+            solve("greedy", small_graph, collect_trace=True)
         message = str(excinfo.value)
-        assert "kuhn-wattenhofer" in message
+        assert "greedy" in message
         assert "collect_trace" in message
-        assert "simulated" in message
+        assert "no backend supports it" in message
 
     def test_capability_error_is_a_value_error(self):
         assert issubclass(CapabilityError, ValueError)
@@ -298,7 +317,12 @@ class TestRegistryCompleteness:
             for sub_action in action._actions:
                 if "--algorithm" in getattr(sub_action, "option_strings", ()):
                     observed.add(tuple(sub_action.choices))
-        assert observed == {tuple(algorithm_names())}
+        # Every sub-command enumerates the registry; ``trace`` narrows to
+        # the registry's traceable specs (still registry-derived, no drift).
+        traceable = tuple(
+            spec.name for spec in iter_specs() if spec.supports_trace
+        )
+        assert observed == {tuple(algorithm_names()), traceable}
 
     def test_compare_algorithms_defaults_come_from_registry(self, small_graph):
         from repro.analysis.experiment import as_instances, compare_algorithms

@@ -427,3 +427,109 @@ class TestCertifyCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "error:" in captured.err
+
+
+class TestTraceCommand:
+    def test_trace_prints_report_and_invariant_verdict(self, capsys):
+        exit_code = main(
+            [
+                "trace",
+                "--family",
+                "erdos_renyi",
+                "--n",
+                "30",
+                "--p",
+                "0.15",
+                "--k",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "events in a" in captured.out
+        assert "gray%" in captured.out
+        assert "invariants" in captured.out
+        assert "OK" in captured.out
+
+    def test_trace_json_payload(self, capsys):
+        exit_code = main(
+            [
+                "trace",
+                "--family",
+                "star",
+                "--n",
+                "20",
+                "--k",
+                "1",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["trace"] == "ExecutionTrace"
+        assert payload["events"] > 0
+        assert payload["report"]["phases"]
+        assert payload["invariants"]["ok"] is True
+
+    def test_trace_vectorized_backend_is_columnar(self, capsys):
+        exit_code = main(
+            [
+                "trace",
+                "--family",
+                "erdos_renyi",
+                "--n",
+                "40",
+                "--p",
+                "0.1",
+                "--k",
+                "2",
+                "--backend",
+                "vectorized",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["trace"] == "ColumnarTrace"
+        assert payload["backend"] == "vectorized"
+        assert payload["invariants"]["ok"] is True
+
+    def test_trace_no_invariants_flag(self, capsys):
+        exit_code = main(
+            ["trace", "--family", "path", "--n", "12", "--k", "1", "--no-invariants"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "invariants" not in captured.out
+
+    def test_trace_weighted_variant_skips_invariants(self, capsys):
+        exit_code = main(
+            [
+                "trace",
+                "--family",
+                "unit_disk",
+                "--n",
+                "30",
+                "--algorithm",
+                "weighted-kuhn-wattenhofer",
+                "--k",
+                "2",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert "invariants" not in payload
+
+    def test_trace_rejects_traceless_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--algorithm", "greedy"])
+
+    def test_algorithms_table_shows_trace_backends(self, capsys):
+        exit_code = main(["algorithms"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "simulated+vectorized" in captured.out

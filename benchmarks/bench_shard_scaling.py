@@ -1,0 +1,188 @@
+"""Sharded engine benchmark: multiprocess supersteps at n ≥ 10⁶.
+
+The sharded backend exists so Algorithm 2/3 sweeps can scale past the
+single-process vectorized engine: the CSR is hash-partitioned into
+per-shard slabs, each worker runs the unchanged vectorized kernels on
+its slab, and a shared-memory mailbox exchanges ghost-boundary values
+between supersteps.  This benchmark runs the ``bulk_graph_suite("huge")``
+instances (n ≥ 10⁶, never materialised as networkx graphs) under the
+vectorized baseline and under 1/2/4 shards, checks the x-vectors and
+objectives are *bitwise identical* regardless of shard count, and
+records wall-clock plus per-shard peak RSS.
+
+The correctness gate (``objective_match`` / ``x_match``) always applies.
+The ≥ 2× speedup gate only applies in full mode on hosts with at least
+4 usable CPUs: on smaller hosts (including single-CPU CI runners) the
+shards time-slice one core, so the benchmark reports the ratios without
+gating on them.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by CI smoke runs) substitutes
+n ≈ 4000 instances and a single 2-shard point so the benchmark stays a
+sub-minute sanity check of the whole fork/shared-memory path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.fractional import approximate_fractional_mds
+from repro.core.fractional_unknown import approximate_fractional_mds_unknown_delta
+from repro.graphs.bulk import (
+    bulk_erdos_renyi_graph,
+    bulk_graph_suite,
+    bulk_grid_graph,
+)
+from repro.simulator.sharded import ShardedDriver, available_cpu_count
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SHARD_COUNTS = [2] if QUICK else [1, 2, 4]
+#: Minimum acceptable (vectorized / sharded) wall-clock ratio at the best
+#: shard count.  Only meaningful when the shards actually get their own
+#: cores; below 4 usable CPUs the ratios are reported, not gated.
+MIN_SPEEDUP = None if (QUICK or available_cpu_count() < 4) else 2.0
+K = 2
+
+
+def _instances(seed: int):
+    if QUICK:
+        return {
+            "erdos_renyi_n4000": bulk_erdos_renyi_graph(4000, 1.5e-3, seed=seed),
+            "grid_60x60": bulk_grid_graph(60, 60),
+        }
+    suite = bulk_graph_suite("huge", seed=seed)
+    # The ER and grid instances cover the irregular and the structured
+    # degree profiles; the full four-instance suite would double the
+    # runtime without exercising new engine paths.
+    return {
+        name: suite[name] for name in ("erdos_renyi_n1e6", "grid_1000x1000")
+    }
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="shard-scaling")
+def test_shard_scaling(benchmark, bench_seed, emit_table, emit_json):
+    """Sharded Algorithm 2 is bitwise-identical to vectorized at any shard count."""
+    rows = []
+    instances = _instances(bench_seed)
+    for name, bulk in sorted(instances.items()):
+        baseline, baseline_time = _timed(
+            lambda: approximate_fractional_mds(
+                bulk, k=K, seed=bench_seed, backend="vectorized"
+            )
+        )
+        for shards in SHARD_COUNTS:
+            driver = ShardedDriver(bulk, shards=shards)
+            try:
+                sharded, sharded_time = _timed(
+                    lambda: approximate_fractional_mds(
+                        bulk,
+                        k=K,
+                        seed=bench_seed,
+                        backend="sharded",
+                        shards=shards,
+                        _executor=driver,
+                    )
+                )
+                peak_rss = driver.peak_rss_bytes()
+            finally:
+                driver.close()
+            rows.append(
+                {
+                    "instance": name,
+                    "n": bulk.n,
+                    "shards": shards,
+                    "objective": sharded.objective,
+                    "objective_match": sharded.objective == baseline.objective,
+                    "x_match": sharded.x == baseline.x,
+                    "metrics_match": (
+                        sharded.metrics.total_messages
+                        == baseline.metrics.total_messages
+                        and sharded.metrics.round_count
+                        == baseline.metrics.round_count
+                    ),
+                    "vectorized_s": round(baseline_time, 3),
+                    "sharded_s": round(sharded_time, 3),
+                    "speedup": round(baseline_time / sharded_time, 2),
+                    "max_shard_rss_mib": round(max(peak_rss) / 2**20, 1),
+                }
+            )
+
+    emit_table(
+        "shard_scaling",
+        render_table(
+            rows,
+            title=(
+                f"Shard scaling: Algorithm 2, k={K}, "
+                f"{'quick' if QUICK else 'huge'} instances, "
+                f"{available_cpu_count()} usable CPU(s)"
+            ),
+        ),
+    )
+    emit_json(
+        "shard_scaling",
+        {
+            "algorithm": "algorithm2",
+            "k": K,
+            "quick": QUICK,
+            "usable_cpus": available_cpu_count(),
+            "shard_counts": SHARD_COUNTS,
+            "speedup_gated": MIN_SPEEDUP is not None,
+            "instances": [
+                {
+                    "instance": row["instance"],
+                    "n": row["n"],
+                    "shards": row["shards"],
+                    "objective_match": bool(row["objective_match"]),
+                    "x_match": bool(row["x_match"]),
+                    "metrics_match": bool(row["metrics_match"]),
+                    "vectorized_s": row["vectorized_s"],
+                    "sharded_s": row["sharded_s"],
+                    "speedup": row["speedup"],
+                    "max_shard_rss_mib": row["max_shard_rss_mib"],
+                }
+                for row in rows
+            ],
+        },
+    )
+
+    for row in rows:
+        # The engine's contract: sharding is invisible in the results.
+        assert row["objective_match"], f"objective mismatch on {row['instance']}"
+        assert row["x_match"], f"x-vector mismatch on {row['instance']}"
+        assert row["metrics_match"], f"metrics mismatch on {row['instance']}"
+    if MIN_SPEEDUP is not None:
+        for name in sorted(instances):
+            best = max(
+                row["speedup"] for row in rows if row["instance"] == name
+            )
+            assert best >= MIN_SPEEDUP, (
+                f"{name}: best sharded speedup {best}× below the "
+                f"{MIN_SPEEDUP}× floor"
+            )
+
+    # Algorithm 3 rides the same supersteps; spot-check bitwise equality.
+    name, bulk = sorted(instances.items())[0]
+    baseline3 = approximate_fractional_mds_unknown_delta(
+        bulk, k=K, seed=bench_seed, backend="vectorized"
+    )
+    sharded3 = approximate_fractional_mds_unknown_delta(
+        bulk, k=K, seed=bench_seed, backend="sharded", shards=SHARD_COUNTS[-1]
+    )
+    assert sharded3.objective == baseline3.objective
+    assert sharded3.x == baseline3.x
+
+    small = bulk_grid_graph(60, 60)
+    benchmark(
+        lambda: approximate_fractional_mds(
+            small, k=K, seed=bench_seed, backend="sharded", shards=2
+        )
+    )

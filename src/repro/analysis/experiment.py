@@ -28,6 +28,7 @@ CLI ``compare`` sub-command) without touching this module.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
@@ -53,7 +54,7 @@ from repro.core.fractional_unknown import (
 )
 from repro.core.kuhn_wattenhofer import FractionalVariant
 from repro.core.rounding import round_fractional_solution_batched
-from repro.core.vectorized import VECTORIZED
+from repro.core.vectorized import SHARDED, VECTORIZED
 from repro.simulator.bulk import BulkGraph
 from repro.domset.validation import is_dominating_set
 from repro.graphs.utils import max_degree
@@ -113,7 +114,10 @@ class ExperimentRecord:
 
 
 def _resolve_instance_backend(
-    instance: GraphInstance, backend: str, algorithm: str = "kuhn-wattenhofer"
+    instance: GraphInstance,
+    backend: str,
+    algorithm: str = "kuhn-wattenhofer",
+    shards: int | None = None,
 ) -> str:
     """Capability-based backend resolution for one sweep instance.
 
@@ -126,7 +130,9 @@ def _resolve_instance_backend(
     """
     from repro.api import get_spec, resolve_backend
 
-    return resolve_backend(get_spec(algorithm), instance.graph, backend=backend)
+    return resolve_backend(
+        get_spec(algorithm), instance.graph, backend=backend, shards=shards
+    )
 
 
 def _lp_reference(instance: GraphInstance, sparse_for_bulk: bool = False) -> float:
@@ -148,10 +154,29 @@ def _lp_reference(instance: GraphInstance, sparse_for_bulk: bool = False) -> flo
 
 
 def _prebuild_bulk(instance: GraphInstance, backend: str) -> BulkGraph | None:
-    """One CSR build per instance for vectorized sweeps (None otherwise)."""
-    if backend == VECTORIZED and not instance.is_bulk:
+    """One CSR build per instance for bulk-engine sweeps (None otherwise)."""
+    if backend in (VECTORIZED, SHARDED) and not instance.is_bulk:
         return BulkGraph.from_graph(instance.graph)
     return None
+
+
+def _instance_executor(
+    instance: GraphInstance,
+    backend: str,
+    bulk: BulkGraph | None,
+    shards: int | None,
+):
+    """One shard pool per instance for sharded sweeps (None otherwise).
+
+    Forking, sharing the CSR and partitioning are paid once; the whole
+    k sweep (fractional snapshots + every rounding batch) then reuses the
+    resident workers.  Callers must close the returned driver.
+    """
+    if backend != SHARDED:
+        return None
+    from repro.simulator.sharded import ShardedDriver
+
+    return ShardedDriver(bulk if bulk is not None else instance.graph, shards)
 
 
 def _fractional_sweep(
@@ -161,20 +186,31 @@ def _fractional_sweep(
     seed: int,
     backend: str,
     bulk: BulkGraph | None,
+    executor=None,
 ):
     """One multi-k fractional execution covering the whole k sweep.
 
-    On the vectorized backend the snapshot engine runs the entire sweep in
+    On the bulk backends the snapshot engine runs the entire sweep in
     a single engine invocation (per-k results bitwise equal to independent
     runs); on the simulated backend the entry point loops per k.  Either
     way every (instance, k) cell comes from *one* call here.
     """
     if variant is FractionalVariant.KNOWN_DELTA:
         return approximate_fractional_mds_multi_k(
-            instance.graph, k_values, seed=seed, backend=backend, _bulk=bulk
+            instance.graph,
+            k_values,
+            seed=seed,
+            backend=backend,
+            _bulk=bulk,
+            _executor=executor,
         )
     return approximate_fractional_mds_unknown_delta_multi_k(
-        instance.graph, k_values, seed=seed, backend=backend, _bulk=bulk
+        instance.graph,
+        k_values,
+        seed=seed,
+        backend=backend,
+        _bulk=bulk,
+        _executor=executor,
     )
 
 
@@ -189,14 +225,32 @@ def _map_instances(
     order, so ``jobs`` never changes the produced records -- only the
     wall-clock.  ``worker`` (and everything it closes over) must be
     picklable when ``jobs > 1``.
+
+    The pool is never wider than the CPUs this process may actually use
+    (``os.process_cpu_count`` where available, affinity-blind
+    ``os.cpu_count`` otherwise), and a worker failure is re-raised with
+    the failing instance's name attached -- a sweep over fifty graphs
+    should say *which* one died.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     if jobs == 1 or len(instances) <= 1:
         per_instance = [worker(instance) for instance in instances]
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(instances))) as pool:
-            per_instance = list(pool.map(worker, instances))
+        cpus = getattr(os, "process_cpu_count", os.cpu_count)() or 1
+        workers = max(1, min(jobs, len(instances), cpus))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(worker, instance) for instance in instances]
+            per_instance = []
+            for instance, future in zip(instances, futures):
+                try:
+                    per_instance.append(future.result())
+                except Exception as error:
+                    error.args = (
+                        f"sweep worker failed on instance {instance.name!r}: "
+                        + ", ".join(str(arg) for arg in error.args),
+                    )
+                    raise
     return [record for records in per_instance for record in records]
 
 
@@ -211,18 +265,24 @@ def _sweep_fractional_instance(
     variant: FractionalVariant,
     seed: int,
     backend: str,
+    shards: int | None = None,
 ) -> list[ExperimentRecord]:
     """All fractional records of one instance (one process-pool work unit)."""
-    backend = _resolve_instance_backend(instance, backend)
+    backend = _resolve_instance_backend(instance, backend, shards=shards)
     records: list[ExperimentRecord] = []
     lp_optimum = _lp_reference(instance)
     delta = instance.max_degree
     # One CSR build per instance; the whole k sweep runs as one fractional
     # execution through the snapshot engine.
     bulk = _prebuild_bulk(instance, backend)
-    fractional_by_k = _fractional_sweep(
-        instance, k_values, variant, seed, backend, bulk
-    )
+    executor = _instance_executor(instance, backend, bulk, shards)
+    try:
+        fractional_by_k = _fractional_sweep(
+            instance, k_values, variant, seed, backend, bulk, executor
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     for k in k_values:
         result = fractional_by_k[k]
         if variant is FractionalVariant.KNOWN_DELTA:
@@ -256,16 +316,18 @@ def sweep_fractional(
     seed: int = 0,
     backend: str = "auto",
     jobs: int = 1,
+    shards: int | None = None,
 ) -> list[ExperimentRecord]:
     """Run a fractional algorithm over instances × k and record quality.
 
     Every record contains the measured fractional objective, the LP optimum,
     the measured/optimal ratio, the theorem's bound for that (k, Δ), the
     number of rounds used and the per-node message maxima.  ``backend``
-    selects the execution engine; both produce identical records (the
-    vectorized engine models its message counts).  ``jobs`` parallelizes
-    across instances with a process pool (identical records, any order of
-    execution).
+    selects the execution engine; all produce identical records (the bulk
+    engines model their message counts).  ``jobs`` parallelizes across
+    instances with a process pool (identical records, any order of
+    execution); ``shards=N`` pins the sharded engine per instance (one
+    resident shard pool serves an instance's whole k sweep).
     """
     worker = partial(
         _sweep_fractional_instance,
@@ -273,6 +335,7 @@ def sweep_fractional(
         variant=variant,
         seed=seed,
         backend=backend,
+        shards=shards,
     )
     return _map_instances(worker, instances, jobs)
 
@@ -289,6 +352,7 @@ def _sweep_pipeline_instance(
     variant: FractionalVariant,
     seed: int,
     backend: str,
+    shards: int | None = None,
 ) -> list[ExperimentRecord]:
     """All pipeline records of one instance (one process-pool work unit).
 
@@ -299,28 +363,39 @@ def _sweep_pipeline_instance(
     pipeline once per trial, just without re-paying the seed-independent
     phases.
     """
-    backend = _resolve_instance_backend(instance, backend)
+    backend = _resolve_instance_backend(instance, backend, shards=shards)
     records: list[ExperimentRecord] = []
     lower_bound = lemma1_lower_bound(instance.graph)
     lp_optimum = _lp_reference(instance)
     delta = instance.max_degree
     # One CSR build per instance; the deterministic fractional phase of the
     # whole k sweep is one snapshot-engine execution, and each k's solution
-    # is rounded under all trial seeds in one batch.
+    # is rounded under all trial seeds in one batch.  On the sharded
+    # backend one resident shard pool serves all of it.
     bulk = _prebuild_bulk(instance, backend)
-    fractional_by_k = _fractional_sweep(
-        instance, k_values, variant, seed, backend, bulk
-    )
+    executor = _instance_executor(instance, backend, bulk, shards)
+    try:
+        fractional_by_k = _fractional_sweep(
+            instance, k_values, variant, seed, backend, bulk, executor
+        )
+        roundings_by_k = {
+            k: round_fractional_solution_batched(
+                instance.graph,
+                fractional_by_k[k].x,
+                seeds=[seed + trial for trial in range(trials)],
+                require_feasible=True,  # the per-trial pipelines checked this
+                backend=backend,
+                _bulk=bulk,
+                _executor=executor,
+            )
+            for k in k_values
+        }
+    finally:
+        if executor is not None:
+            executor.close()
     for k in k_values:
         fractional = fractional_by_k[k]
-        roundings = round_fractional_solution_batched(
-            instance.graph,
-            fractional.x,
-            seeds=[seed + trial for trial in range(trials)],
-            require_feasible=True,  # the per-trial pipelines checked this too
-            backend=backend,
-            _bulk=bulk,
-        )
+        roundings = roundings_by_k[k]
         sizes = []
         rounds = []
         for rounding in roundings:
@@ -361,6 +436,7 @@ def sweep_pipeline(
     seed: int = 0,
     backend: str = "auto",
     jobs: int = 1,
+    shards: int | None = None,
 ) -> list[ExperimentRecord]:
     """Run the full pipeline over instances × k, averaging over trials.
 
@@ -370,8 +446,9 @@ def sweep_pipeline(
     the deterministic fractional phase is solved once per (instance, k) and
     its solution is rounded under ``trials`` seeds in one batch.
     ``backend`` selects the execution engine for both pipeline phases;
-    seeds produce the same sets on either engine.  ``jobs`` parallelizes
-    across instances with a process pool.
+    seeds produce the same sets on every engine.  ``jobs`` parallelizes
+    across instances with a process pool; ``shards=N`` pins the sharded
+    engine per instance.
     """
     if trials < 1:
         raise ValueError("trials must be at least 1")
@@ -382,6 +459,7 @@ def sweep_pipeline(
         variant=variant,
         seed=seed,
         backend=backend,
+        shards=shards,
     )
     return _map_instances(worker, instances, jobs)
 
@@ -399,6 +477,7 @@ def _sweep_tradeoff_instance(
     seed: int,
     backend: str,
     sparse_lp: bool,
+    shards: int | None = None,
 ) -> list[ExperimentRecord]:
     """All trade-off records of one instance (one process-pool work unit).
 
@@ -407,25 +486,35 @@ def _sweep_tradeoff_instance(
     the Theorem-6 upper bound, the KMW lower-bound shape and the round
     bound so callers can place the measured curve between the two shapes.
     """
-    backend = _resolve_instance_backend(instance, backend)
+    backend = _resolve_instance_backend(instance, backend, shards=shards)
     records: list[ExperimentRecord] = []
     lower_bound = lemma1_lower_bound(instance.graph)
     lp_optimum = _lp_reference(instance, sparse_for_bulk=sparse_lp)
     delta = instance.max_degree
     bulk = _prebuild_bulk(instance, backend)
-    fractional_by_k = _fractional_sweep(
-        instance, k_values, variant, seed, backend, bulk
-    )
+    executor = _instance_executor(instance, backend, bulk, shards)
+    try:
+        fractional_by_k = _fractional_sweep(
+            instance, k_values, variant, seed, backend, bulk, executor
+        )
+        roundings_by_k = {
+            k: round_fractional_solution_batched(
+                instance.graph,
+                fractional_by_k[k].x,
+                seeds=[seed + trial for trial in range(trials)],
+                require_feasible=True,
+                backend=backend,
+                _bulk=bulk,
+                _executor=executor,
+            )
+            for k in k_values
+        }
+    finally:
+        if executor is not None:
+            executor.close()
     for k in k_values:
         fractional = fractional_by_k[k]
-        roundings = round_fractional_solution_batched(
-            instance.graph,
-            fractional.x,
-            seeds=[seed + trial for trial in range(trials)],
-            require_feasible=True,
-            backend=backend,
-            _bulk=bulk,
-        )
+        roundings = roundings_by_k[k]
         sizes = []
         for rounding in roundings:
             if not is_dominating_set(instance.graph, rounding.dominating_set):
@@ -468,6 +557,7 @@ def sweep_tradeoff(
     backend: str = "auto",
     jobs: int = 1,
     sparse_lp: bool = False,
+    shards: int | None = None,
 ) -> list[ExperimentRecord]:
     """The paper's k-vs-quality trade-off curve over instances × k.
 
@@ -495,6 +585,7 @@ def sweep_tradeoff(
         seed=seed,
         backend=backend,
         sparse_lp=sparse_lp,
+        shards=shards,
     )
     return _map_instances(worker, instances, jobs)
 
@@ -617,6 +708,7 @@ def _instance_algorithms(
     algorithms: "Mapping[str, Callable] | Sequence[str] | None",
     backend: str,
     overrides: "Mapping[str, Mapping[str, Any]] | None",
+    shards: int | None = None,
 ) -> "Mapping[str, Callable[[nx.Graph, int], Iterable]]":
     """The comparison callables to run on one instance.
 
@@ -624,18 +716,29 @@ def _instance_algorithms(
     sequence of registry names, or ``None`` (= every spec registered for
     comparison), is resolved through :func:`repro.api.comparison_algorithms`
     against the instance's substrate -- CSR instances keep only
-    bulk-capable specs.
+    bulk-capable specs.  ``shards=N`` is forwarded only to sharded-capable
+    specs (passing it to the rest would be a capability error, and a
+    comparison mixing both kinds is the norm).
     """
     if isinstance(algorithms, Mapping):
         return algorithms
-    from repro.api import comparison_algorithms
+    from repro.api import comparison_algorithms, get_spec
+    from repro.core.vectorized import SHARDED
 
-    return comparison_algorithms(
+    resolved = comparison_algorithms(
         bulk=instance.is_bulk,
         backend=backend,
         names=algorithms,
         overrides=overrides,
     )
+    if shards is not None:
+        resolved = {
+            name: partial(call, shards=shards)
+            if get_spec(name).supports_backend(SHARDED)
+            else call
+            for name, call in resolved.items()
+        }
+    return resolved
 
 
 def _compare_instance(
@@ -646,6 +749,7 @@ def _compare_instance(
     backend: str = "auto",
     overrides: "Mapping[str, Mapping[str, Any]] | None" = None,
     sparse_lp: bool = False,
+    shards: int | None = None,
 ) -> list[ExperimentRecord]:
     """All comparison records of one instance (one process-pool work unit)."""
     records: list[ExperimentRecord] = []
@@ -654,7 +758,7 @@ def _compare_instance(
     registry_driven = not isinstance(algorithms, Mapping)
     if registry_driven:
         from repro.api import get_spec
-    resolved = _instance_algorithms(instance, algorithms, backend, overrides)
+    resolved = _instance_algorithms(instance, algorithms, backend, overrides, shards)
     for name, algorithm in resolved.items():
         # Registry specs declare determinism: one trial suffices (the
         # summary statistics of identical repetitions are identical).
@@ -702,6 +806,7 @@ def compare_algorithms(
     backend: str = "auto",
     overrides: "Mapping[str, Mapping[str, Any]] | None" = None,
     sparse_lp: bool = False,
+    shards: int | None = None,
 ) -> list[ExperimentRecord]:
     """Run dominating set algorithms over instances and record sizes.
 
@@ -738,6 +843,9 @@ def compare_algorithms(
         Solve LP_MDS sparsely for CSR instances so the comparison's
         LP-ratio column is real instead of NaN (tens of seconds per
         n = 20 000 instance; dense instances always use the exact LP).
+    shards:
+        Shard count forwarded to sharded-capable registry specs (the rest
+        run unchanged); requires ``backend`` ``"auto"`` or ``"sharded"``.
 
     Returns
     -------
@@ -755,5 +863,6 @@ def compare_algorithms(
         backend=backend,
         overrides=dict(overrides) if overrides else None,
         sparse_lp=sparse_lp,
+        shards=shards,
     )
     return _map_instances(worker, instances, jobs)

@@ -80,6 +80,7 @@ from repro.core.kuhn_wattenhofer import (
 from repro.core.rounding import RoundingRule
 from repro.core.vectorized import (
     BACKENDS,
+    SHARDED,
     SIMULATED,
     VECTORIZED,
     CapabilityError,
@@ -99,6 +100,14 @@ DISPATCH_BACKENDS = (AUTO,) + BACKENDS
 #: threshold is conservative: small interactive graphs keep the
 #: message-level simulated engine, sweeps and large graphs go bulk.
 AUTO_VECTORIZE_THRESHOLD = 512
+
+#: Inputs at or above this node count dispatch to the *sharded* multiprocess
+#: engine under ``backend="auto"`` -- when the algorithm supports it, the
+#: host has more than one usable CPU, and POSIX ``fork`` is available.  The
+#: sharded engine is bitwise-equal to the vectorized one, so the switch is
+#: purely a wall-clock/memory decision: below ~10⁵ nodes process start-up
+#: dominates, above it the per-shard slabs win.
+AUTO_SHARD_THRESHOLD = 200_000
 
 
 # ---------------------------------------------------------------------- #
@@ -314,6 +323,15 @@ def register(spec: AlgorithmSpec) -> AlgorithmSpec:
             f"algorithm {spec.name!r} claims BulkGraph support without the "
             "vectorized backend"
         )
+    if SHARDED in spec.backends and (
+        VECTORIZED not in spec.backends or not spec.accepts_bulk
+    ):
+        # The sharded engine partitions a CSR and runs the vectorized
+        # kernels on the slabs; without both it cannot execute at all.
+        raise ValueError(
+            f"algorithm {spec.name!r} claims the sharded backend without "
+            "the vectorized backend and native BulkGraph support"
+        )
     for backend in spec.trace_backends:
         if backend not in spec.backends:
             raise ValueError(
@@ -404,11 +422,19 @@ def _node_count(graph: nx.Graph | BulkGraph) -> int:
     return graph.number_of_nodes()
 
 
+def _sharded_host_capable() -> bool:
+    """Whether this host can run the sharded engine at all (POSIX fork)."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 def resolve_backend(
     algorithm: str | AlgorithmSpec,
     graph: nx.Graph | BulkGraph,
     backend: str = AUTO,
     collect_trace: bool = False,
+    shards: int | None = None,
 ) -> str:
     """Resolve ``backend="auto"`` (and validate concrete requests).
 
@@ -416,12 +442,18 @@ def resolve_backend(
 
     1. ``collect_trace=True`` restricts dispatch to the spec's
        :attr:`~AlgorithmSpec.trace_backends` (event-based traces on the
-       simulated engine, columnar traces on the vectorized engine).
-    2. A CSR :class:`BulkGraph` input requires the vectorized engine
-       (there are no per-node programs to run it through).
-    3. Otherwise ``auto`` picks the vectorized engine for graphs with
-       ``n >= AUTO_VECTORIZE_THRESHOLD`` when the spec supports both, and
-       the simulated engine below it.
+       simulated engine, columnar traces on the vectorized engine; the
+       sharded engine does not trace).
+    2. An explicit ``shards=N`` requires a sharded-capable spec and pins
+       the sharded engine under ``auto`` (with a concrete
+       ``backend="simulated"``/``"vectorized"`` it is contradictory and
+       raises).
+    3. A CSR :class:`BulkGraph` input requires a bulk engine (vectorized
+       or sharded -- there are no per-node programs to run it through).
+    4. Otherwise ``auto`` picks the sharded engine for inputs with
+       ``n >= AUTO_SHARD_THRESHOLD`` when the spec supports it and the
+       host has multiple usable CPUs, the vectorized engine for
+       ``n >= AUTO_VECTORIZE_THRESHOLD``, and the simulated engine below.
 
     Any impossible combination raises :class:`CapabilityError` naming the
     algorithm, the capability and the supporting backends.  The return
@@ -435,6 +467,43 @@ def resolve_backend(
         )
     if collect_trace and not spec.trace_backends:
         raise CapabilityError(spec.name, "collect_trace", backend, ())
+    if shards is not None:
+        if not spec.supports_backend(SHARDED):
+            raise CapabilityError(
+                spec.name,
+                f"sharded execution (shards={shards})",
+                backend,
+                spec.backends,
+            )
+        if backend in (SIMULATED, VECTORIZED):
+            raise ValueError(
+                f"shards={shards} requires backend='sharded' (or 'auto'); "
+                f"got backend={backend!r}"
+            )
+        if collect_trace:
+            raise CapabilityError(
+                spec.name, "collect_trace", SHARDED, spec.trace_backends
+            )
+
+    def _shardable() -> bool:
+        return (
+            spec.supports_backend(SHARDED)
+            and not collect_trace
+            and _sharded_host_capable()
+        )
+
+    def _auto_shard() -> bool:
+        if not _shardable():
+            return False
+        if shards is not None:
+            return True
+        from repro.simulator.sharded import available_cpu_count
+
+        return (
+            _node_count(graph) >= AUTO_SHARD_THRESHOLD
+            and available_cpu_count() >= 2
+        )
+
     is_bulk = isinstance(graph, BulkGraph)
     if is_bulk:
         if not (spec.supports_backend(VECTORIZED) and spec.accepts_bulk):
@@ -445,15 +514,32 @@ def resolve_backend(
             )
         if backend == SIMULATED:
             raise CapabilityError(
-                spec.name, "BulkGraph (CSR) inputs", SIMULATED, (VECTORIZED,)
+                spec.name,
+                "BulkGraph (CSR) inputs",
+                SIMULATED,
+                tuple(b for b in spec.backends if b != SIMULATED),
             )
+        if backend == SHARDED:
+            if not spec.supports_backend(SHARDED):
+                raise CapabilityError(
+                    spec.name, "execution", SHARDED, spec.backends
+                )
+            if collect_trace:
+                raise CapabilityError(
+                    spec.name, "collect_trace", SHARDED, spec.trace_backends
+                )
+            return SHARDED
         if collect_trace and not spec.supports_trace_on(VECTORIZED):
             # CSR inputs pin the bulk engine, which this spec cannot trace.
             raise CapabilityError(
                 spec.name, "collect_trace", VECTORIZED, spec.trace_backends
             )
+        if backend == AUTO and _auto_shard():
+            return SHARDED
         return VECTORIZED
     if backend == AUTO:
+        if _auto_shard():
+            return SHARDED
         candidates = spec.trace_backends if collect_trace else spec.backends
         if SIMULATED in candidates and VECTORIZED in candidates:
             if _node_count(graph) >= AUTO_VECTORIZE_THRESHOLD:
@@ -506,13 +592,14 @@ def solve(
         spec declares :attr:`~AlgorithmSpec.accepts_bulk`.
     backend:
         ``"auto"`` (default; resolved per :func:`resolve_backend`),
-        ``"simulated"`` or ``"vectorized"``.
+        ``"simulated"``, ``"vectorized"`` or ``"sharded"``.
     seed:
         Seed forwarded to the algorithm (ignored by deterministic ones).
     **params:
         Algorithm-specific parameters (``k=``, ``variant=``, ``weights=``,
-        ``collect_trace=``, ...); unknown ones raise ``TypeError`` from
-        the underlying entry point.
+        ``collect_trace=``, ``shards=``, ...); unknown ones raise
+        ``TypeError`` from the underlying entry point.  ``shards=N`` pins
+        the sharded engine under ``backend="auto"``.
 
     Returns
     -------
@@ -528,9 +615,14 @@ def solve(
     """
     spec = get_spec(algorithm)
     collect_trace = bool(params.get("collect_trace", False))
+    shards = params.pop("shards", None)
     resolved = resolve_backend(
-        spec, graph, backend=backend, collect_trace=collect_trace
+        spec, graph, backend=backend, collect_trace=collect_trace, shards=shards
     )
+    if resolved == SHARDED:
+        # Only sharded-capable runners accept the parameter; resolve_backend
+        # already rejected shards= for every other spec.
+        params["shards"] = shards
     if not spec.supports_trace:
         # A falsy collect_trace passed generically (resolve_backend already
         # rejected a truthy one) must not reach runners that don't take it.
@@ -678,6 +770,7 @@ def _run_kuhn_wattenhofer(
     variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
     rounding_rule: RoundingRule = RoundingRule.LOG,
     collect_trace: bool = False,
+    shards: int | None = None,
 ) -> _RunPayload:
     result = kuhn_wattenhofer_dominating_set(
         graph,
@@ -687,6 +780,7 @@ def _run_kuhn_wattenhofer(
         rounding_rule=rounding_rule,
         collect_trace=collect_trace,
         backend=backend,
+        shards=shards,
     )
     return {
         "dominating_set": result.dominating_set,
@@ -707,6 +801,7 @@ def _run_weighted_kuhn_wattenhofer(
     k: int = 2,
     rounding_rule: RoundingRule = RoundingRule.LOG,
     collect_trace: bool = False,
+    shards: int | None = None,
 ) -> _RunPayload:
     result = weighted_kuhn_wattenhofer_dominating_set(
         graph,
@@ -716,6 +811,7 @@ def _run_weighted_kuhn_wattenhofer(
         rounding_rule=rounding_rule,
         collect_trace=collect_trace,
         backend=backend,
+        shards=shards,
     )
     messages = (
         result.fractional.metrics.total_messages
@@ -829,7 +925,7 @@ register(
         name="kuhn-wattenhofer",
         summary="The paper's Theorem-6 pipeline: distributed fractional "
         "LP_MDS approximation (Alg. 2/3) + randomized rounding (Alg. 1)",
-        backends=(SIMULATED, VECTORIZED),
+        backends=(SIMULATED, VECTORIZED, SHARDED),
         runner=_run_kuhn_wattenhofer,
         entry_point=kuhn_wattenhofer_dominating_set,
         accepts_bulk=True,
@@ -941,7 +1037,7 @@ register(
         name="weighted-kuhn-wattenhofer",
         summary="Weighted pipeline (remark after Theorem 4): cost-scaled "
         "fractional phase + Algorithm 1 rounding",
-        backends=(SIMULATED, VECTORIZED),
+        backends=(SIMULATED, VECTORIZED, SHARDED),
         runner=_run_weighted_kuhn_wattenhofer,
         entry_point=weighted_kuhn_wattenhofer_dominating_set,
         accepts_bulk=True,

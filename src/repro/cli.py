@@ -30,8 +30,11 @@ Installed as ``repro-domset`` (see ``pyproject.toml``); also runnable as
 Every algorithm-running sub-command accepts ``--backend`` with the
 default ``auto``: the :mod:`repro.api` registry resolves the execution
 engine per algorithm capabilities and input, so CSR suites
-(``--suite xlarge``) and large graphs run vectorized without any flag,
-and ``--backend simulated`` / ``vectorized`` force an engine explicitly.
+(``--suite xlarge`` / ``huge``) and large graphs run vectorized without
+any flag, and ``--backend simulated`` / ``vectorized`` / ``sharded``
+force an engine explicitly.  ``--shards N`` (solve, compare, sweep,
+tradeoff) requests the multiprocess sharded engine with N workers;
+algorithms without sharded support report a clean capability error.
 
 The CLI is a thin enumeration of the :mod:`repro.api` registry: there is
 no per-algorithm wiring here, so registering a new algorithm makes it
@@ -69,6 +72,7 @@ from repro.core.invariants import (
 from repro.api import (
     AUTO,
     DISPATCH_BACKENDS,
+    SHARDED,
     SIMULATED,
     CapabilityError,
     algorithm_names,
@@ -125,13 +129,27 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--suite",
-        choices=["tiny", "small", "medium", "large", "xlarge"],
+        choices=["tiny", "small", "medium", "large", "xlarge", "huge"],
         default=None,
         help=(
             "run over a whole graph_suite scale instead of one generated "
             "graph; overrides --family/--n/--radius/--p/--degree "
-            "(xlarge instances are CSR-native; the default --backend auto "
-            "runs them vectorized)"
+            "(xlarge and huge instances are CSR-native; the default "
+            "--backend auto runs xlarge vectorized and huge sharded when "
+            "multiple CPUs are available)"
+        ),
+    )
+
+
+def _add_shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "worker-process count for the sharded engine; implies "
+            "--backend sharded under the default auto (algorithms without "
+            "sharded support fail with a capability error)"
         ),
     )
 
@@ -172,6 +190,8 @@ def _command_solve(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     spec = get_spec(args.algorithm)
     params = _registry_params(spec, args)
+    if args.shards is not None:
+        params["shards"] = args.shards
     try:
         report = api_solve(
             spec, graph, backend=args.backend, seed=args.seed, **params
@@ -209,18 +229,23 @@ def _command_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Printed (before paying the n >= 20000 suite construction) when a CSR
-#: suite is requested with an explicitly simulated backend; the default
-#: ``--backend auto`` resolves CSR instances to the vectorized engine.
-_XLARGE_BACKEND_ERROR = (
-    "error: --suite xlarge instances are CSR-native and cannot run on "
-    "--backend simulated; use --backend vectorized (or the default, auto)"
-)
+#: CSR-native suite scales: these instances never exist as networkx
+#: graphs, so the simulated per-node engine cannot run them.
+_CSR_SUITES = ("xlarge", "huge")
 
 
 def _reject_simulated_xlarge(args: argparse.Namespace) -> bool:
-    if getattr(args, "suite", None) == "xlarge" and args.backend == SIMULATED:
-        print(_XLARGE_BACKEND_ERROR, file=sys.stderr)
+    """Reject --backend simulated on CSR suites before paying the
+    n >= 20000 (or n >= 10^6) suite construction; the default
+    ``--backend auto`` resolves CSR instances to an array engine."""
+    suite = getattr(args, "suite", None)
+    if suite in _CSR_SUITES and args.backend == SIMULATED:
+        print(
+            f"error: --suite {suite} instances are CSR-native and cannot "
+            "run on --backend simulated; use --backend vectorized or "
+            "sharded (or the default, auto)",
+            file=sys.stderr,
+        )
         return True
     return False
 
@@ -246,6 +271,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             backend=args.backend,
             overrides={"kuhn-wattenhofer": {"k": args.k}},
             sparse_lp=args.sparse_lp,
+            shards=args.shards,
         )
     except (CapabilityError, ValueError) as error:
         # An explicitly requested algorithm/backend combination that no
@@ -267,14 +293,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
     instances = _build_instances(args)
     k_values = list(range(1, args.max_k + 1))
     variant = FractionalVariant(args.variant)
-    records = sweep_fractional(
-        instances,
-        k_values,
-        variant=variant,
-        seed=args.seed,
-        backend=args.backend,
-        jobs=args.jobs,
-    )
+    try:
+        records = sweep_fractional(
+            instances,
+            k_values,
+            variant=variant,
+            seed=args.seed,
+            backend=args.backend,
+            jobs=args.jobs,
+            shards=args.shards,
+        )
+    except (CapabilityError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     rows = [record.as_row() for record in records]
     if args.csv:
         print(records_to_csv(rows))
@@ -288,16 +319,21 @@ def _command_tradeoff(args: argparse.Namespace) -> int:
         return 2
     instances = _build_instances(args)
     k_values = list(range(1, args.max_k + 1))
-    records = sweep_tradeoff(
-        instances,
-        k_values,
-        trials=args.trials,
-        variant=FractionalVariant(args.variant),
-        seed=args.seed,
-        backend=args.backend,
-        jobs=args.jobs,
-        sparse_lp=args.sparse_lp,
-    )
+    try:
+        records = sweep_tradeoff(
+            instances,
+            k_values,
+            trials=args.trials,
+            variant=FractionalVariant(args.variant),
+            seed=args.seed,
+            backend=args.backend,
+            jobs=args.jobs,
+            sparse_lp=args.sparse_lp,
+            shards=args.shards,
+        )
+    except (CapabilityError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     rows = [record.as_row() for record in records]
     if args.csv:
         print(records_to_csv(rows))
@@ -498,6 +534,7 @@ def _command_algorithms(args: argparse.Namespace) -> int:
                 "algorithm": spec.name,
                 "backends": "+".join(spec.backends),
                 "bulk": spec.accepts_bulk,
+                "sharded": spec.supports_backend(SHARDED),
                 "weighted": spec.weighted,
                 "cds": spec.produces_cds,
                 "trace": "+".join(spec.trace_backends) if spec.trace_backends else "-",
@@ -542,6 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
         "solve", help="run one registered algorithm on one graph"
     )
     _add_graph_arguments(solve)
+    _add_shards_argument(solve)
     solve.add_argument(
         "--algorithm",
         choices=list(algorithm_names()),
@@ -565,6 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="compare against all baselines")
     _add_graph_arguments(compare)
     _add_jobs_argument(compare)
+    _add_shards_argument(compare)
     compare.add_argument(
         "--algorithm",
         action="append",
@@ -623,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser("sweep", help="sweep the locality parameter k")
     _add_graph_arguments(sweep)
     _add_jobs_argument(sweep)
+    _add_shards_argument(sweep)
     sweep.add_argument("--max-k", type=int, default=5)
     sweep.add_argument(
         "--variant",
@@ -638,6 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_graph_arguments(tradeoff)
     _add_jobs_argument(tradeoff)
+    _add_shards_argument(tradeoff)
     tradeoff.add_argument("--max-k", type=int, default=6)
     tradeoff.add_argument("--trials", type=int, default=5)
     tradeoff.add_argument(

@@ -19,8 +19,11 @@ from typing import Hashable, Mapping, Sequence
 import networkx as nx
 
 from repro.core.vectorized import (
+    BACKENDS,
+    SHARDED,
     SIMULATED,
     VECTORIZED,
+    CapabilityError,
     resolve_bulk_input,
     run_algorithm2_bulk,
     run_algorithm2_bulk_multi_k,
@@ -174,6 +177,39 @@ class Algorithm2Program(GeneratorNodeProgram):
         return self.x
 
 
+def _package_fractional(bulk, values, metrics, k, true_delta, trace=None):
+    """Build a :class:`FractionalResult` from bulk-engine output arrays.
+
+    The x dict is filled in ``bulk.nodes`` order via ``tolist()`` (Python
+    floats, bit-identical to per-value ``float()`` casts), so the
+    insertion-ordered ``sum`` over its values matches the per-node
+    packaging loop this replaces.
+    """
+    x = dict(zip(bulk.nodes, values.tolist()))
+    return FractionalResult(
+        x=x,
+        objective=float(sum(x.values())),
+        rounds=metrics.round_count,
+        metrics=metrics,
+        trace=trace if trace is not None else ExecutionTrace(),
+        k=k,
+        max_degree=true_delta,
+    )
+
+
+def _sharded_driver(bulk, shards, executor):
+    """Reuse a pipeline-provided :class:`ShardedDriver` or open a new one.
+
+    Returns ``(driver, owns)`` -- ``owns`` tells the caller whether it is
+    responsible for closing the driver.
+    """
+    if executor is not None:
+        return executor, False
+    from repro.simulator.sharded import ShardedDriver
+
+    return ShardedDriver(bulk, shards), True
+
+
 def _vectorized_fractional_result(
     graph, k, collect_trace, run_bulk, true_delta, bulk=None,
     algorithm="approximate_fractional_mds",
@@ -193,16 +229,7 @@ def _vectorized_fractional_result(
         bulk = BulkGraph.from_graph(graph)
     trace = ColumnarTrace() if collect_trace else None
     values, metrics = run_bulk(bulk, trace)
-    x = {node: float(value) for node, value in zip(bulk.nodes, values)}
-    return FractionalResult(
-        x=x,
-        objective=float(sum(x.values())),
-        rounds=metrics.round_count,
-        metrics=metrics,
-        trace=trace if trace is not None else ExecutionTrace(),
-        k=k,
-        max_degree=true_delta,
-    )
+    return _package_fractional(bulk, values, metrics, k, true_delta, trace=trace)
 
 
 def _program_factory(k: int, delta: int):
@@ -221,7 +248,9 @@ def approximate_fractional_mds(
     collect_trace: bool = False,
     delta: int | None = None,
     backend: str = SIMULATED,
+    shards: int | None = None,
     _bulk: BulkGraph | None = None,
+    _executor=None,
 ) -> FractionalResult:
     """Run Algorithm 2 on a graph and return its fractional solution.
 
@@ -250,17 +279,24 @@ def approximate_fractional_mds(
         ``"simulated"`` executes per-node message-passing programs
         (message-level fidelity, traces, fault models); ``"vectorized"``
         computes the identical x-vector with whole-graph array operations
-        (orders of magnitude faster on large graphs).
+        (orders of magnitude faster on large graphs); ``"sharded"`` runs
+        the same vectorized kernel as multiprocess bulk-synchronous
+        supersteps over hash-partitioned CSR slabs -- bitwise identical
+        again, and the only backend that scales to n ≥ 10⁶.
+    shards:
+        Worker-process count for the sharded backend (``None`` lets the
+        engine pick one per usable CPU).  Ignored by the other backends.
 
     ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`
-    (e.g. from :mod:`repro.graphs.bulk`), in which case the vectorized
-    backend is required -- no networkx graph is ever materialised.
+    (e.g. from :mod:`repro.graphs.bulk`), in which case a bulk backend
+    (vectorized or sharded) is required -- no networkx graph is ever
+    materialised.
 
     Returns
     -------
     FractionalResult
     """
-    validate_backend(backend)
+    validate_backend(backend, supported=BACKENDS)
     _bulk = resolve_bulk_input(graph, backend, _bulk)
     if _bulk is not graph:
         validate_simple_graph(graph)
@@ -273,6 +309,23 @@ def approximate_fractional_mds(
         raise ValueError(
             f"delta={delta} is smaller than the true maximum degree {true_delta}"
         )
+
+    if backend == SHARDED:
+        if collect_trace:
+            raise CapabilityError(
+                "approximate_fractional_mds",
+                "collect_trace",
+                SHARDED,
+                (SIMULATED, VECTORIZED),
+            )
+        bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        driver, owns = _sharded_driver(bulk, shards, _executor)
+        try:
+            values, metrics = driver.run_algorithm2_multi_k((k,), delta)[k]
+        finally:
+            if owns:
+                driver.close()
+        return _package_fractional(bulk, values, metrics, k, true_delta)
 
     if backend == VECTORIZED:
         return _vectorized_fractional_result(
@@ -312,7 +365,9 @@ def approximate_fractional_mds_multi_k(
     seed: int | None = None,
     delta: int | None = None,
     backend: str = SIMULATED,
+    shards: int | None = None,
     _bulk: BulkGraph | None = None,
+    _executor=None,
 ) -> dict[int, FractionalResult]:
     """Run Algorithm 2 for a whole k sweep in one call.
 
@@ -327,8 +382,8 @@ def approximate_fractional_mds_multi_k(
 
     Returns ``{k: FractionalResult}`` for every requested k.
     """
-    validate_backend(backend)
-    if backend != VECTORIZED:
+    validate_backend(backend, supported=BACKENDS)
+    if backend not in (VECTORIZED, SHARDED):
         return {
             k: approximate_fractional_mds(
                 graph, k=k, seed=seed, delta=delta, backend=backend
@@ -347,17 +402,19 @@ def approximate_fractional_mds_multi_k(
             f"delta={delta} is smaller than the true maximum degree {true_delta}"
         )
     bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
-    snapshots = run_algorithm2_bulk_multi_k(bulk, tuple(k_values), delta=delta)
-    results: dict[int, FractionalResult] = {}
-    for k, (values, metrics) in snapshots.items():
-        x = {node: float(value) for node, value in zip(bulk.nodes, values)}
-        results[k] = FractionalResult(
-            x=x,
-            objective=float(sum(x.values())),
-            rounds=metrics.round_count,
-            metrics=metrics,
-            trace=ExecutionTrace(),
-            k=k,
-            max_degree=true_delta,
-        )
-    return results
+    if backend == SHARDED:
+        for k in k_values:
+            if k < 1:
+                raise ValueError("k must be at least 1")
+        driver, owns = _sharded_driver(bulk, shards, _executor)
+        try:
+            snapshots = driver.run_algorithm2_multi_k(tuple(k_values), delta)
+        finally:
+            if owns:
+                driver.close()
+    else:
+        snapshots = run_algorithm2_bulk_multi_k(bulk, tuple(k_values), delta=delta)
+    return {
+        k: _package_fractional(bulk, values, metrics, k, true_delta)
+        for k, (values, metrics) in snapshots.items()
+    }

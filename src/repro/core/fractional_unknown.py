@@ -27,11 +27,16 @@ from repro.core.fractional import (
     GRAY,
     WHITE,
     FractionalResult,
+    _package_fractional,
+    _sharded_driver,
     _vectorized_fractional_result,
 )
 from repro.core.vectorized import (
+    BACKENDS,
+    SHARDED,
     SIMULATED,
     VECTORIZED,
+    CapabilityError,
     resolve_bulk_input,
     run_algorithm3_bulk,
     run_algorithm3_bulk_multi_k,
@@ -206,7 +211,9 @@ def approximate_fractional_mds_unknown_delta(
     seed: int | None = None,
     collect_trace: bool = False,
     backend: str = SIMULATED,
+    shards: int | None = None,
     _bulk: BulkGraph | None = None,
+    _executor=None,
 ) -> FractionalResult:
     """Run Algorithm 3 on a graph and return its fractional solution.
 
@@ -226,21 +233,42 @@ def approximate_fractional_mds_unknown_delta(
     backend:
         ``"simulated"`` for per-node message passing, ``"vectorized"`` for
         the bulk-synchronous array engine (identical x-vectors, far faster
-        on large graphs).
+        on large graphs), ``"sharded"`` for the multiprocess superstep
+        engine (identical again; scales to n ≥ 10⁶).
+    shards:
+        Worker-process count for the sharded backend (``None`` picks one
+        per usable CPU).  Ignored by the other backends.
 
     ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`,
-    in which case the vectorized backend is required.
+    in which case a bulk backend (vectorized or sharded) is required.
 
     Returns
     -------
     FractionalResult
     """
-    validate_backend(backend)
+    validate_backend(backend, supported=BACKENDS)
     _bulk = resolve_bulk_input(graph, backend, _bulk)
     if _bulk is not graph:
         validate_simple_graph(graph)
     if k < 1:
         raise ValueError("k must be at least 1")
+
+    if backend == SHARDED:
+        if collect_trace:
+            raise CapabilityError(
+                "approximate_fractional_mds_unknown_delta",
+                "collect_trace",
+                SHARDED,
+                (SIMULATED, VECTORIZED),
+            )
+        bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        driver, owns = _sharded_driver(bulk, shards, _executor)
+        try:
+            values, metrics = driver.run_algorithm3_multi_k((k,))[k]
+        finally:
+            if owns:
+                driver.close()
+        return _package_fractional(bulk, values, metrics, k, max_degree(graph))
 
     if backend == VECTORIZED:
         return _vectorized_fractional_result(
@@ -280,7 +308,9 @@ def approximate_fractional_mds_unknown_delta_multi_k(
     k_values: Sequence[int],
     seed: int | None = None,
     backend: str = SIMULATED,
+    shards: int | None = None,
     _bulk: BulkGraph | None = None,
+    _executor=None,
 ) -> dict[int, FractionalResult]:
     """Run Algorithm 3 for a whole k sweep in one call.
 
@@ -294,8 +324,8 @@ def approximate_fractional_mds_unknown_delta_multi_k(
 
     Returns ``{k: FractionalResult}`` for every requested k.
     """
-    validate_backend(backend)
-    if backend != VECTORIZED:
+    validate_backend(backend, supported=BACKENDS)
+    if backend not in (VECTORIZED, SHARDED):
         return {
             k: approximate_fractional_mds_unknown_delta(
                 graph, k=k, seed=seed, backend=backend
@@ -306,21 +336,22 @@ def approximate_fractional_mds_unknown_delta_multi_k(
     _bulk = resolve_bulk_input(graph, backend, _bulk)
     if _bulk is not graph:
         validate_simple_graph(graph)
-    from repro.simulator.trace import ExecutionTrace
 
     true_delta = max_degree(graph)
     bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
-    snapshots = run_algorithm3_bulk_multi_k(bulk, tuple(k_values))
-    results: dict[int, FractionalResult] = {}
-    for k, (values, metrics) in snapshots.items():
-        x = {node: float(value) for node, value in zip(bulk.nodes, values)}
-        results[k] = FractionalResult(
-            x=x,
-            objective=float(sum(x.values())),
-            rounds=metrics.round_count,
-            metrics=metrics,
-            trace=ExecutionTrace(),
-            k=k,
-            max_degree=true_delta,
-        )
-    return results
+    if backend == SHARDED:
+        for k in k_values:
+            if k < 1:
+                raise ValueError("k must be at least 1")
+        driver, owns = _sharded_driver(bulk, shards, _executor)
+        try:
+            snapshots = driver.run_algorithm3_multi_k(tuple(k_values))
+        finally:
+            if owns:
+                driver.close()
+    else:
+        snapshots = run_algorithm3_bulk_multi_k(bulk, tuple(k_values))
+    return {
+        k: _package_fractional(bulk, values, metrics, k, true_delta)
+        for k, (values, metrics) in snapshots.items()
+    }

@@ -38,8 +38,11 @@ from repro.core.rounding import (
     solution_feasibility,
 )
 from repro.core.vectorized import (
+    BACKENDS,
+    SHARDED,
     SIMULATED,
     VECTORIZED,
+    CapabilityError,
     resolve_bulk_input,
     validate_backend,
 )
@@ -116,6 +119,7 @@ def kuhn_wattenhofer_dominating_set(
     rounding_rule: RoundingRule = RoundingRule.LOG,
     collect_trace: bool = False,
     backend: str = SIMULATED,
+    shards: int | None = None,
     _bulk: BulkGraph | None = None,
 ) -> PipelineResult:
     """Compute a dominating set with the full Kuhn–Wattenhofer pipeline.
@@ -126,7 +130,8 @@ def kuhn_wattenhofer_dominating_set(
         The network graph (undirected, simple, non-empty).  May also be a
         CSR :class:`~repro.simulator.bulk.BulkGraph` (e.g. from
         :mod:`repro.graphs.bulk`), in which case ``backend="vectorized"``
-        is required and no networkx graph is ever materialised.
+        or ``"sharded"`` is required and no networkx graph is ever
+        materialised.
     k:
         Locality parameter.  ``None`` selects the paper's
         ``k = Θ(log Δ)`` default (:func:`log_delta_parameter`).
@@ -146,7 +151,13 @@ def kuhn_wattenhofer_dominating_set(
         ``"simulated"`` drives both phases through the message-passing
         simulator; ``"vectorized"`` uses the bulk-synchronous array engine
         for both (same x-vectors and, for a given seed, the same coin
-        flips -- so the same dominating set -- at a fraction of the cost).
+        flips -- so the same dominating set -- at a fraction of the cost);
+        ``"sharded"`` partitions the CSR across worker processes and runs
+        both phases as bulk-synchronous supersteps, producing bitwise the
+        same result as ``"vectorized"`` for any shard count.
+    shards:
+        Worker process count for the sharded backend (``None`` picks one
+        per available CPU).  Only valid with ``backend="sharded"``.
 
     Returns
     -------
@@ -160,7 +171,11 @@ def kuhn_wattenhofer_dominating_set(
         and are checked on every call precisely because the paper's
         correctness argument relies on them.
     """
-    validate_backend(backend)
+    validate_backend(backend, supported=BACKENDS)
+    if backend == SHARDED and collect_trace:
+        raise CapabilityError(
+            "kuhn-wattenhofer", "collect_trace", SHARDED, (SIMULATED, VECTORIZED)
+        )
     _bulk = resolve_bulk_input(graph, backend, _bulk)
     if _bulk is not graph:
         validate_simple_graph(graph)
@@ -175,43 +190,61 @@ def kuhn_wattenhofer_dominating_set(
     if _bulk is not None:
         bulk = _bulk
     else:
-        bulk = BulkGraph.from_graph(graph) if backend == VECTORIZED else None
+        bulk = (
+            BulkGraph.from_graph(graph) if backend in (VECTORIZED, SHARDED) else None
+        )
 
-    if variant is FractionalVariant.KNOWN_DELTA:
-        fractional = approximate_fractional_mds(
+    # One shard pool serves both phases: forking, sharing the CSR, and
+    # partitioning happen once, then the fractional and rounding supersteps
+    # run against the same resident workers.
+    executor = None
+    try:
+        if backend == SHARDED:
+            from repro.simulator.sharded import ShardedDriver
+
+            executor = ShardedDriver(bulk, shards)
+
+        if variant is FractionalVariant.KNOWN_DELTA:
+            fractional = approximate_fractional_mds(
+                graph,
+                k=k,
+                seed=seed,
+                collect_trace=collect_trace,
+                backend=backend,
+                _bulk=bulk,
+                _executor=executor,
+            )
+        else:
+            fractional = approximate_fractional_mds_unknown_delta(
+                graph,
+                k=k,
+                seed=seed,
+                collect_trace=collect_trace,
+                backend=backend,
+                _bulk=bulk,
+                _executor=executor,
+            )
+
+        feasible, _ = solution_feasibility(graph, fractional.x, _bulk=bulk)
+        if not feasible:
+            raise RuntimeError(
+                "fractional phase returned an infeasible LP solution; "
+                "this indicates a bug in the distributed algorithm"
+            )
+
+        rounding = round_fractional_solution(
             graph,
-            k=k,
+            fractional.x,
             seed=seed,
-            collect_trace=collect_trace,
+            rule=rounding_rule,
+            require_feasible=False,  # already checked above
             backend=backend,
             _bulk=bulk,
+            _executor=executor,
         )
-    else:
-        fractional = approximate_fractional_mds_unknown_delta(
-            graph,
-            k=k,
-            seed=seed,
-            collect_trace=collect_trace,
-            backend=backend,
-            _bulk=bulk,
-        )
-
-    feasible, _ = solution_feasibility(graph, fractional.x, _bulk=bulk)
-    if not feasible:
-        raise RuntimeError(
-            "fractional phase returned an infeasible LP solution; "
-            "this indicates a bug in the distributed algorithm"
-        )
-
-    rounding = round_fractional_solution(
-        graph,
-        fractional.x,
-        seed=seed,
-        rule=rounding_rule,
-        require_feasible=False,  # already checked above
-        backend=backend,
-        _bulk=bulk,
-    )
+    finally:
+        if executor is not None:
+            executor.close()
     if not is_dominating_set(graph, rounding.dominating_set):
         raise RuntimeError(
             "rounding phase returned a non-dominating set; "

@@ -45,7 +45,8 @@ from repro.simulator.metrics import ExecutionMetrics
 #: The execution backends exposed by the public entry points.
 SIMULATED = "simulated"
 VECTORIZED = "vectorized"
-BACKENDS = (SIMULATED, VECTORIZED)
+SHARDED = "sharded"
+BACKENDS = (SIMULATED, VECTORIZED, SHARDED)
 
 
 class CapabilityError(ValueError):
@@ -94,13 +95,27 @@ class CapabilityError(ValueError):
         )
 
 
-def validate_backend(backend: str) -> str:
-    """Check a ``backend=`` argument and return it normalised."""
-    if backend not in BACKENDS:
+def validate_backend(
+    backend: str, supported: Sequence[str] = (SIMULATED, VECTORIZED)
+) -> str:
+    """Check a ``backend=`` argument and return it normalised.
+
+    ``supported`` lists the backends this entry point implements; it
+    defaults to the simulated/vectorized pair so only the entry points
+    that grew a sharded execution path opt into ``"sharded"`` (passing
+    ``supported=BACKENDS``) -- everything else rejects it up front instead
+    of silently falling through to a per-node path.
+    """
+    if backend in supported:
+        return backend
+    if backend in BACKENDS:
         raise ValueError(
-            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+            f"backend {backend!r} is not supported by this entry point; "
+            f"expected one of {', '.join(supported)}"
         )
-    return backend
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {', '.join(supported)}"
+    )
 
 
 def resolve_bulk_input(graph, backend: str, bulk: BulkGraph | None = None):
@@ -108,17 +123,19 @@ def resolve_bulk_input(graph, backend: str, bulk: BulkGraph | None = None):
 
     The CSR-native generators produce :class:`BulkGraph` objects directly;
     the public entry points accept them wherever ``backend="vectorized"``
-    is in effect (there is no per-node program to run them through, so the
-    simulated backend rejects them).  Returns the :class:`BulkGraph` to use
-    for vectorized execution -- the input itself when it already is one,
-    otherwise the caller-provided prebuilt ``bulk`` (which may be ``None``,
-    meaning "build from the networkx graph on demand").
+    (or its multiprocess sibling ``"sharded"``) is in effect -- there is no
+    per-node program to run them through, so the simulated backend rejects
+    them.  Returns the :class:`BulkGraph` to use for bulk execution -- the
+    input itself when it already is one, otherwise the caller-provided
+    prebuilt ``bulk`` (which may be ``None``, meaning "build from the
+    networkx graph on demand").
     """
     if isinstance(graph, BulkGraph):
-        if backend != VECTORIZED:
+        if backend not in (VECTORIZED, SHARDED):
             raise ValueError(
-                "BulkGraph inputs require backend='vectorized'; the simulated "
-                "backend needs a networkx graph to build per-node programs"
+                "BulkGraph inputs require backend='vectorized' or 'sharded'; "
+                "the simulated backend needs a networkx graph to build "
+                "per-node programs"
             )
         return graph
     return bulk
@@ -649,6 +666,17 @@ def run_rounding_bulk_batched(
 
 def x_array_from_mapping(bulk: BulkGraph, x: Mapping[Hashable, float]) -> np.ndarray:
     """Convert a node -> value mapping into a ``bulk.nodes``-indexed array."""
+    if len(x) == bulk.n:
+        # Fast path for complete mappings (the common pipeline case at
+        # n >= 10⁶): fromiter over __getitem__ skips a per-node float()
+        # call and the intermediate list.  Values are identical -- the
+        # float64 cast is the same conversion float() performs.
+        try:
+            return np.fromiter(
+                map(x.__getitem__, bulk.nodes), dtype=np.float64, count=bulk.n
+            )
+        except KeyError:
+            pass
     return np.array(
         [float(x.get(node, 0.0)) for node in bulk.nodes], dtype=np.float64
     )

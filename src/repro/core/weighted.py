@@ -24,11 +24,14 @@ from typing import Hashable, Mapping
 import networkx as nx
 import numpy as np
 
-from repro.core.fractional import GRAY, WHITE
+from repro.core.fractional import GRAY, WHITE, _sharded_driver
 from repro.core.rounding import RoundingResult, RoundingRule, round_fractional_solution
 from repro.core.vectorized import (
+    BACKENDS,
+    SHARDED,
     SIMULATED,
     VECTORIZED,
+    CapabilityError,
     resolve_bulk_input,
     run_weighted_algorithm2_bulk,
     validate_backend,
@@ -181,7 +184,9 @@ def approximate_weighted_fractional_mds(
     seed: int | None = None,
     collect_trace: bool = False,
     backend: str = SIMULATED,
+    shards: int | None = None,
     _bulk: BulkGraph | None = None,
+    _executor=None,
 ) -> WeightedFractionalResult:
     """Run the weighted variant of Algorithm 2.
 
@@ -206,13 +211,16 @@ def approximate_weighted_fractional_mds(
     backend:
         ``"simulated"`` drives per-node message passing; ``"vectorized"``
         computes the identical x-vector (bitwise, like the unweighted
-        ports) with whole-graph array operations.
+        ports) with whole-graph array operations; ``"sharded"`` runs the
+        vectorized kernel as multiprocess supersteps, again bitwise equal.
+    shards:
+        Worker count for the sharded backend (``None`` = one per CPU).
 
     Returns
     -------
     WeightedFractionalResult
     """
-    validate_backend(backend)
+    validate_backend(backend, supported=BACKENDS)
     _bulk = resolve_bulk_input(graph, backend, _bulk)
     if _bulk is not graph:
         validate_simple_graph(graph)
@@ -222,6 +230,38 @@ def approximate_weighted_fractional_mds(
     c_max = float(max(weights[node] for node in node_ids))
     validate_weights(graph, weights, c_max=c_max)
     delta = max_degree(graph)
+
+    if backend == SHARDED:
+        if collect_trace:
+            raise CapabilityError(
+                "weighted-kuhn-wattenhofer",
+                "collect_trace",
+                SHARDED,
+                (SIMULATED, VECTORIZED),
+            )
+        bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        costs = np.array(
+            [float(weights[node]) for node in bulk.nodes], dtype=np.float64
+        )
+        driver, owns = _sharded_driver(bulk, shards, _executor)
+        try:
+            values, metrics = driver.run_weighted_algorithm2(
+                k=k, delta=delta, costs=costs, c_max=c_max
+            )
+        finally:
+            if owns:
+                driver.close()
+        x = dict(zip(bulk.nodes, values.tolist()))
+        return WeightedFractionalResult(
+            x=x,
+            objective=float(sum(weights[node] * x[node] for node in x)),
+            unweighted_objective=float(sum(x.values())),
+            rounds=metrics.round_count,
+            metrics=metrics,
+            k=k,
+            max_degree=delta,
+            c_max=c_max,
+        )
 
     if backend == VECTORIZED:
         bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
@@ -315,6 +355,7 @@ def weighted_kuhn_wattenhofer_dominating_set(
     rounding_rule: RoundingRule = RoundingRule.LOG,
     collect_trace: bool = False,
     backend: str = SIMULATED,
+    shards: int | None = None,
     _bulk: BulkGraph | None = None,
 ) -> WeightedPipelineResult:
     """End-to-end weighted pipeline: weighted Algorithm 2 + Algorithm 1.
@@ -342,36 +383,50 @@ def weighted_kuhn_wattenhofer_dominating_set(
         Record an execution trace of the fractional phase (event-based on
         the simulated backend, columnar on the vectorized backend).
     backend:
-        Execution engine for both phases; for a given seed both backends
+        Execution engine for both phases; for a given seed all backends
         select the same dominating set.
+    shards:
+        Worker count for the sharded backend (``None`` = one per CPU).
 
     Returns
     -------
     WeightedPipelineResult
     """
-    validate_backend(backend)
+    validate_backend(backend, supported=BACKENDS)
     _bulk = resolve_bulk_input(graph, backend, _bulk)
-    if _bulk is None and backend == VECTORIZED:
+    if _bulk is None and backend in (VECTORIZED, SHARDED):
         # One CSR build serves both phases.
         _bulk = BulkGraph.from_graph(graph)
-    fractional = approximate_weighted_fractional_mds(
-        graph,
-        weights,
-        k=k,
-        seed=seed,
-        collect_trace=collect_trace,
-        backend=backend,
-        _bulk=_bulk,
-    )
-    rounding = round_fractional_solution(
-        graph,
-        fractional.x,
-        seed=seed,
-        rule=rounding_rule,
-        require_feasible=True,
-        backend=backend,
-        _bulk=_bulk,
-    )
+    # As in the unweighted pipeline, one shard pool serves both phases.
+    executor = None
+    try:
+        if backend == SHARDED:
+            from repro.simulator.sharded import ShardedDriver
+
+            executor = ShardedDriver(_bulk, shards)
+        fractional = approximate_weighted_fractional_mds(
+            graph,
+            weights,
+            k=k,
+            seed=seed,
+            collect_trace=collect_trace,
+            backend=backend,
+            _bulk=_bulk,
+            _executor=executor,
+        )
+        rounding = round_fractional_solution(
+            graph,
+            fractional.x,
+            seed=seed,
+            rule=rounding_rule,
+            require_feasible=True,
+            backend=backend,
+            _bulk=_bulk,
+            _executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     if not is_dominating_set(graph, rounding.dominating_set):
         raise RuntimeError(
             "weighted pipeline produced a non-dominating set; "

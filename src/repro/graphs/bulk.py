@@ -126,8 +126,9 @@ def bulk_graph_suite(scale: str = "xlarge", seed: int = 0) -> dict[str, BulkGrap
     """CSR-native graph collections for vectorized-backend sweeps.
 
     ``"large"`` mirrors the sizes of ``graph_suite("large")``; ``"xlarge"``
-    (n ≥ 20 000) exists only here -- those instances are never materialised
-    as networkx graphs.
+    (n ≥ 20 000) and ``"huge"`` (n ≥ 10⁶, the sharded-engine scale) exist
+    only here -- those instances are never materialised as networkx
+    graphs.
     """
     if scale == "large":
         return {
@@ -143,4 +144,17 @@ def bulk_graph_suite(scale: str = "xlarge", seed: int = 0) -> dict[str, BulkGrap
             "grid_150x150": bulk_grid_graph(150, 150),
             "caterpillar_5000x3": bulk_caterpillar_graph(5000, 3),
         }
-    raise ValueError(f"unknown scale {scale!r}; expected 'large' or 'xlarge'")
+    if scale == "huge":
+        # Expected mean degree ≈ 6 for the ER family (p = 6 / n) and ≈ 6
+        # for the unit disk (π r² n ≈ 6); every instance clears n = 10⁶.
+        return {
+            "erdos_renyi_n1e6": bulk_erdos_renyi_graph(1_000_000, 6e-6, seed=seed),
+            "unit_disk_n1e6": bulk_unit_disk_graph(
+                1_000_000, radius=0.00138, seed=seed
+            ),
+            "grid_1000x1000": bulk_grid_graph(1000, 1000),
+            "caterpillar_250000x3": bulk_caterpillar_graph(250_000, 3),
+        }
+    raise ValueError(
+        f"unknown scale {scale!r}; expected 'large', 'xlarge' or 'huge'"
+    )

@@ -260,10 +260,11 @@ def graph_suite(
         ``"tiny"`` (n ≈ 20, used in unit tests), ``"small"`` (n ≈ 60-120,
         default for benchmarks with exact baselines), ``"medium"``
         (n ≈ 250-400, fractional baselines only), ``"large"``
-        (n ≥ 2000, vectorized backend territory) or ``"xlarge"``
+        (n ≥ 2000, vectorized backend territory), ``"xlarge"``
         (n ≥ 20 000; CSR-native :class:`~repro.simulator.bulk.BulkGraph`
         instances that never materialise per-edge Python objects -- only
-        usable with ``backend="vectorized"``).
+        usable with the bulk backends) or ``"huge"`` (n ≥ 10⁶, the
+        sharded multiprocess engine's home turf).
     seed:
         Seed shared by all random generators in the suite.
 
@@ -271,7 +272,8 @@ def graph_suite(
     -------
     dict[str, networkx.Graph]
         Mapping from a descriptive instance name to the graph (for
-        ``"xlarge"``, to a :class:`~repro.simulator.bulk.BulkGraph`).
+        ``"xlarge"`` and ``"huge"``, to a
+        :class:`~repro.simulator.bulk.BulkGraph`).
     """
     if scale == "tiny":
         return {
@@ -312,13 +314,13 @@ def graph_suite(
             "caterpillar_500x3": caterpillar_graph(500, 3),
             "clique_chain_100x20": clique_chain(100, 20),
         }
-    if scale == "xlarge":
+    if scale in ("xlarge", "huge"):
         from repro.graphs.bulk import bulk_graph_suite
 
-        return bulk_graph_suite("xlarge", seed=seed)
+        return bulk_graph_suite(scale, seed=seed)
     raise ValueError(
         f"unknown scale {scale!r}; expected 'tiny', 'small', 'medium', "
-        "'large' or 'xlarge'"
+        "'large', 'xlarge' or 'huge'"
     )
 
 

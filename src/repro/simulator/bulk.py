@@ -454,8 +454,12 @@ class BulkMetricsBuilder:
                     max_message_bits=max_bits,
                 )
             )
-        for position in np.flatnonzero(self._messages_per_node > 0):
-            node = nodes[position]
-            metrics.messages_per_node[node] = int(self._messages_per_node[position])
-            metrics.bits_per_node[node] = int(self._bits_per_node[position])
+        positions = np.flatnonzero(self._messages_per_node > 0)
+        senders = [nodes[position] for position in positions.tolist()]
+        metrics.messages_per_node.update(
+            zip(senders, self._messages_per_node[positions].tolist())
+        )
+        metrics.bits_per_node.update(
+            zip(senders, self._bits_per_node[positions].tolist())
+        )
         return metrics

@@ -1,0 +1,627 @@
+"""Sharded MPC-style execution engine: multiprocess bulk-synchronous supersteps.
+
+The vectorized backend (:mod:`repro.core.vectorized`) executes every
+"send to all neighbours / receive" step of the paper's algorithms as one
+whole-graph array operation.  This module scales that model past a single
+process: the :class:`~repro.simulator.bulk.BulkGraph` vertex set is
+hash-partitioned into per-shard CSR slabs, one worker process per shard,
+and every exchange becomes a bulk-synchronous *superstep*:
+
+1. each shard runs the unmodified vectorized kernel on its local slab,
+2. when the kernel asks for a neighbourhood operator, the shard publishes
+   its owned values into a shared-memory mailbox and reads back only the
+   values of its *ghost* vertices (owned by other shards) -- the frontier
+   of its slab, never the whole graph,
+3. a barrier ends the superstep before anybody writes the next one.
+
+Equivalence with the single-process vectorized backend is engineered to be
+**bitwise**, regardless of shard count:
+
+* The slab keeps every CSR row's original ascending-neighbour order, so
+  :meth:`ShardSlab.neighbor_sum` accumulates each row left to right in the
+  exact order :meth:`BulkGraph.neighbor_sum` does (``numpy.bincount``
+  iterates sequentially) -- floating-point sums cannot drift by one ULP.
+* The mailbox carries ``float64`` payloads; every value the kernels
+  exchange (x-values, degrees, counts, colour flags) is either a float64
+  already or an integer far below 2⁵³, so the round trip is exact.
+* Each shard's :class:`~repro.simulator.bulk.BulkMetricsBuilder` accounts
+  only its owned nodes; the driver merges the per-shard metrics with exact
+  integer sums (messages, bits) and maxima (message size), producing the
+  identical :class:`~repro.simulator.metrics.ExecutionMetrics`.
+
+The kernels in :mod:`repro.core.vectorized` run **unchanged** on each
+slab: :class:`ShardSlab` exposes the operator subset they use (``n``,
+``nodes``, ``degrees``, ``neighbor_sum``, ``neighbor_count``,
+``closed_max``, ``neighbor_any``) with the exchange embedded inside each
+operator.  Their control flow is driven only by global parameters (k, Δ)
+-- the one data-dependent branch (Algorithm 3's ``active.any()`` boost)
+contains no exchange -- so all shards execute the same superstep sequence
+in lockstep, including shards that own zero vertices.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import resource
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.simulator.bulk import BulkGraph
+from repro.simulator.metrics import ExecutionMetrics, RoundMetrics
+
+#: Fibonacci multiplicative-hash constants for the vertex -> shard map.
+#: Deterministic across processes and Python invocations (unlike ``hash``),
+#: and mixes consecutive vertex ids so grid/path locality does not leave
+#: whole shards empty.
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+_HASH_SHIFT = np.uint64(33)
+
+#: Auto-selection never picks more workers than this.
+DEFAULT_MAX_SHARDS = 8
+
+#: Per-superstep barrier timeout.  Generous -- a single exchange at
+#: n = 10⁶ takes milliseconds -- but bounded, so a crashed worker breaks
+#: the barrier for everyone instead of hanging CI forever.
+_BARRIER_TIMEOUT = 600.0
+
+
+def available_cpu_count() -> int:
+    """CPUs usable by this process (affinity-aware where the OS tells us)."""
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:  # Python >= 3.13
+        return process_cpu_count() or 1
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
+
+
+def resolve_shard_count(shards: int | None) -> int:
+    """Validate an explicit shard count or pick a default from the host.
+
+    ``None`` means "let the engine choose": one worker per usable CPU,
+    capped at :data:`DEFAULT_MAX_SHARDS` (past ~8 shards the ghost
+    boundary grows faster than the per-shard work shrinks on the suite's
+    sparse graphs).
+    """
+    if shards is None:
+        return max(1, min(available_cpu_count(), DEFAULT_MAX_SHARDS))
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    return shards
+
+
+def shard_owner(n: int, shards: int) -> np.ndarray:
+    """Deterministic vertex -> owning-shard assignment, as an int64 array."""
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    mixed = (np.arange(n, dtype=np.uint64) * _HASH_MULTIPLIER) >> _HASH_SHIFT
+    return (mixed % np.uint64(shards)).astype(np.int64)
+
+
+@dataclass
+class ShardLayout:
+    """One shard's slice of the global CSR: owner/ghost maps + local slab.
+
+    Attributes
+    ----------
+    shard_id / shards:
+        This shard's position in the partition.
+    owned:
+        Global positions of the vertices this shard owns, ascending.
+    ghosts:
+        Global positions of non-owned vertices adjacent to an owned one
+        (the shard's frontier), ascending.
+    indptr / col / row:
+        The local CSR slab: one row per owned vertex (contiguous local
+        indices ``0..len(owned)-1``), columns in *combined local* space --
+        owned vertices keep their local index, ghosts follow at
+        ``len(owned) + rank``.  Every row preserves the global CSR's
+        within-row order, which is what keeps ``neighbor_sum`` bitwise
+        equal to the single-process operator.
+    degrees:
+        Owned vertices' global degrees (the slab rows are complete).
+    """
+
+    shard_id: int
+    shards: int
+    owned: np.ndarray
+    ghosts: np.ndarray
+    indptr: np.ndarray
+    col: np.ndarray
+    row: np.ndarray
+    degrees: np.ndarray
+
+    @classmethod
+    def build(
+        cls, indptr: np.ndarray, col: np.ndarray, shard_id: int, shards: int
+    ) -> "ShardLayout":
+        """Slice the global CSR into this shard's slab (vectorized gather)."""
+        n = int(indptr.size) - 1
+        owner = shard_owner(n, shards)
+        owned = np.flatnonzero(owner == shard_id)
+        counts = (indptr[owned + 1] - indptr[owned]).astype(np.int64)
+        local_indptr = np.zeros(owned.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=local_indptr[1:])
+        total = int(local_indptr[-1])
+        if total:
+            flat = (
+                np.repeat(indptr[owned] - local_indptr[:-1], counts)
+                + np.arange(total, dtype=np.int64)
+            )
+            cols_global = np.asarray(col[flat], dtype=np.int64)
+        else:
+            cols_global = np.zeros(0, dtype=np.int64)
+        ghosts = np.setdiff1d(cols_global, owned)
+        lookup = np.full(n, -1, dtype=np.int64)
+        lookup[owned] = np.arange(owned.size, dtype=np.int64)
+        lookup[ghosts] = owned.size + np.arange(ghosts.size, dtype=np.int64)
+        return cls(
+            shard_id=shard_id,
+            shards=shards,
+            owned=owned,
+            ghosts=ghosts,
+            indptr=local_indptr,
+            col=lookup[cols_global] if total else cols_global,
+            row=np.repeat(np.arange(owned.size, dtype=np.int64), counts),
+            degrees=counts,
+        )
+
+
+class ShardSlab:
+    """A :class:`BulkGraph`-operator-compatible view of one shard.
+
+    Implements exactly the operator subset the vectorized kernels use, with
+    the ghost-boundary exchange embedded in each operator: publish owned
+    values to the shared mailbox, barrier, read ghost values, barrier.
+    Kernels therefore run on owned-length arrays without knowing they are
+    sharded.  All shards must call the operators in the same order (the
+    kernels' control flow guarantees this); a shard owning zero vertices
+    still participates in every exchange.
+    """
+
+    def __init__(
+        self,
+        layout: ShardLayout,
+        nodes: Sequence[Hashable],
+        mail: np.ndarray,
+        barrier,
+    ) -> None:
+        self.layout = layout
+        self.n = int(layout.owned.size)
+        self.nodes: tuple[Hashable, ...] = tuple(nodes)
+        self.degrees = layout.degrees
+        self._mail = mail
+        self._barrier = barrier
+        self._nonempty = np.flatnonzero(layout.degrees > 0)
+        self._nonempty_starts = layout.indptr[self._nonempty]
+
+    # ------------------------------------------------------------------ #
+    # Superstep exchange                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _exchange(self, values: np.ndarray) -> np.ndarray:
+        """One superstep: publish owned values, read back the ghost frontier."""
+        self._mail[self.layout.owned] = values
+        self._barrier.wait(_BARRIER_TIMEOUT)
+        ghost_values = self._mail[self.layout.ghosts].copy()
+        self._barrier.wait(_BARRIER_TIMEOUT)
+        return ghost_values
+
+    def sync(self) -> None:
+        """Plain barrier, for protocol steps outside the operators."""
+        self._barrier.wait(_BARRIER_TIMEOUT)
+
+    def read_mail_owned(self) -> np.ndarray:
+        """Read this shard's slice of a driver-published full-length vector."""
+        values = self._mail[self.layout.owned].copy()
+        self.sync()
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood operators (mirroring BulkGraph bit for bit)           #
+    # ------------------------------------------------------------------ #
+
+    def neighbor_sum(self, values: np.ndarray) -> np.ndarray:
+        """Per-node open-neighbourhood sum; row order matches the global CSR."""
+        ghost_values = self._exchange(values)
+        combined = np.concatenate(
+            (np.asarray(values, dtype=np.float64), ghost_values)
+        )
+        return np.bincount(
+            self.layout.row,
+            weights=combined[self.layout.col],
+            minlength=self.n,
+        )
+
+    def neighbor_count(self, flags: np.ndarray) -> np.ndarray:
+        """Per-node count of set flags over the open neighbourhood."""
+        ghost_flags = self._exchange(flags)
+        combined = np.concatenate(
+            (np.asarray(flags, dtype=bool), ghost_flags.astype(bool))
+        )
+        mask = combined[self.layout.col]
+        return np.bincount(self.layout.row[mask], minlength=self.n)
+
+    def closed_max(
+        self, values: np.ndarray, senders: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-node closed-neighbourhood maximum (no sender masking)."""
+        if senders is not None:
+            raise NotImplementedError(
+                "sender-masked closed_max is not used by the sharded kernels"
+            )
+        values = np.asarray(values)
+        ghost_values = self._exchange(values)
+        combined = np.concatenate((values, ghost_values.astype(values.dtype)))
+        result = values.copy()
+        if self.layout.col.size:
+            contributions = combined[self.layout.col]
+            row_max = np.maximum.reduceat(contributions, self._nonempty_starts)
+            result[self._nonempty] = np.maximum(values[self._nonempty], row_max)
+        return result
+
+    def neighbor_any(self, flags: np.ndarray) -> np.ndarray:
+        """Whether any open-neighbourhood flag is set, per node."""
+        return self.neighbor_count(flags) > 0
+
+
+# ---------------------------------------------------------------------- #
+# Worker process                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def _rounding_multiplier_for(rule_value: str) -> Callable[[int], float]:
+    # Imported lazily: repro.core.rounding dispatches back into this module.
+    from repro.core.rounding import RoundingRule, rounding_multiplier
+
+    rule = RoundingRule(rule_value)
+    return lambda delta_two: rounding_multiplier(delta_two, rule)
+
+
+def _execute_command(slab: ShardSlab, command: tuple):
+    """Run one driver command on this shard's slab (unmodified kernels)."""
+    from repro.core import vectorized
+
+    op = command[0]
+    if op == "alg2":
+        _, k_values, delta = command
+        return vectorized.run_algorithm2_bulk_multi_k(slab, k_values, delta=delta)
+    if op == "alg3":
+        _, k_values = command
+        return vectorized.run_algorithm3_bulk_multi_k(slab, k_values)
+    if op == "weighted":
+        _, k, delta, c_max = command
+        costs = slab.read_mail_owned()
+        return vectorized.run_weighted_algorithm2_bulk(
+            slab, k=k, delta=delta, costs=costs, c_max=c_max
+        )
+    if op == "rounding":
+        _, seeds, rule_value = command
+        x = slab.read_mail_owned()
+        return vectorized.run_rounding_bulk_batched(
+            slab, x, seeds, _rounding_multiplier_for(rule_value)
+        )
+    if op == "rss":
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    raise ValueError(f"unknown shard command {op!r}")
+
+
+def _shard_worker(
+    shard_id: int,
+    shards: int,
+    conn,
+    barrier,
+    indptr: np.ndarray,
+    col: np.ndarray,
+    degrees: np.ndarray,
+    mail: np.ndarray,
+    nodes: Sequence[Hashable],
+) -> None:
+    """Worker main loop: build the slab, then serve driver commands."""
+    try:
+        layout = ShardLayout.build(indptr, col, shard_id=shard_id, shards=shards)
+        # Slab degrees come from the shared-memory degree segment (they
+        # equal the local row counts by the CSR invariant).
+        layout.degrees = degrees[layout.owned]
+        slab = ShardSlab(
+            layout,
+            tuple(nodes[position] for position in layout.owned.tolist()),
+            mail,
+            barrier,
+        )
+        conn.send(("ready", layout.owned))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            return
+        if command[0] == "stop":
+            return
+        try:
+            conn.send(("ok", _execute_command(slab, command)))
+        except BaseException:
+            # Break the barrier so peer shards blocked mid-superstep fail
+            # fast instead of waiting out the timeout.
+            barrier.abort()
+            conn.send(("error", traceback.format_exc()))
+
+
+# ---------------------------------------------------------------------- #
+# Driver                                                                  #
+# ---------------------------------------------------------------------- #
+
+
+def _merge_metrics(parts: Sequence[ExecutionMetrics]) -> ExecutionMetrics:
+    """Exact merge of per-shard metrics into the global ExecutionMetrics.
+
+    Shards execute in lockstep, so every part has the same round layout;
+    per-round messages and bits add exactly (integers), per-round maxima
+    combine with ``max``, and the per-node dicts are a disjoint union.
+    """
+    round_counts = {len(part.rounds) for part in parts}
+    if len(round_counts) != 1:
+        raise RuntimeError(
+            f"shard lockstep violated: per-shard round counts {sorted(round_counts)}"
+        )
+    merged = ExecutionMetrics()
+    for index in range(round_counts.pop()):
+        rounds = [part.rounds[index] for part in parts]
+        merged.rounds.append(
+            RoundMetrics(
+                round_index=rounds[0].round_index,
+                messages_sent=sum(entry.messages_sent for entry in rounds),
+                total_bits=sum(entry.total_bits for entry in rounds),
+                max_message_bits=max(entry.max_message_bits for entry in rounds),
+                active_nodes=sum(entry.active_nodes for entry in rounds),
+            )
+        )
+    for part in parts:
+        merged.messages_per_node.update(part.messages_per_node)
+        merged.bits_per_node.update(part.bits_per_node)
+    return merged
+
+
+class ShardedDriver:
+    """Parent-side driver for a pool of shard workers over one graph.
+
+    Owns the shared-memory segments (CSR ``indptr``/``col``, the degree
+    array, and the float64 x-vector mailbox), forks one worker per shard,
+    and turns kernel invocations into broadcast commands.  Workers stay
+    resident between phases, so a pipeline (fractional solve + rounding)
+    pays partitioning and process start-up once.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, bulk: BulkGraph, shards: int | None = None) -> None:
+        if not isinstance(bulk, BulkGraph):
+            raise TypeError("ShardedDriver requires a BulkGraph")
+        self.shards = resolve_shard_count(shards)
+        self.n = bulk.n
+        self._closed = False
+        self._mail = None
+        self._degrees = None
+        self._shms: list[shared_memory.SharedMemory] = []
+        self._procs: list[multiprocessing.Process] = []
+        self._conns: list = []
+        self._broken = False
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the sharded backend requires the 'fork' multiprocessing "
+                "start method (POSIX); use backend='vectorized' instead"
+            )
+        context = multiprocessing.get_context("fork")
+
+        try:
+            indptr = self._share(bulk.indptr)
+            col = self._share(bulk.col)
+            # The degree array rides in shared memory alongside the CSR so
+            # worker slabs slice it instead of re-deriving private copies.
+            self._degrees = self._share(bulk.degrees)
+            self._mail = self._share(np.zeros(self.n, dtype=np.float64))
+            barrier = context.Barrier(self.shards)
+            nodes = bulk.nodes
+            for shard_id in range(self.shards):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(
+                        shard_id,
+                        self.shards,
+                        child_conn,
+                        barrier,
+                        indptr,
+                        col,
+                        self._degrees,
+                        self._mail,
+                        nodes,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._procs.append(process)
+                self._conns.append(parent_conn)
+            self._owned = self._collect()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _share(self, array: np.ndarray) -> np.ndarray:
+        """Copy an array into a shared-memory segment; return the view."""
+        shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        self._shms.append(shm)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[:] = array
+        return view
+
+    def __enter__(self) -> "ShardedDriver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Stop the workers and release the shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._procs:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        # Drop the views before unlinking so the buffers are not exported.
+        self._mail = None
+        self._degrees = None
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shms = []
+
+    # ------------------------------------------------------------------ #
+    # Command plumbing                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _request(self, command: tuple) -> list:
+        """Broadcast one command to every shard and collect the replies."""
+        if self._closed or self._broken:
+            raise RuntimeError("ShardedDriver is closed or broken")
+        for conn in self._conns:
+            conn.send(command)
+        return self._collect()
+
+    def _collect(self) -> list:
+        results = []
+        errors = []
+        for shard_id, (conn, process) in enumerate(zip(self._conns, self._procs)):
+            while not conn.poll(1.0):
+                if not process.is_alive():
+                    self._broken = True
+                    raise RuntimeError(
+                        f"shard worker {shard_id} died unexpectedly "
+                        f"(exit code {process.exitcode})"
+                    )
+            status, payload = conn.recv()
+            if status == "error":
+                errors.append((shard_id, payload))
+            else:
+                results.append(payload)
+        if errors:
+            self._broken = True
+            shard_id, payload = errors[0]
+            raise RuntimeError(
+                f"shard worker {shard_id} failed:\n{payload}"
+            )
+        return results
+
+    def _gather(self, owned_arrays: Sequence[np.ndarray], dtype) -> np.ndarray:
+        """Scatter per-shard owned-length arrays back into global order."""
+        full = np.empty(self.n, dtype=dtype)
+        for owned, values in zip(self._owned, owned_arrays):
+            full[owned] = values
+        return full
+
+    # ------------------------------------------------------------------ #
+    # Superstep programs                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _run_multi_k(
+        self, command: tuple, k_values: Sequence[int]
+    ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]]:
+        per_shard = self._request(command)
+        results: dict[int, tuple[np.ndarray, ExecutionMetrics]] = {}
+        for k in k_values:
+            values = self._gather(
+                [snapshots[k][0] for snapshots in per_shard], np.float64
+            )
+            metrics = _merge_metrics([snapshots[k][1] for snapshots in per_shard])
+            results[k] = (values, metrics)
+        return results
+
+    def run_algorithm2_multi_k(
+        self, k_values: Sequence[int], delta: int
+    ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]]:
+        """Algorithm 2 (Δ known) as sharded supersteps, one pass per k sweep."""
+        k_values = tuple(k_values)
+        return self._run_multi_k(("alg2", k_values, delta), k_values)
+
+    def run_algorithm3_multi_k(
+        self, k_values: Sequence[int]
+    ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]]:
+        """Algorithm 3 (Δ unknown) as sharded supersteps."""
+        k_values = tuple(k_values)
+        return self._run_multi_k(("alg3", k_values), k_values)
+
+    def run_weighted_algorithm2(
+        self, k: int, delta: int, costs: np.ndarray, c_max: float
+    ) -> tuple[np.ndarray, ExecutionMetrics]:
+        """Weighted Algorithm 2; per-node costs travel via the mailbox."""
+        if self._mail is None:
+            raise RuntimeError("ShardedDriver is closed")
+        self._mail[:] = np.asarray(costs, dtype=np.float64)
+        per_shard = self._request(("weighted", k, delta, float(c_max)))
+        values = self._gather([entry[0] for entry in per_shard], np.float64)
+        metrics = _merge_metrics([entry[1] for entry in per_shard])
+        return values, metrics
+
+    def run_rounding_batched(
+        self, x: np.ndarray, seeds: Sequence[int | None], rule_value: str
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, ExecutionMetrics]]:
+        """Algorithm 1 for many seeds over one x-vector (mailbox-published)."""
+        if self._mail is None:
+            raise RuntimeError("ShardedDriver is closed")
+        self._mail[:] = np.asarray(x, dtype=np.float64)
+        seeds = tuple(seeds)
+        per_shard = self._request(("rounding", seeds, rule_value))
+        results = []
+        for trial in range(len(seeds)):
+            in_set = self._gather(
+                [batch[trial][0] for batch in per_shard], np.bool_
+            )
+            joined_randomly = self._gather(
+                [batch[trial][1] for batch in per_shard], np.bool_
+            )
+            joined_as_fallback = self._gather(
+                [batch[trial][2] for batch in per_shard], np.bool_
+            )
+            metrics = _merge_metrics([batch[trial][3] for batch in per_shard])
+            results.append((in_set, joined_randomly, joined_as_fallback, metrics))
+        return results
+
+    def peak_rss_bytes(self) -> list[int]:
+        """Per-shard worker peak RSS in bytes (``ru_maxrss``), shard order."""
+        return self._request(("rss",))

@@ -162,9 +162,15 @@ class TestPipelineEquivalence:
 
 class TestBackendValidation:
     def test_known_backends(self):
-        assert set(BACKENDS) == {"simulated", "vectorized"}
+        assert set(BACKENDS) == {"simulated", "vectorized", "sharded"}
         for backend in BACKENDS:
-            assert validate_backend(backend) == backend
+            assert validate_backend(backend, supported=BACKENDS) == backend
+
+    def test_default_supported_set_excludes_sharded(self):
+        # Entry points that never grew sharded support keep the two-engine
+        # default; the sharded name is recognised but rejected cleanly.
+        with pytest.raises(ValueError, match="not supported by this entry point"):
+            validate_backend("sharded")
 
     def test_unknown_backend_rejected(self, star):
         with pytest.raises(ValueError, match="unknown backend"):

@@ -131,7 +131,21 @@ class TestSuiteAndFactory:
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):
-            graph_suite("huge")
+            graph_suite("galactic")
+
+    def test_huge_scale_routes_to_bulk_suite(self, monkeypatch):
+        # 'huge' routes to the CSR-native bulk_graph_suite; pin the
+        # routing without paying the n >= 10^6 construction here.
+        from repro.graphs import bulk
+
+        calls = []
+        monkeypatch.setattr(
+            bulk,
+            "bulk_graph_suite",
+            lambda scale, seed=0: calls.append((scale, seed)) or {},
+        )
+        assert graph_suite("huge", seed=3) == {}
+        assert calls == [("huge", 3)]
 
     def test_make_graph_every_family(self):
         for family in GraphFamily:

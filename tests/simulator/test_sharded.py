@@ -1,0 +1,300 @@
+"""Sharded engine: bitwise equivalence with the vectorized backend.
+
+The sharded engine is engineered so that partitioning the CSR across
+worker processes is *invisible* in the results: identical x-vectors
+(same per-row accumulation order on every slab), identical objectives,
+identical round/message metrics, and identical rounding coin flips --
+for every shard count, including shards that end up empty because the
+graph is smaller than the partition.  These tests pin that down, plus
+the partition structure itself and the registry dispatch rules.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.api import CapabilityError, get_spec, resolve_backend
+from repro.core.fractional import (
+    approximate_fractional_mds,
+    approximate_fractional_mds_multi_k,
+)
+from repro.core.fractional_unknown import (
+    approximate_fractional_mds_unknown_delta,
+    approximate_fractional_mds_unknown_delta_multi_k,
+)
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    kuhn_wattenhofer_dominating_set,
+)
+from repro.core.rounding import (
+    round_fractional_solution,
+    round_fractional_solution_batched,
+)
+from repro.core.weighted import (
+    approximate_weighted_fractional_mds,
+    weighted_kuhn_wattenhofer_dominating_set,
+)
+from repro.graphs.generators import random_unit_disk_graph
+from repro.simulator.bulk import BulkGraph
+from repro.simulator.sharded import (
+    DEFAULT_MAX_SHARDS,
+    ShardLayout,
+    ShardedDriver,
+    resolve_shard_count,
+    shard_owner,
+)
+
+SHARD_COUNTS = [1, 2, 3, 8]
+
+
+@pytest.fixture(scope="module")
+def unit_disk():
+    return random_unit_disk_graph(60, radius=0.22, seed=7)
+
+
+@pytest.fixture(scope="module")
+def disconnected():
+    """Two components plus isolated vertices: exercises zero-degree rows."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(24))
+    graph.add_edges_from((u, u + 1) for u in range(0, 9))
+    graph.add_edges_from((u, v) for u in range(12, 18) for v in range(u + 1, 18))
+    return graph
+
+
+def assert_fractional_bitwise_equal(sharded, vectorized):
+    """Shard partitioning must be invisible: exact equality everywhere."""
+    assert sharded.x == vectorized.x  # bitwise, not approximate
+    assert sharded.objective == vectorized.objective
+    assert sharded.rounds == vectorized.rounds
+    assert sharded.k == vectorized.k
+    assert sharded.max_degree == vectorized.max_degree
+    assert sharded.metrics.round_count == vectorized.metrics.round_count
+    assert sharded.metrics.total_messages == vectorized.metrics.total_messages
+    assert sharded.metrics.total_bits == vectorized.metrics.total_bits
+    assert sharded.metrics.max_message_bits == vectorized.metrics.max_message_bits
+    assert dict(sharded.metrics.messages_per_node) == dict(
+        vectorized.metrics.messages_per_node
+    )
+    assert [r.messages_sent for r in sharded.metrics.rounds] == [
+        r.messages_sent for r in vectorized.metrics.rounds
+    ]
+
+
+class TestPartition:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("n", [1, 5, 64])
+    def test_owner_is_a_partition(self, n, shards):
+        owner = shard_owner(n, shards)
+        assert owner.shape == (n,)
+        assert owner.min() >= 0 and owner.max() < shards
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_layouts_tile_the_graph(self, unit_disk, shards):
+        bulk = BulkGraph.from_graph(unit_disk)
+        layouts = [
+            ShardLayout.build(bulk.indptr, bulk.col, shard, shards)
+            for shard in range(shards)
+        ]
+        owned = np.concatenate([layout.owned for layout in layouts])
+        assert np.array_equal(np.sort(owned), np.arange(bulk.n))
+        for layout in layouts:
+            # Each slab carries its owned rows completely: local degrees
+            # match the global CSR degrees.
+            assert np.array_equal(
+                layout.degrees, bulk.indptr[layout.owned + 1] - bulk.indptr[layout.owned]
+            )
+            assert np.array_equal(
+                np.diff(layout.indptr).astype(np.int64), layout.degrees
+            )
+            # Ghosts are disjoint from owned vertices and strictly sorted.
+            assert not np.intersect1d(layout.owned, layout.ghosts).size
+            assert np.all(np.diff(layout.ghosts) > 0) if layout.ghosts.size else True
+
+    def test_resolve_shard_count(self):
+        assert resolve_shard_count(3) == 3
+        assert 1 <= resolve_shard_count(None) <= DEFAULT_MAX_SHARDS
+        with pytest.raises(ValueError):
+            resolve_shard_count(0)
+
+
+class TestFractionalEquivalence:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_algorithm2_bitwise_equal(self, unit_disk, shards):
+        vectorized = approximate_fractional_mds(
+            unit_disk, k=2, seed=0, backend="vectorized"
+        )
+        sharded = approximate_fractional_mds(
+            unit_disk, k=2, seed=0, backend="sharded", shards=shards
+        )
+        assert_fractional_bitwise_equal(sharded, vectorized)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_algorithm3_bitwise_equal(self, unit_disk, shards):
+        vectorized = approximate_fractional_mds_unknown_delta(
+            unit_disk, k=2, seed=0, backend="vectorized"
+        )
+        sharded = approximate_fractional_mds_unknown_delta(
+            unit_disk, k=2, seed=0, backend="sharded", shards=shards
+        )
+        assert_fractional_bitwise_equal(sharded, vectorized)
+
+    def test_graph_smaller_than_shard_count(self):
+        """Empty shards still participate in every superstep barrier."""
+        graph = nx.path_graph(3)
+        vectorized = approximate_fractional_mds(graph, k=2, backend="vectorized")
+        sharded = approximate_fractional_mds(
+            graph, k=2, backend="sharded", shards=8
+        )
+        assert_fractional_bitwise_equal(sharded, vectorized)
+
+    def test_disconnected_graph(self, disconnected):
+        for runner in (
+            approximate_fractional_mds,
+            approximate_fractional_mds_unknown_delta,
+        ):
+            vectorized = runner(disconnected, k=2, backend="vectorized")
+            sharded = runner(disconnected, k=2, backend="sharded", shards=3)
+            assert_fractional_bitwise_equal(sharded, vectorized)
+
+    def test_multi_k_snapshots(self, unit_disk):
+        """One sharded sweep equals per-k vectorized runs, all k > 1."""
+        k_values = (2, 3, 4)
+        for multi_k, single in (
+            (approximate_fractional_mds_multi_k, approximate_fractional_mds),
+            (
+                approximate_fractional_mds_unknown_delta_multi_k,
+                approximate_fractional_mds_unknown_delta,
+            ),
+        ):
+            snapshots = multi_k(
+                unit_disk, k_values, backend="sharded", shards=2
+            )
+            assert sorted(snapshots) == sorted(k_values)
+            for k in k_values:
+                vectorized = single(unit_disk, k=k, backend="vectorized")
+                assert_fractional_bitwise_equal(snapshots[k], vectorized)
+
+
+class TestRoundingAndPipelines:
+    def test_rounding_batch_matches_vectorized(self, unit_disk):
+        x = approximate_fractional_mds(unit_disk, k=2, backend="vectorized").x
+        seeds = [0, 7, 2003]
+        sharded = round_fractional_solution_batched(
+            unit_disk, x, seeds, backend="sharded", shards=3
+        )
+        for seed, result in zip(seeds, sharded):
+            vectorized = round_fractional_solution(
+                unit_disk, x, seed=seed, backend="vectorized"
+            )
+            assert result.dominating_set == vectorized.dominating_set
+            assert result.joined_randomly == vectorized.joined_randomly
+            assert result.joined_as_fallback == vectorized.joined_as_fallback
+            assert result.metrics.total_messages == vectorized.metrics.total_messages
+            assert result.metrics.total_bits == vectorized.metrics.total_bits
+
+    @pytest.mark.parametrize("variant", list(FractionalVariant))
+    def test_pipeline_bitwise_equal(self, unit_disk, variant):
+        vectorized = kuhn_wattenhofer_dominating_set(
+            unit_disk, k=2, seed=3, variant=variant, backend="vectorized"
+        )
+        sharded = kuhn_wattenhofer_dominating_set(
+            unit_disk, k=2, seed=3, variant=variant, backend="sharded", shards=2
+        )
+        assert sharded.dominating_set == vectorized.dominating_set
+        assert sharded.fractional.objective == vectorized.fractional.objective
+        assert sharded.total_rounds == vectorized.total_rounds
+        assert sharded.total_messages == vectorized.total_messages
+        assert sharded.max_message_bits == vectorized.max_message_bits
+
+    def test_weighted_pipeline_bitwise_equal(self, unit_disk):
+        weights = {node: 1.0 + (node % 5) for node in unit_disk.nodes()}
+        vectorized = weighted_kuhn_wattenhofer_dominating_set(
+            unit_disk, weights, k=2, seed=1, backend="vectorized"
+        )
+        sharded = weighted_kuhn_wattenhofer_dominating_set(
+            unit_disk, weights, k=2, seed=1, backend="sharded", shards=2
+        )
+        assert sharded.dominating_set == vectorized.dominating_set
+        assert sharded.fractional.x == vectorized.fractional.x
+        assert sharded.cost == vectorized.cost
+        assert sharded.total_rounds == vectorized.total_rounds
+        assert (
+            sharded.rounding.metrics.total_messages
+            == vectorized.rounding.metrics.total_messages
+        )
+
+    def test_weighted_fractional_bitwise_equal(self, unit_disk):
+        weights = {node: 1.0 + (node % 3) for node in unit_disk.nodes()}
+        vectorized = approximate_weighted_fractional_mds(
+            unit_disk, weights, k=2, backend="vectorized"
+        )
+        sharded = approximate_weighted_fractional_mds(
+            unit_disk, weights, k=2, backend="sharded", shards=3
+        )
+        assert sharded.x == vectorized.x
+        assert sharded.objective == vectorized.objective
+        assert sharded.metrics.total_messages == vectorized.metrics.total_messages
+
+    def test_driver_reuse_across_phases(self, unit_disk):
+        """One driver serves a whole sweep plus rounding batches."""
+        bulk = BulkGraph.from_graph(unit_disk)
+        with ShardedDriver(bulk, shards=2) as driver:
+            first = approximate_fractional_mds(
+                unit_disk,
+                k=2,
+                backend="sharded",
+                _bulk=bulk,
+                _executor=driver,
+            )
+            second = approximate_fractional_mds(
+                unit_disk,
+                k=3,
+                backend="sharded",
+                _bulk=bulk,
+                _executor=driver,
+            )
+        assert first.k == 2 and second.k == 3
+        for result in (first, second):
+            vectorized = approximate_fractional_mds(
+                unit_disk, k=result.k, backend="vectorized"
+            )
+            assert_fractional_bitwise_equal(result, vectorized)
+
+
+class TestDispatch:
+    def test_shards_on_non_sharded_algorithm(self, unit_disk):
+        with pytest.raises(CapabilityError, match="sharded execution"):
+            resolve_backend("greedy", unit_disk, shards=2)
+
+    def test_shards_with_forced_vectorized(self, unit_disk):
+        with pytest.raises(ValueError, match="requires backend='sharded'"):
+            resolve_backend(
+                "kuhn-wattenhofer", unit_disk, backend="vectorized", shards=2
+            )
+
+    def test_collect_trace_rejected_on_sharded(self, unit_disk):
+        with pytest.raises(CapabilityError, match="collect_trace"):
+            resolve_backend(
+                "kuhn-wattenhofer", unit_disk, collect_trace=True, shards=2
+            )
+        with pytest.raises(CapabilityError, match="collect_trace"):
+            kuhn_wattenhofer_dominating_set(
+                unit_disk, k=2, collect_trace=True, backend="sharded"
+            )
+
+    def test_auto_with_shards_resolves_sharded(self, unit_disk):
+        assert resolve_backend("kuhn-wattenhofer", unit_disk, shards=2) == "sharded"
+        assert (
+            resolve_backend(
+                "kuhn-wattenhofer", unit_disk, backend="sharded", shards=2
+            )
+            == "sharded"
+        )
+
+    def test_registry_marks_sharded_capability(self):
+        assert get_spec("kuhn-wattenhofer").supports_backend("sharded")
+        assert get_spec("weighted-kuhn-wattenhofer").supports_backend("sharded")
+        assert not get_spec("greedy").supports_backend("sharded")

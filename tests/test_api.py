@@ -37,7 +37,7 @@ from repro.api import (
     solve,
     twin_specs,
 )
-from repro.core.vectorized import SIMULATED, VECTORIZED
+from repro.core.vectorized import SHARDED, SIMULATED, VECTORIZED
 from repro.graphs.bulk import bulk_grid_graph, bulk_unit_disk_graph
 from repro.simulator.bulk import BulkGraph
 
@@ -85,9 +85,15 @@ class TestRegistry:
     def test_capability_consistency(self):
         for spec in iter_specs():
             assert spec.backends, spec.name
-            assert set(spec.backends) <= {SIMULATED, VECTORIZED}, spec.name
+            assert set(spec.backends) <= {SIMULATED, VECTORIZED, SHARDED}, spec.name
             if spec.accepts_bulk:
                 assert spec.supports_backend(VECTORIZED), spec.name
+            if spec.supports_backend(SHARDED):
+                # Sharded workers run the vectorized kernels on CSR slabs,
+                # so sharded capability implies the vectorized backend and
+                # native BulkGraph support (enforced by register()).
+                assert spec.supports_backend(VECTORIZED), spec.name
+                assert spec.accepts_bulk, spec.name
             if spec.supports_trace:
                 assert set(spec.trace_backends) <= set(spec.backends), spec.name
 
@@ -366,7 +372,7 @@ class TestRegistryCompleteness:
 ENTRY_POINT_SIGNATURES = {
     "kuhn_wattenhofer_dominating_set": [
         "graph", "k", "seed", "variant", "rounding_rule", "collect_trace",
-        "backend", "_bulk",
+        "backend", "shards", "_bulk",
     ],
     "lrg_dominating_set": ["graph", "seed", "max_phases", "backend", "_bulk"],
     "wu_li_dominating_set": [
@@ -377,10 +383,11 @@ ENTRY_POINT_SIGNATURES = {
     "random_dominating_set": ["graph", "seed"],
     "weighted_kuhn_wattenhofer_dominating_set": [
         "graph", "weights", "k", "seed", "rounding_rule", "collect_trace",
-        "backend", "_bulk",
+        "backend", "shards", "_bulk",
     ],
     "approximate_weighted_fractional_mds": [
-        "graph", "weights", "k", "seed", "collect_trace", "backend", "_bulk",
+        "graph", "weights", "k", "seed", "collect_trace", "backend", "shards",
+        "_bulk", "_executor",
     ],
 }
 

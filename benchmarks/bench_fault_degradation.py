@@ -1,0 +1,231 @@
+"""Fault-degradation benchmark: backend parity and repair feasibility.
+
+The fault substrate's contract is that one materialized
+:class:`~repro.simulator.fault_schedule.FaultSchedule` drives every
+backend to the *identical* degraded outcome.  This benchmark runs the
+full pipeline (Algorithm 2 + rounding + self-healing repair) under one
+``FaultSpec`` on an n = 20 000 instance through the simulated per-node
+runner, the vectorized kernels, and the sharded engine at 1/2/4 shards,
+and gates that all of them agree bitwise -- x-vectors, dominating sets,
+per-round drop counts, and repair reports (``fault_parity``).
+
+A second stage sweeps a loss × crash grid through
+:func:`~repro.analysis.experiment.sweep_faults` on the CSR ``"xlarge"``
+scale and gates that the self-healing repair phase restored domination
+feasibility in every cell (``repair_feasible``); the degradation table
+(repaired size vs. fault-free baseline, coverage deficit, patch cost)
+is persisted alongside.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by CI smoke runs) substitutes
+an n ≈ 1500 instance and a single 2-shard point so the whole
+simulated-parity path stays a sub-minute sanity check.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import networkx as nx
+import pytest
+
+from repro.analysis.experiment import GraphInstance, sweep_faults
+from repro.analysis.tables import render_table
+from repro.core.kuhn_wattenhofer import (
+    FractionalVariant,
+    kuhn_wattenhofer_dominating_set,
+)
+from repro.graphs.bulk import bulk_erdos_renyi_graph
+from repro.simulator.bulk import BulkGraph
+from repro.simulator.fault_schedule import FaultSpec
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+N = 1500 if QUICK else 20000
+EDGE_P = 5e-3 if QUICK else 4e-4
+SHARD_COUNTS = [2] if QUICK else [1, 2, 4]
+K = 2
+#: The parity scenario: enough loss and churn that every fault code path
+#: (drops, crashes, repair) is exercised, without killing the instance.
+PARITY_FAULTS = dict(loss_probability=0.1, crash_probability=0.05)
+#: The repair sweep grid: loss-only, crash-only, and a mixed regime.
+SWEEP_RATES = [(0.2, 0.0), (0.0, 0.2), (0.15, 0.15)]
+
+
+def _timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def _run(graph, bulk, spec, backend, seed, shards=None):
+    return kuhn_wattenhofer_dominating_set(
+        graph,
+        k=K,
+        seed=seed,
+        variant=FractionalVariant.KNOWN_DELTA,
+        backend=backend,
+        shards=shards,
+        faults=spec,
+        _bulk=bulk,
+    )
+
+
+def _matches(result, baseline):
+    """Bitwise agreement of one faulted run with the vectorized baseline."""
+    return {
+        "x_match": result.fractional.x == baseline.fractional.x,
+        "set_match": result.dominating_set == baseline.dominating_set,
+        "drops_match": (
+            result.fractional.faults.drops == baseline.fractional.faults.drops
+            and result.rounding.faults.drops == baseline.rounding.faults.drops
+        ),
+        "repair_match": result.repair == baseline.repair,
+    }
+
+
+@pytest.mark.benchmark(group="fault-degradation")
+def test_fault_degradation(benchmark, bench_seed, emit_table, emit_json):
+    """All backends agree under one schedule; repair restores feasibility."""
+    graph = nx.fast_gnp_random_graph(N, EDGE_P, seed=bench_seed)
+    bulk = BulkGraph.from_graph(graph)
+    spec = FaultSpec(seed=bench_seed, **PARITY_FAULTS)
+
+    baseline, baseline_time = _timed(
+        lambda: _run(graph, bulk, spec, "vectorized", bench_seed)
+    )
+    parity_rows = [
+        {
+            "backend": "vectorized",
+            "shards": None,
+            "elapsed_s": round(baseline_time, 3),
+            "size": len(baseline.dominating_set),
+            "crashed": baseline.rounding.faults.crashed_nodes,
+            "patched": len(baseline.repair.patched_nodes),
+            **_matches(baseline, baseline),
+        }
+    ]
+
+    simulated, simulated_time = _timed(
+        lambda: _run(graph, bulk, spec, "simulated", bench_seed)
+    )
+    parity_rows.append(
+        {
+            "backend": "simulated",
+            "shards": None,
+            "elapsed_s": round(simulated_time, 3),
+            "size": len(simulated.dominating_set),
+            "crashed": simulated.rounding.faults.crashed_nodes,
+            "patched": len(simulated.repair.patched_nodes),
+            **_matches(simulated, baseline),
+        }
+    )
+
+    for shards in SHARD_COUNTS:
+        sharded, sharded_time = _timed(
+            lambda: _run(graph, bulk, spec, "sharded", bench_seed, shards=shards)
+        )
+        parity_rows.append(
+            {
+                "backend": "sharded",
+                "shards": shards,
+                "elapsed_s": round(sharded_time, 3),
+                "size": len(sharded.dominating_set),
+                "crashed": sharded.rounding.faults.crashed_nodes,
+                "patched": len(sharded.repair.patched_nodes),
+                **_matches(sharded, baseline),
+            }
+        )
+
+    fault_parity = all(
+        row["x_match"] and row["set_match"] and row["drops_match"] and row["repair_match"]
+        for row in parity_rows
+    )
+
+    # Stage 2: the degradation sweep, with the repair gate.  sweep_faults
+    # raises if any repaired set fails the feasibility check.
+    sweep_instance = GraphInstance(
+        name=f"erdos_renyi_n{N}",
+        graph=bulk if QUICK else bulk_erdos_renyi_graph(20000, 4e-4, seed=bench_seed),
+    )
+    repair_feasible = True
+    try:
+        records = sweep_faults(
+            [sweep_instance],
+            fault_rates=SWEEP_RATES,
+            k=K,
+            trials=1 if QUICK else 2,
+            seed=bench_seed,
+            backend="vectorized",
+        )
+    except RuntimeError:
+        repair_feasible = False
+        records = []
+    sweep_rows = [record.as_row() for record in records]
+
+    emit_table(
+        "fault_degradation",
+        render_table(
+            parity_rows,
+            title=(
+                f"Fault-injection backend parity: pipeline k={K}, n={N}, "
+                f"loss={PARITY_FAULTS['loss_probability']}, "
+                f"crash={PARITY_FAULTS['crash_probability']}"
+            ),
+        )
+        + "\n\n"
+        + render_table(sweep_rows, title="Degradation sweep (repair on)"),
+    )
+    emit_json(
+        "fault_degradation",
+        {
+            "quick": QUICK,
+            "n": N,
+            "k": K,
+            "shard_counts": SHARD_COUNTS,
+            "fault_parity": bool(fault_parity),
+            "repair_feasible": bool(repair_feasible),
+            "parity": [
+                {
+                    "backend": row["backend"],
+                    "shards": row["shards"],
+                    "elapsed_s": row["elapsed_s"],
+                    "x_match": bool(row["x_match"]),
+                    "set_match": bool(row["set_match"]),
+                    "drops_match": bool(row["drops_match"]),
+                    "repair_match": bool(row["repair_match"]),
+                }
+                for row in parity_rows
+            ],
+            "sweep": [
+                {
+                    "loss": row["loss"],
+                    "crash": row["crash"],
+                    "baseline_size": row["baseline_size"],
+                    "mean_repaired_size": row["mean_repaired_size"],
+                    "mean_coverage_deficit": row["mean_coverage_deficit"],
+                    "mean_patched_nodes": row["mean_patched_nodes"],
+                    "degraded_fraction": row["degraded_fraction"],
+                }
+                for row in sweep_rows
+            ],
+        },
+    )
+
+    for row in parity_rows:
+        assert row["x_match"], f"x-vector mismatch on {row['backend']}"
+        assert row["set_match"], f"dominating-set mismatch on {row['backend']}"
+        assert row["drops_match"], f"drop-count mismatch on {row['backend']}"
+        assert row["repair_match"], f"repair-report mismatch on {row['backend']}"
+    assert repair_feasible, "repair failed to restore feasibility in the sweep"
+
+    small = bulk_erdos_renyi_graph(1200, 6e-3, seed=bench_seed)
+    benchmark(
+        lambda: kuhn_wattenhofer_dominating_set(
+            small,
+            k=K,
+            seed=bench_seed,
+            variant=FractionalVariant.KNOWN_DELTA,
+            backend="vectorized",
+            faults=FaultSpec(seed=bench_seed, **PARITY_FAULTS),
+        )
+    )

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fault tolerance: clustering that survives message loss and node churn.
+
+The paper assumes a fault-free synchronous network, but its motivating
+setting -- wireless ad-hoc clustering -- is exactly where messages drop
+and nodes die.  This example runs the Kuhn–Wattenhofer pipeline under a
+materialized :class:`~repro.simulator.fault_schedule.FaultSpec` (Bernoulli
+message loss + crash-stop failures, reproducible from one seed) through
+the one ``repro.api.solve`` façade, and shows the three robustness
+features layered on top:
+
+1. **Degradation metrics** -- how far the faulted output strays from the
+   fault-free baseline, and the coverage deficit the faults tore open.
+2. **Self-healing repair** -- the bucket-queue greedy patch that restores
+   domination feasibility, reported per run via ``report.repair``.
+3. **Backend parity** -- the same ``FaultSpec`` drives the per-node
+   simulated runner and the vectorized kernels to bitwise-identical
+   degraded results, so robustness studies scale to CSR sizes.
+
+Run with:  python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.api import solve
+from repro.domset.validation import is_dominating_set, uncovered_nodes
+from repro.graphs.unit_disk import random_unit_disk_graph
+from repro.simulator.fault_schedule import FaultSpec
+
+#: Smoke-test knob (CI): shrink the network so the example runs in <1 s.
+QUICK = bool(int(os.environ.get("REPRO_EXAMPLES_QUICK", "0")))
+NODES = 60 if QUICK else 200
+RADIUS = 0.2 if QUICK else 0.11
+SEED = 7
+K = 2
+
+
+def main() -> None:
+    graph = random_unit_disk_graph(NODES, radius=RADIUS, seed=SEED)
+    print(
+        f"ad-hoc network: {NODES} devices, transmission radius {RADIUS}, "
+        f"{graph.number_of_edges()} links"
+    )
+
+    baseline = solve("kuhn-wattenhofer", graph, k=K, seed=SEED)
+    print(f"\nfault-free pipeline: {baseline.size} cluster heads")
+
+    # -- 1 + 2: degradation and self-healing repair --------------------- #
+    print("\nfault injection (loss = message-drop prob., crash = node-death prob.):")
+    print("  loss crash |  raw  deficit patched repaired  crashed dropped")
+    for loss, crash in [(0.1, 0.0), (0.0, 0.1), (0.2, 0.2), (0.4, 0.3)]:
+        spec = FaultSpec(loss_probability=loss, crash_probability=crash, seed=SEED)
+        report = solve("kuhn-wattenhofer", graph, k=K, seed=SEED, faults=spec)
+        repair = report.repair
+        dropped = sum(
+            summary.dropped_messages for summary in report.fault_summaries.values()
+        )
+        crashed = report.fault_summaries["rounding"].crashed_nodes
+        assert repair.feasible_after and is_dominating_set(graph, report.dominating_set)
+        print(
+            f"  {loss:.2f}  {crash:.2f} | {repair.objective_before:4d}"
+            f"  {repair.coverage_deficit:6d} {len(repair.patched_nodes):7d}"
+            f" {repair.objective_after:8d} {crashed:8d} {dropped:7d}"
+        )
+
+    # Without repair the degraded set is returned raw -- and may not cover.
+    harsh = FaultSpec(loss_probability=0.4, crash_probability=0.3, seed=SEED)
+    raw = solve("kuhn-wattenhofer", graph, k=K, seed=SEED, faults=harsh, repair=False)
+    holes = len(uncovered_nodes(graph, raw.dominating_set))
+    print(
+        f"\nrepair=False under the harshest mix: {raw.size} heads leave "
+        f"{holes} device(s) without a reachable cluster head"
+    )
+
+    # -- 3: one schedule, identical degraded results on every backend --- #
+    spec = FaultSpec(loss_probability=0.2, crash_probability=0.2, seed=SEED)
+    reports = {
+        backend: solve(
+            "kuhn-wattenhofer", graph, k=K, seed=SEED, backend=backend, faults=spec
+        )
+        for backend in ("simulated", "vectorized")
+    }
+    assert (
+        reports["simulated"].dominating_set == reports["vectorized"].dominating_set
+    )
+    assert reports["simulated"].repair == reports["vectorized"].repair
+    print(
+        "\nbackend parity: simulated and vectorized runs under the same "
+        f"FaultSpec agree bitwise ({reports['vectorized'].size} heads, "
+        f"{len(reports['vectorized'].repair.patched_nodes)} patched)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -591,6 +591,175 @@ def sweep_tradeoff(
 
 
 # ---------------------------------------------------------------------- #
+# Fault-degradation sweep                                                 #
+# ---------------------------------------------------------------------- #
+
+#: Default (loss_probability, crash_probability) grid for fault sweeps:
+#: the fault-free reference point, loss-only and crash-only curves, and
+#: one mixed regime.
+DEFAULT_FAULT_RATES: tuple[tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (0.1, 0.0),
+    (0.3, 0.0),
+    (0.0, 0.1),
+    (0.0, 0.3),
+    (0.2, 0.2),
+)
+
+
+def _sweep_faults_instance(
+    instance: GraphInstance,
+    fault_rates: Sequence[tuple[float, float]],
+    k: int,
+    trials: int,
+    variant: FractionalVariant,
+    seed: int,
+    backend: str,
+    shards: int | None = None,
+) -> list[ExperimentRecord]:
+    """All fault-degradation records of one instance.
+
+    Each (loss, crash) cell runs the faulted pipeline ``trials`` times
+    (independent fault draws *and* rounding coins per trial), always with
+    the self-healing repair phase on, and reports how far the degraded
+    output strayed from feasibility and from the fault-free baseline --
+    the deficit repair had to patch, the patch size, and the fault
+    bookkeeping (crashed nodes, dropped messages) behind it.
+    """
+    from repro.api import solve
+    from repro.simulator.fault_schedule import FaultSpec
+
+    backend = _resolve_instance_backend(instance, backend, shards=shards)
+    baseline = solve(
+        "kuhn-wattenhofer",
+        instance.graph,
+        backend=backend,
+        seed=seed,
+        k=k,
+        variant=variant,
+        shards=shards,
+    )
+    delta = instance.max_degree
+    mean = lambda values: sum(values) / len(values)  # noqa: E731
+    records: list[ExperimentRecord] = []
+    for loss, crash in fault_rates:
+        raw_sizes: list[float] = []
+        repaired_sizes: list[float] = []
+        deficits: list[float] = []
+        patched: list[float] = []
+        repair_rounds: list[float] = []
+        crashed: list[float] = []
+        dropped: list[float] = []
+        degraded_trials = 0
+        for trial in range(trials):
+            report = solve(
+                "kuhn-wattenhofer",
+                instance.graph,
+                backend=backend,
+                seed=seed + trial,
+                k=k,
+                variant=variant,
+                shards=shards,
+                faults=FaultSpec(
+                    loss_probability=loss,
+                    crash_probability=crash,
+                    seed=seed + trial,
+                ),
+                repair=True,
+            )
+            repair = report.repair
+            if repair is None or not repair.feasible_after:
+                raise RuntimeError(
+                    f"faulted pipeline left an infeasible set on {instance.name}"
+                )
+            raw_sizes.append(float(repair.objective_before))
+            repaired_sizes.append(float(repair.objective_after))
+            deficits.append(float(repair.coverage_deficit))
+            patched.append(float(len(repair.patched_nodes)))
+            repair_rounds.append(float(repair.repair_rounds))
+            degraded_trials += int(repair.was_degraded)
+            summaries = report.fault_summaries
+            crashed.append(float(summaries["rounding"].crashed_nodes))
+            dropped.append(
+                float(sum(summary.dropped_messages for summary in summaries.values()))
+            )
+        records.append(
+            ExperimentRecord(
+                instance=instance.name,
+                algorithm=f"faulted-kw[{variant.value}]",
+                parameters={
+                    "loss": loss,
+                    "crash": crash,
+                    "k": k,
+                    "n": instance.node_count,
+                    "delta": delta,
+                },
+                measurements={
+                    "baseline_size": float(baseline.size),
+                    "mean_raw_size": mean(raw_sizes),
+                    "mean_repaired_size": mean(repaired_sizes),
+                    "mean_size_vs_baseline": mean(repaired_sizes) / baseline.size
+                    if baseline.size
+                    else float("nan"),
+                    "mean_coverage_deficit": mean(deficits),
+                    "mean_patched_nodes": mean(patched),
+                    "mean_repair_rounds": mean(repair_rounds),
+                    "degraded_fraction": degraded_trials / trials,
+                    "mean_crashed_nodes": mean(crashed),
+                    "mean_dropped_messages": mean(dropped),
+                    "trials": float(trials),
+                },
+            )
+        )
+    return records
+
+
+def sweep_faults(
+    instances: Sequence[GraphInstance],
+    fault_rates: Sequence[tuple[float, float]] = DEFAULT_FAULT_RATES,
+    k: int = 2,
+    trials: int = 3,
+    variant: FractionalVariant = FractionalVariant.UNKNOWN_DELTA,
+    seed: int = 0,
+    backend: str = "auto",
+    jobs: int = 1,
+    shards: int | None = None,
+) -> list[ExperimentRecord]:
+    """Measure pipeline degradation under fault injection, with repair on.
+
+    For every instance and every ``(loss_probability, crash_probability)``
+    pair the Kuhn–Wattenhofer pipeline runs under a materialized
+    :class:`~repro.simulator.fault_schedule.FaultSpec` and the self-healing
+    repair phase patches whatever coverage the faults destroyed.  Records
+    report the repaired size against the fault-free baseline, the coverage
+    deficit repair had to close, the patch size and its round cost, and
+    the fault bookkeeping (crashed nodes, dropped messages) -- the
+    degradation curve the robustness benchmark and the CLI ``faults``
+    sub-command print.  Fault masks are identical on every backend, so
+    ``backend`` (and ``shards=N``) changes only the wall-clock, never the
+    records.  ``jobs`` parallelizes across instances with a process pool.
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    for loss, crash in fault_rates:
+        if not (0.0 <= loss <= 1.0 and 0.0 <= crash <= 1.0):
+            raise ValueError(
+                f"fault rates must be probabilities in [0, 1]; got ({loss}, {crash})"
+            )
+    worker = partial(
+        _sweep_faults_instance,
+        fault_rates=tuple(tuple(pair) for pair in fault_rates),
+        k=k,
+        trials=trials,
+        variant=variant,
+        seed=seed,
+        backend=backend,
+        shards=shards,
+    )
+    return _map_instances(worker, instances, jobs)
+
+
+# ---------------------------------------------------------------------- #
 # Connected dominating set comparison                                     #
 # ---------------------------------------------------------------------- #
 

@@ -169,6 +169,31 @@ class RunReport:
         return len(self.dominating_set)
 
     @property
+    def repair(self):
+        """The :class:`~repro.domset.repair.RepairReport` of a faulted run.
+
+        ``None`` for fault-free runs and for runs called with
+        ``repair=False`` (whose :attr:`dominating_set` is then the raw,
+        possibly infeasible, degraded output).
+        """
+        return getattr(self.raw, "repair", None)
+
+    @property
+    def fault_summaries(self) -> dict[str, Any]:
+        """Per-phase fault summaries of a faulted run (empty otherwise).
+
+        Keys are phase names (``"fractional"``, ``"rounding"``), values
+        the :class:`~repro.simulator.fault_schedule.FaultSummary`
+        recorded by that phase.
+        """
+        summaries: dict[str, Any] = {}
+        for phase in ("fractional", "rounding"):
+            summary = getattr(getattr(self.raw, phase, None), "faults", None)
+            if summary is not None:
+                summaries[phase] = summary
+        return summaries
+
+    @property
     def total_rounds(self) -> int | None:
         """Alias for :attr:`rounds` (PipelineResult spelling)."""
         return self.rounds
@@ -237,6 +262,11 @@ class AlgorithmSpec:
         :attr:`backends`).  The simulated engine records event-based
         ``ExecutionTrace`` objects, the vectorized engine columnar
         ``ColumnarTrace`` snapshots; empty means tracing is unsupported.
+    supports_faults:
+        Accepts a ``faults=`` :class:`~repro.simulator.fault_schedule.FaultSpec`
+        (message loss + crash-stop injection from one materialized mask
+        schedule, identical across every backend) and a ``repair=`` flag
+        controlling the self-healing patch phase.
     supports_multi_k:
         A whole k sweep can run from one engine invocation
         (the ``*_multi_k`` snapshot entry points).
@@ -268,6 +298,7 @@ class AlgorithmSpec:
     weighted: bool = False
     produces_cds: bool = False
     trace_backends: tuple[str, ...] = ()
+    supports_faults: bool = False
     supports_multi_k: bool = False
     deterministic: bool = False
     requires_connected: bool = False
@@ -597,9 +628,11 @@ def solve(
         Seed forwarded to the algorithm (ignored by deterministic ones).
     **params:
         Algorithm-specific parameters (``k=``, ``variant=``, ``weights=``,
-        ``collect_trace=``, ``shards=``, ...); unknown ones raise
-        ``TypeError`` from the underlying entry point.  ``shards=N`` pins
-        the sharded engine under ``backend="auto"``.
+        ``collect_trace=``, ``shards=``, ``faults=``, ``repair=``, ...);
+        unknown ones raise ``TypeError`` from the underlying entry point.
+        ``shards=N`` pins the sharded engine under ``backend="auto"``;
+        ``faults=`` requires a spec with
+        :attr:`~AlgorithmSpec.supports_faults`.
 
     Returns
     -------
@@ -616,6 +649,13 @@ def solve(
     spec = get_spec(algorithm)
     collect_trace = bool(params.get("collect_trace", False))
     shards = params.pop("shards", None)
+    if params.get("faults") is not None and not spec.supports_faults:
+        raise CapabilityError(spec.name, "fault injection (faults=...)", backend, ())
+    if not spec.supports_faults:
+        # A falsy faults=/repair= passed generically by sweep code (a truthy
+        # faults= was rejected above) must not reach runners without them.
+        params.pop("faults", None)
+        params.pop("repair", None)
     resolved = resolve_backend(
         spec, graph, backend=backend, collect_trace=collect_trace, shards=shards
     )
@@ -771,6 +811,8 @@ def _run_kuhn_wattenhofer(
     rounding_rule: RoundingRule = RoundingRule.LOG,
     collect_trace: bool = False,
     shards: int | None = None,
+    faults=None,
+    repair: bool = True,
 ) -> _RunPayload:
     result = kuhn_wattenhofer_dominating_set(
         graph,
@@ -781,6 +823,8 @@ def _run_kuhn_wattenhofer(
         collect_trace=collect_trace,
         backend=backend,
         shards=shards,
+        faults=faults,
+        repair=repair,
     )
     return {
         "dominating_set": result.dominating_set,
@@ -930,6 +974,7 @@ register(
         entry_point=kuhn_wattenhofer_dominating_set,
         accepts_bulk=True,
         trace_backends=(SIMULATED, VECTORIZED),
+        supports_faults=True,
         supports_multi_k=True,
         cli_params=("k", "variant"),
     )

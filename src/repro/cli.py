@@ -15,6 +15,10 @@ Installed as ``repro-domset`` (see ``pyproject.toml``); also runnable as
   values evaluated from one fractional snapshot-engine execution.
 * ``cds``     -- compare connected dominating set backbones (KW+connect,
   Wu–Li, greedy+connect, Guha–Khuller).
+* ``faults``  -- sweep fault-injection rates (Bernoulli message loss +
+  crash-stop failures) over the pipeline with the self-healing repair
+  phase on, and print the degradation table: repaired size vs. the
+  fault-free baseline, coverage deficit, patch cost, crash/drop totals.
 * ``certify`` -- run one algorithm and verify an LP duality
   *certificate* for its quality: primal feasibility of the produced
   set, dual feasibility of the Lemma-1 assignment, the weak duality
@@ -57,9 +61,11 @@ from repro.analysis.bounds import (
     rounding_expectation_bound,
 )
 from repro.analysis.experiment import (
+    DEFAULT_FAULT_RATES,
     as_instances,
     compare_algorithms,
     sweep_cds,
+    sweep_faults,
     sweep_fractional,
     sweep_tradeoff,
 )
@@ -381,6 +387,53 @@ def _command_cds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_rates(pairs: "list[str] | None"):
+    """Parse repeated ``--rate LOSS,CRASH`` options (None = default grid)."""
+    if not pairs:
+        return DEFAULT_FAULT_RATES
+    rates = []
+    for pair in pairs:
+        parts = pair.split(",")
+        if len(parts) != 2:
+            raise ValueError(
+                f"--rate expects LOSS,CRASH (two comma-separated "
+                f"probabilities); got {pair!r}"
+            )
+        rates.append((float(parts[0]), float(parts[1])))
+    return rates
+
+
+def _command_faults(args: argparse.Namespace) -> int:
+    if _reject_simulated_xlarge(args):
+        return 2
+    try:
+        rates = _parse_fault_rates(args.rate)
+        records = sweep_faults(
+            _build_instances(args),
+            fault_rates=rates,
+            k=args.k,
+            trials=args.trials,
+            variant=FractionalVariant(args.variant),
+            seed=args.seed,
+            backend=args.backend,
+            jobs=args.jobs,
+            shards=args.shards,
+        )
+    except (CapabilityError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [record.as_row() for record in records]
+    if args.csv:
+        print(records_to_csv(rows))
+    else:
+        print(
+            render_table(
+                rows, title="Fault-injection degradation (self-healing repair on)"
+            )
+        )
+    return 0
+
+
 def _command_certify(args: argparse.Namespace) -> int:
     """Run one algorithm and *certify* its quality by LP duality.
 
@@ -538,6 +591,7 @@ def _command_algorithms(args: argparse.Namespace) -> int:
                 "weighted": spec.weighted,
                 "cds": spec.produces_cds,
                 "trace": "+".join(spec.trace_backends) if spec.trace_backends else "-",
+                "faults": spec.supports_faults,
                 "multi_k": spec.supports_multi_k,
                 "summary": spec.summary,
             }
@@ -706,6 +760,41 @@ def build_parser() -> argparse.ArgumentParser:
     cds.add_argument("--k", type=int, default=2)
     cds.add_argument("--csv", action="store_true")
     cds.set_defaults(handler=_command_cds)
+
+    faults = subparsers.add_parser(
+        "faults",
+        help=(
+            "sweep fault-injection rates (message loss + crash-stop) over "
+            "the pipeline and print the degradation/repair table"
+        ),
+    )
+    _add_graph_arguments(faults)
+    _add_jobs_argument(faults)
+    _add_shards_argument(faults)
+    faults.add_argument("--k", type=int, default=2, help="locality parameter")
+    faults.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        help="independent fault draws (and rounding coins) per rate pair",
+    )
+    faults.add_argument(
+        "--rate",
+        action="append",
+        default=None,
+        metavar="LOSS,CRASH",
+        help=(
+            "one loss,crash probability pair, e.g. 0.2,0.1 (repeatable; "
+            "default: a loss-only/crash-only/mixed grid)"
+        ),
+    )
+    faults.add_argument(
+        "--variant",
+        choices=[variant.value for variant in FractionalVariant],
+        default=FractionalVariant.UNKNOWN_DELTA.value,
+    )
+    faults.add_argument("--csv", action="store_true")
+    faults.set_defaults(handler=_command_faults)
 
     trace = subparsers.add_parser(
         "trace",

@@ -24,14 +24,17 @@ from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
     CapabilityError,
+    algorithm2_exchanges,
     resolve_bulk_input,
     run_algorithm2_bulk,
+    run_algorithm2_bulk_faulted,
     run_algorithm2_bulk_multi_k,
     validate_backend,
 )
 from repro.simulator.columnar import ColumnarTrace
 from repro.graphs.utils import max_degree, validate_simple_graph
 from repro.simulator.bulk import BulkGraph
+from repro.simulator.fault_schedule import FaultSchedule, FaultSpec, FaultSummary
 from repro.simulator.message import Message
 from repro.simulator.metrics import ExecutionMetrics
 from repro.simulator.network import Network
@@ -73,6 +76,8 @@ class FractionalResult:
     trace: ExecutionTrace | ColumnarTrace
     k: int
     max_degree: int
+    #: What the fault schedule did to this run (``None`` for fault-free runs).
+    faults: FaultSummary | None = None
 
 
 class Algorithm2Program(GeneratorNodeProgram):
@@ -177,7 +182,7 @@ class Algorithm2Program(GeneratorNodeProgram):
         return self.x
 
 
-def _package_fractional(bulk, values, metrics, k, true_delta, trace=None):
+def _package_fractional(bulk, values, metrics, k, true_delta, trace=None, faults=None):
     """Build a :class:`FractionalResult` from bulk-engine output arrays.
 
     The x dict is filled in ``bulk.nodes`` order via ``tolist()`` (Python
@@ -194,7 +199,31 @@ def _package_fractional(bulk, values, metrics, k, true_delta, trace=None):
         trace=trace if trace is not None else ExecutionTrace(),
         k=k,
         max_degree=true_delta,
+        faults=faults,
     )
+
+
+def _resolve_fault_schedule(
+    faults: "FaultSpec | None",
+    schedule: "FaultSchedule | None",
+    csr: BulkGraph,
+    exchanges: int,
+    salt: int = 0,
+) -> "FaultSchedule | None":
+    """Materialize one phase's fault schedule (or pass a prebuilt one through).
+
+    The pipeline materializes its phases' schedules itself (to chain the
+    crash state between them) and hands them down via the private
+    ``_schedule`` parameters; standalone callers pass a :class:`FaultSpec`
+    and get the default ``salt=0`` stream.
+    """
+    if schedule is not None:
+        return schedule
+    if faults is None:
+        return None
+    if not isinstance(faults, FaultSpec):
+        raise TypeError("faults must be a FaultSpec")
+    return faults.materialize(csr, rounds=exchanges, salt=salt)
 
 
 def _sharded_driver(bulk, shards, executor):
@@ -249,8 +278,10 @@ def approximate_fractional_mds(
     delta: int | None = None,
     backend: str = SIMULATED,
     shards: int | None = None,
+    faults: FaultSpec | None = None,
     _bulk: BulkGraph | None = None,
     _executor=None,
+    _schedule: FaultSchedule | None = None,
 ) -> FractionalResult:
     """Run Algorithm 2 on a graph and return its fractional solution.
 
@@ -286,6 +317,13 @@ def approximate_fractional_mds(
     shards:
         Worker-process count for the sharded backend (``None`` lets the
         engine pick one per usable CPU).  Ignored by the other backends.
+    faults:
+        Optional :class:`~repro.simulator.fault_schedule.FaultSpec`
+        injecting message loss and crash-stop failures.  All three
+        backends consume the *same* materialized schedule and produce
+        bitwise-identical x-vectors; the applied pattern is reported on
+        ``FractionalResult.faults``.  Tracing under faults is only
+        supported on the simulated backend.
 
     ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`
     (e.g. from :mod:`repro.graphs.bulk`), in which case a bulk backend
@@ -308,6 +346,62 @@ def approximate_fractional_mds(
     elif delta < true_delta:
         raise ValueError(
             f"delta={delta} is smaller than the true maximum degree {true_delta}"
+        )
+
+    if faults is not None or _schedule is not None:
+        if collect_trace and backend != SIMULATED:
+            raise CapabilityError(
+                "approximate_fractional_mds",
+                "collect_trace under fault injection",
+                backend,
+                (SIMULATED,),
+            )
+        csr = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        exchanges = algorithm2_exchanges(k)
+        schedule = _resolve_fault_schedule(faults, _schedule, csr, exchanges)
+        summary = schedule.summary(exchanges)
+
+        if backend == SHARDED:
+            driver, owns = _sharded_driver(csr, shards, _executor)
+            try:
+                values, metrics = driver.run_algorithm2_faulted(k, delta, schedule)
+            finally:
+                if owns:
+                    driver.close()
+            return _package_fractional(
+                csr, values, metrics, k, true_delta, faults=summary
+            )
+
+        if backend == VECTORIZED:
+            values, metrics = run_algorithm2_bulk_faulted(csr, k, delta, schedule)
+            return _package_fractional(
+                csr, values, metrics, k, true_delta, faults=summary
+            )
+
+        network = Network(graph, _program_factory(k, delta), seed=seed)
+        runner = SynchronousRunner(
+            network,
+            fault_model=schedule.fault_model(csr.nodes),
+            max_rounds=2 * k * k + 10,
+            collect_trace=collect_trace,
+        )
+        execution = runner.run()
+        if not execution.terminated:
+            raise RuntimeError(
+                "Algorithm 2 did not terminate within its round budget"
+            )
+        # Crashed programs never reach result(); their frozen in-place
+        # state carries the x-value they died with.
+        x = {node: float(network.program(node).x) for node in csr.nodes}
+        return FractionalResult(
+            x=x,
+            objective=float(sum(x.values())),
+            rounds=execution.rounds,
+            metrics=execution.metrics,
+            trace=execution.trace,
+            k=k,
+            max_degree=true_delta,
+            faults=summary,
         )
 
     if backend == SHARDED:

@@ -28,6 +28,7 @@ from repro.core.fractional import (
     WHITE,
     FractionalResult,
     _package_fractional,
+    _resolve_fault_schedule,
     _sharded_driver,
     _vectorized_fractional_result,
 )
@@ -37,13 +38,16 @@ from repro.core.vectorized import (
     SIMULATED,
     VECTORIZED,
     CapabilityError,
+    algorithm3_exchanges,
     resolve_bulk_input,
     run_algorithm3_bulk,
+    run_algorithm3_bulk_faulted,
     run_algorithm3_bulk_multi_k,
     validate_backend,
 )
 from repro.graphs.utils import max_degree, validate_simple_graph
 from repro.simulator.bulk import BulkGraph
+from repro.simulator.fault_schedule import FaultSchedule, FaultSpec
 from repro.simulator.network import Network
 from repro.simulator.node import NodeContext
 from repro.simulator.runtime import SynchronousRunner
@@ -131,9 +135,13 @@ class Algorithm3Program(GeneratorNodeProgram):
 
                 # Lines 15-17: active nodes raise their x-value to
                 # a⁽¹⁾(v_i)^(−m/(m+1)).
-                if is_active:
-                    # a_one ≥ 1 whenever a node is active: the node itself
-                    # has a white node in N_i, and that node counts v_i.
+                if is_active and a_one >= 1:
+                    # Fault-free, a_one ≥ 1 whenever a node is active: the
+                    # node itself has a white node in N_i, and that node
+                    # counts v_i.  Under message loss every witness message
+                    # may be dropped, leaving a gray active node with
+                    # a_one = 0; skip the raise rather than evaluate
+                    # 0^(−m/(m+1)).
                     self.x = max(self.x, float(a_one) ** (-m / (m + 1)))
 
                 # Recorded after the x-update (and before the colour update)
@@ -212,8 +220,10 @@ def approximate_fractional_mds_unknown_delta(
     collect_trace: bool = False,
     backend: str = SIMULATED,
     shards: int | None = None,
+    faults: FaultSpec | None = None,
     _bulk: BulkGraph | None = None,
     _executor=None,
+    _schedule: FaultSchedule | None = None,
 ) -> FractionalResult:
     """Run Algorithm 3 on a graph and return its fractional solution.
 
@@ -238,6 +248,12 @@ def approximate_fractional_mds_unknown_delta(
     shards:
         Worker-process count for the sharded backend (``None`` picks one
         per usable CPU).  Ignored by the other backends.
+    faults:
+        Optional :class:`~repro.simulator.fault_schedule.FaultSpec`
+        injecting message loss and crash-stop failures; every backend
+        consumes the same materialized schedule and produces
+        bitwise-identical x-vectors.  Reported on
+        ``FractionalResult.faults``.
 
     ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`,
     in which case a bulk backend (vectorized or sharded) is required.
@@ -252,6 +268,61 @@ def approximate_fractional_mds_unknown_delta(
         validate_simple_graph(graph)
     if k < 1:
         raise ValueError("k must be at least 1")
+
+    if faults is not None or _schedule is not None:
+        if collect_trace and backend != SIMULATED:
+            raise CapabilityError(
+                "approximate_fractional_mds_unknown_delta",
+                "collect_trace under fault injection",
+                backend,
+                (SIMULATED,),
+            )
+        csr = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        exchanges = algorithm3_exchanges(k)
+        schedule = _resolve_fault_schedule(faults, _schedule, csr, exchanges)
+        summary = schedule.summary(exchanges)
+        true_delta = max_degree(graph)
+
+        if backend == SHARDED:
+            driver, owns = _sharded_driver(csr, shards, _executor)
+            try:
+                values, metrics = driver.run_algorithm3_faulted(k, schedule)
+            finally:
+                if owns:
+                    driver.close()
+            return _package_fractional(
+                csr, values, metrics, k, true_delta, faults=summary
+            )
+
+        if backend == VECTORIZED:
+            values, metrics = run_algorithm3_bulk_faulted(csr, k, schedule)
+            return _package_fractional(
+                csr, values, metrics, k, true_delta, faults=summary
+            )
+
+        network = Network(graph, _program_factory(k), seed=seed)
+        runner = SynchronousRunner(
+            network,
+            fault_model=schedule.fault_model(csr.nodes),
+            max_rounds=4 * k * k + 6 * k + 12,
+            collect_trace=collect_trace,
+        )
+        execution = runner.run()
+        if not execution.terminated:
+            raise RuntimeError(
+                "Algorithm 3 did not terminate within its round budget"
+            )
+        x = {node: float(network.program(node).x) for node in csr.nodes}
+        return FractionalResult(
+            x=x,
+            objective=float(sum(x.values())),
+            rounds=execution.rounds,
+            metrics=execution.metrics,
+            trace=execution.trace,
+            k=k,
+            max_degree=true_delta,
+            faults=summary,
+        )
 
     if backend == SHARDED:
         if collect_trace:

@@ -39,14 +39,19 @@ from repro.core.rounding import (
 )
 from repro.core.vectorized import (
     BACKENDS,
+    ROUNDING_EXCHANGES,
     SHARDED,
     SIMULATED,
     VECTORIZED,
     CapabilityError,
+    algorithm2_exchanges,
+    algorithm3_exchanges,
     resolve_bulk_input,
     validate_backend,
 )
 from repro.simulator.bulk import BulkGraph
+from repro.simulator.fault_schedule import FaultSpec
+from repro.domset.repair import RepairReport, repair_dominating_set
 from repro.domset.validation import is_dominating_set
 from repro.graphs.utils import max_degree, validate_simple_graph
 
@@ -92,6 +97,11 @@ class PipelineResult:
     max_message_bits: int
     k: int
     max_degree: int
+    #: Repair outcome when a fault-degraded run was patched back to
+    #: feasibility (``None`` for fault-free runs or ``repair=False``).
+    #: Per-phase fault summaries live on ``fractional.faults`` and
+    #: ``rounding.faults``.
+    repair: RepairReport | None = None
 
     @property
     def size(self) -> int:
@@ -120,6 +130,8 @@ def kuhn_wattenhofer_dominating_set(
     collect_trace: bool = False,
     backend: str = SIMULATED,
     shards: int | None = None,
+    faults: FaultSpec | None = None,
+    repair: bool = True,
     _bulk: BulkGraph | None = None,
 ) -> PipelineResult:
     """Compute a dominating set with the full Kuhn–Wattenhofer pipeline.
@@ -158,6 +170,22 @@ def kuhn_wattenhofer_dominating_set(
     shards:
         Worker process count for the sharded backend (``None`` picks one
         per available CPU).  Only valid with ``backend="sharded"``.
+    faults:
+        Optional :class:`~repro.simulator.fault_schedule.FaultSpec`
+        injecting message loss and crash-stop failures into *both* phases.
+        Each phase draws its own salted fault pattern from the spec, and
+        nodes crashed during the fractional phase enter the rounding phase
+        dead.  Every backend consumes the same materialized schedules, so
+        the (possibly degraded) outcome is bitwise identical across them.
+        Under faults the usual feasibility ``RuntimeError`` checks are
+        suspended -- degradation is the object of study, not a bug.
+    repair:
+        Whether to run the self-healing patch
+        (:func:`~repro.domset.repair.repair_dominating_set`) when the
+        faulted rounding output fails to dominate.  Only consulted when
+        ``faults`` is given; the outcome lands on ``PipelineResult.repair``
+        and ``dominating_set`` is the repaired (always dominating) set.
+        With ``repair=False`` the raw degraded set is returned unvalidated.
 
     Returns
     -------
@@ -169,13 +197,15 @@ def kuhn_wattenhofer_dominating_set(
         If the fractional phase produced an infeasible LP solution or the
         final set fails validation -- both indicate an implementation bug
         and are checked on every call precisely because the paper's
-        correctness argument relies on them.
+        correctness argument relies on them.  (Suspended under ``faults``.)
     """
     validate_backend(backend, supported=BACKENDS)
     if backend == SHARDED and collect_trace:
         raise CapabilityError(
             "kuhn-wattenhofer", "collect_trace", SHARDED, (SIMULATED, VECTORIZED)
         )
+    if faults is not None and not isinstance(faults, FaultSpec):
+        raise TypeError("faults must be a FaultSpec")
     _bulk = resolve_bulk_input(graph, backend, _bulk)
     if _bulk is not graph:
         validate_simple_graph(graph)
@@ -192,6 +222,27 @@ def kuhn_wattenhofer_dominating_set(
     else:
         bulk = (
             BulkGraph.from_graph(graph) if backend in (VECTORIZED, SHARDED) else None
+        )
+
+    # Each phase draws its own salted fault pattern; nodes crashed during
+    # the fractional phase enter the rounding phase already dead.  Both
+    # schedules are materialized once up front from the same CSR so every
+    # backend (including each shard worker) sees identical masks.
+    frac_schedule = rounding_schedule = None
+    schedule_csr = None
+    if faults is not None:
+        schedule_csr = bulk if bulk is not None else BulkGraph.from_graph(graph)
+        frac_exchanges = (
+            algorithm2_exchanges(k)
+            if variant is FractionalVariant.KNOWN_DELTA
+            else algorithm3_exchanges(k)
+        )
+        frac_schedule = faults.materialize(schedule_csr, rounds=frac_exchanges, salt=0)
+        rounding_schedule = faults.materialize(
+            schedule_csr,
+            rounds=ROUNDING_EXCHANGES,
+            salt=1,
+            already_dead=frac_schedule.ever_crashed,
         )
 
     # One shard pool serves both phases: forking, sharing the CSR, and
@@ -213,6 +264,7 @@ def kuhn_wattenhofer_dominating_set(
                 backend=backend,
                 _bulk=bulk,
                 _executor=executor,
+                _schedule=frac_schedule,
             )
         else:
             fractional = approximate_fractional_mds_unknown_delta(
@@ -223,36 +275,46 @@ def kuhn_wattenhofer_dominating_set(
                 backend=backend,
                 _bulk=bulk,
                 _executor=executor,
+                _schedule=frac_schedule,
             )
 
-        feasible, _ = solution_feasibility(graph, fractional.x, _bulk=bulk)
-        if not feasible:
-            raise RuntimeError(
-                "fractional phase returned an infeasible LP solution; "
-                "this indicates a bug in the distributed algorithm"
-            )
+        if faults is None:
+            feasible, _ = solution_feasibility(graph, fractional.x, _bulk=bulk)
+            if not feasible:
+                raise RuntimeError(
+                    "fractional phase returned an infeasible LP solution; "
+                    "this indicates a bug in the distributed algorithm"
+                )
 
         rounding = round_fractional_solution(
             graph,
             fractional.x,
             seed=seed,
             rule=rounding_rule,
-            require_feasible=False,  # already checked above
+            require_feasible=False,  # checked above (or deliberately skipped)
             backend=backend,
             _bulk=bulk,
             _executor=executor,
+            _schedule=rounding_schedule,
         )
     finally:
         if executor is not None:
             executor.close()
-    if not is_dominating_set(graph, rounding.dominating_set):
-        raise RuntimeError(
-            "rounding phase returned a non-dominating set; "
-            "this indicates a bug in Algorithm 1's fallback step"
-        )
+
+    dominating_set = rounding.dominating_set
+    repair_report = None
+    if faults is None:
+        if not is_dominating_set(graph, dominating_set):
+            raise RuntimeError(
+                "rounding phase returned a non-dominating set; "
+                "this indicates a bug in Algorithm 1's fallback step"
+            )
+    elif repair:
+        repair_report = repair_dominating_set(schedule_csr, dominating_set)
+        dominating_set = repair_report.repaired_set
 
     return PipelineResult(
-        dominating_set=rounding.dominating_set,
+        dominating_set=dominating_set,
         fractional=fractional,
         rounding=rounding,
         total_rounds=fractional.rounds + rounding.rounds,
@@ -263,4 +325,5 @@ def kuhn_wattenhofer_dominating_set(
         ),
         k=k,
         max_degree=delta,
+        repair=repair_report,
     )

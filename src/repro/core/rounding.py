@@ -30,21 +30,24 @@ from typing import Hashable, Mapping, Sequence
 import networkx as nx
 import numpy as np
 
-from repro.core.fractional import _sharded_driver
+from repro.core.fractional import _resolve_fault_schedule, _sharded_driver
 from repro.core.vectorized import (
     BACKENDS,
+    ROUNDING_EXCHANGES,
     SHARDED,
     SIMULATED,
     VECTORIZED,
     resolve_bulk_input,
     run_rounding_bulk,
     run_rounding_bulk_batched,
+    run_rounding_bulk_faulted,
     validate_backend,
     x_array_from_mapping,
 )
 from repro.graphs.utils import validate_simple_graph
 from repro.lp.feasibility import check_primal_feasible
 from repro.simulator.bulk import BulkGraph
+from repro.simulator.fault_schedule import FaultSchedule, FaultSpec, FaultSummary
 from repro.lp.formulation import build_lp
 from repro.simulator.metrics import ExecutionMetrics
 from repro.simulator.network import Network
@@ -100,6 +103,8 @@ class RoundingResult:
     joined_as_fallback: frozenset
     rounds: int
     metrics: ExecutionMetrics
+    #: What the fault schedule did to this run (``None`` for fault-free runs).
+    faults: FaultSummary | None = None
 
     @property
     def size(self) -> int:
@@ -193,7 +198,9 @@ def _check_rounding_input_feasible(
         )
 
 
-def _bulk_rounding_result(bulk, in_set, randomly, fallback, metrics) -> RoundingResult:
+def _bulk_rounding_result(
+    bulk, in_set, randomly, fallback, metrics, faults=None
+) -> RoundingResult:
     """Package the vectorized runner's arrays as a :class:`RoundingResult`.
 
     ``itertools.compress`` over the bool columns replaces the per-node
@@ -207,6 +214,7 @@ def _bulk_rounding_result(bulk, in_set, randomly, fallback, metrics) -> Rounding
         joined_as_fallback=frozenset(compress(bulk.nodes, fallback.tolist())),
         rounds=metrics.round_count,
         metrics=metrics,
+        faults=faults,
     )
 
 
@@ -252,8 +260,10 @@ def round_fractional_solution(
     require_feasible: bool = True,
     backend: str = SIMULATED,
     shards: int | None = None,
+    faults: FaultSpec | None = None,
     _bulk: BulkGraph | None = None,
     _executor=None,
+    _schedule: FaultSchedule | None = None,
 ) -> RoundingResult:
     """Round a fractional dominating set solution into an integral one.
 
@@ -280,6 +290,14 @@ def round_fractional_solution(
         dominating set.
     shards:
         Worker count for the sharded backend (``None`` = one per CPU).
+    faults:
+        Optional :class:`~repro.simulator.fault_schedule.FaultSpec`
+        injecting message loss and crash-stop failures.  Every backend
+        consumes the same materialized schedule and selects the same
+        nodes.  **Under faults the result may fail to dominate the
+        graph**: a crashed node cannot run the fallback step -- use
+        :func:`repro.domset.repair.repair_dominating_set` to patch the
+        outcome.  Reported on ``RoundingResult.faults``.
 
     ``graph`` may also be a CSR :class:`~repro.simulator.bulk.BulkGraph`
     (vectorized backend only); the feasibility precondition is then checked
@@ -298,6 +316,73 @@ def round_fractional_solution(
         validate_simple_graph(graph)
     if require_feasible:
         _check_rounding_input_feasible(graph, _bulk, x)
+
+    if faults is not None or _schedule is not None:
+        csr = _bulk if _bulk is not None else BulkGraph.from_graph(graph)
+        schedule = _resolve_fault_schedule(
+            faults, _schedule, csr, ROUNDING_EXCHANGES
+        )
+        summary = schedule.summary(ROUNDING_EXCHANGES)
+
+        if backend == SHARDED:
+            values = x_array_from_mapping(csr, x)
+            if np.any(values < 0):
+                raise ValueError("fractional values must be non-negative")
+            driver, owns = _sharded_driver(csr, shards, _executor)
+            try:
+                arrays = driver.run_rounding_faulted(
+                    values, seed, rule.value, schedule
+                )
+            finally:
+                if owns:
+                    driver.close()
+            return _bulk_rounding_result(csr, *arrays, faults=summary)
+
+        if backend == VECTORIZED:
+            in_set, randomly, fallback, metrics = run_rounding_bulk_faulted(
+                csr,
+                x_array_from_mapping(csr, x),
+                seed=seed,
+                multiplier_for=lambda delta_two: rounding_multiplier(delta_two, rule),
+                schedule=schedule,
+            )
+            return _bulk_rounding_result(
+                csr, in_set, randomly, fallback, metrics, faults=summary
+            )
+
+        network = Network(graph, _program_factory(x, rule), seed=seed)
+        runner = SynchronousRunner(
+            network,
+            fault_model=schedule.fault_model(csr.nodes),
+            max_rounds=16,
+        )
+        execution = runner.run()
+        if not execution.terminated:
+            raise RuntimeError(
+                "Algorithm 1 did not terminate within its round budget"
+            )
+        # Crashed programs never produce a result; only survivors' final
+        # memberships count, but the joined_randomly flag of a node that
+        # died after its coin flip is still reported.
+        dominating_set = frozenset(
+            node for node, joined in execution.results.items() if joined
+        )
+        return RoundingResult(
+            dominating_set=dominating_set,
+            joined_randomly=frozenset(
+                node
+                for node in csr.nodes
+                if getattr(network.program(node), "joined_randomly", False)
+            ),
+            joined_as_fallback=frozenset(
+                node
+                for node in csr.nodes
+                if getattr(network.program(node), "joined_as_fallback", False)
+            ),
+            rounds=execution.rounds,
+            metrics=execution.metrics,
+            faults=summary,
+        )
 
     if backend == SHARDED:
         bulk = _bulk if _bulk is not None else BulkGraph.from_graph(graph)

@@ -664,6 +664,277 @@ def run_rounding_bulk_batched(
     return results
 
 
+# ---------------------------------------------------------------------- #
+# Faulted kernels (masked reductions over a FaultSchedule)                 #
+# ---------------------------------------------------------------------- #
+#
+# Each faulted kernel replays its algorithm's exact exchange sequence, but
+# every neighbourhood reduction is restricted to the schedule's delivered
+# edges and every state update is gated by the round's alive mask, so the
+# arrays evolve exactly as the per-node programs' state does under the
+# :class:`~repro.simulator.fault_schedule.ScheduledFaults` adapter: the
+# same x-vectors, the same colours, bit for bit.  ``schedule`` may be a
+# whole-graph :class:`~repro.simulator.fault_schedule.FaultSchedule` or a
+# per-shard :class:`~repro.simulator.fault_schedule.SlabScheduleView`; the
+# kernels only touch the shared mask interface, so the identical loop body
+# serves the vectorized and sharded backends.
+#
+# The modeled metrics exclude crashed senders exchange by exchange but keep
+# the fault-free round structure (a run whose every node dies early still
+# reports the full exchange count); only the x-vectors, dominating sets and
+# drop counts are exact replicas of the simulated execution.
+
+#: Exchange (= delivery round) counts of the faulted kernels, used to size
+#: the materialized schedules.
+def algorithm2_exchanges(k: int) -> int:
+    """Delivery rounds of Algorithm 2 with locality ``k`` (2k²)."""
+    return 2 * k * k
+
+
+def algorithm3_exchanges(k: int) -> int:
+    """Delivery rounds of Algorithm 3 with locality ``k`` (4k² + 2k + 2)."""
+    return 4 * k * k + 2 * k + 2
+
+
+#: Delivery rounds of Algorithm 1 (degree, δ⁽¹⁾, membership).
+ROUNDING_EXCHANGES = 3
+
+
+def run_algorithm2_bulk_faulted(
+    bulk: BulkGraph, k: int, delta: int, schedule
+) -> tuple[np.ndarray, ExecutionMetrics]:
+    """Algorithm 2 under a materialized fault schedule.
+
+    Matches the per-node :class:`~repro.core.fractional.Algorithm2Program`
+    run under ``schedule.fault_model(...)`` bit for bit: iteration
+    ``(ℓ, m)``'s activity check runs in the round that received the
+    previous colour exchange, so it is gated by that round's alive mask
+    (the very first check runs in ``on_start`` and is ungated).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    base = delta + 1.0
+    x = np.zeros(bulk.n, dtype=np.float64)
+    white = np.ones(bulk.n, dtype=bool)
+    dynamic_degree = bulk.degrees + 1
+    metrics = BulkMetricsBuilder(bulk.degrees)
+    exchange = 0
+    gate: np.ndarray | None = None  # alive mask of the activity-check round
+
+    for ell in range(k - 1, -1, -1):
+        threshold = base ** (ell / k)
+        for m in range(k - 1, -1, -1):
+            active = dynamic_degree >= threshold
+            if gate is not None:
+                active &= gate
+            boost = 1.0 / base ** (m / k)
+            x = np.where(active, np.maximum(x, boost), x)
+
+            # Exchange x-values; colour gray once covered.
+            metrics.record_exchange(
+                float_payload_bits(x), senders=schedule.senders(exchange)
+            )
+            coverage = x + bulk.neighbor_sum(
+                x, edge_mask=schedule.delivered_edges(exchange)
+            )
+            white = np.where(
+                schedule.alive(exchange), white & (coverage < 1.0), white
+            )
+            exchange += 1
+
+            # Exchange colours; recompute the dynamic degree.
+            metrics.record_exchange(
+                BOOL_PAYLOAD_BITS, senders=schedule.senders(exchange)
+            )
+            gate = schedule.alive(exchange)
+            dynamic_degree = np.where(
+                gate,
+                bulk.neighbor_count(
+                    white, edge_mask=schedule.delivered_edges(exchange)
+                )
+                + white,
+                dynamic_degree,
+            )
+            exchange += 1
+
+    return x, metrics.build(bulk.nodes)
+
+
+def run_algorithm3_bulk_faulted(
+    bulk: BulkGraph, k: int, schedule
+) -> tuple[np.ndarray, ExecutionMetrics]:
+    """Algorithm 3 under a materialized fault schedule.
+
+    Same statement-to-round mapping as
+    :class:`~repro.core.fractional_unknown.Algorithm3Program`: the δ⁽²⁾
+    prefix occupies exchanges 0-1, each inner iteration its four exchanges
+    (activity flag, a-value, x-value, colour) and each outer iteration its
+    two refresh exchanges, with every update gated by the alive mask of
+    the round that performs it.  Like the hardened program, a node whose
+    delivered a⁽¹⁾ stayed at 0 (every witness message lost) skips the
+    x-raise instead of evaluating ``0^(−m/(m+1))``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    power_cache: dict[tuple[float, float], float] = {}
+    x = np.zeros(bulk.n, dtype=np.float64)
+    white = np.ones(bulk.n, dtype=bool)
+    dynamic_degree = bulk.degrees + 1
+    metrics = BulkMetricsBuilder(bulk.degrees)
+
+    # δ⁽²⁾ prefix: exchanges 0 and 1.
+    metrics.record_exchange(
+        int_payload_bits(bulk.degrees), senders=schedule.senders(0)
+    )
+    delta_one = bulk.closed_max(
+        bulk.degrees, edge_mask=schedule.delivered_edges(0)
+    )
+    metrics.record_exchange(
+        int_payload_bits(delta_one), senders=schedule.senders(1)
+    )
+    delta_two = bulk.closed_max(delta_one, edge_mask=schedule.delivered_edges(1))
+    gamma_two = (delta_two + 1).astype(np.float64)
+    exchange = 2
+
+    for ell in range(k - 1, -1, -1):
+        for m in range(k - 1, -1, -1):
+            # Activity threshold γ⁽²⁾^(ℓ/(ℓ+1)); flag exchange.  A dead
+            # node's stale flag is never observed: the delivered mask of
+            # this exchange already excludes it as a sender, and its own
+            # downstream uses are gated.
+            threshold = _unique_powers_cached(
+                gamma_two, ell / (ell + 1), power_cache
+            )
+            active = dynamic_degree >= threshold
+            metrics.record_exchange(
+                BOOL_PAYLOAD_BITS, senders=schedule.senders(exchange)
+            )
+            a_value = np.where(
+                white,
+                bulk.neighbor_count(
+                    active, edge_mask=schedule.delivered_edges(exchange)
+                )
+                + active,
+                0,
+            ).astype(np.int64)
+            exchange += 1
+
+            # a-value exchange; active nodes raise x to a⁽¹⁾^(−m/(m+1)).
+            metrics.record_exchange(
+                int_payload_bits(a_value), senders=schedule.senders(exchange)
+            )
+            a_one = bulk.closed_max(
+                a_value, edge_mask=schedule.delivered_edges(exchange)
+            )
+            raising = active & schedule.alive(exchange) & (a_one >= 1)
+            if raising.any():
+                boost = _unique_powers_cached(
+                    a_one[raising].astype(np.float64), -m / (m + 1), power_cache
+                )
+                x[raising] = np.maximum(x[raising], boost)
+            exchange += 1
+
+            # x-value exchange; colour gray once covered.
+            metrics.record_exchange(
+                float_payload_bits(x), senders=schedule.senders(exchange)
+            )
+            coverage = x + bulk.neighbor_sum(
+                x, edge_mask=schedule.delivered_edges(exchange)
+            )
+            white = np.where(
+                schedule.alive(exchange), white & (coverage < 1.0), white
+            )
+            exchange += 1
+
+            # Colour exchange; recompute the dynamic degree.
+            metrics.record_exchange(
+                BOOL_PAYLOAD_BITS, senders=schedule.senders(exchange)
+            )
+            dynamic_degree = np.where(
+                schedule.alive(exchange),
+                bulk.neighbor_count(
+                    white, edge_mask=schedule.delivered_edges(exchange)
+                )
+                + white,
+                dynamic_degree,
+            )
+            exchange += 1
+
+        # Two exchanges refreshing γ⁽²⁾, floored at 1.
+        metrics.record_exchange(
+            int_payload_bits(dynamic_degree), senders=schedule.senders(exchange)
+        )
+        gamma_one = bulk.closed_max(
+            dynamic_degree, edge_mask=schedule.delivered_edges(exchange)
+        )
+        exchange += 1
+        metrics.record_exchange(
+            int_payload_bits(gamma_one), senders=schedule.senders(exchange)
+        )
+        gamma_two = np.maximum(
+            bulk.closed_max(
+                gamma_one, edge_mask=schedule.delivered_edges(exchange)
+            ).astype(np.float64),
+            1.0,
+        )
+        exchange += 1
+
+    return x, metrics.build(bulk.nodes)
+
+
+def run_rounding_bulk_faulted(
+    bulk: BulkGraph,
+    x: np.ndarray,
+    seed: int | None,
+    multiplier_for: Callable[[int], float],
+    schedule,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, ExecutionMetrics]:
+    """Algorithm 1 under a materialized fault schedule.
+
+    The coin is flipped in the round that received δ⁽¹⁾ (so only nodes
+    alive at round 1 can join randomly), and the final membership -- like
+    the program's ``result()`` -- is only produced by nodes alive at
+    round 2: a node that joined randomly but crashed before announcing is
+    reported in ``joined_randomly`` yet not in the dominating set, exactly
+    as the simulated execution reports it.
+    """
+    if np.any(np.asarray(x) < 0):
+        raise ValueError("fractional values must be non-negative")
+    metrics = BulkMetricsBuilder(bulk.degrees)
+
+    metrics.record_exchange(
+        int_payload_bits(bulk.degrees), senders=schedule.senders(0)
+    )
+    delta_one = bulk.closed_max(
+        bulk.degrees, edge_mask=schedule.delivered_edges(0)
+    )
+    metrics.record_exchange(
+        int_payload_bits(delta_one), senders=schedule.senders(1)
+    )
+    delta_two = bulk.closed_max(delta_one, edge_mask=schedule.delivered_edges(1))
+
+    probability = np.minimum(
+        1.0, np.asarray(x, dtype=np.float64) * _unique_map(delta_two, multiplier_for)
+    )
+    joined_randomly = (_coin_draws(bulk, seed) < probability) & schedule.alive(1)
+
+    metrics.record_exchange(
+        BOOL_PAYLOAD_BITS, senders=schedule.senders(2)
+    )
+    surviving = schedule.alive(2)
+    joined_as_fallback = (
+        surviving
+        & ~joined_randomly
+        & ~bulk.neighbor_any(
+            joined_randomly, edge_mask=schedule.delivered_edges(2)
+        )
+    )
+    in_set = (joined_randomly | joined_as_fallback) & surviving
+    return in_set, joined_randomly, joined_as_fallback, metrics.build(bulk.nodes)
+
+
 def x_array_from_mapping(bulk: BulkGraph, x: Mapping[Hashable, float]) -> np.ndarray:
     """Convert a node -> value mapping into a ``bulk.nodes``-indexed array."""
     if len(x) == bulk.n:

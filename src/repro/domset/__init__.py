@@ -6,9 +6,12 @@
   exact optimum, the LP optimum and the Lemma-1 dual bound.
 * :mod:`~repro.domset.weighted` -- weighted dominating set cost and
   validation helpers for the weighted variant.
+* :mod:`~repro.domset.repair` -- self-healing patch for fault-degraded
+  sets, with degradation metrics.
 """
 
 from repro.domset.quality import QualityReport, quality_report
+from repro.domset.repair import RepairReport, repair_dominating_set
 from repro.domset.validation import (
     coverage_counts,
     dominated_by,
@@ -21,12 +24,14 @@ from repro.domset.weighted import weighted_cost, weighted_quality
 
 __all__ = [
     "QualityReport",
+    "RepairReport",
     "coverage_counts",
     "dominated_by",
     "is_dominating_set",
     "prune_redundant",
     "prune_redundant_bulk",
     "quality_report",
+    "repair_dominating_set",
     "uncovered_nodes",
     "weighted_cost",
     "weighted_quality",

@@ -142,6 +142,7 @@ class BulkGraph:
         # Lazy augmented-CSR structure for closed_chain_sum.
         self._chain_senders: np.ndarray | None = None
         self._chain_carry_slots: np.ndarray | None = None
+        self._chain_entry_slots: np.ndarray | None = None
         self._chain_value_mask: np.ndarray | None = None
         self._chain_row: np.ndarray | None = None
 
@@ -267,57 +268,91 @@ class BulkGraph:
     # Neighbourhood operators                                             #
     # ------------------------------------------------------------------ #
 
-    def neighbor_sum(self, values: np.ndarray) -> np.ndarray:
+    def neighbor_sum(
+        self, values: np.ndarray, edge_mask: np.ndarray | None = None
+    ) -> np.ndarray:
         """Per-node sum of ``values`` over the *open* neighbourhood.
 
         Accumulates each row left to right in ascending neighbour order,
         reproducing the node programs' ``sum(neighbor_payloads.values())``
-        bit for bit.
+        bit for bit.  ``edge_mask`` (one bool per CSR position) drops
+        masked-out entries from the accumulation entirely -- the surviving
+        entries keep their relative order, so the sum equals the simulated
+        inbox sum of only the delivered messages, bit for bit.
         """
+        values = np.asarray(values, dtype=np.float64)
+        if edge_mask is None:
+            return np.bincount(
+                self.row, weights=values[self.col], minlength=self.n
+            )
+        edge_mask = np.asarray(edge_mask, dtype=bool)
         return np.bincount(
-            self.row,
-            weights=np.asarray(values, dtype=np.float64)[self.col],
+            self.row[edge_mask],
+            weights=values[self.col[edge_mask]],
             minlength=self.n,
         )
 
-    def neighbor_count(self, flags: np.ndarray) -> np.ndarray:
-        """Per-node count of ``True`` flags over the open neighbourhood."""
+    def neighbor_count(
+        self, flags: np.ndarray, edge_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-node count of ``True`` flags over the open neighbourhood.
+
+        ``edge_mask`` restricts the count to unmasked CSR positions.
+        """
         mask = np.asarray(flags, dtype=bool)[self.col]
+        if edge_mask is not None:
+            mask = mask & np.asarray(edge_mask, dtype=bool)
         return np.bincount(self.row[mask], minlength=self.n)
 
     def closed_max(
-        self, values: np.ndarray, senders: np.ndarray | None = None
+        self,
+        values: np.ndarray,
+        senders: np.ndarray | None = None,
+        edge_mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """Per-node maximum of ``values`` over the *closed* neighbourhood.
 
         ``senders`` optionally masks which neighbours contribute: entries
         with a ``False`` sender flag are ignored, exactly as the simulator
         drops the values of nodes that terminated and no longer broadcast.
-        A node's *own* value always participates (the per-node programs
-        seed their running maximum with it before reading the inbox).
+        ``edge_mask`` masks individual CSR positions the same way (dropped
+        messages under fault injection).  A node's *own* value always
+        participates (the per-node programs seed their running maximum
+        with it before reading the inbox).
         """
         values = np.asarray(values)
         result = values.copy()
         if self.col.size:
             contributions = values[self.col]
+            keep: np.ndarray | None = None
             if senders is not None:
+                keep = np.asarray(senders, dtype=bool)[self.col]
+            if edge_mask is not None:
+                edge_mask = np.asarray(edge_mask, dtype=bool)
+                keep = edge_mask if keep is None else keep & edge_mask
+            if keep is not None:
                 floor = (
                     np.iinfo(values.dtype).min
                     if np.issubdtype(values.dtype, np.integer)
                     else -np.inf
                 )
-                contributions = np.where(
-                    np.asarray(senders, dtype=bool)[self.col], contributions, floor
-                )
+                contributions = np.where(keep, contributions, floor)
             row_max = np.maximum.reduceat(contributions, self._nonempty_starts)
             result[self._nonempty] = np.maximum(values[self._nonempty], row_max)
         return result
 
-    def neighbor_any(self, flags: np.ndarray) -> np.ndarray:
+    def neighbor_any(
+        self, flags: np.ndarray, edge_mask: np.ndarray | None = None
+    ) -> np.ndarray:
         """Whether any open-neighbourhood flag is set, per node."""
-        return self.neighbor_count(flags) > 0
+        return self.neighbor_count(flags, edge_mask=edge_mask) > 0
 
-    def closed_chain_sum(self, carry: np.ndarray, values: np.ndarray) -> np.ndarray:
+    def closed_chain_sum(
+        self,
+        carry: np.ndarray,
+        values: np.ndarray,
+        edge_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Left-to-right chain ``carry_i + Σ values_j`` over closed N[i].
 
         For each node ``i`` this evaluates
@@ -331,6 +366,11 @@ class BulkGraph:
         the order the Lemma 4/7 z-value reconstruction in
         :mod:`repro.core.invariants` uses -- so results are bitwise equal
         to that Python loop, not merely close.
+
+        ``edge_mask`` (one bool per CSR position) removes masked-out
+        neighbour contributions from the chain entirely; the carry and the
+        node's own value always participate (both are local state, not
+        messages).
         """
         if self._chain_senders is None:
             # Augmented CSR: per row, one leading carry slot, then the
@@ -359,6 +399,7 @@ class BulkGraph:
             senders[self_slots] = np.arange(n, dtype=np.int64)
             self._chain_senders = senders
             self._chain_carry_slots = carry_slots
+            self._chain_entry_slots = entry_slots
             self._chain_value_mask = np.ones(total, dtype=bool)
             self._chain_value_mask[carry_slots] = False
             self._chain_row = np.repeat(np.arange(n, dtype=np.int64), slots)
@@ -368,7 +409,14 @@ class BulkGraph:
         weights[mask] = np.asarray(values, dtype=np.float64)[
             self._chain_senders[mask]
         ]
-        return np.bincount(self._chain_row, weights=weights, minlength=self.n)
+        if edge_mask is None:
+            return np.bincount(self._chain_row, weights=weights, minlength=self.n)
+        edge_mask = np.asarray(edge_mask, dtype=bool)
+        keep = np.ones(self._chain_senders.size, dtype=bool)
+        keep[self._chain_entry_slots[~edge_mask]] = False
+        return np.bincount(
+            self._chain_row[keep], weights=weights[keep], minlength=self.n
+        )
 
 
 class BulkMetricsBuilder:

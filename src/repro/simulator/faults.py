@@ -16,6 +16,7 @@ A fault model is consulted by the runner at two points:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol, runtime_checkable
@@ -52,25 +53,36 @@ class MessageLossFaults:
 
     Messages to/from protected nodes (``protected``) are never dropped,
     which is useful for targeted experiments.
+
+    Each drop decision is a pure function of ``(seed, round, sender,
+    receiver)`` -- a hashed counter-based draw -- so it does not depend on
+    the order in which the runner happens to iterate messages.  Two runs
+    that deliver the same message set in a different order (or interleave
+    unrelated messages) drop exactly the same messages.
     """
 
     loss_probability: float
     seed: int = 0
     protected: frozenset[int] = frozenset()
-    _rng: random.Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability <= 1.0:
             raise ValueError("loss_probability must be in [0, 1]")
-        self._rng = random.Random(self.seed)
 
     def node_alive(self, node_id: int, round_index: int) -> bool:
         return True
 
+    def _draw(self, round_index: int, sender: int, receiver: int) -> float:
+        key = f"{self.seed}:{round_index}:{sender}:{receiver}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
+
     def deliver(self, message: Message, round_index: int) -> bool:
         if message.sender in self.protected or message.receiver in self.protected:
             return True
-        return self._rng.random() >= self.loss_probability
+        return self._draw(round_index, message.sender, message.receiver) >= (
+            self.loss_probability
+        )
 
 
 @dataclass
@@ -80,10 +92,15 @@ class CrashStopFaults:
     Parameters
     ----------
     crash_rounds:
-        Mapping ``node_id -> round`` after which the node stops executing
-        and stops sending.  Nodes not present never crash.  Messages *to*
-        a crashed node are still "delivered" (they land in a dead mailbox),
-        matching the usual crash-stop semantics.
+        Mapping ``node_id -> round`` at which the node crashes: it does not
+        execute round ``crash_rounds[v]`` or any later round, and nothing
+        it sent is delivered in round ``crash_rounds[v]`` or later (its
+        final in-flight messages are lost with it).  ``node_alive`` and
+        ``deliver`` therefore use the *same* comparison -- a node that does
+        not execute a round cannot have messages arriving in that round.
+        Nodes not present never crash.  Messages *to* a crashed node are
+        still "delivered" (they land in a dead mailbox), matching the usual
+        crash-stop semantics.
     """
 
     crash_rounds: dict[int, int] = field(default_factory=dict)
@@ -94,11 +111,16 @@ class CrashStopFaults:
             return True
         return round_index < crash_round
 
+    def is_crashed(self, node_id: int, round_index: int) -> bool:
+        """Whether ``node_id`` is permanently dead from ``round_index`` on."""
+        crash_round = self.crash_rounds.get(node_id)
+        return crash_round is not None and round_index >= crash_round
+
     def deliver(self, message: Message, round_index: int) -> bool:
         crash_round = self.crash_rounds.get(message.sender)
         if crash_round is None:
             return True
-        return round_index <= crash_round
+        return round_index < crash_round
 
     @classmethod
     def random_crashes(

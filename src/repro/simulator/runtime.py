@@ -50,13 +50,21 @@ class ExecutionResult:
         The execution trace (empty unless tracing was enabled and programs
         recorded events).
     terminated:
-        Whether every node terminated before the round limit.
+        Whether every node terminated before the round limit.  Nodes
+        permanently crashed by the fault model (``is_crashed``) count as
+        done: a crashed node can never terminate, and waiting for it would
+        turn every crash into a round-limit timeout.
+    drops:
+        Per-delivery-round ``(dropped, delivered)`` message counts, as
+        decided by the fault model.  Under :class:`NoFaults` every round
+        reports zero drops.
     """
 
     results: dict[int, Any]
     metrics: ExecutionMetrics
     trace: "ExecutionTrace | ColumnarTrace"
     terminated: bool
+    drops: dict[int, tuple[int, int]] = field(default_factory=dict)
 
     @property
     def rounds(self) -> int:
@@ -148,7 +156,7 @@ class SynchronousRunner:
             metrics.record_messages(startup_metrics, stamped)
             self._deliver(stamped, mailboxes, round_index=0)
 
-        terminated = network.all_terminated()
+        terminated = self._all_done(next_round=0)
         round_index = 0
         while not terminated and round_index < self._max_rounds:
             inboxes = mailboxes
@@ -177,8 +185,8 @@ class SynchronousRunner:
                 metrics.record_messages(round_metrics, stamped)
                 self._deliver(stamped, mailboxes, round_index=round_index + 1)
 
-            terminated = network.all_terminated()
             round_index += 1
+            terminated = self._all_done(next_round=round_index)
 
         if count_drops and self._drops:
             # One dense per-round entry (a column in columnar form); the
@@ -199,11 +207,34 @@ class SynchronousRunner:
             metrics=metrics,
             trace=trace,
             terminated=terminated,
+            drops={
+                delivery_round: (counts[0], counts[1])
+                for delivery_round, counts in sorted(self._drops.items())
+            },
         )
 
     # ------------------------------------------------------------------ #
     # Internals                                                           #
     # ------------------------------------------------------------------ #
+
+    def _all_done(self, next_round: int) -> bool:
+        """Whether execution is over before ``next_round`` runs.
+
+        True when every node either terminated or is permanently crashed
+        (fault models expose the latter through an optional ``is_crashed``
+        hook; models without it only finish by unanimous termination).
+        """
+        network = self._network
+        if network.all_terminated():
+            return True
+        is_crashed = getattr(self._fault_model, "is_crashed", None)
+        if is_crashed is None:
+            return False
+        return all(
+            network.program(node_id).is_terminated()
+            or is_crashed(node_id, next_round)
+            for node_id in network.node_ids
+        )
 
     def _validate_outbox(self, node_id: int, outbox: Sequence[Message]) -> None:
         """Reject messages that violate the LOCAL communication model."""

@@ -37,6 +37,24 @@ operator.  Their control flow is driven only by global parameters (k, Δ)
 -- the one data-dependent branch (Algorithm 3's ``active.any()`` boost)
 contains no exchange -- so all shards execute the same superstep sequence
 in lockstep, including shards that own zero vertices.
+
+**Fault injection** rides the same machinery: the faulted kernels take a
+schedule view alongside the slab, and each worker re-materializes the
+identical :class:`~repro.simulator.fault_schedule.FaultSchedule` from the
+spec (the masks are pure functions of the seed) against the shared global
+CSR, then slices it to its slab with
+:meth:`~repro.simulator.fault_schedule.FaultSchedule.slab_view`.  Every
+slab entry keeps its global CSR position's mask decision, so the sharded
+result stays bitwise equal to the vectorized and simulated backends.
+
+**Crash tolerance**: the driver heartbeats its workers while collecting
+replies.  A dead worker aborts the superstep barrier (releasing its
+peers), is respawned, and the whole command is replayed -- the kernels
+are deterministic, so the replay reproduces the exact result the
+uninterrupted run would have produced.  When the respawn budget is
+exhausted the driver degrades gracefully: it emits a structured
+:class:`ShardDegradationWarning` and re-runs the command on the
+single-process vectorized backend in the parent.
 """
 
 from __future__ import annotations
@@ -45,6 +63,7 @@ import multiprocessing
 import os
 import resource
 import traceback
+import warnings
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable, Hashable, Sequence
@@ -52,6 +71,7 @@ from typing import Callable, Hashable, Sequence
 import numpy as np
 
 from repro.simulator.bulk import BulkGraph
+from repro.simulator.fault_schedule import FaultSchedule, FaultSpec
 from repro.simulator.metrics import ExecutionMetrics, RoundMetrics
 
 #: Fibonacci multiplicative-hash constants for the vertex -> shard map.
@@ -124,6 +144,11 @@ class ShardLayout:
         ``len(owned) + rank``.  Every row preserves the global CSR's
         within-row order, which is what keeps ``neighbor_sum`` bitwise
         equal to the single-process operator.
+    flat:
+        Global CSR positions of the slab entries, in slab order.  This is
+        the alignment key for fault masks: slicing a length-m edge mask
+        with ``flat`` gives each slab entry exactly the keep/drop decision
+        its global CSR position drew.
     degrees:
         Owned vertices' global degrees (the slab rows are complete).
     """
@@ -135,6 +160,7 @@ class ShardLayout:
     indptr: np.ndarray
     col: np.ndarray
     row: np.ndarray
+    flat: np.ndarray
     degrees: np.ndarray
 
     @classmethod
@@ -156,6 +182,7 @@ class ShardLayout:
             )
             cols_global = np.asarray(col[flat], dtype=np.int64)
         else:
+            flat = np.zeros(0, dtype=np.int64)
             cols_global = np.zeros(0, dtype=np.int64)
         ghosts = np.setdiff1d(cols_global, owned)
         lookup = np.full(n, -1, dtype=np.int64)
@@ -169,6 +196,7 @@ class ShardLayout:
             indptr=local_indptr,
             col=lookup[cols_global] if total else cols_global,
             row=np.repeat(np.arange(owned.size, dtype=np.int64), counts),
+            flat=flat,
             degrees=counts,
         )
 
@@ -227,31 +255,58 @@ class ShardSlab:
     # Neighbourhood operators (mirroring BulkGraph bit for bit)           #
     # ------------------------------------------------------------------ #
 
-    def neighbor_sum(self, values: np.ndarray) -> np.ndarray:
-        """Per-node open-neighbourhood sum; row order matches the global CSR."""
+    def neighbor_sum(
+        self, values: np.ndarray, edge_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-node open-neighbourhood sum; row order matches the global CSR.
+
+        ``edge_mask`` (one bool per *slab* position, e.g. from a
+        :class:`~repro.simulator.fault_schedule.SlabScheduleView`) drops
+        masked-out entries from the accumulation, exactly as the
+        whole-graph operator does for the matching global positions.
+        """
         ghost_values = self._exchange(values)
         combined = np.concatenate(
             (np.asarray(values, dtype=np.float64), ghost_values)
         )
+        if edge_mask is None:
+            return np.bincount(
+                self.layout.row,
+                weights=combined[self.layout.col],
+                minlength=self.n,
+            )
+        edge_mask = np.asarray(edge_mask, dtype=bool)
         return np.bincount(
-            self.layout.row,
-            weights=combined[self.layout.col],
+            self.layout.row[edge_mask],
+            weights=combined[self.layout.col[edge_mask]],
             minlength=self.n,
         )
 
-    def neighbor_count(self, flags: np.ndarray) -> np.ndarray:
+    def neighbor_count(
+        self, flags: np.ndarray, edge_mask: np.ndarray | None = None
+    ) -> np.ndarray:
         """Per-node count of set flags over the open neighbourhood."""
         ghost_flags = self._exchange(flags)
         combined = np.concatenate(
             (np.asarray(flags, dtype=bool), ghost_flags.astype(bool))
         )
         mask = combined[self.layout.col]
+        if edge_mask is not None:
+            mask = mask & np.asarray(edge_mask, dtype=bool)
         return np.bincount(self.layout.row[mask], minlength=self.n)
 
     def closed_max(
-        self, values: np.ndarray, senders: np.ndarray | None = None
+        self,
+        values: np.ndarray,
+        senders: np.ndarray | None = None,
+        edge_mask: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Per-node closed-neighbourhood maximum (no sender masking)."""
+        """Per-node closed-neighbourhood maximum (no sender masking).
+
+        ``edge_mask`` suppresses individual slab entries (dropped
+        messages); the node's own value always participates, matching
+        :meth:`BulkGraph.closed_max`.
+        """
         if senders is not None:
             raise NotImplementedError(
                 "sender-masked closed_max is not used by the sharded kernels"
@@ -262,13 +317,24 @@ class ShardSlab:
         result = values.copy()
         if self.layout.col.size:
             contributions = combined[self.layout.col]
+            if edge_mask is not None:
+                floor = (
+                    np.iinfo(values.dtype).min
+                    if np.issubdtype(values.dtype, np.integer)
+                    else -np.inf
+                )
+                contributions = np.where(
+                    np.asarray(edge_mask, dtype=bool), contributions, floor
+                )
             row_max = np.maximum.reduceat(contributions, self._nonempty_starts)
             result[self._nonempty] = np.maximum(values[self._nonempty], row_max)
         return result
 
-    def neighbor_any(self, flags: np.ndarray) -> np.ndarray:
+    def neighbor_any(
+        self, flags: np.ndarray, edge_mask: np.ndarray | None = None
+    ) -> np.ndarray:
         """Whether any open-neighbourhood flag is set, per node."""
-        return self.neighbor_count(flags) > 0
+        return self.neighbor_count(flags, edge_mask=edge_mask) > 0
 
 
 # ---------------------------------------------------------------------- #
@@ -284,7 +350,37 @@ def _rounding_multiplier_for(rule_value: str) -> Callable[[int], float]:
     return lambda delta_two: rounding_multiplier(delta_two, rule)
 
 
-def _execute_command(slab: ShardSlab, command: tuple):
+def _slab_schedule_view(
+    slab: ShardSlab,
+    indptr: np.ndarray,
+    col: np.ndarray,
+    spec: FaultSpec,
+    salt: int,
+    rounds: int,
+    already_dead: np.ndarray | None,
+):
+    """Re-materialize the driver's fault schedule, sliced to this slab.
+
+    The masks are pure functions of ``(seed, salt, round)`` over the
+    global CSR, so rebuilding from the small picklable pieces (spec, salt,
+    rounds, prior-phase deaths) against the shared-memory CSR yields a
+    schedule identical to the driver's, and ``slab_view`` hands the
+    kernel exactly the global decisions for this shard's entries.
+    """
+    schedule = FaultSchedule(
+        spec=spec,
+        indptr=indptr,
+        col=col,
+        rounds=rounds,
+        salt=salt,
+        already_dead=already_dead,
+    )
+    return schedule.slab_view(slab.layout.owned, slab.layout.flat)
+
+
+def _execute_command(
+    slab: ShardSlab, command: tuple, indptr: np.ndarray, col: np.ndarray
+):
     """Run one driver command on this shard's slab (unmodified kernels)."""
     from repro.core import vectorized
 
@@ -306,6 +402,27 @@ def _execute_command(slab: ShardSlab, command: tuple):
         x = slab.read_mail_owned()
         return vectorized.run_rounding_bulk_batched(
             slab, x, seeds, _rounding_multiplier_for(rule_value)
+        )
+    if op == "alg2_faulted":
+        _, k, delta, spec, salt, rounds, already_dead = command
+        view = _slab_schedule_view(
+            slab, indptr, col, spec, salt, rounds, already_dead
+        )
+        return vectorized.run_algorithm2_bulk_faulted(slab, k, delta, view)
+    if op == "alg3_faulted":
+        _, k, spec, salt, rounds, already_dead = command
+        view = _slab_schedule_view(
+            slab, indptr, col, spec, salt, rounds, already_dead
+        )
+        return vectorized.run_algorithm3_bulk_faulted(slab, k, view)
+    if op == "rounding_faulted":
+        _, seed, rule_value, spec, salt, rounds, already_dead = command
+        view = _slab_schedule_view(
+            slab, indptr, col, spec, salt, rounds, already_dead
+        )
+        x = slab.read_mail_owned()
+        return vectorized.run_rounding_bulk_faulted(
+            slab, x, seed, _rounding_multiplier_for(rule_value), view
         )
     if op == "rss":
         return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
@@ -347,7 +464,7 @@ def _shard_worker(
         if command[0] == "stop":
             return
         try:
-            conn.send(("ok", _execute_command(slab, command)))
+            conn.send(("ok", _execute_command(slab, command, indptr, col)))
         except BaseException:
             # Break the barrier so peer shards blocked mid-superstep fail
             # fast instead of waiting out the timeout.
@@ -390,6 +507,29 @@ def _merge_metrics(parts: Sequence[ExecutionMetrics]) -> ExecutionMetrics:
     return merged
 
 
+class ShardDegradationWarning(RuntimeWarning):
+    """The sharded engine lost workers and fell back to single-process.
+
+    Structured so callers (and tests) can inspect what failed without
+    parsing the message: ``shard_ids`` are the workers that died,
+    ``exit_codes`` their exit codes (aligned with ``shard_ids``), and
+    ``command`` the name of the command that was being replayed when the
+    respawn budget ran out.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_ids: tuple[int, ...] = (),
+        exit_codes: tuple[int | None, ...] = (),
+        command: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_ids = shard_ids
+        self.exit_codes = exit_codes
+        self.command = command
+
+
 class ShardedDriver:
     """Parent-side driver for a pool of shard workers over one graph.
 
@@ -399,14 +539,39 @@ class ShardedDriver:
     resident between phases, so a pipeline (fractional solve + rounding)
     pays partitioning and process start-up once.
 
+    The driver is crash tolerant: while waiting on replies it heartbeats
+    every worker (``heartbeat`` seconds).  A worker found dead aborts the
+    superstep barrier so its peers fail fast, gets respawned (up to
+    ``max_respawns`` workers over the driver's lifetime), and the whole
+    command -- including any mailbox payload -- is replayed; determinism
+    makes the replay bitwise identical to an uninterrupted run.  Once the
+    budget is exhausted the driver emits a
+    :class:`ShardDegradationWarning` and serves this and all later
+    commands on the single-process vectorized backend in the parent.
+
     Use as a context manager, or call :meth:`close` explicitly.
     """
 
-    def __init__(self, bulk: BulkGraph, shards: int | None = None) -> None:
+    def __init__(
+        self,
+        bulk: BulkGraph,
+        shards: int | None = None,
+        heartbeat: float = 1.0,
+        max_respawns: int = 2,
+    ) -> None:
         if not isinstance(bulk, BulkGraph):
             raise TypeError("ShardedDriver requires a BulkGraph")
+        if heartbeat <= 0:
+            raise ValueError("heartbeat must be positive")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
         self.shards = resolve_shard_count(shards)
         self.n = bulk.n
+        self._bulk = bulk
+        self._heartbeat = float(heartbeat)
+        self._max_respawns = int(max_respawns)
+        self._respawns_used = 0
+        self._degraded = False
         self._closed = False
         self._mail = None
         self._degrees = None
@@ -421,35 +586,19 @@ class ShardedDriver:
                 "start method (POSIX); use backend='vectorized' instead"
             )
         context = multiprocessing.get_context("fork")
+        self._context = context
 
         try:
-            indptr = self._share(bulk.indptr)
-            col = self._share(bulk.col)
+            self._indptr = self._share(bulk.indptr)
+            self._col = self._share(bulk.col)
             # The degree array rides in shared memory alongside the CSR so
             # worker slabs slice it instead of re-deriving private copies.
             self._degrees = self._share(bulk.degrees)
             self._mail = self._share(np.zeros(self.n, dtype=np.float64))
-            barrier = context.Barrier(self.shards)
-            nodes = bulk.nodes
+            self._barrier = context.Barrier(self.shards)
+            self._nodes = bulk.nodes
             for shard_id in range(self.shards):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_shard_worker,
-                    args=(
-                        shard_id,
-                        self.shards,
-                        child_conn,
-                        barrier,
-                        indptr,
-                        col,
-                        self._degrees,
-                        self._mail,
-                        nodes,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
+                process, parent_conn = self._spawn(shard_id)
                 self._procs.append(process)
                 self._conns.append(parent_conn)
             self._owned = self._collect()
@@ -468,6 +617,28 @@ class ShardedDriver:
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
         view[:] = array
         return view
+
+    def _spawn(self, shard_id: int):
+        """Fork one shard worker; returns ``(process, parent_conn)``."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(
+                shard_id,
+                self.shards,
+                child_conn,
+                self._barrier,
+                self._indptr,
+                self._col,
+                self._degrees,
+                self._mail,
+                self._nodes,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
 
     def __enter__(self) -> "ShardedDriver":
         return self
@@ -516,26 +687,26 @@ class ShardedDriver:
     # Command plumbing                                                    #
     # ------------------------------------------------------------------ #
 
-    def _request(self, command: tuple) -> list:
-        """Broadcast one command to every shard and collect the replies."""
-        if self._closed or self._broken:
-            raise RuntimeError("ShardedDriver is closed or broken")
-        for conn in self._conns:
-            conn.send(command)
-        return self._collect()
-
     def _collect(self) -> list:
+        """Strict reply collection (start-up handshake): any death is fatal."""
         results = []
         errors = []
         for shard_id, (conn, process) in enumerate(zip(self._conns, self._procs)):
-            while not conn.poll(1.0):
+            while not conn.poll(self._heartbeat):
                 if not process.is_alive():
                     self._broken = True
                     raise RuntimeError(
                         f"shard worker {shard_id} died unexpectedly "
                         f"(exit code {process.exitcode})"
                     )
-            status, payload = conn.recv()
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                self._broken = True
+                raise RuntimeError(
+                    f"shard worker {shard_id} died unexpectedly "
+                    f"(exit code {process.exitcode})"
+                )
             if status == "error":
                 errors.append((shard_id, payload))
             else:
@@ -547,6 +718,142 @@ class ShardedDriver:
                 f"shard worker {shard_id} failed:\n{payload}"
             )
         return results
+
+    def _attempt(self, command: tuple) -> tuple[dict, dict, list[int]]:
+        """One broadcast/collect pass, surviving worker deaths.
+
+        Returns ``(results, errors, dead)``: per-shard "ok" payloads,
+        per-shard error tracebacks, and the shards found dead.  On the
+        first death the superstep barrier is aborted so surviving workers
+        fail their in-flight command fast and park back on their pipes --
+        a precondition for safely resetting the barrier during recovery.
+        """
+        dead: list[int] = []
+        delivered: list[int] = []
+        for shard_id, conn in enumerate(self._conns):
+            try:
+                conn.send(command)
+                delivered.append(shard_id)
+            except (BrokenPipeError, OSError):
+                dead.append(shard_id)
+        if dead:
+            self._barrier.abort()
+        results: dict[int, object] = {}
+        errors: dict[int, str] = {}
+        for shard_id in delivered:
+            if shard_id in dead:
+                continue
+            conn = self._conns[shard_id]
+            reply = None
+            while True:
+                if conn.poll(self._heartbeat):
+                    # A worker killed mid-reply leaves the pipe readable
+                    # with EOF, so poll() returns True without a message.
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, OSError):
+                        dead.append(shard_id)
+                        self._barrier.abort()
+                    break
+                newly_dead = [
+                    peer
+                    for peer in delivered
+                    if peer not in dead and not self._procs[peer].is_alive()
+                ]
+                if newly_dead:
+                    dead.extend(newly_dead)
+                    # Release peers blocked mid-superstep; they error out
+                    # and reply, so this loop still terminates.
+                    self._barrier.abort()
+                    if shard_id in newly_dead:
+                        break
+            if reply is None:
+                continue
+            status, payload = reply
+            if status == "error":
+                errors[shard_id] = payload
+            else:
+                results[shard_id] = payload
+        return results, errors, dead
+
+    def _recover(self, dead: list[int]) -> bool:
+        """Respawn dead workers within budget; False = budget exhausted.
+
+        Callers guarantee every surviving worker has replied to the
+        aborted command (so nobody can touch the barrier) before the
+        barrier is reset and replacements are forked.
+        """
+        self._respawns_used += len(dead)
+        if self._respawns_used > self._max_respawns:
+            return False
+        self._barrier.reset()
+        for shard_id in dead:
+            try:
+                self._conns[shard_id].close()
+            except OSError:
+                pass
+            self._procs[shard_id].join(timeout=1.0)
+            process, parent_conn = self._spawn(shard_id)
+            self._procs[shard_id] = process
+            self._conns[shard_id] = parent_conn
+            while not parent_conn.poll(self._heartbeat):
+                if not process.is_alive():
+                    return False
+            try:
+                status, payload = parent_conn.recv()
+            except (EOFError, OSError):
+                return False
+            if status != "ready":
+                return False
+            self._owned[shard_id] = payload
+        return True
+
+    def _request(
+        self, command: tuple, mail_payload: np.ndarray | None = None
+    ) -> list | None:
+        """Broadcast a command with crash recovery and replay.
+
+        ``mail_payload`` is re-published into the mailbox before every
+        attempt (supersteps overwrite the mailbox, so a replayed command
+        must not read a clobbered payload).  Returns the per-shard
+        replies in shard order, or ``None`` when the driver degraded to
+        single-process fallback (the caller then runs the equivalent
+        vectorized kernel on the whole graph).
+        """
+        if self._closed:
+            raise RuntimeError("ShardedDriver is closed")
+        if self._broken:
+            raise RuntimeError("ShardedDriver is broken")
+        while not self._degraded:
+            if mail_payload is not None:
+                self._mail[:] = mail_payload
+            results, errors, dead = self._attempt(command)
+            if not dead:
+                if errors:
+                    self._broken = True
+                    shard_id = min(errors)
+                    raise RuntimeError(
+                        f"shard worker {shard_id} failed:\n{errors[shard_id]}"
+                    )
+                return [results[shard_id] for shard_id in range(self.shards)]
+            exit_codes = tuple(self._procs[shard_id].exitcode for shard_id in dead)
+            if self._recover(dead):
+                continue
+            self._degraded = True
+            warnings.warn(
+                ShardDegradationWarning(
+                    f"shard worker(s) {sorted(dead)} died "
+                    f"(exit codes {list(exit_codes)}) during {command[0]!r} and "
+                    f"the respawn budget (max_respawns={self._max_respawns}) "
+                    "is exhausted; degrading to the single-process "
+                    "vectorized backend",
+                    shard_ids=tuple(sorted(dead)),
+                    exit_codes=exit_codes,
+                    command=str(command[0]),
+                ),
+                stacklevel=3,
+            )
+        return None
 
     def _gather(self, owned_arrays: Sequence[np.ndarray], dtype) -> np.ndarray:
         """Scatter per-shard owned-length arrays back into global order."""
@@ -561,8 +868,10 @@ class ShardedDriver:
 
     def _run_multi_k(
         self, command: tuple, k_values: Sequence[int]
-    ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]]:
+    ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]] | None:
         per_shard = self._request(command)
+        if per_shard is None:
+            return None
         results: dict[int, tuple[np.ndarray, ExecutionMetrics]] = {}
         for k in k_values:
             values = self._gather(
@@ -576,15 +885,27 @@ class ShardedDriver:
         self, k_values: Sequence[int], delta: int
     ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]]:
         """Algorithm 2 (Δ known) as sharded supersteps, one pass per k sweep."""
+        from repro.core import vectorized
+
         k_values = tuple(k_values)
-        return self._run_multi_k(("alg2", k_values, delta), k_values)
+        results = self._run_multi_k(("alg2", k_values, delta), k_values)
+        if results is None:
+            results = vectorized.run_algorithm2_bulk_multi_k(
+                self._bulk, k_values, delta=delta
+            )
+        return results
 
     def run_algorithm3_multi_k(
         self, k_values: Sequence[int]
     ) -> dict[int, tuple[np.ndarray, ExecutionMetrics]]:
         """Algorithm 3 (Δ unknown) as sharded supersteps."""
+        from repro.core import vectorized
+
         k_values = tuple(k_values)
-        return self._run_multi_k(("alg3", k_values), k_values)
+        results = self._run_multi_k(("alg3", k_values), k_values)
+        if results is None:
+            results = vectorized.run_algorithm3_bulk_multi_k(self._bulk, k_values)
+        return results
 
     def run_weighted_algorithm2(
         self, k: int, delta: int, costs: np.ndarray, c_max: float
@@ -592,8 +913,16 @@ class ShardedDriver:
         """Weighted Algorithm 2; per-node costs travel via the mailbox."""
         if self._mail is None:
             raise RuntimeError("ShardedDriver is closed")
-        self._mail[:] = np.asarray(costs, dtype=np.float64)
-        per_shard = self._request(("weighted", k, delta, float(c_max)))
+        costs = np.asarray(costs, dtype=np.float64)
+        per_shard = self._request(
+            ("weighted", k, delta, float(c_max)), mail_payload=costs
+        )
+        if per_shard is None:
+            from repro.core import vectorized
+
+            return vectorized.run_weighted_algorithm2_bulk(
+                self._bulk, k=k, delta=delta, costs=costs, c_max=c_max
+            )
         values = self._gather([entry[0] for entry in per_shard], np.float64)
         metrics = _merge_metrics([entry[1] for entry in per_shard])
         return values, metrics
@@ -604,9 +933,15 @@ class ShardedDriver:
         """Algorithm 1 for many seeds over one x-vector (mailbox-published)."""
         if self._mail is None:
             raise RuntimeError("ShardedDriver is closed")
-        self._mail[:] = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
         seeds = tuple(seeds)
-        per_shard = self._request(("rounding", seeds, rule_value))
+        per_shard = self._request(("rounding", seeds, rule_value), mail_payload=x)
+        if per_shard is None:
+            from repro.core import vectorized
+
+            return vectorized.run_rounding_bulk_batched(
+                self._bulk, x, seeds, _rounding_multiplier_for(rule_value)
+            )
         results = []
         for trial in range(len(seeds)):
             in_set = self._gather(
@@ -622,6 +957,90 @@ class ShardedDriver:
             results.append((in_set, joined_randomly, joined_as_fallback, metrics))
         return results
 
+    # ------------------------------------------------------------------ #
+    # Faulted superstep programs                                          #
+    # ------------------------------------------------------------------ #
+    #
+    # Workers re-materialize the schedule from its small picklable pieces
+    # (spec, salt, rounds, prior-phase deaths) against the shared CSR, so
+    # the full per-round masks never cross the pipes.
+
+    @staticmethod
+    def _schedule_pieces(schedule: FaultSchedule) -> tuple:
+        return (
+            schedule.spec,
+            schedule.salt,
+            schedule.rounds,
+            schedule.already_dead,
+        )
+
+    def run_algorithm2_faulted(
+        self, k: int, delta: int, schedule: FaultSchedule
+    ) -> tuple[np.ndarray, ExecutionMetrics]:
+        """Algorithm 2 under a fault schedule, sharded (bitwise = vectorized)."""
+        command = ("alg2_faulted", int(k), int(delta), *self._schedule_pieces(schedule))
+        per_shard = self._request(command)
+        if per_shard is None:
+            from repro.core import vectorized
+
+            return vectorized.run_algorithm2_bulk_faulted(
+                self._bulk, k, delta, schedule
+            )
+        values = self._gather([entry[0] for entry in per_shard], np.float64)
+        return values, _merge_metrics([entry[1] for entry in per_shard])
+
+    def run_algorithm3_faulted(
+        self, k: int, schedule: FaultSchedule
+    ) -> tuple[np.ndarray, ExecutionMetrics]:
+        """Algorithm 3 under a fault schedule, sharded (bitwise = vectorized)."""
+        command = ("alg3_faulted", int(k), *self._schedule_pieces(schedule))
+        per_shard = self._request(command)
+        if per_shard is None:
+            from repro.core import vectorized
+
+            return vectorized.run_algorithm3_bulk_faulted(self._bulk, k, schedule)
+        values = self._gather([entry[0] for entry in per_shard], np.float64)
+        return values, _merge_metrics([entry[1] for entry in per_shard])
+
+    def run_rounding_faulted(
+        self,
+        x: np.ndarray,
+        seed: int | None,
+        rule_value: str,
+        schedule: FaultSchedule,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, ExecutionMetrics]:
+        """Algorithm 1 under a fault schedule (x published via the mailbox)."""
+        if self._mail is None:
+            raise RuntimeError("ShardedDriver is closed")
+        x = np.asarray(x, dtype=np.float64)
+        command = (
+            "rounding_faulted",
+            seed,
+            rule_value,
+            *self._schedule_pieces(schedule),
+        )
+        per_shard = self._request(command, mail_payload=x)
+        if per_shard is None:
+            from repro.core import vectorized
+
+            return vectorized.run_rounding_bulk_faulted(
+                self._bulk, x, seed, _rounding_multiplier_for(rule_value), schedule
+            )
+        in_set = self._gather([entry[0] for entry in per_shard], np.bool_)
+        joined_randomly = self._gather([entry[1] for entry in per_shard], np.bool_)
+        joined_as_fallback = self._gather(
+            [entry[2] for entry in per_shard], np.bool_
+        )
+        metrics = _merge_metrics([entry[3] for entry in per_shard])
+        return in_set, joined_randomly, joined_as_fallback, metrics
+
     def peak_rss_bytes(self) -> list[int]:
-        """Per-shard worker peak RSS in bytes (``ru_maxrss``), shard order."""
-        return self._request(("rss",))
+        """Per-shard worker peak RSS in bytes (``ru_maxrss``), shard order.
+
+        After degradation to single-process fallback this reports the
+        parent's own peak RSS (one entry), since no workers remain.
+        """
+        replies = self._request(("rss",))
+        if replies is None:
+            return [resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024]
+        return replies

@@ -1,0 +1,102 @@
+"""Self-healing repair: feasibility restoration and degradation metrics.
+
+Repair is the pipeline's safety net under fault injection, so the one
+property that must hold unconditionally is *feasibility after repair*:
+whatever (possibly empty, possibly nonsensical) candidate the degraded
+rounding produced, the patched set dominates.  The greedy patch itself is
+deterministic (gain buckets, lowest-id tie-break), which these tests pin
+alongside the report's metrics.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.domset.repair import RepairReport, repair_dominating_set
+from repro.domset.validation import is_dominating_set, uncovered_nodes
+from repro.simulator.bulk import BulkGraph
+
+from tests.property.strategies import simple_graphs
+
+
+@pytest.fixture()
+def graph():
+    return nx.random_geometric_graph(50, 0.2, seed=3)
+
+
+class TestRepair:
+    def test_already_dominating_is_a_noop(self, graph):
+        candidate = set(graph.nodes())
+        report = repair_dominating_set(graph, candidate)
+        assert not report.was_degraded
+        assert report.coverage_deficit == 0
+        assert report.repair_rounds == 0
+        assert report.patched_nodes == frozenset()
+        assert report.repaired_set == frozenset(candidate)
+        assert report.objective_inflation == 1.0
+
+    def test_empty_candidate_is_fully_patched(self, graph):
+        report = repair_dominating_set(graph, frozenset())
+        assert report.was_degraded
+        assert report.coverage_deficit == graph.number_of_nodes()
+        assert is_dominating_set(graph, report.repaired_set)
+        assert report.repaired_set == report.patched_nodes
+        assert report.objective_inflation == float("inf")
+
+    def test_metrics_are_consistent(self, graph):
+        candidate = frozenset(list(graph.nodes())[:5])
+        report = repair_dominating_set(graph, candidate)
+        assert report.objective_before == len(candidate)
+        assert report.objective_after == len(report.repaired_set)
+        assert report.repaired_set == candidate | report.patched_nodes
+        assert not (report.patched_nodes & candidate)
+        assert report.coverage_deficit == len(uncovered_nodes(graph, candidate))
+        if report.patched_nodes:
+            assert report.repair_rounds == 1 + len(report.patched_nodes)
+
+    def test_bulk_graph_input_matches_networkx(self, graph):
+        candidate = frozenset(list(graph.nodes())[::7])
+        from_nx = repair_dominating_set(graph, candidate)
+        from_bulk = repair_dominating_set(BulkGraph.from_graph(graph), candidate)
+        assert from_nx == from_bulk
+
+    def test_unknown_candidate_nodes_rejected(self, graph):
+        with pytest.raises(ValueError, match="not in the graph"):
+            repair_dominating_set(graph, {"not-a-node"})
+
+    def test_deterministic_tie_break(self):
+        """On a symmetric graph the lowest-id candidate wins each pick."""
+        graph = nx.path_graph(3)  # 1 covers everything; 0 and 2 tie below it
+        report = repair_dominating_set(graph, frozenset())
+        assert report.patched_nodes == frozenset({1})
+
+    def test_isolated_crashed_node_is_re_dominated(self):
+        """Post-stabilization healing may re-add any node, including one
+        whose crash caused the deficit in the first place."""
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2])
+        graph.add_edge(1, 2)
+        report = repair_dominating_set(graph, {1})
+        assert 0 in report.patched_nodes
+        assert is_dominating_set(graph, report.repaired_set)
+
+
+class TestRepairProperty:
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data(), graph=simple_graphs(min_nodes=1, max_nodes=16))
+    def test_repair_always_restores_feasibility(self, data, graph):
+        nodes = sorted(graph.nodes())
+        candidate = frozenset(
+            data.draw(st.lists(st.sampled_from(nodes), unique=True, max_size=len(nodes)))
+            if nodes
+            else []
+        )
+        report = repair_dominating_set(graph, candidate)
+        assert isinstance(report, RepairReport)
+        assert report.feasible_after
+        assert is_dominating_set(graph, report.repaired_set)
+        assert candidate <= report.repaired_set
+        assert report.objective_after >= report.objective_before

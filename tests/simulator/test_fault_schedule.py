@@ -1,0 +1,226 @@
+"""FaultSchedule: mask algebra, determinism, and cross-consumer alignment.
+
+The schedule is the single source of truth for fault injection: every
+backend consumes the same materialized masks.  These tests pin the mask
+semantics (crash-round comparisons, per-round edge draws), the bookkeeping
+that must mirror the simulated runner exactly (``drops_dict``), and the
+slab view's guarantee that a shard sees exactly the global decisions for
+its slice.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.simulator.bulk import BulkGraph
+from repro.simulator.fault_schedule import (
+    NEVER,
+    FaultSchedule,
+    FaultSpec,
+    ScheduledFaults,
+)
+from repro.simulator.message import Message
+from repro.simulator.sharded import ShardLayout
+
+
+@pytest.fixture(scope="module")
+def bulk():
+    return BulkGraph.from_graph(nx.random_geometric_graph(40, 0.25, seed=5))
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(loss_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(crash_probability=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(seed=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(horizon=-1)
+
+    def test_is_faulty(self):
+        assert not FaultSpec().is_faulty
+        assert FaultSpec(loss_probability=0.1).is_faulty
+        assert FaultSpec(crash_probability=0.1).is_faulty
+
+    def test_materialize_is_deterministic(self, bulk):
+        spec = FaultSpec(loss_probability=0.3, crash_probability=0.3, seed=9)
+        first = spec.materialize(bulk, rounds=6)
+        second = spec.materialize(bulk, rounds=6)
+        assert np.array_equal(first.crash_rounds, second.crash_rounds)
+        for round_index in range(6):
+            assert np.array_equal(
+                first.edge_keep(round_index), second.edge_keep(round_index)
+            )
+
+    def test_salt_separates_phases(self, bulk):
+        spec = FaultSpec(loss_probability=0.5, crash_probability=0.5, seed=9)
+        phase_a = spec.materialize(bulk, rounds=4, salt=0)
+        phase_b = spec.materialize(bulk, rounds=4, salt=1)
+        assert not np.array_equal(phase_a.crash_rounds, phase_b.crash_rounds)
+        assert not np.array_equal(phase_a.edge_keep(0), phase_b.edge_keep(0))
+
+
+class TestMaskSemantics:
+    def test_faultfree_masks_are_trivial(self, bulk):
+        schedule = FaultSpec().materialize(bulk, rounds=3)
+        assert schedule.crashed_count == 0
+        for round_index in range(3):
+            assert schedule.alive(round_index).all()
+            assert schedule.senders(round_index).all()
+            assert schedule.delivered_edges(round_index).all()
+            assert schedule.drop_counts(round_index) == (0, bulk.col.size)
+
+    def test_crash_round_comparisons(self, bulk):
+        """alive(r) iff crash_round > r; senders(r) iff crash_round >= r."""
+        spec = FaultSpec(crash_probability=0.6, seed=3)
+        schedule = spec.materialize(bulk, rounds=5)
+        crashed = schedule.crash_rounds != NEVER
+        assert crashed.any(), "fixture should produce some crashes"
+        for round_index in range(5):
+            np.testing.assert_array_equal(
+                schedule.alive(round_index),
+                schedule.crash_rounds > round_index,
+            )
+        # Exchange 0 is produced in on_start by every node, even one that
+        # crashes at round 0 (its messages are then dropped by delivery).
+        assert schedule.senders(0).all()
+        np.testing.assert_array_equal(schedule.senders(2), schedule.crash_rounds >= 2)
+
+    def test_alive_is_monotone_decreasing(self, bulk):
+        schedule = FaultSpec(crash_probability=0.7, seed=1).materialize(bulk, rounds=8)
+        for round_index in range(7):
+            later = schedule.alive(round_index + 1)
+            assert not np.any(later & ~schedule.alive(round_index))
+
+    def test_delivered_requires_alive_sender_and_kept_edge(self, bulk):
+        spec = FaultSpec(loss_probability=0.4, crash_probability=0.4, seed=2)
+        schedule = spec.materialize(bulk, rounds=4)
+        for round_index in range(4):
+            expected = (
+                schedule.edge_keep(round_index)
+                & schedule.alive(round_index)[bulk.col]
+            )
+            np.testing.assert_array_equal(
+                schedule.delivered_edges(round_index), expected
+            )
+
+    def test_already_dead_overrides_crash_rounds(self, bulk):
+        spec = FaultSpec(crash_probability=0.2, seed=8)
+        dead = np.zeros(bulk.n, dtype=bool)
+        dead[:5] = True
+        schedule = spec.materialize(bulk, rounds=3, already_dead=dead)
+        assert (schedule.crash_rounds[:5] == 0).all()
+        assert not schedule.alive(0)[:5].any()
+        # on_start still runs for them (senders(0) is everyone), but their
+        # exchange-0 messages die with them via the delivery gate.
+        assert schedule.senders(0).all()
+
+    def test_ever_crashed_feeds_next_phase(self, bulk):
+        spec = FaultSpec(crash_probability=0.5, seed=4)
+        first = spec.materialize(bulk, rounds=6, salt=0)
+        second = spec.materialize(
+            bulk, rounds=3, salt=1, already_dead=first.ever_crashed
+        )
+        assert (second.crash_rounds[first.ever_crashed] == 0).all()
+
+
+class TestDropsBookkeeping:
+    def test_drops_dict_shape_matches_runner_record(self, bulk):
+        """Keys 0..E with a trailing (0, 0): the final round delivers no
+        new outboxes, and the record stops early once every node is dead."""
+        spec = FaultSpec(loss_probability=0.3, seed=7)
+        schedule = spec.materialize(bulk, rounds=4)
+        drops = schedule.drops_dict(4)
+        assert sorted(drops) == [0, 1, 2, 3, 4]
+        assert drops[4] == (0, 0)
+
+    def test_drops_dict_stops_when_all_dead(self, bulk):
+        schedule = FaultSpec(crash_probability=1.0, horizon=0, seed=0).materialize(
+            bulk, rounds=5
+        )
+        drops = schedule.drops_dict(5)
+        # Everyone crashes at round 0: the on_start sends all drop, and no
+        # node ever executes on_round(0), so the record ends at round 0.
+        assert sorted(drops) == [0]
+        assert drops[0] == (bulk.col.size, 0)
+
+    def test_summary_totals(self, bulk):
+        spec = FaultSpec(loss_probability=0.25, crash_probability=0.25, seed=11)
+        schedule = spec.materialize(bulk, rounds=6)
+        summary = schedule.summary(6)
+        assert summary.spec == spec
+        assert summary.crashed_nodes == schedule.crashed_count
+        assert summary.dropped_messages == sum(
+            dropped for dropped, _ in summary.drops.values()
+        )
+        assert summary.delivered_messages == sum(
+            delivered for _, delivered in summary.drops.values()
+        )
+
+
+class TestSlabView:
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_slab_view_matches_global_decisions(self, bulk, shards):
+        spec = FaultSpec(loss_probability=0.35, crash_probability=0.35, seed=6)
+        schedule = spec.materialize(bulk, rounds=5)
+        for shard_id in range(shards):
+            layout = ShardLayout.build(bulk.indptr, bulk.col, shard_id, shards)
+            view = schedule.slab_view(layout.owned, layout.flat)
+            for round_index in range(5):
+                np.testing.assert_array_equal(
+                    view.alive(round_index),
+                    schedule.alive(round_index)[layout.owned],
+                )
+                np.testing.assert_array_equal(
+                    view.senders(round_index),
+                    schedule.senders(round_index)[layout.owned],
+                )
+                np.testing.assert_array_equal(
+                    view.delivered_edges(round_index),
+                    schedule.delivered_edges(round_index)[layout.flat],
+                )
+                np.testing.assert_array_equal(
+                    view.sent_edges(round_index),
+                    schedule.sent_edges(round_index)[layout.flat],
+                )
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_layout_flat_indexes_global_csr(self, bulk, shards):
+        """`flat` must map every slab entry to its global CSR position."""
+        for shard_id in range(shards):
+            layout = ShardLayout.build(bulk.indptr, bulk.col, shard_id, shards)
+            for local_row, global_row in enumerate(layout.owned.tolist()):
+                start, end = layout.indptr[local_row], layout.indptr[local_row + 1]
+                np.testing.assert_array_equal(
+                    layout.flat[start:end],
+                    np.arange(bulk.indptr[global_row], bulk.indptr[global_row + 1]),
+                )
+
+
+class TestScheduledFaultsAdapter:
+    def test_adapter_mirrors_schedule(self, bulk):
+        spec = FaultSpec(loss_probability=0.4, crash_probability=0.4, seed=12)
+        schedule = spec.materialize(bulk, rounds=4)
+        model = schedule.fault_model(bulk.nodes)
+        assert isinstance(model, ScheduledFaults)
+        for round_index in range(4):
+            alive = schedule.alive(round_index)
+            for position, node in enumerate(bulk.nodes):
+                assert model.node_alive(node, round_index) == bool(alive[position])
+                assert model.is_crashed(node, round_index) == (not alive[position])
+        # Per-message delivery equals the mask bit of the edge's CSR slot.
+        delivered = schedule.delivered_edges(1)
+        for position in range(bulk.col.size):
+            receiver = bulk.nodes[int(np.searchsorted(bulk.indptr, position, "right")) - 1]
+            sender = bulk.nodes[int(bulk.col[position])]
+            message = Message(sender=sender, receiver=receiver, payload=0, round_index=1)
+            assert model.deliver(message, 1) == bool(delivered[position])
+
+    def test_adapter_rejects_mismatched_labels(self, bulk):
+        schedule = FaultSpec(seed=1).materialize(bulk, rounds=2)
+        with pytest.raises(ValueError, match="labels"):
+            schedule.fault_model(tuple(bulk.nodes[:-1]))

@@ -47,6 +47,41 @@ class TestMessageLossFaults:
         model = MessageLossFaults(loss_probability=0.5, seed=0)
         assert model.node_alive(3, 7)
 
+    def test_drop_decisions_are_permutation_invariant(self):
+        messages = [
+            Message(sender=s, receiver=t, payload=0)
+            for s in range(10)
+            for t in range(10)
+            if s != t
+        ]
+
+        def decide(model, order):
+            return {
+                (m.sender, m.receiver): model.deliver(m, 5) for m in order
+            }
+
+        reference = decide(MessageLossFaults(loss_probability=0.4, seed=11), messages)
+        reversed_order = decide(
+            MessageLossFaults(loss_probability=0.4, seed=11), list(reversed(messages))
+        )
+        assert reference == reversed_order
+
+        # Interleaving unrelated queries must not shift the decisions.
+        interleaved_model = MessageLossFaults(loss_probability=0.4, seed=11)
+        for message in messages:
+            interleaved_model.deliver(message, 99)
+        assert decide(interleaved_model, messages) == reference
+
+        # Sanity: the pattern is not degenerate and varies with the round.
+        assert any(reference.values()) and not all(reference.values())
+        other_round = {
+            (m.sender, m.receiver): MessageLossFaults(
+                loss_probability=0.4, seed=11
+            ).deliver(m, 6)
+            for m in messages
+        }
+        assert other_round != reference
+
 
 class TestCrashStopFaults:
     def test_node_without_crash_round_never_crashes(self):
@@ -61,8 +96,29 @@ class TestCrashStopFaults:
 
     def test_messages_from_crashed_node_stop(self):
         model = CrashStopFaults(crash_rounds={0: 2})
-        assert model.deliver(make_message(sender=0), 2)
+        assert model.deliver(make_message(sender=0), 1)
+        assert not model.deliver(make_message(sender=0), 2)
         assert not model.deliver(make_message(sender=0), 3)
+
+    def test_delivery_gate_matches_execution_gate(self):
+        # Regression for the off-by-one: a node that does not execute in
+        # round r must not have messages arriving in round r either.
+        model = CrashStopFaults(crash_rounds={0: 3})
+        for round_index in range(6):
+            assert model.deliver(make_message(sender=0), round_index) == (
+                model.node_alive(0, round_index)
+            )
+
+    def test_node_crashed_at_round_zero_sends_nothing(self):
+        model = CrashStopFaults(crash_rounds={0: 0})
+        assert not model.deliver(make_message(sender=0), 0)
+
+    def test_is_crashed_is_permanent(self):
+        model = CrashStopFaults(crash_rounds={0: 2})
+        assert not model.is_crashed(0, 1)
+        assert model.is_crashed(0, 2)
+        assert model.is_crashed(0, 100)
+        assert not model.is_crashed(1, 100)
 
     def test_random_crashes_probability_bounds(self):
         with pytest.raises(ValueError):

@@ -11,6 +11,9 @@ the partition structure itself and the registry dispatch rules.
 
 from __future__ import annotations
 
+import threading
+import warnings
+
 import networkx as nx
 import numpy as np
 import pytest
@@ -36,10 +39,13 @@ from repro.core.weighted import (
     approximate_weighted_fractional_mds,
     weighted_kuhn_wattenhofer_dominating_set,
 )
+from repro.core.vectorized import algorithm2_exchanges, run_algorithm2_bulk_faulted
 from repro.graphs.generators import random_unit_disk_graph
 from repro.simulator.bulk import BulkGraph
+from repro.simulator.fault_schedule import FaultSpec
 from repro.simulator.sharded import (
     DEFAULT_MAX_SHARDS,
+    ShardDegradationWarning,
     ShardLayout,
     ShardedDriver,
     resolve_shard_count,
@@ -262,6 +268,155 @@ class TestRoundingAndPipelines:
                 unit_disk, k=result.k, backend="vectorized"
             )
             assert_fractional_bitwise_equal(result, vectorized)
+
+
+class TestFaultedEquivalence:
+    """Fault injection must stay invisible to sharding: one schedule, the
+    same bitwise outcome for every shard count."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("variant", list(FractionalVariant))
+    def test_faulted_pipeline_bitwise_equal(self, unit_disk, shards, variant):
+        spec = FaultSpec(loss_probability=0.25, crash_probability=0.25, seed=6)
+        vectorized = kuhn_wattenhofer_dominating_set(
+            unit_disk, k=2, seed=3, variant=variant, backend="vectorized", faults=spec
+        )
+        sharded = kuhn_wattenhofer_dominating_set(
+            unit_disk,
+            k=2,
+            seed=3,
+            variant=variant,
+            backend="sharded",
+            shards=shards,
+            faults=spec,
+        )
+        assert sharded.dominating_set == vectorized.dominating_set
+        assert sharded.fractional.x == vectorized.fractional.x
+        assert sharded.rounding.joined_randomly == vectorized.rounding.joined_randomly
+        assert sharded.repair == vectorized.repair
+        assert sharded.fractional.faults.drops == vectorized.fractional.faults.drops
+        assert (
+            sharded.fractional.metrics.total_messages
+            == vectorized.fractional.metrics.total_messages
+        )
+
+    def test_faulted_fractional_matches_simulated(self, unit_disk):
+        spec = FaultSpec(loss_probability=0.2, crash_probability=0.2, seed=1)
+        simulated = approximate_fractional_mds(
+            unit_disk, k=2, faults=spec, backend="simulated"
+        )
+        sharded = approximate_fractional_mds(
+            unit_disk, k=2, faults=spec, backend="sharded", shards=3
+        )
+        assert sharded.x == simulated.x
+        assert sharded.faults.drops == simulated.faults.drops
+
+
+class TestCrashRecovery:
+    """A killed worker must be detected, respawned, and the command
+    replayed -- without changing any result."""
+
+    @pytest.fixture(scope="class")
+    def crash_setup(self):
+        graph = random_unit_disk_graph(80, radius=0.2, seed=11)
+        bulk = BulkGraph.from_graph(graph)
+        delta = int(bulk.degrees.max())
+        spec = FaultSpec(loss_probability=0.2, crash_probability=0.2, seed=4)
+        schedule = spec.materialize(bulk, rounds=algorithm2_exchanges(2))
+        expected = run_algorithm2_bulk_faulted(bulk, 2, delta, schedule)
+        return bulk, delta, schedule, expected
+
+    def test_idle_kill_is_recovered(self, crash_setup):
+        bulk, delta, schedule, expected = crash_setup
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ShardDegradationWarning)
+            with ShardedDriver(bulk, shards=3, heartbeat=0.2) as driver:
+                driver._procs[0].kill()
+                driver._procs[0].join()
+                values, metrics = driver.run_algorithm2_faulted(2, delta, schedule)
+                assert np.array_equal(values, expected[0])
+                assert metrics.total_messages == expected[1].total_messages
+                # The respawned pool keeps serving subsequent commands.
+                again, _ = driver.run_algorithm2_faulted(2, delta, schedule)
+                assert np.array_equal(again, expected[0])
+
+    def test_mid_command_kill_is_recovered(self, crash_setup):
+        bulk, delta, schedule, expected = crash_setup
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ShardDegradationWarning)
+            with ShardedDriver(bulk, shards=3, heartbeat=0.2) as driver:
+                killer = threading.Timer(0.05, driver._procs[1].kill)
+                killer.start()
+                try:
+                    values, metrics = driver.run_algorithm2_faulted(2, delta, schedule)
+                finally:
+                    killer.join()
+                assert np.array_equal(values, expected[0])
+                assert metrics.total_bits == expected[1].total_bits
+
+    def test_eof_on_reply_is_recovered(self, crash_setup):
+        """A pipe that hits EOF mid-collect (poll() True, recv() fails)
+        must route through recovery, not raise EOFError."""
+        bulk, delta, schedule, expected = crash_setup
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ShardDegradationWarning)
+            with ShardedDriver(bulk, shards=3, heartbeat=0.2) as driver:
+                driver._procs[0].kill()
+                driver._procs[0].join()
+                real = driver._conns[0]
+
+                class EOFPipe:
+                    """Dead worker whose pipe reads as EOF: send appears
+                    delivered, poll() signals readable, recv() raises."""
+
+                    tripped = False
+
+                    def send(self, obj):
+                        pass
+
+                    def poll(self, timeout=None):
+                        return True
+
+                    def recv(self):
+                        EOFPipe.tripped = True
+                        raise EOFError
+
+                    def close(self):
+                        real.close()
+
+                driver._conns[0] = EOFPipe()
+                values, metrics = driver.run_algorithm2_faulted(2, delta, schedule)
+                assert EOFPipe.tripped
+                assert np.array_equal(values, expected[0])
+                assert metrics.total_messages == expected[1].total_messages
+
+    def test_exhausted_respawns_degrade_with_warning(self, crash_setup):
+        bulk, delta, schedule, expected = crash_setup
+        with ShardedDriver(bulk, shards=3, heartbeat=0.2, max_respawns=0) as driver:
+            driver._procs[2].kill()
+            driver._procs[2].join()
+            with pytest.warns(ShardDegradationWarning) as caught:
+                values, metrics = driver.run_algorithm2_faulted(2, delta, schedule)
+            warning = caught[0].message
+            assert warning.command == "alg2_faulted"
+            assert 2 in warning.shard_ids
+            # The fallback reproduces the sharded result exactly.
+            assert np.array_equal(values, expected[0])
+            assert metrics.total_messages == expected[1].total_messages
+            # Later commands stay on the fallback without re-warning.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", ShardDegradationWarning)
+                again, _ = driver.run_algorithm2_faulted(2, delta, schedule)
+            assert np.array_equal(again, expected[0])
+            rss = driver.peak_rss_bytes()
+            assert len(rss) == 1 and rss[0] > 0
+
+    def test_driver_parameter_validation(self, crash_setup):
+        bulk = crash_setup[0]
+        with pytest.raises(ValueError, match="heartbeat"):
+            ShardedDriver(bulk, shards=1, heartbeat=0.0)
+        with pytest.raises(ValueError, match="max_respawns"):
+            ShardedDriver(bulk, shards=1, max_respawns=-1)
 
 
 class TestDispatch:

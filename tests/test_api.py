@@ -372,7 +372,7 @@ class TestRegistryCompleteness:
 ENTRY_POINT_SIGNATURES = {
     "kuhn_wattenhofer_dominating_set": [
         "graph", "k", "seed", "variant", "rounding_rule", "collect_trace",
-        "backend", "shards", "_bulk",
+        "backend", "shards", "faults", "repair", "_bulk",
     ],
     "lrg_dominating_set": ["graph", "seed", "max_phases", "backend", "_bulk"],
     "wu_li_dominating_set": [
@@ -656,3 +656,57 @@ class TestCDSTwins:
         vectorized = solve("guha-khuller", graph, backend="vectorized", seed=0)
         assert simulated.dominating_set == vectorized.dominating_set
         assert simulated.objective == vectorized.objective
+
+
+class TestFaultCapability:
+    """``faults=`` / ``repair=`` flow through the registry capability."""
+
+    def test_pipeline_declares_fault_support(self):
+        assert get_spec("kuhn-wattenhofer").supports_faults
+        for name in ("greedy", "lrg", "wu-li", "central-lp"):
+            assert not get_spec(name).supports_faults
+
+    def test_faults_on_unsupporting_spec_rejected(self, small_graph):
+        from repro.simulator.fault_schedule import FaultSpec
+
+        with pytest.raises(CapabilityError, match="fault injection"):
+            solve("greedy", small_graph, faults=FaultSpec(loss_probability=0.1))
+
+    def test_falsy_faults_ignored_by_unsupporting_specs(self, small_graph):
+        report = solve("greedy", small_graph, faults=None, repair=True)
+        assert report.size > 0
+
+    def test_faulted_solve_surfaces_repair_and_summaries(self, small_graph):
+        from repro.simulator.fault_schedule import FaultSpec
+
+        spec = FaultSpec(loss_probability=0.2, crash_probability=0.2, seed=3)
+        report = solve("kuhn-wattenhofer", small_graph, k=2, seed=0, faults=spec)
+        assert report.repair is not None
+        assert report.repair.feasible_after
+        assert set(report.fault_summaries) == {"fractional", "rounding"}
+        assert report.fault_summaries["fractional"].spec == spec
+
+    def test_faultfree_solve_reports_no_repair(self, small_graph):
+        report = solve("kuhn-wattenhofer", small_graph, k=2, seed=0)
+        assert report.repair is None
+        assert report.fault_summaries == {}
+
+    def test_faulted_solve_backend_parity(self, small_graph):
+        from repro.simulator.fault_schedule import FaultSpec
+
+        spec = FaultSpec(loss_probability=0.25, crash_probability=0.25, seed=7)
+        reports = {
+            backend: solve(
+                "kuhn-wattenhofer",
+                small_graph,
+                k=2,
+                seed=1,
+                backend=backend,
+                faults=spec,
+            )
+            for backend in (SIMULATED, VECTORIZED)
+        }
+        assert (
+            reports[SIMULATED].dominating_set == reports[VECTORIZED].dominating_set
+        )
+        assert reports[SIMULATED].repair == reports[VECTORIZED].repair

@@ -533,3 +533,61 @@ class TestTraceCommand:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "simulated+vectorized" in captured.out
+
+
+class TestFaultsCommand:
+    def test_faults_prints_degradation_table(self, capsys):
+        exit_code = main(
+            [
+                "faults",
+                "--n",
+                "40",
+                "--radius",
+                "0.25",
+                "--trials",
+                "1",
+                "--rate",
+                "0.2,0.2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "mean_repaired_size" in captured.out
+        assert "mean_coverage_deficit" in captured.out
+
+    def test_faults_csv(self, capsys):
+        exit_code = main(
+            [
+                "faults",
+                "--n",
+                "30",
+                "--radius",
+                "0.3",
+                "--trials",
+                "1",
+                "--rate",
+                "0.0,0.3",
+                "--csv",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "baseline_size" in captured.out.splitlines()[0]
+
+    def test_faults_rejects_malformed_rate(self, capsys):
+        exit_code = main(["faults", "--n", "20", "--rate", "0.5"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "LOSS,CRASH" in captured.err
+
+    def test_faults_rejects_out_of_range_rate(self, capsys):
+        exit_code = main(["faults", "--n", "20", "--rate", "1.5,0.0"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "probabilities" in captured.err
+
+    def test_algorithms_table_has_faults_column(self, capsys):
+        exit_code = main(["algorithms"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "faults" in captured.out

@@ -1,0 +1,113 @@
+"""Service load benchmark: throughput, latency, caching, coalescing, parity.
+
+Drives the standard mixed workload from :mod:`repro.service.loadgen`
+(multi-k sweeps over shared graphs, verbatim repeats, fault/repair
+scenarios) through a fresh :class:`~repro.service.server.SolveService`
+in two passes -- the first exercising in-flight deduplication and
+multi-k coalescing, the second answered from the content-addressed
+cache -- and records:
+
+* ``requests_per_s`` and the p50/p99/max latency digest,
+* ``cache_hit_rate`` (must be positive: the second pass repeats the
+  first verbatim) and eviction counters,
+* ``coalescing_factor`` -- executed requests per engine execution; the
+  multi-k groups in the mix make this strictly greater than 1,
+* ``objective_match`` -- the CI-gated invariant: every distinct request
+  is re-run through plain :func:`repro.api.solve` and the service's
+  answer must match bitwise (dominating set, objective, rounds,
+  messages).  A coalesced answer is an answer computed by the multi-k
+  snapshot engine, so this also re-proves the PR-3 snapshot invariant
+  end to end through the service path.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, CI smoke) shrinks the graphs and
+the mix but keeps every stage -- coalescing, caching, faults, parity --
+on the same code paths.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.tables import render_table
+from repro.service.loadgen import build_workload, run_load
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+N = 64 if QUICK else 256
+GRAPHS = 2 if QUICK else 4
+K_VALUES = (1, 2) if QUICK else (1, 2, 3, 4)
+REPEATS = 1 if QUICK else 2
+FAULT_REQUESTS = 1 if QUICK else 2
+PASSES = 2
+WORKERS = 2
+
+
+def test_service_load(emit_table, emit_json, bench_seed):
+    workload = build_workload(
+        n=N,
+        graphs=GRAPHS,
+        k_values=K_VALUES,
+        repeats=REPEATS,
+        fault_requests=FAULT_REQUESTS,
+        seed=bench_seed,
+    )
+    report = run_load(
+        workload=workload,
+        workers=WORKERS,
+        passes=PASSES,
+        verify=True,
+    )
+
+    latency = report["latency"]
+    rows = [
+        {
+            "requests": report["requests"],
+            "distinct": report["distinct_requests"],
+            "req_per_s": round(report["requests_per_s"], 2),
+            "p50_ms": round(latency["p50_s"] * 1e3, 3),
+            "p99_ms": round(latency["p99_s"] * 1e3, 3),
+            "hit_rate": round(report["cache_hit_rate"], 3),
+            "coalescing": round(report["coalescing_factor"], 3),
+            "joins": report["inflight_joins"],
+            "parity": report["objective_match"],
+        }
+    ]
+    emit_table(
+        "service_load",
+        render_table(rows, title=f"Service load (n = {N}, {GRAPHS} graphs)"),
+    )
+    emit_json(
+        "service_load",
+        {
+            "quick": QUICK,
+            "n": N,
+            "graphs": GRAPHS,
+            "k_values": list(K_VALUES),
+            "passes": PASSES,
+            "requests": report["requests"],
+            "distinct_requests": report["distinct_requests"],
+            "requests_per_s": report["requests_per_s"],
+            "latency_p50_s": latency["p50_s"],
+            "latency_p99_s": latency["p99_s"],
+            "latency_max_s": latency["max_s"],
+            "cache_hit_rate": report["cache_hit_rate"],
+            "cache": report["cache"],
+            "coalescing_factor": report["coalescing_factor"],
+            "scheduler": report["scheduler"],
+            "inflight_joins": report["inflight_joins"],
+            "objective_match": report["objective_match"],
+            "parity_checked": report["parity"]["checked"],
+            "parity_mismatches": report["parity"]["mismatches"],
+        },
+    )
+
+    # The CI-gated invariants.
+    assert report["objective_match"], report["parity"]["mismatches"]
+    # Pass 2 repeats pass 1 verbatim: at least that half must hit.
+    assert report["cache_hit_rate"] > 0.0
+    # The multi-k sweeps in the mix must coalesce onto the snapshot engine.
+    assert report["coalescing_factor"] > 1.0
+    # Repeats inside pass 1 join in flight rather than re-queueing.
+    assert report["inflight_joins"] > 0
+    assert report["scheduler"]["failures"] == 0
+    assert latency["p50_s"] <= latency["p99_s"] <= latency["max_s"]

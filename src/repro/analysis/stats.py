@@ -104,6 +104,54 @@ def summarize(values: Iterable[float]) -> SummaryStatistics:
     )
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default (``linear``) method, so the
+    service layer's p50/p99 latency figures are directly comparable to
+    NumPy-computed references without pulling latency arrays through
+    NumPy.  Raises on an empty sample.
+    """
+    values = sorted(float(value) for value in values)
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if len(values) == 1:
+        return values[0]
+    rank = (q / 100.0) * (len(values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return values[low]
+    fraction = rank - low
+    return values[low] * (1.0 - fraction) + values[high] * fraction
+
+
+def latency_summary(latencies_s: Sequence[float]) -> dict:
+    """The service layer's standard latency digest (count/mean/p50/p99/max).
+
+    An empty sample yields ``None`` entries rather than raising, so idle
+    services can still render their stats tables.
+    """
+    values = [float(value) for value in latencies_s]
+    if not values:
+        return {
+            "count": 0,
+            "mean_s": None,
+            "p50_s": None,
+            "p99_s": None,
+            "max_s": None,
+        }
+    return {
+        "count": len(values),
+        "mean_s": mean(values),
+        "p50_s": percentile(values, 50.0),
+        "p99_s": percentile(values, 99.0),
+        "max_s": max(values),
+    }
+
+
 def ratio_of_means(numerators: Sequence[float], denominators: Sequence[float]) -> float:
     """mean(numerators) / mean(denominators), the standard ratio estimator.
 

@@ -52,6 +52,8 @@ they are what the registry specs delegate to, and
 
 from __future__ import annotations
 
+import enum
+import inspect
 import time
 from dataclasses import dataclass
 from functools import partial
@@ -443,6 +445,89 @@ def twin_specs(exclude_cds: bool = True) -> list[AlgorithmSpec]:
 
 
 # ---------------------------------------------------------------------- #
+# Parameter normalization                                                 #
+# ---------------------------------------------------------------------- #
+
+#: Runner-signature names that are not algorithm parameters: they are the
+#: positional run context ``solve`` supplies itself.
+_RUNNER_CONTEXT = ("graph", "seed", "backend")
+
+
+def canonical_param_value(value: Any) -> Any:
+    """Collapse semantically-equal parameter spellings onto one value.
+
+    Enum members become their ``.value`` (so ``variant="unknown_delta"``
+    and ``variant=FractionalVariant.UNKNOWN_DELTA`` compare equal),
+    mappings become key-sorted dicts, and lists/tuples become tuples.
+    Scalars and arbitrary objects (e.g. a ``FaultSpec``) pass through
+    unchanged; :func:`repro.service.keys.canonical_token` handles turning
+    those into hashable cache-key material.
+    """
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {
+            key: canonical_param_value(value[key])
+            for key in sorted(value, key=repr)
+        }
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_param_value(item) for item in value)
+    return value
+
+
+def normalized_params(
+    algorithm: str | AlgorithmSpec,
+    params: Mapping[str, Any] | None = None,
+    strict: bool = True,
+) -> dict[str, Any]:
+    """The canonical, complete parameter dict of one ``solve`` request.
+
+    Two semantically-equal requests -- different kwargs order, defaults
+    left implicit vs. spelled out, enum members vs. their string values --
+    normalize to *identical* dicts: every parameter the algorithm's runner
+    accepts appears exactly once (explicit value or the runner's default),
+    values are canonicalized via :func:`canonical_param_value`, and keys
+    are sorted.  This is what :class:`RunReport.params` reports and what
+    the service layer's content-addressed cache keys hash
+    (:mod:`repro.service.keys`), so stable keys are a direct consequence
+    of this function being deterministic.
+
+    ``strict=True`` raises ``TypeError`` for parameters the runner does
+    not accept (the cache must never silently ignore a request knob);
+    ``strict=False`` drops them instead, for callers normalizing a request
+    that already executed (``solve`` pops backend-managed extras like a
+    falsy ``collect_trace`` before they reach the runner).
+    """
+    spec = get_spec(algorithm)
+    params = dict(params or {})
+    signature = inspect.signature(spec.runner)
+    accepted = {
+        name: parameter.default
+        for name, parameter in signature.parameters.items()
+        if name not in _RUNNER_CONTEXT
+        and parameter.kind
+        in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+    }
+    unknown = sorted(set(params) - set(accepted))
+    if unknown and strict:
+        raise TypeError(
+            f"algorithm {spec.name!r} does not accept parameter(s) "
+            + ", ".join(repr(name) for name in unknown)
+            + (
+                "; accepted: " + ", ".join(sorted(accepted))
+                if accepted
+                else "; it takes no parameters"
+            )
+        )
+    normalized = {
+        name: canonical_param_value(params.get(name, default))
+        for name, default in accepted.items()
+        if name in params or default is not inspect.Parameter.empty
+    }
+    return dict(sorted(normalized.items()))
+
+
+# ---------------------------------------------------------------------- #
 # Backend resolution                                                      #
 # ---------------------------------------------------------------------- #
 
@@ -647,6 +732,7 @@ def solve(
         For unknown algorithm names.
     """
     spec = get_spec(algorithm)
+    requested_params = dict(params)
     collect_trace = bool(params.get("collect_trace", False))
     shards = params.pop("shards", None)
     if params.get("faults") is not None and not spec.supports_faults:
@@ -678,11 +764,22 @@ def solve(
     start = time.perf_counter()
     payload = spec.runner(graph, seed=seed, backend=resolved, **params)
     elapsed = time.perf_counter() - start
+    # Report the *normalized* parameter dict (defaults filled in, values
+    # canonicalized, keys sorted): semantically-equal requests -- kwargs
+    # order, default-vs-explicit, enum-vs-string -- yield identical params,
+    # which is what the service layer's content-addressed cache keys hash.
+    # strict=False because solve() pops backend-managed extras (a falsy
+    # collect_trace/faults on specs without them) before the runner sees
+    # them; the runner itself already rejected genuinely unknown names.
+    report_params = normalized_params(spec, requested_params, strict=False)
+    report_params.pop("weights", None)
     # Runners may report parameters they resolved themselves (e.g. the
     # pipeline's k = Θ(log Δ) default) so callers never have to introspect
     # algorithm-specific result shapes.
-    report_params = {key: value for key, value in params.items() if key != "weights"}
-    report_params.update(payload.pop("resolved_params", {}))
+    report_params.update(
+        (key, canonical_param_value(value))
+        for key, value in payload.pop("resolved_params", {}).items()
+    )
     return RunReport(
         algorithm=spec.name,
         backend=resolved,

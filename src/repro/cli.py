@@ -27,6 +27,14 @@ Installed as ``repro-domset`` (see ``pyproject.toml``); also runnable as
 * ``trace``   -- run a trace-capable algorithm with ``collect_trace=True``
   (on either backend) and print the per-phase observability report plus
   the Lemma 2-7 invariant verdict.
+* ``serve``   -- run the async solve service over a JSONL request
+  script (one request object per line, ``-`` for stdin): requests are
+  submitted as one burst through the content-addressed cache and the
+  coalescing scheduler, and answered as JSON lines in submission order.
+* ``loadgen`` -- build the standard mixed workload (multi-k sweeps,
+  repeats, fault scenarios), drive it through a fresh service, and print
+  the load report: throughput, p50/p99 latency, cache hit rate,
+  coalescing factor, and bitwise parity against direct solves.
 * ``algorithms`` -- list the registry: every algorithm with its backends
   and capability flags.
 * ``bounds``  -- print the paper's closed-form bounds for given (k, Δ).
@@ -600,6 +608,178 @@ def _command_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _package_version() -> str:
+    """Installed distribution version, else the in-tree ``__version__``.
+
+    The repository is routinely used straight from a source checkout
+    (``PYTHONPATH=src``) where no distribution metadata exists, so
+    ``importlib.metadata`` lookup falls back to :data:`repro.__version__`.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-kuhn-wattenhofer")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
+def _load_request_lines(path: str) -> list[dict]:
+    """Parse one request object per non-empty line (``-`` reads stdin)."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    requests = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"serve: line {number}: invalid JSON ({error})")
+        if not isinstance(record, dict):
+            raise SystemExit(f"serve: line {number}: expected a JSON object")
+        requests.append(record)
+    return requests
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import SolveService
+    from repro.simulator.fault_schedule import FaultSpec
+
+    records = _load_request_lines(args.requests)
+    if not records:
+        print("serve: no requests", file=sys.stderr)
+        return 1
+
+    # Identical graph descriptions share one graph object, so repeated
+    # request lines hash (and coalesce) against the same fingerprint
+    # without re-generating or re-digesting the graph.
+    graphs: dict = {}
+
+    def build_graph(record: dict, number: int):
+        family = record.get("family", GraphFamily.UNIT_DISK.value)
+        graph_seed = int(record.get("graph_seed", 0))
+        graph_params = dict(record.get("graph_params", {}))
+        if "n" in record:
+            graph_params.setdefault("n", int(record["n"]))
+        identity = (family, graph_seed, tuple(sorted(graph_params.items())))
+        if identity not in graphs:
+            try:
+                graphs[identity] = make_graph(family, seed=graph_seed, **graph_params)
+            except (TypeError, ValueError) as error:
+                raise SystemExit(f"serve: request {number}: bad graph ({error})")
+        return graphs[identity]
+
+    workload = []
+    for number, record in enumerate(records, start=1):
+        params = dict(record.get("params", {}))
+        if "k" in record:
+            params.setdefault("k", int(record["k"]))
+        if isinstance(params.get("faults"), dict):
+            params["faults"] = FaultSpec(**params["faults"])
+        workload.append(
+            {
+                "algorithm": record.get("algorithm", "kuhn-wattenhofer"),
+                "graph": build_graph(record, number),
+                "backend": record.get("backend", AUTO),
+                "seed": record.get("seed"),
+                "params": params,
+            }
+        )
+
+    async def run():
+        async with SolveService(
+            max_batch=args.max_batch, workers=args.workers
+        ) as service:
+            reports = await service.solve_many(
+                workload, timeout=args.timeout, return_exceptions=True
+            )
+            return reports, service.stats()
+
+    reports, stats = asyncio.run(run())
+    failures = 0
+    for request, report in zip(workload, reports):
+        if isinstance(report, BaseException):
+            failures += 1
+            print(
+                json.dumps(
+                    {
+                        "algorithm": request["algorithm"],
+                        "error": f"{type(report).__name__}: {report}",
+                    }
+                )
+            )
+            continue
+        print(
+            json.dumps(
+                {
+                    "algorithm": report.algorithm,
+                    "backend": report.backend,
+                    "objective": report.objective,
+                    "size": len(report.dominating_set),
+                    "rounds": report.rounds,
+                    "messages": report.messages,
+                    "seed": report.seed,
+                    "params": {
+                        name: getattr(value, "value", value)
+                        if not isinstance(value, (int, float, str, bool, type(None)))
+                        else value
+                        for name, value in report.params.items()
+                    },
+                }
+                , default=repr)
+        )
+    if args.stats:
+        print(json.dumps({"stats": stats}, default=repr))
+    return 1 if failures else 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.service import run_load
+
+    report = run_load(
+        n=args.n,
+        graphs=args.graphs,
+        k_values=tuple(range(1, args.max_k + 1)),
+        repeats=args.repeats,
+        fault_requests=args.fault_requests,
+        seed=args.seed,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        passes=args.passes,
+        verify=not args.no_verify,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, default=repr))
+    else:
+        latency = report["latency"]
+        rows = [
+            {
+                "requests": report["requests"],
+                "distinct": report["distinct_requests"],
+                "req_per_s": round(report["requests_per_s"], 2),
+                "p50_ms": round(latency["p50_s"] * 1e3, 2),
+                "p99_ms": round(latency["p99_s"] * 1e3, 2),
+                "hit_rate": round(report["cache_hit_rate"], 3),
+                "coalescing": round(report["coalescing_factor"], 3),
+                "joins": report["inflight_joins"],
+                "parity": report.get("objective_match", "skipped"),
+            }
+        ]
+        print(render_table(rows, title="Service load report"))
+    if not args.no_verify and not report["objective_match"]:
+        print("loadgen: PARITY FAILURE -- service answers diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_bounds(args: argparse.Namespace) -> int:
     rows = []
     for k in range(1, args.max_k + 1):
@@ -626,6 +806,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Distributed dominating set approximation "
             "(Kuhn & Wattenhofer, PODC 2003) -- reproduction CLI"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -832,6 +1017,59 @@ def build_parser() -> argparse.ArgumentParser:
         "algorithms", help="list the algorithm registry and its capabilities"
     )
     algorithms.set_defaults(handler=_command_algorithms)
+
+    serve = subparsers.add_parser(
+        "serve", help="answer a JSONL request script through the solve service"
+    )
+    serve.add_argument(
+        "--requests",
+        default="-",
+        help="path to a JSONL request script (default '-': read stdin)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="executor threads (default 2)"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="scheduler batch window (default 64)"
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request timeout in seconds (default: wait forever)",
+    )
+    serve.add_argument(
+        "--stats", action="store_true", help="append a final stats JSON line"
+    )
+    serve.set_defaults(handler=_command_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive the standard mixed workload through the service"
+    )
+    loadgen.add_argument("--n", type=int, default=96, help="nodes per generated graph")
+    loadgen.add_argument("--graphs", type=int, default=3, help="distinct graphs")
+    loadgen.add_argument(
+        "--max-k", type=int, default=3, help="issue k = 1..max_k per graph"
+    )
+    loadgen.add_argument(
+        "--repeats", type=int, default=2, help="verbatim re-issues of the distinct block"
+    )
+    loadgen.add_argument(
+        "--fault-requests", type=int, default=2, help="fault scenarios per graph"
+    )
+    loadgen.add_argument(
+        "--passes", type=int, default=2, help="full burst passes (later ones hit the cache)"
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadgen.add_argument("--workers", type=int, default=2, help="executor threads")
+    loadgen.add_argument("--max-batch", type=int, default=64, help="batch window")
+    loadgen.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bitwise parity check against direct solves",
+    )
+    loadgen.add_argument("--json", action="store_true", help="print the full JSON report")
+    loadgen.set_defaults(handler=_command_loadgen)
 
     bounds = subparsers.add_parser("bounds", help="print the paper's closed-form bounds")
     bounds.add_argument("--delta", type=int, default=16)

@@ -1,0 +1,47 @@
+"""Async solve service: request queue, result cache, batched scheduling.
+
+The service layer turns :func:`repro.api.solve` into a long-lived,
+shared front end.  Requests are content addressed (:mod:`.keys`),
+answered from an LRU cache when repeated (:mod:`.cache`), deduplicated
+while in flight, and otherwise queued behind a batching scheduler
+(:mod:`.scheduler`) that coalesces same-graph multi-k requests onto the
+multi-k snapshot engine -- one fractional execution serving many
+callers, bitwise equal to independent solves.  :class:`.SolveService`
+is the facade; :mod:`.loadgen` builds the reproducible mixed workloads
+that the CLI, the load benchmark, and the demo example share.
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.keys import (
+    cache_key,
+    canonical_token,
+    coalesce_key,
+    graph_fingerprint,
+    params_token,
+)
+from repro.service.loadgen import build_workload, run_load, verify_parity
+from repro.service.scheduler import (
+    BatchScheduler,
+    SchedulerStats,
+    ServiceClosedError,
+    ServiceRequest,
+)
+from repro.service.server import SolveService
+
+__all__ = [
+    "BatchScheduler",
+    "CacheStats",
+    "ResultCache",
+    "SchedulerStats",
+    "ServiceClosedError",
+    "ServiceRequest",
+    "SolveService",
+    "build_workload",
+    "cache_key",
+    "canonical_token",
+    "coalesce_key",
+    "graph_fingerprint",
+    "params_token",
+    "run_load",
+    "verify_parity",
+]

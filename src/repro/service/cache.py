@@ -1,0 +1,116 @@
+"""Content-addressed LRU result cache for the solve service.
+
+Stores :class:`~repro.api.RunReport` objects under the canonical request
+digests minted by :mod:`repro.service.keys`.  Because the key covers the
+complete request content -- graph CSR arrays, algorithm, normalized
+params, seed -- a hit is *definitionally* the same computation: the
+cached report's dominating set, objective and metrics are bitwise what a
+fresh ``solve`` call would produce (elapsed wall-clock aside), which is
+exactly what ``benchmarks/bench_service_load.py`` gates.
+
+Eviction is plain LRU over a bounded entry count.  RunReports are a few
+kilobytes of Python objects plus the dominating set itself, so the
+default capacity keeps the cache comfortably in memory even for
+``n = 20 000`` results; services holding very large sets can size it
+down (or up) per instance.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.api import RunReport
+
+
+@dataclass
+class CacheStats:
+    """Mutable hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    report: RunReport
+    hits: int = field(default=0)
+
+
+class ResultCache:
+    """Bounded LRU mapping of request digests to :class:`RunReport`.
+
+    Not thread-safe by design: the service accesses it exclusively from
+    the event loop thread (worker threads hand results back to the loop
+    before they are inserted), so no locking is needed.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> RunReport | None:
+        """The cached report for ``key``, or ``None`` (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.stats.hits += 1
+        return entry.report
+
+    def peek(self, key: str) -> RunReport | None:
+        """Like :meth:`get` but without touching recency or counters."""
+        entry = self._entries.get(key)
+        return entry.report if entry is not None else None
+
+    def put(self, key: str, report: RunReport) -> None:
+        """Insert (or refresh) one report, evicting LRU entries as needed."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key].report = report
+        else:
+            self._entries[key] = _Entry(report)
+        self.stats.puts += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def keys(self) -> tuple[str, ...]:
+        """Current keys, least- to most-recently used."""
+        return tuple(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()

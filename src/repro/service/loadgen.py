@@ -1,0 +1,257 @@
+"""Deterministic workload generation and load-driving for the service.
+
+One workload builder feeds three consumers -- ``repro loadgen`` on the
+CLI, ``benchmarks/bench_service_load.py``, and
+``examples/service_demo.py`` -- so their request mixes agree and their
+numbers are comparable.  A workload is a seeded, shuffled burst of
+request dicts (the :meth:`SolveService.solve_many` shape) mixing:
+
+* multi-k sweeps over a handful of shared graphs (the coalescible core
+  of the mix -- same graph + seed, varying ``k``);
+* exact repeats of earlier requests (cache-hit fodder);
+* optional fault/repair scenario requests (exercising passthrough; never
+  coalesced or conflated with clean runs).
+
+:func:`run_load` drives a workload through a fresh service and reports
+throughput, latency percentiles, cache hit rate, coalescing factor, and
+-- the part CI gates -- *objective parity*: every distinct request in
+the mix is re-run through plain :func:`repro.api.solve` and its
+dominating set and objective must match the service's answer bitwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.api import solve
+from repro.graphs.generators import erdos_renyi_graph, random_regular_graph
+from repro.service.server import SolveService
+from repro.simulator.fault_schedule import FaultSpec
+
+__all__ = ["build_workload", "run_load", "verify_parity"]
+
+
+def build_workload(
+    n: int = 96,
+    graphs: int = 3,
+    k_values: Sequence[int] = (1, 2, 3),
+    repeats: int = 2,
+    fault_requests: int = 2,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Build a seeded burst of mixed solve requests.
+
+    Parameters
+    ----------
+    n:
+        Node count of each generated graph.
+    graphs:
+        Number of distinct graphs (alternating Erdős–Rényi and random
+        regular so both sparse and structured instances appear).
+    k_values:
+        The ``k`` sweep issued against every graph (the coalescible
+        portion of the mix).
+    repeats:
+        How many times the whole distinct-request block is re-issued
+        verbatim (cache-hit fodder; ``repeats=2`` means every distinct
+        request appears three times in total).
+    fault_requests:
+        Number of fault/repair scenario requests appended per graph.
+    seed:
+        Root seed: graph topology, solve seeds, fault scenarios and the
+        final shuffle all derive from it.
+    """
+    if graphs < 1:
+        raise ValueError("graphs must be at least 1")
+    if repeats < 0:
+        raise ValueError("repeats must be non-negative")
+    rng = random.Random(seed)
+    instances = []
+    for index in range(graphs):
+        graph_seed = rng.randrange(2**31)
+        if index % 2 == 0:
+            graph = erdos_renyi_graph(n, p=min(1.0, 4.0 / n), seed=graph_seed)
+        else:
+            degree = 4 if (n * 4) % 2 == 0 else 3
+            graph = random_regular_graph(n, degree=degree, seed=graph_seed)
+        instances.append((graph, rng.randrange(2**31)))
+
+    distinct: list[dict[str, Any]] = []
+    for graph, solve_seed in instances:
+        for k in k_values:
+            distinct.append(
+                {
+                    "algorithm": "kuhn-wattenhofer",
+                    "graph": graph,
+                    "seed": solve_seed,
+                    "params": {"k": int(k)},
+                }
+            )
+        for _ in range(fault_requests):
+            distinct.append(
+                {
+                    "algorithm": "kuhn-wattenhofer",
+                    "graph": graph,
+                    "seed": solve_seed,
+                    "params": {
+                        "k": int(k_values[0]),
+                        "faults": FaultSpec(
+                            loss_probability=0.05,
+                            crash_probability=0.02,
+                            seed=rng.randrange(2**31),
+                        ),
+                        "repair": True,
+                    },
+                }
+            )
+
+    workload = list(distinct)
+    for _ in range(repeats):
+        workload.extend(dict(request) for request in distinct)
+    rng.shuffle(workload)
+    return workload
+
+
+def _request_identity(request: Mapping[str, Any]) -> tuple:
+    """Hashable identity of one request dict (graphs compare by object)."""
+    params = request.get("params", {})
+    return (
+        request["algorithm"],
+        id(request["graph"]),
+        request.get("seed"),
+        tuple(sorted((name, repr(value)) for name, value in params.items())),
+    )
+
+
+def verify_parity(
+    workload: Sequence[Mapping[str, Any]],
+    reports: Sequence[Any],
+) -> dict[str, Any]:
+    """Re-run every *distinct* request directly and compare bitwise.
+
+    Returns ``{"objective_match": bool, "checked": int, "mismatches":
+    [...]}``.  A mismatch records the request params and both answers;
+    CI fails the build on any ``objective_match: false``.
+    """
+    seen: dict[tuple, Any] = {}
+    mismatches: list[dict[str, Any]] = []
+    for request, report in zip(workload, reports):
+        identity = _request_identity(request)
+        if identity in seen:
+            # Same request must yield the same report content every time
+            # it is served (cache hits included).
+            earlier = seen[identity]
+            if (
+                earlier.dominating_set != report.dominating_set
+                or earlier.objective != report.objective
+            ):
+                mismatches.append(
+                    {
+                        "kind": "served-twice-differently",
+                        "params": {k: repr(v) for k, v in request.get("params", {}).items()},
+                        "seed": request.get("seed"),
+                    }
+                )
+            continue
+        seen[identity] = report
+        direct = solve(
+            request["algorithm"],
+            request["graph"],
+            backend=request.get("backend", "auto"),
+            seed=request.get("seed"),
+            **request.get("params", {}),
+        )
+        if (
+            direct.dominating_set != report.dominating_set
+            or direct.objective != report.objective
+            or direct.rounds != report.rounds
+            or direct.messages != report.messages
+        ):
+            mismatches.append(
+                {
+                    "kind": "service-vs-direct",
+                    "params": {k: repr(v) for k, v in request.get("params", {}).items()},
+                    "seed": request.get("seed"),
+                    "service_objective": report.objective,
+                    "direct_objective": direct.objective,
+                }
+            )
+    return {
+        "objective_match": not mismatches,
+        "checked": len(seen),
+        "mismatches": mismatches,
+    }
+
+
+async def _drive(
+    workload: Sequence[Mapping[str, Any]],
+    cache_entries: int,
+    max_batch: int,
+    workers: int,
+    passes: int,
+) -> tuple[list[Any], dict[str, Any], float]:
+    async with SolveService(
+        cache_entries=cache_entries, max_batch=max_batch, workers=workers
+    ) as service:
+        started = time.perf_counter()
+        reports = await service.solve_many(workload)
+        for _ in range(passes - 1):
+            # Repeat passes land after the first has fully completed, so
+            # they exercise the cache (the first pass's identical twins
+            # instead join in flight).
+            reports = await service.solve_many(workload)
+        elapsed = time.perf_counter() - started
+        stats = service.stats()
+    return reports, stats, elapsed
+
+
+def run_load(
+    workload: Sequence[Mapping[str, Any]] | None = None,
+    cache_entries: int = 1024,
+    max_batch: int = 64,
+    workers: int = 2,
+    passes: int = 1,
+    verify: bool = True,
+    **workload_kwargs: Any,
+) -> dict[str, Any]:
+    """Drive a workload through a fresh service; return the load report.
+
+    With no explicit ``workload``, builds one from ``workload_kwargs``
+    via :func:`build_workload`.  ``passes`` re-issues the whole burst
+    that many times against the same service -- passes after the first
+    are answered from the cache, which is how the benchmark produces a
+    non-trivial hit rate.  The report carries ``requests``,
+    ``elapsed_s``, ``requests_per_s``, ``latency`` (p50/p99/...),
+    ``cache`` and ``scheduler`` stats, plus ``parity`` when ``verify``
+    is on (the CI-gated bitwise comparison against direct solves).
+    """
+    if passes < 1:
+        raise ValueError("passes must be at least 1")
+    if workload is None:
+        workload = build_workload(**workload_kwargs)
+    elif workload_kwargs:
+        raise TypeError("pass either a prebuilt workload or builder kwargs, not both")
+    reports, stats, elapsed = asyncio.run(
+        _drive(workload, cache_entries, max_batch, workers, passes)
+    )
+    total = len(workload) * passes
+    result: dict[str, Any] = {
+        "requests": total,
+        "distinct_requests": len(workload),
+        "passes": passes,
+        "elapsed_s": elapsed,
+        "requests_per_s": total / elapsed if elapsed > 0 else None,
+        "latency": stats["latency"],
+        "cache": stats["cache"],
+        "scheduler": stats["scheduler"],
+        "inflight_joins": stats["inflight_joins"],
+        "coalescing_factor": stats["scheduler"]["coalescing_factor"],
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+    }
+    if verify:
+        result["parity"] = verify_parity(workload, reports)
+        result["objective_match"] = result["parity"]["objective_match"]
+    return result

@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis.stats import (
     confidence_interval,
+    latency_summary,
+    percentile,
     mean,
     ratio_of_means,
     sample_std,
@@ -88,3 +90,56 @@ class TestRatioOfMeans:
     def test_zero_denominator_rejected(self):
         with pytest.raises(ValueError):
             ratio_of_means([1.0], [0.0])
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_interpolates_even_sample(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_endpoints(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_matches_numpy_linear_method(self):
+        import numpy as np
+
+        values = [0.4, 1.9, 0.1, 7.2, 3.3, 2.8, 0.05]
+        for q in (1, 25, 50, 75, 99):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_single_value(self):
+        assert percentile([4.2], 99) == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencySummary:
+    def test_digest_fields(self):
+        digest = latency_summary([0.1, 0.2, 0.3, 0.4])
+        assert digest["count"] == 4
+        assert digest["mean_s"] == pytest.approx(0.25)
+        assert digest["p50_s"] == pytest.approx(0.25)
+        assert digest["p50_s"] <= digest["p99_s"] <= digest["max_s"]
+        assert digest["max_s"] == 0.4
+
+    def test_empty_sample_yields_none_entries(self):
+        digest = latency_summary([])
+        assert digest == {
+            "count": 0,
+            "mean_s": None,
+            "p50_s": None,
+            "p99_s": None,
+            "max_s": None,
+        }

@@ -1,0 +1,108 @@
+"""Unit tests for the content-addressed LRU result cache."""
+
+import pytest
+
+from repro.api import solve
+from repro.graphs.generators import erdos_renyi_graph
+from repro.service.cache import ResultCache
+from repro.service.keys import cache_key
+from repro.simulator.bulk import BulkGraph
+
+
+@pytest.fixture(scope="module")
+def report():
+    return solve(
+        "kuhn-wattenhofer", erdos_renyi_graph(20, 0.2, seed=0), seed=0, k=1
+    )
+
+
+class TestLookup:
+    def test_miss_then_hit(self, report):
+        cache = ResultCache()
+        assert cache.get("key") is None
+        cache.put("key", report)
+        assert cache.get("key") is report
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_peek_does_not_count(self, report):
+        cache = ResultCache()
+        cache.put("key", report)
+        assert cache.peek("key") is report
+        assert cache.peek("other") is None
+        assert cache.stats.lookups == 0
+
+    def test_contains_and_len(self, report):
+        cache = ResultCache()
+        cache.put("key", report)
+        assert "key" in cache and "other" not in cache
+        assert len(cache) == 1
+
+    def test_clear_keeps_counters(self, report):
+        cache = ResultCache()
+        cache.put("key", report)
+        cache.get("key")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestEviction:
+    def test_lru_eviction_order(self, report):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", report)
+        cache.put("b", report)
+        cache.get("a")  # refresh "a": "b" is now least recently used
+        cache.put("c", report)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self, report):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", report)
+        cache.put("b", report)
+        cache.put("a", report)  # refresh, not insert
+        cache.put("c", report)
+        assert "a" in cache and "b" not in cache
+
+    def test_capacity_one(self, report):
+        cache = ResultCache(max_entries=1)
+        cache.put("a", report)
+        cache.put("b", report)
+        assert cache.keys() == ("b",)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestContentAddressing:
+    """The cache + keys combination: equal content shares, unequal never."""
+
+    def test_equal_graphs_different_constructors_share_entries(self, report):
+        cache = ResultCache()
+        graph = erdos_renyi_graph(20, 0.2, seed=0)
+        twin = BulkGraph.from_graph(graph)
+        key_a = cache_key("kuhn-wattenhofer", graph, seed=0, params={"k": 1})
+        key_b = cache_key("kuhn-wattenhofer", twin, seed=0, params={"k": 1})
+        cache.put(key_a, report)
+        assert cache.get(key_b) is report
+
+    def test_no_false_sharing_between_seeds(self, report):
+        cache = ResultCache()
+        graph = erdos_renyi_graph(20, 0.2, seed=0)
+        cache.put(cache_key("kuhn-wattenhofer", graph, seed=0, params={"k": 1}), report)
+        assert (
+            cache.get(cache_key("kuhn-wattenhofer", graph, seed=1, params={"k": 1}))
+            is None
+        )
+
+    def test_no_false_sharing_between_params(self, report):
+        cache = ResultCache()
+        graph = erdos_renyi_graph(20, 0.2, seed=0)
+        cache.put(cache_key("kuhn-wattenhofer", graph, seed=0, params={"k": 1}), report)
+        assert (
+            cache.get(cache_key("kuhn-wattenhofer", graph, seed=0, params={"k": 2}))
+            is None
+        )

@@ -1,0 +1,101 @@
+"""Tests for the shared workload builder and load runner."""
+
+import pytest
+
+from repro.service.loadgen import build_workload, run_load, verify_parity
+
+
+class TestBuildWorkload:
+    def test_deterministic_for_a_seed(self):
+        first = build_workload(n=24, graphs=2, k_values=(1, 2), seed=3)
+        second = build_workload(n=24, graphs=2, k_values=(1, 2), seed=3)
+        assert len(first) == len(second)
+        for one, two in zip(first, second):
+            assert one["algorithm"] == two["algorithm"]
+            assert one["seed"] == two["seed"]
+            assert sorted(map(repr, one["params"])) == sorted(map(repr, two["params"]))
+            assert sorted(one["graph"].edges()) == sorted(two["graph"].edges())
+
+    def test_size_accounting(self):
+        workload = build_workload(
+            n=24, graphs=2, k_values=(1, 2), repeats=2, fault_requests=1
+        )
+        distinct = 2 * (2 + 1)  # per graph: len(k_values) + fault_requests
+        assert len(workload) == distinct * (1 + 2)
+
+    def test_graphs_are_shared_objects(self):
+        """Repeats reference the same graph object (coalescing depends on it)."""
+        workload = build_workload(n=24, graphs=1, k_values=(1, 2), repeats=1)
+        identities = {id(request["graph"]) for request in workload}
+        assert len(identities) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_workload(graphs=0)
+        with pytest.raises(ValueError):
+            build_workload(repeats=-1)
+
+
+class TestRunLoad:
+    def test_report_fields_and_parity(self):
+        report = run_load(
+            n=24,
+            graphs=2,
+            k_values=(1, 2),
+            repeats=1,
+            fault_requests=1,
+            seed=11,
+            passes=2,
+        )
+        assert report["objective_match"] is True
+        assert report["parity"]["mismatches"] == []
+        # "distinct_requests" is the workload length (repeats included);
+        # "requests" multiplies in the passes.
+        assert report["requests"] == report["distinct_requests"] * 2
+        assert report["requests_per_s"] > 0
+        assert report["latency"]["count"] == report["requests"]
+        assert report["latency"]["p50_s"] <= report["latency"]["p99_s"]
+        assert report["cache_hit_rate"] > 0  # pass 2 repeats pass 1
+        assert report["coalescing_factor"] > 1.0  # the multi-k sweeps
+        assert report["scheduler"]["failures"] == 0
+
+    def test_verify_can_be_skipped(self):
+        report = run_load(
+            n=24, graphs=1, k_values=(1,), repeats=0, fault_requests=0, verify=False
+        )
+        assert "parity" not in report
+
+    def test_workload_and_kwargs_are_exclusive(self):
+        workload = build_workload(n=24, graphs=1, k_values=(1,))
+        with pytest.raises(TypeError):
+            run_load(workload=workload, n=24)
+
+    def test_passes_validated(self):
+        with pytest.raises(ValueError):
+            run_load(passes=0)
+
+
+class TestVerifyParity:
+    def test_detects_divergence(self):
+        workload = build_workload(
+            n=24, graphs=1, k_values=(1, 2), repeats=0, fault_requests=0, seed=5
+        )
+        report = run_load(workload=workload, verify=True)
+        assert report["objective_match"] is True
+        # Cross-wire the answers: parity must now fail.
+        reports = run_load(workload=workload, verify=False)
+        from repro.api import solve as direct_solve
+
+        answers = [
+            direct_solve(
+                request["algorithm"],
+                request["graph"],
+                seed=request.get("seed"),
+                **request["params"],
+            )
+            for request in workload
+        ]
+        swapped = [answers[1], answers[0]]
+        verdict = verify_parity(workload, swapped)
+        assert verdict["objective_match"] is False
+        assert verdict["mismatches"]

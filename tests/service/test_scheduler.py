@@ -1,0 +1,210 @@
+"""Unit tests for the batching scheduler and its coalesced execution path."""
+
+import asyncio
+
+import pytest
+
+from repro.api import solve
+from repro.graphs.generators import erdos_renyi_graph
+from repro.service.keys import cache_key, coalesce_key
+from repro.service.scheduler import (
+    BatchScheduler,
+    ServiceClosedError,
+    ServiceRequest,
+)
+
+
+def _request(graph, k, seed=0, algorithm="kuhn-wattenhofer", backend="auto"):
+    params = {"k": k}
+    return ServiceRequest(
+        algorithm=algorithm,
+        graph=graph,
+        backend=backend,
+        seed=seed,
+        params=params,
+        key=cache_key(algorithm, graph, seed=seed, params=params),
+        coalesce_key=coalesce_key(
+            algorithm, graph, seed=seed, params=params, backend=backend
+        ),
+        future=asyncio.get_running_loop().create_future(),
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(32, 0.15, seed=5)
+
+
+class TestLifecycle:
+    def test_submit_before_start_rejected(self, graph):
+        async def run():
+            scheduler = BatchScheduler()
+            with pytest.raises(ServiceClosedError):
+                await scheduler.submit(_request(graph, 1))
+
+        asyncio.run(run())
+
+    def test_submit_after_close_rejected(self, graph):
+        async def run():
+            scheduler = BatchScheduler()
+            await scheduler.start()
+            await scheduler.close()
+            with pytest.raises(ServiceClosedError):
+                await scheduler.submit(_request(graph, 1))
+
+        asyncio.run(run())
+
+    def test_close_is_idempotent(self):
+        async def run():
+            scheduler = BatchScheduler()
+            await scheduler.start()
+            await scheduler.close()
+            await scheduler.close()
+
+        asyncio.run(run())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(max_pending=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(workers=0)
+
+
+class TestExecution:
+    def test_solo_request_matches_direct_solve(self, graph):
+        async def run():
+            scheduler = BatchScheduler()
+            await scheduler.start()
+            request = _request(graph, 2, seed=3)
+            await scheduler.submit(request)
+            report = await request.future
+            await scheduler.close()
+            return report
+
+        report = asyncio.run(run())
+        direct = solve("kuhn-wattenhofer", graph, seed=3, k=2)
+        assert report.dominating_set == direct.dominating_set
+        assert report.objective == direct.objective
+        assert report.rounds == direct.rounds
+        assert report.messages == direct.messages
+
+    def test_coalesced_group_bitwise_equal_to_independent_runs(self, graph):
+        """The tentpole invariant: one engine run serves N requests exactly."""
+
+        async def run():
+            scheduler = BatchScheduler()
+            await scheduler.start()
+            requests = [_request(graph, k, seed=7) for k in (1, 2, 3)]
+            for request in requests:
+                await scheduler.submit(request)
+            reports = await asyncio.gather(*(r.future for r in requests))
+            stats = scheduler.stats
+            await scheduler.close()
+            return reports, stats
+
+        reports, stats = asyncio.run(run())
+        assert stats.coalesced_batches == 1
+        assert stats.coalesced_requests == 3
+        assert stats.solo_requests == 0
+        assert stats.coalescing_factor == pytest.approx(3.0)
+        for k, report in zip((1, 2, 3), reports):
+            direct = solve("kuhn-wattenhofer", graph, seed=7, k=k)
+            assert report.dominating_set == direct.dominating_set
+            assert report.objective == direct.objective
+            assert report.rounds == direct.rounds
+            assert report.messages == direct.messages
+            assert report.max_message_bits == direct.max_message_bits
+            assert report.params["k"] == k
+
+    def test_mixed_batch_coalesces_only_matching_groups(self, graph):
+        other = erdos_renyi_graph(32, 0.15, seed=6)
+
+        async def run():
+            scheduler = BatchScheduler()
+            await scheduler.start()
+            requests = [
+                _request(graph, 1, seed=7),
+                _request(graph, 2, seed=7),
+                _request(other, 1, seed=7),  # different graph: its own group
+                _request(graph, 1, seed=8),  # different seed: its own group
+            ]
+            for request in requests:
+                await scheduler.submit(request)
+            await asyncio.gather(*(r.future for r in requests))
+            stats = scheduler.stats
+            await scheduler.close()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats.coalesced_batches == 1
+        assert stats.coalesced_requests == 2
+        assert stats.solo_requests == 2
+
+    def test_failure_lands_on_the_future(self, graph):
+        async def run():
+            scheduler = BatchScheduler()
+            await scheduler.start()
+            request = _request(graph, 0)  # k must be >= 1
+            await scheduler.submit(request)
+            with pytest.raises(ValueError):
+                await request.future
+            stats = scheduler.stats
+            await scheduler.close()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats.failures == 1
+
+    def test_abandoned_request_skipped(self, graph):
+        async def run():
+            scheduler = BatchScheduler()
+            request = _request(graph, 2)
+            request.waiters = 0  # every waiter gave up before dispatch
+            await scheduler.start()
+            await scheduler.submit(request)
+            await scheduler.drain()
+            stats = scheduler.stats
+            cancelled = request.future.cancelled()
+            await scheduler.close()
+            return stats, cancelled
+
+        stats, cancelled = asyncio.run(run())
+        assert stats.skipped == 1
+        assert stats.solo_requests == 0
+        assert cancelled
+
+    def test_drain_completes_everything(self, graph):
+        async def run():
+            scheduler = BatchScheduler()
+            await scheduler.start()
+            requests = [_request(graph, k, seed=1) for k in (1, 2)]
+            for request in requests:
+                await scheduler.submit(request)
+            await scheduler.drain()
+            done = all(request.future.done() for request in requests)
+            assert scheduler.pending == 0
+            await scheduler.close()
+            return done
+
+        assert asyncio.run(run())
+
+
+class TestStats:
+    def test_idle_factor_is_one(self):
+        assert BatchScheduler().stats.coalescing_factor == 1.0
+
+    def test_as_dict_fields(self):
+        payload = BatchScheduler().stats.as_dict()
+        for field in (
+            "batches",
+            "solo_requests",
+            "coalesced_batches",
+            "coalesced_requests",
+            "engine_executions",
+            "coalescing_factor",
+            "failures",
+            "skipped",
+        ):
+            assert field in payload

@@ -1,0 +1,219 @@
+"""Integration tests for the SolveService facade."""
+
+import asyncio
+
+import pytest
+
+from repro.api import solve
+from repro.graphs.generators import erdos_renyi_graph
+from repro.service import ServiceClosedError, SolveService
+from repro.simulator.fault_schedule import FaultSpec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(28, 0.18, seed=2)
+
+
+class TestSolve:
+    def test_matches_direct_solve(self, graph):
+        async def run():
+            async with SolveService() as service:
+                return await service.solve("kuhn-wattenhofer", graph, seed=1, k=2)
+
+        report = asyncio.run(run())
+        direct = solve("kuhn-wattenhofer", graph, seed=1, k=2)
+        assert report.dominating_set == direct.dominating_set
+        assert report.objective == direct.objective
+        assert report.rounds == direct.rounds
+
+    def test_repeat_served_from_cache(self, graph):
+        async def run():
+            async with SolveService() as service:
+                first = await service.solve("kuhn-wattenhofer", graph, seed=1, k=2)
+                second = await service.solve("kuhn-wattenhofer", graph, seed=1, k=2)
+                return first, second, service.stats()
+
+        first, second, stats = asyncio.run(run())
+        assert second is first  # the literal cached object
+        assert stats["cache"]["hits"] == 1
+        assert stats["scheduler"]["engine_executions"] == 1
+
+    def test_equivalent_spellings_share_cache_entries(self, graph):
+        async def run():
+            async with SolveService() as service:
+                await service.solve("kuhn-wattenhofer", graph, seed=1, k=2)
+                await service.solve(
+                    "kuhn-wattenhofer",
+                    graph,
+                    seed=1,
+                    k=2,
+                    variant="unknown_delta",  # the default, spelled out
+                )
+                return service.stats()
+
+        stats = asyncio.run(run())
+        assert stats["cache"]["hits"] == 1
+
+    def test_concurrent_identical_requests_join_in_flight(self, graph):
+        async def run():
+            async with SolveService() as service:
+                reports = await service.solve_many(
+                    [
+                        {
+                            "algorithm": "kuhn-wattenhofer",
+                            "graph": graph,
+                            "seed": 1,
+                            "params": {"k": 2},
+                        }
+                    ]
+                    * 3
+                )
+                return reports, service.stats()
+
+        reports, stats = asyncio.run(run())
+        assert stats["inflight_joins"] == 2
+        assert stats["scheduler"]["engine_executions"] == 1
+        assert len({id(report) for report in reports}) == 1
+
+    def test_multi_k_burst_coalesces_and_matches(self, graph):
+        async def run():
+            async with SolveService() as service:
+                reports = await service.solve_many(
+                    [
+                        {
+                            "algorithm": "kuhn-wattenhofer",
+                            "graph": graph,
+                            "seed": 4,
+                            "params": {"k": k},
+                        }
+                        for k in (1, 2, 3)
+                    ]
+                )
+                return reports, service.stats()
+
+        reports, stats = asyncio.run(run())
+        assert stats["scheduler"]["coalesced_requests"] == 3
+        assert stats["scheduler"]["engine_executions"] == 1
+        for k, report in zip((1, 2, 3), reports):
+            direct = solve("kuhn-wattenhofer", graph, seed=4, k=k)
+            assert report.dominating_set == direct.dominating_set
+            assert report.objective == direct.objective
+
+    def test_fault_scenario_passthrough(self, graph):
+        faults = FaultSpec(loss_probability=0.1, crash_probability=0.05, seed=3)
+
+        async def run():
+            async with SolveService() as service:
+                return await service.solve(
+                    "kuhn-wattenhofer",
+                    graph,
+                    seed=1,
+                    k=2,
+                    faults=faults,
+                    repair=True,
+                )
+
+        report = asyncio.run(run())
+        direct = solve(
+            "kuhn-wattenhofer", graph, seed=1, k=2, faults=faults, repair=True
+        )
+        assert report.dominating_set == direct.dominating_set
+        assert report.objective == direct.objective
+
+    def test_faulty_and_clean_runs_never_share_entries(self, graph):
+        async def run():
+            async with SolveService() as service:
+                clean = await service.solve("kuhn-wattenhofer", graph, seed=1, k=2)
+                faulty = await service.solve(
+                    "kuhn-wattenhofer",
+                    graph,
+                    seed=1,
+                    k=2,
+                    faults=FaultSpec(loss_probability=0.3, seed=0),
+                    repair=True,
+                )
+                return clean, faulty, service.stats()
+
+        clean, faulty, stats = asyncio.run(run())
+        assert stats["cache"]["hits"] == 0
+        assert stats["cache"]["entries"] == 2
+
+    def test_error_propagates_and_is_not_cached(self, graph):
+        async def run():
+            async with SolveService() as service:
+                with pytest.raises(ValueError):
+                    await service.solve("kuhn-wattenhofer", graph, k=0)
+                stats = service.stats()
+                return stats
+
+        stats = asyncio.run(run())
+        assert stats["failed"] == 1
+        assert stats["cache"]["entries"] == 0
+
+    def test_unknown_algorithm_rejected_at_submission(self, graph):
+        async def run():
+            async with SolveService() as service:
+                with pytest.raises(KeyError):
+                    await service.solve("no-such-algorithm", graph)
+
+        asyncio.run(run())
+
+
+class TestTimeouts:
+    def test_timeout_raises_but_result_still_cached(self, graph):
+        async def run():
+            async with SolveService() as service:
+                with pytest.raises(asyncio.TimeoutError):
+                    await service.solve(
+                        "kuhn-wattenhofer", graph, seed=9, k=2, timeout=1e-9
+                    )
+                await service.drain()
+                stats = service.stats()
+                # The computation outlived the impatient waiter: a repeat
+                # of the same request is now a cache hit.
+                report = await service.solve("kuhn-wattenhofer", graph, seed=9, k=2)
+                return stats, report, service.stats()
+
+        stats, report, final_stats = asyncio.run(run())
+        assert stats["timeouts"] == 1
+        assert final_stats["cache"]["hits"] == 1
+        direct = solve("kuhn-wattenhofer", graph, seed=9, k=2)
+        assert report.dominating_set == direct.dominating_set
+
+
+class TestLifecycle:
+    def test_solve_after_close_rejected(self, graph):
+        async def run():
+            service = SolveService()
+            await service.start()
+            await service.close()
+            with pytest.raises(ServiceClosedError):
+                await service.solve("kuhn-wattenhofer", graph, k=1)
+
+        asyncio.run(run())
+
+    def test_close_drains_submitted_work(self, graph):
+        async def run():
+            service = SolveService()
+            await service.start()
+            outcome = await service._begin(
+                "kuhn-wattenhofer", graph, "auto", 1, {"k": 2}
+            )
+            await service.close()
+            _, request, _ = outcome
+            return request.future.done() and not request.future.cancelled()
+
+        assert asyncio.run(run())
+
+    def test_stats_shape_when_idle(self):
+        async def run():
+            async with SolveService() as service:
+                return service.stats()
+
+        stats = asyncio.run(run())
+        assert stats["requests"] == 0
+        assert stats["latency"]["count"] == 0
+        assert stats["latency"]["p99_s"] is None
+        assert stats["cache"]["hit_rate"] == 0.0
+        assert stats["scheduler"]["coalescing_factor"] == 1.0

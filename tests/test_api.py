@@ -37,6 +37,7 @@ from repro.api import (
     solve,
     twin_specs,
 )
+from repro.core.kuhn_wattenhofer import FractionalVariant
 from repro.core.vectorized import SHARDED, SIMULATED, VECTORIZED
 from repro.graphs.bulk import bulk_grid_graph, bulk_unit_disk_graph
 from repro.simulator.bulk import BulkGraph
@@ -710,3 +711,82 @@ class TestFaultCapability:
             reports[SIMULATED].dominating_set == reports[VECTORIZED].dominating_set
         )
         assert reports[SIMULATED].repair == reports[VECTORIZED].repair
+
+
+class TestNormalizedParams:
+    """Pinning tests for solve()'s canonical parameter normalization.
+
+    The service layer's content-addressed cache keys hash through
+    ``normalized_params``: two spellings of the same request MUST
+    normalize identically, and distinct requests must never collapse.
+    """
+
+    def test_kwargs_order_is_irrelevant(self):
+        first = api.normalized_params(
+            "kuhn-wattenhofer", {"k": 2, "variant": "known_delta"}
+        )
+        second = api.normalized_params(
+            "kuhn-wattenhofer", {"variant": "known_delta", "k": 2}
+        )
+        assert first == second
+        assert list(first) == list(second)  # key order is canonical too
+
+    def test_defaults_fill_in(self):
+        implicit = api.normalized_params("kuhn-wattenhofer", {"k": 2})
+        explicit = api.normalized_params(
+            "kuhn-wattenhofer",
+            {
+                "k": 2,
+                "variant": FractionalVariant.UNKNOWN_DELTA,
+                "rounding_rule": "log",
+                "repair": True,
+            },
+        )
+        assert implicit == explicit
+
+    def test_enum_values_collapse_to_strings(self):
+        params = api.normalized_params(
+            "kuhn-wattenhofer", {"k": 2, "variant": FractionalVariant.KNOWN_DELTA}
+        )
+        assert params["variant"] == "known_delta"
+
+    def test_unknown_param_raises_when_strict(self):
+        with pytest.raises(TypeError, match="bogus"):
+            api.normalized_params("kuhn-wattenhofer", {"bogus": 1})
+
+    def test_unknown_param_tolerated_when_lenient(self):
+        params = api.normalized_params(
+            "kuhn-wattenhofer", {"k": 2, "bogus": 1}, strict=False
+        )
+        assert "bogus" not in params
+
+    def test_distinct_requests_stay_distinct(self):
+        assert api.normalized_params(
+            "kuhn-wattenhofer", {"k": 2}
+        ) != api.normalized_params("kuhn-wattenhofer", {"k": 3})
+
+    def test_runner_context_excluded(self):
+        params = api.normalized_params("kuhn-wattenhofer", {"k": 2})
+        for context in ("graph", "seed", "backend"):
+            assert context not in params
+
+    def test_report_params_match_across_spellings(self, small_graph):
+        """solve() reports identical params for equivalent invocations."""
+        implicit = solve("kuhn-wattenhofer", small_graph, seed=0, k=2)
+        explicit = solve(
+            "kuhn-wattenhofer",
+            small_graph,
+            seed=0,
+            k=2,
+            variant=FractionalVariant.UNKNOWN_DELTA,
+            rounding_rule="log",
+        )
+        assert implicit.params == explicit.params
+        assert list(implicit.params) == list(explicit.params)
+
+    def test_canonical_param_value_shapes(self):
+        assert api.canonical_param_value(FractionalVariant.KNOWN_DELTA) == (
+            "known_delta"
+        )
+        assert api.canonical_param_value([1, 2]) == (1, 2)
+        assert api.canonical_param_value({"b": 1, "a": 2}) == {"a": 2, "b": 1}

@@ -591,3 +591,150 @@ class TestFaultsCommand:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "faults" in captured.out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        captured = capsys.readouterr()
+        assert excinfo.value.code == 0
+        assert "repro-domset" in captured.out
+        # Works from a bare source checkout: falls back to repro.__version__.
+        import repro
+
+        assert repro.__version__ in captured.out
+
+
+class TestLoadgenCommand:
+    def test_loadgen_table(self, capsys):
+        exit_code = main(
+            [
+                "loadgen",
+                "--n",
+                "24",
+                "--graphs",
+                "1",
+                "--max-k",
+                "2",
+                "--repeats",
+                "1",
+                "--fault-requests",
+                "0",
+                "--passes",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "req_per_s" in captured.out
+        assert "parity" in captured.out
+
+    def test_loadgen_json(self, capsys):
+        exit_code = main(
+            [
+                "loadgen",
+                "--n",
+                "24",
+                "--graphs",
+                "1",
+                "--max-k",
+                "2",
+                "--repeats",
+                "0",
+                "--fault-requests",
+                "0",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["objective_match"] is True
+        assert payload["latency"]["p99_s"] is not None
+        assert payload["coalescing_factor"] > 1.0
+
+
+class TestServeCommand:
+    def test_serve_answers_request_script(self, capsys, tmp_path, monkeypatch):
+        script = tmp_path / "requests.jsonl"
+        script.write_text(
+            "\n".join(
+                [
+                    '{"algorithm": "kuhn-wattenhofer", "family": "star",'
+                    ' "graph_params": {"leaves": 8}, "seed": 0, "k": 1}',
+                    "# comments and blank lines are skipped",
+                    "",
+                    '{"algorithm": "kuhn-wattenhofer", "family": "star",'
+                    ' "graph_params": {"leaves": 8}, "seed": 0, "k": 2}',
+                ]
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        exit_code = main(["serve", "--requests", str(script), "--stats"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == 3  # two answers + the stats line
+        first = json.loads(lines[0])
+        assert first["algorithm"] == "kuhn-wattenhofer"
+        assert first["size"] >= 1
+        stats = json.loads(lines[-1])["stats"]
+        assert stats["completed"] == 2
+
+    def test_serve_reads_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                '{"algorithm": "greedy", "family": "path", "graph_params":'
+                ' {"n": 10}}\n'
+            ),
+        )
+        exit_code = main(["serve"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert json.loads(captured.out.splitlines()[0])["algorithm"] == "greedy"
+
+    def test_serve_fault_request(self, capsys, tmp_path):
+        script = tmp_path / "requests.jsonl"
+        script.write_text(
+            '{"algorithm": "kuhn-wattenhofer", "family": "erdos_renyi",'
+            ' "graph_params": {"n": 20, "p": 0.2}, "seed": 1, "params":'
+            ' {"k": 2, "faults": {"loss_probability": 0.1, "seed": 4},'
+            ' "repair": true}}\n',
+            encoding="utf-8",
+        )
+        exit_code = main(["serve", "--requests", str(script)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        answer = json.loads(captured.out.splitlines()[0])
+        assert answer["size"] >= 1
+
+    def test_serve_rejects_invalid_json(self, tmp_path, capsys):
+        script = tmp_path / "requests.jsonl"
+        script.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["serve", "--requests", str(script)])
+
+    def test_serve_empty_script_fails(self, tmp_path, capsys):
+        script = tmp_path / "requests.jsonl"
+        script.write_text("\n", encoding="utf-8")
+        exit_code = main(["serve", "--requests", str(script)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "no requests" in captured.err
+
+    def test_serve_error_request_reported(self, tmp_path, capsys):
+        script = tmp_path / "requests.jsonl"
+        script.write_text(
+            '{"algorithm": "kuhn-wattenhofer", "family": "path",'
+            ' "graph_params": {"n": 10}, "k": 0}\n',  # k must be >= 1
+            encoding="utf-8",
+        )
+        exit_code = main(["serve", "--requests", str(script)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in json.loads(captured.out.splitlines()[0])

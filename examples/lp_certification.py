@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Certified ε-optimal LP solves: PDHG and MWU vs. exact HiGHS.
+
+The paper's approximation guarantees are stated against the fractional
+optimum LP_OPT, so experiments need that denominator at whatever scale
+they ran.  HiGHS computes it exactly but is solver-bound on dense-ish
+instances; the first-order solvers in ``repro.lp.firstorder`` trade
+exactness for a *verified* ε-certificate: the primal is re-checked
+feasible, the dual is projected feasible, and the relative duality gap
+is re-derived through the same checkers the rest of the repo trusts.
+
+This example solves one instance three ways (HiGHS, PDHG, MWU), prints
+each certificate, shows that the certified lower bounds bracket the
+exact optimum, and then rounds each fractional solution into an actual
+dominating set to show the ε barely moves the integral answer.
+
+Run with:  python examples/lp_certification.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.baselines.lp_rounding_central import central_lp_rounding_dominating_set
+from repro.domset.validation import is_dominating_set
+from repro.graphs.unit_disk import random_unit_disk_graph
+from repro.lp.solver import solve_weighted_fractional_mds
+from repro.simulator.bulk import BulkGraph
+
+#: Smoke-test knob (CI): shrink the instance so the example runs in <1 s.
+QUICK = bool(int(os.environ.get("REPRO_EXAMPLES_QUICK", "0")))
+NODES = 80 if QUICK else 400
+RADIUS = 0.2 if QUICK else 0.09
+SEED = 7
+#: (method, tol) columns; HiGHS's tol is ignored (exact).
+METHODS = (("highs", 1e-3), ("pdhg", 1e-3), ("mwu", 5e-2))
+
+
+def main() -> None:
+    graph = random_unit_disk_graph(NODES, radius=RADIUS, seed=SEED)
+    bulk = BulkGraph.from_graph(graph)
+    print(
+        f"unit disk graph: n = {NODES}, radius {RADIUS}, "
+        f"{graph.number_of_edges()} edges"
+    )
+
+    solutions = {}
+    exact = None
+    print("\nfractional solves")
+    for method, tol in METHODS:
+        start = time.perf_counter()
+        solution = solve_weighted_fractional_mds(
+            bulk, weights=None, method=method, tol=tol
+        )
+        elapsed = time.perf_counter() - start
+        solutions[method] = solution
+        if method == "highs":
+            exact = solution.objective
+            print(f"  highs : objective {solution.objective:.4f}  (exact, {elapsed:.2f}s)")
+            continue
+        certificate = solution.certificate
+        print(
+            f"  {method:5s} : objective {solution.objective:.4f}  "
+            f"certified gap {certificate.gap:.2e} <= tol {tol:g}  "
+            f"({certificate.iterations} iters, {elapsed:.2f}s)"
+        )
+        # The certificate brackets the exact optimum from both sides.
+        assert certificate.dual_objective <= exact + 1e-9
+        assert exact <= solution.objective + 1e-9
+        print(
+            f"          lower bound {certificate.dual_objective:.4f} "
+            f"<= LP_OPT {exact:.4f} <= primal {solution.objective:.4f}"
+        )
+
+    print("\nrounding each fractional solution (central-lp, seed 1)")
+    for method, tol in METHODS:
+        result = central_lp_rounding_dominating_set(
+            graph, seed=1, lp_method=method, lp_tol=tol
+        )
+        assert is_dominating_set(graph, result.dominating_set)
+        ratio = result.size / solutions["highs"].objective
+        print(
+            f"  {method:5s} : |DS| = {result.size:3d}  "
+            f"ratio vs exact LP_OPT = {ratio:.2f}"
+        )
+
+    print(
+        "\nthe ε-certificate is verified, not trusted: the dual is projected "
+        "feasible\nand re-checked, so every lower bound above is a theorem "
+        "about this instance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1010,10 +1010,20 @@ def _run_wu_li(
 
 
 def _run_central_lp(
-    graph, seed, backend, rule: RoundingRule = RoundingRule.LOG
+    graph,
+    seed,
+    backend,
+    rule: RoundingRule = RoundingRule.LOG,
+    lp_method: str = "highs",
+    lp_tol: float = 1e-3,
 ) -> _RunPayload:
     result = central_lp_rounding_dominating_set(
-        graph, seed=seed, rule=rule, backend=backend
+        graph,
+        seed=seed,
+        rule=rule,
+        backend=backend,
+        lp_method=lp_method,
+        lp_tol=lp_tol,
     )
     # Only the distributed rounding phase has a round count; the LP solve
     # is centralized by construction.

@@ -63,8 +63,10 @@ def central_lp_rounding_dominating_set(
     seed: int | None = None,
     rule: RoundingRule = RoundingRule.LOG,
     backend: str = SIMULATED,
+    lp_method: str = "highs",
+    lp_tol: float = 1e-3,
 ) -> CentralLPRoundingResult:
-    """Solve LP_MDS exactly, then round with distributed Algorithm 1.
+    """Solve LP_MDS, then round with distributed Algorithm 1.
 
     Parameters
     ----------
@@ -81,6 +83,13 @@ def central_lp_rounding_dominating_set(
     backend:
         Execution backend for the distributed rounding phase; both flip
         the same per-seed coins, so the selected set is backend-invariant.
+    lp_method:
+        LP solver for the fractional phase: ``"highs"`` (exact, the
+        α = 1 instantiation of Theorem 3) or ``"pdhg"`` / ``"mwu"``
+        (first-order, α = 1 + lp_tol via the verified certificate --
+        Theorem 3's guarantee degrades by exactly that factor).
+    lp_tol:
+        Certified relative duality gap for the first-order methods.
 
     Returns
     -------
@@ -88,9 +97,11 @@ def central_lp_rounding_dominating_set(
     """
     validate_backend(backend)
     if isinstance(graph, BulkGraph):
-        lp_solution = solve_fractional_mds_sparse(graph)
+        lp_solution = solve_fractional_mds_sparse(
+            graph, method=lp_method, tol=lp_tol
+        )
     else:
-        lp_solution = solve_fractional_mds(graph)
+        lp_solution = solve_fractional_mds(graph, method=lp_method, tol=lp_tol)
     rounding = round_fractional_solution(
         graph,
         lp_solution.values,

@@ -25,13 +25,29 @@ This package turns those three programs into code:
   used for LP certification at the n ≥ 20 000 bulk scale: same
   interface as the dense formulation, O(n + m) memory, accepted by all
   feasibility/duality helpers interchangeably.
+* :mod:`~repro.lp.firstorder` -- certified first-order solvers (PDHG and
+  multiplicative weights) running matrix-free on the CSR operators: each
+  solve terminates on a *verified* duality gap, so ε-optimality is a
+  certificate, and the ``huge`` suite (n ≥ 10⁶) certifies without an
+  external LP solver.
 """
 
 from repro.lp.duality import (
+    certified_lower_bound,
+    certified_lower_bound_lp,
     dual_objective,
+    feasible_dual_projection,
     lemma1_dual_solution,
     lemma1_lower_bound,
     weak_duality_gap,
+)
+from repro.lp.firstorder import (
+    FIRST_ORDER_METHODS,
+    ConvergenceError,
+    DualityCertificate,
+    FirstOrderSolution,
+    estimate_operator_norm,
+    solve_covering_lp,
 )
 from repro.lp.feasibility import (
     check_dual_feasible,
@@ -45,6 +61,8 @@ from repro.lp.formulation import (
     integer_objective,
 )
 from repro.lp.solver import (
+    DEFAULT_LP_TOL,
+    LP_METHODS,
     LPSolution,
     solve_fractional_mds,
     solve_fractional_mds_sparse,
@@ -54,19 +72,30 @@ from repro.lp.solver import (
 from repro.lp.sparse import SparseDominatingSetLP, build_lp_sparse
 
 __all__ = [
+    "ConvergenceError",
+    "DEFAULT_LP_TOL",
     "DominatingSetLP",
+    "DualityCertificate",
+    "FIRST_ORDER_METHODS",
+    "FirstOrderSolution",
     "LPSolution",
+    "LP_METHODS",
     "SparseDominatingSetLP",
     "build_lp",
     "build_lp_sparse",
+    "certified_lower_bound",
+    "certified_lower_bound_lp",
     "check_dual_feasible",
     "check_primal_feasible",
     "dual_objective",
+    "estimate_operator_norm",
+    "feasible_dual_projection",
     "fractional_objective",
     "integer_objective",
     "lemma1_dual_solution",
     "lemma1_lower_bound",
     "primal_violations",
+    "solve_covering_lp",
     "solve_fractional_mds",
     "solve_fractional_mds_sparse",
     "solve_weighted_fractional_mds",

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Hashable, Mapping, Sequence
 
 import networkx as nx
+import numpy as np
 
 from repro.graphs.utils import delta_one
 from repro.lp.feasibility import check_dual_feasible
@@ -79,19 +80,91 @@ def weak_duality_gap(
     return float(primal_value - dual_value)
 
 
-def certified_lower_bound(graph: nx.Graph, y: Mapping[Hashable, float]) -> float:
-    """Validate a dual assignment and return its objective as a lower bound.
+def feasible_dual_projection(
+    lp: DominatingSetLP, y: Mapping[Hashable, float] | Sequence[float]
+) -> np.ndarray:
+    """Project an arbitrary dual assignment onto the DLP_MDS polytope.
 
-    ``graph`` may be a CSR :class:`~repro.simulator.bulk.BulkGraph`, in
-    which case the dual feasibility verification runs matrix-free on the
-    CSR adjacency.
+    Float round-off (or a first-order iterate captured mid-flight)
+    routinely produces duals that are feasible only up to 1e-12ish noise:
+    tiny negative entries, packing loads a hair above the weights.  The
+    projection repairs any such vector into a *genuinely* feasible one
+    while preserving as much of its objective as possible:
+
+    1. clamp negative entries to zero,
+    2. zero out the closed neighbourhood of every zero-weight node
+       (their packing constraints read ``Σ_{j∈N⁺(i)} y_j ≤ 0``, so no
+       amount of uniform scaling could repair mass there),
+    3. rescale uniformly by ``min(1, min_i w_i / load_i)`` over the
+       still-loaded constraints, so every packing constraint holds with
+       a one-ulp safety margin.
+
+    The result satisfies ``N·y ≤ w`` and ``y ≥ 0``; for an already
+    feasible input the scale factor caps at 1 and steps 1–2 are no-ops,
+    so feasible duals pass through unchanged.  Works on the dense and
+    the CSR-backed formulation alike.
+    """
+    vector = np.maximum(lp._as_vector(y), 0.0)
+    if not vector.any():
+        return vector
+    zero_weight = lp.weights <= 0.0
+    if np.any(zero_weight):
+        blocked = lp.coverage(zero_weight.astype(np.float64)) > 0.0
+        vector[blocked] = 0.0
+        if not vector.any():
+            return vector
+    load = lp.dual_load(vector)
+    loaded = load > 0.0
+    if np.any(loaded):
+        scale = float(np.min(lp.weights[loaded] / load[loaded]))
+        if scale < 1.0:
+            # One-ulp shave keeps round-off in scale*load below w exact.
+            vector *= scale * (1.0 - 1e-15)
+    return vector
+
+
+def certified_lower_bound_lp(
+    lp: DominatingSetLP, y: Mapping[Hashable, float] | Sequence[float]
+) -> float:
+    """A verified lower bound from an arbitrary dual assignment.
+
+    The assignment is first repaired by :func:`feasible_dual_projection`
+    (a no-op for feasible inputs), then *re-verified* through
+    :func:`~repro.lp.feasibility.check_dual_feasible` before its
+    objective is returned -- so the bound is a certificate even when the
+    caller handed over a round-off-polluted vector.
 
     Raises
     ------
     ValueError
-        If ``y`` is not feasible for DLP_MDS.
+        If the projected assignment still fails verification (cannot
+        happen for finite inputs; guards NaN/inf poisoning).
+    """
+    projected = feasible_dual_projection(lp, y)
+    if not check_dual_feasible(lp, projected, tolerance=1e-9):
+        raise ValueError(
+            "dual assignment is not feasible even after projection; "
+            "cannot certify bound"
+        )
+    return float(np.sum(projected))
+
+
+def certified_lower_bound(graph: nx.Graph, y: Mapping[Hashable, float]) -> float:
+    """A verified DLP_MDS lower bound from a per-node dual assignment.
+
+    ``graph`` may be a CSR :class:`~repro.simulator.bulk.BulkGraph`, in
+    which case the projection and feasibility verification run
+    matrix-free on the CSR adjacency.  Infeasible assignments -- negative
+    entries from float round-off, over-packed neighbourhoods -- are
+    *clamped* onto the feasible region (projection + uniform rescale,
+    see :func:`feasible_dual_projection`) rather than rejected, so the
+    returned value is always a valid lower bound; for a feasible input
+    it equals ``Σ y_i`` exactly.
+
+    Raises
+    ------
+    ValueError
+        Only if the assignment cannot be repaired (NaN/inf entries).
     """
     lp = build_lp(graph)
-    if not check_dual_feasible(lp, y, tolerance=1e-9):
-        raise ValueError("dual assignment is not feasible; cannot certify bound")
-    return dual_objective(y)
+    return certified_lower_bound_lp(lp, y)

@@ -1,15 +1,23 @@
-"""Exact fractional dominating set optimisation via scipy.
+"""Fractional dominating set optimisation: exact HiGHS + certified first-order.
 
 ``LP_OPT = min Σ c_i x_i  s.t.  N·x ≥ 1, x ≥ 0`` is solved with
-``scipy.optimize.linprog`` (HiGHS).  The optimum is the denominator of every
-measured approximation ratio for the fractional algorithms and the α = 1
-input for the rounding experiments, so this module is a load-bearing
-substrate: its output is validated for feasibility before being returned.
+``scipy.optimize.linprog`` (HiGHS) by default.  The optimum is the
+denominator of every measured approximation ratio for the fractional
+algorithms and the α = 1 input for the rounding experiments, so this
+module is a load-bearing substrate: its output is validated for
+feasibility before being returned.
+
+``method="pdhg"`` / ``method="mwu"`` route the solve to the matrix-free
+first-order methods in :mod:`repro.lp.firstorder` instead: the returned
+objective is then ε-optimal with a *verified* duality certificate
+(``solution.certificate``) bounding the relative gap by ``tol`` -- the
+right trade on solver-bound instances at n ≥ 20 000 and the only option
+at n ≥ 10⁶, where HiGHS is impractical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable, Mapping
 
 import networkx as nx
@@ -20,8 +28,17 @@ from repro.lp.feasibility import check_primal_feasible
 from repro.lp.formulation import DominatingSetLP, build_lp
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.lp.firstorder import DualityCertificate
     from repro.lp.sparse import SparseDominatingSetLP
     from repro.simulator.bulk import BulkGraph
+
+#: Method names accepted by the ``method=`` parameter of every solve
+#: entry point: exact HiGHS plus the two certified first-order methods.
+LP_METHODS = ("highs", "pdhg", "mwu")
+
+#: Default certificate tolerance (relative duality gap) for the
+#: first-order methods; ignored by ``method="highs"``.
+DEFAULT_LP_TOL = 1e-3
 
 
 class LPSolverError(RuntimeError):
@@ -51,6 +68,9 @@ class LPSolution:
     values: dict[Hashable, float]
     objective: float
     lp: "DominatingSetLP | SparseDominatingSetLP | None"
+    method: str = "highs"
+    dual_values: dict[Hashable, float] | None = field(default=None, repr=False)
+    certificate: "DualityCertificate | None" = None
 
     def as_vector(self) -> np.ndarray:
         """The solution as a vector in the LP's canonical node order."""
@@ -62,9 +82,12 @@ class LPSolution:
 
 
 def solve_fractional_mds(
-    graph: nx.Graph, tolerance: float = 1e-9
+    graph: nx.Graph,
+    tolerance: float = 1e-9,
+    method: str = "highs",
+    tol: float = DEFAULT_LP_TOL,
 ) -> LPSolution:
-    """Solve LP_MDS exactly (unweighted).
+    """Solve LP_MDS (unweighted) -- exactly, or to a certified gap.
 
     Parameters
     ----------
@@ -72,6 +95,11 @@ def solve_fractional_mds(
         Input graph.
     tolerance:
         Feasibility tolerance used when validating the solver output.
+    method:
+        ``"highs"`` (exact, default), ``"pdhg"`` or ``"mwu"``
+        (first-order with a verified ε-certificate).
+    tol:
+        Target relative duality gap for the first-order methods.
 
     Returns
     -------
@@ -80,17 +108,22 @@ def solve_fractional_mds(
     Raises
     ------
     LPSolverError
-        If scipy reports failure or returns an infeasible point.
+        If scipy reports failure, returns an infeasible point, or a
+        first-order method exhausts its budget uncertified.
     """
-    return solve_weighted_fractional_mds(graph, weights=None, tolerance=tolerance)
+    return solve_weighted_fractional_mds(
+        graph, weights=None, tolerance=tolerance, method=method, tol=tol
+    )
 
 
 def solve_weighted_fractional_mds(
     graph: nx.Graph,
     weights: Mapping[Hashable, float] | None,
     tolerance: float = 1e-9,
+    method: str = "highs",
+    tol: float = DEFAULT_LP_TOL,
 ) -> LPSolution:
-    """Solve the weighted fractional dominating set LP exactly.
+    """Solve the weighted fractional dominating set LP.
 
     The weighted variant corresponds to the remark after Theorem 4 in the
     paper: node v_i has cost c_i ≥ 0 and the objective is Σ c_i x_i.
@@ -105,6 +138,13 @@ def solve_weighted_fractional_mds(
         Positive node costs; ``None`` means unweighted (all ones).
     tolerance:
         Feasibility tolerance for output validation.
+    method:
+        ``"highs"`` (exact, default), ``"pdhg"`` or ``"mwu"`` -- the
+        first-order methods run on the CSR operators, so a dense
+        networkx input is converted to a
+        :class:`~repro.simulator.bulk.BulkGraph` first.
+    tol:
+        Target relative duality gap for the first-order methods.
 
     Returns
     -------
@@ -112,9 +152,20 @@ def solve_weighted_fractional_mds(
     """
     from repro.graphs.utils import is_bulk_graph
 
+    _validate_method(method)
     if is_bulk_graph(graph):
         return solve_weighted_fractional_mds_sparse(
-            graph, weights=weights, tolerance=tolerance
+            graph, weights=weights, tolerance=tolerance, method=method, tol=tol
+        )
+    if method != "highs":
+        from repro.simulator.bulk import BulkGraph
+
+        return solve_weighted_fractional_mds_sparse(
+            BulkGraph.from_graph(graph),
+            weights=weights,
+            tolerance=tolerance,
+            method=method,
+            tol=tol,
         )
     lp = build_lp(graph, weights=weights)
     # linprog minimises c·x subject to A_ub·x ≤ b_ub, so the covering
@@ -142,21 +193,35 @@ def solve_weighted_fractional_mds(
     return LPSolution(values=values, objective=float(lp.objective(values)), lp=lp)
 
 
+def _validate_method(method: str) -> None:
+    if method not in LP_METHODS:
+        raise ValueError(
+            f"unknown LP method {method!r}; expected one of "
+            + ", ".join(LP_METHODS)
+        )
+
+
 def solve_fractional_mds_sparse(
-    bulk: "BulkGraph", tolerance: float = 1e-9
+    bulk: "BulkGraph",
+    tolerance: float = 1e-9,
+    method: str = "highs",
+    tol: float = DEFAULT_LP_TOL,
 ) -> LPSolution:
-    """Solve LP_MDS exactly on a CSR graph without densifying it.
+    """Solve LP_MDS on a CSR graph without densifying it.
 
     The constraint matrix N = A + I is assembled as a ``scipy.sparse`` CSR
     straight from the :class:`~repro.simulator.bulk.BulkGraph` arrays, so
     memory stays O(n + m) where the dense formulation needs O(n²) -- the
     difference between n = 20 000 being routine and being impossible.
-    The optimum equals :func:`solve_fractional_mds` of the same graph
-    (same HiGHS solve, same constraints); feasibility of the returned
-    point is verified on the CSR before it is handed out.
+    With the default ``method="highs"`` the optimum equals
+    :func:`solve_fractional_mds` of the same graph (same HiGHS solve,
+    same constraints); ``"pdhg"`` / ``"mwu"`` trade exactness for a
+    matrix-free iteration with a verified ε-certificate at gap ``tol``.
+    Feasibility of the returned point is verified on the CSR before it
+    is handed out either way.
     """
     return solve_weighted_fractional_mds_sparse(
-        bulk, weights=None, tolerance=tolerance
+        bulk, weights=None, tolerance=tolerance, method=method, tol=tol
     )
 
 
@@ -164,6 +229,8 @@ def solve_weighted_fractional_mds_sparse(
     bulk: "BulkGraph",
     weights: "Mapping[Hashable, float] | None" = None,
     tolerance: float = 1e-9,
+    method: str = "highs",
+    tol: float = DEFAULT_LP_TOL,
 ) -> LPSolution:
     """Solve the weighted fractional dominating set LP on a CSR graph.
 
@@ -176,10 +243,19 @@ def solve_weighted_fractional_mds_sparse(
     :class:`~repro.lp.sparse.SparseDominatingSetLP`, so downstream
     duality certification (:func:`~repro.lp.duality.weak_duality_gap`,
     dual feasibility checks) works exactly as for dense solves.
+
+    ``method="pdhg"`` / ``"mwu"`` route to
+    :func:`repro.lp.firstorder.solve_covering_lp`: the solution is then
+    ε-optimal with ``solution.certificate`` carrying the verified
+    relative gap (≤ ``tol``) and ``solution.dual_values`` the feasible
+    dual that proves it.
     """
     from repro.lp.sparse import build_lp_sparse, neighborhood_csr_matrix
 
+    _validate_method(method)
     lp = build_lp_sparse(bulk, weights=weights)
+    if method != "highs":
+        return _solve_sparse_firstorder(bulk, lp, method, tol, tolerance)
     result = linprog(
         c=lp.weights,
         A_ub=-neighborhood_csr_matrix(bulk),
@@ -202,4 +278,36 @@ def solve_weighted_fractional_mds_sparse(
         values=lp.mapping_from_vector(solution_vector),
         objective=float(lp.weights @ solution_vector),
         lp=lp,
+    )
+
+
+def _solve_sparse_firstorder(
+    bulk: "BulkGraph",
+    lp: "SparseDominatingSetLP",
+    method: str,
+    tol: float,
+    tolerance: float,
+) -> LPSolution:
+    """Run a first-order method and package its certified output."""
+    from repro.lp.firstorder import ConvergenceError, solve_covering_lp
+
+    try:
+        solved = solve_covering_lp(lp, method=method, tol=tol)
+    except ConvergenceError as exc:
+        raise LPSolverError(str(exc)) from exc
+    feasible, max_violation = bulk.check_lp_feasible(
+        solved.x, tolerance=max(tolerance, 1e-7)
+    )
+    if not feasible:  # pragma: no cover - the certificate already checked this
+        raise LPSolverError(
+            f"{method} returned an infeasible point "
+            f"(max violation {max_violation:.2e})"
+        )
+    return LPSolution(
+        values=lp.mapping_from_vector(solved.x),
+        objective=float(lp.weights @ solved.x),
+        lp=lp,
+        method=method,
+        dual_values=lp.mapping_from_vector(solved.y),
+        certificate=solved.certificate,
     )

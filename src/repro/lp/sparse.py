@@ -114,6 +114,16 @@ class SparseDominatingSetLP:
         """
         return self.coverage(y)
 
+    def neighborhood_matrix(self):
+        """The cached ``scipy.sparse`` CSR of N = A + I (built once).
+
+        Delegates to :func:`neighborhood_csr_matrix`, which memoizes the
+        matrix on the underlying :class:`~repro.simulator.bulk.BulkGraph`
+        so every consumer (HiGHS solve, first-order iterations, power
+        iteration, certification) shares one instance.
+        """
+        return neighborhood_csr_matrix(self.bulk)
+
     def _as_vector(self, values: Sequence[float] | Mapping[Hashable, float]) -> np.ndarray:
         if isinstance(values, Mapping):
             return self.vector_from_mapping(values)
@@ -158,14 +168,23 @@ def build_lp_sparse(
 def neighborhood_csr_matrix(bulk: BulkGraph):
     """The constraint matrix N = A + I as a ``scipy.sparse`` CSR.
 
-    Only the sparse *solver* needs an actual matrix object (HiGHS takes
-    one); every check in this package uses the matrix-free operators of
-    :class:`SparseDominatingSetLP` instead.
+    Only the actual *solvers* need a matrix object (HiGHS takes one, and
+    the first-order methods drive scipy's in-place matvec kernel with
+    it); every check in this package uses the matrix-free operators of
+    :class:`SparseDominatingSetLP` instead.  The matrix is built once
+    per :class:`~repro.simulator.bulk.BulkGraph` and cached on it, so a
+    solve + power iteration + certification pipeline pays the O(n + m)
+    construction exactly once.
     """
+    if bulk._neighborhood_csr is not None:
+        return bulk._neighborhood_csr
+
     from scipy import sparse
 
     n = bulk.n
     data = np.ones(bulk.col.size + n)
     rows = np.concatenate([bulk.row, np.arange(n, dtype=np.int64)])
     cols = np.concatenate([bulk.col, np.arange(n, dtype=np.int64)])
-    return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    matrix = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    bulk._neighborhood_csr = matrix
+    return matrix

@@ -139,6 +139,10 @@ class BulkGraph:
         self._nonempty_starts = self.indptr[self._nonempty]
         # node -> position, built lazily by index_of.
         self._index: dict[Hashable, int] | None = None
+        # Lazy scipy CSR of N = A + I, shared by the LP solver, the
+        # first-order power iteration, and certification (built once by
+        # repro.lp.sparse.neighborhood_csr_matrix).
+        self._neighborhood_csr = None
         # Lazy augmented-CSR structure for closed_chain_sum.
         self._chain_senders: np.ndarray | None = None
         self._chain_carry_slots: np.ndarray | None = None

@@ -1,6 +1,7 @@
 """Unit tests for weak-duality lower bounds (Lemma 1)."""
 
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.baselines.exact import exact_optimum_size
@@ -8,10 +9,12 @@ from repro.baselines.greedy import greedy_dominating_set
 from repro.lp.duality import (
     certified_lower_bound,
     dual_objective,
+    feasible_dual_projection,
     lemma1_dual_solution,
     lemma1_lower_bound,
     weak_duality_gap,
 )
+from repro.lp.feasibility import check_dual_feasible
 from repro.lp.formulation import build_lp
 from repro.lp.solver import solve_fractional_mds
 
@@ -71,6 +74,55 @@ class TestWeakDuality:
         bound = certified_lower_bound(grid, lemma1_dual_solution(grid))
         assert bound == pytest.approx(lemma1_lower_bound(grid))
 
-    def test_certified_lower_bound_rejects_infeasible(self, path):
+    def test_certified_lower_bound_clamps_infeasible(self, path):
+        # An over-packed uniform dual is repaired by projection + uniform
+        # rescale, never rejected: interior nodes of the path have closed
+        # neighbourhood size 3, so uniform 5.0 scales by 1/15 and the
+        # bound is n/3 -- still a valid lower bound (|DS_OPT| = 3).
+        bound = certified_lower_bound(path, {node: 5.0 for node in path.nodes()})
+        assert bound == pytest.approx(9.0 / 3.0, rel=1e-9)
+        assert bound <= exact_optimum_size(path) + 1e-9
+
+    def test_certified_lower_bound_clamps_roundoff_negatives(self, grid):
+        # Tiny negative entries from float round-off clamp to zero; the
+        # rest of the (feasible) assignment passes through unchanged.
+        y = lemma1_dual_solution(grid)
+        first = next(iter(y))
+        clean = certified_lower_bound(grid, y)
+        dropped = y[first]
+        y[first] = -1e-12
+        bound = certified_lower_bound(grid, y)
+        assert bound == pytest.approx(clean - dropped, rel=1e-9)
+
+    def test_certified_lower_bound_rejects_nan(self, path):
+        y = {node: 0.1 for node in path.nodes()}
+        y[0] = float("nan")
         with pytest.raises(ValueError):
-            certified_lower_bound(path, {node: 5.0 for node in path.nodes()})
+            certified_lower_bound(path, y)
+
+    def test_projection_preserves_feasible_duals(self, grid):
+        lp = build_lp(grid)
+        y = lemma1_dual_solution(grid)
+        projected = feasible_dual_projection(lp, y)
+        assert np.allclose(projected, lp._as_vector(y))
+
+    def test_projection_output_always_feasible(self, small_random_graph):
+        lp = build_lp(small_random_graph)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            raw = rng.normal(scale=2.0, size=lp.size)
+            projected = feasible_dual_projection(lp, raw)
+            assert check_dual_feasible(lp, projected, tolerance=1e-9)
+
+    def test_projection_zeroes_zero_weight_neighborhoods(self, path):
+        # A zero-weight node's packing constraint reads Σ y ≤ 0 over its
+        # closed neighbourhood; projection must zero that mass out.
+        weights = {node: 1.0 for node in path.nodes()}
+        weights[4] = 0.0
+        lp = build_lp(path, weights=weights)
+        projected = feasible_dual_projection(
+            lp, {node: 0.2 for node in path.nodes()}
+        )
+        mapping = lp.mapping_from_vector(projected)
+        assert mapping[3] == mapping[4] == mapping[5] == 0.0
+        assert check_dual_feasible(lp, projected, tolerance=1e-9)

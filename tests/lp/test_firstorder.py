@@ -1,0 +1,329 @@
+"""Unit tests for the certified first-order covering-LP solvers.
+
+The contract under test is the *certificate*, not the iteration
+dynamics: every solve must return a primal/dual pair that independently
+passes the canonical feasibility checks, with a verified relative gap at
+or below the requested tolerance -- on regular instances, on degenerate
+ones (isolated nodes, single node, zero weights), and through every
+layer of the dispatch stack (``solve_covering_lp``, the sparse/dense
+solver entry points, the rounding baseline, the registry).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.generators import graph_suite
+from repro.lp.duality import certified_lower_bound_lp, lemma1_lower_bound
+from repro.lp.feasibility import check_dual_feasible, check_primal_feasible
+from repro.lp.firstorder import (
+    FIRST_ORDER_METHODS,
+    ConvergenceError,
+    DualityCertificate,
+    estimate_operator_norm,
+    solve_covering_lp,
+)
+from repro.lp.solver import (
+    LP_METHODS,
+    LPSolverError,
+    solve_fractional_mds,
+    solve_fractional_mds_sparse,
+    solve_weighted_fractional_mds_sparse,
+)
+from repro.lp.sparse import build_lp_sparse
+from repro.simulator.bulk import BulkGraph
+
+SUITE = sorted(graph_suite("tiny", seed=5).items()) + sorted(
+    graph_suite("small", seed=3).items()
+)
+
+#: Per-method certification tolerances used throughout: PDHG converges
+#: to tight gaps, MWU is built for loose ones.
+TOLS = {"pdhg": 1e-3, "mwu": 0.05}
+
+
+def _bulk_lp(graph):
+    return build_lp_sparse(BulkGraph.from_graph(graph))
+
+
+class TestOperatorNorm:
+    def test_matches_dense_spectral_norm(self):
+        for name, graph in SUITE[:6]:
+            lp = _bulk_lp(graph)
+            matrix = nx.to_numpy_array(graph, nodelist=sorted(graph.nodes()))
+            np.fill_diagonal(matrix, 1.0)
+            exact = float(np.linalg.norm(matrix, ord=2))
+            estimate = estimate_operator_norm(lp)
+            assert estimate == pytest.approx(exact, rel=1e-4), name
+
+    def test_bounded_by_max_closed_degree(self):
+        for _, graph in SUITE:
+            lp = _bulk_lp(graph)
+            bulk = lp.bulk
+            assert estimate_operator_norm(lp) <= bulk.max_degree + 1 + 1e-9
+
+    def test_edgeless_graph_norm_is_one(self):
+        lp = _bulk_lp(nx.empty_graph(5))
+        assert estimate_operator_norm(lp) == pytest.approx(1.0)
+
+
+class TestCertificateContract:
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_certified_gap_at_or_below_tol(self, method):
+        for name, graph in SUITE:
+            lp = _bulk_lp(graph)
+            solution = solve_covering_lp(lp, method=method, tol=TOLS[method])
+            certificate = solution.certificate
+            assert certificate.certified, name
+            assert certificate.gap <= TOLS[method], name
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_returned_pair_passes_canonical_checks(self, method):
+        for name, graph in SUITE:
+            lp = _bulk_lp(graph)
+            solution = solve_covering_lp(lp, method=method, tol=TOLS[method])
+            assert check_primal_feasible(lp, solution.x, tolerance=1e-9), name
+            assert check_dual_feasible(lp, solution.y, tolerance=1e-9), name
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_objectives_bracket_the_exact_optimum(self, method):
+        for name, graph in SUITE:
+            lp = _bulk_lp(graph)
+            exact = solve_fractional_mds(graph).objective
+            certificate = solve_covering_lp(
+                lp, method=method, tol=TOLS[method]
+            ).certificate
+            assert certificate.dual_objective <= exact + 1e-7, name
+            assert certificate.primal_objective >= exact - 1e-7, name
+            assert certificate.primal_objective <= exact * (
+                1 + TOLS[method]
+            ) + 1e-7, name
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_certificate_rechecks_through_certified_lower_bound(self, method):
+        lp = _bulk_lp(dict(SUITE)["grid_8x8"])
+        solution = solve_covering_lp(lp, method=method, tol=TOLS[method])
+        # The canonical certification helper, fed the raw dual, must
+        # reproduce the certificate's bound (it re-projects internally).
+        assert certified_lower_bound_lp(lp, solution.y) == pytest.approx(
+            solution.certificate.dual_objective, rel=1e-9
+        )
+
+    def test_dual_bound_dominates_lemma1_on_regular_instances(self):
+        # First-order duals should be *better* bounds than Lemma 1 once
+        # converged (Lemma 1 is the warm start).
+        for name, graph in SUITE:
+            lp = _bulk_lp(graph)
+            certificate = solve_covering_lp(lp, method="pdhg", tol=1e-3).certificate
+            assert certificate.dual_objective >= lemma1_lower_bound(graph) - 1e-7, name
+
+    def test_certificate_payload_fields(self):
+        lp = _bulk_lp(nx.path_graph(10))
+        payload = solve_covering_lp(lp, method="pdhg", tol=1e-3).certificate.as_dict()
+        assert payload["certified"] is True
+        assert payload["certified_gap"] <= 1e-3
+        assert payload["method"] == "pdhg"
+        assert payload["certified_lower_bound"] <= payload["primal_objective"]
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_single_node_graph(self, method):
+        lp = _bulk_lp(nx.empty_graph(1))
+        certificate = solve_covering_lp(lp, method=method, tol=TOLS[method]).certificate
+        assert certificate.primal_objective == pytest.approx(1.0)
+        assert certificate.dual_objective == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_isolated_nodes(self, method):
+        # A path plus three isolated nodes: each isolate must self-cover.
+        graph = nx.path_graph(6)
+        graph.add_nodes_from([10, 11, 12])
+        lp = _bulk_lp(graph)
+        solution = solve_covering_lp(lp, method=method, tol=TOLS[method])
+        exact = solve_fractional_mds(graph).objective
+        assert solution.certificate.certified
+        assert solution.certificate.primal_objective <= exact * (
+            1 + TOLS[method]
+        ) + 1e-7
+        isolates = lp.bulk.index_of([10, 11, 12])
+        assert np.all(solution.x[isolates] >= 1.0 - 1e-7)
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_zero_weight_nodes(self, method):
+        # Zero-cost nodes are free cover: the optimum covers everything
+        # reachable from them for nothing.
+        graph = nx.star_graph(5)
+        bulk = BulkGraph.from_graph(graph)
+        weights = {node: 0.0 if node == 0 else 1.0 for node in graph.nodes()}
+        lp = build_lp_sparse(bulk, weights=weights)
+        solution = solve_covering_lp(lp, method=method, tol=TOLS[method])
+        certificate = solution.certificate
+        assert certificate.certified
+        # The hub covers every node at cost 0, so both objectives are 0.
+        assert certificate.primal_objective == pytest.approx(0.0, abs=1e-9)
+        assert certificate.dual_objective == pytest.approx(0.0, abs=1e-9)
+        assert check_primal_feasible(lp, solution.x, tolerance=1e-9)
+        assert check_dual_feasible(lp, solution.y, tolerance=1e-9)
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_tol_zero_rejected(self, method):
+        lp = _bulk_lp(nx.path_graph(5))
+        with pytest.raises(ValueError, match="tol must be positive"):
+            solve_covering_lp(lp, method=method, tol=0.0)
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_negative_tol_rejected(self, method):
+        lp = _bulk_lp(nx.path_graph(5))
+        with pytest.raises(ValueError, match="tol must be positive"):
+            solve_covering_lp(lp, method=method, tol=-1e-3)
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_very_loose_tol_certifies_from_warm_start(self, method):
+        # tol = 10 accepts any verified pair; the warm start is already
+        # one, so the solve returns at the first certification check.
+        lp = _bulk_lp(dict(SUITE)["erdos_renyi_n60"])
+        certificate = solve_covering_lp(lp, method=method, tol=10.0).certificate
+        assert certificate.certified
+        assert certificate.gap <= 10.0
+
+    def test_unknown_method_rejected(self):
+        lp = _bulk_lp(nx.path_graph(5))
+        with pytest.raises(ValueError, match="unknown first-order method"):
+            solve_covering_lp(lp, method="simplex", tol=1e-3)
+
+    def test_budget_exhaustion_raises_with_best_certificate(self):
+        lp = _bulk_lp(dict(SUITE)["erdos_renyi_n60"])
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_covering_lp(lp, method="pdhg", tol=1e-12, max_iterations=50)
+        best = excinfo.value.certificate
+        assert best is None or isinstance(best, DualityCertificate)
+
+
+class TestSolverDispatch:
+    def test_lp_methods_constant(self):
+        assert LP_METHODS == ("highs", "pdhg", "mwu")
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_sparse_entry_point_attaches_certificate(self, method):
+        bulk = BulkGraph.from_graph(dict(SUITE)["erdos_renyi_n60"])
+        solution = solve_fractional_mds_sparse(bulk, method=method, tol=TOLS[method])
+        assert solution.method == method
+        assert solution.certificate is not None
+        assert solution.certificate.gap <= TOLS[method]
+        assert solution.dual_values is not None
+        # The mapping round-trips through the formulation's ordering.
+        assert solution.objective == pytest.approx(
+            solution.certificate.primal_objective, rel=1e-12
+        )
+
+    def test_highs_entry_point_has_no_certificate(self):
+        bulk = BulkGraph.from_graph(nx.path_graph(10))
+        solution = solve_fractional_mds_sparse(bulk)
+        assert solution.method == "highs"
+        assert solution.certificate is None
+        assert solution.dual_values is None
+
+    def test_dense_entry_point_converts_to_bulk_for_firstorder(self):
+        graph = dict(SUITE)["erdos_renyi_n60"]
+        exact = solve_fractional_mds(graph).objective
+        solution = solve_fractional_mds(graph, method="pdhg", tol=1e-3)
+        assert solution.certificate is not None
+        assert solution.objective <= exact * 1.001 + 1e-9
+        # Node identifiers survive the BulkGraph conversion.
+        assert set(solution.values) == set(graph.nodes())
+
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_weighted_sparse_solve(self, method):
+        graph = dict(SUITE)["erdos_renyi_n60"]
+        weights = {
+            node: 1.0 + (index % 5)
+            for index, node in enumerate(sorted(graph.nodes()))
+        }
+        bulk = BulkGraph.from_graph(graph)
+        from repro.lp.solver import solve_weighted_fractional_mds
+
+        exact = solve_weighted_fractional_mds(graph, weights).objective
+        solution = solve_weighted_fractional_mds_sparse(
+            bulk, weights=weights, method=method, tol=TOLS[method]
+        )
+        assert solution.certificate.certified
+        assert solution.objective <= exact * (1 + TOLS[method]) + 1e-7
+        assert solution.objective >= exact - 1e-7
+
+    def test_unknown_method_rejected_by_solver(self):
+        bulk = BulkGraph.from_graph(nx.path_graph(5))
+        with pytest.raises(ValueError, match="unknown LP method"):
+            solve_fractional_mds_sparse(bulk, method="ipm")
+
+    def test_budget_exhaustion_surfaces_as_solver_error(self, monkeypatch):
+        import repro.lp.firstorder as firstorder
+
+        monkeypatch.setitem(firstorder._MAX_ITERATIONS, "pdhg", 10)
+        bulk = BulkGraph.from_graph(dict(SUITE)["erdos_renyi_n60"])
+        with pytest.raises(LPSolverError, match="did not reach"):
+            solve_fractional_mds_sparse(bulk, method="pdhg", tol=1e-9)
+
+
+class TestRoundingIntegration:
+    @pytest.mark.parametrize("method", FIRST_ORDER_METHODS)
+    def test_central_lp_rounding_with_firstorder(self, method):
+        from repro.baselines.lp_rounding_central import (
+            central_lp_rounding_dominating_set,
+        )
+        from repro.domset.validation import is_dominating_set
+
+        graph = dict(SUITE)["erdos_renyi_n60"]
+        result = central_lp_rounding_dominating_set(
+            graph, seed=3, lp_method=method, lp_tol=TOLS[method]
+        )
+        assert is_dominating_set(graph, result.dominating_set)
+        assert result.lp_solution.certificate.certified
+
+    def test_registry_normalizes_lp_method_params(self):
+        from repro.api import normalized_params
+
+        params = normalized_params("central-lp", {"lp_method": "pdhg"})
+        assert params["lp_method"] == "pdhg"
+        assert params["lp_tol"] == 1e-3
+        # Defaults spelled out vs. implicit normalize identically.
+        assert params == normalized_params(
+            "central-lp", {"lp_method": "pdhg", "lp_tol": 1e-3}
+        )
+
+    def test_registry_solve_with_firstorder_lp(self):
+        from repro.api import solve as api_solve
+        from repro.domset.validation import is_dominating_set
+
+        graph = dict(SUITE)["erdos_renyi_n60"]
+        report = api_solve(
+            "central-lp", graph, seed=1, lp_method="pdhg", lp_tol=1e-3
+        )
+        assert is_dominating_set(graph, report.dominating_set)
+        assert report.params["lp_method"] == "pdhg"
+        assert report.params["lp_tol"] == 1e-3
+
+
+class TestCsrCache:
+    def test_neighborhood_matrix_cached_on_bulk(self):
+        from repro.lp.sparse import neighborhood_csr_matrix
+
+        bulk = BulkGraph.from_graph(nx.path_graph(10))
+        first = neighborhood_csr_matrix(bulk)
+        assert neighborhood_csr_matrix(bulk) is first
+        lp = build_lp_sparse(bulk)
+        assert lp.neighborhood_matrix() is first
+
+    def test_cached_matrix_matches_operators(self):
+        for _, graph in SUITE[:4]:
+            lp = _bulk_lp(graph)
+            matrix = lp.neighborhood_matrix()
+            x = np.linspace(0.1, 1.0, lp.size)
+            np.testing.assert_allclose(matrix @ x, lp.coverage(x), rtol=1e-12)
+
+    def test_distinct_graphs_get_distinct_matrices(self):
+        a = BulkGraph.from_graph(nx.path_graph(5))
+        b = BulkGraph.from_graph(nx.path_graph(5))
+        from repro.lp.sparse import neighborhood_csr_matrix
+
+        assert neighborhood_csr_matrix(a) is not neighborhood_csr_matrix(b)

@@ -380,7 +380,9 @@ ENTRY_POINT_SIGNATURES = {
         "graph", "apply_pruning", "ensure_domination", "seed", "backend", "_bulk",
     ],
     "greedy_dominating_set": ["graph"],
-    "central_lp_rounding_dominating_set": ["graph", "seed", "rule", "backend"],
+    "central_lp_rounding_dominating_set": [
+        "graph", "seed", "rule", "backend", "lp_method", "lp_tol",
+    ],
     "random_dominating_set": ["graph", "seed"],
     "weighted_kuhn_wattenhofer_dominating_set": [
         "graph", "weights", "k", "seed", "rounding_rule", "collect_trace",

@@ -408,6 +408,83 @@ class TestCertifyCommand:
         assert exit_code == 0
         assert json.loads(captured.out)["dominating_set_size"] > 0
 
+    def test_certify_lp_method_defaults(self):
+        args = build_parser().parse_args(["certify"])
+        assert args.lp_method == "highs"
+        assert args.lp_tol == pytest.approx(1e-3)
+
+    def test_certify_rejects_unknown_lp_method(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["certify", "--lp-method", "simplex"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "lp_method,lp_tol", [("pdhg", "1e-3"), ("mwu", "0.05")]
+    )
+    def test_certify_first_order_reports_certificate(
+        self, capsys, lp_method, lp_tol
+    ):
+        exit_code = main(
+            [
+                "certify",
+                "--family",
+                "erdos_renyi",
+                "--n",
+                "40",
+                "--p",
+                "0.15",
+                "--seed",
+                "1",
+                "--lp-method",
+                lp_method,
+                "--lp-tol",
+                lp_tol,
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["lp_method"] == lp_method
+        assert payload["lp_certified_gap"] is not None
+        assert 0.0 <= payload["lp_certified_gap"] <= float(lp_tol)
+        assert payload["primal_feasible"] is True
+        assert payload["dual_feasible"] is True
+        assert payload["certified_ratio"] >= 1.0
+
+    def test_certify_highs_reports_no_first_order_gap(self, capsys):
+        exit_code = main(
+            ["certify", "--family", "grid", "--n", "25", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["lp_method"] == "highs"
+        assert payload["lp_certified_gap"] is None
+
+    def test_compare_accepts_lp_method(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--family",
+                "erdos_renyi",
+                "--n",
+                "30",
+                "--p",
+                "0.15",
+                "--seed",
+                "1",
+                "--trials",
+                "1",
+                "--algorithm",
+                "greedy",
+                "--lp-method",
+                "pdhg",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "greedy" in captured.out
+
     def test_certify_disconnected_cds_algorithm_is_a_cli_error(self, capsys):
         exit_code = main(
             [
